@@ -1,0 +1,39 @@
+//! Criterion microbenchmark behind Figure 8: per-value insertion cost for
+//! every sketch on every data set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bench_suite::{Contender, ContenderKind};
+use datasets::Dataset;
+
+fn bench_add(c: &mut Criterion) {
+    let n = 100_000usize;
+    for ds in Dataset::all() {
+        let values = ds.generate(n, 21);
+        let mut group = c.benchmark_group(format!("add/{}", ds.name()));
+        group.throughput(Throughput::Elements(n as u64));
+        for kind in ContenderKind::all() {
+            group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+                b.iter(|| {
+                    let mut sketch = Contender::new(kind, ds).expect("valid params");
+                    sketch.add_all(black_box(&values));
+                    black_box(sketch.count())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short, low-variance runs: the full suite covers 5 sketches × 3 data
+    // sets × several operations; default 8s/benchmark would take ~20 min.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_add
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: index-computation cost of the four DDSketch mappings
+//! (the design choice behind "DDSketch (fast)", paper Section 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use datasets::Dataset;
+use ddsketch::{
+    CubicInterpolatedMapping, IndexMapping, LinearInterpolatedMapping, LogarithmicMapping,
+    QuadraticInterpolatedMapping,
+};
+
+fn bench_mappings(c: &mut Criterion) {
+    let values = Dataset::Pareto.generate(100_000, 51);
+    let mut group = c.benchmark_group("mapping/index");
+    group.throughput(Throughput::Elements(values.len() as u64));
+
+    let log = LogarithmicMapping::new(0.01).unwrap();
+    let lin = LinearInterpolatedMapping::new(0.01).unwrap();
+    let quad = QuadraticInterpolatedMapping::new(0.01).unwrap();
+    let cub = CubicInterpolatedMapping::new(0.01).unwrap();
+
+    fn run<M: IndexMapping>(m: &M, values: &[f64]) -> i64 {
+        let mut acc = 0i64;
+        for &v in values {
+            acc = acc.wrapping_add(i64::from(m.index(v)));
+        }
+        acc
+    }
+
+    group.bench_function(BenchmarkId::from_parameter("logarithmic"), |b| {
+        b.iter(|| black_box(run(&log, black_box(&values))));
+    });
+    group.bench_function(BenchmarkId::from_parameter("linear"), |b| {
+        b.iter(|| black_box(run(&lin, black_box(&values))));
+    });
+    group.bench_function(BenchmarkId::from_parameter("quadratic"), |b| {
+        b.iter(|| black_box(run(&quad, black_box(&values))));
+    });
+    group.bench_function(BenchmarkId::from_parameter("cubic"), |b| {
+        b.iter(|| black_box(run(&cub, black_box(&values))));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short, low-variance runs: the full suite covers 5 sketches × 3 data
+    // sets × several operations; default 8s/benchmark would take ~20 min.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_mappings
+}
+criterion_main!(benches);

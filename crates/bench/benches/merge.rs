@@ -1,0 +1,63 @@
+//! Criterion microbenchmark behind Figure 9: merging two sketches of
+//! n/2 values each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench_suite::{Contender, ContenderKind};
+use datasets::Dataset;
+
+fn populated_pair(kind: ContenderKind, ds: Dataset, n: usize) -> (Contender, Contender) {
+    let values = ds.generate(n, 31);
+    let (va, vb) = values.split_at(n / 2);
+    let mut a = Contender::new(kind, ds).expect("valid params");
+    let mut b = Contender::new(kind, ds).expect("valid params");
+    a.add_all(va);
+    b.add_all(vb);
+    a.seal();
+    b.seal();
+    (a, b)
+}
+
+fn clone_of(c: &Contender) -> Contender {
+    match c {
+        Contender::DDSketch(s) => Contender::DDSketch(s.clone()),
+        Contender::DDSketchFast(s) => Contender::DDSketchFast(s.clone()),
+        Contender::GKArray(s) => Contender::GKArray(s.clone()),
+        Contender::Hdr(s) => Contender::Hdr(s.clone()),
+        Contender::Moments(s) => Contender::Moments(s.clone()),
+    }
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    for ds in Dataset::all() {
+        let mut group = c.benchmark_group(format!("merge/{}", ds.name()));
+        for kind in ContenderKind::all() {
+            let (a, b) = populated_pair(kind, ds, n);
+            group.bench_function(BenchmarkId::from_parameter(kind.name()), |bench| {
+                bench.iter_batched(
+                    || clone_of(&a),
+                    |mut target| {
+                        target.merge_from(black_box(&b)).expect("same kind");
+                        black_box(target.count())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Short, low-variance runs: the full suite covers 5 sketches × 3 data
+    // sets × several operations; default 8s/benchmark would take ~20 min.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_merge
+}
+criterion_main!(benches);

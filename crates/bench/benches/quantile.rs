@@ -1,0 +1,37 @@
+//! Quantile-query cost per sketch (not a paper figure, but the obvious
+//! third axis next to add and merge costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench_suite::{Contender, ContenderKind};
+use datasets::Dataset;
+
+fn bench_quantile(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let ds = Dataset::Pareto;
+    let values = ds.generate(n, 41);
+    let qs = [0.5, 0.95, 0.99];
+    let mut group = c.benchmark_group("quantile/pareto");
+    for kind in ContenderKind::all() {
+        let mut sketch = Contender::new(kind, ds).expect("valid params");
+        sketch.add_all(&values);
+        sketch.seal();
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| black_box(sketch.quantiles(black_box(&qs)).expect("non-empty")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short, low-variance runs: the full suite covers 5 sketches × 3 data
+    // sets × several operations; default 8s/benchmark would take ~20 min.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_quantile
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: insertion cost of the store variants (dense vs collapsing vs
+//! sparse — paper Section 2.2's speed/space trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use datasets::Dataset;
+use ddsketch::{
+    CollapsingLowestDenseStore, CollapsingSparseStore, DenseStore, IndexMapping,
+    LogarithmicMapping, SparseStore, Store,
+};
+
+fn bench_stores(c: &mut Criterion) {
+    let mapping = LogarithmicMapping::new(0.01).unwrap();
+    let indices: Vec<i32> = Dataset::Pareto
+        .generate(100_000, 61)
+        .into_iter()
+        .map(|v| mapping.index(v))
+        .collect();
+
+    let mut group = c.benchmark_group("store/add");
+    group.throughput(Throughput::Elements(indices.len() as u64));
+
+    fn run<S: Store>(mut store: S, indices: &[i32]) -> u64 {
+        for &i in indices {
+            store.add(i);
+        }
+        store.total_count()
+    }
+
+    group.bench_function(BenchmarkId::from_parameter("dense"), |b| {
+        b.iter(|| black_box(run(DenseStore::new(), black_box(&indices))));
+    });
+    group.bench_function(BenchmarkId::from_parameter("collapsing_dense_2048"), |b| {
+        b.iter(|| black_box(run(CollapsingLowestDenseStore::new(2048), black_box(&indices))));
+    });
+    group.bench_function(BenchmarkId::from_parameter("sparse"), |b| {
+        b.iter(|| black_box(run(SparseStore::new(), black_box(&indices))));
+    });
+    group.bench_function(BenchmarkId::from_parameter("collapsing_sparse_2048"), |b| {
+        b.iter(|| black_box(run(CollapsingSparseStore::new(2048), black_box(&indices))));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short, low-variance runs: the full suite covers 5 sketches × 3 data
+    // sets × several operations; default 8s/benchmark would take ~20 min.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_stores
+}
+criterion_main!(benches);

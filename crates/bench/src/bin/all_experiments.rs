@@ -1,0 +1,56 @@
+//! Run every table and figure reproduction at laptop scale in one go.
+//! Optional arg: max n for the sweeps (default 1e6).
+
+use bench_suite::figures::accuracy::{sweep, tabulate, ErrorMetric};
+use bench_suite::figures::*;
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let n_max = parse_n_arg(1_000_000);
+    println!("=== Tables 1 & 2 ===");
+    emit("table01", &[tables::table01(), tables::table01_verification()]);
+    emit("table02", &[tables::table02()]);
+
+    println!("=== Figure 2 ===");
+    let t = fig02::run(50_000);
+    let tracks = fig02::average_tracks_p75(&t);
+    emit("fig02", &[t]);
+    println!("average tracks p75 rather than p50: {tracks}\n");
+
+    println!("=== Figure 3 ===");
+    let fig = fig03::run((n_max as usize).min(2_000_000));
+    println!("p0–p95:\n{}", fig.hist_p95);
+    println!("p0–p100:\n{}", fig.hist_p100);
+    emit("fig03", &[fig.summary]);
+
+    println!("=== Figure 4 ===");
+    emit("fig04", &fig04::run(20, (n_max as usize / 10).clamp(10_000, 100_000)));
+
+    println!("=== Figure 5 ===");
+    for h in fig05::run((n_max as usize).min(1_000_000)) {
+        println!("── Figure 5 — {} ──", h.name);
+        println!("{}", h.rendered);
+    }
+
+    println!("=== Figure 6 ===");
+    emit("fig06", &fig06::run(n_max, 7));
+
+    println!("=== Figure 7 ===");
+    emit("fig07", &[fig07::run(n_max * 10)]);
+
+    println!("=== Figure 8 ===");
+    emit("fig08", &fig08::run(n_max, 21));
+
+    println!("=== Figure 9 ===");
+    emit("fig09", &fig09::run(n_max, 31, 3));
+
+    println!("=== Figures 10 & 11 ===");
+    let rows = sweep(n_max, 3);
+    emit("fig10", &tabulate(&rows, ErrorMetric::Relative));
+    emit("fig11", &tabulate(&rows, ErrorMetric::Rank));
+
+    println!("=== Section 3.3 bounds ===");
+    emit("bounds", &[bounds::run(n_max as usize, 3)]);
+
+    println!("done — CSV series written to results/");
+}

@@ -1,0 +1,10 @@
+//! Section 3.3: empirical verification of the exponential / Pareto sketch
+//! size bounds. Optional arg: sample count (default 1e6, the paper's n).
+
+use bench_suite::figures::{bounds, emit};
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let n = parse_n_arg(1_000_000) as usize;
+    emit("bounds", &[bounds::run(n, 5)]);
+}

@@ -1,0 +1,13 @@
+//! Figure 2: average latency vs p50/p75 over time on a heavy-tailed
+//! endpoint. Optional arg: requests per worker (default 50000).
+
+use bench_suite::figures::{emit, fig02};
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let per_worker = parse_n_arg(50_000) as usize;
+    let t = fig02::run(per_worker);
+    let tracks = fig02::average_tracks_p75(&t);
+    emit("fig02", &[t]);
+    println!("average tracks p75 rather than p50: {tracks}");
+}

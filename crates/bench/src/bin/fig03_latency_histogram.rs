@@ -1,0 +1,13 @@
+//! Figure 3: histograms of web response times, p0–p95 and p0–p100.
+//! Optional arg: sample count (default 2e6, the paper's size).
+
+use bench_suite::figures::{emit, fig03};
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let n = parse_n_arg(2_000_000) as usize;
+    let fig = fig03::run(n);
+    println!("p0–p95:\n{}", fig.hist_p95);
+    println!("p0–p100:\n{}", fig.hist_p100);
+    emit("fig03", &[fig.summary]);
+}

@@ -1,0 +1,11 @@
+//! Figure 4: actual vs 0.005-rank-accurate vs 0.01-relative-accurate
+//! quantiles over 20 batches of 100,000 values.
+//! Optional arg: batch size (default 100000).
+
+use bench_suite::figures::{emit, fig04};
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let batch_size = parse_n_arg(100_000) as usize;
+    emit("fig04", &fig04::run(20, batch_size));
+}

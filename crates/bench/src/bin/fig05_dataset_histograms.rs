@@ -1,0 +1,13 @@
+//! Figure 5: histograms of the pareto, span and power data sets.
+//! Optional arg: sample count (default 1e6).
+
+use bench_suite::figures::fig05;
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let n = parse_n_arg(1_000_000) as usize;
+    for h in fig05::run(n) {
+        println!("── Figure 5 — {} ──", h.name);
+        println!("{}", h.rendered);
+    }
+}

@@ -1,0 +1,10 @@
+//! Figure 6: sketch size in memory (kB) vs n. Optional arg: max n
+//! (default 1e7; the paper sweeps to 1e8 — pass 1e8 for the full sweep).
+
+use bench_suite::figures::{emit, fig06};
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let n_max = parse_n_arg(10_000_000);
+    emit("fig06", &fig06::run(n_max, 7));
+}

@@ -1,0 +1,10 @@
+//! Figure 7: DDSketch bin count vs n on pareto. Optional arg: max n
+//! (default 1e8; the paper reaches 1e10 — streaming, so it is feasible).
+
+use bench_suite::figures::{emit, fig07};
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let n_max = parse_n_arg(100_000_000);
+    emit("fig07", &[fig07::run(n_max)]);
+}

@@ -1,0 +1,9 @@
+//! Figure 8: average ns per Add vs n. Optional arg: max n (default 1e7).
+
+use bench_suite::figures::{emit, fig08};
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let n_max = parse_n_arg(10_000_000);
+    emit("fig08", &fig08::run(n_max, 21));
+}

@@ -1,0 +1,10 @@
+//! Figure 9: merge time (µs) vs merged n. Optional arg: max n
+//! (default 1e7).
+
+use bench_suite::figures::{emit, fig09};
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let n_max = parse_n_arg(10_000_000);
+    emit("fig09", &fig09::run(n_max, 31, 5));
+}

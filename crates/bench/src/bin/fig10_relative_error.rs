@@ -1,0 +1,12 @@
+//! Figure 10: relative error of p50/p95/p99 estimates vs n, per data set
+//! and sketch. Optional arg: max n (default 1e6).
+
+use bench_suite::figures::accuracy::{sweep, tabulate, ErrorMetric};
+use bench_suite::figures::emit;
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let n_max = parse_n_arg(1_000_000);
+    let rows = sweep(n_max, 3);
+    emit("fig10", &tabulate(&rows, ErrorMetric::Relative));
+}

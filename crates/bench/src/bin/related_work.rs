@@ -1,0 +1,10 @@
+//! Extension: DDSketch vs t-digest vs KLL (the paper's Section 1.2
+//! related-work sketches). Optional arg: max n (default 1e6).
+
+use bench_suite::figures::{emit, related_work};
+use bench_suite::parse_n_arg;
+
+fn main() {
+    let n_max = parse_n_arg(1_000_000);
+    emit("related_work", &related_work::run(n_max, 5));
+}

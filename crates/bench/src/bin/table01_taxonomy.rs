@@ -1,0 +1,7 @@
+//! Reproduce paper Table 1 and verify its claims against the code.
+
+use bench_suite::figures::{emit, tables};
+
+fn main() {
+    emit("table01", &[tables::table01(), tables::table01_verification()]);
+}

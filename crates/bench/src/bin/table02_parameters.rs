@@ -1,0 +1,7 @@
+//! Reproduce paper Table 2 (experiment parameters).
+
+use bench_suite::figures::{emit, tables};
+
+fn main() {
+    emit("table02", &[tables::table02()]);
+}

@@ -1,0 +1,297 @@
+//! The four quantile sketches behind a single interface, configured with
+//! the paper's Table 2 parameters.
+
+use datasets::Dataset;
+use ddsketch::{presets, BoundedDDSketch, FastDDSketch};
+use gkarray::GKArray;
+use hdrhist::ScaledHdr;
+use momentsketch::MomentSketch;
+use sketch_core::{MemoryFootprint, MergeableSketch, QuantileSketch, SketchError};
+
+/// Table 2: DDSketch relative accuracy.
+pub const PAPER_ALPHA: f64 = 0.01;
+/// Table 2: DDSketch bucket limit.
+pub const PAPER_MAX_BINS: usize = 2048;
+/// Table 2: GKArray rank accuracy.
+pub const PAPER_EPSILON: f64 = 0.01;
+/// Table 2: Moments sketch moment count (compression enabled).
+pub const PAPER_K: usize = 20;
+/// Table 2: HDR Histogram significant decimal digits.
+pub const PAPER_HDR_DIGITS: u8 = 2;
+
+/// Which sketch a [`Contender`] wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContenderKind {
+    /// DDSketch with the exact logarithmic mapping.
+    DDSketch,
+    /// DDSketch with the cubic-interpolated ("fast") mapping.
+    DDSketchFast,
+    /// The GKArray rank-error baseline.
+    GKArray,
+    /// The HDR Histogram baseline (bounded range).
+    HdrHistogram,
+    /// The Moments sketch baseline.
+    Moments,
+}
+
+impl ContenderKind {
+    /// All contenders in the paper's legend order.
+    pub fn all() -> [ContenderKind; 5] {
+        [
+            ContenderKind::DDSketch,
+            ContenderKind::DDSketchFast,
+            ContenderKind::GKArray,
+            ContenderKind::HdrHistogram,
+            ContenderKind::Moments,
+        ]
+    }
+
+    /// The four contenders of the accuracy figures (10 and 11), which do
+    /// not include the fast variant.
+    pub fn accuracy_set() -> [ContenderKind; 4] {
+        [
+            ContenderKind::DDSketch,
+            ContenderKind::GKArray,
+            ContenderKind::HdrHistogram,
+            ContenderKind::Moments,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            ContenderKind::DDSketch => "DDSketch",
+            ContenderKind::DDSketchFast => "DDSketch (fast)",
+            ContenderKind::GKArray => "GKArray",
+            ContenderKind::HdrHistogram => "HDRHistogram",
+            ContenderKind::Moments => "MomentSketch",
+        }
+    }
+}
+
+/// HDR Histogram needs a bounded integer range per data set; pick scales
+/// giving it headroom comparable to the paper's setup (see EXPERIMENTS.md).
+fn hdr_for(dataset: Dataset) -> Result<ScaledHdr, SketchError> {
+    match dataset {
+        // Pareto(1,1): values ≥ 1, extreme draws ~n; track up to 1e10 at
+        // millesimal resolution.
+        Dataset::Pareto => ScaledHdr::new(1e10, 1e3, PAPER_HDR_DIGITS),
+        // Integer nanoseconds up to 1.9e12, unit scale.
+        Dataset::Span => ScaledHdr::new(datasets::SPAN_MAX_NS, 1.0, PAPER_HDR_DIGITS),
+        // Kilowatts in [0.076, 11.122] at 0.1 W resolution.
+        Dataset::Power => ScaledHdr::new(datasets::POWER_MAX_KW, 1e4, PAPER_HDR_DIGITS),
+    }
+}
+
+/// A uniform wrapper over the four sketches (five including the fast
+/// DDSketch variant).
+pub enum Contender {
+    /// DDSketch (logarithmic mapping, collapsing dense stores).
+    DDSketch(BoundedDDSketch),
+    /// DDSketch (fast) — cubic mapping.
+    DDSketchFast(FastDDSketch),
+    /// GKArray.
+    GKArray(GKArray),
+    /// HDR Histogram behind the f64 scaling adapter.
+    Hdr(ScaledHdr),
+    /// Moments sketch (k = 20, compression on).
+    Moments(MomentSketch),
+}
+
+impl Contender {
+    /// Build a contender with the paper's parameters, range-configured for
+    /// `dataset` (only HDR needs the data set).
+    pub fn new(kind: ContenderKind, dataset: Dataset) -> Result<Self, SketchError> {
+        Ok(match kind {
+            ContenderKind::DDSketch => {
+                Contender::DDSketch(presets::logarithmic_collapsing(PAPER_ALPHA, PAPER_MAX_BINS)?)
+            }
+            ContenderKind::DDSketchFast => {
+                Contender::DDSketchFast(presets::fast(PAPER_ALPHA, PAPER_MAX_BINS)?)
+            }
+            ContenderKind::GKArray => Contender::GKArray(GKArray::new(PAPER_EPSILON)?),
+            ContenderKind::HdrHistogram => Contender::Hdr(hdr_for(dataset)?),
+            ContenderKind::Moments => {
+                Contender::Moments(MomentSketch::new(PAPER_K, true)?)
+            }
+        })
+    }
+
+    /// The wrapped kind.
+    pub fn kind(&self) -> ContenderKind {
+        match self {
+            Contender::DDSketch(_) => ContenderKind::DDSketch,
+            Contender::DDSketchFast(_) => ContenderKind::DDSketchFast,
+            Contender::GKArray(_) => ContenderKind::GKArray,
+            Contender::Hdr(_) => ContenderKind::HdrHistogram,
+            Contender::Moments(_) => ContenderKind::Moments,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Insert one value. Out-of-range values for the bounded HDR sketch
+    /// return an error, which the harness counts as a drop (the bounded
+    /// range is HDR's documented limitation, paper Section 1.2).
+    pub fn add(&mut self, value: f64) -> Result<(), SketchError> {
+        match self {
+            Contender::DDSketch(s) => s.add(value),
+            Contender::DDSketchFast(s) => s.add(value),
+            Contender::GKArray(s) => s.add(value),
+            Contender::Hdr(s) => s.add(value),
+            Contender::Moments(s) => s.add(value),
+        }
+    }
+
+    /// Feed a whole slice, returning how many values were dropped
+    /// (unsupported by the sketch's range).
+    pub fn add_all(&mut self, values: &[f64]) -> u64 {
+        let mut dropped = 0;
+        for &v in values {
+            if self.add(v).is_err() {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Prepare for repeated queries (flushes GKArray's buffer; no-op for
+    /// the others).
+    pub fn seal(&mut self) {
+        if let Contender::GKArray(s) = self {
+            s.flush();
+        }
+    }
+
+    /// Quantile estimate.
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        match self {
+            Contender::DDSketch(s) => s.quantile(q),
+            Contender::DDSketchFast(s) => s.quantile(q),
+            Contender::GKArray(s) => s.quantile(q),
+            Contender::Hdr(s) => s.quantile(q),
+            Contender::Moments(s) => s.quantile(q),
+        }
+    }
+
+    /// Batch quantile estimates (lets the Moments sketch solve once).
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        match self {
+            Contender::DDSketch(s) => s.quantiles(qs),
+            Contender::DDSketchFast(s) => s.quantiles(qs),
+            Contender::GKArray(s) => QuantileSketch::quantiles(s, qs),
+            Contender::Hdr(s) => QuantileSketch::quantiles(s, qs),
+            Contender::Moments(s) => QuantileSketch::quantiles(s, qs),
+        }
+    }
+
+    /// Total inserted count.
+    pub fn count(&self) -> u64 {
+        match self {
+            Contender::DDSketch(s) => s.count(),
+            Contender::DDSketchFast(s) => s.count(),
+            Contender::GKArray(s) => s.count(),
+            Contender::Hdr(s) => s.count(),
+            Contender::Moments(s) => s.count(),
+        }
+    }
+
+    /// Structural memory footprint (Figure 6's y-axis).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Contender::DDSketch(s) => s.memory_bytes(),
+            Contender::DDSketchFast(s) => s.memory_bytes(),
+            Contender::GKArray(s) => s.memory_bytes(),
+            Contender::Hdr(s) => s.memory_bytes(),
+            Contender::Moments(s) => s.memory_bytes(),
+        }
+    }
+
+    /// Merge a same-kind contender into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kinds differ (harness bug, not a data condition).
+    pub fn merge_from(&mut self, other: &Contender) -> Result<(), SketchError> {
+        match (self, other) {
+            (Contender::DDSketch(a), Contender::DDSketch(b)) => a.merge_from(b),
+            (Contender::DDSketchFast(a), Contender::DDSketchFast(b)) => a.merge_from(b),
+            (Contender::GKArray(a), Contender::GKArray(b)) => a.merge_from(b),
+            (Contender::Hdr(a), Contender::Hdr(b)) => a.merge_from(b),
+            (Contender::Moments(a), Contender::Moments(b)) => a.merge_from(b),
+            _ => panic!("merge_from requires matching contender kinds"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contenders_build_for_all_datasets() {
+        for ds in Dataset::all() {
+            for kind in ContenderKind::all() {
+                let c = Contender::new(kind, ds).unwrap();
+                assert_eq!(c.kind(), kind);
+                assert_eq!(c.count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn contenders_ingest_each_dataset() {
+        for ds in Dataset::all() {
+            let values = ds.generate(5000, 11);
+            for kind in ContenderKind::all() {
+                let mut c = Contender::new(kind, ds).unwrap();
+                let dropped = c.add_all(&values);
+                c.seal();
+                assert!(
+                    dropped * 100 < values.len() as u64,
+                    "{} dropped {dropped} of {} on {}",
+                    kind.name(),
+                    values.len(),
+                    ds.name()
+                );
+                let p50 = c.quantile(0.5).unwrap();
+                assert!(p50.is_finite() && p50 > 0.0, "{} p50 {p50}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_requires_matching_kinds() {
+        let mut a = Contender::new(ContenderKind::DDSketch, Dataset::Pareto).unwrap();
+        let b = Contender::new(ContenderKind::DDSketch, Dataset::Pareto).unwrap();
+        assert!(a.merge_from(&b).is_ok());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut a = Contender::new(ContenderKind::DDSketch, Dataset::Pareto).unwrap();
+            let c = Contender::new(ContenderKind::GKArray, Dataset::Pareto).unwrap();
+            let _ = a.merge_from(&c);
+        }));
+        assert!(result.is_err(), "cross-kind merge must panic");
+    }
+
+    #[test]
+    fn ddsketch_meets_alpha_on_every_dataset() {
+        use evalkit::ExactOracle;
+        for ds in Dataset::all() {
+            let values = ds.generate(50_000, 13);
+            let oracle = ExactOracle::new(values.clone());
+            let mut c = Contender::new(ContenderKind::DDSketch, ds).unwrap();
+            assert_eq!(c.add_all(&values), 0, "DDSketch must accept everything");
+            for q in [0.01, 0.5, 0.95, 0.99] {
+                let rel = oracle.relative_error(q, c.quantile(q).unwrap());
+                assert!(
+                    rel <= PAPER_ALPHA + 1e-9,
+                    "{}: q={q} rel {rel}",
+                    ds.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Figures 10 and 11: relative and rank errors of p50/p95/p99 estimates
+//! as n grows, for all four sketches on all three data sets.
+
+use datasets::Dataset;
+use evalkit::{fmt_n, ExactOracle, Table};
+
+use crate::contenders::{Contender, ContenderKind};
+use crate::sweep::geometric_ns;
+
+/// The quantiles the paper tracks in these figures.
+pub const FIG1011_QS: [f64; 3] = [0.5, 0.95, 0.99];
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// Data set.
+    pub dataset: Dataset,
+    /// Stream length.
+    pub n: u64,
+    /// Sketch.
+    pub kind: ContenderKind,
+    /// Tracked quantile.
+    pub q: f64,
+    /// `|x̃ − x_q| / x_q` (Figure 10's y-axis).
+    pub relative_error: f64,
+    /// Normalized rank error (Figure 11's y-axis).
+    pub rank_error: f64,
+}
+
+/// Run the full accuracy sweep shared by Figures 10 and 11.
+pub fn sweep(n_max: u64, seed: u64) -> Vec<AccuracyRow> {
+    let ns = geometric_ns(1000, n_max.max(1000));
+    let mut rows = Vec::new();
+    for ds in Dataset::all() {
+        let values = ds.generate(*ns.last().expect("non-empty") as usize, seed);
+        // Incremental contenders: one pass over the data for the whole
+        // sweep (the oracle still sorts each prefix).
+        let mut contenders: Vec<Contender> = ContenderKind::accuracy_set()
+            .into_iter()
+            .map(|k| Contender::new(k, ds).expect("valid params"))
+            .collect();
+        let mut fed = 0usize;
+        for &n in &ns {
+            let chunk = &values[fed..n as usize];
+            fed = n as usize;
+            let oracle = ExactOracle::new(values[..n as usize].to_vec());
+            for c in contenders.iter_mut() {
+                c.add_all(chunk);
+                c.seal();
+                let estimates = c.quantiles(&FIG1011_QS).expect("non-empty sketch");
+                for (&q, est) in FIG1011_QS.iter().zip(estimates) {
+                    rows.push(AccuracyRow {
+                        dataset: ds,
+                        n,
+                        kind: c.kind(),
+                        q,
+                        relative_error: oracle.relative_error(q, est),
+                        rank_error: oracle.rank_error(q, est),
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Format the sweep as the paper's 3×3 grid of series: one table per
+/// (quantile, data set), columns per sketch. `metric` selects relative
+/// (Figure 10) or rank (Figure 11) error.
+pub fn tabulate(rows: &[AccuracyRow], metric: ErrorMetric) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for &q in &FIG1011_QS {
+        for ds in Dataset::all() {
+            let mut t = Table::new(
+                format!(
+                    "Figure {} — {} error in p{} estimates, {}",
+                    metric.figure_number(),
+                    metric.label(),
+                    q * 100.0,
+                    ds.name()
+                ),
+                &["n", "DDSketch", "GKArray", "HDRHistogram", "MomentSketch"],
+            );
+            let mut ns: Vec<u64> = rows
+                .iter()
+                .filter(|r| r.dataset == ds && r.q == q)
+                .map(|r| r.n)
+                .collect();
+            ns.sort_unstable();
+            ns.dedup();
+            for n in ns {
+                let mut cells = vec![fmt_n(n)];
+                for kind in ContenderKind::accuracy_set() {
+                    let cell = rows
+                        .iter()
+                        .find(|r| r.dataset == ds && r.q == q && r.n == n && r.kind == kind)
+                        .map(|r| format!("{:.3e}", metric.of(r)))
+                        .unwrap_or_else(|| "-".into());
+                    cells.push(cell);
+                }
+                t.row(cells);
+            }
+            tables.push(t);
+        }
+    }
+    tables
+}
+
+/// Which error axis to report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorMetric {
+    /// Figure 10.
+    Relative,
+    /// Figure 11.
+    Rank,
+}
+
+impl ErrorMetric {
+    fn of(self, row: &AccuracyRow) -> f64 {
+        match self {
+            ErrorMetric::Relative => row.relative_error,
+            ErrorMetric::Rank => row.rank_error,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            ErrorMetric::Relative => "relative",
+            ErrorMetric::Rank => "rank",
+        }
+    }
+
+    fn figure_number(self) -> u8 {
+        match self {
+            ErrorMetric::Relative => 10,
+            ErrorMetric::Rank => 11,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contenders::{PAPER_ALPHA, PAPER_EPSILON};
+
+    fn max_err(
+        rows: &[AccuracyRow],
+        ds: Dataset,
+        kind: ContenderKind,
+        q: f64,
+        metric: ErrorMetric,
+    ) -> f64 {
+        rows.iter()
+            .filter(|r| r.dataset == ds && r.kind == kind && r.q == q)
+            .map(|r| metric.of(r))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn figure10_ddsketch_is_always_within_alpha() {
+        let rows = sweep(100_000, 3);
+        for ds in Dataset::all() {
+            for &q in &FIG1011_QS {
+                let e = max_err(&rows, ds, ContenderKind::DDSketch, q, ErrorMetric::Relative);
+                assert!(
+                    e <= PAPER_ALPHA + 1e-9,
+                    "{} p{}: DDSketch rel err {e}",
+                    ds.name(),
+                    q * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure10_rank_sketches_blow_up_on_heavy_tails() {
+        // The paper's headline: on pareto and span, GKArray's and
+        // Moments' p99 relative errors are orders of magnitude above
+        // DDSketch's.
+        let rows = sweep(100_000, 3);
+        for ds in [Dataset::Pareto, Dataset::Span] {
+            let dd = max_err(&rows, ds, ContenderKind::DDSketch, 0.99, ErrorMetric::Relative);
+            let gk = max_err(&rows, ds, ContenderKind::GKArray, 0.99, ErrorMetric::Relative);
+            assert!(
+                gk > dd * 5.0,
+                "{}: GK p99 rel err ({gk}) should dwarf DDSketch's ({dd})",
+                ds.name()
+            );
+        }
+    }
+
+    #[test]
+    fn figure11_gkarray_honors_its_rank_guarantee() {
+        let rows = sweep(100_000, 3);
+        for ds in Dataset::all() {
+            for &q in &FIG1011_QS {
+                let e = max_err(&rows, ds, ContenderKind::GKArray, q, ErrorMetric::Rank);
+                // ε plus slack for the one-based rank convention at small n.
+                assert!(
+                    e <= PAPER_EPSILON + 2e-3,
+                    "{} p{}: GK rank err {e}",
+                    ds.name(),
+                    q * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tabulate_produces_the_3x3_grid() {
+        let rows = sweep(10_000, 3);
+        let tables = tabulate(&rows, ErrorMetric::Relative);
+        assert_eq!(tables.len(), 9, "3 quantiles × 3 data sets");
+        for t in &tables {
+            assert_eq!(t.len(), 2, "decades 1e3 and 1e4");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Section 3.3's size-bound examples, verified empirically: with
+//! `α = 0.01` and `δ₁ = δ₂ = e⁻¹⁰`, the paper derives that maintaining all
+//! quantiles in `[0.5, 1]` of a million samples needs at most **273**
+//! buckets for the exponential distribution and **3380** for Pareto(1).
+
+use datasets::{Dataset, Distribution, Exponential};
+use evalkit::{fmt_n, Table};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::contenders::PAPER_ALPHA;
+use ddsketch::IndexMapping;
+
+/// Paper's derived bucket bound for Exp(λ) at n = 10⁶ (Section 3.3).
+pub const EXPONENTIAL_BOUND: usize = 273;
+/// Paper's derived bucket bound for Pareto(1) at n = 10⁶.
+pub const PARETO_BOUND: usize = 3380;
+
+/// Buckets needed to cover quantiles `[0.5, 1]`: the index span between
+/// the sample median's bucket and the sample maximum's bucket, plus one
+/// (Proposition 4 / Equation 1: `log(x₁/x_q)/log(γ) + 1`).
+fn upper_half_span(values: &mut [f64]) -> usize {
+    values.sort_by(f64::total_cmp);
+    let median = values[values.len() / 2];
+    let max = values[values.len() - 1];
+    let mapping = ddsketch::LogarithmicMapping::new(PAPER_ALPHA).expect("valid alpha");
+    (mapping.index(max) - mapping.index(median)) as usize + 1
+}
+
+/// Compare measured upper-half bucket spans against the paper's bounds
+/// over several independent trials.
+pub fn run(n: usize, trials: usize) -> Table {
+    let mut t = Table::new(
+        "Section 3.3 — upper-half sketch size: measured vs paper bound",
+        &["distribution", "n", "trial", "measured buckets", "paper bound"],
+    );
+    for trial in 0..trials {
+        let mut rng = SmallRng::seed_from_u64(900 + trial as u64);
+        let exp = Exponential::new(1.0);
+        let mut values: Vec<f64> = (0..n).map(|_| exp.sample(&mut rng).max(1e-12)).collect();
+        t.row(vec![
+            "Exp(1)".into(),
+            fmt_n(n as u64),
+            trial.to_string(),
+            upper_half_span(&mut values).to_string(),
+            EXPONENTIAL_BOUND.to_string(),
+        ]);
+
+        let mut values = Dataset::Pareto.generate(n, 1700 + trial as u64);
+        t.row(vec![
+            "Pareto(1)".into(),
+            fmt_n(n as u64),
+            trial.to_string(),
+            upper_half_span(&mut values).to_string(),
+            PARETO_BOUND.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_spans_respect_the_paper_bounds() {
+        // The bounds hold with probability ≥ 1 − 2e⁻¹⁰; at n = 10⁵ they
+        // are only tighter (bounds grow with n).
+        let t = run(100_000, 3);
+        for line in t.to_csv().lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let measured: usize = cells[3].parse().unwrap();
+            let bound: usize = cells[4].parse().unwrap();
+            assert!(
+                measured <= bound,
+                "{} needed {measured} buckets, bound is {bound}",
+                cells[0]
+            );
+        }
+    }
+
+    #[test]
+    fn paper_notes_actual_usage_is_much_smaller_than_the_bound() {
+        // Section 4.2: "the actual sketch size required for the Pareto
+        // distribution is much smaller than the upper bounds we
+        // calculated in Section 3.3".
+        let t = run(100_000, 1);
+        let line = t.to_csv().lines().nth(2).unwrap().to_string(); // Pareto row
+        let measured: f64 = line.split(',').nth(3).unwrap().parse().unwrap();
+        assert!(
+            measured < PARETO_BOUND as f64 / 2.0,
+            "measured {measured} should be well under the bound {PARETO_BOUND}"
+        );
+    }
+}

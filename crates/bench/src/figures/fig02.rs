@@ -1,0 +1,74 @@
+//! Figure 2: the average latency of a heavy-tailed endpoint tracks the
+//! p75, not the median — the paper's motivation for quantile monitoring.
+
+use evalkit::{fmt_sci, Table};
+use pipeline::{run_simulation, SimConfig};
+
+/// Run the pipeline simulation and produce the per-window series
+/// (window, avg, p50, p75) for the heavy-tailed checkout endpoint.
+pub fn run(requests_per_worker: usize) -> Table {
+    let config = SimConfig {
+        workers: 4,
+        requests_per_worker,
+        duration_secs: 200,
+        window_secs: 10,
+        ..SimConfig::default()
+    };
+    let report = run_simulation(&config).expect("simulation runs");
+    let metric = "web.checkout";
+
+    let avg = report.store.average_series(metric);
+    let p50 = report.store.quantile_series(metric, 0.5);
+    let p75 = report.store.quantile_series(metric, 0.75);
+
+    let mut t = Table::new(
+        "Figure 2 — average vs p50/p75 latency over time (web.checkout)",
+        &["window_start_s", "avg", "p50", "p75"],
+    );
+    for ((wa, a), ((_, m), (_, u))) in avg.iter().zip(p50.iter().zip(p75.iter())) {
+        t.row(vec![
+            wa.to_string(),
+            fmt_sci(*a),
+            fmt_sci(*m),
+            fmt_sci(*u),
+        ]);
+    }
+    t
+}
+
+/// The figure's claim, made checkable: over all windows, the average is
+/// closer (in log distance) to the p75 than to the p50.
+pub fn average_tracks_p75(t: &Table) -> bool {
+    let csv = t.to_csv();
+    let mut closer_to_p75 = 0usize;
+    let mut windows = 0usize;
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let (avg, p50, p75): (f64, f64, f64) = (
+            cells[1].parse().unwrap(),
+            cells[2].parse().unwrap(),
+            cells[3].parse().unwrap(),
+        );
+        windows += 1;
+        if (avg.ln() - p75.ln()).abs() < (avg.ln() - p50.ln()).abs() {
+            closer_to_p75 += 1;
+        }
+    }
+    windows > 0 && closer_to_p75 * 3 >= windows * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape_holds() {
+        let t = run(20_000);
+        assert!(t.len() >= 10, "need a real time series, got {} windows", t.len());
+        assert!(
+            average_tracks_p75(&t),
+            "the average must track p75 rather than p50 on heavy-tailed latencies:\n{}",
+            t.render()
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Figure 4: actual quantiles vs a 0.005-rank-accurate sketch vs a
+//! 0.01-relative-accurate sketch over 20 batches of 100,000 values.
+//!
+//! The paper's batch quantiles (p50 ≈ 2, p75 ≈ 4, p90 ≈ 10, p99 ≈ 100+)
+//! identify the stream as Pareto(1, 1), so that is what we feed.
+
+use datasets::Dataset;
+use evalkit::{fmt_sci, ExactOracle, Table};
+use gkarray::GKArray;
+use sketch_core::QuantileSketch;
+
+/// Rank accuracy of the comparison sketch in the figure.
+pub const FIG4_RANK_EPSILON: f64 = 0.005;
+/// Relative accuracy of the DDSketch in the figure.
+pub const FIG4_REL_ALPHA: f64 = 0.01;
+
+/// One table per tracked quantile: batch → (actual, relative-error sketch,
+/// rank-error sketch).
+pub fn run(batches: usize, batch_size: usize) -> Vec<Table> {
+    let qs = [0.5, 0.75, 0.9, 0.99];
+    let mut tables: Vec<Table> = qs
+        .iter()
+        .map(|q| {
+            Table::new(
+                format!(
+                    "Figure 4 — p{} per batch: actual vs 0.01-relative vs 0.005-rank",
+                    q * 100.0
+                ),
+                &["batch", "actual", "rel_err_sketch", "rank_err_sketch"],
+            )
+        })
+        .collect();
+
+    let mut stream = Dataset::Pareto.stream(44);
+    for batch in 1..=batches {
+        let values: Vec<f64> = stream.by_ref().take(batch_size).collect();
+        let oracle = ExactOracle::new(values.clone());
+
+        let mut rel = ddsketch::presets::logarithmic_collapsing(FIG4_REL_ALPHA, 2048)
+            .expect("valid params");
+        let mut rank = GKArray::new(FIG4_RANK_EPSILON).expect("valid params");
+        for &v in &values {
+            rel.add(v).expect("positive finite");
+            rank.add(v).expect("positive finite");
+        }
+        rank.flush();
+
+        for (t, &q) in tables.iter_mut().zip(&qs) {
+            t.row(vec![
+                batch.to_string(),
+                fmt_sci(oracle.quantile(q)),
+                fmt_sci(rel.quantile(q).unwrap()),
+                fmt_sci(rank.quantile(q).unwrap()),
+            ]);
+        }
+    }
+    tables
+}
+
+/// Extract a column of floats from a table for assertions.
+pub fn column(t: &Table, idx: usize) -> Vec<f64> {
+    t.to_csv()
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(idx).unwrap().parse().unwrap())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_sketch_stays_within_alpha_everywhere() {
+        let tables = run(5, 20_000);
+        for t in &tables {
+            let actual = column(t, 1);
+            let rel = column(t, 2);
+            for (a, r) in actual.iter().zip(&rel) {
+                assert!(
+                    (r - a).abs() <= FIG4_REL_ALPHA * a + 1e-9,
+                    "relative sketch off: {r} vs {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_sketch_degrades_on_the_p99() {
+        // The figure's message: on heavy-tailed data the rank sketch's p99
+        // wanders far more (in relative terms) than the relative sketch's.
+        let tables = run(8, 20_000);
+        let p99 = &tables[3];
+        let actual = column(p99, 1);
+        let rel = column(p99, 2);
+        let rank = column(p99, 3);
+        let max_rel_err = |est: &[f64]| {
+            actual
+                .iter()
+                .zip(est)
+                .map(|(a, e)| (e - a).abs() / a)
+                .fold(0.0f64, f64::max)
+        };
+        let rel_err = max_rel_err(&rel);
+        let rank_err = max_rel_err(&rank);
+        assert!(
+            rank_err > rel_err,
+            "rank-error sketch should be worse on p99 of Pareto: rank {rank_err} vs rel {rel_err}"
+        );
+    }
+
+    #[test]
+    fn batch_medians_match_pareto() {
+        let tables = run(5, 20_000);
+        for m in column(&tables[0], 1) {
+            assert!((m - 2.0).abs() < 0.15, "Pareto(1,1) median should be ≈2, got {m}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 5: histograms of the pareto, span and power data sets
+//! (log-scale y for the two heavy-tailed ones).
+
+use datasets::Dataset;
+use evalkit::ExactOracle;
+
+use crate::histo::ascii_histogram;
+
+/// Rendered histogram plus its caption.
+pub struct DatasetHistogram {
+    /// Data set name (paper column title).
+    pub name: &'static str,
+    /// ASCII rendering.
+    pub rendered: String,
+}
+
+/// Build all three histograms over `n` samples each.
+pub fn run(n: usize) -> Vec<DatasetHistogram> {
+    Dataset::all()
+        .into_iter()
+        .map(|ds| {
+            let values = ds.generate(n, 55);
+            let oracle = ExactOracle::new(values.clone());
+            // Plot to the p99.9 so a single max outlier does not flatten
+            // everything (the paper clips its axes similarly).
+            let lo = oracle.quantile(0.0);
+            let hi = oracle.quantile(0.999).max(lo * (1.0 + 1e-9)) * 1.0001 + 1e-12;
+            let log_y = matches!(ds, Dataset::Pareto | Dataset::Span);
+            DatasetHistogram {
+                name: ds.name(),
+                rendered: ascii_histogram(&values, lo, hi, 36, log_y),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_histograms_render() {
+        let hs = run(30_000);
+        assert_eq!(hs.len(), 3);
+        assert_eq!(hs[0].name, "pareto");
+        assert_eq!(hs[1].name, "span");
+        assert_eq!(hs[2].name, "power");
+        for h in &hs {
+            assert!(h.rendered.contains('#'), "{} histogram empty", h.name);
+            assert!(h.rendered.lines().count() > 30);
+        }
+    }
+}

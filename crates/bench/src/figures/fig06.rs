@@ -1,0 +1,81 @@
+//! Figure 6: sketch size in memory (kB) as `n` grows, per data set.
+
+use datasets::Dataset;
+use evalkit::{fmt_n, Table};
+
+use crate::contenders::{Contender, ContenderKind};
+use crate::sweep::geometric_ns;
+
+/// One table per data set: rows are `n` decades, columns are sketch sizes
+/// in kB for every contender.
+pub fn run(n_max: u64, seed: u64) -> Vec<Table> {
+    let ns = geometric_ns(1000, n_max.max(1000));
+    Dataset::all()
+        .into_iter()
+        .map(|ds| {
+            let mut t = Table::new(
+                format!("Figure 6 — sketch size in memory (kB), {}", ds.name()),
+                &["n", "DDSketch", "DDSketch (fast)", "GKArray", "HDRHistogram", "MomentSketch"],
+            );
+            // Feed each contender incrementally so the whole sweep is one
+            // pass over n_max values.
+            let mut contenders: Vec<Contender> = ContenderKind::all()
+                .into_iter()
+                .map(|k| Contender::new(k, ds).expect("valid params"))
+                .collect();
+            let mut stream = ds.stream(seed);
+            let mut fed = 0u64;
+            for &n in &ns {
+                let chunk: Vec<f64> = stream.by_ref().take((n - fed) as usize).collect();
+                fed = n;
+                let mut row = vec![fmt_n(n)];
+                for c in contenders.iter_mut() {
+                    c.add_all(&chunk);
+                    c.seal();
+                    row.push(format!("{:.2}", c.memory_bytes() as f64 / 1000.0));
+                }
+                t.row(row);
+            }
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig04::column;
+
+    #[test]
+    fn paper_shape_holds_on_heavy_tailed_data() {
+        // Shape claims from Section 4.2, checked on pareto at laptop n:
+        //  - DDSketch (fast) is larger than DDSketch;
+        //  - HDR Histogram is significantly larger than DDSketch;
+        //  - Moments is tiny and completely flat in n.
+        let tables = run(100_000, 7);
+        let pareto = &tables[0];
+        let dd = column(pareto, 1);
+        let fast = column(pareto, 2);
+        let hdr = column(pareto, 4);
+        let moments = column(pareto, 5);
+        let last = dd.len() - 1;
+        assert!(fast[last] >= dd[last], "fast ({}) ≥ standard ({})", fast[last], dd[last]);
+        assert!(hdr[last] > dd[last] * 2.0, "HDR ({}) ≫ DDSketch ({})", hdr[last], dd[last]);
+        assert!(moments.iter().all(|&m| m < 1.0), "Moments stays under 1 kB");
+        assert!(
+            (moments[0] - moments[last]).abs() < 1e-9,
+            "Moments is independent of the input size"
+        );
+    }
+
+    #[test]
+    fn sizes_are_monotone_nondecreasing_for_ddsketch() {
+        let tables = run(100_000, 9);
+        for t in &tables {
+            let dd = column(t, 1);
+            for w in dd.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "DDSketch shrank: {:?}", w);
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 7: number of DDSketch bins as `n` grows on the pareto data set.
+//!
+//! The paper runs to n = 10¹⁰ and finds ~900 bins — "less than half the
+//! limit of 2048"; bins grow logarithmically because a Pareto(1) sample
+//! maximum grows linearly in n and buckets are log-spaced.
+
+use datasets::Dataset;
+use evalkit::{fmt_n, Table};
+
+use crate::contenders::{PAPER_ALPHA, PAPER_MAX_BINS};
+use crate::sweep::geometric_ns;
+
+/// Sweep n and report the bin count (streaming; no value buffering, so
+/// large n is cheap).
+pub fn run(n_max: u64) -> Table {
+    let mut t = Table::new(
+        "Figure 7 — number of bins in DDSketch, pareto data set",
+        &["n", "bins", "limit"],
+    );
+    let mut sketch =
+        ddsketch::presets::logarithmic_collapsing(PAPER_ALPHA, PAPER_MAX_BINS).expect("valid");
+    let mut stream = Dataset::Pareto.stream(77);
+    let mut fed = 0u64;
+    for n in geometric_ns(1000, n_max.max(1000)) {
+        for v in stream.by_ref().take((n - fed) as usize) {
+            sketch.add(v).expect("pareto values are positive finite");
+        }
+        fed = n;
+        t.row(vec![
+            fmt_n(n),
+            sketch.num_bins().to_string(),
+            PAPER_MAX_BINS.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig04::column;
+
+    #[test]
+    fn bins_grow_logarithmically_and_stay_under_the_limit() {
+        let t = run(1_000_000);
+        let bins = column(&t, 1);
+        // Monotone growth…
+        for w in bins.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // …but roughly constant *increments* per decade (log growth):
+        // the last decade's increment must be within ~3× of the first's.
+        let inc_first = bins[1] - bins[0];
+        let inc_last = bins[bins.len() - 1] - bins[bins.len() - 2];
+        assert!(
+            inc_last < inc_first * 3.0 + 50.0,
+            "bin growth not logarithmic: first {inc_first}, last {inc_last}"
+        );
+        // Paper: far below the 2048 limit at any laptop-scale n.
+        assert!(bins[bins.len() - 1] < 1000.0, "bins {:?}", bins);
+    }
+}

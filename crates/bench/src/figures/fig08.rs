@@ -1,0 +1,73 @@
+//! Figure 8: average time to add a value (ns), per sketch, as n grows.
+
+use datasets::Dataset;
+use evalkit::{fmt_n, throughput_of, Table};
+
+use crate::contenders::{Contender, ContenderKind};
+use crate::sweep::geometric_ns;
+
+/// One table per data set: rows are n decades, columns are ns/add for
+/// each contender. Each cell times a fresh sketch ingesting the n-prefix.
+pub fn run(n_max: u64, seed: u64) -> Vec<Table> {
+    let ns = geometric_ns(1000, n_max.max(1000));
+    Dataset::all()
+        .into_iter()
+        .map(|ds| {
+            let values = ds.generate(*ns.last().expect("non-empty") as usize, seed);
+            let mut t = Table::new(
+                format!("Figure 8 — time per Add operation (ns), {}", ds.name()),
+                &["n", "DDSketch", "DDSketch (fast)", "GKArray", "HDRHistogram", "MomentSketch"],
+            );
+            for &n in &ns {
+                let prefix = &values[..n as usize];
+                let mut row = vec![fmt_n(n)];
+                for kind in ContenderKind::all() {
+                    let mut c = Contender::new(kind, ds).expect("valid params");
+                    let tp = throughput_of(n, || {
+                        c.add_all(prefix);
+                    });
+                    // Keep the sketch alive so the adds are not elided.
+                    std::hint::black_box(c.count());
+                    row.push(format!("{:.1}", tp.ns_per_item()));
+                }
+                t.row(row);
+            }
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig04::column;
+
+    #[test]
+    fn add_costs_are_positive_and_bounded() {
+        let tables = run(100_000, 21);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            for col in 1..=5 {
+                for v in column(t, col) {
+                    assert!(v > 0.0, "ns/add must be positive");
+                    assert!(v < 1e6, "ns/add implausibly large: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gkarray_is_slowest_at_scale() {
+        // Paper Section 4.3: "GKArray is the slowest for insertions by
+        // far". Check at the largest laptop n; use the pareto table.
+        let tables = run(100_000, 23);
+        let t = &tables[0];
+        let last = t.len() - 1;
+        let dd = column(t, 1)[last];
+        let gk = column(t, 3)[last];
+        assert!(
+            gk > dd,
+            "GKArray ({gk} ns) should be slower than DDSketch ({dd} ns) per add"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 9: average time to merge two sketches (µs) as a function of the
+//! number of values in the merged sketch.
+
+use datasets::Dataset;
+use evalkit::{fmt_n, time_min, Table};
+
+use crate::contenders::{Contender, ContenderKind};
+use crate::sweep::geometric_ns;
+
+/// One table per data set: rows are merged-n decades, columns are µs per
+/// merge. The merge target is cloned outside the timed region; the
+/// minimum of `reps` runs is reported.
+pub fn run(n_max: u64, seed: u64, reps: usize) -> Vec<Table> {
+    let ns = geometric_ns(1000, n_max.max(1000));
+    Dataset::all()
+        .into_iter()
+        .map(|ds| {
+            let values = ds.generate(*ns.last().expect("non-empty") as usize, seed);
+            let mut t = Table::new(
+                format!("Figure 9 — merge time (µs), {}", ds.name()),
+                &["merged_n", "DDSketch", "DDSketch (fast)", "GKArray", "HDRHistogram", "MomentSketch"],
+            );
+            for &n in &ns {
+                let half = (n / 2) as usize;
+                let (a_vals, b_vals) = values[..n as usize].split_at(half);
+                let mut row = vec![fmt_n(n)];
+                for kind in ContenderKind::all() {
+                    let mut a = Contender::new(kind, ds).expect("valid params");
+                    let mut b = Contender::new(kind, ds).expect("valid params");
+                    a.add_all(a_vals);
+                    b.add_all(b_vals);
+                    a.seal();
+                    b.seal();
+                    let ns_elapsed = time_min(reps, || {
+                        let mut target = clone_contender(&a, ds);
+                        target.merge_from(&b).expect("same kind");
+                        std::hint::black_box(target.count());
+                    });
+                    // Subtract an estimate of the clone cost measured the
+                    // same way, so the figure reports merge work only.
+                    let clone_ns = time_min(reps, || {
+                        let target = clone_contender(&a, ds);
+                        std::hint::black_box(target.count());
+                    });
+                    let merge_us = (ns_elapsed - clone_ns).max(0.0) / 1000.0;
+                    row.push(format!("{merge_us:.2}"));
+                }
+                t.row(row);
+            }
+            t
+        })
+        .collect()
+}
+
+/// Clone a contender (the wrapped sketches are all `Clone`; the enum
+/// itself stays non-Clone to keep accidental copies out of hot loops).
+fn clone_contender(c: &Contender, _ds: Dataset) -> Contender {
+    match c {
+        Contender::DDSketch(s) => Contender::DDSketch(s.clone()),
+        Contender::DDSketchFast(s) => Contender::DDSketchFast(s.clone()),
+        Contender::GKArray(s) => Contender::GKArray(s.clone()),
+        Contender::Hdr(s) => Contender::Hdr(s.clone()),
+        Contender::Moments(s) => Contender::Moments(s.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig04::column;
+
+    #[test]
+    fn merge_times_are_sane_and_moments_wins() {
+        // Paper Section 4.3: "The Moment sketch has the fastest merge
+        // speeds of all the algorithms" (it only adds k = 20 floats).
+        let tables = run(100_000, 31, 3);
+        for t in &tables {
+            let last = t.len() - 1;
+            let dd = column(t, 1)[last];
+            let moments = column(t, 5)[last];
+            assert!(moments <= dd + 0.01, "Moments merge ({moments}µs) should beat DDSketch ({dd}µs)");
+            for col in 1..=5 {
+                for v in column(t, col) {
+                    assert!((0.0..1e6).contains(&v), "merge µs out of range: {v}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! One module per paper table/figure; each exposes a `run(...)`
+//! returning the tables it prints, so the `all_experiments` binary and the
+//! integration tests can drive everything programmatically.
+
+pub mod accuracy;
+pub mod bounds;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod related_work;
+pub mod tables;
+
+use std::path::PathBuf;
+
+/// Directory where figure binaries drop their CSV series.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Print tables and persist them as CSVs under `results/<stem>_<i>.csv`.
+pub fn emit(stem: &str, tables: &[evalkit::Table]) {
+    for (i, t) in tables.iter().enumerate() {
+        t.print();
+        println!();
+        let path = results_dir().join(format!("{stem}_{i}.csv"));
+        if let Err(e) = t.write_csv(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Extension experiment (paper Section 1.2 made quantitative): DDSketch
+//! against the *other* rank-error sketches the paper discusses but does
+//! not benchmark — t-digest (biased rank error, one-way mergeable) and
+//! KLL (randomized uniform rank error, fully mergeable).
+//!
+//! The claim under test: biased or not, randomized or not, rank-error
+//! sketches cannot bound the *relative* error of tail quantiles on
+//! heavy-tailed data, while DDSketch holds α everywhere.
+
+use datasets::Dataset;
+use evalkit::{fmt_n, ExactOracle, Table};
+use kll::KllSketch;
+use sketch_core::QuantileSketch;
+use tdigest::TDigest;
+
+use crate::contenders::{PAPER_ALPHA, PAPER_MAX_BINS};
+use crate::sweep::geometric_ns;
+
+/// Relative-error comparison per data set: DDSketch vs t-digest vs KLL at
+/// p50/p99/p99.9.
+pub fn run(n_max: u64, seed: u64) -> Vec<Table> {
+    let ns = geometric_ns(1000, n_max.max(1000));
+    let qs = [0.5, 0.99, 0.999];
+    let mut tables = Vec::new();
+    for ds in Dataset::all() {
+        let values = ds.generate(*ns.last().expect("non-empty") as usize, seed);
+        let mut t = Table::new(
+            format!("Related work — max relative error over n sweep, {}", ds.name()),
+            &["q", "DDSketch", "t-digest", "KLL"],
+        );
+        let mut dd = ddsketch::presets::logarithmic_collapsing(PAPER_ALPHA, PAPER_MAX_BINS)
+            .expect("valid params");
+        let mut td = TDigest::new(100.0).expect("valid params");
+        let mut k = KllSketch::with_seed(200, seed).expect("valid params");
+        // Track the max error across the sweep (the worst case is the
+        // operative number for a guarantee).
+        let mut worst = vec![[0.0f64; 3]; qs.len()];
+        let mut fed = 0usize;
+        for &n in &ns {
+            for &v in &values[fed..n as usize] {
+                dd.add(v).expect("finite");
+                td.add(v).expect("finite");
+                k.add(v).expect("finite");
+            }
+            fed = n as usize;
+            let oracle = ExactOracle::new(values[..n as usize].to_vec());
+            for (wi, &q) in qs.iter().enumerate() {
+                worst[wi][0] = worst[wi][0].max(oracle.relative_error(q, dd.quantile(q).unwrap()));
+                worst[wi][1] = worst[wi][1].max(oracle.relative_error(q, td.quantile(q).unwrap()));
+                worst[wi][2] = worst[wi][2].max(oracle.relative_error(q, k.quantile(q).unwrap()));
+            }
+        }
+        for (wi, &q) in qs.iter().enumerate() {
+            t.row(vec![
+                format!("p{}", q * 100.0),
+                format!("{:.3e}", worst[wi][0]),
+                format!("{:.3e}", worst[wi][1]),
+                format!("{:.3e}", worst[wi][2]),
+            ]);
+        }
+        tables.push(t);
+    }
+    // Summary of n swept.
+    let mut info = Table::new("Related work — sweep sizes", &["max_n"]);
+    info.row(vec![fmt_n(*ns.last().expect("non-empty"))]);
+    tables.push(info);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig04::column;
+
+    #[test]
+    fn ddsketch_holds_alpha_while_rank_sketches_do_not_on_pareto() {
+        let tables = run(100_000, 5);
+        let pareto = &tables[0];
+        // Column 1 = DDSketch: every row ≤ α.
+        for v in column(pareto, 1) {
+            assert!(v <= PAPER_ALPHA + 1e-9, "DDSketch exceeded alpha: {v}");
+        }
+        // p99.9 row: at least one rank-error sketch is worse than 5α on
+        // heavy-tailed data (usually far worse).
+        let p999_td = column(pareto, 2)[2];
+        let p999_kll = column(pareto, 3)[2];
+        assert!(
+            p999_td > 5.0 * PAPER_ALPHA || p999_kll > 5.0 * PAPER_ALPHA,
+            "rank sketches unexpectedly accurate: t-digest {p999_td}, KLL {p999_kll}"
+        );
+    }
+
+    #[test]
+    fn produces_one_table_per_dataset_plus_summary() {
+        let tables = run(10_000, 6);
+        assert_eq!(tables.len(), 4);
+        for t in &tables[..3] {
+            assert_eq!(t.len(), 3, "p50/p99/p99.9 rows");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! ASCII histograms for the distribution figures (3 and 5).
+
+use evalkit::fmt_sci;
+
+/// Render a fixed-bucket histogram of `values` between `lo` and `hi` as an
+/// ASCII bar chart. `log_y` plots bar lengths on a log scale — the paper
+/// does this for the heavy-tailed data sets ("the y-axes ... are plotted
+/// on log scales due to their heavy-tailed nature").
+pub fn ascii_histogram(values: &[f64], lo: f64, hi: f64, buckets: usize, log_y: bool) -> String {
+    assert!(buckets > 0 && hi > lo);
+    let mut counts = vec![0u64; buckets];
+    let width = (hi - lo) / buckets as f64;
+    let mut total_in_range = 0u64;
+    for &v in values {
+        if v < lo || v > hi {
+            continue;
+        }
+        let b = (((v - lo) / width) as usize).min(buckets - 1);
+        counts[b] += 1;
+        total_in_range += 1;
+    }
+    let max_count = counts.iter().copied().max().unwrap_or(0).max(1);
+    const BAR: usize = 60;
+    let bar_len = |c: u64| -> usize {
+        if c == 0 {
+            return 0;
+        }
+        if log_y {
+            // Map log10(1)..log10(max) onto 1..BAR.
+            let f = (c as f64).ln_1p() / (max_count as f64).ln_1p();
+            ((f * BAR as f64).round() as usize).max(1)
+        } else {
+            (((c as f64 / max_count as f64) * BAR as f64).round() as usize).max(1)
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "histogram: {} values in [{}, {}], {} buckets{}\n",
+        total_in_range,
+        fmt_sci(lo),
+        fmt_sci(hi),
+        buckets,
+        if log_y { " (log-scale bars)" } else { "" }
+    ));
+    for (b, &c) in counts.iter().enumerate() {
+        let left = lo + b as f64 * width;
+        out.push_str(&format!(
+            "{:>12} | {:<width$} {}\n",
+            fmt_sci(left),
+            "#".repeat(bar_len(c)),
+            c,
+            width = BAR
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_buckets() {
+        let values = [0.5, 1.5, 1.6, 2.5];
+        let h = ascii_histogram(&values, 0.0, 3.0, 3, false);
+        // Middle bucket has two values and the longest bar.
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with('2'));
+    }
+
+    #[test]
+    fn out_of_range_values_are_skipped() {
+        let values = [-1.0, 0.5, 99.0];
+        let h = ascii_histogram(&values, 0.0, 1.0, 2, false);
+        assert!(h.contains("1 values in"));
+    }
+
+    #[test]
+    fn log_scale_shrinks_dominant_bars() {
+        let mut values = vec![0.1; 10_000];
+        values.push(0.9);
+        let lin = ascii_histogram(&values, 0.0, 1.0, 2, false);
+        let log = ascii_histogram(&values, 0.0, 1.0, 2, true);
+        // On the log scale, the single-count bucket's bar is visible
+        // (longer than 1/10000 of the max bar).
+        let bar_of = |s: &str, idx: usize| s.lines().nth(idx + 1).unwrap().matches('#').count();
+        assert_eq!(bar_of(&lin, 1), 1);
+        assert!(bar_of(&log, 1) >= 1);
+        assert!(bar_of(&log, 0) == 60);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_bucket_spec() {
+        ascii_histogram(&[1.0], 0.0, 1.0, 0, false);
+    }
+}

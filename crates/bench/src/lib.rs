@@ -1,0 +1,16 @@
+//! # bench-suite
+//!
+//! Shared harness for the figure-reproduction binaries (`src/bin/fig*.rs`)
+//! and Criterion microbenchmarks: a uniform [`Contender`] wrapper over the
+//! four sketches with the paper's Table 2 parameters, per-data-set HDR
+//! range configuration, and the geometric `n` sweeps the figures use.
+
+pub mod contenders;
+pub mod figures;
+pub mod histo;
+pub mod sweep;
+
+pub use contenders::{
+    Contender, ContenderKind, PAPER_ALPHA, PAPER_EPSILON, PAPER_K, PAPER_MAX_BINS,
+};
+pub use sweep::{geometric_ns, parse_n_arg};

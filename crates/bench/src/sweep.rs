@@ -1,0 +1,73 @@
+//! `n` sweeps and CLI-argument parsing shared by the figure binaries.
+
+/// Decades from `lo` to `hi` inclusive: `10^3, 10^4, …` — the x-axes of
+/// Figures 6–11.
+pub fn geometric_ns(lo: u64, hi: u64) -> Vec<u64> {
+    assert!(lo >= 1 && hi >= lo);
+    let mut out = Vec::new();
+    let mut n = lo;
+    while n <= hi {
+        out.push(n);
+        match n.checked_mul(10) {
+            Some(next) => n = next,
+            None => break,
+        }
+    }
+    out
+}
+
+/// Parse the first CLI argument as the maximum `n` (supports `1e6`-style
+/// shorthand); falls back to `default`.
+pub fn parse_n_arg(default: u64) -> u64 {
+    let arg = match std::env::args().nth(1) {
+        Some(a) => a,
+        None => return default,
+    };
+    parse_n(&arg).unwrap_or_else(|| {
+        eprintln!("warning: could not parse n argument {arg:?}; using {default}");
+        default
+    })
+}
+
+/// Parse `"1000000"`, `"1e6"`, or `"10_000"` into a count.
+pub fn parse_n(s: &str) -> Option<u64> {
+    let s = s.trim().replace('_', "");
+    if let Ok(v) = s.parse::<u64>() {
+        return Some(v);
+    }
+    let f = s.parse::<f64>().ok()?;
+    (f.is_finite() && f >= 1.0 && f <= u64::MAX as f64).then_some(f as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decades_are_generated() {
+        assert_eq!(geometric_ns(1000, 1_000_000), vec![1000, 10_000, 100_000, 1_000_000]);
+        assert_eq!(geometric_ns(5, 5), vec![5]);
+    }
+
+    #[test]
+    fn decades_do_not_overflow() {
+        let ns = geometric_ns(1, u64::MAX);
+        assert!(ns.len() == 20, "10^0..10^19 fit in u64");
+    }
+
+    #[test]
+    #[should_panic]
+    fn decades_reject_inverted_range() {
+        geometric_ns(100, 10);
+    }
+
+    #[test]
+    fn n_parsing() {
+        assert_eq!(parse_n("1000"), Some(1000));
+        assert_eq!(parse_n("1e6"), Some(1_000_000));
+        assert_eq!(parse_n("2.5e3"), Some(2500));
+        assert_eq!(parse_n("10_000"), Some(10_000));
+        assert_eq!(parse_n("-5"), None);
+        assert_eq!(parse_n("abc"), None);
+    }
+}

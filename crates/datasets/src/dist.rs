@@ -1,0 +1,301 @@
+//! Probability distributions for workload generation.
+//!
+//! Implemented from first principles (inverse-CDF and Box–Muller) on top of
+//! `rand`'s uniform source so the workspace needs no extra dependencies and
+//! every sampler is obviously reproducible from a seed.
+
+use rand::RngExt;
+
+/// A samplable one-dimensional distribution.
+///
+/// Object-safe so mixtures can hold heterogeneous components.
+pub trait Distribution: Send + Sync {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64;
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution; requires `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "uniform requires lo < hi");
+        Self { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.random::<f64>()
+    }
+}
+
+/// Pareto distribution with CDF `F(t; a, b) = 1 − (b/t)^a` for `t ≥ b`
+/// (the paper's Section 3 heavy-tail reference family; the `pareto` data
+/// set uses `a = b = 1`).
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    /// Shape `a` (smaller = heavier tail).
+    shape: f64,
+    /// Scale `b` (minimum value).
+    scale: f64,
+}
+
+impl Pareto {
+    /// Create a Pareto distribution; both parameters must be positive.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && scale > 0.0, "Pareto parameters must be positive");
+        Self { shape, scale }
+    }
+}
+
+impl Distribution for Pareto {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        // Inverse CDF: b · (1−u)^(−1/a); cap u away from 1 so the result
+        // stays finite.
+        let u = rng.random::<f64>().min(1.0 - 1e-16);
+        self.scale * (1.0 - u).powf(-1.0 / self.shape)
+    }
+}
+
+/// Exponential distribution with rate λ (used by the paper's Section 3.3
+/// size-bound example).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution; `rate` must be positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        Self { rate }
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        let u = rng.random::<f64>().min(1.0 - 1e-16);
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+/// Normal distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution; `std_dev` must be positive.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(std_dev > 0.0, "std_dev must be positive");
+        Self { mean, std_dev }
+    }
+
+    /// One standard-normal draw.
+    fn standard(rng: &mut dyn rand::Rng) -> f64 {
+        // Box–Muller; u1 bounded away from 0 so ln is finite.
+        let u1 = rng.random::<f64>().max(1e-300);
+        let u2 = rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        self.mean + self.std_dev * Self::standard(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))` — the paper's example of a
+/// distribution whose logarithm is subexponential (Section 3).
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Parameters of the underlying normal (of the logarithm).
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        Self { mu, sigma }
+    }
+
+    /// Log-normal with a given median (`exp(mu)`).
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        Self::new(median.ln(), sigma)
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
+}
+
+/// Weibull distribution (scale, shape) — a useful latency model with a
+/// tunable tail between exponential and heavy.
+#[derive(Debug, Clone, Copy)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    /// Create a Weibull distribution; both parameters must be positive.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale > 0.0 && shape > 0.0, "Weibull parameters must be positive");
+        Self { scale, shape }
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        let u = rng.random::<f64>().min(1.0 - 1e-16);
+        self.scale * (-(1.0 - u).ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Weighted mixture of distributions.
+pub struct Mixture {
+    components: Vec<(f64, Box<dyn Distribution>)>,
+    total_weight: f64,
+}
+
+impl Mixture {
+    /// Build a mixture from `(weight, distribution)` pairs; weights need
+    /// not sum to one but must be positive.
+    pub fn new(components: Vec<(f64, Box<dyn Distribution>)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            components.iter().all(|(w, _)| *w > 0.0),
+            "mixture weights must be positive"
+        );
+        let total_weight = components.iter().map(|(w, _)| w).sum();
+        Self { components, total_weight }
+    }
+}
+
+impl Distribution for Mixture {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        let mut pick = rng.random::<f64>() * self.total_weight;
+        for (w, d) in &self.components {
+            pick -= w;
+            if pick <= 0.0 {
+                return d.sample(rng);
+            }
+        }
+        self.components.last().expect("non-empty").1.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn draw(d: &dyn Distribution, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn uniform_stays_in_range_with_right_mean() {
+        let d = Uniform::new(2.0, 6.0);
+        let xs = draw(&d, 50_000, 1);
+        assert!(xs.iter().all(|&x| (2.0..6.0).contains(&x)));
+        assert!((mean(&xs) - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let d = Exponential::new(0.5); // mean 2
+        let xs = draw(&d, 100_000, 2);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        assert!((mean(&xs) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_median() {
+        // Pareto(a=1, b=1): median = b·2^(1/a) = 2.
+        let d = Pareto::new(1.0, 1.0);
+        let mut xs = draw(&d, 100_001, 3);
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median - 2.0).abs() < 0.05, "median {median}");
+        // Heavy tail: the max of 1e5 samples of Pareto(1) is typically ≫ 1e3.
+        assert!(xs[xs.len() - 1] > 1e3);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 3.0);
+        let xs = draw(&d, 100_000, 4);
+        let m = mean(&xs);
+        let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 10.0).abs() < 0.05, "mean {m}");
+        assert!((var - 9.0).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::with_median(50.0, 1.0);
+        let mut xs = draw(&d, 100_001, 5);
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median / 50.0 - 1.0).abs() < 0.05, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::new(2.0, 1.0); // == Exp(rate 1/2), mean 2
+        let xs = draw(&w, 100_000, 6);
+        assert!((mean(&xs) - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn mixture_weights_are_respected() {
+        let m = Mixture::new(vec![
+            (0.8, Box::new(Uniform::new(0.0, 1.0)) as Box<dyn Distribution>),
+            (0.2, Box::new(Uniform::new(100.0, 101.0))),
+        ]);
+        let xs = draw(&m, 100_000, 7);
+        let high = xs.iter().filter(|&&x| x > 50.0).count() as f64 / xs.len() as f64;
+        assert!((high - 0.2).abs() < 0.01, "high fraction {high}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Pareto::new(1.0, 1.0);
+        assert_eq!(draw(&d, 100, 42), draw(&d, 100, 42));
+        assert_ne!(draw(&d, 100, 42), draw(&d, 100, 43));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_rejects_inverted_range() {
+        let _ = Uniform::new(5.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn pareto_rejects_bad_shape() {
+        let _ = Pareto::new(0.0, 1.0);
+    }
+}

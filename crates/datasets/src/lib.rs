@@ -1,0 +1,21 @@
+//! # datasets
+//!
+//! Workload generation for the DDSketch reproduction: the paper's three
+//! evaluation data sets (`pareto`, `span`, `power` — Section 4.1) plus the
+//! distribution toolkit they are built from. Everything is seeded and
+//! deterministic so every figure in the evaluation is exactly
+//! reproducible.
+//!
+//! ```
+//! use datasets::Dataset;
+//!
+//! let values = Dataset::Pareto.generate(1000, 42);
+//! assert_eq!(values.len(), 1000);
+//! assert!(values.iter().all(|&v| v >= 1.0)); // Pareto(1, 1) support
+//! ```
+
+pub mod dist;
+pub mod sets;
+
+pub use dist::{Distribution, Exponential, LogNormal, Mixture, Normal, Pareto, Uniform, Weibull};
+pub use sets::{DataStream, Dataset, POWER_MAX_KW, POWER_MIN_KW, SPAN_MAX_NS, SPAN_MIN_NS};

@@ -1,0 +1,519 @@
+//! Compact binary codec and serde payload for wire transfer.
+//!
+//! DDSketch is designed for agents that ship sketches to a central
+//! monitoring system every few seconds (paper Figure 1), so a compact,
+//! versioned wire format matters. The encoding is:
+//!
+//! ```text
+//! magic   : 4 bytes  "DDS1"
+//! kind    : u8       mapping family (MappingKind)
+//! alpha   : f64 LE   relative accuracy
+//! limit   : varint   bucket limit (0 = unbounded)
+//! zero    : varint   zero-bucket count
+//! min,max,sum : 3 × f64 LE
+//! positive: bins     (see below)
+//! negative: bins
+//!
+//! bins    : varint n, then if n > 0:
+//!           zigzag-varint first_index,
+//!           n × varint count interleaved with (n−1) × varint gap
+//!           where gap = index_delta − 1 (indices are strictly ascending)
+//! ```
+//!
+//! Counts and index gaps are LEB128 varints, so a warm sketch with mostly
+//! small dense counts costs ~2 bytes per non-empty bucket.
+
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::{IndexMapping, MappingKind};
+use crate::presets::{
+    BoundedDDSketch, FastDDSketch, PaperExactDDSketch, SparseDDSketch, UnboundedDDSketch,
+};
+use crate::sketch::DDSketch;
+use crate::store::Store;
+use sketch_core::SketchError;
+
+const MAGIC: &[u8; 4] = b"DDS1";
+
+/// Mapping-agnostic serializable snapshot of a sketch's state.
+///
+/// This is also the `serde` surface: any `DDSketch` converts to a payload
+/// with [`DDSketch::to_payload`], and each preset converts back via its
+/// `from_payload` constructor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchPayload {
+    /// Mapping family discriminant ([`MappingKind`] as u8).
+    pub kind: u8,
+    /// Relative accuracy α.
+    pub relative_accuracy: f64,
+    /// Bucket limit of the positive store; 0 means unbounded.
+    pub bin_limit: u64,
+    /// Exact zero-bucket count.
+    pub zero_count: u64,
+    /// Tracked minimum (`+∞` when empty).
+    pub min: f64,
+    /// Tracked maximum (`−∞` when empty).
+    pub max: f64,
+    /// Exact sum of inserted values.
+    pub sum: f64,
+    /// Positive-store bins, ascending index.
+    pub positive: Vec<(i32, u64)>,
+    /// Negative-store bins, ascending index (of |x|).
+    pub negative: Vec<(i32, u64)>,
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, SketchError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(SketchError::Decode("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(SketchError::Decode("varint overflow".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_bins(buf: &mut Vec<u8>, bins: &[(i32, u64)]) {
+    put_varint(buf, bins.len() as u64);
+    let mut prev: Option<i32> = None;
+    for &(idx, count) in bins {
+        match prev {
+            None => put_varint(buf, zigzag(idx as i64)),
+            Some(p) => {
+                debug_assert!(idx > p, "bins must be strictly ascending");
+                put_varint(buf, (idx as i64 - p as i64 - 1) as u64);
+            }
+        }
+        put_varint(buf, count);
+        prev = Some(idx);
+    }
+}
+
+fn get_bins(buf: &mut &[u8]) -> Result<Vec<(i32, u64)>, SketchError> {
+    let n = get_varint(buf)? as usize;
+    // Each bin needs at least 2 bytes; reject absurd lengths before
+    // allocating (defends against corrupted/hostile input).
+    if n > buf.remaining() {
+        return Err(SketchError::Decode(format!("bin count {n} exceeds payload size")));
+    }
+    let mut bins = Vec::with_capacity(n);
+    let mut prev: Option<i64> = None;
+    for _ in 0..n {
+        let idx = match prev {
+            None => unzigzag(get_varint(buf)?),
+            Some(p) => p
+                .checked_add(get_varint(buf)? as i64)
+                .and_then(|v| v.checked_add(1))
+                .ok_or_else(|| SketchError::Decode("index overflow".into()))?,
+        };
+        if idx < i32::MIN as i64 || idx > i32::MAX as i64 {
+            return Err(SketchError::Decode(format!("bin index {idx} out of i32 range")));
+        }
+        let count = get_varint(buf)?;
+        if count == 0 {
+            return Err(SketchError::Decode("zero-count bin".into()));
+        }
+        bins.push((idx as i32, count));
+        prev = Some(idx);
+    }
+    Ok(bins)
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, SketchError> {
+    if buf.remaining() < 8 {
+        return Err(SketchError::Decode("truncated f64".into()));
+    }
+    Ok(buf.get_f64_le())
+}
+
+impl SketchPayload {
+    /// Serialize to the compact binary wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + 4 * (self.positive.len() + self.negative.len()));
+        buf.put_slice(MAGIC);
+        buf.put_u8(self.kind);
+        buf.put_f64_le(self.relative_accuracy);
+        put_varint(&mut buf, self.bin_limit);
+        put_varint(&mut buf, self.zero_count);
+        buf.put_f64_le(self.min);
+        buf.put_f64_le(self.max);
+        buf.put_f64_le(self.sum);
+        put_bins(&mut buf, &self.positive);
+        put_bins(&mut buf, &self.negative);
+        buf
+    }
+
+    /// Decode from the compact binary wire format.
+    pub fn decode(mut bytes: &[u8]) -> Result<Self, SketchError> {
+        let buf = &mut bytes;
+        if buf.remaining() < 4 || &buf[..4] != MAGIC {
+            return Err(SketchError::Decode("bad magic".into()));
+        }
+        buf.advance(4);
+        if !buf.has_remaining() {
+            return Err(SketchError::Decode("truncated header".into()));
+        }
+        let kind = buf.get_u8();
+        MappingKind::from_u8(kind)?;
+        let relative_accuracy = get_f64(buf)?;
+        let bin_limit = get_varint(buf)?;
+        let zero_count = get_varint(buf)?;
+        let min = get_f64(buf)?;
+        let max = get_f64(buf)?;
+        let sum = get_f64(buf)?;
+        let positive = get_bins(buf)?;
+        let negative = get_bins(buf)?;
+        if buf.has_remaining() {
+            return Err(SketchError::Decode("trailing bytes".into()));
+        }
+        Ok(Self {
+            kind,
+            relative_accuracy,
+            bin_limit,
+            zero_count,
+            min,
+            max,
+            sum,
+            positive,
+            negative,
+        })
+    }
+}
+
+impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
+    /// Snapshot this sketch into a serializable payload.
+    pub fn to_payload(&self) -> SketchPayload {
+        SketchPayload {
+            kind: self.mapping().kind() as u8,
+            relative_accuracy: self.mapping().relative_accuracy(),
+            bin_limit: self.positive_store().bin_limit().unwrap_or(0) as u64,
+            zero_count: self.zero_count(),
+            min: self.min().unwrap_or(f64::INFINITY),
+            max: self.max().unwrap_or(f64::NEG_INFINITY),
+            sum: self.sum(),
+            positive: self.positive_store().bins_ascending(),
+            negative: self.negative_store().bins_ascending(),
+        }
+    }
+
+    /// Serialize to the compact binary wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_payload().encode()
+    }
+}
+
+/// Shared reconstruction logic for `from_payload` implementations.
+fn rebuild<M: IndexMapping, SP: Store, SN: Store>(
+    payload: &SketchPayload,
+    mapping: M,
+    positive: SP,
+    negative: SN,
+) -> Result<DDSketch<M, SP, SN>, SketchError> {
+    if payload.kind != mapping.kind() as u8 {
+        return Err(SketchError::Decode(format!(
+            "payload mapping kind {} does not match target {:?}",
+            payload.kind,
+            mapping.kind()
+        )));
+    }
+    let mut sketch = DDSketch::from_parts(mapping, positive, negative);
+    sketch.load(
+        payload.zero_count,
+        payload.min,
+        payload.max,
+        payload.sum,
+        &payload.positive,
+        &payload.negative,
+    );
+    Ok(sketch)
+}
+
+macro_rules! impl_from_payload {
+    ($ty:ty, $ctor:expr, $doc:literal) => {
+        impl $ty {
+            #[doc = $doc]
+            pub fn from_payload(payload: &SketchPayload) -> Result<Self, SketchError> {
+                #[allow(clippy::redundant_closure_call)]
+                ($ctor)(payload)
+            }
+
+            /// Decode from the compact binary wire format.
+            pub fn decode(bytes: &[u8]) -> Result<Self, SketchError> {
+                Self::from_payload(&SketchPayload::decode(bytes)?)
+            }
+        }
+    };
+}
+
+impl_from_payload!(
+    UnboundedDDSketch,
+    |p: &SketchPayload| {
+        rebuild(
+            p,
+            crate::mapping::LogarithmicMapping::new(p.relative_accuracy)?,
+            crate::store::DenseStore::new(),
+            crate::store::DenseStore::new(),
+        )
+    },
+    "Reconstruct an unbounded sketch from a payload."
+);
+
+impl_from_payload!(
+    BoundedDDSketch,
+    |p: &SketchPayload| {
+        let limit = usize::try_from(p.bin_limit)
+            .ok()
+            .filter(|&l| l > 0)
+            .ok_or_else(|| SketchError::Decode("bounded sketch requires bin_limit > 0".into()))?;
+        rebuild(
+            p,
+            crate::mapping::LogarithmicMapping::new(p.relative_accuracy)?,
+            crate::store::CollapsingLowestDenseStore::new(limit),
+            crate::store::CollapsingHighestDenseStore::new(limit),
+        )
+    },
+    "Reconstruct a bounded (collapsing) sketch from a payload."
+);
+
+impl_from_payload!(
+    FastDDSketch,
+    |p: &SketchPayload| {
+        let limit = usize::try_from(p.bin_limit)
+            .ok()
+            .filter(|&l| l > 0)
+            .ok_or_else(|| SketchError::Decode("fast sketch requires bin_limit > 0".into()))?;
+        rebuild(
+            p,
+            crate::mapping::CubicInterpolatedMapping::new(p.relative_accuracy)?,
+            crate::store::CollapsingLowestDenseStore::new(limit),
+            crate::store::CollapsingHighestDenseStore::new(limit),
+        )
+    },
+    "Reconstruct a fast (cubic-mapping) sketch from a payload."
+);
+
+impl_from_payload!(
+    SparseDDSketch,
+    |p: &SketchPayload| {
+        rebuild(
+            p,
+            crate::mapping::LogarithmicMapping::new(p.relative_accuracy)?,
+            crate::store::SparseStore::new(),
+            crate::store::SparseStore::new(),
+        )
+    },
+    "Reconstruct a sparse sketch from a payload."
+);
+
+impl_from_payload!(
+    PaperExactDDSketch,
+    |p: &SketchPayload| {
+        let limit = usize::try_from(p.bin_limit)
+            .ok()
+            .filter(|&l| l > 0)
+            .ok_or_else(|| {
+                SketchError::Decode("paper-exact sketch requires bin_limit > 0".into())
+            })?;
+        rebuild(
+            p,
+            crate::mapping::LogarithmicMapping::new(p.relative_accuracy)?,
+            crate::store::CollapsingSparseStore::new(limit),
+            crate::store::CollapsingSparseStore::new(limit),
+        )
+    },
+    "Reconstruct an Algorithm-3-exact sketch from a payload."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use proptest::prelude::*;
+
+    fn populated() -> BoundedDDSketch {
+        let mut s = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+        for i in 1..=1000 {
+            s.add(i as f64 * 0.01).unwrap();
+        }
+        for i in 1..=50 {
+            s.add(-(i as f64)).unwrap();
+        }
+        s.add(0.0).unwrap();
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_state_exactly() {
+        let s = populated();
+        let bytes = s.encode();
+        let d = BoundedDDSketch::decode(&bytes).unwrap();
+        assert_eq!(d.count(), s.count());
+        assert_eq!(d.zero_count(), s.zero_count());
+        assert_eq!(d.min(), s.min());
+        assert_eq!(d.max(), s.max());
+        assert_eq!(d.sum(), s.sum());
+        assert_eq!(d.to_payload(), s.to_payload());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(d.quantile(q).unwrap(), s.quantile(q).unwrap(), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_sketch() {
+        let s = presets::unbounded(0.02).unwrap();
+        let d = presets::UnboundedDDSketch::decode(&s.encode()).unwrap();
+        assert!(d.is_empty());
+        assert!((d.relative_accuracy() - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn roundtrip_all_presets() {
+        let mut u = presets::unbounded(0.01).unwrap();
+        let mut f = presets::fast(0.01, 512).unwrap();
+        let mut sp = presets::sparse(0.01).unwrap();
+        let mut pe = presets::paper_exact(0.01, 512).unwrap();
+        for i in 1..200 {
+            let v = (i * i) as f64;
+            u.add(v).unwrap();
+            f.add(v).unwrap();
+            sp.add(v).unwrap();
+            pe.add(v).unwrap();
+        }
+        assert_eq!(
+            presets::UnboundedDDSketch::decode(&u.encode()).unwrap().to_payload(),
+            u.to_payload()
+        );
+        assert_eq!(presets::FastDDSketch::decode(&f.encode()).unwrap().to_payload(), f.to_payload());
+        assert_eq!(presets::SparseDDSketch::decode(&sp.encode()).unwrap().to_payload(), sp.to_payload());
+        assert_eq!(
+            presets::PaperExactDDSketch::decode(&pe.encode()).unwrap().to_payload(),
+            pe.to_payload()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_wrong_kind() {
+        let s = populated(); // logarithmic kind
+        let bytes = s.encode();
+        assert!(matches!(
+            presets::FastDDSketch::decode(&bytes),
+            Err(SketchError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        assert!(SketchPayload::decode(b"").is_err());
+        assert!(SketchPayload::decode(b"XXXX").is_err());
+        assert!(SketchPayload::decode(b"DDS1").is_err());
+        let bytes = populated().encode();
+        // Every strict prefix must fail, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                SketchPayload::decode(&bytes[..cut]).is_err(),
+                "prefix of length {cut} decoded successfully"
+            );
+        }
+        // Trailing garbage must fail too.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(SketchPayload::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_hostile_bin_count() {
+        // Header claiming 2^40 bins with a tiny body must fail fast.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(0); // kind
+        buf.extend_from_slice(&0.01f64.to_le_bytes());
+        put_varint(&mut buf, 0); // limit
+        put_varint(&mut buf, 0); // zero
+        buf.extend_from_slice(&f64::INFINITY.to_le_bytes());
+        buf.extend_from_slice(&f64::NEG_INFINITY.to_le_bytes());
+        buf.extend_from_slice(&0f64.to_le_bytes());
+        put_varint(&mut buf, 1 << 40); // absurd bin count
+        assert!(SketchPayload::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut slice = buf.as_slice();
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::from(i32::MAX), i64::from(i32::MIN)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // 1000 adjacent buckets with count 1 should take ~2 bytes each.
+        let mut s = presets::unbounded(0.01).unwrap();
+        for i in 0..1000 {
+            s.add(1.0210_f64.powi(i)).unwrap();
+        }
+        let bytes = s.encode();
+        assert!(
+            bytes.len() < 1000 * 3 + 64,
+            "encoding too large: {} bytes for 1000 bins",
+            bytes.len()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_payload_roundtrip(values in proptest::collection::vec(-1e9f64..1e9, 0..300)) {
+            let mut s = presets::logarithmic_collapsing(0.02, 1024).unwrap();
+            for &v in &values {
+                s.add(v).unwrap();
+            }
+            let decoded = BoundedDDSketch::decode(&s.encode()).unwrap();
+            prop_assert_eq!(decoded.to_payload(), s.to_payload());
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = SketchPayload::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # DDSketch
+//!
+//! A fast and fully-mergeable quantile sketch with relative-error
+//! guarantees — a from-scratch Rust implementation of
+//! *Masson, Rim & Lee, "DDSketch", PVLDB 12(12), 2019*.
+//!
+//! A DDSketch summarizes a stream of values so that any q-quantile can be
+//! estimated within relative error `α`: the returned `x̃_q` satisfies
+//! `|x̃_q − x_q| ≤ α·x_q`. Unlike rank-error sketches, this guarantee does
+//! not degrade on heavy-tailed data, which is exactly where rank-error
+//! sketches can be off by orders of magnitude on the p99.
+//!
+//! Two sketches built with the same parameters merge *exactly*: the merged
+//! sketch is bucket-for-bucket identical to a single sketch over the union
+//! of the streams ("full mergeability"), which is what makes the structure
+//! suitable for distributed aggregation pipelines.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ddsketch::presets;
+//!
+//! // α = 1% relative error, at most 2048 buckets (the paper's config).
+//! let mut sketch = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+//! for i in 1..=10_000u32 {
+//!     sketch.add(f64::from(i)).unwrap();
+//! }
+//! // True p99 (lower quantile) of 1..=10000 is x_⌊1+0.99·9999⌋ = 9900.
+//! let p99 = sketch.quantile(0.99).unwrap();
+//! assert!((p99 - 9900.0).abs() <= 0.01 * 9900.0);
+//!
+//! // Sketches merge exactly.
+//! let mut other = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+//! other.add(1e9).unwrap();
+//! sketch.merge_from(&other).unwrap();
+//! assert_eq!(sketch.count(), 10_001);
+//! ```
+//!
+//! ## Picking a configuration
+//!
+//! | preset | mapping | store | use when |
+//! |--------|---------|-------|----------|
+//! | [`presets::unbounded`] | exact log | dense, unbounded | guarantee must hold for every quantile, size is secondary |
+//! | [`presets::logarithmic_collapsing`] | exact log | dense, bounded | production default (paper Table 2) |
+//! | [`presets::fast`] | cubic interpolation | dense, bounded | insertion speed matters most |
+//! | [`presets::sparse`] | exact log | B-tree | wide value ranges, memory matters |
+//! | [`presets::paper_exact`] | exact log | sparse, Algorithm-3 collapse | studying the paper's exact semantics |
+
+pub mod encode;
+pub mod mapping;
+pub mod presets;
+mod sketch;
+pub mod store;
+
+pub use encode::SketchPayload;
+pub use mapping::{
+    CubicInterpolatedMapping, IndexMapping, LinearInterpolatedMapping, LogarithmicMapping,
+    MappingKind, QuadraticInterpolatedMapping,
+};
+pub use presets::{
+    fast, logarithmic_collapsing, paper_exact, sparse, unbounded, BoundedDDSketch, FastDDSketch,
+    PaperExactDDSketch, SparseDDSketch, UnboundedDDSketch,
+};
+pub use sketch::DDSketch;
+pub use store::{
+    CollapsingHighestDenseStore, CollapsingLowestDenseStore, CollapsingSparseStore, DenseStore,
+    SparseStore, Store,
+};
+
+// Re-export the shared vocabulary so downstream users need only this crate.
+pub use sketch_core::{MemoryFootprint, MergeableSketch, QuantileSketch, SketchError};

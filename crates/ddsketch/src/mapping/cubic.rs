@@ -1,0 +1,167 @@
+//! Cubically-interpolated mapping — near-optimal bucket count, no
+//! transcendentals on the insertion path.
+
+use super::log_like::{Interpolation, LogLikeMapping};
+use super::{IndexMapping, MappingKind};
+use sketch_core::SketchError;
+
+const A: f64 = 6.0 / 35.0;
+const B: f64 = -3.0 / 5.0;
+const C: f64 = 10.0 / 7.0;
+
+/// `P(s) = A·u³ + B·u² + C·u` with `u = s − 1` and
+/// `A = 6/35, B = −3/5, C = 10/7`.
+///
+/// These are the coefficients used by Datadog's production implementations;
+/// within our framework they satisfy `P(2) = 6/35 − 3/5 + 10/7 = 1` and
+/// `κ = inf s·P'(s) = P'(1) = 10/7` (verified numerically in the shared
+/// tests), giving only `1/(κ·ln 2) ≈ 1.01×` bucket overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct Cubic;
+
+impl Interpolation for Cubic {
+    #[inline]
+    fn p(s: f64) -> f64 {
+        let u = s - 1.0;
+        ((A * u + B) * u + C) * u
+    }
+
+    #[inline]
+    fn p_inv(r: f64) -> f64 {
+        // Newton's method on the monotone cubic. P' ∈ [26/35, 10/7] on
+        // [0, 1], so starting from the linear guess u₀ = r, four iterations
+        // reach machine precision (each iteration roughly squares the
+        // error, which starts below 0.1).
+        let mut u = r;
+        for _ in 0..4 {
+            let f = ((A * u + B) * u + C) * u - r;
+            let fp = (3.0 * A * u + 2.0 * B) * u + C;
+            u -= f / fp;
+        }
+        (1.0 + u).clamp(1.0, 2.0)
+    }
+
+    #[inline]
+    fn kappa() -> f64 {
+        10.0 / 7.0
+    }
+
+    fn kind() -> MappingKind {
+        MappingKind::CubicInterpolated
+    }
+
+    fn name() -> &'static str {
+        "CubicInterpolatedMapping"
+    }
+}
+
+/// Index mapping approximating `log2` by a cubic in the significand.
+///
+/// The recommended "fast" mapping: insertion costs a handful of multiplies
+/// and adds, with only ~1% more buckets than the memory-optimal
+/// [`super::LogarithmicMapping`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubicInterpolatedMapping(LogLikeMapping<Cubic>);
+
+impl CubicInterpolatedMapping {
+    /// Create a mapping with relative accuracy `alpha ∈ (0, 1)`.
+    pub fn new(alpha: f64) -> Result<Self, SketchError> {
+        LogLikeMapping::new(alpha).map(Self)
+    }
+}
+
+impl IndexMapping for CubicInterpolatedMapping {
+    #[inline]
+    fn relative_accuracy(&self) -> f64 {
+        self.0.relative_accuracy()
+    }
+    #[inline]
+    fn gamma(&self) -> f64 {
+        self.0.gamma()
+    }
+    #[inline]
+    fn index(&self, value: f64) -> i32 {
+        self.0.index(value)
+    }
+    #[inline]
+    fn value(&self, index: i32) -> f64 {
+        self.0.value(index)
+    }
+    #[inline]
+    fn lower_bound(&self, index: i32) -> f64 {
+        self.0.lower_bound(index)
+    }
+    #[inline]
+    fn upper_bound(&self, index: i32) -> f64 {
+        self.0.upper_bound(index)
+    }
+    fn min_indexable_value(&self) -> f64 {
+        self.0.min_indexable_value()
+    }
+    fn max_indexable_value(&self) -> f64 {
+        self.0.max_indexable_value()
+    }
+    fn kind(&self) -> MappingKind {
+        self.0.kind()
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::conformance;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conformance_suite() {
+        for alpha in [0.001, 0.01, 0.05, 0.1] {
+            let m = CubicInterpolatedMapping::new(alpha).unwrap();
+            conformance::run_suite(&m);
+        }
+    }
+
+    #[test]
+    fn coefficients_sum_to_one() {
+        // P(2) = A + B + C must be exactly 1 for cross-segment continuity.
+        assert!((A + B + C - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn newton_inverse_is_machine_precise() {
+        for k in 0..=10_000 {
+            let r = k as f64 / 10_000.0;
+            let s = Cubic::p_inv(r);
+            assert!((Cubic::p(s) - r).abs() < 1e-14, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn closest_to_log2_of_the_family() {
+        let mut max_cub: f64 = 0.0;
+        let mut s = 1.0;
+        while s < 2.0 {
+            max_cub = max_cub.max((Cubic::p(s) - s.log2()).abs());
+            s += 1e-4;
+        }
+        // The cubic stays within 1e-2 of log2 across the whole segment.
+        assert!(max_cub < 1e-2, "max deviation {max_cub}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_alpha_accuracy(x in 1e-12_f64..1e12, alpha in 0.001_f64..0.3) {
+            let m = CubicInterpolatedMapping::new(alpha).unwrap();
+            conformance::check_value(&m, x);
+        }
+
+        #[test]
+        fn prop_monotone(a in 1e-9_f64..1e9, b in 1e-9_f64..1e9) {
+            let m = CubicInterpolatedMapping::new(0.02).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.index(lo) <= m.index(hi));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Shared framework for the interpolated ("fast") mappings.
+//!
+//! Write `x = s·2^e` with `s ∈ [1, 2)` (free to extract from the IEEE-754
+//! bits) and define the log-like function `ℓ(x) = e + P(s)` where `P` is a
+//! monotone polynomial with `P(1) = 0` and `P(2) = 1`, so that `ℓ`
+//! approximates `log2` and is continuous across powers of two. Bucket
+//! indices are `i = ⌈ℓ(x)/h⌉` for a step `h`.
+//!
+//! **Accuracy derivation.** Within a segment, `dℓ/d(ln x) = s·P'(s)`, so
+//! over any ℓ-interval of length `h` the value grows by a factor at most
+//! `exp(h / κ)` where `κ = inf_{s∈[1,2)} s·P'(s)`. Choosing
+//! `h = κ·ln γ` therefore guarantees every bucket has ratio ≤ γ, i.e. the
+//! harmonic-midpoint representative is α-accurate — the same guarantee as
+//! the exact logarithmic mapping. The bucket-count overhead relative to the
+//! optimal mapping is `log2(γ)/h = 1/(κ·ln 2)`:
+//!
+//! | interpolation | κ     | overhead |
+//! |---------------|-------|----------|
+//! | linear        | 1     | ≈ 1.443  |
+//! | quadratic     | 4/3   | ≈ 1.082  |
+//! | cubic         | 10/7  | ≈ 1.010  |
+//!
+//! This matches the paper's report that DDSketch (fast) "can be up to twice
+//! the size of DDSketch" (their fast variant rounds the multiplier further).
+
+use super::{decompose, gamma_of, recompose, IndexMapping, MappingKind};
+use sketch_core::SketchError;
+
+/// A monotone interpolation polynomial `P` on `[1, 2]`.
+pub(crate) trait Interpolation:
+    Clone + Copy + std::fmt::Debug + PartialEq + Default + 'static
+{
+    /// `P(s)` for `s ∈ [1, 2)`; must satisfy `P(1) = 0`, `P(2) = 1`, `P' > 0`.
+    fn p(s: f64) -> f64;
+    /// Inverse of `P` on `[0, 1]`.
+    fn p_inv(r: f64) -> f64;
+    /// `inf_{s∈[1,2)} s·P'(s)` — the step-size safety factor κ.
+    fn kappa() -> f64;
+    fn kind() -> MappingKind;
+    fn name() -> &'static str;
+}
+
+/// Generic interpolated mapping; see module docs for the guarantee proof.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LogLikeMapping<I: Interpolation> {
+    relative_accuracy: f64,
+    gamma: f64,
+    /// Bucket step in ℓ-units: `h = κ·ln γ`.
+    step: f64,
+    inv_step: f64,
+    min_indexable: f64,
+    max_indexable: f64,
+    _marker: std::marker::PhantomData<I>,
+}
+
+impl<I: Interpolation> LogLikeMapping<I> {
+    pub(crate) fn new(alpha: f64) -> Result<Self, SketchError> {
+        let gamma = gamma_of(alpha)?;
+        let step = I::kappa() * gamma.ln();
+        let inv_step = 1.0 / step;
+
+        // Keep ℓ within the normal-float exponent range with headroom, and
+        // indices within i32 with headroom.
+        let min_l = ((i32::MIN as f64 + 2.0) * step).max(-1021.0);
+        let max_l = ((i32::MAX as f64 - 2.0) * step).min(1022.0);
+        let min_indexable = (f64::MIN_POSITIVE * gamma).max(Self::l_inv(min_l));
+        let max_indexable = (f64::MAX / gamma).min(Self::l_inv(max_l));
+
+        Ok(Self {
+            relative_accuracy: alpha,
+            gamma,
+            step,
+            inv_step,
+            min_indexable,
+            max_indexable,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// `ℓ(x) = e + P(s)`.
+    #[inline]
+    fn l(x: f64) -> f64 {
+        let (e, s) = decompose(x);
+        e as f64 + I::p(s)
+    }
+
+    /// `ℓ⁻¹(t)`.
+    #[inline]
+    fn l_inv(t: f64) -> f64 {
+        let e = t.floor();
+        let r = t - e;
+        recompose(e as i64, I::p_inv(r))
+    }
+}
+
+impl<I: Interpolation> IndexMapping for LogLikeMapping<I> {
+    #[inline]
+    fn relative_accuracy(&self) -> f64 {
+        self.relative_accuracy
+    }
+
+    #[inline]
+    fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    #[inline]
+    fn index(&self, value: f64) -> i32 {
+        debug_assert!(value >= self.min_indexable && value <= self.max_indexable);
+        (Self::l(value) * self.inv_step).ceil() as i32
+    }
+
+    #[inline]
+    fn value(&self, index: i32) -> f64 {
+        let lo = self.lower_bound(index);
+        let hi = self.upper_bound(index);
+        // Harmonic midpoint 2·l·u/(l+u), computed in ratio form
+        // l · 2r/(1+r) with r = u/l ∈ (1, γ] so it neither underflows nor
+        // overflows at the extremes of the f64 range.
+        let r = hi / lo;
+        lo * (2.0 * r / (1.0 + r))
+    }
+
+    #[inline]
+    fn lower_bound(&self, index: i32) -> f64 {
+        Self::l_inv((index as f64 - 1.0) * self.step)
+    }
+
+    #[inline]
+    fn upper_bound(&self, index: i32) -> f64 {
+        Self::l_inv(index as f64 * self.step)
+    }
+
+    fn min_indexable_value(&self) -> f64 {
+        self.min_indexable
+    }
+
+    fn max_indexable_value(&self) -> f64 {
+        self.max_indexable
+    }
+
+    fn kind(&self) -> MappingKind {
+        I::kind()
+    }
+
+    fn name(&self) -> &'static str {
+        I::name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{
+        CubicInterpolatedMapping, LinearInterpolatedMapping, QuadraticInterpolatedMapping,
+    };
+
+    /// The κ constants must actually lower-bound s·P'(s); verify by dense
+    /// numerical sweep using a symmetric finite difference.
+    fn check_kappa<I: Interpolation>() {
+        let eps = 1e-6;
+        let mut s = 1.0 + eps;
+        while s < 2.0 - eps {
+            let dp = (I::p(s + eps) - I::p(s - eps)) / (2.0 * eps);
+            let g = s * dp;
+            assert!(
+                g >= I::kappa() - 1e-4,
+                "{}: s·P'(s) = {g} below kappa {} at s = {s}",
+                I::name(),
+                I::kappa()
+            );
+            s += 0.001;
+        }
+    }
+
+    /// P and its inverse must agree to near machine precision.
+    fn check_p_inverse<I: Interpolation>() {
+        for k in 0..=1000 {
+            let r = k as f64 / 1000.0;
+            let s = I::p_inv(r);
+            assert!((1.0..=2.0).contains(&s), "{}: p_inv({r}) = {s}", I::name());
+            let back = I::p(s);
+            assert!((back - r).abs() < 1e-12, "{}: p(p_inv({r})) = {back}", I::name());
+        }
+        assert!((I::p(1.0)).abs() < 1e-15);
+        assert!((I::p(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_bounds_hold() {
+        check_kappa::<super::super::linear::Linear>();
+        check_kappa::<super::super::quadratic::Quadratic>();
+        check_kappa::<super::super::cubic::Cubic>();
+    }
+
+    #[test]
+    fn interpolation_inverses_exact() {
+        check_p_inverse::<super::super::linear::Linear>();
+        check_p_inverse::<super::super::quadratic::Quadratic>();
+        check_p_inverse::<super::super::cubic::Cubic>();
+    }
+
+    #[test]
+    fn bucket_overhead_matches_theory() {
+        // Count buckets needed to span [1, 2^20] and compare against the
+        // logarithmic mapping.
+        let alpha = 0.01;
+        let log = crate::mapping::LogarithmicMapping::new(alpha).unwrap();
+        let lin = LinearInterpolatedMapping::new(alpha).unwrap();
+        let quad = QuadraticInterpolatedMapping::new(alpha).unwrap();
+        let cub = CubicInterpolatedMapping::new(alpha).unwrap();
+
+        let span = |idx_lo: i32, idx_hi: i32| (idx_hi - idx_lo) as f64;
+        let base = span(log.index(1.0), log.index(1048576.0));
+        let overhead_lin = span(lin.index(1.0), lin.index(1048576.0)) / base;
+        let overhead_quad = span(quad.index(1.0), quad.index(1048576.0)) / base;
+        let overhead_cub = span(cub.index(1.0), cub.index(1048576.0)) / base;
+
+        assert!((overhead_lin - 1.0 / std::f64::consts::LN_2).abs() < 0.01, "linear {overhead_lin}");
+        assert!((overhead_quad - 0.75 / std::f64::consts::LN_2).abs() < 0.01, "quad {overhead_quad}");
+        assert!((overhead_cub - 0.7 / std::f64::consts::LN_2).abs() < 0.01, "cubic {overhead_cub}");
+    }
+}

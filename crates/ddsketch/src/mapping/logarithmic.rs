@@ -1,0 +1,193 @@
+//! The paper's exact logarithmic mapping (Section 2.1).
+
+use super::{gamma_of, IndexMapping, MappingKind};
+use sketch_core::SketchError;
+
+/// Memory-optimal mapping: `index(x) = ⌈log_γ x⌉`.
+///
+/// Bucket `i` covers `(γ^(i−1), γ^i]` and its representative value is
+/// `2γ^i/(γ+1)` (paper Lemma 2). This is the densest bucket layout that can
+/// guarantee relative accuracy `α`; the price is a `ln` call per insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogarithmicMapping {
+    relative_accuracy: f64,
+    gamma: f64,
+    /// `1 / ln(γ)` — multiplying by this converts natural logs to base-γ.
+    multiplier: f64,
+    min_indexable: f64,
+    max_indexable: f64,
+}
+
+impl LogarithmicMapping {
+    /// Create a mapping with relative accuracy `alpha ∈ (0, 1)`.
+    pub fn new(alpha: f64) -> Result<Self, SketchError> {
+        let gamma = gamma_of(alpha)?;
+        let multiplier = 1.0 / gamma.ln();
+        // Keep indices well inside i32 and values inside the normal f64
+        // range. One bucket of headroom on each side guards the ±1 in
+        // ceil/lower_bound arithmetic.
+        let min_by_index = ((i32::MIN as f64 + 2.0) / multiplier).exp();
+        let min_indexable = (f64::MIN_POSITIVE * gamma).max(min_by_index);
+        let max_by_index = (((i32::MAX as f64 - 2.0) / multiplier).min(f64::MAX.ln()) - gamma.ln()).exp();
+        let max_indexable = (f64::MAX / gamma).min(max_by_index);
+        Ok(Self {
+            relative_accuracy: alpha,
+            gamma,
+            multiplier,
+            min_indexable,
+            max_indexable,
+        })
+    }
+}
+
+impl IndexMapping for LogarithmicMapping {
+    #[inline]
+    fn relative_accuracy(&self) -> f64 {
+        self.relative_accuracy
+    }
+
+    #[inline]
+    fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    #[inline]
+    fn index(&self, value: f64) -> i32 {
+        debug_assert!(value >= self.min_indexable && value <= self.max_indexable);
+        (value.ln() * self.multiplier).ceil() as i32
+    }
+
+    #[inline]
+    fn value(&self, index: i32) -> f64 {
+        // 2γ^i/(γ+1): harmonic midpoint of (γ^(i−1), γ^i].
+        (index as f64 / self.multiplier).exp() * (2.0 / (1.0 + self.gamma))
+    }
+
+    #[inline]
+    fn lower_bound(&self, index: i32) -> f64 {
+        ((index - 1) as f64 / self.multiplier).exp()
+    }
+
+    #[inline]
+    fn upper_bound(&self, index: i32) -> f64 {
+        (index as f64 / self.multiplier).exp()
+    }
+
+    fn min_indexable_value(&self) -> f64 {
+        self.min_indexable
+    }
+
+    fn max_indexable_value(&self) -> f64 {
+        self.max_indexable
+    }
+
+    fn kind(&self) -> MappingKind {
+        MappingKind::Logarithmic
+    }
+
+    fn name(&self) -> &'static str {
+        "LogarithmicMapping"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::conformance;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conformance_suite() {
+        for alpha in [0.001, 0.01, 0.02, 0.05, 0.1, 0.5] {
+            let m = LogarithmicMapping::new(alpha).unwrap();
+            conformance::run_suite(&m);
+        }
+    }
+
+    #[test]
+    fn index_matches_paper_formula() {
+        let m = LogarithmicMapping::new(0.01).unwrap();
+        let gamma = m.gamma();
+        for &x in &[0.001f64, 0.5, 1.0, 2.0, 100.0, 1e9] {
+            let expected = (x.ln() / gamma.ln()).ceil() as i32;
+            assert_eq!(m.index(x), expected, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn representative_is_paper_midpoint() {
+        let m = LogarithmicMapping::new(0.01).unwrap();
+        let gamma = m.gamma();
+        for i in [-100, -1, 0, 1, 7, 250] {
+            let expected = 2.0 * gamma.powi(i) / (gamma + 1.0);
+            let got = m.value(i);
+            assert!(
+                (got - expected).abs() <= expected.abs() * 1e-12,
+                "index {i}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_of_one_is_zero() {
+        // ⌈log_γ 1⌉ = 0: bucket 0 covers (1/γ, 1].
+        let m = LogarithmicMapping::new(0.01).unwrap();
+        assert_eq!(m.index(1.0), 0);
+    }
+
+    #[test]
+    fn bucket_width_is_exactly_gamma() {
+        let m = LogarithmicMapping::new(0.01).unwrap();
+        for i in [-5, 0, 3, 1000] {
+            let ratio = m.upper_bound(i) / m.lower_bound(i);
+            assert!((ratio - m.gamma()).abs() < 1e-9, "bucket {i}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_accuracy() {
+        assert!(LogarithmicMapping::new(0.0).is_err());
+        assert!(LogarithmicMapping::new(1.0).is_err());
+        assert!(LogarithmicMapping::new(-0.1).is_err());
+    }
+
+    #[test]
+    fn extreme_alpha_keeps_indices_in_i32() {
+        // Very tight accuracy: multiplier is huge, so the indexable range
+        // must shrink to keep indices in i32.
+        let m = LogarithmicMapping::new(1e-9).unwrap();
+        let lo = m.min_indexable_value();
+        let hi = m.max_indexable_value();
+        assert!(lo > 0.0 && hi.is_finite() && lo < hi);
+        // The extremes must index without overflow (checked arithmetic in
+        // debug builds would panic on wrap).
+        let _ = m.index(lo);
+        let _ = m.index(hi);
+        conformance::check_value(&m, lo);
+        conformance::check_value(&m, hi);
+    }
+
+    #[test]
+    fn wide_alpha_covers_full_float_range() {
+        let m = LogarithmicMapping::new(0.01).unwrap();
+        // Paper §2.2: α = 0.01 and 2048 buckets cover 80 µs .. 1 year; the
+        // unbounded mapping must comfortably cover the full f64 range.
+        assert!(m.min_indexable_value() < 1e-300);
+        assert!(m.max_indexable_value() > 1e300);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_alpha_accuracy(x in 1e-12_f64..1e12, alpha in 0.001_f64..0.3) {
+            let m = LogarithmicMapping::new(alpha).unwrap();
+            conformance::check_value(&m, x);
+        }
+
+        #[test]
+        fn prop_monotone(a in 1e-9_f64..1e9, b in 1e-9_f64..1e9) {
+            let m = LogarithmicMapping::new(0.01).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.index(lo) <= m.index(hi));
+        }
+    }
+}

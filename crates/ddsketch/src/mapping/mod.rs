@@ -1,0 +1,277 @@
+//! Index mappings: value ⇄ bucket-index schemes with a relative-accuracy
+//! guarantee.
+//!
+//! The paper (Section 2.1) divides `ℝ>0` into buckets
+//! `B_i = (γ^(i−1), γ^i]` with `γ = (1+α)/(1−α)` and assigns
+//! `i = ⌈log_γ x⌉`; the representative value `2γ^i/(γ+1)` is then an
+//! α-accurate estimate of anything in the bucket (Lemma 2).
+//!
+//! Section 4 additionally evaluates *DDSketch (fast)*, which replaces the
+//! exact logarithm with interpolations computed from the IEEE-754 bit
+//! representation of the value: `log2(x)` is free to extract (the exponent
+//! field), and the fractional part is approximated by a polynomial in the
+//! significand. Those mappings trade a slightly larger number of buckets for
+//! an index computation with no transcendental function calls.
+//!
+//! All mappings in this module uphold the same contract, which is
+//! property-tested by the `conformance` test suite:
+//!
+//! 1. **Monotonicity**: `x ≤ y ⇒ index(x) ≤ index(y)`.
+//! 2. **Membership**: `lower_bound(i) < x ≤ upper_bound(i)` whenever
+//!    `index(x) = i` (up to 1-ulp slack at bucket boundaries).
+//! 3. **α-accuracy**: `|value(index(x)) − x| ≤ α·x` for every indexable `x`.
+
+mod cubic;
+mod linear;
+mod log_like;
+mod logarithmic;
+mod quadratic;
+
+pub use cubic::CubicInterpolatedMapping;
+pub use linear::LinearInterpolatedMapping;
+pub use logarithmic::LogarithmicMapping;
+pub use quadratic::QuadraticInterpolatedMapping;
+
+use sketch_core::SketchError;
+
+/// Identifies the mapping family, used by the binary codec and for merge
+/// compatibility checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MappingKind {
+    /// Exact logarithm — memory-optimal bucket widths.
+    Logarithmic = 0,
+    /// Linear interpolation of `log2` between powers of two (~44% more
+    /// buckets than optimal, fastest index computation).
+    LinearInterpolated = 1,
+    /// Quadratic interpolation (~8% more buckets).
+    QuadraticInterpolated = 2,
+    /// Cubic interpolation (~1% more buckets).
+    CubicInterpolated = 3,
+}
+
+impl MappingKind {
+    /// Decode from the codec byte.
+    pub fn from_u8(b: u8) -> Result<Self, SketchError> {
+        match b {
+            0 => Ok(MappingKind::Logarithmic),
+            1 => Ok(MappingKind::LinearInterpolated),
+            2 => Ok(MappingKind::QuadraticInterpolated),
+            3 => Ok(MappingKind::CubicInterpolated),
+            other => Err(SketchError::Decode(format!("unknown mapping kind {other}"))),
+        }
+    }
+}
+
+/// A scheme assigning positive values to integer bucket indices such that
+/// every value in a bucket is within relative error `α` of the bucket's
+/// representative value.
+pub trait IndexMapping: Clone + std::fmt::Debug + PartialEq {
+    /// The relative accuracy `α` this mapping guarantees.
+    fn relative_accuracy(&self) -> f64;
+
+    /// `γ = (1+α)/(1−α)`: the maximal ratio between the upper and lower
+    /// boundary of any bucket.
+    fn gamma(&self) -> f64;
+
+    /// Bucket index for `value`, which must lie within
+    /// `[min_indexable_value(), max_indexable_value()]`.
+    fn index(&self, value: f64) -> i32;
+
+    /// Representative value of bucket `index`: the harmonic midpoint
+    /// `2·l·u/(l+u)` of the bucket `(l, u]`, which minimizes the worst-case
+    /// relative error over the bucket (and equals the paper's
+    /// `2γ^i/(γ+1)` for the logarithmic mapping).
+    fn value(&self, index: i32) -> f64;
+
+    /// Exclusive lower boundary of bucket `index`.
+    fn lower_bound(&self, index: i32) -> f64;
+
+    /// Inclusive upper boundary of bucket `index`.
+    fn upper_bound(&self, index: i32) -> f64 {
+        self.lower_bound(index.saturating_add(1))
+    }
+
+    /// Smallest positive value this mapping can index.
+    ///
+    /// Below this, either the bucket index would underflow `i32` or the
+    /// value is subnormal (the interpolated mappings read IEEE-754 exponent
+    /// bits, which subnormals do not have). The sketch routes smaller values
+    /// to its exact zero bucket, per the paper's Section 2.2.
+    fn min_indexable_value(&self) -> f64;
+
+    /// Largest value this mapping can index without the index overflowing.
+    fn max_indexable_value(&self) -> f64;
+
+    /// Stable identifier for codec/compatibility purposes.
+    fn kind(&self) -> MappingKind;
+
+    /// Mapping name used in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Whether `self` and `other` define identical bucket boundaries, i.e.
+    /// whether sketches using them can be merged exactly.
+    fn is_mergeable_with(&self, other: &Self) -> bool {
+        self.kind() == other.kind()
+            && (self.relative_accuracy() - other.relative_accuracy()).abs() < 1e-12
+    }
+}
+
+/// Validate a relative accuracy parameter and derive `γ = (1+α)/(1−α)`.
+pub(crate) fn gamma_of(relative_accuracy: f64) -> Result<f64, SketchError> {
+    if !(relative_accuracy.is_finite() && relative_accuracy > 0.0 && relative_accuracy < 1.0) {
+        return Err(SketchError::InvalidConfig(format!(
+            "relative accuracy must be in (0, 1), got {relative_accuracy}"
+        )));
+    }
+    Ok((1.0 + relative_accuracy) / (1.0 - relative_accuracy))
+}
+
+/// Decompose a positive normal `f64` into `(exponent, significand)` with
+/// `x = significand · 2^exponent` and `significand ∈ [1, 2)`.
+///
+/// This is the "costless way to evaluate the logarithm to the base 2" the
+/// paper refers to: a couple of bit operations on the IEEE-754
+/// representation.
+#[inline]
+pub(crate) fn decompose(x: f64) -> (i64, f64) {
+    debug_assert!(x >= f64::MIN_POSITIVE && x.is_finite());
+    let bits = x.to_bits();
+    let exponent = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let significand = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    (exponent, significand)
+}
+
+/// Recompose `significand · 2^exponent` (the inverse of [`decompose`]) for
+/// `significand ∈ [1, 2)` and an exponent within the normal range.
+#[inline]
+pub(crate) fn recompose(exponent: i64, significand: f64) -> f64 {
+    debug_assert!((1.0..2.0 + 1e-9).contains(&significand));
+    // Clamp into the representable normal exponent range; the mapping's
+    // min/max indexable bounds keep us inside it in practice.
+    let e = exponent.clamp(-1022, 1023);
+    significand * f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared conformance suite run against every mapping implementation.
+    use super::*;
+
+    /// Check the three-part mapping contract for a specific value.
+    pub(crate) fn check_value<M: IndexMapping>(m: &M, x: f64) {
+        let alpha = m.relative_accuracy();
+        let i = m.index(x);
+        let rep = m.value(i);
+        let rel_err = (rep - x).abs() / x;
+        assert!(
+            rel_err <= alpha * (1.0 + 1e-9) + 1e-12,
+            "{}: value {x} -> index {i} -> rep {rep}: relative error {rel_err} > alpha {alpha}",
+            m.name()
+        );
+        // Membership with 1-ulp slack at boundaries.
+        let lo = m.lower_bound(i);
+        let hi = m.upper_bound(i);
+        assert!(
+            lo * (1.0 - 1e-12) <= x && x <= hi * (1.0 + 1e-12),
+            "{}: value {x} outside its bucket [{lo}, {hi}] (index {i})",
+            m.name()
+        );
+    }
+
+    /// Exercise the full contract over a geometric sweep of the indexable
+    /// range plus boundary-adjacent values.
+    pub(crate) fn run_suite<M: IndexMapping>(m: &M) {
+        // Geometric sweep across ~60 orders of magnitude.
+        let mut x = 1e-30_f64.max(m.min_indexable_value());
+        let stop = 1e30_f64.min(m.max_indexable_value());
+        while x < stop {
+            check_value(m, x);
+            x *= 1.7;
+        }
+        check_value(m, m.min_indexable_value());
+        check_value(m, m.max_indexable_value());
+
+        // Monotonicity over a fine local sweep.
+        let mut prev_index = m.index(0.5);
+        let mut v = 0.5;
+        while v < 4.0 {
+            let idx = m.index(v);
+            assert!(idx >= prev_index, "{}: index not monotone at {v}", m.name());
+            prev_index = idx;
+            v *= 1.0 + 1e-4;
+        }
+
+        // Bucket boundaries are increasing and consistent (probe only
+        // indices whose buckets are representable for this mapping).
+        let idx_lo = m.index(m.min_indexable_value()) + 1;
+        let idx_hi = m.index(m.max_indexable_value()) - 1;
+        for i in [-1000, -10, -1, 0, 1, 10, 1000].map(|i: i32| i.clamp(idx_lo, idx_hi)) {
+            let lo = m.lower_bound(i);
+            let hi = m.upper_bound(i);
+            assert!(lo < hi, "{}: empty bucket at {i}", m.name());
+            assert!(
+                hi / lo <= m.gamma() * (1.0 + 1e-9),
+                "{}: bucket {i} wider than gamma: {} vs {}",
+                m.name(),
+                hi / lo,
+                m.gamma()
+            );
+            let rep = m.value(i);
+            assert!(lo <= rep && rep <= hi, "{}: representative outside bucket {i}", m.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_of_rejects_bad_alpha() {
+        assert!(gamma_of(0.0).is_err());
+        assert!(gamma_of(1.0).is_err());
+        assert!(gamma_of(-0.5).is_err());
+        assert!(gamma_of(f64::NAN).is_err());
+        assert!(gamma_of(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn gamma_of_matches_paper_formula() {
+        let g = gamma_of(0.01).unwrap();
+        assert!((g - 1.01 / 0.99).abs() < 1e-15);
+        // alpha = 0.01 -> gamma ≈ 1.0202
+        assert!((g - 1.0202).abs() < 1e-3);
+    }
+
+    #[test]
+    fn decompose_recompose_roundtrip() {
+        for &x in &[1.0, 1.5, 2.0, std::f64::consts::PI, 1e-300, 1e300, f64::MIN_POSITIVE, 0.1] {
+            let (e, s) = decompose(x);
+            assert!((1.0..2.0).contains(&s), "significand {s} for {x}");
+            let back = recompose(e, s);
+            assert_eq!(back, x, "roundtrip failed for {x}");
+        }
+    }
+
+    #[test]
+    fn decompose_known_values() {
+        assert_eq!(decompose(1.0), (0, 1.0));
+        assert_eq!(decompose(2.0), (1, 1.0));
+        assert_eq!(decompose(3.0), (1, 1.5));
+        assert_eq!(decompose(0.5), (-1, 1.0));
+    }
+
+    #[test]
+    fn mapping_kind_codec_roundtrip() {
+        for kind in [
+            MappingKind::Logarithmic,
+            MappingKind::LinearInterpolated,
+            MappingKind::QuadraticInterpolated,
+            MappingKind::CubicInterpolated,
+        ] {
+            assert_eq!(MappingKind::from_u8(kind as u8).unwrap(), kind);
+        }
+        assert!(MappingKind::from_u8(200).is_err());
+    }
+}

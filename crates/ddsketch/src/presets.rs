@@ -1,0 +1,177 @@
+//! Standard sketch configurations (paper Section 2.2 / Section 4).
+
+use crate::mapping::{CubicInterpolatedMapping, LogarithmicMapping};
+use crate::sketch::DDSketch;
+use crate::store::{
+    CollapsingHighestDenseStore, CollapsingLowestDenseStore, CollapsingSparseStore, DenseStore,
+    SparseStore,
+};
+use sketch_core::SketchError;
+
+/// The basic sketch of Section 2.1: exact logarithmic mapping, unbounded
+/// dense stores, no collapsing — the α guarantee holds for *every* quantile
+/// of *any* stream, at the cost of size linear in the bucket span.
+pub type UnboundedDDSketch = DDSketch<LogarithmicMapping, DenseStore, DenseStore>;
+
+/// The paper's evaluated configuration ("DDSketch" in Table 2): exact
+/// logarithmic mapping, dense stores bounded to `m` buckets that collapse
+/// the lowest (positive side) / highest (negative side) indices.
+pub type BoundedDDSketch =
+    DDSketch<LogarithmicMapping, CollapsingLowestDenseStore, CollapsingHighestDenseStore>;
+
+/// "DDSketch (fast)": cubic-interpolated mapping (no transcendentals on the
+/// insertion path) with bounded dense stores.
+pub type FastDDSketch =
+    DDSketch<CubicInterpolatedMapping, CollapsingLowestDenseStore, CollapsingHighestDenseStore>;
+
+/// Sparse, unbounded sketch: memory proportional to non-empty buckets
+/// (paper §2.2's space-over-speed option).
+pub type SparseDDSketch = DDSketch<LogarithmicMapping, SparseStore, SparseStore>;
+
+/// Algorithm-3-exact sketch: sparse stores bounding the number of
+/// *non-empty* buckets, collapsing the two lowest when exceeded.
+///
+/// Note: the negative-value side also collapses its two lowest `|x|`
+/// buckets (the values nearest zero), which differs from the dense presets
+/// (those collapse the most-negative values). For the positive-value
+/// workloads the paper evaluates, the two behaviours coincide.
+pub type PaperExactDDSketch =
+    DDSketch<LogarithmicMapping, CollapsingSparseStore, CollapsingSparseStore>;
+
+fn validate_bins(max_bins: usize) -> Result<(), SketchError> {
+    if max_bins == 0 {
+        return Err(SketchError::InvalidConfig(
+            "max_bins must be positive".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Build an [`UnboundedDDSketch`] with relative accuracy `alpha`.
+pub fn unbounded(alpha: f64) -> Result<UnboundedDDSketch, SketchError> {
+    Ok(DDSketch::from_parts(
+        LogarithmicMapping::new(alpha)?,
+        DenseStore::new(),
+        DenseStore::new(),
+    ))
+}
+
+/// Build a [`BoundedDDSketch`] — the paper's `α = 0.01`, `m = 2048`
+/// configuration is `logarithmic_collapsing(0.01, 2048)`.
+pub fn logarithmic_collapsing(
+    alpha: f64,
+    max_bins: usize,
+) -> Result<BoundedDDSketch, SketchError> {
+    validate_bins(max_bins)?;
+    Ok(DDSketch::from_parts(
+        LogarithmicMapping::new(alpha)?,
+        CollapsingLowestDenseStore::new(max_bins),
+        CollapsingHighestDenseStore::new(max_bins),
+    ))
+}
+
+/// Build a [`FastDDSketch`] ("DDSketch (fast)" in the paper's figures).
+pub fn fast(alpha: f64, max_bins: usize) -> Result<FastDDSketch, SketchError> {
+    validate_bins(max_bins)?;
+    Ok(DDSketch::from_parts(
+        CubicInterpolatedMapping::new(alpha)?,
+        CollapsingLowestDenseStore::new(max_bins),
+        CollapsingHighestDenseStore::new(max_bins),
+    ))
+}
+
+/// Build a [`SparseDDSketch`].
+pub fn sparse(alpha: f64) -> Result<SparseDDSketch, SketchError> {
+    Ok(DDSketch::from_parts(
+        LogarithmicMapping::new(alpha)?,
+        SparseStore::new(),
+        SparseStore::new(),
+    ))
+}
+
+/// Build a [`PaperExactDDSketch`] implementing Algorithm 3 literally.
+pub fn paper_exact(alpha: f64, max_bins: usize) -> Result<PaperExactDDSketch, SketchError> {
+    validate_bins(max_bins)?;
+    Ok(DDSketch::from_parts(
+        LogarithmicMapping::new(alpha)?,
+        CollapsingSparseStore::new(max_bins),
+        CollapsingSparseStore::new(max_bins),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sketch_core::lower_quantile_index;
+
+    #[test]
+    fn constructors_validate_parameters() {
+        assert!(unbounded(0.0).is_err());
+        assert!(logarithmic_collapsing(0.01, 0).is_err());
+        assert!(fast(2.0, 1024).is_err());
+        assert!(fast(0.01, 0).is_err());
+        assert!(sparse(-1.0).is_err());
+        assert!(paper_exact(0.01, 0).is_err());
+    }
+
+    /// All five presets must agree (within 2α) on the same stream.
+    #[test]
+    fn presets_agree_on_quantiles() {
+        let alpha = 0.01;
+        let mut u = unbounded(alpha).unwrap();
+        let mut b = logarithmic_collapsing(alpha, 2048).unwrap();
+        let mut f = fast(alpha, 2048).unwrap();
+        let mut s = sparse(alpha).unwrap();
+        let mut p = paper_exact(alpha, 2048).unwrap();
+
+        let mut values: Vec<f64> = (1..=20_000).map(|i| (i as f64).sqrt() * 3.7).collect();
+        for &v in &values {
+            u.add(v).unwrap();
+            b.add(v).unwrap();
+            f.add(v).unwrap();
+            s.add(v).unwrap();
+            p.add(v).unwrap();
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.01, 0.5, 0.95, 0.99] {
+            let actual = values[lower_quantile_index(q, values.len())];
+            for (name, est) in [
+                ("unbounded", u.quantile(q).unwrap()),
+                ("bounded", b.quantile(q).unwrap()),
+                ("fast", f.quantile(q).unwrap()),
+                ("sparse", s.quantile(q).unwrap()),
+                ("paper_exact", p.quantile(q).unwrap()),
+            ] {
+                let rel = (est - actual).abs() / actual;
+                assert!(rel <= alpha + 1e-9, "{name} q={q}: rel {rel}");
+            }
+        }
+        // None of them should have collapsed on this narrow-range stream.
+        assert!(!b.has_collapsed());
+        assert!(!f.has_collapsed());
+        assert!(!p.has_collapsed());
+    }
+
+    #[test]
+    fn paper_table2_configuration_handles_microseconds_to_a_year() {
+        // Paper §2.2: "for α = 0.01, a sketch of size 2048 can handle
+        // values from 80 microseconds to 1 year" (in seconds).
+        let mut s = logarithmic_collapsing(0.01, 2048).unwrap();
+        let year = 365.25 * 24.0 * 3600.0;
+        s.add(80e-6).unwrap();
+        s.add(year).unwrap();
+        assert!(!s.has_collapsed(), "80µs..1y must fit in 2048 buckets at α=0.01");
+    }
+
+    #[test]
+    fn sparse_uses_less_memory_on_sparse_data() {
+        let mut dense = unbounded(0.01).unwrap();
+        let mut sp = sparse(0.01).unwrap();
+        // Two extreme values: a huge dense span, only two sparse bins.
+        for v in [1e-6, 1e6] {
+            dense.add(v).unwrap();
+            sp.add(v).unwrap();
+        }
+        assert!(sp.memory_bytes() * 10 < dense.memory_bytes());
+    }
+}

@@ -1,0 +1,656 @@
+//! The DDSketch itself (paper Section 2).
+
+use crate::mapping::{IndexMapping, MappingKind};
+use crate::store::Store;
+use sketch_core::{target_rank, MemoryFootprint, MergeableSketch, QuantileSketch, SketchError};
+
+/// A quantile sketch with relative-error guarantees over all of ℝ.
+///
+/// Values are routed to one of three sub-structures (paper Section 2.2):
+///
+/// * positives → `positive` store, bucketed by `mapping.index(x)`;
+/// * negatives → `negative` store, bucketed by `mapping.index(-x)` (so for
+///   bounded stores, "collapses start from the highest indices" — use a
+///   highest-collapsing store for `SN`);
+/// * zero and anything smaller than the mapping's minimum indexable value
+///   → an exact `zero_count` bucket.
+///
+/// The sketch additionally tracks exact `min`, `max`, and `sum` (the paper:
+/// "like most sketch implementations, it is useful to keep separate track
+/// of the minimum and maximum values"), which also lets quantile estimates
+/// be clamped into `[min, max]` — a strict improvement that preserves the
+/// α guarantee since the true quantile always lies in that interval.
+///
+/// Type parameters select the bucket-index scheme (`M`) and the backing
+/// stores for the positive (`SP`) and negative (`SN`) halves; see the
+/// [`crate::presets`] constructors for the standard combinations.
+#[derive(Debug, Clone)]
+pub struct DDSketch<M: IndexMapping, SP: Store, SN: Store = SP> {
+    mapping: M,
+    positive: SP,
+    negative: SN,
+    zero_count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
+    /// Assemble a sketch from a mapping and two (empty) stores.
+    pub fn from_parts(mapping: M, positive: SP, negative: SN) -> Self {
+        Self {
+            mapping,
+            positive,
+            negative,
+            zero_count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// The index mapping in use.
+    pub fn mapping(&self) -> &M {
+        &self.mapping
+    }
+
+    /// The relative accuracy `α` guaranteed for quantiles backed by
+    /// non-collapsed buckets.
+    pub fn relative_accuracy(&self) -> f64 {
+        self.mapping.relative_accuracy()
+    }
+
+    /// Insert `count` occurrences of `value` in O(1).
+    pub fn add_n(&mut self, value: f64, count: u64) -> Result<(), SketchError> {
+        if !value.is_finite() {
+            return Err(SketchError::UnsupportedValue(value));
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        let magnitude = value.abs();
+        if magnitude > self.mapping.max_indexable_value() {
+            return Err(SketchError::UnsupportedValue(value));
+        }
+        if magnitude < self.mapping.min_indexable_value() {
+            // Within floating-point distance of zero (paper §2.2): exact
+            // zero bucket.
+            self.zero_count += count;
+        } else if value > 0.0 {
+            self.positive.add_n(self.mapping.index(value), count);
+        } else {
+            self.negative.add_n(self.mapping.index(magnitude), count);
+        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value * count as f64;
+        Ok(())
+    }
+
+    /// Insert one occurrence of `value`.
+    pub fn add(&mut self, value: f64) -> Result<(), SketchError> {
+        self.add_n(value, 1)
+    }
+
+    /// Remove one previously-inserted occurrence of `value` (paper §2:
+    /// "it is straightforward to insert items into this sketch as well as
+    /// delete items").
+    ///
+    /// Returns `false` if the bucket `value` maps to holds no occurrences —
+    /// which can happen legitimately after a collapse folded it away.
+    /// `min`/`max` are *not* recomputed (they remain valid bounds but may
+    /// become loose); `sum` is adjusted exactly.
+    pub fn delete(&mut self, value: f64) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
+        let magnitude = value.abs();
+        let removed = if magnitude > self.mapping.max_indexable_value() {
+            false
+        } else if magnitude < self.mapping.min_indexable_value() {
+            if self.zero_count > 0 {
+                self.zero_count -= 1;
+                true
+            } else {
+                false
+            }
+        } else if value > 0.0 {
+            self.positive.remove_n(self.mapping.index(value), 1)
+        } else {
+            self.negative.remove_n(self.mapping.index(magnitude), 1)
+        };
+        if removed {
+            self.sum -= value;
+        }
+        removed
+    }
+
+    /// Total number of stored occurrences.
+    pub fn count(&self) -> u64 {
+        self.zero_count + self.positive.total_count() + self.negative.total_count()
+    }
+
+    /// Whether the sketch holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Exact sum of inserted values (weighted).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean, or `None` if empty.
+    pub fn average(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum / n as f64)
+    }
+
+    /// Exact minimum inserted value (a lower bound after deletions).
+    pub fn min(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// Exact maximum inserted value (an upper bound after deletions).
+    pub fn max(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// Count of values in the exact zero bucket.
+    pub fn zero_count(&self) -> u64 {
+        self.zero_count
+    }
+
+    /// Number of non-empty buckets across both stores plus the zero bucket
+    /// (the "bins" of the paper's Figure 7).
+    pub fn num_bins(&self) -> usize {
+        self.positive.num_bins() + self.negative.num_bins() + usize::from(self.zero_count > 0)
+    }
+
+    /// Whether any store has collapsed buckets, i.e. whether the lowest
+    /// quantiles may no longer carry the α guarantee (Proposition 4).
+    pub fn has_collapsed(&self) -> bool {
+        self.positive.has_collapsed() || self.negative.has_collapsed()
+    }
+
+    /// Estimate the q-quantile (Algorithm 2, generalized to ℝ).
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(SketchError::InvalidQuantile(q));
+        }
+        let n = self.count();
+        if n == 0 {
+            return Err(SketchError::Empty);
+        }
+        let rank = target_rank(q, n);
+        let neg = self.negative.total_count() as f64;
+        let raw = if rank < neg {
+            // Walk the negative store from the most negative value, i.e.
+            // from its largest |x| bucket index downward.
+            let idx = self
+                .negative
+                .key_at_rank_descending(rank)
+                .expect("negative store non-empty");
+            -self.mapping.value(idx)
+        } else if rank < neg + self.zero_count as f64 {
+            0.0
+        } else {
+            let idx = self
+                .positive
+                .key_at_rank(rank - neg - self.zero_count as f64)
+                .expect("rank < total implies positive store non-empty");
+            self.mapping.value(idx)
+        };
+        // The true quantile lies in [min, max]; clamping can only reduce
+        // the error of the bucket representative.
+        Ok(raw.clamp(self.min, self.max))
+    }
+
+    /// Estimate several quantiles.
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
+    /// Hard bounds on the q-quantile: the boundaries of the bucket the
+    /// quantile falls in, intersected with the tracked `[min, max]`.
+    ///
+    /// Unlike [`Self::quantile`]'s point estimate (which is α-accurate),
+    /// the returned interval *contains the true quantile with certainty*
+    /// as long as its bucket has not been collapsed — useful for
+    /// alerting logic that must not fire on sketch error.
+    pub fn quantile_bounds(&self, q: f64) -> Result<(f64, f64), SketchError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(SketchError::InvalidQuantile(q));
+        }
+        let n = self.count();
+        if n == 0 {
+            return Err(SketchError::Empty);
+        }
+        let rank = target_rank(q, n);
+        let neg = self.negative.total_count() as f64;
+        let (lo, hi) = if rank < neg {
+            let idx = self
+                .negative
+                .key_at_rank_descending(rank)
+                .expect("negative store non-empty");
+            (-self.mapping.upper_bound(idx), -self.mapping.lower_bound(idx))
+        } else if rank < neg + self.zero_count as f64 {
+            (0.0, 0.0)
+        } else {
+            let idx = self
+                .positive
+                .key_at_rank(rank - neg - self.zero_count as f64)
+                .expect("rank < total implies positive store non-empty");
+            (self.mapping.lower_bound(idx), self.mapping.upper_bound(idx))
+        };
+        Ok((lo.max(self.min), hi.min(self.max)))
+    }
+
+    /// Merge another sketch into this one (Algorithm 4). Bucket-exact: the
+    /// result is identical to a single sketch over the union of the inputs.
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if !self.mapping.is_mergeable_with(&other.mapping) {
+            return Err(SketchError::IncompatibleMerge(format!(
+                "mapping {} (α={}) vs {} (α={})",
+                self.mapping.name(),
+                self.mapping.relative_accuracy(),
+                other.mapping.name(),
+                other.mapping.relative_accuracy()
+            )));
+        }
+        self.positive.merge_from(&other.positive);
+        self.negative.merge_from(&other.negative);
+        self.zero_count += other.zero_count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        Ok(())
+    }
+
+    /// Reset to empty, retaining allocations.
+    pub fn clear(&mut self) {
+        self.positive.clear();
+        self.negative.clear();
+        self.zero_count = 0;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        self.sum = 0.0;
+    }
+
+    /// Structural memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            - std::mem::size_of::<SP>()
+            - std::mem::size_of::<SN>()
+            + self.positive.memory_bytes()
+            + self.negative.memory_bytes()
+    }
+
+    /// Access the positive-value store (read-only; used by the codec and
+    /// the evaluation harness).
+    pub fn positive_store(&self) -> &SP {
+        &self.positive
+    }
+
+    /// Access the negative-value store.
+    pub fn negative_store(&self) -> &SN {
+        &self.negative
+    }
+
+    /// Internal: bulk-load decoded state. Used by the codec.
+    pub(crate) fn load(
+        &mut self,
+        zero_count: u64,
+        min: f64,
+        max: f64,
+        sum: f64,
+        pos_bins: &[(i32, u64)],
+        neg_bins: &[(i32, u64)],
+    ) {
+        for &(i, c) in pos_bins.iter().rev() {
+            self.positive.add_n(i, c);
+        }
+        for &(i, c) in neg_bins {
+            self.negative.add_n(i, c);
+        }
+        self.zero_count = zero_count;
+        self.min = min;
+        self.max = max;
+        self.sum = sum;
+    }
+}
+
+impl<M: IndexMapping, SP: Store, SN: Store> Extend<f64> for DDSketch<M, SP, SN> {
+    /// Bulk insertion; values the sketch cannot represent (NaN, ±∞,
+    /// beyond the indexable range) are silently skipped — use [`Self::add`]
+    /// when per-value errors matter.
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            let _ = self.add(v);
+        }
+    }
+}
+
+impl<M: IndexMapping, SP: Store, SN: Store> QuantileSketch for DDSketch<M, SP, SN> {
+    fn add(&mut self, value: f64) -> Result<(), SketchError> {
+        DDSketch::add(self, value)
+    }
+
+    fn add_n(&mut self, value: f64, count: u64) -> Result<(), SketchError> {
+        DDSketch::add_n(self, value, count)
+    }
+
+    fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        DDSketch::quantile(self, q)
+    }
+
+    fn count(&self) -> u64 {
+        DDSketch::count(self)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mapping.kind() {
+            MappingKind::Logarithmic => "DDSketch",
+            _ => "DDSketch (fast)",
+        }
+    }
+}
+
+impl<M: IndexMapping, SP: Store, SN: Store> MergeableSketch for DDSketch<M, SP, SN> {
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        DDSketch::merge_from(self, other)
+    }
+}
+
+impl<M: IndexMapping, SP: Store, SN: Store> MemoryFootprint for DDSketch<M, SP, SN> {
+    fn memory_bytes(&self) -> usize {
+        DDSketch::memory_bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mapping::IndexMapping;
+    use crate::presets::*;
+    use crate::store::Store;
+    use sketch_core::SketchError;
+
+    #[test]
+    fn empty_sketch_behaviour() {
+        let s = unbounded(0.01).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.average(), None);
+        assert!(matches!(s.quantile(0.5), Err(SketchError::Empty)));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut s = unbounded(0.01).unwrap();
+        assert!(s.add(f64::NAN).is_err());
+        assert!(s.add(f64::INFINITY).is_err());
+        assert!(s.add(f64::NEG_INFINITY).is_err());
+        assert!(s.quantile(1.5).is_err());
+        assert!(s.quantile(-0.5).is_err());
+        assert!(s.quantile(f64::NAN).is_err());
+        assert!(s.is_empty(), "failed adds must not change state");
+    }
+
+    #[test]
+    fn single_value() {
+        let mut s = unbounded(0.01).unwrap();
+        s.add(42.0).unwrap();
+        assert_eq!(s.count(), 1);
+        for q in [0.0, 0.5, 1.0] {
+            let v = s.quantile(q).unwrap();
+            assert!((v - 42.0).abs() <= 0.42, "q={q}: {v}");
+        }
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+        assert_eq!(s.sum(), 42.0);
+    }
+
+    #[test]
+    fn alpha_accuracy_on_a_known_stream() {
+        let alpha = 0.01;
+        let mut s = unbounded(alpha).unwrap();
+        let mut values: Vec<f64> = (1..=10_000).map(|i| (i as f64).powf(1.3)).collect();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let actual = values[sketch_core::lower_quantile_index(q, values.len())];
+            let est = s.quantile(q).unwrap();
+            let rel = (est - actual).abs() / actual;
+            assert!(rel <= alpha + 1e-9, "q={q}: est {est} vs actual {actual} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn zero_and_tiny_values_use_the_zero_bucket() {
+        let mut s = unbounded(0.01).unwrap();
+        s.add(0.0).unwrap();
+        s.add(1e-320).unwrap(); // subnormal → zero bucket
+        s.add(-0.0).unwrap();
+        assert_eq!(s.zero_count(), 3);
+        assert_eq!(s.quantile(0.5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn negative_values_are_alpha_accurate() {
+        let alpha = 0.01;
+        let mut s = unbounded(alpha).unwrap();
+        let mut values: Vec<f64> = (1..=1000).map(|i| -(i as f64)).collect();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let actual = values[sketch_core::lower_quantile_index(q, values.len())];
+            let est = s.quantile(q).unwrap();
+            let rel = (est - actual).abs() / actual.abs();
+            assert!(rel <= alpha + 1e-9, "q={q}: est {est} vs actual {actual}");
+        }
+    }
+
+    #[test]
+    fn mixed_sign_stream_orders_correctly() {
+        let mut s = unbounded(0.01).unwrap();
+        for v in [-100.0, -1.0, 0.0, 1.0, 100.0] {
+            s.add(v).unwrap();
+        }
+        // q = 0 → most negative; q = 1 → most positive; q = 0.5 → zero.
+        assert!(s.quantile(0.0).unwrap() <= -99.0);
+        assert_eq!(s.quantile(0.5).unwrap(), 0.0);
+        assert!(s.quantile(1.0).unwrap() >= 99.0);
+        // Quantile estimates must be monotone in q.
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=20 {
+            let v = s.quantile(k as f64 / 20.0).unwrap();
+            assert!(v >= prev, "quantiles must be monotone: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn weighted_add_matches_repeated_add() {
+        let mut a = unbounded(0.01).unwrap();
+        let mut b = unbounded(0.01).unwrap();
+        a.add_n(3.5, 100).unwrap();
+        for _ in 0..100 {
+            b.add(3.5).unwrap();
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(
+            a.positive_store().bins_ascending(),
+            b.positive_store().bins_ascending()
+        );
+        assert_eq!(a.sum(), b.sum());
+    }
+
+    #[test]
+    fn delete_reverses_add() {
+        let mut s = unbounded(0.01).unwrap();
+        s.add(5.0).unwrap();
+        s.add(10.0).unwrap();
+        assert!(s.delete(5.0));
+        assert_eq!(s.count(), 1);
+        assert!((s.sum() - 10.0).abs() < 1e-12);
+        // Deleting a value whose bucket is empty fails cleanly.
+        assert!(!s.delete(5.0));
+        assert!(!s.delete(1e9));
+        // Zero-bucket deletion.
+        s.add(0.0).unwrap();
+        assert!(s.delete(0.0));
+        assert!(!s.delete(0.0));
+    }
+
+    #[test]
+    fn merge_is_bucket_exact() {
+        let mut a = unbounded(0.01).unwrap();
+        let mut b = unbounded(0.01).unwrap();
+        let mut union = unbounded(0.01).unwrap();
+        for i in 1..500 {
+            let v = i as f64 * 0.37;
+            a.add(v).unwrap();
+            union.add(v).unwrap();
+        }
+        for i in 1..300 {
+            let v = i as f64 * 11.1;
+            b.add(v).unwrap();
+            union.add(v).unwrap();
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.count(), union.count());
+        assert_eq!(
+            a.positive_store().bins_ascending(),
+            union.positive_store().bins_ascending()
+        );
+        assert_eq!(a.min(), union.min());
+        assert_eq!(a.max(), union.max());
+        assert!((a.sum() - union.sum()).abs() < 1e-6 * union.sum().abs());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_accuracy() {
+        let mut a = unbounded(0.01).unwrap();
+        let b = unbounded(0.02).unwrap();
+        assert!(matches!(
+            a.merge_from(&b),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+    }
+
+    #[test]
+    fn clamping_keeps_estimates_inside_observed_range() {
+        let mut s = unbounded(0.05).unwrap();
+        s.add(100.0).unwrap();
+        let v = s.quantile(1.0).unwrap();
+        assert!(v <= 100.0, "estimate {v} must not exceed the observed max");
+        let v = s.quantile(0.0).unwrap();
+        assert!(v >= 100.0 - 100.0 * 0.05 - 1e-9);
+    }
+
+    #[test]
+    fn bounded_sketch_keeps_upper_quantiles_after_collapse() {
+        // Proposition 4: with m buckets, quantiles q with
+        // x₁ ≤ x_q·γ^(m−1) stay accurate. Build a stream wide enough to
+        // force collapse and check the upper half.
+        let alpha = 0.01;
+        let mut s = logarithmic_collapsing(alpha, 128).unwrap();
+        let mut values = Vec::new();
+        for i in 0..50_000 {
+            // Span many orders of magnitude so the 128-bucket cap collapses.
+            let v = 1.0001_f64.powi(i % 30_000) * (1.0 + (i % 7) as f64);
+            s.add(v).unwrap();
+            values.push(v);
+        }
+        assert!(s.has_collapsed());
+        values.sort_by(f64::total_cmp);
+        for q in [0.9, 0.95, 0.99, 1.0] {
+            let actual = values[sketch_core::lower_quantile_index(q, values.len())];
+            let est = s.quantile(q).unwrap();
+            let rel = (est - actual).abs() / actual;
+            assert!(rel <= alpha + 1e-9, "q={q}: rel {rel}");
+        }
+        assert_eq!(s.count(), 50_000, "collapse must not lose counts");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = fast(0.01, 1024).unwrap();
+        for i in 1..100 {
+            s.add(i as f64).unwrap();
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.num_bins(), 0);
+        assert!(s.quantile(0.5).is_err());
+        s.add(7.0).unwrap();
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn rejects_values_beyond_indexable_range() {
+        let mut s = unbounded(1e-9).unwrap(); // tight α → narrow range
+        let too_big = s.mapping().max_indexable_value() * 2.0;
+        assert!(s.add(too_big).is_err());
+        assert!(s.add(-too_big).is_err());
+    }
+
+    #[test]
+    fn quantile_bounds_contain_the_true_quantile() {
+        let mut s = unbounded(0.01).unwrap();
+        let mut values: Vec<f64> = (1..=5000).map(|i| (i as f64) * 1.7).collect();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let actual = values[sketch_core::lower_quantile_index(q, values.len())];
+            let (lo, hi) = s.quantile_bounds(q).unwrap();
+            assert!(
+                lo <= actual && actual <= hi,
+                "q={q}: true {actual} outside [{lo}, {hi}]"
+            );
+            // The point estimate also lies inside its own bounds.
+            let est = s.quantile(q).unwrap();
+            assert!(lo <= est && est <= hi);
+        }
+    }
+
+    #[test]
+    fn quantile_bounds_mixed_signs_and_zero() {
+        let mut s = unbounded(0.01).unwrap();
+        for v in [-10.0, -1.0, 0.0, 1.0, 10.0] {
+            s.add(v).unwrap();
+        }
+        let (lo, hi) = s.quantile_bounds(0.5).unwrap();
+        assert_eq!((lo, hi), (0.0, 0.0), "zero bucket is exact");
+        let (lo, hi) = s.quantile_bounds(0.0).unwrap();
+        assert!(lo <= -10.0 && hi >= -10.0 * 1.01);
+        assert!(s.quantile_bounds(2.0).is_err());
+        assert!(unbounded(0.01).unwrap().quantile_bounds(0.5).is_err());
+    }
+
+    #[test]
+    fn extend_skips_unsupported_values() {
+        let mut s = unbounded(0.01).unwrap();
+        s.extend([1.0, f64::NAN, 2.0, f64::INFINITY, 3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 6.0);
+    }
+
+    #[test]
+    fn average_and_sum_are_exact() {
+        let mut s = unbounded(0.01).unwrap();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.add(v).unwrap();
+        }
+        assert_eq!(s.sum(), 10.0);
+        assert_eq!(s.average(), Some(2.5));
+    }
+}

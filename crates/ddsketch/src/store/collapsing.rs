@@ -1,0 +1,759 @@
+//! Bounded-size contiguous stores (paper Algorithms 3 and 4, dense
+//! span-limited variant).
+
+use super::Store;
+
+const CHUNK: i64 = 128;
+
+/// Round `v` (positive) up to the next multiple of `CHUNK`.
+#[inline]
+fn round_up_chunk(v: i64) -> i64 {
+    (v + CHUNK - 1) / CHUNK * CHUNK
+}
+
+
+/// Contiguous store whose index **span** is capped at `max_bins`; when an
+/// insertion would exceed the cap, the lowest indices are folded into the
+/// lowest kept bucket.
+///
+/// This is the store behind the paper's headline configuration
+/// (`α = 0.01`, `m = 2048`, Table 2): quantile queries stay α-accurate as
+/// long as `x₁ ≤ x_q·γ^(m−1)` (Proposition 4) — with 2048 buckets and
+/// α = 0.01 that covers values "from 80 microseconds to 1 year".
+///
+/// Compared to Algorithm 3's letter (which bounds *non-empty* buckets —
+/// see [`super::CollapsingSparseStore`]), bounding the span is stricter, so
+/// Proposition 4's guarantee carries over unchanged.
+#[derive(Debug, Clone)]
+pub struct CollapsingLowestDenseStore {
+    counts: Vec<u64>,
+    offset: i64,
+    min_idx: i64,
+    max_idx: i64,
+    total: u64,
+    max_bins: i64,
+    collapsed: bool,
+}
+
+impl CollapsingLowestDenseStore {
+    /// Create a store holding at most `max_bins` contiguous buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bins == 0`; the sketch-level builder validates this
+    /// before construction.
+    pub fn new(max_bins: usize) -> Self {
+        assert!(max_bins > 0, "max_bins must be positive");
+        Self {
+            counts: Vec::new(),
+            offset: 0,
+            min_idx: 0,
+            max_idx: 0,
+            total: 0,
+            max_bins: max_bins as i64,
+            collapsed: false,
+        }
+    }
+
+    /// The configured bucket-span limit.
+    pub fn max_bins(&self) -> usize {
+        self.max_bins as usize
+    }
+
+    #[inline]
+    fn pos(&self, index: i64) -> usize {
+        debug_assert!(index >= self.offset);
+        (index - self.offset) as usize
+    }
+
+    #[inline]
+    fn in_range(&self, index: i64) -> bool {
+        index >= self.offset && index < self.offset + self.counts.len() as i64
+    }
+
+    /// Reallocate (or initialize) so the array covers `index` plus the
+    /// current live window. Caller guarantees the resulting span fits in
+    /// `max_bins`.
+    fn fit(&mut self, index: i64) {
+        if self.counts.is_empty() {
+            let len = CHUNK.min(self.max_bins) as usize;
+            self.offset = index - (len as i64) / 2;
+            self.counts = vec![0; len];
+            return;
+        }
+        if self.total == 0 {
+            // Allocated but logically empty: recentre the existing buffer.
+            if !self.in_range(index) {
+                self.offset = index - (self.counts.len() as i64) / 2;
+            }
+            return;
+        }
+        if self.in_range(index) && self.in_range(self.min_idx) && self.in_range(self.max_idx) {
+            return;
+        }
+        let lo = self.min_idx.min(index);
+        let hi = self.max_idx.max(index);
+        let span = hi - lo + 1;
+        debug_assert!(span <= self.max_bins, "span {span} exceeds cap {}", self.max_bins);
+        let target_len = span
+            .max(self.counts.len() as i64 * 2)
+            .max(1);
+        let target_len = round_up_chunk(target_len)
+            .min(self.max_bins)
+            .max(span);
+        let extra = target_len - span;
+        // The window only ever slides upward (lowest buckets collapse), so
+        // put slack above when growing up, below when growing down.
+        let new_offset = if index >= self.max_idx { lo } else { lo - extra };
+        let mut new_counts = vec![0u64; target_len as usize];
+        for i in self.min_idx..=self.max_idx {
+            new_counts[(i - new_offset) as usize] = self.counts[self.pos(i)];
+        }
+        self.counts = new_counts;
+        self.offset = new_offset;
+    }
+
+    /// Ensure the array covers `[lo, hi]` (whose span the caller has
+    /// already bounded by `max_bins`) as well as the current live window,
+    /// with a single reallocation.
+    fn fit_range(&mut self, lo: i64, hi: i64) {
+        debug_assert!(lo <= hi);
+        let (wlo, whi) = if self.total > 0 {
+            (self.min_idx.min(lo), self.max_idx.max(hi))
+        } else {
+            (lo, hi)
+        };
+        let span = whi - wlo + 1;
+        debug_assert!(span <= self.max_bins, "span {span} exceeds cap {}", self.max_bins);
+        if self.total == 0 {
+            // Every counter is zero: resize if needed and re-anchor.
+            let target = round_up_chunk(span)
+                .min(self.max_bins)
+                .max(span)
+                .max(CHUNK.min(self.max_bins));
+            if (self.counts.len() as i64) < target {
+                self.counts = vec![0; target as usize];
+            }
+            self.offset = wlo;
+            return;
+        }
+        if self.in_range(wlo) && self.in_range(whi) {
+            return;
+        }
+        let target_len = round_up_chunk(span.max(self.counts.len() as i64))
+            .min(self.max_bins)
+            .max(span);
+        // Slack goes above: the window only slides upward over time.
+        let new_offset = wlo;
+        let mut new_counts = vec![0u64; target_len as usize];
+        for i in self.min_idx..=self.max_idx {
+            new_counts[(i - new_offset) as usize] = self.counts[self.pos(i)];
+        }
+        self.counts = new_counts;
+        self.offset = new_offset;
+        debug_assert!(self.in_range(wlo) && self.in_range(whi));
+    }
+
+    /// Fold every bucket below `new_min` into the bucket at `new_min`
+    /// (Algorithm 3's collapse, applied in bulk).
+    fn collapse_lowest_to(&mut self, new_min: i64) {
+        if self.total == 0 || new_min <= self.min_idx {
+            return;
+        }
+        let mut folded = 0u64;
+        let fold_end = new_min.min(self.max_idx + 1);
+        for i in self.min_idx..fold_end {
+            let pos = self.pos(i);
+            folded += std::mem::take(&mut self.counts[pos]);
+        }
+        debug_assert!(folded > 0, "min bucket was non-empty by invariant");
+        self.collapsed = true;
+        if new_min > self.max_idx {
+            // Everything folded: every counter is now zero, so the buffer
+            // can simply be recentred on the single surviving bucket.
+            self.min_idx = new_min;
+            self.max_idx = new_min;
+            if !self.in_range(new_min) {
+                debug_assert!(self.counts.iter().all(|&c| c == 0));
+                self.offset = new_min - (self.counts.len() as i64) / 2;
+            }
+        } else {
+            self.min_idx = new_min;
+        }
+        let pos = self.pos(new_min);
+        self.counts[pos] += folded;
+    }
+}
+
+impl Store for CollapsingLowestDenseStore {
+    fn add_n(&mut self, index: i32, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let index = index as i64;
+        if self.total == 0 {
+            self.fit(index);
+            let pos = self.pos(index);
+            self.counts[pos] += count;
+            self.min_idx = index;
+            self.max_idx = index;
+            self.total = count;
+            return;
+        }
+        let effective = if index > self.max_idx {
+            if index - self.min_idx + 1 > self.max_bins {
+                self.collapse_lowest_to(index - self.max_bins + 1);
+            }
+            index
+        } else if index < self.min_idx {
+            if self.max_idx - index + 1 > self.max_bins {
+                // `index` falls inside the collapsed region: route the count
+                // to the lowest bucket the span cap allows.
+                self.collapsed = true;
+                self.max_idx - self.max_bins + 1
+            } else {
+                index
+            }
+        } else {
+            index
+        };
+        self.fit(effective);
+        let pos = self.pos(effective);
+        self.counts[pos] += count;
+        self.min_idx = self.min_idx.min(effective);
+        self.max_idx = self.max_idx.max(effective);
+        self.total += count;
+    }
+
+    fn remove_n(&mut self, index: i32, count: u64) -> bool {
+        if count == 0 {
+            return true;
+        }
+        let index = index as i64;
+        if self.total == 0 || !self.in_range(index) || index < self.min_idx || index > self.max_idx
+        {
+            return false;
+        }
+        let pos = self.pos(index);
+        if self.counts[pos] < count {
+            return false;
+        }
+        self.counts[pos] -= count;
+        self.total -= count;
+        if self.total == 0 {
+            return true;
+        }
+        if self.counts[pos] == 0 {
+            if index == self.min_idx {
+                while self.counts[self.pos(self.min_idx)] == 0 {
+                    self.min_idx += 1;
+                }
+            }
+            if index == self.max_idx {
+                while self.counts[self.pos(self.max_idx)] == 0 {
+                    self.max_idx -= 1;
+                }
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn total_count(&self) -> u64 {
+        self.total
+    }
+
+    fn min_index(&self) -> Option<i32> {
+        (self.total > 0).then_some(self.min_idx as i32)
+    }
+
+    fn max_index(&self) -> Option<i32> {
+        (self.total > 0).then_some(self.max_idx as i32)
+    }
+
+    fn num_bins(&self) -> usize {
+        if self.total == 0 {
+            return 0;
+        }
+        (self.min_idx..=self.max_idx)
+            .filter(|&i| self.counts[self.pos(i)] > 0)
+            .count()
+    }
+
+    fn bins_ascending(&self) -> Vec<(i32, u64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        (self.min_idx..=self.max_idx)
+            .filter_map(|i| {
+                let c = self.counts[self.pos(i)];
+                (c > 0).then_some((i as i32, c))
+            })
+            .collect()
+    }
+
+    fn key_at_rank(&self, rank: f64) -> Option<i32> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut cum = 0u64;
+        for i in self.min_idx..=self.max_idx {
+            cum += self.counts[self.pos(i)];
+            if cum as f64 > rank {
+                return Some(i as i32);
+            }
+        }
+        Some(self.max_idx as i32)
+    }
+
+    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut cum = 0u64;
+        for i in (self.min_idx..=self.max_idx).rev() {
+            cum += self.counts[self.pos(i)];
+            if cum as f64 > rank {
+                return Some(i as i32);
+            }
+        }
+        Some(self.min_idx as i32)
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        // Bulk Algorithm 4: determine the merged maximum first, fold both
+        // sides' out-of-span buckets into the lowest allowed bucket, then
+        // add the arrays elementwise — no per-bucket re-insertion, which
+        // is what makes DDSketch merges an order of magnitude faster than
+        // GK/HDR in the paper's Figure 9.
+        self.collapsed |= other.collapsed;
+        if other.total == 0 {
+            return;
+        }
+        let new_max = if self.total == 0 {
+            other.max_idx
+        } else {
+            self.max_idx.max(other.max_idx)
+        };
+        let allowed_min = new_max - self.max_bins + 1;
+
+        // Fold our own low buckets first if the merged span demands it.
+        if self.total > 0 && self.min_idx < allowed_min {
+            self.collapse_lowest_to(allowed_min);
+        }
+
+        let eff_other_min = other.min_idx.max(allowed_min);
+        let lo = if self.total == 0 { eff_other_min } else { self.min_idx.min(eff_other_min) };
+        self.fit_range(lo, new_max);
+
+        // Elementwise add. Fast path: nothing of `other` collapses, so the
+        // two windows add as plain slices (vectorizable).
+        if other.min_idx >= allowed_min {
+            let dst = self.pos(other.min_idx);
+            let src = other.pos(other.min_idx);
+            let len = (other.max_idx - other.min_idx + 1) as usize;
+            for (d, s) in self.counts[dst..dst + len]
+                .iter_mut()
+                .zip(&other.counts[src..src + len])
+            {
+                *d += s;
+            }
+        } else {
+            for i in other.min_idx..=other.max_idx {
+                let c = other.counts[other.pos(i)];
+                if c > 0 {
+                    let eff = i.max(allowed_min);
+                    if eff != i {
+                        self.collapsed = true;
+                    }
+                    let pos = self.pos(eff);
+                    self.counts[pos] += c;
+                }
+            }
+        }
+        if self.total == 0 {
+            self.min_idx = eff_other_min;
+            self.max_idx = new_max;
+        } else {
+            self.min_idx = self.min_idx.min(eff_other_min);
+            self.max_idx = new_max;
+        }
+        self.total += other.total;
+    }
+
+    fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.collapsed = false;
+    }
+
+    fn has_collapsed(&self) -> bool {
+        self.collapsed
+    }
+
+    fn bin_limit(&self) -> Option<usize> {
+        Some(self.max_bins as usize)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.counts.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Mirror image of [`CollapsingLowestDenseStore`]: the **highest** indices
+/// collapse instead.
+///
+/// Used for the negative-value half of a sketch (paper Section 2.2:
+/// "the indices for the negative sketch need to be calculated on the
+/// absolute values, and collapses start from the highest indices"), so that
+/// the buckets closest to zero — the ones that matter least for tail
+/// latencies — are the ones sacrificed.
+///
+/// Implemented by delegating to a lowest-collapsing store over negated
+/// indices, which makes the two behaviours mirror images by construction.
+#[derive(Debug, Clone)]
+pub struct CollapsingHighestDenseStore {
+    inner: CollapsingLowestDenseStore,
+}
+
+#[inline]
+fn neg(index: i32) -> i32 {
+    // The mappings keep indices two buckets away from the i32 extremes, so
+    // negation cannot overflow; saturate defensively anyway.
+    index.checked_neg().unwrap_or(i32::MAX)
+}
+
+impl CollapsingHighestDenseStore {
+    /// Create a store holding at most `max_bins` contiguous buckets.
+    pub fn new(max_bins: usize) -> Self {
+        Self {
+            inner: CollapsingLowestDenseStore::new(max_bins),
+        }
+    }
+
+    /// The configured bucket-span limit.
+    pub fn max_bins(&self) -> usize {
+        self.inner.max_bins()
+    }
+}
+
+impl Store for CollapsingHighestDenseStore {
+    fn add_n(&mut self, index: i32, count: u64) {
+        self.inner.add_n(neg(index), count);
+    }
+
+    fn remove_n(&mut self, index: i32, count: u64) -> bool {
+        self.inner.remove_n(neg(index), count)
+    }
+
+    fn total_count(&self) -> u64 {
+        self.inner.total_count()
+    }
+
+    fn min_index(&self) -> Option<i32> {
+        self.inner.max_index().map(neg)
+    }
+
+    fn max_index(&self) -> Option<i32> {
+        self.inner.min_index().map(neg)
+    }
+
+    fn num_bins(&self) -> usize {
+        self.inner.num_bins()
+    }
+
+    fn bins_ascending(&self) -> Vec<(i32, u64)> {
+        let mut bins: Vec<(i32, u64)> = self
+            .inner
+            .bins_ascending()
+            .into_iter()
+            .map(|(i, c)| (neg(i), c))
+            .collect();
+        bins.reverse();
+        bins
+    }
+
+    fn key_at_rank(&self, rank: f64) -> Option<i32> {
+        self.inner.key_at_rank_descending(rank).map(neg)
+    }
+
+    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
+        self.inner.key_at_rank(rank).map(neg)
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        self.inner.merge_from(&other.inner);
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    fn has_collapsed(&self) -> bool {
+        self.inner.has_collapsed()
+    }
+
+    fn bin_limit(&self) -> Option<usize> {
+        self.inner.bin_limit()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<CollapsingLowestDenseStore>()
+            + self.inner.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::storetests;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_suite_lowest() {
+        // Wide cap: behaves like a plain dense store.
+        storetests::run_basic_suite(|| CollapsingLowestDenseStore::new(100_000));
+    }
+
+    #[test]
+    fn basic_suite_highest() {
+        storetests::run_basic_suite(|| CollapsingHighestDenseStore::new(100_000));
+    }
+
+    #[test]
+    fn collapses_lowest_when_growing_up() {
+        let mut s = CollapsingLowestDenseStore::new(4);
+        for i in 0..8 {
+            s.add(i);
+        }
+        // Span capped at 4: buckets 0..4 folded into bucket 4.
+        assert!(s.has_collapsed());
+        assert_eq!(s.total_count(), 8);
+        assert_eq!(s.bins_ascending(), vec![(4, 5), (5, 1), (6, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn low_inserts_fold_into_lowest_kept_bucket() {
+        let mut s = CollapsingLowestDenseStore::new(4);
+        s.add(100);
+        s.add(1); // below 100 - 4 + 1 = 97 → folds to 97
+        assert!(s.has_collapsed());
+        assert_eq!(s.bins_ascending(), vec![(97, 1), (100, 1)]);
+    }
+
+    #[test]
+    fn giant_upward_jump_folds_everything() {
+        let mut s = CollapsingLowestDenseStore::new(4);
+        s.add(0);
+        s.add(1);
+        s.add(1_000_000);
+        assert_eq!(s.total_count(), 3);
+        assert_eq!(
+            s.bins_ascending(),
+            vec![(1_000_000 - 3, 2), (1_000_000, 1)],
+            "old buckets fold into the lowest kept index"
+        );
+    }
+
+    #[test]
+    fn never_collapses_within_cap() {
+        let mut s = CollapsingLowestDenseStore::new(2048);
+        for i in -1000..1040 {
+            s.add(i);
+        }
+        assert!(!s.has_collapsed());
+        assert_eq!(s.num_bins(), 2040);
+    }
+
+    #[test]
+    fn collapsing_highest_mirrors_lowest() {
+        let mut s = CollapsingHighestDenseStore::new(4);
+        for i in 0..8 {
+            s.add(i);
+        }
+        assert!(s.has_collapsed());
+        // Highest indices 3..8 folded into bucket 3.
+        assert_eq!(s.bins_ascending(), vec![(0, 1), (1, 1), (2, 1), (3, 5)]);
+        assert_eq!(s.min_index(), Some(0));
+        assert_eq!(s.max_index(), Some(3));
+    }
+
+    #[test]
+    fn merge_respects_cap() {
+        let mut a = CollapsingLowestDenseStore::new(4);
+        let mut b = CollapsingLowestDenseStore::new(4);
+        for i in 0..4 {
+            a.add(i);
+        }
+        for i in 10..14 {
+            b.add(i);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.total_count(), 8);
+        assert!(a.has_collapsed());
+        let span = a.max_index().unwrap() - a.min_index().unwrap() + 1;
+        assert!(span <= 4, "span {span} exceeds cap");
+        // All of a's original mass folded into bucket 10 (= 13 - 4 + 1).
+        assert_eq!(a.bins_ascending(), vec![(10, 5), (11, 1), (12, 1), (13, 1)]);
+    }
+
+    #[test]
+    fn merge_matches_bulk_insert_semantics() {
+        // merge(A, B) must equal inserting B's buckets highest-first.
+        let mut a1 = CollapsingLowestDenseStore::new(8);
+        let mut b = CollapsingLowestDenseStore::new(8);
+        for i in [5, 6, 7, 20] {
+            a1.add(i);
+        }
+        for i in [0, 1, 2, 25, 30] {
+            b.add(i);
+        }
+        let mut a2 = a1.clone();
+        a2.merge_from(&b);
+        for (idx, c) in b.bins_ascending().into_iter().rev() {
+            a1.add_n(idx, c);
+        }
+        assert_eq!(a1.bins_ascending(), a2.bins_ascending());
+    }
+
+    #[test]
+    fn merge_into_empty_store_with_wide_span() {
+        // Regression: an empty store has only a small initial buffer; a
+        // bulk merge of a near-cap-width store must still fit.
+        let mut wide = CollapsingLowestDenseStore::new(2048);
+        for i in 0..2000 {
+            wide.add(i);
+        }
+        let mut empty = CollapsingLowestDenseStore::new(2048);
+        empty.merge_from(&wide);
+        assert_eq!(empty.bins_ascending(), wide.bins_ascending());
+        // And again after a clear (buffer allocated but zero).
+        let mut cleared = CollapsingLowestDenseStore::new(2048);
+        cleared.add(1_000_000);
+        cleared.clear();
+        cleared.merge_from(&wide);
+        assert_eq!(cleared.bins_ascending(), wide.bins_ascending());
+    }
+
+    #[test]
+    fn merge_with_mismatched_caps() {
+        // The merge target's (smaller) cap governs.
+        let mut big = CollapsingLowestDenseStore::new(1024);
+        for i in 0..1000 {
+            big.add(i);
+        }
+        let mut small = CollapsingLowestDenseStore::new(16);
+        small.merge_from(&big);
+        assert_eq!(small.total_count(), 1000);
+        assert!(small.has_collapsed());
+        let span = small.max_index().unwrap() - small.min_index().unwrap() + 1;
+        assert!(span <= 16);
+        assert_eq!(small.max_index(), Some(999));
+    }
+
+    #[test]
+    fn bulk_merge_matches_descending_insertion() {
+        // The bulk merge must produce exactly the state of inserting the
+        // other store's buckets highest-first (the previous algorithm).
+        for cap in [4usize, 16, 64] {
+            let mut a = CollapsingLowestDenseStore::new(cap);
+            let mut b = CollapsingLowestDenseStore::new(cap);
+            for i in [5, 6, 7, 20, -3] {
+                a.add(i);
+            }
+            for i in [0, 1, 2, 25, 30, 100, -50] {
+                b.add(i);
+            }
+            let mut bulk = a.clone();
+            bulk.merge_from(&b);
+            let mut reference = a.clone();
+            for (idx, c) in b.bins_ascending().into_iter().rev() {
+                reference.add_n(idx, c);
+            }
+            assert_eq!(bulk.bins_ascending(), reference.bins_ascending(), "cap {cap}");
+            assert_eq!(bulk.total_count(), reference.total_count());
+        }
+    }
+
+    #[test]
+    fn total_count_preserved_through_collapse() {
+        let mut s = CollapsingLowestDenseStore::new(16);
+        let mut expected = 0u64;
+        for i in 0..10_000 {
+            s.add_n(i % 500, 2);
+            expected += 2;
+        }
+        assert_eq!(s.total_count(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_bins must be positive")]
+    fn zero_cap_panics() {
+        let _ = CollapsingLowestDenseStore::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_count_preserved(ops in proptest::collection::vec((-2000i32..2000, 1u64..5), 1..300),
+                                cap in 1usize..64) {
+            let mut s = CollapsingLowestDenseStore::new(cap);
+            let mut expected = 0u64;
+            for (idx, c) in ops {
+                s.add_n(idx, c);
+                expected += c;
+            }
+            prop_assert_eq!(s.total_count(), expected);
+            let span = (s.max_index().unwrap() - s.min_index().unwrap()) as usize + 1;
+            prop_assert!(span <= cap);
+        }
+
+        #[test]
+        fn prop_highest_is_exact_mirror(ops in proptest::collection::vec(-500i32..500, 1..200), cap in 1usize..32) {
+            let mut lo = CollapsingLowestDenseStore::new(cap);
+            let mut hi = CollapsingHighestDenseStore::new(cap);
+            for &i in &ops {
+                lo.add(i);
+                hi.add(-i);
+            }
+            let mirrored: Vec<(i32, u64)> = hi
+                .bins_ascending()
+                .into_iter()
+                .rev()
+                .map(|(i, c)| (-i, c))
+                .collect();
+            prop_assert_eq!(lo.bins_ascending(), mirrored);
+        }
+
+        #[test]
+        fn prop_bulk_merge_matches_descending_insertion(
+            a in proptest::collection::vec(-500i32..500, 0..120),
+            b in proptest::collection::vec(-500i32..500, 0..120),
+            cap in 2usize..48,
+        ) {
+            let mut sa = CollapsingLowestDenseStore::new(cap);
+            let mut sb = CollapsingLowestDenseStore::new(cap);
+            for &i in &a { sa.add(i); }
+            for &i in &b { sb.add(i); }
+            let mut bulk = sa.clone();
+            bulk.merge_from(&sb);
+            let mut reference = sa;
+            for (idx, c) in sb.bins_ascending().into_iter().rev() {
+                reference.add_n(idx, c);
+            }
+            prop_assert_eq!(bulk.bins_ascending(), reference.bins_ascending());
+        }
+
+        #[test]
+        fn prop_wide_cap_matches_dense(ops in proptest::collection::vec((-1000i32..1000, 1u64..4), 1..200)) {
+            use crate::store::DenseStore;
+            let mut bounded = CollapsingLowestDenseStore::new(1_000_000);
+            let mut dense = DenseStore::new();
+            for (idx, c) in ops {
+                bounded.add_n(idx, c);
+                dense.add_n(idx, c);
+            }
+            prop_assert!(!bounded.has_collapsed());
+            prop_assert_eq!(bounded.bins_ascending(), dense.bins_ascending());
+        }
+    }
+}

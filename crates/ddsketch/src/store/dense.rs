@@ -1,0 +1,358 @@
+//! Unbounded contiguous store.
+
+use super::Store;
+
+/// Growth granularity: reallocations are rounded to multiples of this many
+/// buckets, and growth at least doubles the array, so a monotone stream of
+/// `n` distinct indices costs O(n) amortized bucket copies.
+const CHUNK: i64 = 128;
+
+/// Round `v` (positive) up to the next multiple of `CHUNK`.
+#[inline]
+fn round_up_chunk(v: i64) -> i64 {
+    (v + CHUNK - 1) / CHUNK * CHUNK
+}
+
+
+/// Contiguous array of bucket counters covering `[offset, offset + len)`.
+///
+/// The fastest store for insertion (a bounds check and an increment once
+/// the range is warm) at the cost of holding a counter for every bucket in
+/// the index span, empty or not — the paper's "preallocate the sketch
+/// buckets and keep all the buckets between the minimum and maximum"
+/// option. Grows without bound; pair with
+/// [`super::CollapsingLowestDenseStore`] when a size cap is needed.
+#[derive(Debug, Clone, Default)]
+pub struct DenseStore {
+    counts: Vec<u64>,
+    /// Bucket index of `counts[0]`. i64 so index arithmetic near the i32
+    /// extremes cannot overflow.
+    offset: i64,
+    /// Valid only when `total > 0`.
+    min_idx: i64,
+    max_idx: i64,
+    total: u64,
+}
+
+impl DenseStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn pos(&self, index: i64) -> usize {
+        debug_assert!(index >= self.offset);
+        (index - self.offset) as usize
+    }
+
+    #[inline]
+    fn in_range(&self, index: i64) -> bool {
+        index >= self.offset && index < self.offset + self.counts.len() as i64
+    }
+
+    /// Reallocate so the array covers `index` as well as the current live
+    /// window, doubling to keep growth amortized.
+    fn grow(&mut self, index: i64) {
+        if self.counts.is_empty() {
+            let len = CHUNK as usize;
+            self.offset = index - CHUNK / 2;
+            self.counts = vec![0; len];
+            return;
+        }
+        let old_lo = self.offset;
+        let old_hi = self.offset + self.counts.len() as i64; // exclusive
+        let new_lo = old_lo.min(index);
+        let new_hi = old_hi.max(index + 1);
+        let needed = new_hi - new_lo;
+        let target_len = needed
+            .max(self.counts.len() as i64 * 2)
+            .max(1);
+        let target_len = round_up_chunk(target_len);
+        let extra = target_len - needed;
+        // Put the slack on the side that is growing.
+        let (final_lo, final_len) = if index < old_lo {
+            (new_lo - extra, target_len as usize)
+        } else {
+            (new_lo, target_len as usize)
+        };
+        let mut new_counts = vec![0u64; final_len];
+        let shift = (old_lo - final_lo) as usize;
+        new_counts[shift..shift + self.counts.len()].copy_from_slice(&self.counts);
+        self.counts = new_counts;
+        self.offset = final_lo;
+    }
+
+    /// Rescan for the new minimum index after a bucket was emptied.
+    fn rescan_min(&mut self) {
+        for i in self.min_idx..=self.max_idx {
+            if self.counts[self.pos(i)] > 0 {
+                self.min_idx = i;
+                return;
+            }
+        }
+        unreachable!("total > 0 implies a non-empty bucket");
+    }
+
+    fn rescan_max(&mut self) {
+        for i in (self.min_idx..=self.max_idx).rev() {
+            if self.counts[self.pos(i)] > 0 {
+                self.max_idx = i;
+                return;
+            }
+        }
+        unreachable!("total > 0 implies a non-empty bucket");
+    }
+}
+
+impl Store for DenseStore {
+    fn add_n(&mut self, index: i32, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let index = index as i64;
+        if !self.in_range(index) {
+            self.grow(index);
+        }
+        let pos = self.pos(index);
+        self.counts[pos] += count;
+        if self.total == 0 {
+            self.min_idx = index;
+            self.max_idx = index;
+        } else {
+            self.min_idx = self.min_idx.min(index);
+            self.max_idx = self.max_idx.max(index);
+        }
+        self.total += count;
+    }
+
+    fn remove_n(&mut self, index: i32, count: u64) -> bool {
+        if count == 0 {
+            return true;
+        }
+        let index = index as i64;
+        if self.total == 0 || !self.in_range(index) {
+            return false;
+        }
+        let pos = self.pos(index);
+        if self.counts[pos] < count {
+            return false;
+        }
+        self.counts[pos] -= count;
+        self.total -= count;
+        if self.total == 0 {
+            return true;
+        }
+        if self.counts[pos] == 0 {
+            if index == self.min_idx {
+                self.rescan_min();
+            }
+            if index == self.max_idx {
+                self.rescan_max();
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn total_count(&self) -> u64 {
+        self.total
+    }
+
+    fn min_index(&self) -> Option<i32> {
+        (self.total > 0).then_some(self.min_idx as i32)
+    }
+
+    fn max_index(&self) -> Option<i32> {
+        (self.total > 0).then_some(self.max_idx as i32)
+    }
+
+    fn num_bins(&self) -> usize {
+        if self.total == 0 {
+            return 0;
+        }
+        (self.min_idx..=self.max_idx)
+            .filter(|&i| self.counts[self.pos(i)] > 0)
+            .count()
+    }
+
+    fn bins_ascending(&self) -> Vec<(i32, u64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        (self.min_idx..=self.max_idx)
+            .filter_map(|i| {
+                let c = self.counts[self.pos(i)];
+                (c > 0).then_some((i as i32, c))
+            })
+            .collect()
+    }
+
+    fn key_at_rank(&self, rank: f64) -> Option<i32> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut cum = 0u64;
+        for i in self.min_idx..=self.max_idx {
+            cum += self.counts[self.pos(i)];
+            if cum as f64 > rank {
+                return Some(i as i32);
+            }
+        }
+        Some(self.max_idx as i32)
+    }
+
+    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut cum = 0u64;
+        for i in (self.min_idx..=self.max_idx).rev() {
+            cum += self.counts[self.pos(i)];
+            if cum as f64 > rank {
+                return Some(i as i32);
+            }
+        }
+        Some(self.min_idx as i32)
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        if other.total == 0 {
+            return;
+        }
+        // Make room for other's full window once, then add elementwise.
+        if !self.in_range(other.min_idx) {
+            self.grow(other.min_idx);
+        }
+        if !self.in_range(other.max_idx) {
+            self.grow(other.max_idx);
+        }
+        for i in other.min_idx..=other.max_idx {
+            let c = other.counts[other.pos(i)];
+            if c > 0 {
+                let pos = self.pos(i);
+                self.counts[pos] += c;
+            }
+        }
+        if self.total == 0 {
+            self.min_idx = other.min_idx;
+            self.max_idx = other.max_idx;
+        } else {
+            self.min_idx = self.min_idx.min(other.min_idx);
+            self.max_idx = self.max_idx.max(other.max_idx);
+        }
+        self.total += other.total;
+    }
+
+    fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.counts.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::storetests;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_suite() {
+        storetests::run_basic_suite(DenseStore::new);
+    }
+
+    #[test]
+    fn merge_equivalence() {
+        storetests::run_merge_equivalence(
+            DenseStore::new,
+            &[0, 5, 5, -100, 2000, 3],
+            &[5, -100, -100, 77],
+        );
+    }
+
+    #[test]
+    fn grows_downward_and_upward() {
+        let mut s = DenseStore::new();
+        s.add(0);
+        s.add(10_000);
+        s.add(-10_000);
+        assert_eq!(s.total_count(), 3);
+        assert_eq!(s.min_index(), Some(-10_000));
+        assert_eq!(s.max_index(), Some(10_000));
+        assert_eq!(s.bins_ascending(), vec![(-10_000, 1), (0, 1), (10_000, 1)]);
+    }
+
+    #[test]
+    fn handles_extreme_indices_without_overflow() {
+        let mut s = DenseStore::new();
+        // The mappings guarantee two buckets of headroom from the i32
+        // extremes; the store must survive those.
+        s.add(i32::MAX - 2);
+        assert_eq!(s.max_index(), Some(i32::MAX - 2));
+        let mut s = DenseStore::new();
+        s.add(i32::MIN + 2);
+        assert_eq!(s.min_index(), Some(i32::MIN + 2));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = DenseStore::new();
+        for i in 0..1000 {
+            s.add(i);
+        }
+        let bytes = s.memory_bytes();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.memory_bytes(), bytes, "clear should retain the allocation");
+        // Store must be reusable after clear.
+        s.add(5);
+        assert_eq!(s.bins_ascending(), vec![(5, 1)]);
+    }
+
+    #[test]
+    fn removal_rescans_extremes() {
+        let mut s = DenseStore::new();
+        s.add(1);
+        s.add(5);
+        s.add(9);
+        assert!(s.remove_n(1, 1));
+        assert_eq!(s.min_index(), Some(5));
+        assert!(s.remove_n(9, 1));
+        assert_eq!(s.max_index(), Some(5));
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_span() {
+        let mut narrow = DenseStore::new();
+        let mut wide = DenseStore::new();
+        for i in 0..100 {
+            narrow.add(i);
+            wide.add(i * 100);
+        }
+        assert!(wide.memory_bytes() > narrow.memory_bytes() * 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_btreemap_model(ops in proptest::collection::vec((-5000i32..5000, 1u64..20), 1..200)) {
+            let mut s = DenseStore::new();
+            let mut model = std::collections::BTreeMap::<i32, u64>::new();
+            for (idx, c) in ops {
+                s.add_n(idx, c);
+                *model.entry(idx).or_default() += c;
+            }
+            let bins: Vec<(i32, u64)> = model.into_iter().collect();
+            prop_assert_eq!(s.bins_ascending(), bins);
+        }
+
+        #[test]
+        fn prop_merge_equals_union(a in proptest::collection::vec(-3000i32..3000, 0..100),
+                                   b in proptest::collection::vec(-3000i32..3000, 0..100)) {
+            storetests::run_merge_equivalence(DenseStore::new, &a, &b);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Bucket stores: maps from bucket index (`i32`) to counts (`u64`).
+//!
+//! The paper (Section 2.2) discusses the memory/speed trade-offs: buckets
+//! can be stored contiguously ("for fast addition") or sparsely ("for
+//! smaller memory footprint"), and the bucket count can grow indefinitely
+//! or be bounded by `m`, collapsing the lowest (or, for the negative-value
+//! sketch, highest) indices per Algorithms 3 and 4.
+//!
+//! | store | growth | collapse | backing |
+//! |-------|--------|----------|---------|
+//! | [`DenseStore`] | unbounded | never | contiguous `Vec<u64>` |
+//! | [`CollapsingLowestDenseStore`] | bounded span `m` | lowest indices | contiguous `Vec<u64>` |
+//! | [`CollapsingHighestDenseStore`] | bounded span `m` | highest indices | contiguous `Vec<u64>` |
+//! | [`SparseStore`] | unbounded | never | `BTreeMap` |
+//! | [`CollapsingSparseStore`] | bounded non-empty bins `m` | two lowest non-empty (paper-exact Algorithm 3) | `BTreeMap` |
+//!
+//! Note the two collapsing flavours bound *different* quantities: the dense
+//! stores bound the index **span** (array length), mirroring Datadog's
+//! production implementations, while the sparse collapsing store bounds the
+//! number of **non-empty** buckets, which is the letter of Algorithm 3.
+//! Both satisfy Proposition 4's accuracy condition.
+
+mod collapsing;
+mod dense;
+mod sparse;
+
+pub use collapsing::{CollapsingHighestDenseStore, CollapsingLowestDenseStore};
+pub use dense::DenseStore;
+pub use sparse::{CollapsingSparseStore, SparseStore};
+
+/// A multiset of integer bucket indices with u64 multiplicities.
+pub trait Store: Clone + std::fmt::Debug {
+    /// Add `count` occurrences of bucket `index`.
+    fn add_n(&mut self, index: i32, count: u64);
+
+    /// Add a single occurrence of bucket `index`.
+    #[inline]
+    fn add(&mut self, index: i32) {
+        self.add_n(index, 1);
+    }
+
+    /// Remove `count` occurrences of bucket `index`. Returns `false`
+    /// (leaving the store unchanged) if the bucket holds fewer than `count`.
+    fn remove_n(&mut self, index: i32, count: u64) -> bool;
+
+    /// Total number of stored occurrences.
+    fn total_count(&self) -> u64;
+
+    /// Whether the store holds no occurrences.
+    fn is_empty(&self) -> bool {
+        self.total_count() == 0
+    }
+
+    /// Smallest non-empty bucket index.
+    fn min_index(&self) -> Option<i32>;
+
+    /// Largest non-empty bucket index.
+    fn max_index(&self) -> Option<i32>;
+
+    /// Number of non-empty buckets ("bins" in the paper's Figure 7).
+    fn num_bins(&self) -> usize;
+
+    /// Non-empty `(index, count)` pairs in ascending index order.
+    fn bins_ascending(&self) -> Vec<(i32, u64)>;
+
+    /// Algorithm 2's cumulative walk: the smallest index whose cumulative
+    /// count (ascending) exceeds `rank`. Falls back to the maximal index
+    /// when floating-point rounding pushes `rank` past the total.
+    fn key_at_rank(&self, rank: f64) -> Option<i32> {
+        let mut cum = 0u64;
+        let mut last = None;
+        for (idx, count) in self.bins_ascending() {
+            cum += count;
+            last = Some(idx);
+            if cum as f64 > rank {
+                return Some(idx);
+            }
+        }
+        last
+    }
+
+    /// Mirror walk from the largest index downward, used by the
+    /// negative-value store (most negative value = largest |x| index).
+    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
+        let mut cum = 0u64;
+        let mut last = None;
+        for (idx, count) in self.bins_ascending().into_iter().rev() {
+            cum += count;
+            last = Some(idx);
+            if cum as f64 > rank {
+                return Some(idx);
+            }
+        }
+        last
+    }
+
+    /// Merge another store of the same type into this one (summing bucket
+    /// counts; bounded stores re-collapse as needed — Algorithm 4).
+    fn merge_from(&mut self, other: &Self);
+
+    /// Remove all occurrences, keeping allocated capacity where sensible.
+    fn clear(&mut self);
+
+    /// Whether any collapse has ever occurred (meaning the lowest — or
+    /// highest — quantiles may no longer satisfy the α guarantee; see
+    /// Proposition 4).
+    fn has_collapsed(&self) -> bool {
+        false
+    }
+
+    /// The configured bucket limit, if this store is bounded.
+    fn bin_limit(&self) -> Option<usize> {
+        None
+    }
+
+    /// Structural memory footprint in bytes (capacity-aware).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Shared test-suite for store implementations.
+#[cfg(test)]
+pub(crate) mod storetests {
+    use super::*;
+
+    /// Basic single-bucket and multi-bucket behaviour every store must have
+    /// (run only within each store's non-collapsing regime).
+    pub(crate) fn run_basic_suite<S: Store>(mut fresh: impl FnMut() -> S) {
+        // Empty store.
+        let s = fresh();
+        assert!(s.is_empty());
+        assert_eq!(s.total_count(), 0);
+        assert_eq!(s.min_index(), None);
+        assert_eq!(s.max_index(), None);
+        assert_eq!(s.num_bins(), 0);
+        assert_eq!(s.key_at_rank(0.0), None);
+        assert_eq!(s.key_at_rank_descending(0.0), None);
+        assert!(s.bins_ascending().is_empty());
+
+        // Single bucket.
+        let mut s = fresh();
+        s.add(42);
+        assert_eq!(s.total_count(), 1);
+        assert_eq!(s.min_index(), Some(42));
+        assert_eq!(s.max_index(), Some(42));
+        assert_eq!(s.num_bins(), 1);
+        assert_eq!(s.key_at_rank(0.0), Some(42));
+
+        // Weighted adds and ordering.
+        let mut s = fresh();
+        s.add_n(5, 3);
+        s.add_n(-7, 2);
+        s.add_n(100, 1);
+        assert_eq!(s.total_count(), 6);
+        assert_eq!(s.min_index(), Some(-7));
+        assert_eq!(s.max_index(), Some(100));
+        assert_eq!(s.bins_ascending(), vec![(-7, 2), (5, 3), (100, 1)]);
+
+        // Rank walk: cumulative counts are 2, 5, 6.
+        assert_eq!(s.key_at_rank(0.0), Some(-7));
+        assert_eq!(s.key_at_rank(1.9), Some(-7));
+        assert_eq!(s.key_at_rank(2.0), Some(5));
+        assert_eq!(s.key_at_rank(4.9), Some(5));
+        assert_eq!(s.key_at_rank(5.0), Some(100));
+        // Past-the-end rank falls back to max index.
+        assert_eq!(s.key_at_rank(6.5), Some(100));
+
+        // Descending walk: cumulative 1, 4, 6 from the top.
+        assert_eq!(s.key_at_rank_descending(0.0), Some(100));
+        assert_eq!(s.key_at_rank_descending(1.0), Some(5));
+        assert_eq!(s.key_at_rank_descending(4.0), Some(-7));
+        assert_eq!(s.key_at_rank_descending(7.0), Some(-7));
+
+        // Removal.
+        let mut s = fresh();
+        s.add_n(3, 5);
+        assert!(s.remove_n(3, 2));
+        assert_eq!(s.total_count(), 3);
+        assert!(!s.remove_n(3, 10), "removing more than present must fail");
+        assert_eq!(s.total_count(), 3, "failed removal must not mutate");
+        assert!(!s.remove_n(99, 1), "removing from an absent bucket must fail");
+        assert!(s.remove_n(3, 3));
+        assert!(s.is_empty());
+
+        // Merge.
+        let mut a = fresh();
+        let mut b = fresh();
+        a.add_n(1, 2);
+        a.add_n(10, 1);
+        b.add_n(10, 4);
+        b.add_n(-3, 1);
+        a.merge_from(&b);
+        assert_eq!(a.total_count(), 8);
+        assert_eq!(a.bins_ascending(), vec![(-3, 1), (1, 2), (10, 5)]);
+
+        // Merging an empty store is a no-op.
+        let empty = fresh();
+        a.merge_from(&empty);
+        assert_eq!(a.total_count(), 8);
+
+        // Clear.
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.bins_ascending(), vec![]);
+
+        // add zero count is a no-op.
+        let mut s = fresh();
+        s.add_n(7, 0);
+        assert!(s.is_empty());
+
+        // Memory accounting reports something plausible.
+        let mut s = fresh();
+        s.add(0);
+        assert!(s.memory_bytes() >= std::mem::size_of::<S>());
+    }
+
+    /// Merging must equal inserting the union, bucket-for-bucket.
+    pub(crate) fn run_merge_equivalence<S: Store>(
+        mut fresh: impl FnMut() -> S,
+        stream_a: &[i32],
+        stream_b: &[i32],
+    ) {
+        let mut sa = fresh();
+        let mut sb = fresh();
+        let mut su = fresh();
+        for &i in stream_a {
+            sa.add(i);
+            su.add(i);
+        }
+        for &i in stream_b {
+            sb.add(i);
+            su.add(i);
+        }
+        sa.merge_from(&sb);
+        assert_eq!(
+            sa.bins_ascending(),
+            su.bins_ascending(),
+            "merge(A, B) must equal sketch(A ∪ B) exactly"
+        );
+        assert_eq!(sa.total_count(), su.total_count());
+    }
+}

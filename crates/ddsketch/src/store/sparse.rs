@@ -1,0 +1,352 @@
+//! Sparse stores: memory proportional to the number of *non-empty*
+//! buckets, the paper's "implement the sketch in a sparse manner ...
+//! sacrificing speed for space efficiency" option.
+
+use std::collections::BTreeMap;
+
+use super::Store;
+
+/// Estimated per-entry overhead of a `BTreeMap<i32, u64>` node: 12 bytes of
+/// payload, amortized node headers/edges, and allocator slack. B-tree nodes
+/// hold up to 11 entries and are at least half full, so ~2× payload is a
+/// fair structural estimate; used only for the Figure 6 size comparison.
+const BTREE_ENTRY_BYTES: usize = 24;
+
+/// Unbounded sparse store backed by an ordered map.
+#[derive(Debug, Clone, Default)]
+pub struct SparseStore {
+    bins: BTreeMap<i32, u64>,
+    total: u64,
+}
+
+impl SparseStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Store for SparseStore {
+    fn add_n(&mut self, index: i32, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.bins.entry(index).or_insert(0) += count;
+        self.total += count;
+    }
+
+    fn remove_n(&mut self, index: i32, count: u64) -> bool {
+        if count == 0 {
+            return true;
+        }
+        match self.bins.get_mut(&index) {
+            Some(c) if *c >= count => {
+                *c -= count;
+                if *c == 0 {
+                    self.bins.remove(&index);
+                }
+                self.total -= count;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn total_count(&self) -> u64 {
+        self.total
+    }
+
+    fn min_index(&self) -> Option<i32> {
+        self.bins.keys().next().copied()
+    }
+
+    fn max_index(&self) -> Option<i32> {
+        self.bins.keys().next_back().copied()
+    }
+
+    fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    fn bins_ascending(&self) -> Vec<(i32, u64)> {
+        self.bins.iter().map(|(&i, &c)| (i, c)).collect()
+    }
+
+    fn key_at_rank(&self, rank: f64) -> Option<i32> {
+        let mut cum = 0u64;
+        let mut last = None;
+        for (&i, &c) in &self.bins {
+            cum += c;
+            last = Some(i);
+            if cum as f64 > rank {
+                return Some(i);
+            }
+        }
+        last
+    }
+
+    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
+        let mut cum = 0u64;
+        let mut last = None;
+        for (&i, &c) in self.bins.iter().rev() {
+            cum += c;
+            last = Some(i);
+            if cum as f64 > rank {
+                return Some(i);
+            }
+        }
+        last
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        for (&i, &c) in &other.bins {
+            *self.bins.entry(i).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    fn clear(&mut self) {
+        self.bins.clear();
+        self.total = 0;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bins.len() * BTREE_ENTRY_BYTES
+    }
+}
+
+/// Sparse store implementing Algorithm 3 to the letter: whenever the number
+/// of **non-empty** buckets exceeds `max_bins`, the two lowest non-empty
+/// buckets are merged (the lower one's count moves into the next one up).
+#[derive(Debug, Clone)]
+pub struct CollapsingSparseStore {
+    inner: SparseStore,
+    max_bins: usize,
+    collapsed: bool,
+}
+
+impl CollapsingSparseStore {
+    /// Create a store keeping at most `max_bins` non-empty buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bins == 0`.
+    pub fn new(max_bins: usize) -> Self {
+        assert!(max_bins > 0, "max_bins must be positive");
+        Self {
+            inner: SparseStore::new(),
+            max_bins,
+            collapsed: false,
+        }
+    }
+
+    /// The configured non-empty-bucket limit.
+    pub fn max_bins(&self) -> usize {
+        self.max_bins
+    }
+
+    /// Algorithm 3's collapse step: fold `B_{i0}` (lowest) into `B_{i1}`
+    /// (second lowest), repeated until within the limit.
+    fn collapse_if_needed(&mut self) {
+        while self.inner.bins.len() > self.max_bins {
+            let mut keys = self.inner.bins.keys();
+            let i0 = *keys.next().expect("len > max_bins >= 1");
+            let i1 = *keys.next().expect("len >= 2");
+            let c0 = self.inner.bins.remove(&i0).expect("i0 exists");
+            *self.inner.bins.get_mut(&i1).expect("i1 exists") += c0;
+            self.collapsed = true;
+        }
+    }
+}
+
+impl Store for CollapsingSparseStore {
+    fn add_n(&mut self, index: i32, count: u64) {
+        self.inner.add_n(index, count);
+        self.collapse_if_needed();
+    }
+
+    fn remove_n(&mut self, index: i32, count: u64) -> bool {
+        self.inner.remove_n(index, count)
+    }
+
+    fn total_count(&self) -> u64 {
+        self.inner.total_count()
+    }
+
+    fn min_index(&self) -> Option<i32> {
+        self.inner.min_index()
+    }
+
+    fn max_index(&self) -> Option<i32> {
+        self.inner.max_index()
+    }
+
+    fn num_bins(&self) -> usize {
+        self.inner.num_bins()
+    }
+
+    fn bins_ascending(&self) -> Vec<(i32, u64)> {
+        self.inner.bins_ascending()
+    }
+
+    fn key_at_rank(&self, rank: f64) -> Option<i32> {
+        self.inner.key_at_rank(rank)
+    }
+
+    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
+        self.inner.key_at_rank_descending(rank)
+    }
+
+    fn merge_from(&mut self, other: &Self) {
+        // Algorithm 4: sum all buckets first, then collapse back under the
+        // limit.
+        self.inner.merge_from(&other.inner);
+        self.collapse_if_needed();
+        self.collapsed |= other.collapsed;
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+        self.collapsed = false;
+    }
+
+    fn has_collapsed(&self) -> bool {
+        self.collapsed
+    }
+
+    fn bin_limit(&self) -> Option<usize> {
+        Some(self.max_bins)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<SparseStore>()
+            + self.inner.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::storetests;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_suite_sparse() {
+        storetests::run_basic_suite(SparseStore::new);
+    }
+
+    #[test]
+    fn basic_suite_collapsing_sparse() {
+        storetests::run_basic_suite(|| CollapsingSparseStore::new(100_000));
+    }
+
+    #[test]
+    fn merge_equivalence_sparse() {
+        storetests::run_merge_equivalence(
+            SparseStore::new,
+            &[0, 5, 5, -100, 2000, 3],
+            &[5, -100, -100, 77],
+        );
+    }
+
+    #[test]
+    fn collapse_merges_two_lowest_nonempty() {
+        // Algorithm 3 with m = 3: inserting a 4th distinct bucket collapses
+        // the two lowest.
+        let mut s = CollapsingSparseStore::new(3);
+        s.add_n(10, 1);
+        s.add_n(20, 2);
+        s.add_n(30, 3);
+        assert!(!s.has_collapsed());
+        s.add_n(40, 4);
+        assert!(s.has_collapsed());
+        assert_eq!(s.bins_ascending(), vec![(20, 3), (30, 3), (40, 4)]);
+        assert_eq!(s.total_count(), 10);
+    }
+
+    #[test]
+    fn collapse_cascades_on_merge() {
+        let mut a = CollapsingSparseStore::new(2);
+        let mut b = CollapsingSparseStore::new(2);
+        a.add(1);
+        a.add(2);
+        b.add(3);
+        b.add(4);
+        a.merge_from(&b);
+        assert_eq!(a.num_bins(), 2);
+        assert_eq!(a.total_count(), 4);
+        // 1 folds into 2, then {2:2} folds into 3 → {3:3, 4:1}.
+        assert_eq!(a.bins_ascending(), vec![(3, 3), (4, 1)]);
+    }
+
+    #[test]
+    fn sparse_memory_tracks_bins_not_span() {
+        let mut sparse = SparseStore::new();
+        sparse.add(0);
+        sparse.add(1_000_000);
+        let sparse_bytes = sparse.memory_bytes();
+
+        let mut dense = crate::store::DenseStore::new();
+        dense.add(0);
+        dense.add(1_000_000);
+        assert!(
+            sparse_bytes * 100 < dense.memory_bytes(),
+            "sparse ({sparse_bytes}) should be far smaller than dense ({}) on wide sparse data",
+            dense.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn paper_exact_collapse_keeps_high_quantiles() {
+        // Proposition 4 flavour: with the top m buckets intact, high
+        // bucket contents are untouched by collapse.
+        let mut s = CollapsingSparseStore::new(4);
+        for i in 0..100 {
+            s.add(i);
+        }
+        let bins = s.bins_ascending();
+        assert_eq!(bins.len(), 4);
+        // The top three buckets must be exact.
+        assert_eq!(&bins[1..], &[(97, 1), (98, 1), (99, 1)]);
+        // The lowest kept bucket absorbed everything else.
+        assert_eq!(bins[0], (96, 97));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sparse_matches_model(ops in proptest::collection::vec((-5000i32..5000, 1u64..20), 1..200)) {
+            let mut s = SparseStore::new();
+            let mut model = std::collections::BTreeMap::<i32, u64>::new();
+            for (idx, c) in ops {
+                s.add_n(idx, c);
+                *model.entry(idx).or_default() += c;
+            }
+            prop_assert_eq!(s.bins_ascending(), model.into_iter().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_collapsing_bounds_bins(ops in proptest::collection::vec(-2000i32..2000, 1..300), cap in 1usize..32) {
+            let mut s = CollapsingSparseStore::new(cap);
+            let mut expected = 0u64;
+            for &i in &ops {
+                s.add(i);
+                expected += 1;
+            }
+            prop_assert!(s.num_bins() <= cap);
+            prop_assert_eq!(s.total_count(), expected);
+        }
+
+        #[test]
+        fn prop_merge_count_preserved(a in proptest::collection::vec(-100i32..100, 0..100),
+                                      b in proptest::collection::vec(-100i32..100, 0..100),
+                                      cap in 2usize..16) {
+            let mut sa = CollapsingSparseStore::new(cap);
+            let mut sb = CollapsingSparseStore::new(cap);
+            for &i in &a { sa.add(i); }
+            for &i in &b { sb.add(i); }
+            sa.merge_from(&sb);
+            prop_assert_eq!(sa.total_count(), (a.len() + b.len()) as u64);
+            prop_assert!(sa.num_bins() <= cap);
+        }
+    }
+}

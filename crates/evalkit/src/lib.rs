@@ -1,0 +1,14 @@
+//! # evalkit
+//!
+//! Evaluation infrastructure for the DDSketch reproduction: the exact
+//! quantile oracle all accuracy figures compare against, error metrics
+//! matching the paper's definitions, low-noise timing helpers, and the
+//! table/CSV output used by every figure binary.
+
+pub mod oracle;
+pub mod table;
+pub mod timing;
+
+pub use oracle::ExactOracle;
+pub use table::{fmt_n, fmt_sci, Table};
+pub use timing::{throughput_of, time_min, time_once, Throughput};

@@ -1,0 +1,140 @@
+//! Exact quantile oracle: ground truth for every accuracy figure.
+
+use sketch_core::{lower_quantile_index, rank_of_query};
+
+/// A sorted copy of the full data set, answering exact quantile and rank
+/// queries. This is precisely what the paper compares sketches against
+/// ("quantiles are famously impossible to compute exactly without holding
+/// on to all the data" — the oracle holds all the data).
+#[derive(Debug, Clone)]
+pub struct ExactOracle {
+    sorted: Vec<f64>,
+}
+
+impl ExactOracle {
+    /// Build from any value collection (NaNs are rejected by debug assert;
+    /// the workload generators never produce them).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        debug_assert!(values.iter().all(|v| !v.is_nan()));
+        values.sort_by(f64::total_cmp);
+        Self { sorted: values }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the oracle holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The exact lower q-quantile (paper Section 1 definition).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty oracle.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.sorted[lower_quantile_index(q, self.sorted.len())]
+    }
+
+    /// The paper's rank `R(v)`: number of elements ≤ `v`.
+    pub fn rank(&self, v: f64) -> usize {
+        rank_of_query(&self.sorted, v)
+    }
+
+    /// The sorted data (borrowed), for histogram-style figures.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Relative error of an estimate for the q-quantile:
+    /// `|x̃ − x_q| / |x_q|` (Definition 1). When the true quantile is zero
+    /// the absolute error is returned instead.
+    pub fn relative_error(&self, q: f64, estimate: f64) -> f64 {
+        let actual = self.quantile(q);
+        if actual == 0.0 {
+            (estimate - actual).abs()
+        } else {
+            (estimate - actual).abs() / actual.abs()
+        }
+    }
+
+    /// Rank error of an estimate for the q-quantile, normalized by `n`:
+    /// `min over the estimate's rank interval of |R − ⌊1+q(n−1)⌋| / n`.
+    ///
+    /// The interval form matters because an estimate falling inside a run
+    /// of duplicates has every rank in the run; sketches must not be
+    /// penalized for the arbitrary choice.
+    pub fn rank_error(&self, q: f64, estimate: f64) -> f64 {
+        let n = self.sorted.len();
+        let target = lower_quantile_index(q, n) as f64 + 1.0; // one-based
+        let hi = self.rank(estimate) as f64;
+        let lo = self.sorted.partition_point(|&x| x < estimate) as f64 + 1.0;
+        let dist = if lo <= target && target <= hi {
+            0.0
+        } else {
+            (lo - target).abs().min((hi - target).abs())
+        };
+        dist / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_match_paper_definition() {
+        let o = ExactOracle::new(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(o.quantile(0.0), 1.0);
+        assert_eq!(o.quantile(0.5), 3.0);
+        assert_eq!(o.quantile(1.0), 5.0);
+        // ⌊1 + 0.75·4⌋ = 4 → x_(4) = 4.0
+        assert_eq!(o.quantile(0.75), 4.0);
+    }
+
+    #[test]
+    fn relative_error_definition() {
+        let o = ExactOracle::new(vec![1.0, 2.0, 3.0, 4.0]);
+        // q = 1 → actual 4.0; estimate 4.4 → 10%.
+        assert!((o.relative_error(1.0, 4.4) - 0.1).abs() < 1e-12);
+        assert_eq!(o.relative_error(1.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_at_zero_quantile_is_absolute() {
+        let o = ExactOracle::new(vec![0.0, 0.0, 1.0]);
+        assert_eq!(o.relative_error(0.0, 0.25), 0.25);
+    }
+
+    #[test]
+    fn rank_error_uses_interval_semantics() {
+        let o = ExactOracle::new(vec![1.0, 2.0, 2.0, 2.0, 3.0]);
+        // Estimate 2.0 covers ranks 2..=4; any target inside is exact.
+        assert_eq!(o.rank_error(0.5, 2.0), 0.0); // target 3
+        assert_eq!(o.rank_error(0.25, 2.0), 0.0); // target 2
+        // Estimate 3.0 has rank 5; target for q=0 is 1 → error 4/5.
+        assert!((o.rank_error(0.0, 3.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_error_for_unseen_values() {
+        let o = ExactOracle::new(vec![10.0, 20.0, 30.0]);
+        // Estimate 15.0 sits between ranks 1 and 2, so it is exact for
+        // q = 0 (target rank 1)…
+        assert_eq!(o.rank_error(0.0, 15.0), 0.0);
+        // …but for q = 1 (target rank 3) the distance is 1 rank → 1/3.
+        assert!((o.rank_error(1.0, 15.0) - 1.0 / 3.0).abs() < 1e-12);
+        // A spot-on estimate has zero error.
+        assert_eq!(o.rank_error(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_oracle_panics_on_quantile() {
+        let o = ExactOracle::new(vec![]);
+        let _ = o.quantile(0.5);
+    }
+}

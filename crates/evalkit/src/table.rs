@@ -1,0 +1,220 @@
+//! Plain-text table and CSV output for the figure binaries.
+//!
+//! Every figure binary prints a fixed-width table (the "same rows/series
+//! the paper reports") and can optionally persist a CSV next to it so the
+//! series can be re-plotted.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-oriented results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "── {} ", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, "{cell:>w$}  ", w = w);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.max(4)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Serialize as CSV (headers + rows, RFC-4180-style quoting for cells
+    /// containing separators).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV form to `path`, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Format a float in short scientific-ish notation suited to the paper's
+/// log-scale figures.
+pub fn fmt_sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if !v.is_finite() {
+        format!("{v}")
+    } else {
+        let a = v.abs();
+        if (0.001..100_000.0).contains(&a) {
+            if a >= 100.0 {
+                format!("{v:.1}")
+            } else {
+                format!("{v:.4}")
+            }
+        } else {
+            format!("{v:.3e}")
+        }
+    }
+}
+
+/// Format a count like `1000000` as `1e6`-style shorthand when exact.
+pub fn fmt_n(n: u64) -> String {
+    if n >= 1000 && n.is_power_of_two() {
+        return n.to_string();
+    }
+    let mut p = 0u32;
+    let mut v = n;
+    while v >= 10 && v.is_multiple_of(10) {
+        v /= 10;
+        p += 1;
+    }
+    if v == 1 && p >= 3 {
+        format!("1e{p}")
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["n", "value"]);
+        t.row(vec!["10".into(), "1.5".into()]);
+        t.row(vec!["100000".into(), "2.25".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, two rows (plus title line).
+        assert_eq!(lines.len(), 5);
+        // Right-aligned: both data rows end at the same column.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_properly() {
+        let mut t = Table::new("demo", &["name", "note"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let mut t = Table::new("demo", &["x"]);
+        t.row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("evalkit_test_csv");
+        let path = dir.join("nested").join("t.csv");
+        t.write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "x\n1\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(fmt_sci(0.0), "0");
+        assert_eq!(fmt_sci(1234.5), "1234.5");
+        assert!(fmt_sci(1.5e9).contains('e'));
+        assert!(fmt_sci(2e-9).contains('e'));
+        assert_eq!(fmt_sci(0.5), "0.5000");
+    }
+
+    #[test]
+    fn n_formatting() {
+        assert_eq!(fmt_n(1000), "1e3");
+        assert_eq!(fmt_n(100_000_000), "1e8");
+        assert_eq!(fmt_n(123), "123");
+        assert_eq!(fmt_n(1500), "1500");
+    }
+}

@@ -1,0 +1,104 @@
+//! Wall-clock measurement helpers for the speed figures (8 and 9).
+//!
+//! Criterion handles the microbenchmarks; these helpers are for the figure
+//! binaries, which sweep `n` over orders of magnitude and need one number
+//! per (sketch, n) cell rather than a full statistical run.
+
+use std::time::Instant;
+
+/// Run `f` once and return elapsed nanoseconds.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_nanos() as f64)
+}
+
+/// Run `f` `reps` times and return the *minimum* elapsed nanoseconds —
+/// the standard low-noise estimator for short deterministic work.
+pub fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(reps > 0);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// A single measurement cell: total time and per-item time.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Items processed.
+    pub items: u64,
+    /// Total elapsed nanoseconds.
+    pub total_ns: f64,
+}
+
+impl Throughput {
+    /// Nanoseconds per item (the y-axis of Figure 8).
+    pub fn ns_per_item(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.total_ns / self.items as f64
+        }
+    }
+
+    /// Items per second.
+    pub fn items_per_sec(&self) -> f64 {
+        if self.total_ns == 0.0 {
+            0.0
+        } else {
+            self.items as f64 * 1e9 / self.total_ns
+        }
+    }
+}
+
+/// Measure per-item cost of a bulk operation.
+pub fn throughput_of(items: u64, f: impl FnOnce()) -> Throughput {
+    let ((), total_ns) = time_once(f);
+    Throughput { items, total_ns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_value_and_positive_time() {
+        let (v, ns) = time_once(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn time_min_is_not_greater_than_single_runs() {
+        let mut acc = 0u64;
+        let best = time_min(5, || {
+            acc = acc.wrapping_add((0..10_000).sum::<u64>());
+        });
+        let (_, single) = time_once(|| {
+            acc = acc.wrapping_add((0..10_000).sum::<u64>());
+        });
+        // Not a strict guarantee under scheduling noise, but with 5 reps
+        // the minimum should be no larger than ~10× a fresh single run.
+        assert!(best <= single * 10.0 + 1e6, "best {best} vs single {single}");
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let t = Throughput { items: 1000, total_ns: 2_000_000.0 };
+        assert_eq!(t.ns_per_item(), 2000.0);
+        assert_eq!(t.items_per_sec(), 500_000.0);
+        let zero = Throughput { items: 0, total_ns: 100.0 };
+        assert_eq!(zero.ns_per_item(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn time_min_rejects_zero_reps() {
+        time_min(0, || {});
+    }
+}

@@ -1,0 +1,535 @@
+//! # GKArray
+//!
+//! An array-backed variant of the Greenwald–Khanna quantile summary — the
+//! rank-error baseline the DDSketch paper evaluates against ("GKArray",
+//! Table 1, Figures 6–11). This mirrors Datadog's optimized implementation
+//! strategy: incoming values are buffered and periodically folded into the
+//! summary with a single sort + linear merge + compress pass, which is much
+//! faster than classical per-item GK insertion.
+//!
+//! ## Guarantee
+//!
+//! After inserting `n` values, a q-quantile query returns a value whose
+//! rank is within `εn` of `⌊1 + q(n−1)⌋`. The summary keeps tuples
+//! `(vᵢ, gᵢ, Δᵢ)` satisfying the GK invariant `gᵢ + Δᵢ ≤ 2εn`, where
+//! `rmin(i) = Σ_{j≤i} gⱼ` and `rmax(i) = rmin(i) + Δᵢ` bound the rank of
+//! `vᵢ`.
+//!
+//! ## Mergeability
+//!
+//! GK summaries are only **one-way mergeable** (paper Section 1.2): merging
+//! is implemented and correct, but each merge inflates the rank uncertainty
+//! (ε grows toward `ε₁ + ε₂`), so unlike DDSketch the merge tree depth
+//! matters. [`MergeableSketch::merge_from`] documents the exact behaviour.
+//!
+//! ```
+//! use gkarray::GKArray;
+//! use sketch_core::QuantileSketch;
+//!
+//! let mut sketch = GKArray::new(0.01).unwrap(); // ε = 1% rank accuracy
+//! for i in 1..=10_000u32 {
+//!     sketch.add(f64::from(i)).unwrap();
+//! }
+//! let p90 = sketch.quantile(0.9).unwrap();
+//! // Rank guarantee: p90's rank is within εn = 100 of rank 9000.
+//! assert!((8900.0..=9100.0).contains(&p90));
+//! ```
+
+use sketch_core::{MemoryFootprint, MergeableSketch, QuantileSketch, SketchError};
+
+/// A GK summary tuple: `v` is an actually-observed value, `g` the gap in
+/// minimal rank from the previous tuple, `delta` the rank uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// Array-backed Greenwald–Khanna sketch with ε rank accuracy.
+#[derive(Debug, Clone)]
+pub struct GKArray {
+    epsilon: f64,
+    /// Summary tuples, ascending by `v`.
+    entries: Vec<Entry>,
+    /// Buffered raw values not yet folded into `entries`.
+    incoming: Vec<f64>,
+    /// Buffer capacity: ~1/(2ε), so the buffer itself never holds more
+    /// rank-mass than one summary tuple is allowed to.
+    buffer_capacity: usize,
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl GKArray {
+    /// Create a sketch with rank accuracy `epsilon ∈ (0, 1)`.
+    pub fn new(epsilon: f64) -> Result<Self, SketchError> {
+        if !(epsilon.is_finite() && epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SketchError::InvalidConfig(format!(
+                "epsilon must be in (0, 1), got {epsilon}"
+            )));
+        }
+        let buffer_capacity = ((1.0 / (2.0 * epsilon)).ceil() as usize).max(1);
+        Ok(Self {
+            epsilon,
+            entries: Vec::new(),
+            incoming: Vec::with_capacity(buffer_capacity),
+            buffer_capacity,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        })
+    }
+
+    /// The configured rank accuracy ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of summary tuples currently held (excluding the buffer).
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The GK invariant bound `⌊2ε(n−1)⌋` used for compression.
+    fn removal_threshold(&self) -> u64 {
+        (2.0 * self.epsilon * (self.count.saturating_sub(1)) as f64).floor() as u64
+    }
+
+    /// Compress `entries` right-to-left: absorb tuple `i` into `i+1`
+    /// whenever `g_i + g_{i+1} + Δ_{i+1} ≤ threshold` (the GK invariant),
+    /// preserving the survivor's rmax.
+    fn compress(&mut self, threshold: u64) {
+        if self.entries.len() <= 1 {
+            return;
+        }
+        let mut compressed: Vec<Entry> = Vec::with_capacity(self.entries.len());
+        let mut iter = std::mem::take(&mut self.entries).into_iter().rev();
+        let mut current = iter.next().expect("non-empty");
+        for prev in iter {
+            if prev.g + current.g + current.delta <= threshold {
+                current.g += prev.g;
+            } else {
+                compressed.push(current);
+                current = prev;
+            }
+        }
+        compressed.push(current);
+        compressed.reverse();
+        self.entries = compressed;
+    }
+
+    /// Fold the incoming buffer into the summary: sort, linear merge
+    /// (assigning each new value the uncertainty of its successor tuple),
+    /// then compress adjacent tuples under the GK invariant.
+    pub fn flush(&mut self) {
+        if self.incoming.is_empty() {
+            return;
+        }
+        self.incoming.sort_by(f64::total_cmp);
+
+        let mut merged: Vec<Entry> = Vec::with_capacity(self.entries.len() + self.incoming.len());
+        {
+            let mut ei = self.entries.iter().copied().peekable();
+            let mut vi = self.incoming.iter().copied().peekable();
+            while let Some(&v) = vi.peek() {
+                match ei.peek() {
+                    Some(&e) if e.v < v => {
+                        merged.push(e);
+                        ei.next();
+                    }
+                    Some(&e) => {
+                        // Insert before successor tuple e: Δ = g_e + Δ_e − 1
+                        // (classical GK insertion), which nests the new
+                        // tuple's rank range inside its successor's.
+                        let delta = (e.g + e.delta).saturating_sub(1);
+                        merged.push(Entry { v, g: 1, delta });
+                        vi.next();
+                    }
+                    None => {
+                        // New maximum: exact rank (Δ = 0).
+                        merged.push(Entry { v, g: 1, delta: 0 });
+                        vi.next();
+                    }
+                }
+            }
+            merged.extend(ei);
+        }
+        self.incoming.clear();
+        self.entries = merged;
+        let threshold = self.removal_threshold();
+        self.compress(threshold);
+    }
+
+    /// Internal quantile query over flushed entries.
+    fn query_flushed(&self, q: f64) -> f64 {
+        debug_assert!(self.incoming.is_empty());
+        if q <= 0.0 || self.count == 1 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        // One-based target rank ⌊1 + q(n−1)⌋ and allowed spread ε(n−1).
+        let rank = (1.0 + q * (self.count - 1) as f64).floor();
+        let spread = self.epsilon * (self.count - 1) as f64;
+        let mut g_sum = 0u64;
+        for (i, e) in self.entries.iter().enumerate() {
+            g_sum += e.g;
+            // First tuple whose maximal rank overshoots rank + spread: the
+            // previous tuple is guaranteed within the spread of the target.
+            if (g_sum + e.delta) as f64 > rank + spread {
+                return if i == 0 { self.min } else { self.entries[i - 1].v };
+            }
+        }
+        self.max
+    }
+}
+
+impl QuantileSketch for GKArray {
+    fn add(&mut self, value: f64) -> Result<(), SketchError> {
+        if !value.is_finite() {
+            return Err(SketchError::UnsupportedValue(value));
+        }
+        self.incoming.push(value);
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value;
+        if self.incoming.len() >= self.buffer_capacity {
+            self.flush();
+        }
+        Ok(())
+    }
+
+    fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(SketchError::InvalidQuantile(q));
+        }
+        if self.count == 0 {
+            return Err(SketchError::Empty);
+        }
+        if self.incoming.is_empty() {
+            Ok(self.query_flushed(q))
+        } else {
+            // Queries are immutable; fold the buffer into a scratch copy.
+            // (Callers doing repeated queries should `flush()` first.)
+            let mut scratch = self.clone();
+            scratch.flush();
+            Ok(scratch.query_flushed(q))
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn name(&self) -> &'static str {
+        "GKArray"
+    }
+}
+
+impl MergeableSketch for GKArray {
+    /// One-way merge: `other`'s tuples are interleaved into `self`'s
+    /// summary (both flushed first) and re-compressed under the combined
+    /// count. Rank uncertainties add up, so the merged summary answers
+    /// queries with rank error up to `ε·n_self + ε·n_other` — correct, but
+    /// looser than a single sketch of the union (GK is not fully
+    /// mergeable; paper Table 1).
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if other.count == 0 {
+            return Ok(());
+        }
+        self.flush();
+        let mut other = other.clone();
+        other.flush();
+
+        let mut merged: Vec<Entry> =
+            Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut a = self.entries.iter().copied().peekable();
+        let mut b = other.entries.iter().copied().peekable();
+        while let (Some(&ea), Some(&eb)) = (a.peek(), b.peek()) {
+            if ea.v <= eb.v {
+                merged.push(ea);
+                a.next();
+            } else {
+                merged.push(eb);
+                b.next();
+            }
+        }
+        merged.extend(a);
+        merged.extend(b);
+        self.entries = merged;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+
+        let threshold = self.removal_threshold();
+        self.compress(threshold);
+        Ok(())
+    }
+}
+
+impl MemoryFootprint for GKArray {
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.entries.capacity() * std::mem::size_of::<Entry>()
+            + self.incoming.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+    use sketch_core::rank_of_query;
+
+    /// Check the rank-error guarantee of a populated sketch against the
+    /// exact data. `est` is always an observed value; its rank interval is
+    /// `[#(< est) + 1, #(≤ est)]`, and the guarantee is satisfied if that
+    /// interval comes within `slack_mult·ε·n + 1` of the target rank.
+    fn assert_rank_accuracy(sketch: &GKArray, sorted: &[f64], slack_mult: f64) {
+        let n = sorted.len();
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let est = sketch.quantile(q).unwrap();
+            let target = sketch_core::lower_quantile_index(q, n) as f64 + 1.0;
+            let hi = rank_of_query(sorted, est) as f64;
+            let lo = sorted.partition_point(|&x| x < est) as f64 + 1.0;
+            let spread = slack_mult * sketch.epsilon() * n as f64 + 1.0;
+            let ok = (hi - target).abs() <= spread
+                || (lo - target).abs() <= spread
+                || (lo <= target && target <= hi);
+            assert!(ok, "q={q}: est {est} rank [{lo}, {hi}] target {target} spread {spread}");
+        }
+    }
+
+    #[test]
+    fn construction_validates_epsilon() {
+        assert!(GKArray::new(0.0).is_err());
+        assert!(GKArray::new(1.0).is_err());
+        assert!(GKArray::new(f64::NAN).is_err());
+        assert!(GKArray::new(0.01).is_ok());
+    }
+
+    #[test]
+    fn empty_and_error_paths() {
+        let mut s = GKArray::new(0.01).unwrap();
+        assert!(s.is_empty());
+        assert!(matches!(s.quantile(0.5), Err(SketchError::Empty)));
+        assert!(s.add(f64::NAN).is_err());
+        assert!(s.quantile(2.0).is_err());
+    }
+
+    #[test]
+    fn small_streams_are_exact() {
+        // With n ≤ 1/ε all values are retained, so quantiles are exact
+        // (paper Section 4.4 notes exactly this).
+        let mut s = GKArray::new(0.01).unwrap();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.add(v).unwrap();
+        }
+        assert_eq!(s.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(s.quantile(0.5).unwrap(), 3.0);
+        assert_eq!(s.quantile(1.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn rank_accuracy_uniform_stream() {
+        let mut s = GKArray::new(0.01).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut values: Vec<f64> = (0..50_000).map(|_| rng.random::<f64>() * 1000.0).collect();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        values.sort_by(f64::total_cmp);
+        assert_rank_accuracy(&s, &values, 1.0);
+    }
+
+    #[test]
+    fn rank_accuracy_heavy_tailed_stream() {
+        // Pareto(1): heavy tail. Rank accuracy must still hold even though
+        // relative accuracy (the paper's point!) will not.
+        let mut s = GKArray::new(0.01).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut values: Vec<f64> = (0..50_000)
+            .map(|_| 1.0 / (1.0 - rng.random::<f64>()).max(1e-12))
+            .collect();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        values.sort_by(f64::total_cmp);
+        assert_rank_accuracy(&s, &values, 1.0);
+    }
+
+    #[test]
+    fn rank_accuracy_sorted_and_reversed_streams() {
+        for reversed in [false, true] {
+            let mut s = GKArray::new(0.02).unwrap();
+            let mut values: Vec<f64> = (1..=20_000).map(|i| i as f64).collect();
+            if reversed {
+                values.reverse();
+            }
+            for &v in &values {
+                s.add(v).unwrap();
+            }
+            values.sort_by(f64::total_cmp);
+            assert_rank_accuracy(&s, &values, 1.0);
+        }
+    }
+
+    #[test]
+    fn summary_stays_compact() {
+        // O((1/ε)·log(εn)) tuples: for ε = 0.01, n = 200k that is well
+        // under a few thousand entries.
+        let mut s = GKArray::new(0.01).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200_000 {
+            s.add(rng.random::<f64>()).unwrap();
+        }
+        s.flush();
+        assert!(s.num_entries() < 4000, "summary too large: {} entries", s.num_entries());
+    }
+
+    #[test]
+    fn merge_preserves_counts_and_extremes() {
+        let mut a = GKArray::new(0.01).unwrap();
+        let mut b = GKArray::new(0.01).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut all: Vec<f64> = Vec::new();
+        for _ in 0..30_000 {
+            let v = rng.random::<f64>() * 100.0;
+            a.add(v).unwrap();
+            all.push(v);
+        }
+        for _ in 0..30_000 {
+            let v = 100.0 + rng.random::<f64>() * 100.0;
+            b.add(v).unwrap();
+            all.push(v);
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.count(), 60_000);
+        all.sort_by(f64::total_cmp);
+        // One-way merge: allow the documented looser bound (~3ε).
+        assert_rank_accuracy(&a, &all, 3.0);
+        assert_eq!(a.quantile(0.0).unwrap(), all[0]);
+        assert_eq!(a.quantile(1.0).unwrap(), all[all.len() - 1]);
+    }
+
+    #[test]
+    fn merge_empty_is_noop() {
+        let mut a = GKArray::new(0.01).unwrap();
+        a.add(1.0).unwrap();
+        let b = GKArray::new(0.01).unwrap();
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.quantile(0.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_heavy_stream() {
+        let mut s = GKArray::new(0.01).unwrap();
+        for _ in 0..10_000 {
+            s.add(42.0).unwrap();
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s.quantile(q).unwrap(), 42.0);
+        }
+        s.flush();
+        // GK size bound: O((1/ε)·log(εn)). For ε = 0.01, n = 10⁴ that is
+        // ~(1/2ε)·log2(εn) ≈ 50·6.6 ≈ 330 tuples.
+        let eps = s.epsilon();
+        let n = s.count() as f64;
+        let bound = (1.0 / (2.0 * eps)) * ((eps * n).log2() + 3.0);
+        assert!(
+            (s.num_entries() as f64) <= bound,
+            "all-equal stream: {} entries exceeds the GK bound {bound:.0}",
+            s.num_entries()
+        );
+    }
+
+    #[test]
+    fn memory_grows_sublinearly() {
+        let mut small = GKArray::new(0.01).unwrap();
+        let mut large = GKArray::new(0.01).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for i in 0..200_000 {
+            let v = rng.random::<f64>();
+            if i < 20_000 {
+                small.add(v).unwrap();
+            }
+            large.add(v).unwrap();
+        }
+        small.flush();
+        large.flush();
+        let ratio = large.memory_bytes() as f64 / small.memory_bytes() as f64;
+        assert!(ratio < 5.0, "10× data should not cost 10× memory (ratio {ratio})");
+    }
+
+    #[test]
+    fn returned_values_were_actually_observed() {
+        // GK returns stored values, never interpolations.
+        let mut s = GKArray::new(0.05).unwrap();
+        let values: Vec<f64> = (0..5000).map(|i| f64::from(i * 37 % 977)).collect();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        for k in 0..=10 {
+            let est = s.quantile(f64::from(k) / 10.0).unwrap();
+            assert!(values.contains(&est), "estimate {est} never inserted");
+        }
+    }
+
+    #[test]
+    fn query_on_unflushed_buffer_matches_flushed() {
+        let mut s = GKArray::new(0.01).unwrap();
+        for i in 0..17 {
+            s.add(f64::from(i)).unwrap(); // stays in the buffer (cap is 50)
+        }
+        let before = s.quantile(0.5).unwrap();
+        s.flush();
+        let after = s.quantile(0.5).unwrap();
+        assert_eq!(before, after);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_rank_accuracy(values in proptest::collection::vec(0.0f64..1e6, 100..2000)) {
+            let mut s = GKArray::new(0.05).unwrap();
+            for &v in &values {
+                s.add(v).unwrap();
+            }
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            let n = sorted.len() as f64;
+            for q in [0.1, 0.5, 0.9] {
+                let est = s.quantile(q).unwrap();
+                let target = sketch_core::lower_quantile_index(q, sorted.len()) as f64 + 1.0;
+                let hi = rank_of_query(&sorted, est) as f64;
+                let lo = sorted.partition_point(|&x| x < est) as f64 + 1.0;
+                let spread = 0.05 * n + 1.0;
+                proptest::prop_assert!(
+                    (hi - target).abs() <= spread || (lo - target).abs() <= spread
+                        || (lo <= target && target <= hi),
+                    "q={} est={} lo={} hi={} target={}", q, est, lo, hi, target
+                );
+            }
+        }
+
+        #[test]
+        fn prop_extremes_exact(values in proptest::collection::vec(-1e6f64..1e6, 1..500)) {
+            let mut s = GKArray::new(0.02).unwrap();
+            for &v in &values {
+                s.add(v).unwrap();
+            }
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            proptest::prop_assert_eq!(s.quantile(0.0).unwrap(), sorted[0]);
+            proptest::prop_assert_eq!(s.quantile(1.0).unwrap(), sorted[sorted.len() - 1]);
+        }
+    }
+}

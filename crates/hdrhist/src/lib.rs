@@ -1,0 +1,489 @@
+//! # HDR Histogram
+//!
+//! A from-scratch implementation of Gil Tene's High Dynamic Range
+//! histogram — the *relative-error, bounded-range* baseline of the DDSketch
+//! paper (Table 1: "relative / bounded / full" mergeability; Figures 6–11).
+//!
+//! ## How it works
+//!
+//! Values are non-negative integers in a configured range
+//! `[lowest_discernible, highest_trackable]`. The range is covered by
+//! *buckets* that double in width, each split into `sub_bucket_count`
+//! equal-width sub-buckets. With `sub_bucket_count ≥ 2·10^d`, consecutive
+//! sub-bucket boundaries are within `10^−d` relative distance, which is the
+//! "significant decimal digits" guarantee. Index arithmetic is a couple of
+//! shifts and a leading-zeros count ("extremely fast insertion times ...
+//! only requiring low-level binary operations", paper Section 1.2).
+//!
+//! ## Scope
+//!
+//! Exactly what the paper exercises: recording (weighted), quantile
+//! queries, merging, memory accounting — plus a [`ScaledHdr`] adapter that
+//! maps `f64` data streams onto the integer histogram so it can run on the
+//! paper's data sets.
+//!
+//! ```
+//! use hdrhist::HdrHistogram;
+//!
+//! // Track 1 ns .. 1 hour (in ns) with 2 significant digits.
+//! let mut h = HdrHistogram::new(1, 3_600_000_000_000, 2).unwrap();
+//! h.record(250_000).unwrap(); // 250 µs
+//! h.record_n(1_000_000, 99).unwrap();
+//! let p99 = h.value_at_quantile(0.99).unwrap();
+//! assert!((p99 as f64 - 1_000_000.0).abs() <= 10_000.0); // within 1%
+//! ```
+
+mod scaled;
+
+pub use scaled::ScaledHdr;
+
+use sketch_core::{MemoryFootprint, SketchError};
+
+/// An HDR histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct HdrHistogram {
+    lowest_discernible: u64,
+    highest_trackable: u64,
+    significant_digits: u8,
+    /// `floor(log2(lowest_discernible))`: values are tracked in units of
+    /// `2^unit_magnitude`.
+    unit_magnitude: u32,
+    /// Number of sub-buckets per bucket; a power of two ≥ `2·10^d`.
+    sub_bucket_count: u64,
+    sub_bucket_half_count: u64,
+    sub_bucket_half_count_magnitude: u32,
+    /// Mask selecting values that fall in bucket 0.
+    sub_bucket_mask: u64,
+    /// Number of doubling buckets needed to reach `highest_trackable`.
+    bucket_count: u32,
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl HdrHistogram {
+    /// Create a histogram tracking `[lowest_discernible, highest_trackable]`
+    /// with `significant_digits ∈ 1..=5` decimal digits of relative
+    /// precision.
+    ///
+    /// `lowest_discernible` must be ≥ 1 and `highest_trackable` at least
+    /// `2 × lowest_discernible`.
+    pub fn new(
+        lowest_discernible: u64,
+        highest_trackable: u64,
+        significant_digits: u8,
+    ) -> Result<Self, SketchError> {
+        if !(1..=5).contains(&significant_digits) {
+            return Err(SketchError::InvalidConfig(format!(
+                "significant_digits must be in 1..=5, got {significant_digits}"
+            )));
+        }
+        if lowest_discernible < 1 {
+            return Err(SketchError::InvalidConfig(
+                "lowest_discernible must be >= 1".into(),
+            ));
+        }
+        if highest_trackable < 2 * lowest_discernible {
+            return Err(SketchError::InvalidConfig(format!(
+                "highest_trackable ({highest_trackable}) must be >= 2 × lowest_discernible ({lowest_discernible})"
+            )));
+        }
+
+        // Sub-buckets fine enough that one sub-bucket step at the start of
+        // a bucket is below 10^-d relative: 2^ceil(log2(2·10^d)).
+        let largest_single_unit_resolution = 2 * 10u64.pow(u32::from(significant_digits));
+        let sub_bucket_count_magnitude =
+            (largest_single_unit_resolution as f64).log2().ceil() as u32;
+        let sub_bucket_count = 1u64 << sub_bucket_count_magnitude;
+        let sub_bucket_half_count = sub_bucket_count / 2;
+        let sub_bucket_half_count_magnitude = sub_bucket_count_magnitude - 1;
+        let unit_magnitude = (lowest_discernible as f64).log2().floor() as u32;
+        let sub_bucket_mask = (sub_bucket_count - 1) << unit_magnitude;
+
+        // Count doubling buckets until the range covers highest_trackable.
+        let mut smallest_untrackable = sub_bucket_count << unit_magnitude;
+        let mut bucket_count = 1u32;
+        while smallest_untrackable <= highest_trackable {
+            if smallest_untrackable > u64::MAX / 2 {
+                bucket_count += 1;
+                break;
+            }
+            smallest_untrackable <<= 1;
+            bucket_count += 1;
+        }
+
+        let counts_len = ((u64::from(bucket_count) + 1) * sub_bucket_half_count) as usize;
+        Ok(Self {
+            lowest_discernible,
+            highest_trackable,
+            significant_digits,
+            unit_magnitude,
+            sub_bucket_count,
+            sub_bucket_half_count,
+            sub_bucket_half_count_magnitude,
+            sub_bucket_mask,
+            bucket_count,
+            counts: vec![0; counts_len],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        })
+    }
+
+    /// The configured number of significant decimal digits.
+    pub fn significant_digits(&self) -> u8 {
+        self.significant_digits
+    }
+
+    /// The configured upper range bound.
+    pub fn highest_trackable(&self) -> u64 {
+        self.highest_trackable
+    }
+
+    /// The configured lower range bound.
+    pub fn lowest_discernible(&self) -> u64 {
+        self.lowest_discernible
+    }
+
+    /// Number of doubling buckets covering the range.
+    pub fn bucket_count(&self) -> u32 {
+        self.bucket_count
+    }
+
+    /// Number of sub-buckets per doubling bucket.
+    pub fn sub_bucket_count(&self) -> u64 {
+        self.sub_bucket_count
+    }
+
+    /// Implied relative error of quantile estimates:
+    /// `10^(−significant_digits)`.
+    pub fn relative_accuracy(&self) -> f64 {
+        10f64.powi(-i32::from(self.significant_digits))
+    }
+
+    #[inline]
+    fn bucket_index(&self, value: u64) -> u32 {
+        // Index of the highest set bit at or above sub-bucket resolution;
+        // 0 for values fitting entirely within bucket 0.
+        let pow2_ceiling = 63 - (value | self.sub_bucket_mask).leading_zeros();
+        pow2_ceiling - (self.sub_bucket_half_count_magnitude + self.unit_magnitude)
+    }
+
+    #[inline]
+    fn sub_bucket_index(&self, value: u64, bucket_index: u32) -> u64 {
+        value >> (bucket_index + self.unit_magnitude)
+    }
+
+    #[inline]
+    fn counts_index(&self, value: u64) -> usize {
+        let bucket = self.bucket_index(value);
+        let sub = self.sub_bucket_index(value, bucket);
+        debug_assert!(sub >= self.sub_bucket_half_count || bucket == 0);
+        // Bucket 0 uses the full sub-bucket range [0, sub_bucket_count);
+        // every later bucket only uses its upper half.
+        let bucket_base = (u64::from(bucket) + 1) * self.sub_bucket_half_count;
+        (bucket_base + sub - self.sub_bucket_half_count) as usize
+    }
+
+    /// Lowest value that maps to the counting slot `index`.
+    fn value_for_index(&self, index: usize) -> u64 {
+        let index = index as u64;
+        let mut bucket = (index >> self.sub_bucket_half_count_magnitude) as i64 - 1;
+        let mut sub = (index & (self.sub_bucket_half_count - 1)) + self.sub_bucket_half_count;
+        if bucket < 0 {
+            sub -= self.sub_bucket_half_count;
+            bucket = 0;
+        }
+        sub << (bucket as u32 + self.unit_magnitude)
+    }
+
+    /// Width of the counting slot `index`.
+    fn bucket_width_for_index(&self, index: usize) -> u64 {
+        let index = index as u64;
+        let bucket = ((index >> self.sub_bucket_half_count_magnitude) as i64 - 1).max(0);
+        1u64 << (bucket as u32 + self.unit_magnitude)
+    }
+
+    /// Midpoint of the slot's value range — the estimate with at most
+    /// `10^-d` relative error.
+    fn median_equivalent(&self, index: usize) -> u64 {
+        self.value_for_index(index) + self.bucket_width_for_index(index) / 2
+    }
+
+    /// Record `count` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, count: u64) -> Result<(), SketchError> {
+        if value > self.highest_trackable {
+            return Err(SketchError::UnsupportedValue(value as f64));
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        let idx = self.counts_index(value);
+        self.counts[idx] += count;
+        self.total += count;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += u128::from(value) * u128::from(count);
+        Ok(())
+    }
+
+    /// Record a single value.
+    pub fn record(&mut self, value: u64) -> Result<(), SketchError> {
+        self.record_n(value, 1)
+    }
+
+    /// Total recorded count.
+    pub fn total_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact minimum recorded value.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Estimate the q-quantile as an integer value.
+    pub fn value_at_quantile(&self, q: f64) -> Result<u64, SketchError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(SketchError::InvalidQuantile(q));
+        }
+        if self.total == 0 {
+            return Err(SketchError::Empty);
+        }
+        // Lower-quantile rank (paper Section 1): first slot with
+        // cumulative count > q(n−1).
+        let rank = sketch_core::target_rank(q, self.total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum as f64 > rank {
+                // Clamp the slot-midpoint estimate into the observed range
+                // (exact min/max are tracked).
+                return Ok(self.median_equivalent(i).clamp(self.min, self.max));
+            }
+        }
+        Ok(self.max)
+    }
+
+    /// Number of non-empty counting slots.
+    pub fn num_bins(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Whether two histograms have identical bucket layouts.
+    pub fn is_compatible_with(&self, other: &Self) -> bool {
+        self.lowest_discernible == other.lowest_discernible
+            && self.highest_trackable == other.highest_trackable
+            && self.significant_digits == other.significant_digits
+    }
+
+    /// Merge `other` into `self` by summing all counting slots — fully
+    /// mergeable, but O(array length) regardless of how much data the
+    /// other histogram holds (the paper: "fully mergeable (though very
+    /// slow)").
+    pub fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        if !self.is_compatible_with(other) {
+            return Err(SketchError::IncompatibleMerge(
+                "HDR histograms with different ranges/precision".into(),
+            ));
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        Ok(())
+    }
+}
+
+impl MemoryFootprint for HdrHistogram {
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.counts.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(HdrHistogram::new(1, 1_000_000, 0).is_err());
+        assert!(HdrHistogram::new(1, 1_000_000, 6).is_err());
+        assert!(HdrHistogram::new(0, 1_000_000, 2).is_err());
+        assert!(HdrHistogram::new(100, 150, 2).is_err());
+        assert!(HdrHistogram::new(1, 3_600_000_000, 3).is_ok());
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = HdrHistogram::new(1, 1_000_000, 2).unwrap();
+        h.record(100).unwrap();
+        h.record_n(1000, 5).unwrap();
+        assert_eq!(h.total_count(), 6);
+        assert!(h.record(2_000_000).is_err());
+        assert_eq!(h.total_count(), 6, "failed record must not count");
+    }
+
+    #[test]
+    fn zero_value_is_trackable() {
+        let mut h = HdrHistogram::new(1, 1_000_000, 2).unwrap();
+        h.record(0).unwrap();
+        assert_eq!(h.value_at_quantile(0.5).unwrap(), 0);
+    }
+
+    #[test]
+    fn relative_error_guarantee_holds() {
+        // d = 2 significant digits → 1% relative error.
+        let mut h = HdrHistogram::new(1, 10_000_000_000, 2).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut values: Vec<u64> = (0..100_000)
+            .map(|_| {
+                // Log-uniform across nine orders of magnitude.
+                let e = rng.random::<f64>() * 9.0;
+                10f64.powf(e) as u64
+            })
+            .collect();
+        for &v in &values {
+            h.record(v).unwrap();
+        }
+        values.sort_unstable();
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let actual = values[sketch_core::lower_quantile_index(q, values.len())];
+            let est = h.value_at_quantile(q).unwrap();
+            let rel = (est as f64 - actual as f64).abs() / (actual as f64).max(1.0);
+            assert!(rel <= 0.01 + 1e-9, "q={q}: est {est} vs {actual} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn counts_index_is_monotone_and_invertible() {
+        let h = HdrHistogram::new(1, 10_000_000, 2).unwrap();
+        let mut prev_idx = 0usize;
+        let mut v = 1u64;
+        while v < 10_000_000 {
+            let idx = h.counts_index(v);
+            assert!(idx >= prev_idx, "index not monotone at {v}");
+            let lo = h.value_for_index(idx);
+            let width = h.bucket_width_for_index(idx);
+            assert!(
+                lo <= v && v < lo + width,
+                "value {v} outside its slot [{lo}, {})",
+                lo + width
+            );
+            prev_idx = idx;
+            v = v * 17 / 16 + 1;
+        }
+    }
+
+    #[test]
+    fn highest_trackable_is_trackable() {
+        let mut h = HdrHistogram::new(1, 3_600_000_000, 3).unwrap();
+        h.record(3_600_000_000).unwrap();
+        assert_eq!(h.value_at_quantile(1.0).unwrap(), 3_600_000_000);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut a = HdrHistogram::new(1, 1_000_000, 2).unwrap();
+        let mut b = HdrHistogram::new(1, 1_000_000, 2).unwrap();
+        let mut u = HdrHistogram::new(1, 1_000_000, 2).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(1..1_000_000u64);
+            a.record(v).unwrap();
+            u.record(v).unwrap();
+        }
+        for _ in 0..10_000 {
+            let v = rng.random_range(1..1_000u64);
+            b.record(v).unwrap();
+            u.record(v).unwrap();
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.total_count(), u.total_count());
+        assert_eq!(a.counts, u.counts, "merge must be slot-exact");
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(a.value_at_quantile(q).unwrap(), u.value_at_quantile(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incompatible() {
+        let mut a = HdrHistogram::new(1, 1_000_000, 2).unwrap();
+        let b = HdrHistogram::new(1, 1_000_000, 3).unwrap();
+        let c = HdrHistogram::new(1, 2_000_000, 2).unwrap();
+        assert!(a.merge(&b).is_err());
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn memory_is_fixed_and_range_dependent() {
+        use sketch_core::MemoryFootprint;
+        let small = HdrHistogram::new(1, 1_000_000, 2).unwrap();
+        let wide = HdrHistogram::new(1, 2_000_000_000_000, 2).unwrap();
+        let precise = HdrHistogram::new(1, 1_000_000, 3).unwrap();
+        assert!(wide.memory_bytes() > small.memory_bytes());
+        assert!(precise.memory_bytes() > small.memory_bytes());
+
+        // Size must not change with data volume (preallocated).
+        let mut h = HdrHistogram::new(1, 1_000_000, 2).unwrap();
+        let before = h.memory_bytes();
+        for i in 0..100_000u64 {
+            h.record(i % 1_000_000).unwrap();
+        }
+        assert_eq!(h.memory_bytes(), before);
+    }
+
+    #[test]
+    fn empty_quantile_errors() {
+        let h = HdrHistogram::new(1, 1000, 2).unwrap();
+        assert!(matches!(h.value_at_quantile(0.5), Err(SketchError::Empty)));
+        let mut h = h;
+        h.record(5).unwrap();
+        assert!(h.value_at_quantile(1.5).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_relative_error(values in proptest::collection::vec(1u64..1_000_000, 1..500)) {
+            let mut h = HdrHistogram::new(1, 1_000_000, 2).unwrap();
+            for &v in &values {
+                h.record(v).unwrap();
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for q in [0.0, 0.5, 1.0] {
+                let actual = sorted[sketch_core::lower_quantile_index(q, sorted.len())] as f64;
+                let est = h.value_at_quantile(q).unwrap() as f64;
+                proptest::prop_assert!(
+                    (est - actual).abs() <= 0.01 * actual + 1.0,
+                    "q={} est={} actual={}", q, est, actual
+                );
+            }
+        }
+
+        #[test]
+        fn prop_slot_roundtrip(v in 1u64..3_600_000_000) {
+            let h = HdrHistogram::new(1, 3_600_000_000, 2).unwrap();
+            let idx = h.counts_index(v);
+            let lo = h.value_for_index(idx);
+            let width = h.bucket_width_for_index(idx);
+            proptest::prop_assert!(lo <= v && v < lo + width);
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! # Moments sketch
+//!
+//! A quantile sketch that stores only the first `k` sample moments (power
+//! sums), reconstructing quantiles with a maximum-entropy solver — the
+//! "Moments" baseline of the DDSketch paper (Gan, Ding, Tai, Sharan &
+//! Bailis, *Moment-based quantile sketches for efficient high cardinality
+//! aggregation queries*, VLDB 2018).
+//!
+//! The sketch is tiny (k + a few floats, independent of `n`) and has the
+//! fastest merges of all the baselines (vector addition). Its accuracy
+//! guarantee is on *average* rank error only, and — as the DDSketch paper
+//! stresses — it "has a bounded range as the moments quickly grow larger,
+//! and they will eventually cause floating point overflow errors"; the
+//! `span` data set (values up to 1.9·10¹²) is exactly that failure mode.
+//! The `compressed` option applies `arcsinh` to every value before
+//! accumulating moments (the reference implementation's "compression"),
+//! which tames the growth and is what the paper enables in Table 2.
+//!
+//! ```
+//! use momentsketch::MomentSketch;
+//! use sketch_core::QuantileSketch;
+//!
+//! let mut sketch = MomentSketch::paper_default(); // k = 20, compressed
+//! for i in 0..10_000u32 {
+//!     sketch.add(f64::from(i) / 100.0).unwrap();
+//! }
+//! // A uniform distribution is easy for the maxent solver.
+//! let p50 = sketch.quantile(0.5).unwrap();
+//! assert!((p50 - 50.0).abs() < 1.0);
+//! ```
+
+pub mod solver;
+
+pub use solver::SolvedDensity;
+
+use sketch_core::{MemoryFootprint, MergeableSketch, QuantileSketch, SketchError};
+
+/// Maximum supported number of moments; beyond this the solve is hopelessly
+/// ill-conditioned in f64 (the reference implementation recommends ≤ 20).
+pub const MAX_K: usize = 25;
+
+/// A moments-based quantile sketch.
+#[derive(Debug, Clone)]
+pub struct MomentSketch {
+    /// Power sums Σ uⁱ for i ∈ 0..k of the (possibly transformed) values.
+    power_sums: Vec<f64>,
+    /// Whether values are arcsinh-transformed before accumulation.
+    compressed: bool,
+    /// Extremes in the transformed domain (solver bounds).
+    t_min: f64,
+    t_max: f64,
+    /// Extremes in the raw domain (for q = 0 / q = 1 and clamping).
+    raw_min: f64,
+    raw_max: f64,
+}
+
+impl MomentSketch {
+    /// Create a sketch tracking `k` moments (`1 ≤ k ≤ 25`); the paper's
+    /// configuration is `k = 20` with compression enabled.
+    pub fn new(k: usize, compressed: bool) -> Result<Self, SketchError> {
+        if k == 0 || k > MAX_K {
+            return Err(SketchError::InvalidConfig(format!(
+                "k must be in 1..={MAX_K}, got {k}"
+            )));
+        }
+        Ok(Self {
+            power_sums: vec![0.0; k],
+            compressed,
+            t_min: f64::INFINITY,
+            t_max: f64::NEG_INFINITY,
+            raw_min: f64::INFINITY,
+            raw_max: f64::NEG_INFINITY,
+        })
+    }
+
+    /// The paper's Table 2 configuration: `k = 20`, compression on.
+    pub fn paper_default() -> Self {
+        Self::new(20, true).expect("20 <= MAX_K")
+    }
+
+    /// Number of tracked moments.
+    pub fn k(&self) -> usize {
+        self.power_sums.len()
+    }
+
+    /// Whether the arcsinh compression transform is enabled.
+    pub fn is_compressed(&self) -> bool {
+        self.compressed
+    }
+
+    #[inline]
+    fn transform(&self, v: f64) -> f64 {
+        if self.compressed {
+            v.asinh()
+        } else {
+            v
+        }
+    }
+
+    #[inline]
+    fn untransform(&self, u: f64) -> f64 {
+        if self.compressed {
+            u.sinh()
+        } else {
+            u
+        }
+    }
+
+    /// Fit the maximum-entropy density for the current moments. Expensive
+    /// (iterative solve); batch quantile queries should reuse the result.
+    pub fn solve(&self) -> Result<SolvedDensity, SketchError> {
+        if self.count() == 0 {
+            return Err(SketchError::Empty);
+        }
+        Ok(solver::solve_max_entropy(&self.power_sums, self.t_min, self.t_max))
+    }
+
+    /// Whether the most recent solve over the current state converges.
+    /// Used by the evaluation harness to report the paper's observed
+    /// failure on huge-range data.
+    pub fn solvable(&self) -> bool {
+        self.solve().map(|s| s.converged()).unwrap_or(false)
+    }
+}
+
+impl QuantileSketch for MomentSketch {
+    fn add(&mut self, value: f64) -> Result<(), SketchError> {
+        self.add_n(value, 1)
+    }
+
+    fn add_n(&mut self, value: f64, count: u64) -> Result<(), SketchError> {
+        if !value.is_finite() {
+            return Err(SketchError::UnsupportedValue(value));
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        let u = self.transform(value);
+        let c = count as f64;
+        let mut p = 1.0;
+        for s in self.power_sums.iter_mut() {
+            *s += c * p;
+            p *= u;
+        }
+        self.t_min = self.t_min.min(u);
+        self.t_max = self.t_max.max(u);
+        self.raw_min = self.raw_min.min(value);
+        self.raw_max = self.raw_max.max(value);
+        Ok(())
+    }
+
+    fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(SketchError::InvalidQuantile(q));
+        }
+        if self.count() == 0 {
+            return Err(SketchError::Empty);
+        }
+        if q == 0.0 {
+            return Ok(self.raw_min);
+        }
+        if q == 1.0 {
+            return Ok(self.raw_max);
+        }
+        if self.t_min == self.t_max {
+            return Ok(self.raw_min);
+        }
+        let solved = self.solve()?;
+        let u = solved.quantile(q);
+        Ok(self.untransform(u).clamp(self.raw_min, self.raw_max))
+    }
+
+    fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        if self.count() == 0 {
+            return Err(SketchError::Empty);
+        }
+        if qs.iter().any(|q| !(0.0..=1.0).contains(q)) {
+            return Err(SketchError::InvalidQuantile(
+                *qs.iter().find(|q| !(0.0..=1.0).contains(*q)).unwrap(),
+            ));
+        }
+        // Solve once, invert many times.
+        let degenerate = self.t_min == self.t_max;
+        let solved = if degenerate { None } else { Some(self.solve()?) };
+        Ok(qs
+            .iter()
+            .map(|&q| {
+                if q == 0.0 {
+                    self.raw_min
+                } else if q == 1.0 {
+                    self.raw_max
+                } else {
+                    match &solved {
+                        None => self.raw_min,
+                        Some(s) => self
+                            .untransform(s.quantile(q))
+                            .clamp(self.raw_min, self.raw_max),
+                    }
+                }
+            })
+            .collect())
+    }
+
+    fn count(&self) -> u64 {
+        self.power_sums[0] as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "MomentSketch"
+    }
+}
+
+impl MergeableSketch for MomentSketch {
+    /// Fully mergeable in O(k): power sums add componentwise ("the Moment
+    /// sketch has the fastest merge speeds of all the algorithms", paper
+    /// Section 4.3).
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.k() != other.k() || self.compressed != other.compressed {
+            return Err(SketchError::IncompatibleMerge(format!(
+                "MomentSketch(k={}, compressed={}) vs (k={}, compressed={})",
+                self.k(),
+                self.compressed,
+                other.k(),
+                other.compressed
+            )));
+        }
+        for (a, b) in self.power_sums.iter_mut().zip(&other.power_sums) {
+            *a += b;
+        }
+        self.t_min = self.t_min.min(other.t_min);
+        self.t_max = self.t_max.max(other.t_max);
+        self.raw_min = self.raw_min.min(other.raw_min);
+        self.raw_max = self.raw_max.max(other.raw_max);
+        Ok(())
+    }
+}
+
+impl MemoryFootprint for MomentSketch {
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.power_sums.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    #[test]
+    fn construction_validates_k() {
+        assert!(MomentSketch::new(0, true).is_err());
+        assert!(MomentSketch::new(26, true).is_err());
+        assert!(MomentSketch::new(20, true).is_ok());
+    }
+
+    #[test]
+    fn empty_and_error_paths() {
+        let s = MomentSketch::paper_default();
+        assert!(s.is_empty());
+        assert!(matches!(s.quantile(0.5), Err(SketchError::Empty)));
+        assert!(s.quantiles(&[0.5]).is_err());
+        let mut s = s;
+        assert!(s.add(f64::NAN).is_err());
+        s.add(1.0).unwrap();
+        assert!(s.quantile(-0.1).is_err());
+        assert!(s.quantiles(&[0.5, 1.2]).is_err());
+    }
+
+    #[test]
+    fn single_value_and_degenerate_streams() {
+        let mut s = MomentSketch::paper_default();
+        s.add(7.5).unwrap();
+        assert_eq!(s.quantile(0.5).unwrap(), 7.5);
+        for _ in 0..100 {
+            s.add(7.5).unwrap();
+        }
+        assert_eq!(s.quantile(0.3).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn uniform_stream_quantiles() {
+        let mut s = MomentSketch::new(12, false).unwrap();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut values: Vec<f64> = (0..100_000).map(|_| rng.random::<f64>() * 100.0).collect();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let actual = values[sketch_core::lower_quantile_index(q, values.len())];
+            let est = s.quantile(q).unwrap();
+            assert!(
+                (est - actual).abs() < 2.0,
+                "q={q}: est {est} vs actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_stream_with_compression() {
+        let mut s = MomentSketch::paper_default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut values: Vec<f64> = (0..100_000)
+            .map(|_| -(1.0 - rng.random::<f64>()).ln() * 10.0)
+            .collect();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.25, 0.5, 0.75, 0.9] {
+            let actual = values[sketch_core::lower_quantile_index(q, values.len())];
+            let est = s.quantile(q).unwrap();
+            let rel = (est - actual).abs() / actual;
+            assert!(rel < 0.15, "q={q}: est {est} vs actual {actual} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn weighted_add_matches_repeated() {
+        let mut a = MomentSketch::new(8, false).unwrap();
+        let mut b = MomentSketch::new(8, false).unwrap();
+        a.add_n(3.0, 50).unwrap();
+        for _ in 0..50 {
+            b.add(3.0).unwrap();
+        }
+        assert_eq!(a.power_sums, b.power_sums);
+    }
+
+    #[test]
+    fn merge_is_exact_on_power_sums() {
+        let mut a = MomentSketch::new(10, true).unwrap();
+        let mut b = MomentSketch::new(10, true).unwrap();
+        let mut u = MomentSketch::new(10, true).unwrap();
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..5000 {
+            let v = rng.random::<f64>() * 50.0;
+            a.add(v).unwrap();
+            u.add(v).unwrap();
+        }
+        for _ in 0..5000 {
+            let v = 50.0 + rng.random::<f64>() * 50.0;
+            b.add(v).unwrap();
+            u.add(v).unwrap();
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.count(), u.count());
+        for (x, y) in a.power_sums.iter().zip(&u.power_sums) {
+            assert!((x - y).abs() <= 1e-9 * y.abs().max(1.0), "{x} vs {y}");
+        }
+        let qa = a.quantiles(&[0.1, 0.5, 0.9]).unwrap();
+        let qu = u.quantiles(&[0.1, 0.5, 0.9]).unwrap();
+        for (x, y) in qa.iter().zip(&qu) {
+            assert!((x - y).abs() < 1e-6 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incompatible() {
+        let mut a = MomentSketch::new(10, true).unwrap();
+        let b = MomentSketch::new(12, true).unwrap();
+        let c = MomentSketch::new(10, false).unwrap();
+        assert!(a.merge_from(&b).is_err());
+        assert!(a.merge_from(&c).is_err());
+    }
+
+    #[test]
+    fn memory_is_constant_in_n() {
+        use sketch_core::MemoryFootprint;
+        let mut s = MomentSketch::paper_default();
+        let before = s.memory_bytes();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100_000 {
+            s.add(rng.random::<f64>()).unwrap();
+        }
+        assert_eq!(s.memory_bytes(), before, "Moments sketch is fixed-size");
+        assert!(before < 512, "k=20 sketch should be tiny, got {before} bytes");
+    }
+
+    #[test]
+    fn huge_range_without_compression_degrades_not_panics() {
+        // The paper's span failure mode: values up to 1.9e12 overflow the
+        // raw moments (1.9e12^19 ≈ 1e233 per item; the sums survive f64
+        // but the solve is hopeless). The sketch must keep answering.
+        let mut s = MomentSketch::new(20, false).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = 100.0 * (1.0 / (1.0 - rng.random::<f64>())).powi(4);
+            s.add(v.min(1.9e12)).unwrap();
+        }
+        s.add(1.9e12).unwrap();
+        // Must return *something* finite for every quantile.
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let est = s.quantile(q).unwrap();
+            assert!(est.is_finite());
+        }
+    }
+
+    #[test]
+    fn compression_tames_huge_ranges() {
+        let mut plain = MomentSketch::new(20, false).unwrap();
+        let mut comp = MomentSketch::new(20, true).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut values: Vec<f64> = (0..50_000)
+            .map(|_| 100.0 * (1.0 / (1.0 - rng.random::<f64>())).powi(2))
+            .collect();
+        for &v in &values {
+            plain.add(v).unwrap();
+            comp.add(v).unwrap();
+        }
+        values.sort_by(f64::total_cmp);
+        let q = 0.5;
+        let actual = values[sketch_core::lower_quantile_index(q, values.len())];
+        let comp_err = (comp.quantile(q).unwrap() - actual).abs() / actual;
+        let plain_err = (plain.quantile(q).unwrap() - actual).abs() / actual;
+        assert!(
+            comp_err < plain_err || comp_err < 0.05,
+            "compression should help on heavy tails: comp {comp_err} vs plain {plain_err}"
+        );
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single() {
+        let mut s = MomentSketch::new(10, false).unwrap();
+        for i in 1..=1000 {
+            s.add(f64::from(i)).unwrap();
+        }
+        let batch = s.quantiles(&[0.0, 0.25, 0.5, 0.75, 1.0]).unwrap();
+        for (q, b) in [0.0, 0.25, 0.5, 0.75, 1.0].iter().zip(&batch) {
+            let single = s.quantile(*q).unwrap();
+            assert!((single - b).abs() < 1e-12, "q={q}: {single} vs {b}");
+        }
+    }
+
+    proptest::proptest! {
+        // Each case runs a full maxent solve; keep the case count modest.
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_never_panics_and_stays_in_range(
+            values in proptest::collection::vec(-1e9f64..1e9, 1..200),
+            k in 2usize..16,
+            compressed in proptest::bool::ANY,
+        ) {
+            let mut s = MomentSketch::new(k, compressed).unwrap();
+            for &v in &values {
+                s.add(v).unwrap();
+            }
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            for q in [0.0, 0.3, 0.7, 1.0] {
+                let est = s.quantile(q).unwrap();
+                proptest::prop_assert!(est.is_finite());
+                proptest::prop_assert!(est >= sorted[0] && est <= sorted[sorted.len() - 1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Maximum-entropy density estimation from moments (Gan et al., VLDB 2018).
+//!
+//! Given the first `k` moments of an unknown distribution on `[a, b]`, the
+//! maximum-entropy principle picks the density
+//! `f(t) = exp(Σ_j λ_j·T_j(t))` (in Chebyshev basis, on the rescaled domain
+//! `t ∈ [−1, 1]`) whose moments match the observations. Finding λ is an
+//! unconstrained convex minimization of the dual potential
+//!
+//! ```text
+//! F(λ) = ∫ exp(Σ λ_j T_j(t)) dt − Σ λ_j·m̂_j
+//! ```
+//!
+//! whose gradient is `(moments of f) − m̂` and whose Hessian is the Gram
+//! matrix `∫ T_i·T_j·f`. We solve it with damped Newton iterations
+//! (explicit Cholesky on the k×k Hessian, backtracking line search) over a
+//! fixed quadrature grid, exactly as the reference `momentsketch` solver
+//! does.
+
+/// Number of quadrature points for the density grid. Power of two + 1 so
+/// the trapezoid rule nests cleanly.
+const GRID_SIZE: usize = 1025;
+
+/// Maximum Newton iterations before declaring failure.
+const MAX_ITERS: usize = 200;
+
+/// Gradient infinity-norm at which we declare convergence.
+const GRAD_TOL: f64 = 1e-8;
+
+/// Result of a maximum-entropy solve: a discretized CDF on `[a, b]`.
+#[derive(Debug, Clone)]
+pub struct SolvedDensity {
+    /// Domain lower bound (in the solver's working space).
+    a: f64,
+    /// Domain upper bound.
+    b: f64,
+    /// CDF values at `GRID_SIZE` evenly spaced points on `[a, b]`.
+    cdf: Vec<f64>,
+    /// Whether Newton converged; if false the CDF is a best-effort
+    /// fallback and quantile estimates may be wildly off (this is the
+    /// failure mode the DDSketch paper observes for Moments on `span`).
+    converged: bool,
+}
+
+impl SolvedDensity {
+    /// Whether the maximum-entropy optimization converged.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Invert the CDF: the value `x ∈ [a, b]` with `CDF(x) ≈ q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.cdf.len();
+        // First grid point with cdf >= q.
+        let i = self.cdf.partition_point(|&c| c < q);
+        let x_of = |j: usize| self.a + (self.b - self.a) * j as f64 / (n - 1) as f64;
+        if i == 0 {
+            return self.a;
+        }
+        if i >= n {
+            return self.b;
+        }
+        // Linear interpolation between grid points i-1 and i.
+        let c0 = self.cdf[i - 1];
+        let c1 = self.cdf[i];
+        let frac = if c1 > c0 { (q - c0) / (c1 - c0) } else { 0.0 };
+        x_of(i - 1) + (x_of(i) - x_of(i - 1)) * frac
+    }
+}
+
+/// Chebyshev polynomial coefficient table: `coeffs[j][i]` is the
+/// coefficient of `t^i` in `T_j(t)`, from `T_{j+1} = 2t·T_j − T_{j−1}`.
+fn chebyshev_coefficients(k: usize) -> Vec<Vec<f64>> {
+    let mut coeffs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    coeffs.push(vec![1.0]); // T_0 = 1
+    if k > 1 {
+        coeffs.push(vec![0.0, 1.0]); // T_1 = t
+    }
+    for j in 2..k {
+        let mut c = vec![0.0; j + 1];
+        for (i, &prev) in coeffs[j - 1].iter().enumerate() {
+            c[i + 1] += 2.0 * prev;
+        }
+        for (i, &prev2) in coeffs[j - 2].iter().enumerate() {
+            c[i] -= prev2;
+        }
+        coeffs.push(c);
+    }
+    coeffs
+}
+
+/// Convert raw power sums `S_i = Σ x^i` (with `S_0 = n`) on `[a, b]` into
+/// Chebyshev moments `E[T_j(t)]` of the rescaled variable
+/// `t = (2x − (a+b))/(b − a) ∈ [−1, 1]`.
+///
+/// Returns `None` if the inputs are not finite (the overflow regime the
+/// paper describes for large-range data).
+pub fn chebyshev_moments(power_sums: &[f64], a: f64, b: f64) -> Option<Vec<f64>> {
+    let k = power_sums.len();
+    let n = power_sums[0];
+    if n <= 0.0 || !power_sums.iter().all(|s| s.is_finite()) {
+        return None;
+    }
+    if !(a.is_finite() && b.is_finite()) || b <= a {
+        return None;
+    }
+
+    // Raw moments of x.
+    let raw: Vec<f64> = power_sums.iter().map(|s| s / n).collect();
+
+    // Power moments of t via the binomial expansion of ((2x − (a+b))/(b−a))^j.
+    let c = 0.5 * (a + b);
+    let d = 0.5 * (b - a);
+    let mut scaled = vec![0.0f64; k];
+    let mut binom_row = vec![1.0f64]; // C(j, i) built incrementally
+    for (j, slot) in scaled.iter_mut().enumerate() {
+        if j > 0 {
+            let mut next = vec![1.0; j + 1];
+            for i in 1..j {
+                next[i] = binom_row[i - 1] + binom_row[i];
+            }
+            binom_row = next;
+        }
+        // E[t^j] = d^−j · Σ_i C(j,i)·E[x^i]·(−c)^(j−i)
+        let mut acc = 0.0;
+        for i in 0..=j {
+            acc += binom_row[i] * raw[i] * (-c).powi((j - i) as i32);
+        }
+        *slot = acc / d.powi(j as i32);
+        if !slot.is_finite() {
+            return None;
+        }
+    }
+
+    // Chebyshev change of basis.
+    let coeffs = chebyshev_coefficients(k);
+    let mut cheb = vec![0.0f64; k];
+    for j in 0..k {
+        let mut acc = 0.0;
+        for (i, &ci) in coeffs[j].iter().enumerate() {
+            acc += ci * scaled[i];
+        }
+        cheb[j] = acc;
+    }
+    if cheb.iter().all(|m| m.is_finite()) {
+        Some(cheb)
+    } else {
+        None
+    }
+}
+
+/// Cholesky decomposition of a symmetric positive-definite matrix stored
+/// row-major; returns the lower factor or `None` if not positive-definite.
+fn cholesky(mat: &[f64], k: usize) -> Option<Vec<f64>> {
+    let mut l = vec![0.0f64; k * k];
+    for i in 0..k {
+        for j in 0..=i {
+            let mut sum = mat[i * k + j];
+            for p in 0..j {
+                sum -= l[i * k + p] * l[j * k + p];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[i * k + i] = sum.sqrt();
+            } else {
+                l[i * k + j] = sum / l[j * k + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L·Lᵀ·x = rhs` given the lower Cholesky factor.
+fn cholesky_solve(l: &[f64], k: usize, rhs: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0f64; k];
+    for i in 0..k {
+        let mut sum = rhs[i];
+        for j in 0..i {
+            sum -= l[i * k + j] * y[j];
+        }
+        y[i] = sum / l[i * k + i];
+    }
+    let mut x = vec![0.0f64; k];
+    for i in (0..k).rev() {
+        let mut sum = y[i];
+        for j in i + 1..k {
+            sum -= l[j * k + i] * x[j];
+        }
+        x[i] = sum / l[i * k + i];
+    }
+    x
+}
+
+/// Fit the maximum-entropy density for the given raw power sums on
+/// `[a, b]` and return its discretized CDF.
+///
+/// Always returns a usable `SolvedDensity`; check
+/// [`SolvedDensity::converged`] to know whether the moments could actually
+/// be matched (non-finite moments or an ill-conditioned solve fall back to
+/// the uniform density, mirroring the reference implementation's
+/// best-effort behaviour).
+pub fn solve_max_entropy(power_sums: &[f64], a: f64, b: f64) -> SolvedDensity {
+    let k = power_sums.len();
+    let uniform_fallback = |converged: bool| {
+        let cdf: Vec<f64> = (0..GRID_SIZE)
+            .map(|i| i as f64 / (GRID_SIZE - 1) as f64)
+            .collect();
+        SolvedDensity { a, b, cdf, converged }
+    };
+
+    if b <= a || !a.is_finite() || !b.is_finite() {
+        return uniform_fallback(false);
+    }
+    // Degenerate domain: all mass at one point is handled by the caller's
+    // min == max fast path; a tiny domain still solves fine.
+    let targets = match chebyshev_moments(power_sums, a, b) {
+        Some(t) => t,
+        None => return uniform_fallback(false),
+    };
+
+    // Precompute T_j at the grid points.
+    let ts: Vec<f64> = (0..GRID_SIZE)
+        .map(|i| -1.0 + 2.0 * i as f64 / (GRID_SIZE - 1) as f64)
+        .collect();
+    let mut tcheb = vec![vec![0.0f64; GRID_SIZE]; k];
+    for (i, &t) in ts.iter().enumerate() {
+        tcheb[0][i] = 1.0;
+        if k > 1 {
+            tcheb[1][i] = t;
+        }
+        for j in 2..k {
+            tcheb[j][i] = 2.0 * t * tcheb[j - 1][i] - tcheb[j - 2][i];
+        }
+    }
+    // Trapezoid weights over [-1, 1].
+    let h = 2.0 / (GRID_SIZE - 1) as f64;
+    let weight = |i: usize| if i == 0 || i == GRID_SIZE - 1 { 0.5 * h } else { h };
+
+    let mut lambda = vec![0.0f64; k];
+    // Start at the uniform density normalized to mass 1: exp(λ0) · 2 = 1.
+    lambda[0] = (0.5f64).ln();
+
+    let potential = |lambda: &[f64], f: &mut Vec<f64>| -> f64 {
+        let mut integral = 0.0;
+        for i in 0..GRID_SIZE {
+            let mut arg = 0.0;
+            for j in 0..k {
+                arg += lambda[j] * tcheb[j][i];
+            }
+            // Clamp to avoid inf; an argument this large means divergence
+            // and will be caught by the line search / iteration cap.
+            let v = arg.min(500.0).exp();
+            f[i] = v;
+            integral += weight(i) * v;
+        }
+        let mut dot = 0.0;
+        for j in 0..k {
+            dot += lambda[j] * targets[j];
+        }
+        integral - dot
+    };
+
+    let mut f = vec![0.0f64; GRID_SIZE];
+    let mut pot = potential(&lambda, &mut f);
+    let mut converged = false;
+
+    for _ in 0..MAX_ITERS {
+        // Gradient: grid moments − targets.
+        let mut grad = vec![0.0f64; k];
+        for (j, g) in grad.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for i in 0..GRID_SIZE {
+                acc += weight(i) * tcheb[j][i] * f[i];
+            }
+            *g = acc - targets[j];
+        }
+        let gnorm = grad.iter().fold(0.0f64, |m, g| m.max(g.abs()));
+        if gnorm < GRAD_TOL {
+            converged = true;
+            break;
+        }
+        if !gnorm.is_finite() {
+            break;
+        }
+
+        // Hessian: H[j][l] = ∫ T_j·T_l·f.
+        let mut hess = vec![0.0f64; k * k];
+        for j in 0..k {
+            for l in 0..=j {
+                let mut acc = 0.0;
+                for i in 0..GRID_SIZE {
+                    acc += weight(i) * tcheb[j][i] * tcheb[l][i] * f[i];
+                }
+                hess[j * k + l] = acc;
+                hess[l * k + j] = acc;
+            }
+        }
+
+        // Cholesky with escalating ridge regularization.
+        let mut ridge = 0.0;
+        let trace: f64 = (0..k).map(|j| hess[j * k + j]).sum();
+        let chol = loop {
+            let mut reg = hess.clone();
+            if ridge > 0.0 {
+                for j in 0..k {
+                    reg[j * k + j] += ridge;
+                }
+            }
+            match cholesky(&reg, k) {
+                Some(l) => break Some(l),
+                None => {
+                    ridge = if ridge == 0.0 { 1e-12 * trace.max(1.0) } else { ridge * 100.0 };
+                    if ridge > trace.max(1.0) {
+                        break None;
+                    }
+                }
+            }
+        };
+        let Some(chol) = chol else { break };
+        let step = cholesky_solve(&chol, k, &grad);
+
+        // Backtracking line search on the convex potential.
+        let mut alpha = 1.0;
+        let mut improved = false;
+        let mut trial = vec![0.0f64; k];
+        for _ in 0..40 {
+            for j in 0..k {
+                trial[j] = lambda[j] - alpha * step[j];
+            }
+            let trial_pot = potential(&trial, &mut f);
+            if trial_pot.is_finite() && trial_pot < pot {
+                lambda.copy_from_slice(&trial);
+                pot = trial_pot;
+                improved = true;
+                break;
+            }
+            alpha *= 0.5;
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    if !converged {
+        // Re-evaluate f at the final lambda for the best-effort CDF.
+        let _ = potential(&lambda, &mut f);
+        if !f.iter().all(|v| v.is_finite()) {
+            return uniform_fallback(false);
+        }
+    }
+
+    // Cumulative trapezoid → normalized CDF.
+    let mut cdf = vec![0.0f64; GRID_SIZE];
+    let mut acc = 0.0;
+    for i in 1..GRID_SIZE {
+        acc += 0.5 * h * (f[i - 1] + f[i]);
+        cdf[i] = acc;
+    }
+    if acc <= 0.0 || !acc.is_finite() {
+        return uniform_fallback(false);
+    }
+    for c in cdf.iter_mut() {
+        *c /= acc;
+    }
+    SolvedDensity { a, b, cdf, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power_sums_of(values: &[f64], k: usize) -> Vec<f64> {
+        let mut sums = vec![0.0; k];
+        for &v in values {
+            let mut p = 1.0;
+            for s in sums.iter_mut() {
+                *s += p;
+                p *= v;
+            }
+        }
+        sums
+    }
+
+    #[test]
+    fn chebyshev_table_matches_known_polynomials() {
+        let c = chebyshev_coefficients(5);
+        assert_eq!(c[0], vec![1.0]);
+        assert_eq!(c[1], vec![0.0, 1.0]);
+        assert_eq!(c[2], vec![-1.0, 0.0, 2.0]); // 2t² − 1
+        assert_eq!(c[3], vec![0.0, -3.0, 0.0, 4.0]); // 4t³ − 3t
+        assert_eq!(c[4], vec![1.0, 0.0, -8.0, 0.0, 8.0]); // 8t⁴ − 8t² + 1
+    }
+
+    #[test]
+    fn cholesky_solves_a_known_system() {
+        // A = [[4,2],[2,3]], b = [8, 7] → x = [1.1, 1.6]... solve exactly:
+        // 4x + 2y = 8; 2x + 3y = 7 → x = 1.25, y = 1.5.
+        let a = [4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(&a, 2).unwrap();
+        let x = cholesky_solve(&l, 2, &[8.0, 7.0]);
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = [1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        assert!(cholesky(&a, 2).is_none());
+    }
+
+    #[test]
+    fn uniform_distribution_recovers_uniform_quantiles() {
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
+        let sums = power_sums_of(&values, 10);
+        let solved = solve_max_entropy(&sums, 0.0, 1.0);
+        assert!(solved.converged());
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let est = solved.quantile(q);
+            assert!((est - q).abs() < 0.01, "q={q}: est {est}");
+        }
+    }
+
+    #[test]
+    fn gaussian_like_distribution_is_recovered() {
+        // Sum of 12 uniforms ≈ N(6, 1): moments determine it well.
+        let mut values = Vec::with_capacity(20_000);
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..20_000 {
+            let s: f64 = (0..12).map(|_| next()).sum();
+            values.push(s);
+        }
+        let (lo, hi) = values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        let sums = power_sums_of(&values, 12);
+        let solved = solve_max_entropy(&sums, lo, hi);
+        assert!(solved.converged());
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.1, 0.5, 0.9] {
+            let actual = sorted[(q * (sorted.len() - 1) as f64) as usize];
+            let est = solved.quantile(q);
+            assert!((est - actual).abs() < 0.1, "q={q}: est {est} vs {actual}");
+        }
+    }
+
+    #[test]
+    fn non_finite_moments_fall_back_gracefully() {
+        let sums = vec![100.0, f64::INFINITY, 1.0];
+        let solved = solve_max_entropy(&sums, 0.0, 1.0);
+        assert!(!solved.converged());
+        // Quantiles must still be returned (uniform fallback on [a, b]).
+        let est = solved.quantile(0.5);
+        assert!((0.0..=1.0).contains(&est));
+    }
+
+    #[test]
+    fn inverted_domain_falls_back() {
+        let solved = solve_max_entropy(&[10.0, 5.0], 1.0, 0.0);
+        assert!(!solved.converged());
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let values: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.001).exp()).collect();
+        let (lo, hi) = (values[0], values[values.len() - 1]);
+        let sums = power_sums_of(&values, 8);
+        let solved = solve_max_entropy(&sums, lo, hi);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let v = solved.quantile(i as f64 / 100.0);
+            assert!(v >= prev, "CDF inversion not monotone at q={}", i as f64 / 100.0);
+            prev = v;
+        }
+    }
+}

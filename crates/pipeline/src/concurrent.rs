@@ -1,0 +1,146 @@
+//! A thread-safe sketch for multi-threaded producers.
+//!
+//! High-throughput endpoints ("over 10M points per second", paper
+//! Section 5) are served by many worker threads. Because DDSketch is fully
+//! mergeable, the cheapest safe design is *sharding*: each shard is an
+//! independent sketch behind its own lock, writers pick a shard by thread
+//! identity, and readers merge all shards on demand — the merged view is
+//! exactly the sketch of all inserted values, by full mergeability.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ddsketch::{presets, BoundedDDSketch, SketchError};
+use parking_lot::Mutex;
+
+/// A sharded, thread-safe DDSketch.
+#[derive(Debug)]
+pub struct ConcurrentSketch {
+    shards: Vec<Mutex<BoundedDDSketch>>,
+    /// Round-robin assignment for callers without a shard hint.
+    next: AtomicUsize,
+}
+
+impl ConcurrentSketch {
+    /// Create a sketch with `shards` independent shards (≥ 1); shard count
+    /// should roughly match writer-thread count.
+    pub fn new(alpha: f64, max_bins: usize, shards: usize) -> Result<Self, SketchError> {
+        if shards == 0 {
+            return Err(SketchError::InvalidConfig("shards must be positive".into()));
+        }
+        let shards = (0..shards)
+            .map(|_| presets::logarithmic_collapsing(alpha, max_bins).map(Mutex::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { shards, next: AtomicUsize::new(0) })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Insert with an explicit shard hint (e.g. a worker id); any value
+    /// works — it is reduced modulo the shard count.
+    pub fn add_hinted(&self, hint: usize, value: f64) -> Result<(), SketchError> {
+        self.shards[hint % self.shards.len()].lock().add(value)
+    }
+
+    /// Insert using a round-robin shard (uncontended as long as writer
+    /// count ≤ shard count).
+    pub fn add(&self, value: f64) -> Result<(), SketchError> {
+        let hint = self.next.fetch_add(1, Ordering::Relaxed);
+        self.add_hinted(hint, value)
+    }
+
+    /// Total count across shards.
+    pub fn count(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().count()).sum()
+    }
+
+    /// Merge all shards into a single snapshot sketch. By full
+    /// mergeability this is exactly the sketch of every value inserted so
+    /// far (modulo inserts racing with the snapshot).
+    pub fn snapshot(&self) -> Result<BoundedDDSketch, SketchError> {
+        let mut iter = self.shards.iter();
+        let mut merged = iter.next().expect("shards >= 1").lock().clone();
+        for shard in iter {
+            merged.merge_from(&shard.lock())?;
+        }
+        Ok(merged)
+    }
+
+    /// Convenience: quantile of a fresh snapshot.
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        self.snapshot()?.quantile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ConcurrentSketch::new(0.01, 2048, 0).is_err());
+        assert!(ConcurrentSketch::new(0.0, 2048, 4).is_err());
+        assert!(ConcurrentSketch::new(0.01, 2048, 4).is_ok());
+    }
+
+    #[test]
+    fn sequential_inserts_match_plain_sketch() {
+        let cs = ConcurrentSketch::new(0.01, 2048, 4).unwrap();
+        let mut plain = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+        for i in 1..=10_000 {
+            let v = f64::from(i) * 0.1;
+            cs.add(v).unwrap();
+            plain.add(v).unwrap();
+        }
+        assert_eq!(cs.count(), plain.count());
+        let snap = cs.snapshot().unwrap();
+        for q in [0.01, 0.5, 0.99] {
+            assert_eq!(snap.quantile(q).unwrap(), plain.quantile(q).unwrap(), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_from_many_threads() {
+        let cs = Arc::new(ConcurrentSketch::new(0.01, 2048, 8).unwrap());
+        let threads = 8;
+        let per_thread = 25_000u32;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cs = Arc::clone(&cs);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Deterministic per-thread values.
+                        let v = 1.0 + f64::from(t * per_thread + i) * 1e-3;
+                        cs.add_hinted(t as usize, v).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cs.count(), u64::from(threads) * u64::from(per_thread));
+
+        // The snapshot must be bucket-identical to a single sketch over
+        // the same 200k values.
+        let mut plain = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+        for t in 0..threads {
+            for i in 0..per_thread {
+                plain.add(1.0 + f64::from(t * per_thread + i) * 1e-3).unwrap();
+            }
+        }
+        let snap = cs.snapshot().unwrap();
+        assert_eq!(snap.count(), plain.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.999, 1.0] {
+            assert_eq!(snap.quantile(q).unwrap(), plain.quantile(q).unwrap(), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn snapshot_of_empty_sketch_is_empty() {
+        let cs = ConcurrentSketch::new(0.01, 2048, 2).unwrap();
+        let snap = cs.snapshot().unwrap();
+        assert!(snap.is_empty());
+        assert!(cs.quantile(0.5).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! # pipeline
+//!
+//! A simulation of the distributed monitoring architecture that motivates
+//! DDSketch (paper Figure 1): workers note request latencies into
+//! per-window sketches, agents ship encoded sketches to an aggregator, and
+//! the aggregator merges them into a time-series store that can roll
+//! windows up losslessly — the property only *fully mergeable* sketches
+//! provide.
+//!
+//! Modules:
+//! * [`window`] — the `(metric, window) → sketch` time-series store with
+//!   exact rollups.
+//! * [`concurrent`] — a sharded thread-safe sketch for multi-threaded
+//!   producers.
+//! * [`sim`] — the end-to-end threaded simulation (workers → channel →
+//!   aggregator) used by the Figure 2 binary and integration tests.
+
+pub mod concurrent;
+pub mod sim;
+pub mod window;
+
+pub use concurrent::ConcurrentSketch;
+pub use sim::{run_sequential, run_simulation, Payload, SimConfig, SimReport};
+pub use window::{CellKey, TimeSeriesStore};

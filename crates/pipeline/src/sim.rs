@@ -1,0 +1,271 @@
+//! End-to-end simulation of the paper's Figure 1 deployment.
+//!
+//! Worker threads handle "requests" for a set of endpoints, noting each
+//! latency into per-(endpoint, window) sketches. At the end of each window
+//! the worker serializes its sketches with the compact wire codec and
+//! ships them over a channel to the aggregator — which decodes and merges
+//! them into a [`TimeSeriesStore`]. Because DDSketch is fully mergeable,
+//! the aggregated store is *bucket-identical* to a store that had ingested
+//! every raw latency directly; the tests assert exactly that.
+
+use crossbeam::channel;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use datasets::{Distribution, LogNormal, Pareto, Weibull};
+use ddsketch::{presets, BoundedDDSketch, SketchError};
+
+use crate::window::TimeSeriesStore;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of worker threads (containers in Figure 1).
+    pub workers: usize,
+    /// Requests handled per worker over the whole run.
+    pub requests_per_worker: usize,
+    /// Simulated run length in seconds.
+    pub duration_secs: u64,
+    /// Aggregation window width in seconds.
+    pub window_secs: u64,
+    /// Sketch relative accuracy.
+    pub alpha: f64,
+    /// Sketch bucket limit.
+    pub max_bins: usize,
+    /// Master seed; every worker derives its own deterministic stream.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            requests_per_worker: 10_000,
+            duration_secs: 60,
+            window_secs: 10,
+            alpha: 0.01,
+            max_bins: 2048,
+            seed: 0xDD5,
+        }
+    }
+}
+
+/// The monitored endpoints and their latency models (seconds).
+fn endpoints() -> Vec<(&'static str, Box<dyn Distribution>)> {
+    vec![
+        // Cheap cached page: tight log-normal around 2 ms.
+        ("web.home", Box::new(LogNormal::with_median(0.002, 0.5)) as Box<dyn Distribution>),
+        // Search: Weibull body, a bit slower.
+        ("web.search", Box::new(Weibull::new(0.05, 1.3))),
+        // Checkout: heavy-tailed — the paper's motivating skew.
+        ("web.checkout", Box::new(Pareto::new(1.2, 0.01))),
+    ]
+}
+
+/// One shipped message: endpoint, window start, encoded sketch.
+#[derive(Debug)]
+pub struct Payload {
+    /// Endpoint/metric name.
+    pub metric: &'static str,
+    /// Window start (seconds).
+    pub window_start: u64,
+    /// Wire-encoded sketch bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Simulation output.
+#[derive(Debug)]
+pub struct SimReport {
+    /// The aggregated time-series store.
+    pub store: TimeSeriesStore,
+    /// Total requests simulated.
+    pub total_requests: u64,
+    /// Number of payload messages shipped.
+    pub payloads: u64,
+    /// Total bytes on the (simulated) wire.
+    pub wire_bytes: u64,
+}
+
+/// Generate one worker's latencies deterministically:
+/// `(metric, timestamp, latency)` triples.
+fn worker_stream(config: &SimConfig, worker: usize) -> Vec<(&'static str, u64, f64)> {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9));
+    let eps = endpoints();
+    let mut out = Vec::with_capacity(config.requests_per_worker);
+    for i in 0..config.requests_per_worker {
+        let (name, dist) = &eps[i % eps.len()];
+        // Spread requests uniformly over the run.
+        let ts = (i as u64).wrapping_mul(config.duration_secs) / config.requests_per_worker.max(1) as u64;
+        let latency = dist.sample(&mut rng).max(1e-6);
+        out.push((*name, ts.min(config.duration_secs.saturating_sub(1)), latency));
+    }
+    out
+}
+
+/// Run the full threaded simulation: workers sketch + encode + ship,
+/// the aggregator decodes + merges.
+pub fn run_simulation(config: &SimConfig) -> Result<SimReport, SketchError> {
+    if config.workers == 0 || config.window_secs == 0 || config.duration_secs == 0 {
+        return Err(SketchError::InvalidConfig(
+            "workers, window_secs and duration_secs must be positive".into(),
+        ));
+    }
+    // Validate sketch parameters up front.
+    presets::logarithmic_collapsing(config.alpha, config.max_bins)?;
+
+    let (tx, rx) = channel::unbounded::<Payload>();
+    let mut store = TimeSeriesStore::new(config.alpha, config.max_bins, config.window_secs)?;
+    let mut total_requests = 0u64;
+    let mut payloads = 0u64;
+    let mut wire_bytes = 0u64;
+
+    std::thread::scope(|scope| -> Result<(), SketchError> {
+        for worker in 0..config.workers {
+            let tx = tx.clone();
+            let config = config.clone();
+            scope.spawn(move || {
+                // Local per-(metric, window) sketches.
+                let mut local: std::collections::BTreeMap<(&'static str, u64), BoundedDDSketch> =
+                    std::collections::BTreeMap::new();
+                for (metric, ts, latency) in worker_stream(&config, worker) {
+                    let window = ts - ts % config.window_secs;
+                    let sketch = local.entry((metric, window)).or_insert_with(|| {
+                        presets::logarithmic_collapsing(config.alpha, config.max_bins)
+                            .expect("validated")
+                    });
+                    sketch.add(latency).expect("finite positive latency");
+                }
+                // Ship each window's sketch as an encoded payload.
+                for ((metric, window_start), sketch) in local {
+                    let bytes = sketch.encode();
+                    tx.send(Payload { metric, window_start, bytes })
+                        .expect("aggregator alive");
+                }
+            });
+        }
+        drop(tx);
+
+        // Aggregator loop: decode and merge.
+        for payload in rx.iter() {
+            let sketch = BoundedDDSketch::decode(&payload.bytes)?;
+            total_requests += sketch.count();
+            payloads += 1;
+            wire_bytes += payload.bytes.len() as u64;
+            store.absorb(payload.metric, payload.window_start, &sketch)?;
+        }
+        Ok(())
+    })?;
+
+    Ok(SimReport { store, total_requests, payloads, wire_bytes })
+}
+
+/// Sequential reference: ingest every raw latency directly into one store.
+/// Used by tests and the Figure 2 binary to demonstrate that distributed
+/// aggregation loses nothing.
+pub fn run_sequential(config: &SimConfig) -> Result<TimeSeriesStore, SketchError> {
+    let mut store = TimeSeriesStore::new(config.alpha, config.max_bins, config.window_secs)?;
+    for worker in 0..config.workers {
+        for (metric, ts, latency) in worker_stream(config, worker) {
+            store.record(metric, ts, latency)?;
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            workers: 3,
+            requests_per_worker: 3000,
+            duration_secs: 30,
+            window_secs: 10,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = small_config();
+        c.workers = 0;
+        assert!(run_simulation(&c).is_err());
+        let mut c = small_config();
+        c.alpha = 0.0;
+        assert!(run_simulation(&c).is_err());
+    }
+
+    #[test]
+    fn distributed_equals_sequential() {
+        // The paper's central claim in action: the distributed pipeline
+        // (sketch → encode → ship → decode → merge) must answer quantile
+        // queries identically to a single sequential ingest.
+        let config = small_config();
+        let report = run_simulation(&config).unwrap();
+        let sequential = run_sequential(&config).unwrap();
+
+        assert_eq!(
+            report.total_requests,
+            (config.workers * config.requests_per_worker) as u64
+        );
+        assert_eq!(report.store.num_cells(), sequential.num_cells());
+        for (key, direct) in sequential.cells() {
+            for q in [0.5, 0.75, 0.9, 0.99] {
+                let agg = report
+                    .store
+                    .quantile(&key.metric, key.window_start, q)
+                    .expect("cell exists");
+                assert_eq!(
+                    agg,
+                    direct.quantile(q).unwrap(),
+                    "metric {} window {} q {q}",
+                    key.metric,
+                    key.window_start
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let config = small_config();
+        let a = run_simulation(&config).unwrap();
+        let b = run_simulation(&config).unwrap();
+        assert_eq!(a.total_requests, b.total_requests);
+        for (key, sketch) in a.store.cells() {
+            assert_eq!(
+                sketch.quantile(0.9).ok(),
+                b.store.quantile(&key.metric, key.window_start, 0.9),
+            );
+        }
+    }
+
+    #[test]
+    fn payload_sizes_are_modest() {
+        // A window sketch over thousands of values should encode to a few
+        // kB at most — the point of sketching instead of shipping raw data.
+        let config = small_config();
+        let report = run_simulation(&config).unwrap();
+        let avg = report.wire_bytes as f64 / report.payloads as f64;
+        assert!(avg < 16_384.0, "average payload {avg} bytes is too large");
+        // And far smaller than shipping raw points (8 bytes each).
+        let raw = report.total_requests * 8;
+        assert!(report.wire_bytes < raw, "sketching must beat raw shipping");
+    }
+
+    #[test]
+    fn checkout_endpoint_is_heavy_tailed() {
+        // Sanity: the simulated checkout latency (Pareto) should show the
+        // paper's Figure 2 pathology — mean well above the median.
+        let config = SimConfig { requests_per_worker: 30_000, ..small_config() };
+        let report = run_simulation(&config).unwrap();
+        let rolled = report.store.rollup(3).unwrap(); // single window
+        let p50 = rolled.quantile("web.checkout", 0, 0.5).unwrap();
+        let avg = rolled.average_series("web.checkout")[0].1;
+        assert!(
+            avg > p50 * 1.5,
+            "heavy tail should drag the mean ({avg}) well above the median ({p50})"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Time-windowed sketch aggregation.
+//!
+//! The paper's motivating deployment (Section 1): workers note the latency
+//! of every request into a per-second sketch, ship the sketches to a
+//! monitoring system, and the system "rolls up" fine windows into coarser
+//! ones *perfectly accurately* — which is exactly what full mergeability
+//! buys: a merged sketch is bucket-identical to a sketch built from the
+//! union of the raw data.
+
+use std::collections::BTreeMap;
+
+use ddsketch::{presets, BoundedDDSketch, SketchError};
+
+/// Identifies one aggregation cell: a metric key (e.g. endpoint name) and
+/// the start of its time window in epoch seconds.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellKey {
+    /// Metric / endpoint identifier.
+    pub metric: String,
+    /// Window start, in seconds since an arbitrary epoch.
+    pub window_start: u64,
+}
+
+/// A time-series store of sketches: one [`BoundedDDSketch`] per
+/// (metric, window) cell.
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    alpha: f64,
+    max_bins: usize,
+    /// Window width in seconds.
+    window_secs: u64,
+    cells: BTreeMap<CellKey, BoundedDDSketch>,
+}
+
+impl TimeSeriesStore {
+    /// Create a store with the given sketch parameters and window width.
+    pub fn new(alpha: f64, max_bins: usize, window_secs: u64) -> Result<Self, SketchError> {
+        if window_secs == 0 {
+            return Err(SketchError::InvalidConfig("window_secs must be positive".into()));
+        }
+        // Validate the sketch parameters once up front.
+        presets::logarithmic_collapsing(alpha, max_bins)?;
+        Ok(Self {
+            alpha,
+            max_bins,
+            window_secs,
+            cells: BTreeMap::new(),
+        })
+    }
+
+    /// Window width in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    /// Number of live (metric, window) cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Align a timestamp down to its window start.
+    pub fn window_of(&self, ts_secs: u64) -> u64 {
+        ts_secs - ts_secs % self.window_secs
+    }
+
+    fn cell(&mut self, metric: &str, window_start: u64) -> &mut BoundedDDSketch {
+        let key = CellKey { metric: metric.to_string(), window_start };
+        let (alpha, bins) = (self.alpha, self.max_bins);
+        self.cells.entry(key).or_insert_with(|| {
+            presets::logarithmic_collapsing(alpha, bins).expect("validated in constructor")
+        })
+    }
+
+    /// Record a single observation for `metric` at time `ts_secs`.
+    pub fn record(&mut self, metric: &str, ts_secs: u64, value: f64) -> Result<(), SketchError> {
+        let window = self.window_of(ts_secs);
+        self.cell(metric, window).add(value)
+    }
+
+    /// Absorb a sketch shipped by an agent for `(metric, window_start)` —
+    /// the paper's merge path. Fully mergeable: repeated absorption equals
+    /// having seen all the raw points.
+    pub fn absorb(
+        &mut self,
+        metric: &str,
+        window_start: u64,
+        sketch: &BoundedDDSketch,
+    ) -> Result<(), SketchError> {
+        let window = self.window_of(window_start);
+        self.cell(metric, window).merge_from(sketch)
+    }
+
+    /// Quantile estimate for one cell, if present and non-empty.
+    pub fn quantile(&self, metric: &str, window_start: u64, q: f64) -> Option<f64> {
+        let key = CellKey { metric: metric.to_string(), window_start };
+        self.cells.get(&key).and_then(|s| s.quantile(q).ok())
+    }
+
+    /// The quantile time series for a metric: `(window_start, estimate)`
+    /// for every window that has data — the data behind the paper's
+    /// Figures 2 and 4.
+    pub fn quantile_series(&self, metric: &str, q: f64) -> Vec<(u64, f64)> {
+        self.cells
+            .iter()
+            .filter(|(k, s)| k.metric == metric && !s.is_empty())
+            .filter_map(|(k, s)| s.quantile(q).ok().map(|v| (k.window_start, v)))
+            .collect()
+    }
+
+    /// The average time series for a metric (the paper's Figure 2 dotted
+    /// line — exact, since sums and counts merge exactly).
+    pub fn average_series(&self, metric: &str) -> Vec<(u64, f64)> {
+        self.cells
+            .iter()
+            .filter(|(k, _)| k.metric == metric)
+            .filter_map(|(k, s)| s.average().map(|v| (k.window_start, v)))
+            .collect()
+    }
+
+    /// Roll the store up into `factor`-times-wider windows, merging the
+    /// sketches of each group ("rolling up the sums and counts ... over
+    /// much larger time periods perfectly accurately" — and with DDSketch,
+    /// the same now holds for quantiles).
+    pub fn rollup(&self, factor: u64) -> Result<TimeSeriesStore, SketchError> {
+        if factor == 0 {
+            return Err(SketchError::InvalidConfig("rollup factor must be positive".into()));
+        }
+        let mut out = TimeSeriesStore::new(self.alpha, self.max_bins, self.window_secs * factor)?;
+        for (key, sketch) in &self.cells {
+            out.absorb(&key.metric, key.window_start, sketch)?;
+        }
+        Ok(out)
+    }
+
+    /// Iterate over all cells (ascending by metric, then window).
+    pub fn cells(&self) -> impl Iterator<Item = (&CellKey, &BoundedDDSketch)> {
+        self.cells.iter()
+    }
+
+    /// Total observation count across all cells of a metric.
+    pub fn metric_count(&self, metric: &str) -> u64 {
+        self.cells
+            .iter()
+            .filter(|(k, _)| k.metric == metric)
+            .map(|(_, s)| s.count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(TimeSeriesStore::new(0.01, 2048, 0).is_err());
+        assert!(TimeSeriesStore::new(0.0, 2048, 10).is_err());
+        assert!(TimeSeriesStore::new(0.01, 0, 10).is_err());
+        assert!(TimeSeriesStore::new(0.01, 2048, 10).is_ok());
+    }
+
+    #[test]
+    fn records_are_windowed() {
+        let mut ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        ts.record("api.latency", 3, 1.0).unwrap();
+        ts.record("api.latency", 9, 2.0).unwrap();
+        ts.record("api.latency", 10, 3.0).unwrap();
+        ts.record("api.latency", 25, 4.0).unwrap();
+        assert_eq!(ts.num_cells(), 3); // windows 0, 10, 20
+        assert_eq!(ts.metric_count("api.latency"), 4);
+        assert_eq!(ts.quantile_series("api.latency", 0.5).len(), 3);
+    }
+
+    #[test]
+    fn metrics_are_isolated() {
+        let mut ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        ts.record("a", 0, 1.0).unwrap();
+        ts.record("b", 0, 100.0).unwrap();
+        let qa = ts.quantile("a", 0, 0.5).unwrap();
+        let qb = ts.quantile("b", 0, 0.5).unwrap();
+        assert!(qa < 2.0 && qb > 90.0);
+        assert!(ts.quantile("c", 0, 0.5).is_none());
+    }
+
+    #[test]
+    fn rollup_is_exactly_the_union() {
+        let mut fine = TimeSeriesStore::new(0.01, 2048, 1).unwrap();
+        let mut coarse_direct = TimeSeriesStore::new(0.01, 2048, 60).unwrap();
+        for t in 0..600u64 {
+            let v = 1.0 + (t % 97) as f64;
+            fine.record("m", t, v).unwrap();
+            coarse_direct.record("m", t, v).unwrap();
+        }
+        let rolled = fine.rollup(60).unwrap();
+        assert_eq!(rolled.num_cells(), coarse_direct.num_cells());
+        for (key, direct) in coarse_direct.cells() {
+            let merged = rolled.quantile(&key.metric, key.window_start, 0.9).unwrap();
+            assert_eq!(
+                merged,
+                direct.quantile(0.9).unwrap(),
+                "rollup must equal direct ingestion for window {}",
+                key.window_start
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_equals_record() {
+        use ddsketch::presets::logarithmic_collapsing;
+        let mut via_absorb = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        let mut via_record = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        let mut agent_sketch = logarithmic_collapsing(0.01, 2048).unwrap();
+        for i in 1..=100 {
+            let v = f64::from(i) * 0.5;
+            agent_sketch.add(v).unwrap();
+            via_record.record("m", 42, v).unwrap();
+        }
+        via_absorb.absorb("m", 42, &agent_sketch).unwrap();
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(
+                via_absorb.quantile("m", 40, q).unwrap(),
+                via_record.quantile("m", 40, q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn average_series_is_exact() {
+        let mut ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        for v in [1.0, 2.0, 3.0] {
+            ts.record("m", 5, v).unwrap();
+        }
+        let series = ts.average_series("m");
+        assert_eq!(series, vec![(0, 2.0)]);
+    }
+
+    #[test]
+    fn rollup_factor_validation() {
+        let ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        assert!(ts.rollup(0).is_err());
+        assert!(ts.rollup(6).is_ok());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors surfaced by sketch operations.
+///
+/// The sketches in this workspace are infallible on their hot paths (adding
+/// a finite value never errors); the error cases concentrate on
+/// configuration, queries on empty sketches, values a bounded sketch cannot
+/// represent, and decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchError {
+    /// Invalid construction parameter (e.g. relative accuracy outside
+    /// `(0, 1)`, zero bucket limit, inverted bounds).
+    InvalidConfig(String),
+    /// The input value cannot be inserted (NaN, infinite, or outside a
+    /// bounded sketch's trackable range).
+    UnsupportedValue(f64),
+    /// A quantile was requested from an empty sketch.
+    Empty,
+    /// The requested quantile is outside `[0, 1]`.
+    InvalidQuantile(f64),
+    /// Two sketches with incompatible configurations were merged
+    /// (e.g. different γ / relative accuracy, different bounded ranges).
+    IncompatibleMerge(String),
+    /// A serialized sketch could not be decoded.
+    Decode(String),
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SketchError::UnsupportedValue(v) => write!(f, "unsupported input value: {v}"),
+            SketchError::Empty => write!(f, "sketch is empty"),
+            SketchError::InvalidQuantile(q) => {
+                write!(f, "quantile {q} outside the valid range [0, 1]")
+            }
+            SketchError::IncompatibleMerge(msg) => write!(f, "incompatible merge: {msg}"),
+            SketchError::Decode(msg) => write!(f, "decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SketchError::InvalidConfig("alpha must be in (0,1)".into());
+        assert!(e.to_string().contains("alpha"));
+        assert!(SketchError::Empty.to_string().contains("empty"));
+        assert!(SketchError::UnsupportedValue(f64::NAN).to_string().contains("NaN"));
+        assert!(SketchError::InvalidQuantile(1.5).to_string().contains("1.5"));
+        assert!(SketchError::IncompatibleMerge("gamma".into())
+            .to_string()
+            .contains("gamma"));
+        assert!(SketchError::Decode("truncated".into()).to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&SketchError::Empty);
+    }
+}

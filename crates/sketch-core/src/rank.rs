@@ -1,0 +1,105 @@
+//! Rank arithmetic shared by every sketch and by the evaluation oracle.
+//!
+//! The paper's definition (Section 1): for a sorted multiset
+//! `x(1) ≤ … ≤ x(n)`, the q-quantile item is `x(⌊1 + q(n−1)⌋)` for
+//! `0 ≤ q ≤ 1`. We work with zero-based indices internally, so the
+//! q-quantile lives at index `⌊q(n−1)⌋`.
+
+/// Zero-based index of the lower q-quantile in a sorted sample of size `n`.
+///
+/// Mirrors the paper's `⌊1 + q(n−1)⌋` (one-based) definition. `q` is clamped
+/// to `[0, 1]`; `n` must be nonzero.
+///
+/// # Panics
+///
+/// Panics if `n == 0` — an empty multiset has no quantiles; callers are
+/// expected to surface that as `None`/error before reaching rank math.
+#[inline]
+pub fn lower_quantile_index(q: f64, n: usize) -> usize {
+    assert!(n > 0, "quantile of an empty multiset is undefined");
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (n as f64 - 1.0);
+    // `rank` is within [0, n-1]; floor then clamp defensively against FP
+    // round-up at q = 1.0 on very large n.
+    (rank.floor() as usize).min(n - 1)
+}
+
+/// The real-valued target rank `q·(n−1)` used by sketch cumulative walks
+/// (Algorithm 2 loops while `count ≤ q(n−1)`).
+#[inline]
+pub fn target_rank(q: f64, n: u64) -> f64 {
+    let q = q.clamp(0.0, 1.0);
+    q * (n.saturating_sub(1)) as f64
+}
+
+/// Rank of a query value `v` within a *sorted* slice: the number of elements
+/// less than or equal to `v` (the paper's `R(v)`).
+///
+/// Used by the rank-error metric: a sketch's estimate `x̃` has rank error
+/// `|R(x̃) − ⌊1 + q(n−1)⌋| / n`.
+pub fn rank_of_query(sorted: &[f64], v: f64) -> usize {
+    // partition_point returns the first index whose element is > v, which is
+    // exactly the count of elements <= v.
+    sorted.partition_point(|&x| x <= v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_quantile_index_matches_paper_definition() {
+        // n = 5, q = 0.5 → ⌊1 + 0.5·4⌋ = 3 (one-based) → index 2.
+        assert_eq!(lower_quantile_index(0.5, 5), 2);
+        // q = 0 → minimum.
+        assert_eq!(lower_quantile_index(0.0, 5), 0);
+        // q = 1 → maximum.
+        assert_eq!(lower_quantile_index(1.0, 5), 4);
+        // q = 0.99 on n = 100 → ⌊0.99·99⌋ = 98.
+        assert_eq!(lower_quantile_index(0.99, 100), 98);
+    }
+
+    #[test]
+    fn lower_quantile_is_floor_not_round() {
+        // q = 0.75, n = 2 → ⌊0.75⌋ = 0, i.e. the *first* element.
+        assert_eq!(lower_quantile_index(0.75, 2), 0);
+        assert_eq!(lower_quantile_index(0.76, 5), 3); // ⌊3.04⌋
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        assert_eq!(lower_quantile_index(-0.3, 10), 0);
+        assert_eq!(lower_quantile_index(1.7, 10), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty multiset")]
+    fn quantile_of_empty_panics() {
+        lower_quantile_index(0.5, 0);
+    }
+
+    #[test]
+    fn target_rank_basics() {
+        assert_eq!(target_rank(0.5, 101), 50.0);
+        assert_eq!(target_rank(0.0, 10), 0.0);
+        assert_eq!(target_rank(1.0, 10), 9.0);
+        // n = 0 must not underflow.
+        assert_eq!(target_rank(0.5, 0), 0.0);
+    }
+
+    #[test]
+    fn rank_of_query_counts_less_or_equal() {
+        let s = [1.0, 2.0, 2.0, 3.0, 10.0];
+        assert_eq!(rank_of_query(&s, 0.5), 0);
+        assert_eq!(rank_of_query(&s, 1.0), 1);
+        assert_eq!(rank_of_query(&s, 2.0), 3);
+        assert_eq!(rank_of_query(&s, 9.99), 4);
+        assert_eq!(rank_of_query(&s, 10.0), 5);
+        assert_eq!(rank_of_query(&s, 11.0), 5);
+    }
+
+    #[test]
+    fn rank_of_query_on_empty() {
+        assert_eq!(rank_of_query(&[], 1.0), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Traits implemented by every quantile sketch in the workspace.
+
+use crate::error::SketchError;
+
+/// Error returned by [`MergeableSketch::merge_from`].
+pub type MergeError = SketchError;
+
+/// A streaming quantile summary.
+///
+/// The trait captures the operations the paper's evaluation exercises for
+/// all four sketches: insertion (Figure 8), quantile queries (Figures 4, 10,
+/// 11), and the bookkeeping needed by the harness (`count`, emptiness).
+pub trait QuantileSketch {
+    /// Insert a single observation.
+    ///
+    /// Non-finite values are rejected with `UnsupportedValue`; bounded
+    /// sketches may also reject out-of-range values.
+    fn add(&mut self, value: f64) -> Result<(), SketchError>;
+
+    /// Insert `count` copies of `value`. Default: repeated [`QuantileSketch::add`].
+    ///
+    /// Sketches with weighted bucket counters override this with an O(1)
+    /// implementation.
+    fn add_n(&mut self, value: f64, count: u64) -> Result<(), SketchError> {
+        for _ in 0..count {
+            self.add(value)?;
+        }
+        Ok(())
+    }
+
+    /// Estimate the q-quantile, `0 ≤ q ≤ 1`.
+    ///
+    /// Returns `Empty` for sketches with no data and `InvalidQuantile` for
+    /// `q` outside `[0, 1]` (NaN included).
+    fn quantile(&self, q: f64) -> Result<f64, SketchError>;
+
+    /// Estimate several quantiles at once. Default: repeated [`QuantileSketch::quantile`].
+    fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
+    /// Number of observations inserted (respecting weights).
+    fn count(&self) -> u64;
+
+    /// Whether the sketch has seen no data.
+    fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Human-readable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+}
+
+/// A sketch that can absorb another sketch of the same type.
+///
+/// "Fully mergeable" in the paper's sense means merged sketches are as
+/// accurate as a single sketch over the union of the data, and merging can
+/// itself be distributed (merge results can be merged again). One-way
+/// mergeable sketches (GKArray) still implement this trait; the weaker
+/// guarantee is documented on the implementation.
+pub trait MergeableSketch: Sized {
+    /// Merge `other` into `self`.
+    ///
+    /// Fails with `IncompatibleMerge` when the two sketches were built with
+    /// different parameters (γ, bounds, …).
+    fn merge_from(&mut self, other: &Self) -> Result<(), MergeError>;
+}
+
+/// In-memory footprint accounting used by Figure 6.
+///
+/// The paper compares "sketch size in memory in kB" across the four Java
+/// implementations. We report the number of *heap + inline* bytes the
+/// sketch's data structures occupy, computed structurally (capacity-aware),
+/// which is the same quantity a JVM memory profiler reports modulo object
+/// headers.
+pub trait MemoryFootprint {
+    /// Total bytes: `size_of::<Self>()` plus owned heap allocations
+    /// (measured by capacity, since reserved-but-unused capacity is real
+    /// resident memory).
+    fn memory_bytes(&self) -> usize;
+
+    /// Convenience: kB (1000 bytes, matching the paper's axis).
+    fn memory_kb(&self) -> f64 {
+        self.memory_bytes() as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately naive sketch that stores everything, used to exercise
+    /// the trait default methods.
+    struct ExactSketch {
+        values: Vec<f64>,
+    }
+
+    impl QuantileSketch for ExactSketch {
+        fn add(&mut self, value: f64) -> Result<(), SketchError> {
+            if !value.is_finite() {
+                return Err(SketchError::UnsupportedValue(value));
+            }
+            self.values.push(value);
+            Ok(())
+        }
+
+        fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+            if !(0.0..=1.0).contains(&q) {
+                return Err(SketchError::InvalidQuantile(q));
+            }
+            if self.values.is_empty() {
+                return Err(SketchError::Empty);
+            }
+            let mut sorted = self.values.clone();
+            sorted.sort_by(f64::total_cmp);
+            Ok(sorted[crate::rank::lower_quantile_index(q, sorted.len())])
+        }
+
+        fn count(&self) -> u64 {
+            self.values.len() as u64
+        }
+
+        fn name(&self) -> &'static str {
+            "Exact"
+        }
+    }
+
+    #[test]
+    fn default_add_n_repeats() {
+        let mut s = ExactSketch { values: vec![] };
+        s.add_n(2.0, 5).unwrap();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.quantile(0.5).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn default_quantiles_maps_each() {
+        let mut s = ExactSketch { values: vec![] };
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.add(v).unwrap();
+        }
+        let qs = s.quantiles(&[0.0, 1.0]).unwrap();
+        assert_eq!(qs, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn default_is_empty_uses_count() {
+        let s = ExactSketch { values: vec![] };
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut s = ExactSketch { values: vec![] };
+        assert!(matches!(
+            s.add(f64::INFINITY),
+            Err(SketchError::UnsupportedValue(_))
+        ));
+        assert!(s.add(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn invalid_quantile_rejected() {
+        let mut s = ExactSketch { values: vec![] };
+        s.add(1.0).unwrap();
+        assert!(matches!(
+            s.quantile(f64::NAN),
+            Err(SketchError::InvalidQuantile(_))
+        ));
+        assert!(s.quantile(-0.1).is_err());
+        assert!(s.quantile(1.1).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a DDSketch, feed it latencies, query quantiles,
+//! and merge sketches from two "hosts".
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use datasets::{Distribution, Weibull};
+use ddsketch::presets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's production configuration: 1% relative error, at most
+    // 2048 buckets (covers ~80µs .. 1 year of latencies in seconds).
+    let mut sketch = presets::logarithmic_collapsing(0.01, 2048)?;
+
+    // Simulate request latencies (seconds) from a Weibull model.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let latency = Weibull::new(0.120, 1.4);
+    for _ in 0..1_000_000 {
+        sketch.add(latency.sample(&mut rng))?;
+    }
+
+    println!("handled {} requests", sketch.count());
+    println!("mean    = {:.1} ms", sketch.average().unwrap() * 1e3);
+    for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+        println!("p{:<5} = {:.1} ms", q * 100.0, sketch.quantile(q)? * 1e3);
+    }
+
+    // A second host's sketch merges exactly — the merged result is
+    // bucket-identical to having seen both streams on one host.
+    let mut other_host = presets::logarithmic_collapsing(0.01, 2048)?;
+    for _ in 0..1_000_000 {
+        other_host.add(latency.sample(&mut rng) * 2.0)?; // slower host
+    }
+    sketch.merge_from(&other_host)?;
+    println!("\nafter merging the slow host ({} requests total):", sketch.count());
+    println!("p99    = {:.1} ms", sketch.quantile(0.99)? * 1e3);
+
+    // Sketches serialize compactly for shipping to a monitoring backend.
+    let bytes = sketch.encode();
+    println!("wire size: {} bytes for {} values", bytes.len(), sketch.count());
+    let decoded = presets::BoundedDDSketch::decode(&bytes)?;
+    assert_eq!(decoded.quantile(0.99)?, sketch.quantile(0.99)?);
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Side-by-side accuracy comparison of all four sketches on a
+//! heavy-tailed stream — the paper's Section 4.4 story in one screen:
+//! rank-error sketches look fine on rank error but can be off by orders
+//! of magnitude in *value* on the upper quantiles.
+//!
+//! Run with: `cargo run --release --example sketch_comparison [n]`
+
+use datasets::Dataset;
+use evalkit::{ExactOracle, Table};
+use gkarray::GKArray;
+use hdrhist::ScaledHdr;
+use momentsketch::MomentSketch;
+use sketch_core::QuantileSketch;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let ds = Dataset::Pareto;
+    println!("data set: {} (n = {n})", ds.name());
+    let values = ds.generate(n, 99);
+    let oracle = ExactOracle::new(values.clone());
+
+    // Paper Table 2 configurations.
+    let mut dd = ddsketch::presets::logarithmic_collapsing(0.01, 2048)?;
+    let mut gk = GKArray::new(0.01)?;
+    let mut hdr = ScaledHdr::new(1e10, 1e3, 2)?;
+    let mut moments = MomentSketch::new(20, true)?;
+
+    let mut hdr_drops = 0u64;
+    for &v in &values {
+        dd.add(v)?;
+        gk.add(v)?;
+        if hdr.add(v).is_err() {
+            hdr_drops += 1; // bounded range — HDR's documented limitation
+        }
+        moments.add(v)?;
+    }
+    gk.flush();
+    if hdr_drops > 0 {
+        println!("HDR dropped {hdr_drops} out-of-range values (bounded sketch)");
+    }
+
+    let mut t = Table::new(
+        "relative error of quantile estimates (actual value in col 2)",
+        &["q", "actual", "DDSketch", "GKArray", "HDRHistogram", "MomentSketch"],
+    );
+    for q in [0.5, 0.75, 0.9, 0.95, 0.99, 0.999] {
+        let rel = |est: f64| format!("{:.2e}", oracle.relative_error(q, est));
+        t.row(vec![
+            format!("p{}", q * 100.0),
+            format!("{:.3}", oracle.quantile(q)),
+            rel(dd.quantile(q)?),
+            rel(gk.quantile(q)?),
+            rel(hdr.quantile(q)?),
+            rel(moments.quantile(q)?),
+        ]);
+    }
+    t.print();
+
+    println!();
+    let mut sizes = Table::new("sketch sizes", &["sketch", "kB"]);
+    use sketch_core::MemoryFootprint;
+    sizes.row(vec!["DDSketch".into(), format!("{:.2}", dd.memory_kb())]);
+    sizes.row(vec!["GKArray".into(), format!("{:.2}", gk.memory_kb())]);
+    sizes.row(vec!["HDRHistogram".into(), format!("{:.2}", hdr.memory_kb())]);
+    sizes.row(vec!["MomentSketch".into(), format!("{:.2}", moments.memory_kb())]);
+    sizes.print();
+    Ok(())
+}

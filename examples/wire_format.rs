@@ -1,0 +1,61 @@
+//! Serialization walk-through: encode sketches on many "hosts", ship the
+//! bytes, decode and merge at the collector, and round-trip through the
+//! serde payload for JSON-ish pipelines.
+//!
+//! Run with: `cargo run --release --example wire_format`
+
+use datasets::Dataset;
+use ddsketch::{presets, SketchPayload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 16 hosts each sketch 100k span durations and ship the bytes.
+    let hosts = 16;
+    let per_host = 100_000;
+    let mut wire: Vec<Vec<u8>> = Vec::new();
+    for host in 0..hosts {
+        let mut sketch = presets::logarithmic_collapsing(0.01, 2048)?;
+        for v in Dataset::Span.stream(host as u64).take(per_host) {
+            sketch.add(v)?;
+        }
+        wire.push(sketch.encode());
+    }
+    let total_bytes: usize = wire.iter().map(Vec::len).sum();
+    println!(
+        "{hosts} hosts × {per_host} values → {} encoded sketches, {:.1} kB total \
+         ({:.2} bytes/value vs 8 for raw f64)",
+        wire.len(),
+        total_bytes as f64 / 1000.0,
+        total_bytes as f64 / (hosts * per_host) as f64,
+    );
+
+    // The collector decodes and merges everything.
+    let mut merged = presets::logarithmic_collapsing(0.01, 2048)?;
+    for bytes in &wire {
+        let sketch = presets::BoundedDDSketch::decode(bytes)?;
+        merged.merge_from(&sketch)?;
+    }
+    println!("merged count: {}", merged.count());
+    for q in [0.5, 0.95, 0.99] {
+        println!("p{:<4} = {:>14.0} ns", q * 100.0, merged.quantile(q)?);
+    }
+
+    // The payload struct is plain serde data — inspect or transform it.
+    let payload: SketchPayload = merged.to_payload();
+    println!(
+        "\npayload: α = {}, {} positive bins, zero count {}, bin limit {}",
+        payload.relative_accuracy,
+        payload.positive.len(),
+        payload.zero_count,
+        payload.bin_limit,
+    );
+    let restored = presets::BoundedDDSketch::from_payload(&payload)?;
+    assert_eq!(restored.quantile(0.99)?, merged.quantile(0.99)?);
+    println!("payload round-trip preserves quantiles exactly");
+
+    // Corruption is rejected, never mis-decoded.
+    let mut corrupted = wire[0].clone();
+    corrupted.truncate(corrupted.len() / 2);
+    assert!(presets::BoundedDDSketch::decode(&corrupted).is_err());
+    println!("truncated payload correctly rejected");
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the DDSketch reproduction workspace: re-exports every
+//! member crate so examples and integration tests have a single dependency
+//! surface.
+
+pub use datasets;
+pub use ddsketch;
+pub use evalkit;
+pub use gkarray;
+pub use hdrhist;
+pub use kll;
+pub use momentsketch;
+pub use pipeline;
+pub use sketch_core;
+pub use tdigest;

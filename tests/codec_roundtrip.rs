@@ -1,0 +1,110 @@
+//! Integration: the wire codec across presets, with hostile inputs.
+
+use datasets::Dataset;
+use ddsketch::{presets, SketchPayload};
+use proptest::prelude::*;
+
+#[test]
+fn every_preset_roundtrips_on_real_data() {
+    let values = Dataset::Span.generate(20_000, 20);
+
+    let mut bounded = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+    let mut fast = presets::fast(0.01, 2048).unwrap();
+    let mut unbounded = presets::unbounded(0.01).unwrap();
+    let mut sparse = presets::sparse(0.01).unwrap();
+    let mut paper = presets::paper_exact(0.01, 2048).unwrap();
+    for &v in &values {
+        bounded.add(v).unwrap();
+        fast.add(v).unwrap();
+        unbounded.add(v).unwrap();
+        sparse.add(v).unwrap();
+        paper.add(v).unwrap();
+    }
+
+    macro_rules! check {
+        ($sketch:expr, $ty:ty) => {{
+            let bytes = $sketch.encode();
+            let decoded = <$ty>::decode(&bytes).unwrap();
+            assert_eq!(decoded.to_payload(), $sketch.to_payload());
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(decoded.quantile(q).unwrap(), $sketch.quantile(q).unwrap());
+            }
+        }};
+    }
+    check!(bounded, presets::BoundedDDSketch);
+    check!(fast, presets::FastDDSketch);
+    check!(unbounded, presets::UnboundedDDSketch);
+    check!(sparse, presets::SparseDDSketch);
+    check!(paper, presets::PaperExactDDSketch);
+}
+
+#[test]
+fn decoded_sketches_keep_merging() {
+    // decode → merge → encode → decode: the full agent/collector cycle.
+    let mut a = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+    let mut b = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+    for v in Dataset::Pareto.generate(10_000, 21) {
+        a.add(v).unwrap();
+    }
+    for v in Dataset::Pareto.generate(10_000, 22) {
+        b.add(v).unwrap();
+    }
+    let mut da = presets::BoundedDDSketch::decode(&a.encode()).unwrap();
+    let db = presets::BoundedDDSketch::decode(&b.encode()).unwrap();
+    da.merge_from(&db).unwrap();
+    let roundtrip = presets::BoundedDDSketch::decode(&da.encode()).unwrap();
+    assert_eq!(roundtrip.count(), 20_000);
+    a.merge_from(&b).unwrap();
+    assert_eq!(roundtrip.to_payload().positive, a.to_payload().positive);
+}
+
+#[test]
+fn cross_preset_decoding_is_rejected() {
+    let mut fast = presets::fast(0.01, 2048).unwrap();
+    fast.add(1.0).unwrap();
+    let bytes = fast.encode();
+    assert!(presets::BoundedDDSketch::decode(&bytes).is_err());
+    assert!(presets::UnboundedDDSketch::decode(&bytes).is_err());
+    assert!(presets::FastDDSketch::decode(&bytes).is_ok());
+}
+
+#[test]
+fn payload_survives_manual_edits_within_reason() {
+    // A payload is plain data; a pipeline may legitimately rewrite it
+    // (e.g. dropping the negative side). Rebuilding must respect it.
+    let mut s = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+    for v in [1.0, 2.0, -3.0] {
+        s.add(v).unwrap();
+    }
+    let mut payload: SketchPayload = s.to_payload();
+    payload.negative.clear();
+    payload.min = 1.0;
+    payload.sum = 3.0;
+    let rebuilt = presets::BoundedDDSketch::from_payload(&payload).unwrap();
+    assert_eq!(rebuilt.count(), 2);
+    assert!(rebuilt.quantile(0.0).unwrap() >= 0.9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_codec_never_panics_on_mutations(
+        values in proptest::collection::vec(0.001f64..1e9, 1..100),
+        flip_at in 0usize..4096,
+        flip_bits in 0u8..255,
+    ) {
+        let mut s = presets::logarithmic_collapsing(0.02, 1024).unwrap();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        let mut bytes = s.encode();
+        if !bytes.is_empty() {
+            let idx = flip_at % bytes.len();
+            bytes[idx] ^= flip_bits;
+        }
+        // Must either decode to *something* or fail cleanly — never panic.
+        let _ = SketchPayload::decode(&bytes);
+        let _ = presets::BoundedDDSketch::decode(&bytes);
+    }
+}

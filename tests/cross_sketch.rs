@@ -1,0 +1,157 @@
+//! Integration: the four sketches run side-by-side on the paper's three
+//! data sets, and each one's published guarantee is checked against the
+//! exact oracle.
+
+use datasets::Dataset;
+use evalkit::ExactOracle;
+use gkarray::GKArray;
+use hdrhist::ScaledHdr;
+use momentsketch::MomentSketch;
+use sketch_core::{MemoryFootprint, QuantileSketch};
+
+const QS: [f64; 5] = [0.25, 0.5, 0.9, 0.95, 0.99];
+
+fn hdr_for(ds: Dataset) -> ScaledHdr {
+    match ds {
+        Dataset::Pareto => ScaledHdr::new(1e10, 1e3, 2).unwrap(),
+        Dataset::Span => ScaledHdr::new(datasets::SPAN_MAX_NS, 1.0, 2).unwrap(),
+        Dataset::Power => ScaledHdr::new(datasets::POWER_MAX_KW, 1e4, 2).unwrap(),
+    }
+}
+
+#[test]
+fn ddsketch_alpha_guarantee_on_all_datasets() {
+    for ds in Dataset::all() {
+        let values = ds.generate(200_000, 1);
+        let oracle = ExactOracle::new(values.clone());
+        let mut s = ddsketch::presets::logarithmic_collapsing(0.01, 2048).unwrap();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        assert!(!s.has_collapsed(), "{}: 2048 bins must suffice", ds.name());
+        for q in QS {
+            let rel = oracle.relative_error(q, s.quantile(q).unwrap());
+            assert!(rel <= 0.01 + 1e-9, "{} p{}: rel {rel}", ds.name(), q * 100.0);
+        }
+    }
+}
+
+#[test]
+fn fast_ddsketch_alpha_guarantee_on_all_datasets() {
+    for ds in Dataset::all() {
+        let values = ds.generate(100_000, 2);
+        let oracle = ExactOracle::new(values.clone());
+        let mut s = ddsketch::presets::fast(0.01, 4096).unwrap();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        for q in QS {
+            let rel = oracle.relative_error(q, s.quantile(q).unwrap());
+            assert!(rel <= 0.01 + 1e-9, "{} p{}: rel {rel}", ds.name(), q * 100.0);
+        }
+    }
+}
+
+#[test]
+fn gkarray_rank_guarantee_on_all_datasets() {
+    for ds in Dataset::all() {
+        let values = ds.generate(100_000, 3);
+        let oracle = ExactOracle::new(values.clone());
+        let mut s = GKArray::new(0.01).unwrap();
+        for &v in &values {
+            s.add(v).unwrap();
+        }
+        s.flush();
+        for q in QS {
+            let rank_err = oracle.rank_error(q, s.quantile(q).unwrap());
+            assert!(
+                rank_err <= 0.01 + 1e-4,
+                "{} p{}: rank err {rank_err}",
+                ds.name(),
+                q * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn hdr_relative_guarantee_where_in_range() {
+    for ds in Dataset::all() {
+        let values = ds.generate(100_000, 4);
+        let oracle = ExactOracle::new(values.clone());
+        let mut s = hdr_for(ds);
+        let mut dropped = 0u64;
+        for &v in &values {
+            if s.add(v).is_err() {
+                dropped += 1;
+            }
+        }
+        // Drops only on pareto's extreme tail, and rarely.
+        assert!(dropped as f64 <= values.len() as f64 * 1e-4, "{}", ds.name());
+        for q in QS {
+            let rel = oracle.relative_error(q, s.quantile(q).unwrap());
+            // d = 2 → 1%; allow quantization slack at power's small values.
+            assert!(rel <= 0.011, "{} p{}: rel {rel}", ds.name(), q * 100.0);
+        }
+    }
+}
+
+#[test]
+fn moments_sketch_beats_nothing_on_span_but_stays_finite() {
+    // The paper: "the Moments sketch has particular difficulty with the
+    // span data set as it has trouble dealing with such a large range of
+    // values." It must degrade, not crash.
+    let values = Dataset::Span.generate(100_000, 5);
+    let oracle = ExactOracle::new(values.clone());
+    let mut s = MomentSketch::new(20, true).unwrap();
+    for &v in &values {
+        s.add(v).unwrap();
+    }
+    for q in QS {
+        let est = s.quantile(q).unwrap();
+        assert!(est.is_finite(), "span p{} must stay finite", q * 100.0);
+    }
+    // And on the benign power data set it should actually be decent.
+    let values = Dataset::Power.generate(100_000, 6);
+    let oracle_p = ExactOracle::new(values.clone());
+    let mut s = MomentSketch::new(20, true).unwrap();
+    for &v in &values {
+        s.add(v).unwrap();
+    }
+    let rel = oracle_p.relative_error(0.5, s.quantile(0.5).unwrap());
+    assert!(rel < 0.2, "power p50 rel {rel}");
+    // Contrast: DDSketch handles the same span stream within α.
+    let mut dd = ddsketch::presets::logarithmic_collapsing(0.01, 2048).unwrap();
+    for v in Dataset::Span.generate(100_000, 5) {
+        dd.add(v).unwrap();
+    }
+    let dd_rel = oracle.relative_error(0.99, dd.quantile(0.99).unwrap());
+    assert!(dd_rel <= 0.01 + 1e-9);
+}
+
+#[test]
+fn size_ordering_matches_paper_figure6() {
+    // Moments < GK ≈ small, DDSketch moderate, HDR largest (heavy-tailed
+    // data): Section 4.2's qualitative ordering at laptop n.
+    let values = Dataset::Span.generate(300_000, 7);
+    let mut dd = ddsketch::presets::logarithmic_collapsing(0.01, 2048).unwrap();
+    let mut gk = GKArray::new(0.01).unwrap();
+    let mut hdr = hdr_for(Dataset::Span);
+    let mut mo = MomentSketch::new(20, true).unwrap();
+    for &v in &values {
+        dd.add(v).unwrap();
+        gk.add(v).unwrap();
+        let _ = hdr.add(v);
+        mo.add(v).unwrap();
+    }
+    gk.flush();
+    let (dd_b, gk_b, hdr_b, mo_b) = (
+        dd.memory_bytes(),
+        gk.memory_bytes(),
+        hdr.memory_bytes(),
+        mo.memory_bytes(),
+    );
+    assert!(mo_b < gk_b, "Moments ({mo_b}) < GK ({gk_b})");
+    assert!(mo_b < dd_b, "Moments ({mo_b}) < DDSketch ({dd_b})");
+    assert!(dd_b < hdr_b, "DDSketch ({dd_b}) < HDR ({hdr_b})");
+}

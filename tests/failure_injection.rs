@@ -1,0 +1,181 @@
+//! Integration: hostile and degenerate inputs against every sketch in the
+//! workspace — nothing may panic, corrupt state, or silently mis-answer.
+
+use gkarray::GKArray;
+use hdrhist::ScaledHdr;
+use kll::KllSketch;
+use momentsketch::MomentSketch;
+use sketch_core::{QuantileSketch, SketchError};
+use tdigest::TDigest;
+
+/// Every sketch behind one trait object for uniform abuse.
+fn all_sketches() -> Vec<Box<dyn QuantileSketch>> {
+    vec![
+        Box::new(ddsketch::presets::logarithmic_collapsing(0.01, 2048).unwrap()),
+        Box::new(ddsketch::presets::fast(0.01, 2048).unwrap()),
+        Box::new(ddsketch::presets::unbounded(0.01).unwrap()),
+        Box::new(ddsketch::presets::sparse(0.01).unwrap()),
+        Box::new(ddsketch::presets::paper_exact(0.01, 2048).unwrap()),
+        Box::new(GKArray::new(0.01).unwrap()),
+        Box::new(ScaledHdr::new(1e9, 1.0, 2).unwrap()),
+        Box::new(MomentSketch::new(20, true).unwrap()),
+        Box::new(TDigest::new(100.0).unwrap()),
+        Box::new(KllSketch::new(200).unwrap()),
+    ]
+}
+
+#[test]
+fn non_finite_values_are_rejected_without_state_change() {
+    for mut s in all_sketches() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(s.add(bad), Err(SketchError::UnsupportedValue(_))),
+                "{} accepted {bad}",
+                s.name()
+            );
+        }
+        assert!(s.is_empty(), "{} counted a rejected value", s.name());
+        assert!(matches!(s.quantile(0.5), Err(SketchError::Empty)));
+    }
+}
+
+#[test]
+fn invalid_quantiles_are_rejected() {
+    for mut s in all_sketches() {
+        s.add(1.0).unwrap();
+        for bad_q in [-0.001, 1.001, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(s.quantile(bad_q), Err(SketchError::InvalidQuantile(_))),
+                "{} answered q = {bad_q}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn single_value_streams() {
+    for mut s in all_sketches() {
+        s.add(123.456).unwrap();
+        for q in [0.0, 0.5, 1.0] {
+            let est = s.quantile(q).unwrap();
+            assert!(
+                (est - 123.456).abs() <= 123.456 * 0.011 + 1.0,
+                "{} q={q}: {est}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn constant_streams() {
+    for mut s in all_sketches() {
+        for _ in 0..10_000 {
+            s.add(7.0).unwrap();
+        }
+        assert_eq!(s.count(), 10_000, "{}", s.name());
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let est = s.quantile(q).unwrap();
+            assert!(
+                (est - 7.0).abs() <= 7.0 * 0.011 + 0.01,
+                "{} q={q}: {est}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn alternating_extremes_stream() {
+    // Pathological bucket churn: alternate tiny and huge values.
+    for mut s in all_sketches() {
+        let mut dropped = 0u64;
+        for i in 0..20_000u32 {
+            let v = if i % 2 == 0 { 1e-3 } else { 1e8 };
+            if s.add(v).is_err() {
+                dropped += 1;
+            }
+        }
+        assert!(dropped == 0 || s.name() == "HDRHistogram", "{} dropped values", s.name());
+        let p50 = s.quantile(0.5).unwrap();
+        assert!(p50.is_finite(), "{}", s.name());
+        // Monotone quantiles even under churn.
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..=10 {
+            let v = s.quantile(f64::from(k) / 10.0).unwrap();
+            assert!(v >= prev, "{} quantiles not monotone", s.name());
+            prev = v;
+        }
+    }
+}
+
+#[test]
+fn adversarial_geometric_stream_for_collapse() {
+    // The paper's worst case for Proposition 4: S = {γ¹, γ², …, γ^2m}.
+    // The bounded sketch must collapse, keep every count, and stay
+    // α-accurate on the quantiles whose buckets survive.
+    let alpha = 0.01f64;
+    let gamma = (1.0 + alpha) / (1.0 - alpha);
+    let m = 128usize;
+    let mut s = ddsketch::presets::logarithmic_collapsing(alpha, m).unwrap();
+    let mut values = Vec::new();
+    for i in 1..=(2 * m) {
+        let v = gamma.powi(i as i32);
+        s.add(v).unwrap();
+        values.push(v);
+    }
+    assert!(s.has_collapsed(), "2m distinct buckets must exceed m");
+    assert_eq!(s.count(), 2 * m as u64);
+    values.sort_by(f64::total_cmp);
+    // The top half of the distribution lives in surviving buckets.
+    for q in [0.6, 0.75, 0.9, 1.0] {
+        let actual = values[sketch_core::lower_quantile_index(q, values.len())];
+        let est = s.quantile(q).unwrap();
+        let rel = (est - actual).abs() / actual;
+        assert!(rel <= alpha + 1e-9, "q={q}: rel {rel}");
+    }
+    // The bottom quantiles are allowed to be wrong (collapsed), but must
+    // still return finite, in-range values.
+    let p0 = s.quantile(0.0).unwrap();
+    assert!(p0.is_finite() && p0 >= values[0] - 1e-9);
+}
+
+#[test]
+fn giant_weights_do_not_overflow() {
+    let mut s = ddsketch::presets::unbounded(0.01).unwrap();
+    s.add_n(1.0, u64::MAX / 4).unwrap();
+    s.add_n(2.0, u64::MAX / 4).unwrap();
+    assert_eq!(s.count(), u64::MAX / 4 * 2);
+    let p25 = s.quantile(0.25).unwrap();
+    let p75 = s.quantile(0.75).unwrap();
+    assert!((p25 - 1.0).abs() <= 0.011);
+    assert!((p75 - 2.0).abs() <= 0.022);
+}
+
+#[test]
+fn subnormal_and_near_zero_values() {
+    let mut s = ddsketch::presets::unbounded(0.01).unwrap();
+    for v in [5e-324, 1e-320, -5e-324, 0.0, -0.0] {
+        s.add(v).unwrap();
+    }
+    assert_eq!(s.count(), 5);
+    // All are within floating-point distance of zero → exact zero bucket.
+    assert_eq!(s.quantile(0.5).unwrap(), 0.0);
+}
+
+#[test]
+fn delete_then_requery_is_consistent() {
+    let mut s = ddsketch::presets::unbounded(0.01).unwrap();
+    for i in 1..=100 {
+        s.add(f64::from(i)).unwrap();
+    }
+    for i in 51..=100 {
+        assert!(s.delete(f64::from(i)), "delete {i}");
+    }
+    assert_eq!(s.count(), 50);
+    let p100 = s.quantile(1.0).unwrap();
+    // max is a stale upper bound after deletes; the bucket walk must
+    // still land within the remaining data's bucket range (≤ 50·(1+α)).
+    assert!(p100 <= 50.0 * 1.02, "p100 {p100}");
+}

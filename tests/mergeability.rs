@@ -1,0 +1,186 @@
+//! Integration: full-mergeability properties across arbitrary partitions
+//! and merge-tree shapes — the paper's Table 1 distinction made
+//! executable.
+
+use datasets::Dataset;
+use ddsketch::presets;
+use proptest::prelude::*;
+use sketch_core::{MergeableSketch, QuantileSketch};
+
+/// Split `values` into `parts` chunks, sketch each, merge in the given
+/// tree shape, and return the merged sketch.
+fn merge_tree(values: &[f64], parts: usize, balanced: bool) -> presets::BoundedDDSketch {
+    let chunk = values.len().div_ceil(parts).max(1);
+    let mut sketches: Vec<presets::BoundedDDSketch> = values
+        .chunks(chunk)
+        .map(|c| {
+            let mut s = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+            for &v in c {
+                s.add(v).unwrap();
+            }
+            s
+        })
+        .collect();
+    if balanced {
+        // Pairwise rounds (a reduction tree, as a distributed system does).
+        while sketches.len() > 1 {
+            let mut next = Vec::with_capacity(sketches.len().div_ceil(2));
+            let mut iter = sketches.into_iter();
+            while let Some(mut a) = iter.next() {
+                if let Some(b) = iter.next() {
+                    a.merge_from(&b).unwrap();
+                }
+                next.push(a);
+            }
+            sketches = next;
+        }
+        sketches.pop().unwrap()
+    } else {
+        // Sequential left fold (a single aggregator consuming a queue).
+        let mut iter = sketches.into_iter();
+        let mut acc = iter.next().unwrap();
+        for s in iter {
+            acc.merge_from(&s).unwrap();
+        }
+        acc
+    }
+}
+
+#[test]
+fn merge_tree_shape_does_not_matter() {
+    let values = Dataset::Pareto.generate(100_000, 10);
+    let mut single = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+    for &v in &values {
+        single.add(v).unwrap();
+    }
+    for parts in [2, 7, 32] {
+        for balanced in [false, true] {
+            let merged = merge_tree(&values, parts, balanced);
+            assert_eq!(merged.count(), single.count());
+            // Bucket-for-bucket identical — the strongest form of full
+            // mergeability.
+            let (pm, ps) = (merged.to_payload(), single.to_payload());
+            assert_eq!(pm.positive, ps.positive, "parts={parts} balanced={balanced}");
+            assert_eq!(pm.zero_count, ps.zero_count);
+            assert_eq!(pm.min, ps.min);
+            assert_eq!(pm.max, ps.max);
+        }
+    }
+}
+
+#[test]
+fn hdr_merge_tree_is_also_exact() {
+    use hdrhist::ScaledHdr;
+    let values = Dataset::Power.generate(50_000, 11);
+    let build = |chunk: &[f64]| {
+        let mut h = ScaledHdr::new(datasets::POWER_MAX_KW, 1e4, 2).unwrap();
+        for &v in chunk {
+            h.add(v).unwrap();
+        }
+        h
+    };
+    let mut merged = build(&values[..25_000]);
+    let other = build(&values[25_000..]);
+    merged.merge_from(&other).unwrap();
+    let single = build(&values);
+    for q in [0.1, 0.5, 0.9, 0.99] {
+        assert_eq!(merged.quantile(q).unwrap(), single.quantile(q).unwrap());
+    }
+}
+
+#[test]
+fn moments_merge_tree_is_exact_up_to_fp() {
+    use momentsketch::MomentSketch;
+    let values = Dataset::Power.generate(50_000, 12);
+    let build = |chunk: &[f64]| {
+        let mut m = MomentSketch::new(20, true).unwrap();
+        for &v in chunk {
+            m.add(v).unwrap();
+        }
+        m
+    };
+    let mut merged = build(&values[..10_000]);
+    for chunk in values[10_000..].chunks(10_000) {
+        merged.merge_from(&build(chunk)).unwrap();
+    }
+    let single = build(&values);
+    for q in [0.25, 0.5, 0.75] {
+        let a = merged.quantile(q).unwrap();
+        let b = single.quantile(q).unwrap();
+        assert!((a - b).abs() <= 1e-3 * b.abs(), "q={q}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn merging_collapsed_sketches_stays_accurate_up_top() {
+    // Collapse-under-merge: two sketches over disjoint ranges whose union
+    // exceeds the bucket budget. Upper quantiles must stay α-accurate
+    // (Proposition 4 applies to the merged sketch too).
+    let mut lo = presets::logarithmic_collapsing(0.01, 256).unwrap();
+    let mut hi = presets::logarithmic_collapsing(0.01, 256).unwrap();
+    let mut all = Vec::new();
+    for i in 0..20_000 {
+        let v = 1e-6 * (1.0 + (i % 100) as f64);
+        lo.add(v).unwrap();
+        all.push(v);
+    }
+    for i in 0..20_000 {
+        let v = 1e6 * (1.0 + (i % 100) as f64);
+        hi.add(v).unwrap();
+        all.push(v);
+    }
+    lo.merge_from(&hi).unwrap();
+    assert!(lo.has_collapsed());
+    assert_eq!(lo.count(), 40_000);
+    all.sort_by(f64::total_cmp);
+    for q in [0.9, 0.99, 1.0] {
+        let actual = all[sketch_core::lower_quantile_index(q, all.len())];
+        let est = lo.quantile(q).unwrap();
+        let rel = (est - actual).abs() / actual;
+        assert!(rel <= 0.01 + 1e-9, "q={q}: rel {rel}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_partitioned_merge_equals_union(
+        values in proptest::collection::vec(1e-6f64..1e12, 10..400),
+        cut in 1usize..9,
+    ) {
+        let cut = values.len() * cut / 10;
+        let (a_vals, b_vals) = values.split_at(cut.max(1).min(values.len() - 1));
+        let build = |chunk: &[f64]| {
+            let mut s = presets::logarithmic_collapsing(0.02, 4096).unwrap();
+            for &v in chunk {
+                s.add(v).unwrap();
+            }
+            s
+        };
+        let mut merged = build(a_vals);
+        merged.merge_from(&build(b_vals)).unwrap();
+        let single = build(&values);
+        prop_assert_eq!(merged.to_payload().positive, single.to_payload().positive);
+        prop_assert_eq!(merged.count(), single.count());
+    }
+
+    #[test]
+    fn prop_merge_is_commutative_on_buckets(
+        a in proptest::collection::vec(0.1f64..1e6, 1..200),
+        b in proptest::collection::vec(0.1f64..1e6, 1..200),
+    ) {
+        let build = |chunk: &[f64]| {
+            let mut s = presets::sparse(0.02).unwrap();
+            for &v in chunk {
+                s.add(v).unwrap();
+            }
+            s
+        };
+        let mut ab = build(&a);
+        ab.merge_from(&build(&b)).unwrap();
+        let mut ba = build(&b);
+        ba.merge_from(&build(&a)).unwrap();
+        prop_assert_eq!(ab.to_payload().positive, ba.to_payload().positive);
+    }
+}
