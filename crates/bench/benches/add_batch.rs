@@ -1,0 +1,201 @@
+//! Batched vs scalar ingestion: the microbenchmark behind the batched
+//! fast path (`DDSketch::add_slice` → `IndexMapping::index_batch` →
+//! `Store::add_indices`). For each preset, ingest the same value stream
+//! via per-value `add` and via `add_slice` in batches of 1024, and report
+//! per-element throughput plus an explicit speedup summary.
+//!
+//! `cargo bench --bench add_batch` for numbers;
+//! `cargo bench --bench add_batch -- --test` for a smoke run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use datasets::{Distribution, LogNormal, Pareto};
+use ddsketch::presets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const BATCH: usize = 1024;
+const N: usize = 1 << 17; // 128 Ki values per iteration
+
+/// Heavy-tail latency stream (seconds) — the paper's target workload:
+/// strictly positive, so batches take `add_slice`'s no-copy fast path.
+fn latencies() -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C);
+    let body = LogNormal::with_median(0.004, 0.6);
+    let tail = Pareto::new(1.3, 0.02);
+    (0..N)
+        .map(|i| {
+            if i % 97 < 90 {
+                body.sample(&mut rng).max(1e-9)
+            } else {
+                tail.sample(&mut rng).max(1e-9)
+            }
+        })
+        .collect()
+}
+
+/// The same stream with negatives and zeros sprinkled in, forcing every
+/// batch through the classify-and-copy slow path.
+fn mixed() -> Vec<f64> {
+    let mut values = latencies();
+    for (i, v) in values.iter_mut().enumerate() {
+        match i % 97 {
+            0 => *v = 0.0,
+            k if k < 5 => *v = -*v,
+            _ => {}
+        }
+    }
+    values
+}
+
+/// Run one scalar-vs-batch pair under criterion for a preset constructor.
+fn bench_preset<S>(
+    c: &mut Criterion,
+    name: &str,
+    values: &[f64],
+    mut fresh: impl FnMut() -> S,
+    mut add: impl FnMut(&mut S, f64),
+    mut add_slice: impl FnMut(&mut S, &[f64]),
+    count: impl Fn(&S) -> u64,
+) {
+    let mut group = c.benchmark_group(format!("add_batch/{name}"));
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("scalar"), |b| {
+        b.iter(|| {
+            let mut sketch = fresh();
+            for &v in black_box(values) {
+                add(&mut sketch, v);
+            }
+            black_box(count(&sketch))
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter(format!("batch{BATCH}")), |b| {
+        b.iter(|| {
+            let mut sketch = fresh();
+            for chunk in black_box(values).chunks(BATCH) {
+                add_slice(&mut sketch, chunk);
+            }
+            black_box(count(&sketch))
+        });
+    });
+    group.finish();
+}
+
+fn bench_add_batch(c: &mut Criterion) {
+    let latencies = latencies();
+    bench_preset(
+        c,
+        "bounded",
+        &latencies,
+        || presets::logarithmic_collapsing(0.01, 2048).expect("valid params"),
+        |s, v| s.add(v).expect("in range"),
+        |s, chunk| s.add_slice(chunk).expect("in range"),
+        |s| s.count(),
+    );
+    bench_preset(
+        c,
+        "fast",
+        &latencies,
+        || presets::fast(0.01, 2048).expect("valid params"),
+        |s, v| s.add(v).expect("in range"),
+        |s, chunk| s.add_slice(chunk).expect("in range"),
+        |s| s.count(),
+    );
+    bench_preset(
+        c,
+        "unbounded",
+        &latencies,
+        || presets::unbounded(0.01).expect("valid params"),
+        |s, v| s.add(v).expect("in range"),
+        |s, chunk| s.add_slice(chunk).expect("in range"),
+        |s| s.count(),
+    );
+    bench_preset(
+        c,
+        "sparse",
+        &latencies,
+        || presets::sparse(0.01).expect("valid params"),
+        |s, v| s.add(v).expect("in range"),
+        |s, chunk| s.add_slice(chunk).expect("in range"),
+        |s| s.count(),
+    );
+    // Mixed-sign stream: exercises the classify-and-copy slow path.
+    let mixed = mixed();
+    bench_preset(
+        c,
+        "bounded-mixed",
+        &mixed,
+        || presets::logarithmic_collapsing(0.01, 2048).expect("valid params"),
+        |s, v| s.add(v).expect("in range"),
+        |s, chunk| s.add_slice(chunk).expect("in range"),
+        |s| s.count(),
+    );
+}
+
+/// Criterion-independent speedup summary: times both paths directly and
+/// prints scalar/batch ratios, so the ≥2× target for the dense presets is
+/// visible in one place. Skipped under `-- --test`.
+fn speedup_summary(_c: &mut Criterion) {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    use std::time::Instant;
+
+    fn time_ns(mut f: impl FnMut()) -> f64 {
+        // One warm-up, then best of 5 to damp scheduler noise.
+        f();
+        (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_nanos() as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    let values = latencies();
+    println!("\nspeedup summary (batch size {BATCH}, {N} positive latency values):");
+    macro_rules! summarize {
+        ($name:literal, $fresh:expr) => {{
+            let scalar = time_ns(|| {
+                let mut s = $fresh;
+                for &v in &values {
+                    s.add(v).expect("in range");
+                }
+                black_box(s.count());
+            });
+            let batch = time_ns(|| {
+                let mut s = $fresh;
+                for chunk in values.chunks(BATCH) {
+                    s.add_slice(chunk).expect("in range");
+                }
+                black_box(s.count());
+            });
+            println!(
+                "  {:<10} scalar {:>7.2} ns/val   batch {:>7.2} ns/val   speedup {:.2}x",
+                $name,
+                scalar / N as f64,
+                batch / N as f64,
+                scalar / batch
+            );
+        }};
+    }
+    summarize!(
+        "bounded",
+        presets::logarithmic_collapsing(0.01, 2048).expect("valid")
+    );
+    summarize!("fast", presets::fast(0.01, 2048).expect("valid"));
+    summarize!("unbounded", presets::unbounded(0.01).expect("valid"));
+    summarize!("sparse", presets::sparse(0.01).expect("valid"));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_add_batch, speedup_summary
+}
+criterion_main!(benches);

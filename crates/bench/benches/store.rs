@@ -32,7 +32,12 @@ fn bench_stores(c: &mut Criterion) {
         b.iter(|| black_box(run(DenseStore::new(), black_box(&indices))));
     });
     group.bench_function(BenchmarkId::from_parameter("collapsing_dense_2048"), |b| {
-        b.iter(|| black_box(run(CollapsingLowestDenseStore::new(2048), black_box(&indices))));
+        b.iter(|| {
+            black_box(run(
+                CollapsingLowestDenseStore::new(2048),
+                black_box(&indices),
+            ))
+        });
     });
     group.bench_function(BenchmarkId::from_parameter("sparse"), |b| {
         b.iter(|| black_box(run(SparseStore::new(), black_box(&indices))));

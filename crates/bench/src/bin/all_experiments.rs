@@ -8,7 +8,10 @@ use bench_suite::parse_n_arg;
 fn main() {
     let n_max = parse_n_arg(1_000_000);
     println!("=== Tables 1 & 2 ===");
-    emit("table01", &[tables::table01(), tables::table01_verification()]);
+    emit(
+        "table01",
+        &[tables::table01(), tables::table01_verification()],
+    );
     emit("table02", &[tables::table02()]);
 
     println!("=== Figure 2 ===");
@@ -24,7 +27,10 @@ fn main() {
     emit("fig03", &[fig.summary]);
 
     println!("=== Figure 4 ===");
-    emit("fig04", &fig04::run(20, (n_max as usize / 10).clamp(10_000, 100_000)));
+    emit(
+        "fig04",
+        &fig04::run(20, (n_max as usize / 10).clamp(10_000, 100_000)),
+    );
 
     println!("=== Figure 5 ===");
     for h in fig05::run((n_max as usize).min(1_000_000)) {

@@ -3,5 +3,8 @@
 use bench_suite::figures::{emit, tables};
 
 fn main() {
-    emit("table01", &[tables::table01(), tables::table01_verification()]);
+    emit(
+        "table01",
+        &[tables::table01(), tables::table01_verification()],
+    );
 }

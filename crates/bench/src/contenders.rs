@@ -103,17 +103,16 @@ impl Contender {
     /// `dataset` (only HDR needs the data set).
     pub fn new(kind: ContenderKind, dataset: Dataset) -> Result<Self, SketchError> {
         Ok(match kind {
-            ContenderKind::DDSketch => {
-                Contender::DDSketch(presets::logarithmic_collapsing(PAPER_ALPHA, PAPER_MAX_BINS)?)
-            }
+            ContenderKind::DDSketch => Contender::DDSketch(presets::logarithmic_collapsing(
+                PAPER_ALPHA,
+                PAPER_MAX_BINS,
+            )?),
             ContenderKind::DDSketchFast => {
                 Contender::DDSketchFast(presets::fast(PAPER_ALPHA, PAPER_MAX_BINS)?)
             }
             ContenderKind::GKArray => Contender::GKArray(GKArray::new(PAPER_EPSILON)?),
             ContenderKind::HdrHistogram => Contender::Hdr(hdr_for(dataset)?),
-            ContenderKind::Moments => {
-                Contender::Moments(MomentSketch::new(PAPER_K, true)?)
-            }
+            ContenderKind::Moments => Contender::Moments(MomentSketch::new(PAPER_K, true)?),
         })
     }
 
@@ -286,11 +285,7 @@ mod tests {
             assert_eq!(c.add_all(&values), 0, "DDSketch must accept everything");
             for q in [0.01, 0.5, 0.95, 0.99] {
                 let rel = oracle.relative_error(q, c.quantile(q).unwrap());
-                assert!(
-                    rel <= PAPER_ALPHA + 1e-9,
-                    "{}: q={q} rel {rel}",
-                    ds.name()
-                );
+                assert!(rel <= PAPER_ALPHA + 1e-9, "{}: q={q} rel {rel}", ds.name());
             }
         }
     }

@@ -179,8 +179,20 @@ mod tests {
         // DDSketch's.
         let rows = sweep(100_000, 3);
         for ds in [Dataset::Pareto, Dataset::Span] {
-            let dd = max_err(&rows, ds, ContenderKind::DDSketch, 0.99, ErrorMetric::Relative);
-            let gk = max_err(&rows, ds, ContenderKind::GKArray, 0.99, ErrorMetric::Relative);
+            let dd = max_err(
+                &rows,
+                ds,
+                ContenderKind::DDSketch,
+                0.99,
+                ErrorMetric::Relative,
+            );
+            let gk = max_err(
+                &rows,
+                ds,
+                ContenderKind::GKArray,
+                0.99,
+                ErrorMetric::Relative,
+            );
             assert!(
                 gk > dd * 5.0,
                 "{}: GK p99 rel err ({gk}) should dwarf DDSketch's ({dd})",

@@ -32,7 +32,13 @@ fn upper_half_span(values: &mut [f64]) -> usize {
 pub fn run(n: usize, trials: usize) -> Table {
     let mut t = Table::new(
         "Section 3.3 — upper-half sketch size: measured vs paper bound",
-        &["distribution", "n", "trial", "measured buckets", "paper bound"],
+        &[
+            "distribution",
+            "n",
+            "trial",
+            "measured buckets",
+            "paper bound",
+        ],
     );
     for trial in 0..trials {
         let mut rng = SmallRng::seed_from_u64(900 + trial as u64);

@@ -26,12 +26,7 @@ pub fn run(requests_per_worker: usize) -> Table {
         &["window_start_s", "avg", "p50", "p75"],
     );
     for ((wa, a), ((_, m), (_, u))) in avg.iter().zip(p50.iter().zip(p75.iter())) {
-        t.row(vec![
-            wa.to_string(),
-            fmt_sci(*a),
-            fmt_sci(*m),
-            fmt_sci(*u),
-        ]);
+        t.row(vec![wa.to_string(), fmt_sci(*a), fmt_sci(*m), fmt_sci(*u)]);
     }
     t
 }
@@ -64,7 +59,11 @@ mod tests {
     #[test]
     fn figure2_shape_holds() {
         let t = run(20_000);
-        assert!(t.len() >= 10, "need a real time series, got {} windows", t.len());
+        assert!(
+            t.len() >= 10,
+            "need a real time series, got {} windows",
+            t.len()
+        );
         assert!(
             average_tracks_p75(&t),
             "the average must track p75 rather than p50 on heavy-tailed latencies:\n{}",

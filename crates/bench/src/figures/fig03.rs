@@ -46,7 +46,11 @@ pub fn run(n: usize) -> Fig03 {
     for q in [0.0, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
         summary.row(vec![format!("p{}", q * 100.0), fmt_sci(oracle.quantile(q))]);
     }
-    Fig03 { hist_p95, hist_p100, summary }
+    Fig03 {
+        hist_p95,
+        hist_p100,
+        summary,
+    }
 }
 
 #[cfg(test)]

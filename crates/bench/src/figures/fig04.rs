@@ -36,8 +36,8 @@ pub fn run(batches: usize, batch_size: usize) -> Vec<Table> {
         let values: Vec<f64> = stream.by_ref().take(batch_size).collect();
         let oracle = ExactOracle::new(values.clone());
 
-        let mut rel = ddsketch::presets::logarithmic_collapsing(FIG4_REL_ALPHA, 2048)
-            .expect("valid params");
+        let mut rel =
+            ddsketch::presets::logarithmic_collapsing(FIG4_REL_ALPHA, 2048).expect("valid params");
         let mut rank = GKArray::new(FIG4_RANK_EPSILON).expect("valid params");
         for &v in &values {
             rel.add(v).expect("positive finite");
@@ -113,7 +113,10 @@ mod tests {
     fn batch_medians_match_pareto() {
         let tables = run(5, 20_000);
         for m in column(&tables[0], 1) {
-            assert!((m - 2.0).abs() < 0.15, "Pareto(1,1) median should be ≈2, got {m}");
+            assert!(
+                (m - 2.0).abs() < 0.15,
+                "Pareto(1,1) median should be ≈2, got {m}"
+            );
         }
     }
 }

@@ -15,7 +15,14 @@ pub fn run(n_max: u64, seed: u64) -> Vec<Table> {
         .map(|ds| {
             let mut t = Table::new(
                 format!("Figure 6 — sketch size in memory (kB), {}", ds.name()),
-                &["n", "DDSketch", "DDSketch (fast)", "GKArray", "HDRHistogram", "MomentSketch"],
+                &[
+                    "n",
+                    "DDSketch",
+                    "DDSketch (fast)",
+                    "GKArray",
+                    "HDRHistogram",
+                    "MomentSketch",
+                ],
             );
             // Feed each contender incrementally so the whole sweep is one
             // pass over n_max values.
@@ -59,8 +66,18 @@ mod tests {
         let hdr = column(pareto, 4);
         let moments = column(pareto, 5);
         let last = dd.len() - 1;
-        assert!(fast[last] >= dd[last], "fast ({}) ≥ standard ({})", fast[last], dd[last]);
-        assert!(hdr[last] > dd[last] * 2.0, "HDR ({}) ≫ DDSketch ({})", hdr[last], dd[last]);
+        assert!(
+            fast[last] >= dd[last],
+            "fast ({}) ≥ standard ({})",
+            fast[last],
+            dd[last]
+        );
+        assert!(
+            hdr[last] > dd[last] * 2.0,
+            "HDR ({}) ≫ DDSketch ({})",
+            hdr[last],
+            dd[last]
+        );
         assert!(moments.iter().all(|&m| m < 1.0), "Moments stays under 1 kB");
         assert!(
             (moments[0] - moments[last]).abs() < 1e-9,

@@ -16,7 +16,14 @@ pub fn run(n_max: u64, seed: u64) -> Vec<Table> {
             let values = ds.generate(*ns.last().expect("non-empty") as usize, seed);
             let mut t = Table::new(
                 format!("Figure 8 — time per Add operation (ns), {}", ds.name()),
-                &["n", "DDSketch", "DDSketch (fast)", "GKArray", "HDRHistogram", "MomentSketch"],
+                &[
+                    "n",
+                    "DDSketch",
+                    "DDSketch (fast)",
+                    "GKArray",
+                    "HDRHistogram",
+                    "MomentSketch",
+                ],
             );
             for &n in &ns {
                 let prefix = &values[..n as usize];

@@ -18,7 +18,14 @@ pub fn run(n_max: u64, seed: u64, reps: usize) -> Vec<Table> {
             let values = ds.generate(*ns.last().expect("non-empty") as usize, seed);
             let mut t = Table::new(
                 format!("Figure 9 — merge time (µs), {}", ds.name()),
-                &["merged_n", "DDSketch", "DDSketch (fast)", "GKArray", "HDRHistogram", "MomentSketch"],
+                &[
+                    "merged_n",
+                    "DDSketch",
+                    "DDSketch (fast)",
+                    "GKArray",
+                    "HDRHistogram",
+                    "MomentSketch",
+                ],
             );
             for &n in &ns {
                 let half = (n / 2) as usize;
@@ -78,7 +85,10 @@ mod tests {
             let last = t.len() - 1;
             let dd = column(t, 1)[last];
             let moments = column(t, 5)[last];
-            assert!(moments <= dd + 0.01, "Moments merge ({moments}µs) should beat DDSketch ({dd}µs)");
+            assert!(
+                moments <= dd + 0.01,
+                "Moments merge ({moments}µs) should beat DDSketch ({dd}µs)"
+            );
             for col in 1..=5 {
                 for v in column(t, col) {
                     assert!((0.0..1e6).contains(&v), "merge µs out of range: {v}");

@@ -25,7 +25,10 @@ pub fn run(n_max: u64, seed: u64) -> Vec<Table> {
     for ds in Dataset::all() {
         let values = ds.generate(*ns.last().expect("non-empty") as usize, seed);
         let mut t = Table::new(
-            format!("Related work — max relative error over n sweep, {}", ds.name()),
+            format!(
+                "Related work — max relative error over n sweep, {}",
+                ds.name()
+            ),
             &["q", "DDSketch", "t-digest", "KLL"],
         );
         let mut dd = ddsketch::presets::logarithmic_collapsing(PAPER_ALPHA, PAPER_MAX_BINS)

@@ -55,7 +55,10 @@ pub fn table01_verification() -> Table {
     // DDSketch: arbitrary range — both tiny and huge values are accepted.
     let mut dd = ddsketch::presets::logarithmic_collapsing(PAPER_ALPHA, PAPER_MAX_BINS).unwrap();
     let dd_arbitrary = dd.add(1e-300).is_ok() && dd.add(1e300).is_ok();
-    t.row(vec!["DDSketch range: arbitrary".into(), dd_arbitrary.to_string()]);
+    t.row(vec![
+        "DDSketch range: arbitrary".into(),
+        dd_arbitrary.to_string(),
+    ]);
 
     // HDR: bounded range — an out-of-range value is rejected.
     let mut hdr = hdrhist::ScaledHdr::new(1e6, 1.0, PAPER_HDR_DIGITS).unwrap();
@@ -86,7 +89,10 @@ pub fn table01_verification() -> Table {
         && pa.min == pu.min
         && pa.max == pu.max
         && (pa.sum - pu.sum).abs() <= 1e-9 * pu.sum.abs();
-    t.row(vec!["DDSketch mergeability: full (bucket-exact)".into(), dd_full.to_string()]);
+    t.row(vec![
+        "DDSketch mergeability: full (bucket-exact)".into(),
+        dd_full.to_string(),
+    ]);
 
     // Moments: merge is exact on power sums.
     let mut ma = momentsketch::MomentSketch::new(PAPER_K, true).unwrap();
@@ -106,7 +112,10 @@ pub fn table01_verification() -> Table {
     // 0.1% relative demonstrates the merge is the same estimator.
     let moments_full = (ma.quantile(0.5).unwrap() - mu.quantile(0.5).unwrap()).abs()
         < 1e-3 * mu.quantile(0.5).unwrap().abs();
-    t.row(vec!["Moments mergeability: full".into(), moments_full.to_string()]);
+    t.row(vec![
+        "Moments mergeability: full".into(),
+        moments_full.to_string(),
+    ]);
 
     // GK: merging is supported but lossy (one-way) — the merged summary
     // is NOT identical to the union summary.
@@ -129,7 +138,10 @@ pub fn table01_verification() -> Table {
             let q = f64::from(k) / 10.0;
             ga.quantile(q).unwrap() != gu.quantile(q).unwrap()
         });
-    t.row(vec!["GKArray mergeability: one-way (merge ≠ union)".into(), gk_lossy.to_string()]);
+    t.row(vec![
+        "GKArray mergeability: one-way (merge ≠ union)".into(),
+        gk_lossy.to_string(),
+    ]);
 
     t
 }

@@ -45,7 +45,10 @@ mod tests {
 
     #[test]
     fn decades_are_generated() {
-        assert_eq!(geometric_ns(1000, 1_000_000), vec![1000, 10_000, 100_000, 1_000_000]);
+        assert_eq!(
+            geometric_ns(1000, 1_000_000),
+            vec![1000, 10_000, 100_000, 1_000_000]
+        );
         assert_eq!(geometric_ns(5, 5), vec![5]);
     }
 

@@ -49,7 +49,10 @@ pub struct Pareto {
 impl Pareto {
     /// Create a Pareto distribution; both parameters must be positive.
     pub fn new(shape: f64, scale: f64) -> Self {
-        assert!(shape > 0.0 && scale > 0.0, "Pareto parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "Pareto parameters must be positive"
+        );
         Self { shape, scale }
     }
 }
@@ -153,7 +156,10 @@ pub struct Weibull {
 impl Weibull {
     /// Create a Weibull distribution; both parameters must be positive.
     pub fn new(scale: f64, shape: f64) -> Self {
-        assert!(scale > 0.0 && shape > 0.0, "Weibull parameters must be positive");
+        assert!(
+            scale > 0.0 && shape > 0.0,
+            "Weibull parameters must be positive"
+        );
         Self { scale, shape }
     }
 }
@@ -175,13 +181,19 @@ impl Mixture {
     /// Build a mixture from `(weight, distribution)` pairs; weights need
     /// not sum to one but must be positive.
     pub fn new(components: Vec<(f64, Box<dyn Distribution>)>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         assert!(
             components.iter().all(|(w, _)| *w > 0.0),
             "mixture weights must be positive"
         );
         let total_weight = components.iter().map(|(w, _)| w).sum();
-        Self { components, total_weight }
+        Self {
+            components,
+            total_weight,
+        }
     }
 }
 
@@ -272,7 +284,10 @@ mod tests {
     #[test]
     fn mixture_weights_are_respected() {
         let m = Mixture::new(vec![
-            (0.8, Box::new(Uniform::new(0.0, 1.0)) as Box<dyn Distribution>),
+            (
+                0.8,
+                Box::new(Uniform::new(0.0, 1.0)) as Box<dyn Distribution>,
+            ),
             (0.2, Box::new(Uniform::new(100.0, 101.0))),
         ]);
         let xs = draw(&m, 100_000, 7);

@@ -68,7 +68,10 @@ impl Dataset {
 fn span_mixture() -> Mixture {
     Mixture::new(vec![
         // Fast in-process spans: tens of microseconds.
-        (0.35, Box::new(LogNormal::with_median(5.0e4, 1.2)) as Box<dyn Distribution>),
+        (
+            0.35,
+            Box::new(LogNormal::with_median(5.0e4, 1.2)) as Box<dyn Distribution>,
+        ),
         // Typical service calls: a few milliseconds.
         (0.35, Box::new(LogNormal::with_median(2.0e6, 1.8))),
         // Slow requests: tens of milliseconds to seconds.
@@ -83,7 +86,10 @@ fn power_mixture() -> Mixture {
     Mixture::new(vec![
         // Standby/baseline draw around 0.3–0.4 kW (the tall left mode of
         // Figure 5 right).
-        (0.55, Box::new(LogNormal::with_median(0.35, 0.35)) as Box<dyn Distribution>),
+        (
+            0.55,
+            Box::new(LogNormal::with_median(0.35, 0.35)) as Box<dyn Distribution>,
+        ),
         // Ordinary appliance load.
         (0.30, Box::new(Normal::new(1.4, 0.6))),
         // Cooking/heating peaks.
@@ -166,7 +172,10 @@ mod tests {
     #[test]
     fn span_is_integer_ns_with_paper_range() {
         let xs = Dataset::Span.generate(200_000, 2);
-        assert!(xs.iter().all(|&x| x.fract() == 0.0), "span durations are integers");
+        assert!(
+            xs.iter().all(|&x| x.fract() == 0.0),
+            "span durations are integers"
+        );
         assert!(xs.iter().all(|&x| (SPAN_MIN_NS..=SPAN_MAX_NS).contains(&x)));
         let xs = sorted(xs);
         // Wide range: several orders of magnitude between p1 and max
@@ -177,13 +186,18 @@ mod tests {
         // Heavy tail: p99 ≫ median.
         let median = xs[xs.len() / 2];
         let p99 = xs[xs.len() * 99 / 100];
-        assert!(p99 / median > 50.0, "span tail too light: {median} vs {p99}");
+        assert!(
+            p99 / median > 50.0,
+            "span tail too light: {median} vs {p99}"
+        );
     }
 
     #[test]
     fn power_is_bounded_dense_and_bimodal() {
         let xs = Dataset::Power.generate(200_000, 3);
-        assert!(xs.iter().all(|&x| (POWER_MIN_KW..=POWER_MAX_KW).contains(&x)));
+        assert!(xs
+            .iter()
+            .all(|&x| (POWER_MIN_KW..=POWER_MAX_KW).contains(&x)));
         // Quantized to 1 W (within f64 representation error of w/1000).
         assert!(xs
             .iter()
@@ -193,7 +207,10 @@ mod tests {
         let p99 = xs[xs.len() * 99 / 100];
         // Short tail: p99 within one order of magnitude of the median
         // (this is the paper's light-tailed contrast data set).
-        assert!(p99 / median < 20.0, "power tail too heavy: {median} vs {p99}");
+        assert!(
+            p99 / median < 20.0,
+            "power tail too heavy: {median} vs {p99}"
+        );
         // Bimodality: baseline mode below 0.6 kW holds a large share and
         // the appliance regime above 1 kW holds another.
         let low = xs.iter().filter(|&&x| x < 0.6).count() as f64 / xs.len() as f64;

@@ -24,7 +24,6 @@
 //! small dense counts costs ~2 bytes per non-empty bucket.
 
 use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
 
 use crate::mapping::{IndexMapping, MappingKind};
 use crate::presets::{
@@ -38,10 +37,11 @@ const MAGIC: &[u8; 4] = b"DDS1";
 
 /// Mapping-agnostic serializable snapshot of a sketch's state.
 ///
-/// This is also the `serde` surface: any `DDSketch` converts to a payload
-/// with [`DDSketch::to_payload`], and each preset converts back via its
-/// `from_payload` constructor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Any `DDSketch` converts to a payload with [`DDSketch::to_payload`], and
+/// each preset converts back via its `from_payload` constructor. (The
+/// offline build has no `serde`; the plain-data payload struct is the
+/// integration point where a serde derive would go.)
+#[derive(Debug, Clone, PartialEq)]
 pub struct SketchPayload {
     /// Mapping family discriminant ([`MappingKind`] as u8).
     pub kind: u8,
@@ -125,7 +125,9 @@ fn get_bins(buf: &mut &[u8]) -> Result<Vec<(i32, u64)>, SketchError> {
     // Each bin needs at least 2 bytes; reject absurd lengths before
     // allocating (defends against corrupted/hostile input).
     if n > buf.remaining() {
-        return Err(SketchError::Decode(format!("bin count {n} exceeds payload size")));
+        return Err(SketchError::Decode(format!(
+            "bin count {n} exceeds payload size"
+        )));
     }
     let mut bins = Vec::with_capacity(n);
     let mut prev: Option<i64> = None;
@@ -138,7 +140,9 @@ fn get_bins(buf: &mut &[u8]) -> Result<Vec<(i32, u64)>, SketchError> {
                 .ok_or_else(|| SketchError::Decode("index overflow".into()))?,
         };
         if idx < i32::MIN as i64 || idx > i32::MAX as i64 {
-            return Err(SketchError::Decode(format!("bin index {idx} out of i32 range")));
+            return Err(SketchError::Decode(format!(
+                "bin index {idx} out of i32 range"
+            )));
         }
         let count = get_varint(buf)?;
         if count == 0 {
@@ -411,13 +415,27 @@ mod tests {
             pe.add(v).unwrap();
         }
         assert_eq!(
-            presets::UnboundedDDSketch::decode(&u.encode()).unwrap().to_payload(),
+            presets::UnboundedDDSketch::decode(&u.encode())
+                .unwrap()
+                .to_payload(),
             u.to_payload()
         );
-        assert_eq!(presets::FastDDSketch::decode(&f.encode()).unwrap().to_payload(), f.to_payload());
-        assert_eq!(presets::SparseDDSketch::decode(&sp.encode()).unwrap().to_payload(), sp.to_payload());
         assert_eq!(
-            presets::PaperExactDDSketch::decode(&pe.encode()).unwrap().to_payload(),
+            presets::FastDDSketch::decode(&f.encode())
+                .unwrap()
+                .to_payload(),
+            f.to_payload()
+        );
+        assert_eq!(
+            presets::SparseDDSketch::decode(&sp.encode())
+                .unwrap()
+                .to_payload(),
+            sp.to_payload()
+        );
+        assert_eq!(
+            presets::PaperExactDDSketch::decode(&pe.encode())
+                .unwrap()
+                .to_payload(),
             pe.to_payload()
         );
     }
@@ -480,7 +498,15 @@ mod tests {
 
     #[test]
     fn zigzag_roundtrip() {
-        for v in [0i64, 1, -1, 63, -64, i64::from(i32::MAX), i64::from(i32::MIN)] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::from(i32::MAX),
+            i64::from(i32::MIN),
+        ] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
     }

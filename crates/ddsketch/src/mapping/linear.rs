@@ -111,7 +111,10 @@ mod tests {
             let x = 2f64.powi(e);
             let just_below = x * (1.0 - 1e-12);
             let diff = m.index(x) - m.index(just_below);
-            assert!((0..=1).contains(&diff), "discontinuity at 2^{e}: diff {diff}");
+            assert!(
+                (0..=1).contains(&diff),
+                "discontinuity at 2^{e}: diff {diff}"
+            );
         }
     }
 

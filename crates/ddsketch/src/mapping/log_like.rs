@@ -23,7 +23,7 @@
 //! This matches the paper's report that DDSketch (fast) "can be up to twice
 //! the size of DDSketch" (their fast variant rounds the multiplier further).
 
-use super::{decompose, gamma_of, recompose, IndexMapping, MappingKind};
+use super::{ceil_to_i32, decompose, gamma_of, recompose, IndexMapping, MappingKind};
 use sketch_core::SketchError;
 
 /// A monotone interpolation polynomial `P` on `[1, 2]`.
@@ -93,6 +93,92 @@ impl<I: Interpolation> LogLikeMapping<I> {
     }
 }
 
+/// Shared batched index loop: branch-free IEEE-754 exponent/mantissa
+/// extraction (inlined from `decompose` without its debug assertion) plus
+/// the interpolation polynomial — nothing calls out of the loop, so
+/// iterations pipeline. `HW_CEIL` selects `f64::ceil` (one `vroundsd` when
+/// the surrounding function enables AVX) over the portable
+/// [`ceil_to_i32`]; both compute the exact ceiling, so every dispatch path
+/// produces bit-identical results, and the floating-point expression
+/// matches the scalar `index` exactly.
+#[inline(always)]
+fn index_batch_body<I: Interpolation, const HW_CEIL: bool>(
+    values: &[f64],
+    inv_step: f64,
+    out: &mut [i32],
+) {
+    assert_eq!(
+        values.len(),
+        out.len(),
+        "index_batch buffer length mismatch"
+    );
+    for (v, o) in values.iter().zip(out.iter_mut()) {
+        let bits = v.to_bits();
+        let exponent = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        let significand = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+        let l = exponent as f64 + I::p(significand);
+        let scaled = l * inv_step;
+        *o = if HW_CEIL {
+            scaled.ceil() as i32
+        } else {
+            ceil_to_i32(scaled)
+        };
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn index_batch_avx<I: Interpolation>(values: &[f64], inv_step: f64, out: &mut [i32]) {
+    index_batch_body::<I, true>(values, inv_step, out);
+}
+
+/// Fused stats + index loop: the min/max/sum chains ride in the shadow of
+/// the polynomial evaluation. Safe on arbitrary inputs — non-indexable
+/// values yield unspecified (but safely computed) `out` entries.
+#[inline(always)]
+fn index_batch_stats_body<I: Interpolation, const HW_CEIL: bool>(
+    values: &[f64],
+    inv_step: f64,
+    sum0: f64,
+    out: &mut [i32],
+) -> (f64, f64, f64) {
+    assert_eq!(
+        values.len(),
+        out.len(),
+        "index_batch buffer length mismatch"
+    );
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut sum = sum0;
+    for (v, o) in values.iter().zip(out.iter_mut()) {
+        let v = *v;
+        let bits = v.to_bits();
+        let exponent = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        let significand = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+        let l = exponent as f64 + I::p(significand);
+        let scaled = l * inv_step;
+        *o = if HW_CEIL {
+            scaled.ceil() as i32
+        } else {
+            ceil_to_i32(scaled)
+        };
+        min = if v < min { v } else { min };
+        max = if v > max { v } else { max };
+        sum += v;
+    }
+    (min, max, sum)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn index_batch_stats_avx<I: Interpolation>(
+    values: &[f64],
+    inv_step: f64,
+    sum0: f64,
+    out: &mut [i32],
+) -> (f64, f64, f64) {
+    index_batch_stats_body::<I, true>(values, inv_step, sum0, out)
+}
+
 impl<I: Interpolation> IndexMapping for LogLikeMapping<I> {
     #[inline]
     fn relative_accuracy(&self) -> f64 {
@@ -107,7 +193,26 @@ impl<I: Interpolation> IndexMapping for LogLikeMapping<I> {
     #[inline]
     fn index(&self, value: f64) -> i32 {
         debug_assert!(value >= self.min_indexable && value <= self.max_indexable);
-        (Self::l(value) * self.inv_step).ceil() as i32
+        ceil_to_i32(Self::l(value) * self.inv_step)
+    }
+
+    fn index_batch(&self, values: &[f64], out: &mut [i32]) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: feature presence checked at runtime.
+            unsafe { index_batch_avx::<I>(values, self.inv_step, out) };
+            return;
+        }
+        index_batch_body::<I, false>(values, self.inv_step, out);
+    }
+
+    fn index_batch_stats(&self, values: &[f64], sum0: f64, out: &mut [i32]) -> (f64, f64, f64) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: feature presence checked at runtime.
+            return unsafe { index_batch_stats_avx::<I>(values, self.inv_step, sum0, out) };
+        }
+        index_batch_stats_body::<I, false>(values, self.inv_step, sum0, out)
     }
 
     #[inline]
@@ -180,7 +285,11 @@ mod tests {
             let s = I::p_inv(r);
             assert!((1.0..=2.0).contains(&s), "{}: p_inv({r}) = {s}", I::name());
             let back = I::p(s);
-            assert!((back - r).abs() < 1e-12, "{}: p(p_inv({r})) = {back}", I::name());
+            assert!(
+                (back - r).abs() < 1e-12,
+                "{}: p(p_inv({r})) = {back}",
+                I::name()
+            );
         }
         assert!((I::p(1.0)).abs() < 1e-15);
         assert!((I::p(2.0) - 1.0).abs() < 1e-12);
@@ -216,8 +325,17 @@ mod tests {
         let overhead_quad = span(quad.index(1.0), quad.index(1048576.0)) / base;
         let overhead_cub = span(cub.index(1.0), cub.index(1048576.0)) / base;
 
-        assert!((overhead_lin - 1.0 / std::f64::consts::LN_2).abs() < 0.01, "linear {overhead_lin}");
-        assert!((overhead_quad - 0.75 / std::f64::consts::LN_2).abs() < 0.01, "quad {overhead_quad}");
-        assert!((overhead_cub - 0.7 / std::f64::consts::LN_2).abs() < 0.01, "cubic {overhead_cub}");
+        assert!(
+            (overhead_lin - 1.0 / std::f64::consts::LN_2).abs() < 0.01,
+            "linear {overhead_lin}"
+        );
+        assert!(
+            (overhead_quad - 0.75 / std::f64::consts::LN_2).abs() < 0.01,
+            "quad {overhead_quad}"
+        );
+        assert!(
+            (overhead_cub - 0.7 / std::f64::consts::LN_2).abs() < 0.01,
+            "cubic {overhead_cub}"
+        );
     }
 }

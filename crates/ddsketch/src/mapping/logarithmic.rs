@@ -1,6 +1,7 @@
 //! The paper's exact logarithmic mapping (Section 2.1).
 
-use super::{gamma_of, IndexMapping, MappingKind};
+use super::fastln::fast_ln;
+use super::{ceil_to_i32, gamma_of, IndexMapping, MappingKind};
 use sketch_core::SketchError;
 
 /// Memory-optimal mapping: `index(x) = ⌈log_γ x⌉`.
@@ -28,7 +29,8 @@ impl LogarithmicMapping {
         // ceil/lower_bound arithmetic.
         let min_by_index = ((i32::MIN as f64 + 2.0) / multiplier).exp();
         let min_indexable = (f64::MIN_POSITIVE * gamma).max(min_by_index);
-        let max_by_index = (((i32::MAX as f64 - 2.0) / multiplier).min(f64::MAX.ln()) - gamma.ln()).exp();
+        let max_by_index =
+            (((i32::MAX as f64 - 2.0) / multiplier).min(f64::MAX.ln()) - gamma.ln()).exp();
         let max_indexable = (f64::MAX / gamma).min(max_by_index);
         Ok(Self {
             relative_accuracy: alpha,
@@ -54,7 +56,20 @@ impl IndexMapping for LogarithmicMapping {
     #[inline]
     fn index(&self, value: f64) -> i32 {
         debug_assert!(value >= self.min_indexable && value <= self.max_indexable);
-        (value.ln() * self.multiplier).ceil() as i32
+        ceil_to_i32(fast_ln(value) * self.multiplier)
+    }
+
+    fn index_batch(&self, values: &[f64], out: &mut [i32]) {
+        // Fused ln + scale + ceil loop with no out-of-loop calls: the
+        // table-based `fast_ln` and `ceil_to_i32` both inline, so the
+        // compiler pipelines independent iterations instead of serializing
+        // on a libm call. Same operations as the scalar path — results are
+        // bit-identical.
+        super::fastln::ln_index_batch(values, self.multiplier, out);
+    }
+
+    fn index_batch_stats(&self, values: &[f64], sum0: f64, out: &mut [i32]) -> (f64, f64, f64) {
+        super::fastln::ln_index_batch_stats(values, self.multiplier, sum0, out)
     }
 
     #[inline]
@@ -140,7 +155,10 @@ mod tests {
         let m = LogarithmicMapping::new(0.01).unwrap();
         for i in [-5, 0, 3, 1000] {
             let ratio = m.upper_bound(i) / m.lower_bound(i);
-            assert!((ratio - m.gamma()).abs() < 1e-9, "bucket {i}: ratio {ratio}");
+            assert!(
+                (ratio - m.gamma()).abs() < 1e-9,
+                "bucket {i}: ratio {ratio}"
+            );
         }
     }
 

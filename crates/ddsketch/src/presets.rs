@@ -58,10 +58,7 @@ pub fn unbounded(alpha: f64) -> Result<UnboundedDDSketch, SketchError> {
 
 /// Build a [`BoundedDDSketch`] — the paper's `α = 0.01`, `m = 2048`
 /// configuration is `logarithmic_collapsing(0.01, 2048)`.
-pub fn logarithmic_collapsing(
-    alpha: f64,
-    max_bins: usize,
-) -> Result<BoundedDDSketch, SketchError> {
+pub fn logarithmic_collapsing(alpha: f64, max_bins: usize) -> Result<BoundedDDSketch, SketchError> {
     validate_bins(max_bins)?;
     Ok(DDSketch::from_parts(
         LogarithmicMapping::new(alpha)?,
@@ -160,7 +157,10 @@ mod tests {
         let year = 365.25 * 24.0 * 3600.0;
         s.add(80e-6).unwrap();
         s.add(year).unwrap();
-        assert!(!s.has_collapsed(), "80µs..1y must fit in 2048 buckets at α=0.01");
+        assert!(
+            !s.has_collapsed(),
+            "80µs..1y must fit in 2048 buckets at α=0.01"
+        );
     }
 
     #[test]

@@ -33,6 +33,28 @@ pub struct DDSketch<M: IndexMapping, SP: Store, SN: Store = SP> {
     min: f64,
     max: f64,
     sum: f64,
+    scratch: Scratch,
+}
+
+/// Reusable buffers for [`DDSketch::add_slice`]: contents are transient
+/// (cleared on every call), only the capacity persists, so repeated batch
+/// ingestion allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Positive values of the current batch.
+    pos: Vec<f64>,
+    /// Magnitudes of the negative values of the current batch.
+    neg: Vec<f64>,
+    /// Bucket indices computed by `IndexMapping::index_batch`.
+    indices: Vec<i32>,
+}
+
+impl Scratch {
+    /// Retained heap capacity, counted by [`DDSketch::memory_bytes`].
+    fn heap_bytes(&self) -> usize {
+        (self.pos.capacity() + self.neg.capacity()) * std::mem::size_of::<f64>()
+            + self.indices.capacity() * std::mem::size_of::<i32>()
+    }
 }
 
 impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
@@ -46,6 +68,7 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             sum: 0.0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -90,6 +113,112 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
     /// Insert one occurrence of `value`.
     pub fn add(&mut self, value: f64) -> Result<(), SketchError> {
         self.add_n(value, 1)
+    }
+
+    /// Bulk-insert a batch of values — the fast path for high-throughput
+    /// producers.
+    ///
+    /// The batch is ingested in three phases: (1) a single classification
+    /// pass splits the values by sign into reusable scratch buffers while
+    /// accumulating `sum`/`min`/`max` as running scalars, (2) each side's
+    /// bucket indices are computed with one tight
+    /// [`IndexMapping::index_batch`] loop, and (3) each store absorbs its
+    /// side with one bulk [`Store::add_indices`] call that pays growth and
+    /// collapse bookkeeping once per batch instead of once per value.
+    ///
+    /// The result is **bit-identical** to calling [`Self::add`] on every
+    /// value in order (same bins, `count`, `sum`, `min`, `max`) — the
+    /// equivalence is property-tested across every preset.
+    ///
+    /// # Errors
+    ///
+    /// If any value is NaN, ±∞, or beyond the mapping's indexable range,
+    /// returns `UnsupportedValue` for the first such value and ingests
+    /// **nothing**: the sketch is left exactly as it was. Callers that want
+    /// skip-bad-values semantics should filter first (or use `extend`).
+    pub fn add_slice(&mut self, values: &[f64]) -> Result<(), SketchError> {
+        // Fast path: one fused pass computes every value's bucket index
+        // *and* the running stats, with **deferred** validation — a NaN
+        // anywhere poisons the running sum, and any value that is
+        // negative, zero, subnormal, infinite, or beyond the indexable
+        // range shows up in the batch extremes. The overwhelming common
+        // case (all values strictly positive and indexable, e.g.
+        // latencies) then needs no per-value branching and no copy: the
+        // mapping indexes the input slice directly, and the min/max/sum
+        // dependency chains execute in the shadow of the index math.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.indices.resize(values.len(), 0);
+        let out = &mut scratch.indices[..values.len()];
+        let (batch_min, batch_max, sum) = self.mapping.index_batch_stats(values, self.sum, out);
+        if batch_min >= self.mapping.min_indexable_value()
+            && batch_max <= self.mapping.max_indexable_value()
+            && !sum.is_nan()
+        {
+            self.positive.add_indices(out);
+            // Value-equal to folding each element into the running
+            // extremes in stream order.
+            self.min = self.min.min(batch_min);
+            self.max = self.max.max(batch_max);
+            self.sum = sum;
+            self.scratch = scratch;
+            return Ok(());
+        }
+        // The batch contains zeros, negatives, or unsupported values: the
+        // speculative indices are meaningless — reclassify from scratch.
+        self.scratch = scratch;
+        self.add_slice_mixed(values)
+    }
+
+    /// Slow path for batches containing zeros, negatives, or values that
+    /// need rejecting: validate + classify by sign into scratch buffers,
+    /// touching no sketch state until the whole batch is known good.
+    #[cold]
+    fn add_slice_mixed(&mut self, values: &[f64]) -> Result<(), SketchError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.pos.clear();
+        scratch.neg.clear();
+        let max_indexable = self.mapping.max_indexable_value();
+        let min_indexable = self.mapping.min_indexable_value();
+        let mut zeros = 0u64;
+        let (mut min, mut max, mut sum) = (self.min, self.max, self.sum);
+        for &v in values {
+            let magnitude = v.abs();
+            // Negated comparison (rather than `>`) so NaN also lands here.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(magnitude <= max_indexable) {
+                self.scratch = scratch;
+                return Err(SketchError::UnsupportedValue(v));
+            }
+            if magnitude < min_indexable {
+                zeros += 1;
+            } else if v > 0.0 {
+                scratch.pos.push(v);
+            } else {
+                scratch.neg.push(magnitude);
+            }
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        // Batch-index each side, then one bulk store call per side.
+        let widest = scratch.pos.len().max(scratch.neg.len());
+        scratch.indices.resize(widest, 0);
+        if !scratch.pos.is_empty() {
+            let out = &mut scratch.indices[..scratch.pos.len()];
+            self.mapping.index_batch(&scratch.pos, out);
+            self.positive.add_indices(out);
+        }
+        if !scratch.neg.is_empty() {
+            let out = &mut scratch.indices[..scratch.neg.len()];
+            self.mapping.index_batch(&scratch.neg, out);
+            self.negative.add_indices(out);
+        }
+        self.zero_count += zeros;
+        self.min = min;
+        self.max = max;
+        self.sum = sum;
+        self.scratch = scratch;
+        Ok(())
     }
 
     /// Remove one previously-inserted occurrence of `value` (paper §2:
@@ -206,9 +335,85 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
         Ok(raw.clamp(self.min, self.max))
     }
 
-    /// Estimate several quantiles.
+    /// Estimate several quantiles in a single pass.
+    ///
+    /// Where repeated [`Self::quantile`] calls re-walk the stores'
+    /// cumulative counts from scratch for every rank (O(k·bins) for k
+    /// quantiles), this sorts the requested ranks and advances one cursor
+    /// per store monotonically, answering all k in one walk (O(k·log k +
+    /// bins)). Output order matches the input order, and every estimate is
+    /// identical to what [`Self::quantile`] returns for the same `q`.
     pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
-        qs.iter().map(|&q| self.quantile(q)).collect()
+        for &q in qs {
+            if !(0.0..=1.0).contains(&q) {
+                return Err(SketchError::InvalidQuantile(q));
+            }
+        }
+        if qs.is_empty() {
+            // Nothing to estimate: succeed even on an empty sketch, as the
+            // per-quantile mapping always has.
+            return Ok(Vec::new());
+        }
+        let n = self.count();
+        if n == 0 {
+            return Err(SketchError::Empty);
+        }
+        // Visit the ranks in ascending order, remembering each one's
+        // original slot so the output order stays stable.
+        let mut order: Vec<usize> = (0..qs.len()).collect();
+        order.sort_by(|&a, &b| qs[a].total_cmp(&qs[b]));
+
+        let neg_total = self.negative.total_count() as f64;
+        let zero_total = self.zero_count as f64;
+        let neg_bins = self.negative.bins_ascending();
+        let pos_bins = self.positive.bins_ascending();
+        // Negative walk runs from the most negative value, i.e. from the
+        // largest |x| bucket downward — mirroring key_at_rank_descending.
+        let mut neg_iter = neg_bins.iter().rev();
+        let mut neg_cum = 0u64;
+        let mut neg_cursor: Option<i32> = None;
+        let mut pos_iter = pos_bins.iter();
+        let mut pos_cum = 0u64;
+        let mut pos_cursor: Option<i32> = None;
+
+        let mut out = vec![0.0; qs.len()];
+        for &slot in &order {
+            let rank = target_rank(qs[slot], n);
+            let raw = if rank < neg_total {
+                while neg_cum as f64 <= rank {
+                    match neg_iter.next() {
+                        Some(&(idx, c)) => {
+                            neg_cum += c;
+                            neg_cursor = Some(idx);
+                        }
+                        // Floating-point rounding pushed the rank past the
+                        // store total: stay on the last bucket, matching
+                        // key_at_rank_descending's fallback.
+                        None => break,
+                    }
+                }
+                -self
+                    .mapping
+                    .value(neg_cursor.expect("rank < neg_total implies a bin"))
+            } else if rank < neg_total + zero_total {
+                0.0
+            } else {
+                let pos_rank = rank - neg_total - zero_total;
+                while pos_cum as f64 <= pos_rank {
+                    match pos_iter.next() {
+                        Some(&(idx, c)) => {
+                            pos_cum += c;
+                            pos_cursor = Some(idx);
+                        }
+                        None => break,
+                    }
+                }
+                self.mapping
+                    .value(pos_cursor.expect("rank < total implies positive store non-empty"))
+            };
+            out[slot] = raw.clamp(self.min, self.max);
+        }
+        Ok(out)
     }
 
     /// Hard bounds on the q-quantile: the boundaries of the bucket the
@@ -233,7 +438,10 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
                 .negative
                 .key_at_rank_descending(rank)
                 .expect("negative store non-empty");
-            (-self.mapping.upper_bound(idx), -self.mapping.lower_bound(idx))
+            (
+                -self.mapping.upper_bound(idx),
+                -self.mapping.lower_bound(idx),
+            )
         } else if rank < neg + self.zero_count as f64 {
             (0.0, 0.0)
         } else {
@@ -277,13 +485,13 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
         self.sum = 0.0;
     }
 
-    /// Structural memory footprint in bytes.
+    /// Structural memory footprint in bytes, including the batched-ingest
+    /// scratch buffers (whose capacity persists across `add_slice` calls).
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            - std::mem::size_of::<SP>()
-            - std::mem::size_of::<SN>()
+        std::mem::size_of::<Self>() - std::mem::size_of::<SP>() - std::mem::size_of::<SN>()
             + self.positive.memory_bytes()
             + self.negative.memory_bytes()
+            + self.scratch.heap_bytes()
     }
 
     /// Access the positive-value store (read-only; used by the codec and
@@ -342,6 +550,10 @@ impl<M: IndexMapping, SP: Store, SN: Store> QuantileSketch for DDSketch<M, SP, S
 
     fn quantile(&self, q: f64) -> Result<f64, SketchError> {
         DDSketch::quantile(self, q)
+    }
+
+    fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        DDSketch::quantiles(self, qs)
     }
 
     fn count(&self) -> u64 {
@@ -425,7 +637,10 @@ mod tests {
             let actual = values[sketch_core::lower_quantile_index(q, values.len())];
             let est = s.quantile(q).unwrap();
             let rel = (est - actual).abs() / actual;
-            assert!(rel <= alpha + 1e-9, "q={q}: est {est} vs actual {actual} rel {rel}");
+            assert!(
+                rel <= alpha + 1e-9,
+                "q={q}: est {est} vs actual {actual} rel {rel}"
+            );
         }
     }
 
@@ -642,6 +857,120 @@ mod tests {
         s.extend([1.0, f64::NAN, 2.0, f64::INFINITY, 3.0]);
         assert_eq!(s.count(), 3);
         assert_eq!(s.sum(), 6.0);
+    }
+
+    #[test]
+    fn add_slice_matches_scalar_adds() {
+        let values: Vec<f64> = (1..=5000)
+            .map(|i| {
+                let v = (i as f64).sqrt() * 3.3;
+                if i % 3 == 0 {
+                    -v
+                } else if i % 97 == 0 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect();
+        let mut scalar = unbounded(0.01).unwrap();
+        let mut batch = unbounded(0.01).unwrap();
+        for &v in &values {
+            scalar.add(v).unwrap();
+        }
+        // Ingest in several chunks to exercise scratch reuse.
+        for chunk in values.chunks(700) {
+            batch.add_slice(chunk).unwrap();
+        }
+        assert_eq!(batch.count(), scalar.count());
+        assert_eq!(batch.zero_count(), scalar.zero_count());
+        assert_eq!(batch.sum(), scalar.sum(), "sum must be bit-identical");
+        assert_eq!(batch.min(), scalar.min());
+        assert_eq!(batch.max(), scalar.max());
+        assert_eq!(
+            batch.positive_store().bins_ascending(),
+            scalar.positive_store().bins_ascending()
+        );
+        assert_eq!(
+            batch.negative_store().bins_ascending(),
+            scalar.negative_store().bins_ascending()
+        );
+    }
+
+    #[test]
+    fn add_slice_rejects_without_corrupting_state() {
+        let mut s = unbounded(0.01).unwrap();
+        s.add_slice(&[1.0, 2.0]).unwrap();
+        let before_bins = s.positive_store().bins_ascending();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = s.add_slice(&[3.0, bad, 4.0]).unwrap_err();
+            assert!(matches!(err, SketchError::UnsupportedValue(_)), "{bad}");
+        }
+        assert_eq!(
+            s.count(),
+            2,
+            "failed batches must not be partially ingested"
+        );
+        assert_eq!(s.sum(), 3.0);
+        assert_eq!(s.positive_store().bins_ascending(), before_bins);
+        // Out-of-range magnitude is also rejected atomically.
+        let mut tight = unbounded(1e-9).unwrap();
+        let too_big = tight.mapping().max_indexable_value() * 2.0;
+        assert!(tight.add_slice(&[1.0, too_big]).is_err());
+        assert!(tight.is_empty());
+    }
+
+    #[test]
+    fn add_slice_of_empty_batch_is_a_noop() {
+        let mut s = fast(0.01, 1024).unwrap();
+        s.add_slice(&[]).unwrap();
+        assert!(s.is_empty());
+        s.add_slice(&[5.0]).unwrap();
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn quantiles_single_pass_matches_per_quantile() {
+        let mut s = unbounded(0.01).unwrap();
+        for v in [-50.0, -3.0, 0.0, 0.0, 2.0, 7.0, 7.5, 1000.0] {
+            s.add(v).unwrap();
+        }
+        for i in 1..=2000 {
+            s.add((i as f64).powf(1.2) - 300.0).unwrap();
+        }
+        // Unsorted, duplicated, boundary-heavy request order.
+        let qs = [0.99, 0.0, 0.5, 0.5, 1.0, 0.01, 0.25, 0.75, 0.99];
+        let batch = s.quantiles(&qs).unwrap();
+        for (&q, &got) in qs.iter().zip(&batch) {
+            assert_eq!(got, s.quantile(q).unwrap(), "q = {q}");
+        }
+        // Validation matches the scalar path.
+        assert!(s.quantiles(&[0.5, 1.5]).is_err());
+        assert!(s.quantiles(&[f64::NAN]).is_err());
+        assert!(unbounded(0.01).unwrap().quantiles(&[0.5]).is_err());
+        assert_eq!(s.quantiles(&[]).unwrap(), Vec::<f64>::new());
+        // An empty request succeeds even on an empty sketch (matching the
+        // behaviour of mapping `quantile` over zero inputs).
+        assert_eq!(
+            unbounded(0.01).unwrap().quantiles(&[]).unwrap(),
+            Vec::<f64>::new()
+        );
+    }
+
+    #[test]
+    fn memory_bytes_counts_batch_scratch() {
+        let mut batched = unbounded(0.01).unwrap();
+        let values: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        let before = batched.memory_bytes();
+        batched.add_slice(&values).unwrap();
+        // The retained scratch capacity (≥ 10_000 × 4-byte indices) must
+        // show up in the footprint on top of whatever the store grew to.
+        assert!(
+            batched.memory_bytes() >= before + values.len() * 4,
+            "after {} vs before {}",
+            batched.memory_bytes(),
+            before
+        );
     }
 
     #[test]

@@ -11,7 +11,6 @@ fn round_up_chunk(v: i64) -> i64 {
     (v + CHUNK - 1) / CHUNK * CHUNK
 }
 
-
 /// Contiguous store whose index **span** is capped at `max_bins`; when an
 /// insertion would exceed the cap, the lowest indices are folded into the
 /// lowest kept bucket.
@@ -94,17 +93,21 @@ impl CollapsingLowestDenseStore {
         let lo = self.min_idx.min(index);
         let hi = self.max_idx.max(index);
         let span = hi - lo + 1;
-        debug_assert!(span <= self.max_bins, "span {span} exceeds cap {}", self.max_bins);
-        let target_len = span
-            .max(self.counts.len() as i64 * 2)
-            .max(1);
-        let target_len = round_up_chunk(target_len)
-            .min(self.max_bins)
-            .max(span);
+        debug_assert!(
+            span <= self.max_bins,
+            "span {span} exceeds cap {}",
+            self.max_bins
+        );
+        let target_len = span.max(self.counts.len() as i64 * 2).max(1);
+        let target_len = round_up_chunk(target_len).min(self.max_bins).max(span);
         let extra = target_len - span;
         // The window only ever slides upward (lowest buckets collapse), so
         // put slack above when growing up, below when growing down.
-        let new_offset = if index >= self.max_idx { lo } else { lo - extra };
+        let new_offset = if index >= self.max_idx {
+            lo
+        } else {
+            lo - extra
+        };
         let mut new_counts = vec![0u64; target_len as usize];
         for i in self.min_idx..=self.max_idx {
             new_counts[(i - new_offset) as usize] = self.counts[self.pos(i)];
@@ -124,7 +127,11 @@ impl CollapsingLowestDenseStore {
             (lo, hi)
         };
         let span = whi - wlo + 1;
-        debug_assert!(span <= self.max_bins, "span {span} exceeds cap {}", self.max_bins);
+        debug_assert!(
+            span <= self.max_bins,
+            "span {span} exceeds cap {}",
+            self.max_bins
+        );
         if self.total == 0 {
             // Every counter is zero: resize if needed and re-anchor.
             let target = round_up_chunk(span)
@@ -183,6 +190,75 @@ impl CollapsingLowestDenseStore {
         let pos = self.pos(new_min);
         self.counts[pos] += folded;
     }
+
+    /// Shared bulk-insertion core: add `count(i)` occurrences for every
+    /// index in the batch, collapsing/clamping against the **final** span
+    /// exactly once.
+    ///
+    /// Scalar insertion routes every bucket below `final_max − m + 1` to
+    /// that lowest kept index eventually (either clamped on arrival or
+    /// folded when the maximum later grows), so processing the whole batch
+    /// against the final window yields bit-identical bins.
+    fn bulk_add<I: Iterator<Item = (i32, u64)> + Clone>(&mut self, bins: I) {
+        let mut span: Option<(i64, i64)> = None;
+        let mut added = 0u64;
+        for (i, c) in bins.clone() {
+            if c > 0 {
+                let i = i as i64;
+                span = Some(match span {
+                    None => (i, i),
+                    Some((lo, hi)) => (lo.min(i), hi.max(i)),
+                });
+                added += c;
+            }
+        }
+        let Some((lo, hi)) = span else { return };
+        let new_max = if self.total == 0 {
+            hi
+        } else {
+            self.max_idx.max(hi)
+        };
+        let allowed_min = new_max - self.max_bins + 1;
+        // Fold our own low buckets first if the batch's maximum demands it.
+        if self.total > 0 && self.min_idx < allowed_min {
+            self.collapse_lowest_to(allowed_min);
+        }
+        let eff_lo = lo.max(allowed_min);
+        self.fit_range(eff_lo, new_max);
+        let offset = self.offset;
+        let mut clamped = false;
+        for (i, c) in bins {
+            if c > 0 {
+                let eff = (i as i64).max(allowed_min);
+                clamped |= eff != i as i64;
+                let pos = (eff - offset) as usize;
+                // SAFETY: `fit_range(eff_lo, new_max)` covers the whole
+                // clamped batch span and `eff_lo <= eff <= new_max`.
+                unsafe {
+                    *self.counts.get_unchecked_mut(pos) += c;
+                }
+            }
+        }
+        if clamped {
+            self.collapsed = true;
+        }
+        if self.total == 0 {
+            self.min_idx = eff_lo;
+            self.max_idx = hi.max(eff_lo);
+        } else {
+            self.min_idx = self.min_idx.min(eff_lo);
+            self.max_idx = self.max_idx.max(hi);
+        }
+        self.total += added;
+    }
+
+    /// The live slice covering `[min_idx, max_idx]`; valid when `total > 0`.
+    #[inline]
+    fn live(&self) -> &[u64] {
+        let lo = self.pos(self.min_idx);
+        let hi = self.pos(self.max_idx);
+        &self.counts[lo..=hi]
+    }
 }
 
 impl Store for CollapsingLowestDenseStore {
@@ -223,6 +299,14 @@ impl Store for CollapsingLowestDenseStore {
         self.min_idx = self.min_idx.min(effective);
         self.max_idx = self.max_idx.max(effective);
         self.total += count;
+    }
+
+    fn add_indices(&mut self, indices: &[i32]) {
+        self.bulk_add(indices.iter().map(|&i| (i, 1)));
+    }
+
+    fn add_bins(&mut self, bins: &[(i32, u64)]) {
+        self.bulk_add(bins.iter().copied());
     }
 
     fn remove_n(&mut self, index: i32, count: u64) -> bool {
@@ -275,20 +359,18 @@ impl Store for CollapsingLowestDenseStore {
         if self.total == 0 {
             return 0;
         }
-        (self.min_idx..=self.max_idx)
-            .filter(|&i| self.counts[self.pos(i)] > 0)
-            .count()
+        self.live().iter().filter(|&&c| c > 0).count()
     }
 
     fn bins_ascending(&self) -> Vec<(i32, u64)> {
         if self.total == 0 {
             return Vec::new();
         }
-        (self.min_idx..=self.max_idx)
-            .filter_map(|i| {
-                let c = self.counts[self.pos(i)];
-                (c > 0).then_some((i as i32, c))
-            })
+        let min_idx = self.min_idx;
+        self.live()
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &c)| (c > 0).then_some(((min_idx + k as i64) as i32, c)))
             .collect()
     }
 
@@ -297,10 +379,10 @@ impl Store for CollapsingLowestDenseStore {
             return None;
         }
         let mut cum = 0u64;
-        for i in self.min_idx..=self.max_idx {
-            cum += self.counts[self.pos(i)];
+        for (k, &c) in self.live().iter().enumerate() {
+            cum += c;
             if cum as f64 > rank {
-                return Some(i as i32);
+                return Some((self.min_idx + k as i64) as i32);
             }
         }
         Some(self.max_idx as i32)
@@ -311,10 +393,10 @@ impl Store for CollapsingLowestDenseStore {
             return None;
         }
         let mut cum = 0u64;
-        for i in (self.min_idx..=self.max_idx).rev() {
-            cum += self.counts[self.pos(i)];
+        for (k, &c) in self.live().iter().enumerate().rev() {
+            cum += c;
             if cum as f64 > rank {
-                return Some(i as i32);
+                return Some((self.min_idx + k as i64) as i32);
             }
         }
         Some(self.min_idx as i32)
@@ -343,7 +425,11 @@ impl Store for CollapsingLowestDenseStore {
         }
 
         let eff_other_min = other.min_idx.max(allowed_min);
-        let lo = if self.total == 0 { eff_other_min } else { self.min_idx.min(eff_other_min) };
+        let lo = if self.total == 0 {
+            eff_other_min
+        } else {
+            self.min_idx.min(eff_other_min)
+        };
         self.fit_range(lo, new_max);
 
         // Elementwise add. Fast path: nothing of `other` collapses, so the
@@ -440,6 +526,14 @@ impl CollapsingHighestDenseStore {
 impl Store for CollapsingHighestDenseStore {
     fn add_n(&mut self, index: i32, count: u64) {
         self.inner.add_n(neg(index), count);
+    }
+
+    fn add_indices(&mut self, indices: &[i32]) {
+        self.inner.bulk_add(indices.iter().map(|&i| (neg(i), 1)));
+    }
+
+    fn add_bins(&mut self, bins: &[(i32, u64)]) {
+        self.inner.bulk_add(bins.iter().map(|&(i, c)| (neg(i), c)));
     }
 
     fn remove_n(&mut self, index: i32, count: u64) -> bool {
@@ -670,7 +764,11 @@ mod tests {
             for (idx, c) in b.bins_ascending().into_iter().rev() {
                 reference.add_n(idx, c);
             }
-            assert_eq!(bulk.bins_ascending(), reference.bins_ascending(), "cap {cap}");
+            assert_eq!(
+                bulk.bins_ascending(),
+                reference.bins_ascending(),
+                "cap {cap}"
+            );
             assert_eq!(bulk.total_count(), reference.total_count());
         }
     }
@@ -741,6 +839,13 @@ mod tests {
                 reference.add_n(idx, c);
             }
             prop_assert_eq!(bulk.bins_ascending(), reference.bins_ascending());
+        }
+
+        #[test]
+        fn prop_bulk_matches_scalar(stream in proptest::collection::vec(-500i32..500, 0..200),
+                                    cap in 1usize..64) {
+            storetests::run_bulk_equivalence(|| CollapsingLowestDenseStore::new(cap), &stream);
+            storetests::run_bulk_equivalence(|| CollapsingHighestDenseStore::new(cap), &stream);
         }
 
         #[test]

@@ -13,7 +13,6 @@ fn round_up_chunk(v: i64) -> i64 {
     (v + CHUNK - 1) / CHUNK * CHUNK
 }
 
-
 /// Contiguous array of bucket counters covering `[offset, offset + len)`.
 ///
 /// The fastest store for insertion (a bounds check and an increment once
@@ -54,54 +53,74 @@ impl DenseStore {
     /// Reallocate so the array covers `index` as well as the current live
     /// window, doubling to keep growth amortized.
     fn grow(&mut self, index: i64) {
+        self.grow_range(index, index);
+    }
+
+    /// Reallocate **once** so the array covers the whole inclusive span
+    /// `[lo, hi]` as well as the current live window — the workhorse behind
+    /// bulk insertion and single-copy merges.
+    fn grow_range(&mut self, lo: i64, hi: i64) {
+        debug_assert!(lo <= hi);
         if self.counts.is_empty() {
-            let len = CHUNK as usize;
-            self.offset = index - CHUNK / 2;
-            self.counts = vec![0; len];
+            let span = hi - lo + 1;
+            let len = round_up_chunk(span.max(CHUNK));
+            // Center the requested span in the fresh buffer.
+            self.offset = lo - (len - span) / 2;
+            self.counts = vec![0; len as usize];
             return;
         }
         let old_lo = self.offset;
         let old_hi = self.offset + self.counts.len() as i64; // exclusive
-        let new_lo = old_lo.min(index);
-        let new_hi = old_hi.max(index + 1);
+        let new_lo = old_lo.min(lo);
+        let new_hi = old_hi.max(hi + 1);
         let needed = new_hi - new_lo;
-        let target_len = needed
-            .max(self.counts.len() as i64 * 2)
-            .max(1);
-        let target_len = round_up_chunk(target_len);
+        if needed == old_hi - old_lo {
+            return; // already covered
+        }
+        let target_len = round_up_chunk(needed.max(self.counts.len() as i64 * 2).max(1));
         let extra = target_len - needed;
-        // Put the slack on the side that is growing.
-        let (final_lo, final_len) = if index < old_lo {
-            (new_lo - extra, target_len as usize)
+        // Put the slack on the side that is growing (split when both are).
+        let below = if lo < old_lo && hi + 1 > old_hi {
+            extra / 2
+        } else if lo < old_lo {
+            extra
         } else {
-            (new_lo, target_len as usize)
+            0
         };
-        let mut new_counts = vec![0u64; final_len];
+        let final_lo = new_lo - below;
+        let mut new_counts = vec![0u64; target_len as usize];
         let shift = (old_lo - final_lo) as usize;
         new_counts[shift..shift + self.counts.len()].copy_from_slice(&self.counts);
         self.counts = new_counts;
         self.offset = final_lo;
     }
 
+    /// The live (possibly zero-padded) slice covering `[min_idx, max_idx]`;
+    /// valid only when `total > 0`.
+    #[inline]
+    fn live(&self) -> &[u64] {
+        let lo = self.pos(self.min_idx);
+        let hi = self.pos(self.max_idx);
+        &self.counts[lo..=hi]
+    }
+
     /// Rescan for the new minimum index after a bucket was emptied.
     fn rescan_min(&mut self) {
-        for i in self.min_idx..=self.max_idx {
-            if self.counts[self.pos(i)] > 0 {
-                self.min_idx = i;
-                return;
-            }
-        }
-        unreachable!("total > 0 implies a non-empty bucket");
+        let first = self
+            .live()
+            .iter()
+            .position(|&c| c > 0)
+            .expect("total > 0 implies a non-empty bucket");
+        self.min_idx += first as i64;
     }
 
     fn rescan_max(&mut self) {
-        for i in (self.min_idx..=self.max_idx).rev() {
-            if self.counts[self.pos(i)] > 0 {
-                self.max_idx = i;
-                return;
-            }
-        }
-        unreachable!("total > 0 implies a non-empty bucket");
+        let last = self
+            .live()
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("total > 0 implies a non-empty bucket");
+        self.max_idx = self.min_idx + last as i64;
     }
 }
 
@@ -124,6 +143,71 @@ impl Store for DenseStore {
             self.max_idx = self.max_idx.max(index);
         }
         self.total += count;
+    }
+
+    fn add_indices(&mut self, indices: &[i32]) {
+        let Some((&first, rest)) = indices.split_first() else {
+            return;
+        };
+        let (mut lo, mut hi) = (first, first);
+        for &i in rest {
+            lo = lo.min(i);
+            hi = hi.max(i);
+        }
+        let (lo, hi) = (lo as i64, hi as i64);
+        if !self.in_range(lo) || !self.in_range(hi) {
+            self.grow_range(lo, hi);
+        }
+        let offset = self.offset;
+        for &i in indices {
+            let pos = (i as i64 - offset) as usize;
+            // SAFETY: `grow_range(lo, hi)` covers every index in the batch,
+            // and `lo <= i <= hi` by the min/max scan above.
+            unsafe {
+                *self.counts.get_unchecked_mut(pos) += 1;
+            }
+        }
+        if self.total == 0 {
+            self.min_idx = lo;
+            self.max_idx = hi;
+        } else {
+            self.min_idx = self.min_idx.min(lo);
+            self.max_idx = self.max_idx.max(hi);
+        }
+        self.total += indices.len() as u64;
+    }
+
+    fn add_bins(&mut self, bins: &[(i32, u64)]) {
+        let mut span: Option<(i64, i64)> = None;
+        let mut added = 0u64;
+        for &(i, c) in bins {
+            if c > 0 {
+                let i = i as i64;
+                span = Some(match span {
+                    None => (i, i),
+                    Some((lo, hi)) => (lo.min(i), hi.max(i)),
+                });
+                added += c;
+            }
+        }
+        let Some((lo, hi)) = span else { return };
+        if !self.in_range(lo) || !self.in_range(hi) {
+            self.grow_range(lo, hi);
+        }
+        for &(i, c) in bins {
+            if c > 0 {
+                let pos = self.pos(i as i64);
+                self.counts[pos] += c;
+            }
+        }
+        if self.total == 0 {
+            self.min_idx = lo;
+            self.max_idx = hi;
+        } else {
+            self.min_idx = self.min_idx.min(lo);
+            self.max_idx = self.max_idx.max(hi);
+        }
+        self.total += added;
     }
 
     fn remove_n(&mut self, index: i32, count: u64) -> bool {
@@ -171,20 +255,18 @@ impl Store for DenseStore {
         if self.total == 0 {
             return 0;
         }
-        (self.min_idx..=self.max_idx)
-            .filter(|&i| self.counts[self.pos(i)] > 0)
-            .count()
+        self.live().iter().filter(|&&c| c > 0).count()
     }
 
     fn bins_ascending(&self) -> Vec<(i32, u64)> {
         if self.total == 0 {
             return Vec::new();
         }
-        (self.min_idx..=self.max_idx)
-            .filter_map(|i| {
-                let c = self.counts[self.pos(i)];
-                (c > 0).then_some((i as i32, c))
-            })
+        let min_idx = self.min_idx;
+        self.live()
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &c)| (c > 0).then_some(((min_idx + k as i64) as i32, c)))
             .collect()
     }
 
@@ -193,10 +275,10 @@ impl Store for DenseStore {
             return None;
         }
         let mut cum = 0u64;
-        for i in self.min_idx..=self.max_idx {
-            cum += self.counts[self.pos(i)];
+        for (k, &c) in self.live().iter().enumerate() {
+            cum += c;
             if cum as f64 > rank {
-                return Some(i as i32);
+                return Some((self.min_idx + k as i64) as i32);
             }
         }
         Some(self.max_idx as i32)
@@ -207,10 +289,10 @@ impl Store for DenseStore {
             return None;
         }
         let mut cum = 0u64;
-        for i in (self.min_idx..=self.max_idx).rev() {
-            cum += self.counts[self.pos(i)];
+        for (k, &c) in self.live().iter().enumerate().rev() {
+            cum += c;
             if cum as f64 > rank {
-                return Some(i as i32);
+                return Some((self.min_idx + k as i64) as i32);
             }
         }
         Some(self.min_idx as i32)
@@ -220,19 +302,16 @@ impl Store for DenseStore {
         if other.total == 0 {
             return;
         }
-        // Make room for other's full window once, then add elementwise.
-        if !self.in_range(other.min_idx) {
-            self.grow(other.min_idx);
+        // Make room for other's full window with at most one reallocation
+        // (growing to each end separately used to copy the array twice),
+        // then add the two windows as plain slices — vectorizable.
+        if !self.in_range(other.min_idx) || !self.in_range(other.max_idx) {
+            self.grow_range(other.min_idx, other.max_idx);
         }
-        if !self.in_range(other.max_idx) {
-            self.grow(other.max_idx);
-        }
-        for i in other.min_idx..=other.max_idx {
-            let c = other.counts[other.pos(i)];
-            if c > 0 {
-                let pos = self.pos(i);
-                self.counts[pos] += c;
-            }
+        let dst = self.pos(other.min_idx);
+        let len = (other.max_idx - other.min_idx + 1) as usize;
+        for (d, s) in self.counts[dst..dst + len].iter_mut().zip(other.live()) {
+            *d += s;
         }
         if self.total == 0 {
             self.min_idx = other.min_idx;
@@ -307,7 +386,11 @@ mod tests {
         let bytes = s.memory_bytes();
         s.clear();
         assert!(s.is_empty());
-        assert_eq!(s.memory_bytes(), bytes, "clear should retain the allocation");
+        assert_eq!(
+            s.memory_bytes(),
+            bytes,
+            "clear should retain the allocation"
+        );
         // Store must be reusable after clear.
         s.add(5);
         assert_eq!(s.bins_ascending(), vec![(5, 1)]);
@@ -353,6 +436,11 @@ mod tests {
         fn prop_merge_equals_union(a in proptest::collection::vec(-3000i32..3000, 0..100),
                                    b in proptest::collection::vec(-3000i32..3000, 0..100)) {
             storetests::run_merge_equivalence(DenseStore::new, &a, &b);
+        }
+
+        #[test]
+        fn prop_bulk_matches_scalar(stream in proptest::collection::vec(-3000i32..3000, 0..200)) {
+            storetests::run_bulk_equivalence(DenseStore::new, &stream);
         }
     }
 }

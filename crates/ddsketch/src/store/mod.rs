@@ -39,6 +39,29 @@ pub trait Store: Clone + std::fmt::Debug {
         self.add_n(index, 1);
     }
 
+    /// Add one occurrence of every bucket index in `indices`.
+    ///
+    /// The effect on the stored bins is identical — bucket for bucket —
+    /// to calling [`Store::add`] on each element in order; implementations
+    /// override this to amortize growth and collapse work over the whole
+    /// batch (the backbone of the sketch's `add_slice` fast path).
+    fn add_indices(&mut self, indices: &[i32]) {
+        for &index in indices {
+            self.add(index);
+        }
+    }
+
+    /// Add `count` occurrences of `index` for every `(index, count)` pair.
+    ///
+    /// Equivalent to calling [`Store::add_n`] on each pair in order.
+    /// Bulk-capable stores override this to pre-size for the batch's whole
+    /// index span (used by merges and codec loads).
+    fn add_bins(&mut self, bins: &[(i32, u64)]) {
+        for &(index, count) in bins {
+            self.add_n(index, count);
+        }
+    }
+
     /// Remove `count` occurrences of bucket `index`. Returns `false`
     /// (leaving the store unchanged) if the bucket holds fewer than `count`.
     fn remove_n(&mut self, index: i32, count: u64) -> bool;
@@ -177,7 +200,10 @@ pub(crate) mod storetests {
         assert_eq!(s.total_count(), 3);
         assert!(!s.remove_n(3, 10), "removing more than present must fail");
         assert_eq!(s.total_count(), 3, "failed removal must not mutate");
-        assert!(!s.remove_n(99, 1), "removing from an absent bucket must fail");
+        assert!(
+            !s.remove_n(99, 1),
+            "removing from an absent bucket must fail"
+        );
         assert!(s.remove_n(3, 3));
         assert!(s.is_empty());
 
@@ -211,6 +237,58 @@ pub(crate) mod storetests {
         let mut s = fresh();
         s.add(0);
         assert!(s.memory_bytes() >= std::mem::size_of::<S>());
+    }
+
+    /// Bulk insertion must equal scalar insertion, bucket-for-bucket —
+    /// including in collapsing regimes, where both paths must agree on the
+    /// folded layout and the `has_collapsed` flag.
+    pub(crate) fn run_bulk_equivalence<S: Store>(mut fresh: impl FnMut() -> S, stream: &[i32]) {
+        for split in [0, stream.len() / 3, stream.len()] {
+            let (warm, batch) = stream.split_at(split);
+            let mut scalar = fresh();
+            let mut bulk = fresh();
+            for &i in warm {
+                scalar.add(i);
+                bulk.add(i);
+            }
+            for &i in batch {
+                scalar.add(i);
+            }
+            bulk.add_indices(batch);
+            assert_eq!(
+                bulk.bins_ascending(),
+                scalar.bins_ascending(),
+                "add_indices diverged from scalar adds (warm prefix {split})"
+            );
+            assert_eq!(bulk.total_count(), scalar.total_count());
+            assert_eq!(bulk.min_index(), scalar.min_index());
+            assert_eq!(bulk.max_index(), scalar.max_index());
+            assert_eq!(bulk.has_collapsed(), scalar.has_collapsed());
+
+            // add_bins over the run-length encoding of the batch must also
+            // agree (insertion order of distinct bins may differ from the
+            // stream, which collapse semantics must tolerate).
+            let mut rle = fresh();
+            for &i in warm {
+                rle.add(i);
+            }
+            let mut sorted = batch.to_vec();
+            sorted.sort_unstable();
+            let mut bins: Vec<(i32, u64)> = Vec::new();
+            for &i in &sorted {
+                match bins.last_mut() {
+                    Some((idx, c)) if *idx == i => *c += 1,
+                    _ => bins.push((i, 1)),
+                }
+            }
+            rle.add_bins(&bins);
+            assert_eq!(
+                rle.bins_ascending(),
+                scalar.bins_ascending(),
+                "add_bins diverged from scalar adds (warm prefix {split})"
+            );
+            assert_eq!(rle.total_count(), scalar.total_count());
+        }
     }
 
     /// Merging must equal inserting the union, bucket-for-bucket.

@@ -35,6 +35,27 @@ impl Store for SparseStore {
         self.total += count;
     }
 
+    fn add_indices(&mut self, indices: &[i32]) {
+        if indices.is_empty() {
+            return;
+        }
+        // Sort a scratch copy and run-length-merge it so each distinct
+        // index costs one B-tree descent instead of one per occurrence —
+        // batches are typically heavy with duplicates (values that map to
+        // the same bucket).
+        let mut sorted = indices.to_vec();
+        sorted.sort_unstable();
+        let mut run_start = 0;
+        for k in 1..=sorted.len() {
+            if k == sorted.len() || sorted[k] != sorted[run_start] {
+                let run = (k - run_start) as u64;
+                *self.bins.entry(sorted[run_start]).or_insert(0) += run;
+                run_start = k;
+            }
+        }
+        self.total += indices.len() as u64;
+    }
+
     fn remove_n(&mut self, index: i32, count: u64) -> bool {
         if count == 0 {
             return true;
@@ -165,6 +186,21 @@ impl Store for CollapsingSparseStore {
         self.collapse_if_needed();
     }
 
+    fn add_indices(&mut self, indices: &[i32]) {
+        // Insert the whole batch, then collapse once. Algorithm 3's fold
+        // ("merge the two lowest non-empty buckets") always ends in the
+        // same state for a given multiset — everything at or below the
+        // (m-th from the top) distinct index folds into that bucket — so
+        // collapsing per batch instead of per value is bit-identical.
+        self.inner.add_indices(indices);
+        self.collapse_if_needed();
+    }
+
+    fn add_bins(&mut self, bins: &[(i32, u64)]) {
+        self.inner.add_bins(bins);
+        self.collapse_if_needed();
+    }
+
     fn remove_n(&mut self, index: i32, count: u64) -> bool {
         self.inner.remove_n(index, count)
     }
@@ -219,8 +255,7 @@ impl Store for CollapsingSparseStore {
     }
 
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() - std::mem::size_of::<SparseStore>()
-            + self.inner.memory_bytes()
+        std::mem::size_of::<Self>() - std::mem::size_of::<SparseStore>() + self.inner.memory_bytes()
     }
 }
 
@@ -334,6 +369,13 @@ mod tests {
             }
             prop_assert!(s.num_bins() <= cap);
             prop_assert_eq!(s.total_count(), expected);
+        }
+
+        #[test]
+        fn prop_bulk_matches_scalar(stream in proptest::collection::vec(-800i32..800, 0..200),
+                                    cap in 1usize..32) {
+            storetests::run_bulk_equivalence(SparseStore::new, &stream);
+            storetests::run_bulk_equivalence(|| CollapsingSparseStore::new(cap), &stream);
         }
 
         #[test]

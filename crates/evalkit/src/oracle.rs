@@ -115,7 +115,7 @@ mod tests {
         // Estimate 2.0 covers ranks 2..=4; any target inside is exact.
         assert_eq!(o.rank_error(0.5, 2.0), 0.0); // target 3
         assert_eq!(o.rank_error(0.25, 2.0), 0.0); // target 2
-        // Estimate 3.0 has rank 5; target for q=0 is 1 → error 4/5.
+                                                  // Estimate 3.0 has rank 5; target for q=0 is 1 → error 4/5.
         assert!((o.rank_error(0.0, 3.0) - 0.8).abs() < 1e-12);
     }
 

@@ -83,16 +83,25 @@ mod tests {
         });
         // Not a strict guarantee under scheduling noise, but with 5 reps
         // the minimum should be no larger than ~10× a fresh single run.
-        assert!(best <= single * 10.0 + 1e6, "best {best} vs single {single}");
+        assert!(
+            best <= single * 10.0 + 1e6,
+            "best {best} vs single {single}"
+        );
         assert!(acc > 0);
     }
 
     #[test]
     fn throughput_math() {
-        let t = Throughput { items: 1000, total_ns: 2_000_000.0 };
+        let t = Throughput {
+            items: 1000,
+            total_ns: 2_000_000.0,
+        };
         assert_eq!(t.ns_per_item(), 2000.0);
         assert_eq!(t.items_per_sec(), 500_000.0);
-        let zero = Throughput { items: 0, total_ns: 100.0 };
+        let zero = Throughput {
+            items: 0,
+            total_ns: 100.0,
+        };
         assert_eq!(zero.ns_per_item(), 0.0);
     }
 

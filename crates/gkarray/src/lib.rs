@@ -182,7 +182,11 @@ impl GKArray {
             // First tuple whose maximal rank overshoots rank + spread: the
             // previous tuple is guaranteed within the spread of the target.
             if (g_sum + e.delta) as f64 > rank + spread {
-                return if i == 0 { self.min } else { self.entries[i - 1].v };
+                return if i == 0 {
+                    self.min
+                } else {
+                    self.entries[i - 1].v
+                };
             }
         }
         self.max
@@ -247,8 +251,7 @@ impl MergeableSketch for GKArray {
         let mut other = other.clone();
         other.flush();
 
-        let mut merged: Vec<Entry> =
-            Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut merged: Vec<Entry> = Vec::with_capacity(self.entries.len() + other.entries.len());
         let mut a = self.entries.iter().copied().peekable();
         let mut b = other.entries.iter().copied().peekable();
         while let (Some(&ea), Some(&eb)) = (a.peek(), b.peek()) {
@@ -304,7 +307,10 @@ mod tests {
             let ok = (hi - target).abs() <= spread
                 || (lo - target).abs() <= spread
                 || (lo <= target && target <= hi);
-            assert!(ok, "q={q}: est {est} rank [{lo}, {hi}] target {target} spread {spread}");
+            assert!(
+                ok,
+                "q={q}: est {est} rank [{lo}, {hi}] target {target} spread {spread}"
+            );
         }
     }
 
@@ -392,7 +398,11 @@ mod tests {
             s.add(rng.random::<f64>()).unwrap();
         }
         s.flush();
-        assert!(s.num_entries() < 4000, "summary too large: {} entries", s.num_entries());
+        assert!(
+            s.num_entries() < 4000,
+            "summary too large: {} entries",
+            s.num_entries()
+        );
     }
 
     #[test]
@@ -467,7 +477,10 @@ mod tests {
         small.flush();
         large.flush();
         let ratio = large.memory_bytes() as f64 / small.memory_bytes() as f64;
-        assert!(ratio < 5.0, "10× data should not cost 10× memory (ratio {ratio})");
+        assert!(
+            ratio < 5.0,
+            "10× data should not cost 10× memory (ratio {ratio})"
+        );
     }
 
     #[test]

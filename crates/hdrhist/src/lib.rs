@@ -418,7 +418,10 @@ mod tests {
         assert_eq!(a.total_count(), u.total_count());
         assert_eq!(a.counts, u.counts, "merge must be slot-exact");
         for q in [0.1, 0.5, 0.99] {
-            assert_eq!(a.value_at_quantile(q).unwrap(), u.value_at_quantile(q).unwrap());
+            assert_eq!(
+                a.value_at_quantile(q).unwrap(),
+                u.value_at_quantile(q).unwrap()
+            );
         }
     }
 

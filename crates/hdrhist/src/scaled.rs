@@ -68,7 +68,8 @@ impl QuantileSketch for ScaledHdr {
         if !value.is_finite() || value < 0.0 {
             return Err(SketchError::UnsupportedValue(value));
         }
-        self.inner.record_n((value * self.scale).round() as u64, count)
+        self.inner
+            .record_n((value * self.scale).round() as u64, count)
     }
 
     fn quantile(&self, q: f64) -> Result<f64, SketchError> {

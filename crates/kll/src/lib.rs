@@ -58,7 +58,9 @@ impl KllSketch {
     /// compaction coin flips.
     pub fn with_seed(k: usize, seed: u64) -> Result<Self, SketchError> {
         if k < 8 {
-            return Err(SketchError::InvalidConfig(format!("k must be >= 8, got {k}")));
+            return Err(SketchError::InvalidConfig(format!(
+                "k must be >= 8, got {k}"
+            )));
         }
         Ok(Self {
             k,
@@ -109,8 +111,7 @@ impl KllSketch {
                 items.sort_by(f64::total_cmp);
                 let offset = usize::from(self.rng.random::<bool>());
                 // Keep every other item at double weight on the next level.
-                let promoted: Vec<f64> =
-                    items.iter().skip(offset).step_by(2).copied().collect();
+                let promoted: Vec<f64> = items.iter().skip(offset).step_by(2).copied().collect();
                 self.compactors[level + 1].extend(promoted);
                 // Compacting may overflow the next level; the loop
                 // continues upward and re-checks.
@@ -213,7 +214,9 @@ impl MemoryFootprint for KllSketch {
             + self
                 .compactors
                 .iter()
-                .map(|c| c.capacity() * std::mem::size_of::<f64>() + std::mem::size_of::<Vec<f64>>())
+                .map(|c| {
+                    c.capacity() * std::mem::size_of::<f64>() + std::mem::size_of::<Vec<f64>>()
+                })
                 .sum::<usize>()
     }
 }

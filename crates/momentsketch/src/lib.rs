@@ -112,7 +112,11 @@ impl MomentSketch {
         if self.count() == 0 {
             return Err(SketchError::Empty);
         }
-        Ok(solver::solve_max_entropy(&self.power_sums, self.t_min, self.t_max))
+        Ok(solver::solve_max_entropy(
+            &self.power_sums,
+            self.t_min,
+            self.t_max,
+        ))
     }
 
     /// Whether the most recent solve over the current state converges.
@@ -181,7 +185,11 @@ impl QuantileSketch for MomentSketch {
         }
         // Solve once, invert many times.
         let degenerate = self.t_min == self.t_max;
-        let solved = if degenerate { None } else { Some(self.solve()?) };
+        let solved = if degenerate {
+            None
+        } else {
+            Some(self.solve()?)
+        };
         Ok(qs
             .iter()
             .map(|&q| {
@@ -374,7 +382,10 @@ mod tests {
             s.add(rng.random::<f64>()).unwrap();
         }
         assert_eq!(s.memory_bytes(), before, "Moments sketch is fixed-size");
-        assert!(before < 512, "k=20 sketch should be tiny, got {before} bytes");
+        assert!(
+            before < 512,
+            "k=20 sketch should be tiny, got {before} bytes"
+        );
     }
 
     #[test]

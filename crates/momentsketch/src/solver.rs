@@ -207,7 +207,12 @@ pub fn solve_max_entropy(power_sums: &[f64], a: f64, b: f64) -> SolvedDensity {
         let cdf: Vec<f64> = (0..GRID_SIZE)
             .map(|i| i as f64 / (GRID_SIZE - 1) as f64)
             .collect();
-        SolvedDensity { a, b, cdf, converged }
+        SolvedDensity {
+            a,
+            b,
+            cdf,
+            converged,
+        }
     };
 
     if b <= a || !a.is_finite() || !b.is_finite() {
@@ -236,7 +241,13 @@ pub fn solve_max_entropy(power_sums: &[f64], a: f64, b: f64) -> SolvedDensity {
     }
     // Trapezoid weights over [-1, 1].
     let h = 2.0 / (GRID_SIZE - 1) as f64;
-    let weight = |i: usize| if i == 0 || i == GRID_SIZE - 1 { 0.5 * h } else { h };
+    let weight = |i: usize| {
+        if i == 0 || i == GRID_SIZE - 1 {
+            0.5 * h
+        } else {
+            h
+        }
+    };
 
     let mut lambda = vec![0.0f64; k];
     // Start at the uniform density normalized to mass 1: exp(λ0) · 2 = 1.
@@ -311,7 +322,11 @@ pub fn solve_max_entropy(power_sums: &[f64], a: f64, b: f64) -> SolvedDensity {
             match cholesky(&reg, k) {
                 Some(l) => break Some(l),
                 None => {
-                    ridge = if ridge == 0.0 { 1e-12 * trace.max(1.0) } else { ridge * 100.0 };
+                    ridge = if ridge == 0.0 {
+                        1e-12 * trace.max(1.0)
+                    } else {
+                        ridge * 100.0
+                    };
                     if ridge > trace.max(1.0) {
                         break None;
                     }
@@ -364,7 +379,12 @@ pub fn solve_max_entropy(power_sums: &[f64], a: f64, b: f64) -> SolvedDensity {
     for c in cdf.iter_mut() {
         *c /= acc;
     }
-    SolvedDensity { a, b, cdf, converged }
+    SolvedDensity {
+        a,
+        b,
+        cdf,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -428,7 +448,9 @@ mod tests {
         let mut values = Vec::with_capacity(20_000);
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..20_000 {
@@ -437,7 +459,9 @@ mod tests {
         }
         let (lo, hi) = values
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
         let sums = power_sums_of(&values, 12);
         let solved = solve_max_entropy(&sums, lo, hi);
         assert!(solved.converged());
@@ -475,7 +499,11 @@ mod tests {
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=100 {
             let v = solved.quantile(i as f64 / 100.0);
-            assert!(v >= prev, "CDF inversion not monotone at q={}", i as f64 / 100.0);
+            assert!(
+                v >= prev,
+                "CDF inversion not monotone at q={}",
+                i as f64 / 100.0
+            );
             prev = v;
         }
     }

@@ -30,7 +30,10 @@ impl ConcurrentSketch {
         let shards = (0..shards)
             .map(|_| presets::logarithmic_collapsing(alpha, max_bins).map(Mutex::new))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { shards, next: AtomicUsize::new(0) })
+        Ok(Self {
+            shards,
+            next: AtomicUsize::new(0),
+        })
     }
 
     /// Number of shards.
@@ -49,6 +52,24 @@ impl ConcurrentSketch {
     pub fn add(&self, value: f64) -> Result<(), SketchError> {
         let hint = self.next.fetch_add(1, Ordering::Relaxed);
         self.add_hinted(hint, value)
+    }
+
+    /// Bulk-insert a batch into one shard: a single lock acquisition and a
+    /// single batched sketch ingestion for the whole slice — the fast path
+    /// for writers that buffer locally and flush periodically.
+    ///
+    /// All-or-nothing like [`ddsketch::DDSketch::add_slice`]: an
+    /// unsupported value fails the whole batch without ingesting anything.
+    pub fn add_slice_hinted(&self, hint: usize, values: &[f64]) -> Result<(), SketchError> {
+        self.shards[hint % self.shards.len()]
+            .lock()
+            .add_slice(values)
+    }
+
+    /// Bulk-insert a batch using a round-robin shard.
+    pub fn add_slice(&self, values: &[f64]) -> Result<(), SketchError> {
+        let hint = self.next.fetch_add(1, Ordering::Relaxed);
+        self.add_slice_hinted(hint, values)
     }
 
     /// Total count across shards.
@@ -98,7 +119,11 @@ mod tests {
         assert_eq!(cs.count(), plain.count());
         let snap = cs.snapshot().unwrap();
         for q in [0.01, 0.5, 0.99] {
-            assert_eq!(snap.quantile(q).unwrap(), plain.quantile(q).unwrap(), "q = {q}");
+            assert_eq!(
+                snap.quantile(q).unwrap(),
+                plain.quantile(q).unwrap(),
+                "q = {q}"
+            );
         }
     }
 
@@ -126,13 +151,46 @@ mod tests {
         let mut plain = presets::logarithmic_collapsing(0.01, 2048).unwrap();
         for t in 0..threads {
             for i in 0..per_thread {
-                plain.add(1.0 + f64::from(t * per_thread + i) * 1e-3).unwrap();
+                plain
+                    .add(1.0 + f64::from(t * per_thread + i) * 1e-3)
+                    .unwrap();
             }
         }
         let snap = cs.snapshot().unwrap();
         assert_eq!(snap.count(), plain.count());
         for q in [0.0, 0.25, 0.5, 0.9, 0.999, 1.0] {
-            assert_eq!(snap.quantile(q).unwrap(), plain.quantile(q).unwrap(), "q = {q}");
+            assert_eq!(
+                snap.quantile(q).unwrap(),
+                plain.quantile(q).unwrap(),
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_inserts_match_scalar_inserts() {
+        let scalar = ConcurrentSketch::new(0.01, 2048, 4).unwrap();
+        let batched = ConcurrentSketch::new(0.01, 2048, 4).unwrap();
+        let values: Vec<f64> = (1..=40_000).map(|i| 0.5 + f64::from(i) * 1e-3).collect();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let (scalar, batched, values) = (&scalar, &batched, &values);
+                scope.spawn(move || {
+                    let mine: Vec<f64> = values[t * 10_000..(t + 1) * 10_000].to_vec();
+                    for &v in &mine {
+                        scalar.add_hinted(t, v).unwrap();
+                    }
+                    // Shard-local batch buffer, flushed in chunks.
+                    for chunk in mine.chunks(1024) {
+                        batched.add_slice_hinted(t, chunk).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(batched.count(), scalar.count());
+        let (a, b) = (batched.snapshot().unwrap(), scalar.snapshot().unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.999, 1.0] {
+            assert_eq!(a.quantile(q).unwrap(), b.quantile(q).unwrap(), "q = {q}");
         }
     }
 

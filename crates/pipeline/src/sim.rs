@@ -54,7 +54,10 @@ impl Default for SimConfig {
 fn endpoints() -> Vec<(&'static str, Box<dyn Distribution>)> {
     vec![
         // Cheap cached page: tight log-normal around 2 ms.
-        ("web.home", Box::new(LogNormal::with_median(0.002, 0.5)) as Box<dyn Distribution>),
+        (
+            "web.home",
+            Box::new(LogNormal::with_median(0.002, 0.5)) as Box<dyn Distribution>,
+        ),
         // Search: Weibull body, a bit slower.
         ("web.search", Box::new(Weibull::new(0.05, 1.3))),
         // Checkout: heavy-tailed — the paper's motivating skew.
@@ -95,9 +98,14 @@ fn worker_stream(config: &SimConfig, worker: usize) -> Vec<(&'static str, u64, f
     for i in 0..config.requests_per_worker {
         let (name, dist) = &eps[i % eps.len()];
         // Spread requests uniformly over the run.
-        let ts = (i as u64).wrapping_mul(config.duration_secs) / config.requests_per_worker.max(1) as u64;
+        let ts = (i as u64).wrapping_mul(config.duration_secs)
+            / config.requests_per_worker.max(1) as u64;
         let latency = dist.sample(&mut rng).max(1e-6);
-        out.push((*name, ts.min(config.duration_secs.saturating_sub(1)), latency));
+        out.push((
+            *name,
+            ts.min(config.duration_secs.saturating_sub(1)),
+            latency,
+        ));
     }
     out
 }
@@ -124,22 +132,48 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport, SketchError> {
             let tx = tx.clone();
             let config = config.clone();
             scope.spawn(move || {
-                // Local per-(metric, window) sketches.
-                let mut local: std::collections::BTreeMap<(&'static str, u64), BoundedDDSketch> =
+                /// Worker-local flush threshold: large enough to amortize
+                /// the sketch's per-batch bookkeeping, small enough that a
+                /// cell's buffer stays cache-resident.
+                const BATCH: usize = 256;
+
+                // Local per-(metric, window) sketches, each fed through a
+                // small batch buffer so the hot loop is a push and the
+                // sketch ingests via its bulk `add_slice` fast path.
+                struct LocalCell {
+                    sketch: BoundedDDSketch,
+                    buffer: Vec<f64>,
+                }
+                let mut local: std::collections::BTreeMap<(&'static str, u64), LocalCell> =
                     std::collections::BTreeMap::new();
                 for (metric, ts, latency) in worker_stream(&config, worker) {
                     let window = ts - ts % config.window_secs;
-                    let sketch = local.entry((metric, window)).or_insert_with(|| {
-                        presets::logarithmic_collapsing(config.alpha, config.max_bins)
-                            .expect("validated")
+                    let cell = local.entry((metric, window)).or_insert_with(|| LocalCell {
+                        sketch: presets::logarithmic_collapsing(config.alpha, config.max_bins)
+                            .expect("validated"),
+                        buffer: Vec::with_capacity(BATCH),
                     });
-                    sketch.add(latency).expect("finite positive latency");
+                    cell.buffer.push(latency);
+                    if cell.buffer.len() == BATCH {
+                        cell.sketch
+                            .add_slice(&cell.buffer)
+                            .expect("finite positive latency");
+                        cell.buffer.clear();
+                    }
                 }
-                // Ship each window's sketch as an encoded payload.
-                for ((metric, window_start), sketch) in local {
-                    let bytes = sketch.encode();
-                    tx.send(Payload { metric, window_start, bytes })
-                        .expect("aggregator alive");
+                // Flush remainders and ship each window's sketch as an
+                // encoded payload.
+                for ((metric, window_start), mut cell) in local {
+                    cell.sketch
+                        .add_slice(&cell.buffer)
+                        .expect("finite positive latency");
+                    let bytes = cell.sketch.encode();
+                    tx.send(Payload {
+                        metric,
+                        window_start,
+                        bytes,
+                    })
+                    .expect("aggregator alive");
                 }
             });
         }
@@ -156,7 +190,12 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport, SketchError> {
         Ok(())
     })?;
 
-    Ok(SimReport { store, total_requests, payloads, wire_bytes })
+    Ok(SimReport {
+        store,
+        total_requests,
+        payloads,
+        wire_bytes,
+    })
 }
 
 /// Sequential reference: ingest every raw latency directly into one store.
@@ -258,7 +297,10 @@ mod tests {
     fn checkout_endpoint_is_heavy_tailed() {
         // Sanity: the simulated checkout latency (Pareto) should show the
         // paper's Figure 2 pathology — mean well above the median.
-        let config = SimConfig { requests_per_worker: 30_000, ..small_config() };
+        let config = SimConfig {
+            requests_per_worker: 30_000,
+            ..small_config()
+        };
         let report = run_simulation(&config).unwrap();
         let rolled = report.store.rollup(3).unwrap(); // single window
         let p50 = rolled.quantile("web.checkout", 0, 0.5).unwrap();

@@ -36,7 +36,9 @@ impl TimeSeriesStore {
     /// Create a store with the given sketch parameters and window width.
     pub fn new(alpha: f64, max_bins: usize, window_secs: u64) -> Result<Self, SketchError> {
         if window_secs == 0 {
-            return Err(SketchError::InvalidConfig("window_secs must be positive".into()));
+            return Err(SketchError::InvalidConfig(
+                "window_secs must be positive".into(),
+            ));
         }
         // Validate the sketch parameters once up front.
         presets::logarithmic_collapsing(alpha, max_bins)?;
@@ -64,7 +66,10 @@ impl TimeSeriesStore {
     }
 
     fn cell(&mut self, metric: &str, window_start: u64) -> &mut BoundedDDSketch {
-        let key = CellKey { metric: metric.to_string(), window_start };
+        let key = CellKey {
+            metric: metric.to_string(),
+            window_start,
+        };
         let (alpha, bins) = (self.alpha, self.max_bins);
         self.cells.entry(key).or_insert_with(|| {
             presets::logarithmic_collapsing(alpha, bins).expect("validated in constructor")
@@ -75,6 +80,21 @@ impl TimeSeriesStore {
     pub fn record(&mut self, metric: &str, ts_secs: u64, value: f64) -> Result<(), SketchError> {
         let window = self.window_of(ts_secs);
         self.cell(metric, window).add(value)
+    }
+
+    /// Record a batch of observations sharing one timestamp window — one
+    /// cell lookup and one bulk sketch ingestion for the whole slice.
+    ///
+    /// All-or-nothing like [`ddsketch::DDSketch::add_slice`]: if any value
+    /// is unsupported, the cell is left unchanged.
+    pub fn record_slice(
+        &mut self,
+        metric: &str,
+        ts_secs: u64,
+        values: &[f64],
+    ) -> Result<(), SketchError> {
+        let window = self.window_of(ts_secs);
+        self.cell(metric, window).add_slice(values)
     }
 
     /// Absorb a sketch shipped by an agent for `(metric, window_start)` —
@@ -92,7 +112,10 @@ impl TimeSeriesStore {
 
     /// Quantile estimate for one cell, if present and non-empty.
     pub fn quantile(&self, metric: &str, window_start: u64, q: f64) -> Option<f64> {
-        let key = CellKey { metric: metric.to_string(), window_start };
+        let key = CellKey {
+            metric: metric.to_string(),
+            window_start,
+        };
         self.cells.get(&key).and_then(|s| s.quantile(q).ok())
     }
 
@@ -123,7 +146,9 @@ impl TimeSeriesStore {
     /// the same now holds for quantiles).
     pub fn rollup(&self, factor: u64) -> Result<TimeSeriesStore, SketchError> {
         if factor == 0 {
-            return Err(SketchError::InvalidConfig("rollup factor must be positive".into()));
+            return Err(SketchError::InvalidConfig(
+                "rollup factor must be positive".into(),
+            ));
         }
         let mut out = TimeSeriesStore::new(self.alpha, self.max_bins, self.window_secs * factor)?;
         for (key, sketch) in &self.cells {
@@ -169,6 +194,26 @@ mod tests {
         assert_eq!(ts.num_cells(), 3); // windows 0, 10, 20
         assert_eq!(ts.metric_count("api.latency"), 4);
         assert_eq!(ts.quantile_series("api.latency", 0.5).len(), 3);
+    }
+
+    #[test]
+    fn record_slice_matches_record() {
+        let mut scalar = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        let mut batched = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        let values: Vec<f64> = (1..=5000).map(|i| 0.1 + f64::from(i) * 0.01).collect();
+        for &v in &values {
+            scalar.record("m", 17, v).unwrap();
+        }
+        for chunk in values.chunks(512) {
+            batched.record_slice("m", 17, chunk).unwrap();
+        }
+        assert_eq!(batched.metric_count("m"), scalar.metric_count("m"));
+        for q in [0.01, 0.5, 0.99] {
+            assert_eq!(batched.quantile("m", 10, q), scalar.quantile("m", 10, q));
+        }
+        // A bad value fails the batch without touching the cell.
+        assert!(batched.record_slice("m", 17, &[1.0, f64::NAN]).is_err());
+        assert_eq!(batched.metric_count("m"), scalar.metric_count("m"));
     }
 
     #[test]

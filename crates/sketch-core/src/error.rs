@@ -53,12 +53,18 @@ mod tests {
         let e = SketchError::InvalidConfig("alpha must be in (0,1)".into());
         assert!(e.to_string().contains("alpha"));
         assert!(SketchError::Empty.to_string().contains("empty"));
-        assert!(SketchError::UnsupportedValue(f64::NAN).to_string().contains("NaN"));
-        assert!(SketchError::InvalidQuantile(1.5).to_string().contains("1.5"));
+        assert!(SketchError::UnsupportedValue(f64::NAN)
+            .to_string()
+            .contains("NaN"));
+        assert!(SketchError::InvalidQuantile(1.5)
+            .to_string()
+            .contains("1.5"));
         assert!(SketchError::IncompatibleMerge("gamma".into())
             .to_string()
             .contains("gamma"));
-        assert!(SketchError::Decode("truncated".into()).to_string().contains("truncated"));
+        assert!(SketchError::Decode("truncated".into())
+            .to_string()
+            .contains("truncated"));
     }
 
     #[test]

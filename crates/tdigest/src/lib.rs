@@ -132,7 +132,13 @@ impl TDigest {
     fn query_flushed(&self, q: f64) -> f64 {
         debug_assert!(self.buffer.is_empty());
         if self.count == 1 || q <= 0.0 {
-            return if q >= 1.0 { self.max } else if q <= 0.0 { self.min } else { self.sum / self.count as f64 };
+            return if q >= 1.0 {
+                self.max
+            } else if q <= 0.0 {
+                self.min
+            } else {
+                self.sum / self.count as f64
+            };
         }
         if q >= 1.0 {
             return self.max;
@@ -162,7 +168,10 @@ impl QuantileSketch for TDigest {
         if !value.is_finite() {
             return Err(SketchError::UnsupportedValue(value));
         }
-        self.buffer.push(Centroid { mean: value, weight: 1.0 });
+        self.buffer.push(Centroid {
+            mean: value,
+            weight: 1.0,
+        });
         self.count += 1;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
@@ -227,8 +236,7 @@ impl MergeableSketch for TDigest {
 impl MemoryFootprint for TDigest {
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + (self.centroids.capacity() + self.buffer.capacity())
-                * std::mem::size_of::<Centroid>()
+            + (self.centroids.capacity() + self.buffer.capacity()) * std::mem::size_of::<Centroid>()
     }
 }
 
@@ -289,7 +297,11 @@ mod tests {
             let rank = sorted.partition_point(|&x| x <= est) as f64 / n as f64;
             // δ = 200 gives well under 1% rank error mid-range and much
             // better at the tails.
-            let allowed = if !(0.05..=0.95).contains(&q) { 0.003 } else { 0.01 };
+            let allowed = if !(0.05..=0.95).contains(&q) {
+                0.003
+            } else {
+                0.01
+            };
             assert!((rank - q).abs() <= allowed, "q={q}: est rank {rank}");
         }
     }

@@ -3,6 +3,18 @@
 //! aggregator, and the aggregator answers quantile queries over any
 //! endpoint, window, or rollup — exactly as if it had seen every request.
 //!
+//! # Batched ingestion
+//!
+//! The workers inside [`run_simulation`] use the batched fast path: each
+//! per-(endpoint, window) cell buffers latencies and flushes them through
+//! `DDSketch::add_slice`, which indexes the whole batch in one tight loop
+//! and pays store bookkeeping once per flush. Because `add_slice` is
+//! bit-identical to per-value `add`, the distributed-equals-sequential
+//! check at the bottom of this example still holds exactly. The same
+//! pattern is available at every layer: `ConcurrentSketch::add_slice`
+//! (one lock acquisition per batch) and `TimeSeriesStore::record_slice`
+//! (one cell lookup per batch).
+//!
 //! Run with: `cargo run --release --example latency_monitoring`
 
 use pipeline::{run_sequential, run_simulation, SimConfig};

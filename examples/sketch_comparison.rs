@@ -45,7 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut t = Table::new(
         "relative error of quantile estimates (actual value in col 2)",
-        &["q", "actual", "DDSketch", "GKArray", "HDRHistogram", "MomentSketch"],
+        &[
+            "q",
+            "actual",
+            "DDSketch",
+            "GKArray",
+            "HDRHistogram",
+            "MomentSketch",
+        ],
     );
     for q in [0.5, 0.75, 0.9, 0.95, 0.99, 0.999] {
         let rel = |est: f64| format!("{:.2e}", oracle.relative_error(q, est));
@@ -65,8 +72,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     use sketch_core::MemoryFootprint;
     sizes.row(vec!["DDSketch".into(), format!("{:.2}", dd.memory_kb())]);
     sizes.row(vec!["GKArray".into(), format!("{:.2}", gk.memory_kb())]);
-    sizes.row(vec!["HDRHistogram".into(), format!("{:.2}", hdr.memory_kb())]);
-    sizes.row(vec!["MomentSketch".into(), format!("{:.2}", moments.memory_kb())]);
+    sizes.row(vec![
+        "HDRHistogram".into(),
+        format!("{:.2}", hdr.memory_kb()),
+    ]);
+    sizes.row(vec![
+        "MomentSketch".into(),
+        format!("{:.2}", moments.memory_kb()),
+    ]);
     sizes.print();
     Ok(())
 }

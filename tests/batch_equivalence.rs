@@ -1,0 +1,210 @@
+//! Property tests for the batched ingestion fast path (`DDSketch::add_slice`
+//! → `IndexMapping::index_batch` → `Store::add_indices`): for every preset,
+//! ingesting a stream in batches must be **bit-identical** to ingesting it
+//! one value at a time — same bins, `count`, `sum`, `min`, `max` — across
+//! mixed-sign streams, zeros and subnormals, and arbitrary batch splits.
+//! Batches containing unsupported values (NaN, ±∞, out-of-range) must be
+//! rejected without corrupting any sketch state.
+
+use ddsketch::{presets, DDSketch, IndexMapping, QuantileSketch, SketchError, Store};
+use proptest::prelude::*;
+
+/// Assert that ingesting `values` via `add_slice` chunks of `batch` equals
+/// scalar `add`s, field for field.
+fn check_equivalence<M, SP, SN>(
+    mut scalar: DDSketch<M, SP, SN>,
+    mut batched: DDSketch<M, SP, SN>,
+    values: &[f64],
+    batch: usize,
+    label: &str,
+) where
+    M: IndexMapping,
+    SP: Store,
+    SN: Store,
+{
+    for &v in values {
+        scalar.add(v).unwrap();
+    }
+    for chunk in values.chunks(batch.max(1)) {
+        batched.add_slice(chunk).unwrap();
+    }
+    assert_eq!(batched.count(), scalar.count(), "{label}: count");
+    assert_eq!(
+        batched.zero_count(),
+        scalar.zero_count(),
+        "{label}: zero bucket"
+    );
+    assert_eq!(
+        batched.sum().to_bits(),
+        scalar.sum().to_bits(),
+        "{label}: sum must be bit-identical"
+    );
+    assert_eq!(batched.min(), scalar.min(), "{label}: min");
+    assert_eq!(batched.max(), scalar.max(), "{label}: max");
+    assert_eq!(
+        batched.positive_store().bins_ascending(),
+        scalar.positive_store().bins_ascending(),
+        "{label}: positive bins"
+    );
+    assert_eq!(
+        batched.negative_store().bins_ascending(),
+        scalar.negative_store().bins_ascending(),
+        "{label}: negative bins"
+    );
+    assert_eq!(
+        batched.has_collapsed(),
+        scalar.has_collapsed(),
+        "{label}: collapse flag"
+    );
+    if !values.is_empty() {
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                batched.quantile(q).unwrap(),
+                scalar.quantile(q).unwrap(),
+                "{label}: quantile {q}"
+            );
+        }
+    }
+}
+
+/// Run the equivalence check over every preset family.
+fn check_all_presets(values: &[f64], batch: usize) {
+    check_equivalence(
+        presets::unbounded(0.01).unwrap(),
+        presets::unbounded(0.01).unwrap(),
+        values,
+        batch,
+        "unbounded",
+    );
+    // Small bin cap so collapsing engages on wide streams.
+    check_equivalence(
+        presets::logarithmic_collapsing(0.02, 64).unwrap(),
+        presets::logarithmic_collapsing(0.02, 64).unwrap(),
+        values,
+        batch,
+        "logarithmic_collapsing",
+    );
+    check_equivalence(
+        presets::fast(0.02, 64).unwrap(),
+        presets::fast(0.02, 64).unwrap(),
+        values,
+        batch,
+        "fast",
+    );
+    check_equivalence(
+        presets::sparse(0.01).unwrap(),
+        presets::sparse(0.01).unwrap(),
+        values,
+        batch,
+        "sparse",
+    );
+    check_equivalence(
+        presets::paper_exact(0.02, 32).unwrap(),
+        presets::paper_exact(0.02, 32).unwrap(),
+        values,
+        batch,
+        "paper_exact",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_equals_scalar_on_positive_streams(
+        values in proptest::collection::vec(1e-6f64..1e9, 0..400),
+        batch in 1usize..130,
+    ) {
+        check_all_presets(&values, batch);
+    }
+
+    #[test]
+    fn batched_equals_scalar_on_mixed_streams(
+        values in proptest::collection::vec(-1e9f64..1e9, 0..400),
+        batch in 1usize..130,
+    ) {
+        check_all_presets(&values, batch);
+    }
+
+    #[test]
+    fn batched_equals_scalar_on_wide_magnitude_streams(
+        exponents in proptest::collection::vec(-250i32..250, 1..200),
+        batch in 1usize..64,
+    ) {
+        // Exercise the full indexable dynamic range (and heavy collapsing
+        // in the bounded presets).
+        let values: Vec<f64> = exponents
+            .iter()
+            .map(|&e| if e % 3 == 0 { -1.0 } else { 1.0 } * 10f64.powi(e / 2))
+            .collect();
+        check_all_presets(&values, batch);
+    }
+}
+
+#[test]
+fn zeros_and_subnormals_route_to_the_zero_bucket() {
+    let values = [0.0, -0.0, 1e-320, -1e-321, 5.0, -5.0, 4.9e-324];
+    check_all_presets(&values, 3);
+    let mut s = presets::unbounded(0.01).unwrap();
+    s.add_slice(&values).unwrap();
+    assert_eq!(s.zero_count(), 5);
+}
+
+#[test]
+fn unsupported_values_fail_the_batch_atomically() {
+    let baseline = [1.0, 2.5, -3.0, 0.0];
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut s = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+        s.add_slice(&baseline).unwrap();
+        let bins_before = s.positive_store().bins_ascending();
+        let count_before = s.count();
+        let sum_before = s.sum();
+
+        // Bad value in the middle of an otherwise-fine batch.
+        let err = s.add_slice(&[7.0, bad, 9.0]).unwrap_err();
+        assert!(matches!(err, SketchError::UnsupportedValue(_)), "{bad:?}");
+        assert_eq!(s.count(), count_before, "{bad:?}: partial ingestion");
+        assert_eq!(s.sum(), sum_before, "{bad:?}: sum corrupted");
+        assert_eq!(s.positive_store().bins_ascending(), bins_before);
+
+        // The sketch remains fully usable afterwards.
+        s.add_slice(&[7.0, 9.0]).unwrap();
+        assert_eq!(s.count(), count_before + 2);
+    }
+}
+
+#[test]
+fn out_of_range_magnitudes_are_rejected_atomically() {
+    // A tight α leaves the indexable range narrow enough to overflow.
+    let mut s = presets::unbounded(1e-9).unwrap();
+    let too_big = s.mapping().max_indexable_value() * 2.0;
+    for batch in [vec![too_big], vec![1.0, too_big], vec![-too_big, 1.0]] {
+        assert!(s.add_slice(&batch).is_err());
+        assert!(s.is_empty(), "rejected batch must leave the sketch empty");
+    }
+    s.add_slice(&[1.0, 2.0]).unwrap();
+    assert_eq!(s.count(), 2);
+}
+
+#[test]
+fn quantiles_matches_repeated_quantile_for_batched_sketches() {
+    let mut s = presets::fast(0.01, 2048).unwrap();
+    let values: Vec<f64> = (1..=4000)
+        .map(|i| {
+            let v = (i as f64).powf(1.4) * 0.01;
+            if i % 4 == 0 {
+                -v
+            } else {
+                v
+            }
+        })
+        .collect();
+    for chunk in values.chunks(512) {
+        s.add_slice(chunk).unwrap();
+    }
+    let qs = [0.99, 0.0, 0.5, 0.25, 1.0, 0.5, 0.75];
+    let at_once = QuantileSketch::quantiles(&s, &qs).unwrap();
+    for (&q, &got) in qs.iter().zip(&at_once) {
+        assert_eq!(got, s.quantile(q).unwrap(), "q = {q}");
+    }
+}

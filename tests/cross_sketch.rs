@@ -31,7 +31,12 @@ fn ddsketch_alpha_guarantee_on_all_datasets() {
         assert!(!s.has_collapsed(), "{}: 2048 bins must suffice", ds.name());
         for q in QS {
             let rel = oracle.relative_error(q, s.quantile(q).unwrap());
-            assert!(rel <= 0.01 + 1e-9, "{} p{}: rel {rel}", ds.name(), q * 100.0);
+            assert!(
+                rel <= 0.01 + 1e-9,
+                "{} p{}: rel {rel}",
+                ds.name(),
+                q * 100.0
+            );
         }
     }
 }
@@ -47,7 +52,12 @@ fn fast_ddsketch_alpha_guarantee_on_all_datasets() {
         }
         for q in QS {
             let rel = oracle.relative_error(q, s.quantile(q).unwrap());
-            assert!(rel <= 0.01 + 1e-9, "{} p{}: rel {rel}", ds.name(), q * 100.0);
+            assert!(
+                rel <= 0.01 + 1e-9,
+                "{} p{}: rel {rel}",
+                ds.name(),
+                q * 100.0
+            );
         }
     }
 }
@@ -87,7 +97,11 @@ fn hdr_relative_guarantee_where_in_range() {
             }
         }
         // Drops only on pareto's extreme tail, and rarely.
-        assert!(dropped as f64 <= values.len() as f64 * 1e-4, "{}", ds.name());
+        assert!(
+            dropped as f64 <= values.len() as f64 * 1e-4,
+            "{}",
+            ds.name()
+        );
         for q in QS {
             let rel = oracle.relative_error(q, s.quantile(q).unwrap());
             // d = 2 → 1%; allow quantization slack at power's small values.

@@ -97,7 +97,11 @@ fn alternating_extremes_stream() {
                 dropped += 1;
             }
         }
-        assert!(dropped == 0 || s.name() == "HDRHistogram", "{} dropped values", s.name());
+        assert!(
+            dropped == 0 || s.name() == "HDRHistogram",
+            "{} dropped values",
+            s.name()
+        );
         let p50 = s.quantile(0.5).unwrap();
         assert!(p50.is_finite(), "{}", s.name());
         // Monotone quantiles even under churn.

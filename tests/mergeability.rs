@@ -60,7 +60,10 @@ fn merge_tree_shape_does_not_matter() {
             // Bucket-for-bucket identical — the strongest form of full
             // mergeability.
             let (pm, ps) = (merged.to_payload(), single.to_payload());
-            assert_eq!(pm.positive, ps.positive, "parts={parts} balanced={balanced}");
+            assert_eq!(
+                pm.positive, ps.positive,
+                "parts={parts} balanced={balanced}"
+            );
             assert_eq!(pm.zero_count, ps.zero_count);
             assert_eq!(pm.min, ps.min);
             assert_eq!(pm.max, ps.max);

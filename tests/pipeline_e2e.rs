@@ -66,7 +66,8 @@ fn concurrent_sketch_under_contention() {
             let cs = Arc::clone(&cs);
             scope.spawn(move || {
                 for i in 0..5_000u32 {
-                    cs.add_hinted(t as usize, 1.0 + f64::from(i % 1000)).unwrap();
+                    cs.add_hinted(t as usize, 1.0 + f64::from(i % 1000))
+                        .unwrap();
                 }
             });
         }

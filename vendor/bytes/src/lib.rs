@@ -1,0 +1,101 @@
+//! Minimal offline stand-in for the `bytes` crate: the [`Buf`]/[`BufMut`]
+//! methods the wire codec uses, implemented for `&[u8]` and `Vec<u8>`.
+
+/// Sequential reader over a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skip `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        *self = &self[1..];
+        b
+    }
+
+    #[inline]
+    fn get_f64_le(&mut self) -> f64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        f64::from_le_bytes(head.try_into().expect("split_at(8) yields 8 bytes"))
+    }
+}
+
+/// Sequential writer into a growable byte sink.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Append a slice.
+    fn put_slice(&mut self, s: &[u8]);
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+
+    #[inline]
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+
+    #[inline]
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_f64_le(1.5);
+        buf.put_slice(b"ab");
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 11);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_f64_le(), 1.5);
+        r.advance(1);
+        assert_eq!(r.get_u8(), b'b');
+        assert!(!r.has_remaining());
+    }
+}

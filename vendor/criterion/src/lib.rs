@@ -1,0 +1,332 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — groups,
+//! `bench_function`, `Bencher::iter`/`iter_batched`, throughput annotation,
+//! and the `criterion_group!`/`criterion_main!` macros — with a simple but
+//! honest methodology: warm up for `warm_up_time`, size the measurement loop
+//! from the warm-up estimate, then report the mean wall-clock time per
+//! iteration (median of 3 measurement batches) and derived throughput.
+//!
+//! `--test` (what `cargo bench -- --test` passes) runs every benchmark body
+//! exactly once as a smoke test and skips measurement. Any other non-flag
+//! CLI argument is treated as a substring filter on benchmark IDs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box` if they prefer it
+/// over `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation: converts per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost; the stand-in times the routine
+/// alone for every variant, so the distinction is cosmetic.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Few, large inputs.
+    LargeInput,
+    /// Many, small inputs.
+    SmallInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an ID from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Build an ID from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Top-level benchmark driver (config + parsed CLI).
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with('-') => {} // ignore harness flags (--bench, …)
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self {
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes its loops from
+    /// the warm-up estimate instead of a fixed sample count.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().id);
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            test_mode: self.criterion.test_mode,
+            ns_per_iter: None,
+        };
+        f(&mut bencher);
+        report(&full_id, &bencher, self.throughput);
+        self
+    }
+
+    /// End the group (no-op; results are printed eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure; handed to the benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    /// Measured mean, filled by `iter`/`iter_batched`.
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Benchmark `routine` by calling it repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run until the clock expires, counting iterations to
+        // estimate the per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (self.warm_up.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        // Measurement: 3 batches, each sized to a third of measurement_time;
+        // report the median batch to damp scheduler noise.
+        let batch_iters = ((self.measurement.as_nanos() as f64 / 3.0 / est_ns) as u64).max(1);
+        let mut samples = [0.0f64; 3];
+        for sample in &mut samples {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            *sample = start.elapsed().as_nanos() as f64 / batch_iters as f64;
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = Some(samples[1]);
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let deadline = Instant::now() + self.warm_up;
+        let mut est = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            est += start.elapsed();
+            warm_iters += 1;
+        }
+        let est_ns = (est.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let total_iters =
+            ((self.measurement.as_nanos() as f64 / est_ns) as u64).clamp(1, 1_000_000);
+        let mut timed = Duration::ZERO;
+        for _ in 0..total_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+        }
+        self.ns_per_iter = Some(timed.as_nanos() as f64 / total_iters as f64);
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    match bencher.ns_per_iter {
+        None => println!("{id:<50} ok (smoke)"),
+        Some(ns) => {
+            let time = human_time(ns);
+            match throughput {
+                Some(Throughput::Elements(n)) => {
+                    let rate = n as f64 / ns * 1e3; // Melem/s
+                    println!("{id:<50} time: {time:>12}   thrpt: {rate:>10.2} Melem/s");
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let rate = n as f64 / ns * 1e3 / 1024.0; // GiB-ish/s in MB/ms
+                    println!("{id:<50} time: {time:>12}   thrpt: {rate:>10.2} MB/ms");
+                }
+                None => println!("{id:<50} time: {time:>12}"),
+            }
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns/iter")
+    } else if ns < 1e6 {
+        format!("{:.2} µs/iter", ns / 1e3)
+    } else {
+        format!("{:.2} ms/iter", ns / 1e6)
+    }
+}
+
+/// Define a group runner function from a config and target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_plausible() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(30));
+        // Force non-test mode regardless of harness args.
+        c.test_mode = false;
+        let mut group = c.benchmark_group("selftest");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

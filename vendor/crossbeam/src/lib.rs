@@ -1,0 +1,68 @@
+//! Minimal offline stand-in for `crossbeam`: the `channel::unbounded` MPSC
+//! channel the pipeline simulator uses, backed by `std::sync::mpsc`.
+
+pub mod channel {
+    //! Multi-producer single-consumer unbounded channel.
+
+    /// Error returned when every receiver is gone.
+    pub use std::sync::mpsc::SendError;
+
+    /// Sending half; clonable across producer threads.
+    #[derive(Debug)]
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking iterator that ends when all senders are dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+
+        /// Receive one message, blocking.
+        pub fn recv(&self) -> Result<T, std::sync::mpsc::RecvError> {
+            self.0.recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn fan_in_then_drain() {
+            let (tx, rx) = super::unbounded::<u32>();
+            std::thread::scope(|s| {
+                for t in 0..4u32 {
+                    let tx = tx.clone();
+                    s.spawn(move || {
+                        for i in 0..100 {
+                            tx.send(t * 1000 + i).unwrap();
+                        }
+                    });
+                }
+            });
+            drop(tx);
+            assert_eq!(rx.iter().count(), 400);
+        }
+    }
+}
