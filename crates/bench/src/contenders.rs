@@ -2,7 +2,7 @@
 //! the paper's Table 2 parameters.
 
 use datasets::Dataset;
-use ddsketch::{presets, BoundedDDSketch, FastDDSketch};
+use ddsketch::{AnyDDSketch, SketchConfig};
 use gkarray::GKArray;
 use hdrhist::ScaledHdr;
 use momentsketch::MomentSketch;
@@ -67,6 +67,19 @@ impl ContenderKind {
             ContenderKind::Moments => "MomentSketch",
         }
     }
+
+    /// The runtime sketch configuration this kind registers with, for the
+    /// DDSketch-backed contenders (Table 2 parameters); `None` for the
+    /// non-DDSketch baselines.
+    pub fn sketch_config(self) -> Option<SketchConfig> {
+        match self {
+            ContenderKind::DDSketch => {
+                Some(SketchConfig::dense_collapsing(PAPER_ALPHA, PAPER_MAX_BINS))
+            }
+            ContenderKind::DDSketchFast => Some(SketchConfig::fast(PAPER_ALPHA, PAPER_MAX_BINS)),
+            _ => None,
+        }
+    }
 }
 
 /// HDR Histogram needs a bounded integer range per data set; pick scales
@@ -86,10 +99,11 @@ fn hdr_for(dataset: Dataset) -> Result<ScaledHdr, SketchError> {
 /// A uniform wrapper over the four sketches (five including the fast
 /// DDSketch variant).
 pub enum Contender {
-    /// DDSketch (logarithmic mapping, collapsing dense stores).
-    DDSketch(BoundedDDSketch),
-    /// DDSketch (fast) — cubic mapping.
-    DDSketchFast(FastDDSketch),
+    /// DDSketch under any logarithmic-mapping [`SketchConfig`] (the paper
+    /// registration is collapsing dense stores).
+    DDSketch(AnyDDSketch),
+    /// DDSketch (fast) — any cubic-mapping [`SketchConfig`].
+    DDSketchFast(AnyDDSketch),
     /// GKArray.
     GKArray(GKArray),
     /// HDR Histogram behind the f64 scaling adapter.
@@ -103,16 +117,24 @@ impl Contender {
     /// `dataset` (only HDR needs the data set).
     pub fn new(kind: ContenderKind, dataset: Dataset) -> Result<Self, SketchError> {
         Ok(match kind {
-            ContenderKind::DDSketch => Contender::DDSketch(presets::logarithmic_collapsing(
-                PAPER_ALPHA,
-                PAPER_MAX_BINS,
-            )?),
-            ContenderKind::DDSketchFast => {
-                Contender::DDSketchFast(presets::fast(PAPER_ALPHA, PAPER_MAX_BINS)?)
+            ContenderKind::DDSketch | ContenderKind::DDSketchFast => {
+                Self::from_sketch_config(kind.sketch_config().expect("DD kinds carry a config"))?
             }
             ContenderKind::GKArray => Contender::GKArray(GKArray::new(PAPER_EPSILON)?),
             ContenderKind::HdrHistogram => Contender::Hdr(hdr_for(dataset)?),
             ContenderKind::Moments => Contender::Moments(MomentSketch::new(PAPER_K, true)?),
+        })
+    }
+
+    /// Register a DDSketch contender from any runtime [`SketchConfig`] —
+    /// the harness can sweep the whole configuration matrix, not just the
+    /// paper's Table 2 presets. Cubic-mapping configs register as the
+    /// "fast" contender, everything else as plain DDSketch.
+    pub fn from_sketch_config(config: SketchConfig) -> Result<Self, SketchError> {
+        let sketch = config.build()?;
+        Ok(match config.mapping {
+            ddsketch::MappingKind::CubicInterpolated => Contender::DDSketchFast(sketch),
+            _ => Contender::DDSketch(sketch),
         })
     }
 
@@ -127,9 +149,14 @@ impl Contender {
         }
     }
 
-    /// Display name.
+    /// Display name: the sketch configuration's name for the
+    /// DDSketch-backed contenders (so swept configs stay distinguishable),
+    /// the paper legend otherwise.
     pub fn name(&self) -> &'static str {
-        self.kind().name()
+        match self {
+            Contender::DDSketch(s) | Contender::DDSketchFast(s) => s.config().name(),
+            _ => self.kind().name(),
+        }
     }
 
     /// Insert one value. Out-of-range values for the bounded HDR sketch
@@ -145,9 +172,36 @@ impl Contender {
         }
     }
 
+    /// Insert a batch through each sketch's best bulk path
+    /// ([`QuantileSketch::add_slice`]): the DDSketch contenders take their
+    /// fused, **atomic** batch kernel; the baselines take the trait's
+    /// per-value loop fallback, which stops at (and has already ingested
+    /// everything before) the first unsupported value.
+    pub fn add_slice(&mut self, values: &[f64]) -> Result<(), SketchError> {
+        match self {
+            Contender::DDSketch(s) => s.add_slice(values),
+            Contender::DDSketchFast(s) => s.add_slice(values),
+            Contender::GKArray(s) => QuantileSketch::add_slice(s, values),
+            Contender::Hdr(s) => QuantileSketch::add_slice(s, values),
+            Contender::Moments(s) => QuantileSketch::add_slice(s, values),
+        }
+    }
+
     /// Feed a whole slice, returning how many values were dropped
     /// (unsupported by the sketch's range).
+    ///
+    /// Clean batches (the overwhelming case) ride the bulk
+    /// [`Self::add_slice`] fast path. A rejected batch falls back to
+    /// per-value insertion to count the drops — which is only sound for
+    /// the DDSketch contenders because their rejection is atomic, so the
+    /// fallback is restricted to them; the baselines always take the
+    /// per-value path.
     pub fn add_all(&mut self, values: &[f64]) -> u64 {
+        if matches!(self, Contender::DDSketch(_) | Contender::DDSketchFast(_))
+            && self.add_slice(values).is_ok()
+        {
+            return 0;
+        }
         let mut dropped = 0;
         for &v in values {
             if self.add(v).is_err() {
@@ -157,11 +211,15 @@ impl Contender {
         dropped
     }
 
-    /// Prepare for repeated queries (flushes GKArray's buffer; no-op for
-    /// the others).
+    /// Prepare for repeated queries: flushes GKArray's buffer and releases
+    /// the DDSketch contenders' batch-ingestion scratch; no-op otherwise.
     pub fn seal(&mut self) {
-        if let Contender::GKArray(s) = self {
-            s.flush();
+        match self {
+            Contender::GKArray(s) => s.flush(),
+            // Done ingesting: drop the batch-path scratch capacity so
+            // Figure 6's size measurement sees the sketch alone.
+            Contender::DDSketch(s) | Contender::DDSketchFast(s) => s.release_scratch(),
+            _ => {}
         }
     }
 
@@ -258,6 +316,54 @@ mod tests {
                 );
                 let p50 = c.quantile(0.5).unwrap();
                 assert!(p50.is_finite() && p50 > 0.0, "{} p50 {p50}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn contenders_register_from_any_sketch_config() {
+        for config in SketchConfig::all(PAPER_ALPHA, PAPER_MAX_BINS) {
+            let mut c = Contender::from_sketch_config(config).unwrap();
+            assert_eq!(c.name(), config.name());
+            let values = Dataset::Pareto.generate(2000, 7);
+            assert_eq!(c.add_all(&values), 0);
+            assert_eq!(c.count(), 2000);
+            assert!(c.quantile(0.99).unwrap() > 0.0);
+        }
+        // The Table 2 kinds resolve to the same configs they always had.
+        assert_eq!(
+            ContenderKind::DDSketch.sketch_config().unwrap(),
+            SketchConfig::dense_collapsing(PAPER_ALPHA, PAPER_MAX_BINS)
+        );
+        assert_eq!(
+            ContenderKind::DDSketchFast.sketch_config().unwrap(),
+            SketchConfig::fast(PAPER_ALPHA, PAPER_MAX_BINS)
+        );
+        assert_eq!(ContenderKind::GKArray.sketch_config(), None);
+    }
+
+    #[test]
+    fn add_slice_matches_per_value_adds() {
+        let values = Dataset::Pareto.generate(5000, 9);
+        for kind in ContenderKind::all() {
+            let mut bulk = Contender::new(kind, Dataset::Pareto).unwrap();
+            let mut scalar = Contender::new(kind, Dataset::Pareto).unwrap();
+            for chunk in values.chunks(512) {
+                bulk.add_slice(chunk).unwrap();
+            }
+            for &v in &values {
+                scalar.add(v).unwrap();
+            }
+            bulk.seal();
+            scalar.seal();
+            assert_eq!(bulk.count(), scalar.count(), "{}", kind.name());
+            for q in [0.1, 0.5, 0.99] {
+                assert_eq!(
+                    bulk.quantile(q).unwrap(),
+                    scalar.quantile(q).unwrap(),
+                    "{} q={q}",
+                    kind.name()
+                );
             }
         }
     }

@@ -1,0 +1,349 @@
+//! [`AnyDDSketch`]: the type-erased sketch behind [`SketchConfig`].
+//!
+//! The five preset types in [`crate::presets`] are distinct concrete types,
+//! which is perfect for a single process that knows its configuration at
+//! compile time — and useless for an aggregator that must merge whatever
+//! arrives over the wire (paper Figure 1). `AnyDDSketch` closes that gap:
+//! an enum over the five presets with macro-generated match arms (no `dyn`,
+//! no allocation per call) exposing the full sketch surface, plus
+//! [`AnyDDSketch::config`] to recover the runtime configuration and a
+//! self-describing codec ([`AnyDDSketch::decode`] in [`crate::encode`])
+//! that reconstructs the right variant with no caller-side type knowledge.
+//!
+//! Every operation dispatches to the statically-typed preset it wraps, so
+//! an `AnyDDSketch` is bit-identical (bins, count, sum, min, max) to the
+//! matching preset fed the same stream — property-tested in the workspace
+//! integration suite.
+
+use crate::config::SketchConfig;
+use crate::mapping::IndexMapping;
+use crate::presets::{
+    self, BoundedDDSketch, FastDDSketch, PaperExactDDSketch, SparseDDSketch, UnboundedDDSketch,
+};
+use crate::store::Store;
+use sketch_core::{MemoryFootprint, MergeableSketch, QuantileSketch, SketchError};
+
+/// A runtime-configured DDSketch: one of the five preset types behind a
+/// single enum, selected by [`SketchConfig`].
+#[derive(Debug, Clone)]
+pub enum AnyDDSketch {
+    /// [`presets::unbounded`]: exact log mapping, unbounded dense stores.
+    Unbounded(UnboundedDDSketch),
+    /// [`presets::logarithmic_collapsing`]: the paper's Table 2 sketch.
+    Bounded(BoundedDDSketch),
+    /// [`presets::fast`]: cubic mapping, collapsing dense stores.
+    Fast(FastDDSketch),
+    /// [`presets::sparse`]: exact log mapping, B-tree stores.
+    Sparse(SparseDDSketch),
+    /// [`presets::paper_exact`]: Algorithm-3 collapsing sparse stores.
+    PaperExact(PaperExactDDSketch),
+}
+
+/// Dispatch `$body` over whichever preset `$self` wraps, binding it to
+/// `$s`. One macro, five arms, zero virtual calls.
+macro_rules! dispatch {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            AnyDDSketch::Unbounded($s) => $body,
+            AnyDDSketch::Bounded($s) => $body,
+            AnyDDSketch::Fast($s) => $body,
+            AnyDDSketch::Sparse($s) => $body,
+            AnyDDSketch::PaperExact($s) => $body,
+        }
+    };
+}
+pub(crate) use dispatch;
+
+impl AnyDDSketch {
+    /// Build an empty sketch for `config` (validating it first).
+    pub fn new(config: SketchConfig) -> Result<Self, SketchError> {
+        config.validate()?;
+        use crate::mapping::MappingKind;
+        use crate::store::StoreKind;
+        Ok(match (config.mapping, config.store) {
+            (MappingKind::Logarithmic, StoreKind::Unbounded) => {
+                AnyDDSketch::Unbounded(presets::unbounded(config.alpha)?)
+            }
+            (MappingKind::Logarithmic, StoreKind::CollapsingDense) => AnyDDSketch::Bounded(
+                presets::logarithmic_collapsing(config.alpha, config.max_bins)?,
+            ),
+            (MappingKind::CubicInterpolated, StoreKind::CollapsingDense) => {
+                AnyDDSketch::Fast(presets::fast(config.alpha, config.max_bins)?)
+            }
+            (MappingKind::Logarithmic, StoreKind::Sparse) => {
+                AnyDDSketch::Sparse(presets::sparse(config.alpha)?)
+            }
+            (MappingKind::Logarithmic, StoreKind::CollapsingSparse) => {
+                AnyDDSketch::PaperExact(presets::paper_exact(config.alpha, config.max_bins)?)
+            }
+            _ => unreachable!("validate() rejects unsupported combinations"),
+        })
+    }
+
+    /// Recover the runtime configuration this sketch was built with.
+    ///
+    /// Round-trips exactly: `AnyDDSketch::new(c)?.config() == c` for every
+    /// valid `c`.
+    pub fn config(&self) -> SketchConfig {
+        dispatch!(self, s => SketchConfig {
+            alpha: s.relative_accuracy(),
+            mapping: s.mapping().kind(),
+            store: s.positive_store().store_kind(),
+            max_bins: s.positive_store().bin_limit().unwrap_or(0),
+        })
+    }
+
+    /// The relative accuracy `α` guaranteed for non-collapsed buckets.
+    pub fn relative_accuracy(&self) -> f64 {
+        dispatch!(self, s => s.relative_accuracy())
+    }
+
+    /// Insert one occurrence of `value`.
+    pub fn add(&mut self, value: f64) -> Result<(), SketchError> {
+        dispatch!(self, s => s.add(value))
+    }
+
+    /// Insert `count` occurrences of `value` in O(1).
+    pub fn add_n(&mut self, value: f64, count: u64) -> Result<(), SketchError> {
+        dispatch!(self, s => s.add_n(value, count))
+    }
+
+    /// Bulk-insert a batch through the preset's fused fast path. Atomic
+    /// like [`crate::DDSketch::add_slice`]: an unsupported value fails the
+    /// whole batch without ingesting anything.
+    pub fn add_slice(&mut self, values: &[f64]) -> Result<(), SketchError> {
+        dispatch!(self, s => s.add_slice(values))
+    }
+
+    /// Remove one previously-inserted occurrence of `value`; see
+    /// [`crate::DDSketch::delete`].
+    pub fn delete(&mut self, value: f64) -> bool {
+        dispatch!(self, s => s.delete(value))
+    }
+
+    /// Estimate the q-quantile (Algorithm 2).
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        dispatch!(self, s => s.quantile(q))
+    }
+
+    /// Estimate several quantiles in one sorted-rank store walk; see
+    /// [`crate::DDSketch::quantiles`].
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        dispatch!(self, s => s.quantiles(qs))
+    }
+
+    /// Hard bounds on the q-quantile; see
+    /// [`crate::DDSketch::quantile_bounds`].
+    pub fn quantile_bounds(&self, q: f64) -> Result<(f64, f64), SketchError> {
+        dispatch!(self, s => s.quantile_bounds(q))
+    }
+
+    /// Merge another runtime-configured sketch into this one.
+    ///
+    /// Succeeds exactly when both sketches wrap the same variant with
+    /// mergeable mappings (same family, same `α`); the merge is then
+    /// bucket-exact (Algorithm 4). Cross-variant merges fail with
+    /// [`SketchError::IncompatibleMerge`] naming both configurations —
+    /// sketches built from different store families do not share collapse
+    /// semantics, so merging them would silently void Proposition 4.
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        match (self, other) {
+            (AnyDDSketch::Unbounded(a), AnyDDSketch::Unbounded(b)) => a.merge_from(b),
+            (AnyDDSketch::Bounded(a), AnyDDSketch::Bounded(b)) => a.merge_from(b),
+            (AnyDDSketch::Fast(a), AnyDDSketch::Fast(b)) => a.merge_from(b),
+            (AnyDDSketch::Sparse(a), AnyDDSketch::Sparse(b)) => a.merge_from(b),
+            (AnyDDSketch::PaperExact(a), AnyDDSketch::PaperExact(b)) => a.merge_from(b),
+            (a, b) => Err(SketchError::IncompatibleMerge(format!(
+                "store/mapping mismatch: {:?} vs {:?}",
+                a.config(),
+                b.config()
+            ))),
+        }
+    }
+
+    /// Total number of stored occurrences.
+    pub fn count(&self) -> u64 {
+        dispatch!(self, s => s.count())
+    }
+
+    /// Whether the sketch holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Exact sum of inserted values.
+    pub fn sum(&self) -> f64 {
+        dispatch!(self, s => s.sum())
+    }
+
+    /// Exact mean, or `None` if empty.
+    pub fn average(&self) -> Option<f64> {
+        dispatch!(self, s => s.average())
+    }
+
+    /// Exact minimum inserted value.
+    pub fn min(&self) -> Option<f64> {
+        dispatch!(self, s => s.min())
+    }
+
+    /// Exact maximum inserted value.
+    pub fn max(&self) -> Option<f64> {
+        dispatch!(self, s => s.max())
+    }
+
+    /// Count of values in the exact zero bucket.
+    pub fn zero_count(&self) -> u64 {
+        dispatch!(self, s => s.zero_count())
+    }
+
+    /// Number of non-empty buckets plus the zero bucket.
+    pub fn num_bins(&self) -> usize {
+        dispatch!(self, s => s.num_bins())
+    }
+
+    /// Whether any store has collapsed buckets (Proposition 4).
+    pub fn has_collapsed(&self) -> bool {
+        dispatch!(self, s => s.has_collapsed())
+    }
+
+    /// Reset to empty, retaining allocations and configuration.
+    pub fn clear(&mut self) {
+        dispatch!(self, s => s.clear())
+    }
+
+    /// Free the batched-ingestion scratch buffers; see
+    /// [`crate::DDSketch::release_scratch`].
+    pub fn release_scratch(&mut self) {
+        dispatch!(self, s => s.release_scratch())
+    }
+
+    /// Structural memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        dispatch!(self, s => s.memory_bytes())
+    }
+
+    /// Positive-store bins in ascending index order (read-only; used by
+    /// tests asserting bit-identity against the statically-typed presets).
+    pub fn positive_bins(&self) -> Vec<(i32, u64)> {
+        dispatch!(self, s => s.positive_store().bins_ascending())
+    }
+
+    /// Negative-store bins in ascending index order (of `|x|`).
+    pub fn negative_bins(&self) -> Vec<(i32, u64)> {
+        dispatch!(self, s => s.negative_store().bins_ascending())
+    }
+}
+
+impl Extend<f64> for AnyDDSketch {
+    /// Bulk insertion; unsupported values are silently skipped.
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            let _ = self.add(v);
+        }
+    }
+}
+
+impl QuantileSketch for AnyDDSketch {
+    fn add(&mut self, value: f64) -> Result<(), SketchError> {
+        AnyDDSketch::add(self, value)
+    }
+
+    fn add_n(&mut self, value: f64, count: u64) -> Result<(), SketchError> {
+        AnyDDSketch::add_n(self, value, count)
+    }
+
+    fn add_slice(&mut self, values: &[f64]) -> Result<(), SketchError> {
+        AnyDDSketch::add_slice(self, values)
+    }
+
+    fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        AnyDDSketch::quantile(self, q)
+    }
+
+    fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        AnyDDSketch::quantiles(self, qs)
+    }
+
+    fn count(&self) -> u64 {
+        AnyDDSketch::count(self)
+    }
+
+    fn name(&self) -> &'static str {
+        self.config().name()
+    }
+}
+
+impl MergeableSketch for AnyDDSketch {
+    fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        AnyDDSketch::merge_from(self, other)
+    }
+}
+
+impl MemoryFootprint for AnyDDSketch {
+    fn memory_bytes(&self) -> usize {
+        AnyDDSketch::memory_bytes(self)
+    }
+}
+
+macro_rules! impl_from_preset {
+    ($($preset:ty => $variant:ident),* $(,)?) => {
+        $(impl From<$preset> for AnyDDSketch {
+            fn from(sketch: $preset) -> Self {
+                AnyDDSketch::$variant(sketch)
+            }
+        })*
+    };
+}
+
+impl_from_preset!(
+    UnboundedDDSketch => Unbounded,
+    BoundedDDSketch => Bounded,
+    FastDDSketch => Fast,
+    SparseDDSketch => Sparse,
+    PaperExactDDSketch => PaperExact,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DDSketchBuilder;
+
+    // The exhaustive config-matrix properties (bit-identity against every
+    // preset, batched-vs-scalar equivalence, cross-variant merge
+    // rejection, same-config exact merges) live in the workspace
+    // integration suite (`tests/runtime_config.rs`), which is their
+    // single home; this module only smoke-tests the dispatch surface and
+    // conversions.
+
+    #[test]
+    fn full_surface_smoke() {
+        let mut s = DDSketchBuilder::new(0.01)
+            .dense_collapsing(512)
+            .build()
+            .unwrap();
+        s.add_n(2.0, 3).unwrap();
+        s.add_slice(&[1.0, 4.0, -2.0, 0.0]).unwrap();
+        s.extend([8.0, f64::NAN, 16.0]);
+        assert_eq!(s.count(), 9);
+        assert_eq!(s.zero_count(), 1);
+        assert_eq!(s.min(), Some(-2.0));
+        assert_eq!(s.max(), Some(16.0));
+        assert!(s.average().unwrap() > 0.0);
+        assert!(s.num_bins() >= 5);
+        assert!(!s.has_collapsed());
+        assert!(s.memory_bytes() > 0);
+        let (lo, hi) = s.quantile_bounds(0.5).unwrap();
+        assert!(lo <= hi);
+        let qs = s.quantiles(&[0.0, 0.5, 1.0]).unwrap();
+        assert_eq!(qs[0], s.quantile(0.0).unwrap());
+        assert!(s.delete(2.0));
+        assert_eq!(s.count(), 8);
+        assert_eq!(QuantileSketch::name(&s), "DDSketch");
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.config().max_bins, 512);
+        // From<preset> conversions preserve the configuration.
+        let any: AnyDDSketch = presets::sparse(0.03).unwrap().into();
+        assert_eq!(any.config(), SketchConfig::sparse(0.03));
+    }
+}

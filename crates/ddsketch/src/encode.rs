@@ -2,11 +2,14 @@
 //!
 //! DDSketch is designed for agents that ship sketches to a central
 //! monitoring system every few seconds (paper Figure 1), so a compact,
-//! versioned wire format matters. The encoding is:
+//! versioned, **self-describing** wire format matters: the aggregator must
+//! be able to reconstruct whatever configuration an agent runs without
+//! compile-time knowledge. The current encoding (`DDS2`) is:
 //!
 //! ```text
-//! magic   : 4 bytes  "DDS1"
+//! magic   : 4 bytes  "DDS2"
 //! kind    : u8       mapping family (MappingKind)
+//! store   : u8       store family (StoreKind)
 //! alpha   : f64 LE   relative accuracy
 //! limit   : varint   bucket limit (0 = unbounded)
 //! zero    : varint   zero-bucket count
@@ -22,29 +25,49 @@
 //!
 //! Counts and index gaps are LEB128 varints, so a warm sketch with mostly
 //! small dense counts costs ~2 bytes per non-empty bucket.
+//!
+//! ## Legacy `DDS1` payloads
+//!
+//! The v1 format lacked the `store` byte, so the store family must be
+//! **guessed** from the bucket limit: `limit > 0` is read as collapsing
+//! dense stores (the only bounded v1 producers in practice were the
+//! bounded/fast presets) and `limit == 0` as unbounded dense stores. The
+//! guess is documented rather than reliable — v1 payloads from the sparse
+//! preset are literally indistinguishable from unbounded ones (both
+//! encoded `limit == 0`), and bounded v1 payloads from the paper-exact
+//! preset decode as collapsing-dense. `DDS2` exists precisely to close
+//! that ambiguity; decoders accept both, encoders only emit v2.
 
 use bytes::{Buf, BufMut};
 
+use crate::any::AnyDDSketch;
 use crate::mapping::{IndexMapping, MappingKind};
 use crate::presets::{
     BoundedDDSketch, FastDDSketch, PaperExactDDSketch, SparseDDSketch, UnboundedDDSketch,
 };
 use crate::sketch::DDSketch;
-use crate::store::Store;
+use crate::store::{Store, StoreKind};
 use sketch_core::SketchError;
 
-const MAGIC: &[u8; 4] = b"DDS1";
+const MAGIC_V1: &[u8; 4] = b"DDS1";
+const MAGIC: &[u8; 4] = b"DDS2";
 
 /// Mapping-agnostic serializable snapshot of a sketch's state.
 ///
 /// Any `DDSketch` converts to a payload with [`DDSketch::to_payload`], and
-/// each preset converts back via its `from_payload` constructor. (The
-/// offline build has no `serde`; the plain-data payload struct is the
-/// integration point where a serde derive would go.)
+/// each preset converts back via its `from_payload` constructor — or, when
+/// the concrete type is only known at runtime, via
+/// [`AnyDDSketch::from_payload`], which dispatches on the mapping and
+/// store discriminants. (The offline build has no `serde`; the plain-data
+/// payload struct is the integration point where a serde derive would go.)
 #[derive(Debug, Clone, PartialEq)]
 pub struct SketchPayload {
     /// Mapping family discriminant ([`MappingKind`] as u8).
     pub kind: u8,
+    /// Store family discriminant ([`StoreKind`] as u8). For payloads read
+    /// from legacy `DDS1` bytes this is a documented guess (see the module
+    /// docs), not ground truth.
+    pub store: u8,
     /// Relative accuracy α.
     pub relative_accuracy: f64,
     /// Bucket limit of the positive store; 0 means unbounded.
@@ -162,11 +185,12 @@ fn get_f64(buf: &mut &[u8]) -> Result<f64, SketchError> {
 }
 
 impl SketchPayload {
-    /// Serialize to the compact binary wire format.
+    /// Serialize to the compact binary wire format (always `DDS2`).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64 + 4 * (self.positive.len() + self.negative.len()));
         buf.put_slice(MAGIC);
         buf.put_u8(self.kind);
+        buf.put_u8(self.store);
         buf.put_f64_le(self.relative_accuracy);
         put_varint(&mut buf, self.bin_limit);
         put_varint(&mut buf, self.zero_count);
@@ -178,20 +202,51 @@ impl SketchPayload {
         buf
     }
 
-    /// Decode from the compact binary wire format.
+    /// Decode from the compact binary wire format, accepting both the
+    /// self-describing `DDS2` layout and legacy `DDS1` bytes (whose store
+    /// family is inferred by the heuristic in the module docs).
     pub fn decode(mut bytes: &[u8]) -> Result<Self, SketchError> {
         let buf = &mut bytes;
-        if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        if buf.remaining() < 4 {
             return Err(SketchError::Decode("bad magic".into()));
         }
+        let v1 = match &buf[..4] {
+            m if m == MAGIC => false,
+            m if m == MAGIC_V1 => true,
+            _ => return Err(SketchError::Decode("bad magic".into())),
+        };
         buf.advance(4);
         if !buf.has_remaining() {
             return Err(SketchError::Decode("truncated header".into()));
         }
         let kind = buf.get_u8();
         MappingKind::from_u8(kind)?;
+        let store = if v1 {
+            // v1 carried no store byte: guess from the bucket limit once
+            // it is known (below). Placeholder here.
+            0
+        } else {
+            if !buf.has_remaining() {
+                return Err(SketchError::Decode("truncated header".into()));
+            }
+            let store = buf.get_u8();
+            StoreKind::from_u8(store)?;
+            store
+        };
         let relative_accuracy = get_f64(buf)?;
         let bin_limit = get_varint(buf)?;
+        let store = if v1 {
+            // The documented v1 heuristic: bounded payloads came from the
+            // collapsing dense presets, unbounded ones from the dense
+            // unbounded preset (sparse payloads are indistinguishable).
+            if bin_limit > 0 {
+                StoreKind::CollapsingDense as u8
+            } else {
+                StoreKind::Unbounded as u8
+            }
+        } else {
+            store
+        };
         let zero_count = get_varint(buf)?;
         let min = get_f64(buf)?;
         let max = get_f64(buf)?;
@@ -203,6 +258,7 @@ impl SketchPayload {
         }
         Ok(Self {
             kind,
+            store,
             relative_accuracy,
             bin_limit,
             zero_count,
@@ -220,6 +276,7 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
     pub fn to_payload(&self) -> SketchPayload {
         SketchPayload {
             kind: self.mapping().kind() as u8,
+            store: self.positive_store().store_kind() as u8,
             relative_accuracy: self.mapping().relative_accuracy(),
             bin_limit: self.positive_store().bin_limit().unwrap_or(0) as u64,
             zero_count: self.zero_count(),
@@ -237,7 +294,72 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
     }
 }
 
+impl AnyDDSketch {
+    /// Snapshot into a serializable payload (dispatching to the wrapped
+    /// preset).
+    pub fn to_payload(&self) -> SketchPayload {
+        crate::any::dispatch!(self, s => s.to_payload())
+    }
+
+    /// Serialize to the self-describing `DDS2` wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_payload().encode()
+    }
+
+    /// Reconstruct the right sketch variant from a payload — the
+    /// self-describing decode path: the payload's mapping and store
+    /// discriminants select the variant, so the caller needs no
+    /// compile-time knowledge of what produced the bytes.
+    pub fn from_payload(payload: &SketchPayload) -> Result<Self, SketchError> {
+        let mapping = MappingKind::from_u8(payload.kind)?;
+        let store = StoreKind::from_u8(payload.store)?;
+        if store.is_bounded() != (payload.bin_limit > 0) {
+            return Err(SketchError::Decode(format!(
+                "{} store with bin_limit {} is inconsistent",
+                store.name(),
+                payload.bin_limit
+            )));
+        }
+        Ok(match (mapping, store) {
+            (MappingKind::Logarithmic, StoreKind::Unbounded) => {
+                AnyDDSketch::Unbounded(UnboundedDDSketch::from_payload(payload)?)
+            }
+            (MappingKind::Logarithmic, StoreKind::CollapsingDense) => {
+                AnyDDSketch::Bounded(BoundedDDSketch::from_payload(payload)?)
+            }
+            (MappingKind::CubicInterpolated, StoreKind::CollapsingDense) => {
+                AnyDDSketch::Fast(FastDDSketch::from_payload(payload)?)
+            }
+            (MappingKind::Logarithmic, StoreKind::Sparse) => {
+                AnyDDSketch::Sparse(SparseDDSketch::from_payload(payload)?)
+            }
+            (MappingKind::Logarithmic, StoreKind::CollapsingSparse) => {
+                AnyDDSketch::PaperExact(PaperExactDDSketch::from_payload(payload)?)
+            }
+            (mapping, store) => {
+                return Err(SketchError::Decode(format!(
+                    "no sketch variant for {mapping:?} mapping with {} store",
+                    store.name()
+                )))
+            }
+        })
+    }
+
+    /// Decode from the compact binary wire format (`DDS2`, with legacy
+    /// `DDS1` fallback), reconstructing whichever variant was encoded.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SketchError> {
+        Self::from_payload(&SketchPayload::decode(bytes)?)
+    }
+}
+
 /// Shared reconstruction logic for `from_payload` implementations.
+///
+/// Validates the mapping discriminant and boundedness but deliberately
+/// **not** the store discriminant: a caller reaching for a concrete preset
+/// type has already decided the store family, and legacy `DDS1` payloads
+/// only carry a guessed one (see the module docs). Runtime store dispatch
+/// belongs to [`AnyDDSketch::from_payload`], where the byte is
+/// authoritative.
 fn rebuild<M: IndexMapping, SP: Store, SN: Store>(
     payload: &SketchPayload,
     mapping: M,
@@ -475,6 +597,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
         buf.push(0); // kind
+        buf.push(0); // store
         buf.extend_from_slice(&0.01f64.to_le_bytes());
         put_varint(&mut buf, 0); // limit
         put_varint(&mut buf, 0); // zero
@@ -483,6 +606,143 @@ mod tests {
         buf.extend_from_slice(&0f64.to_le_bytes());
         put_varint(&mut buf, 1 << 40); // absurd bin count
         assert!(SketchPayload::decode(&buf).is_err());
+    }
+
+    /// Re-encode a payload in the legacy `DDS1` layout (no store byte) so
+    /// the fallback reader can be regression-tested against real v1 bytes.
+    fn encode_v1(payload: &SketchPayload) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V1);
+        buf.put_u8(payload.kind);
+        buf.put_f64_le(payload.relative_accuracy);
+        put_varint(&mut buf, payload.bin_limit);
+        put_varint(&mut buf, payload.zero_count);
+        buf.put_f64_le(payload.min);
+        buf.put_f64_le(payload.max);
+        buf.put_f64_le(payload.sum);
+        put_bins(&mut buf, &payload.positive);
+        put_bins(&mut buf, &payload.negative);
+        buf
+    }
+
+    /// The DDS2 store byte closes the v1 ambiguity: sparse, unbounded and
+    /// paper-exact payloads — indistinguishable or conflated under v1 —
+    /// each decode back to their own variant with no caller-side type
+    /// knowledge.
+    #[test]
+    fn any_decode_distinguishes_every_variant() {
+        for config in crate::SketchConfig::all(0.01, 512) {
+            let mut s = config.build().unwrap();
+            for i in 1..200 {
+                s.add(i as f64 * 1.7).unwrap();
+            }
+            let decoded = AnyDDSketch::decode(&s.encode()).unwrap();
+            assert_eq!(decoded.config(), config, "store byte must disambiguate");
+            assert_eq!(decoded.to_payload(), s.to_payload());
+        }
+        // The pair that was literally indistinguishable under DDS1
+        // (both encoded bin_limit = 0):
+        let sparse = crate::SketchConfig::sparse(0.01).build().unwrap();
+        let unbounded = crate::SketchConfig::unbounded(0.01).build().unwrap();
+        assert!(matches!(
+            AnyDDSketch::decode(&sparse.encode()).unwrap(),
+            AnyDDSketch::Sparse(_)
+        ));
+        assert!(matches!(
+            AnyDDSketch::decode(&unbounded.encode()).unwrap(),
+            AnyDDSketch::Unbounded(_)
+        ));
+        // And the bounded pair DDS1 conflated with collapsing-dense:
+        let paper = crate::SketchConfig::paper_exact(0.01, 512).build().unwrap();
+        assert!(matches!(
+            AnyDDSketch::decode(&paper.encode()).unwrap(),
+            AnyDDSketch::PaperExact(_)
+        ));
+    }
+
+    /// Legacy `DDS1` bytes still decode, via the documented heuristic:
+    /// `bin_limit > 0` reads as collapsing dense stores, `bin_limit == 0`
+    /// as unbounded dense stores. The heuristic is *wrong* for v1 sparse
+    /// and paper-exact producers — that loss is inherent to v1 and the
+    /// reason DDS2 exists; this test pins down exactly what a v1 payload
+    /// turns into.
+    #[test]
+    fn legacy_v1_fallback_applies_documented_heuristic() {
+        let mut values = Vec::new();
+        for i in 1..300 {
+            values.push((i * i) as f64 * 0.01);
+        }
+
+        // Faithful cases: v1 bytes from the presets the heuristic targets.
+        let mut bounded = presets::logarithmic_collapsing(0.01, 512).unwrap();
+        let mut fast = presets::fast(0.01, 512).unwrap();
+        let mut unbounded = presets::unbounded(0.01).unwrap();
+        for &v in &values {
+            bounded.add(v).unwrap();
+            fast.add(v).unwrap();
+            unbounded.add(v).unwrap();
+        }
+        let decoded = AnyDDSketch::decode(&encode_v1(&bounded.to_payload())).unwrap();
+        assert!(matches!(decoded, AnyDDSketch::Bounded(_)));
+        assert_eq!(decoded.count(), bounded.count());
+        let decoded = AnyDDSketch::decode(&encode_v1(&fast.to_payload())).unwrap();
+        assert!(matches!(decoded, AnyDDSketch::Fast(_)));
+        let decoded = AnyDDSketch::decode(&encode_v1(&unbounded.to_payload())).unwrap();
+        assert!(matches!(decoded, AnyDDSketch::Unbounded(_)));
+
+        // Lossy cases: the heuristic's documented misreadings.
+        let mut sparse = presets::sparse(0.01).unwrap();
+        let mut paper = presets::paper_exact(0.01, 512).unwrap();
+        for &v in &values {
+            sparse.add(v).unwrap();
+            paper.add(v).unwrap();
+        }
+        let decoded = AnyDDSketch::decode(&encode_v1(&sparse.to_payload())).unwrap();
+        assert!(
+            matches!(decoded, AnyDDSketch::Unbounded(_)),
+            "v1 sparse payloads are indistinguishable from unbounded ones"
+        );
+        // The bins themselves survive the store-family misreading intact.
+        assert_eq!(
+            decoded.positive_bins(),
+            sparse.positive_store().bins_ascending()
+        );
+        let decoded = AnyDDSketch::decode(&encode_v1(&paper.to_payload())).unwrap();
+        assert!(
+            matches!(decoded, AnyDDSketch::Bounded(_)),
+            "v1 bounded payloads all read as collapsing-dense"
+        );
+
+        // Statically-typed decoding of v1 bytes keeps working: the preset
+        // constructors ignore the (guessed) store byte entirely.
+        let restored = BoundedDDSketch::decode(&encode_v1(&bounded.to_payload())).unwrap();
+        assert_eq!(restored.to_payload(), bounded.to_payload());
+        let restored = SparseDDSketch::decode(&encode_v1(&sparse.to_payload())).unwrap();
+        assert_eq!(restored.count(), sparse.count());
+    }
+
+    #[test]
+    fn any_from_payload_rejects_inconsistent_store_and_limit() {
+        let mut s = presets::sparse(0.01).unwrap();
+        s.add(1.0).unwrap();
+        let mut payload = s.to_payload();
+        payload.bin_limit = 64; // unbounded store with a bound
+        assert!(matches!(
+            AnyDDSketch::from_payload(&payload),
+            Err(SketchError::Decode(_))
+        ));
+        let mut b = presets::logarithmic_collapsing(0.01, 64).unwrap();
+        b.add(1.0).unwrap();
+        let mut payload = b.to_payload();
+        payload.bin_limit = 0; // bounded store without a bound
+        assert!(matches!(
+            AnyDDSketch::from_payload(&payload),
+            Err(SketchError::Decode(_))
+        ));
+        // Unknown store discriminant is rejected outright.
+        let mut payload = b.to_payload();
+        payload.store = 200;
+        assert!(AnyDDSketch::from_payload(&payload).is_err());
     }
 
     #[test]

@@ -17,11 +17,16 @@
 //!
 //! ## Quick start
 //!
+//! Configuration is runtime data: [`DDSketchBuilder`] resolves to a
+//! [`SketchConfig`] and builds an [`AnyDDSketch`], the type-erased sketch
+//! every layer of the workspace (pipeline, benchmarks, wire format)
+//! operates on.
+//!
 //! ```
-//! use ddsketch::presets;
+//! use ddsketch::DDSketchBuilder;
 //!
 //! // α = 1% relative error, at most 2048 buckets (the paper's config).
-//! let mut sketch = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+//! let mut sketch = DDSketchBuilder::new(0.01).dense_collapsing(2048).build().unwrap();
 //! for i in 1..=10_000u32 {
 //!     sketch.add(f64::from(i)).unwrap();
 //! }
@@ -29,22 +34,63 @@
 //! let p99 = sketch.quantile(0.99).unwrap();
 //! assert!((p99 - 9900.0).abs() <= 0.01 * 9900.0);
 //!
-//! // Sketches merge exactly.
-//! let mut other = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+//! // Same-config sketches merge exactly.
+//! let mut other = DDSketchBuilder::new(0.01).dense_collapsing(2048).build().unwrap();
 //! other.add(1e9).unwrap();
 //! sketch.merge_from(&other).unwrap();
 //! assert_eq!(sketch.count(), 10_001);
+//!
+//! // Differently-configured sketches refuse to merge instead of silently
+//! // corrupting the α guarantee.
+//! let sparse = DDSketchBuilder::new(0.01).sparse().build().unwrap();
+//! assert!(sketch.merge_from(&sparse).is_err());
+//! ```
+//!
+//! ## Picking a configuration
+//!
+//! | builder | preset type | mapping | store | use when |
+//! |---------|-------------|---------|-------|----------|
+//! | `DDSketchBuilder::new(α).unbounded()` | [`presets::unbounded`] | exact log | dense, unbounded | guarantee must hold for every quantile, size is secondary |
+//! | `DDSketchBuilder::new(α).dense_collapsing(m)` | [`presets::logarithmic_collapsing`] | exact log | dense, bounded | production default (paper Table 2) |
+//! | `DDSketchBuilder::new(α).cubic().dense_collapsing(m)` | [`presets::fast`] | cubic interpolation | dense, bounded | insertion speed matters most |
+//! | `DDSketchBuilder::new(α).sparse()` | [`presets::sparse`] | exact log | B-tree | wide value ranges, memory matters |
+//! | `DDSketchBuilder::new(α).sparse_collapsing(m)` | [`presets::paper_exact`] | exact log | sparse, Algorithm-3 collapse | studying the paper's exact semantics |
+//!
+//! The preset constructors return concrete [`DDSketch`] instantiations with
+//! zero dispatch overhead; [`AnyDDSketch`] wraps those same five types in an
+//! enum (one match per call, no `dyn`) and is bit-identical to them on any
+//! stream. Use a preset type when the configuration is fixed at compile
+//! time; use [`SketchConfig`]/[`AnyDDSketch`] when it is an operational
+//! knob or arrives over the wire.
+//!
+//! ## Shipping sketches: the self-describing wire format
+//!
+//! [`AnyDDSketch::decode`] reconstructs whatever configuration was encoded
+//! — the aggregator needs no compile-time knowledge of what its agents run:
+//!
+//! ```
+//! use ddsketch::{AnyDDSketch, DDSketchBuilder};
+//!
+//! let mut agent = DDSketchBuilder::new(0.01).sparse().build().unwrap();
+//! agent.add_slice(&[0.012, 0.019, 1.430]).unwrap();
+//! let bytes = agent.encode();
+//!
+//! let arrived = AnyDDSketch::decode(&bytes).unwrap();
+//! assert_eq!(arrived.config(), agent.config());
+//! assert_eq!(arrived.count(), 3);
 //! ```
 //!
 //! ## Batched ingestion
 //!
 //! High-throughput producers should buffer values and flush them through
-//! [`DDSketch::add_slice`], the end-to-end batched fast path:
+//! `add_slice`, the end-to-end batched fast path (available on the preset
+//! types, [`AnyDDSketch`], and generically via
+//! [`sketch_core::QuantileSketch::add_slice`]):
 //!
 //! ```
-//! use ddsketch::presets;
+//! use ddsketch::DDSketchBuilder;
 //!
-//! let mut sketch = presets::logarithmic_collapsing(0.01, 2048).unwrap();
+//! let mut sketch = DDSketchBuilder::new(0.01).dense_collapsing(2048).build().unwrap();
 //! let latencies: Vec<f64> = (1..=4096).map(|i| f64::from(i) * 1e-4).collect();
 //! for batch in latencies.chunks(1024) {
 //!     sketch.add_slice(batch).unwrap();
@@ -56,38 +102,32 @@
 //! with a tight, inlined kernel ([`IndexMapping::index_batch`]), and hands
 //! each store its side as one bulk [`Store::add_indices`] call that pays
 //! growth/collapse bookkeeping once per batch instead of once per value.
-//! The result is **bit-identical** to per-value [`DDSketch::add`] (same
-//! bins, count, sum, min, max — property-tested across every preset)
-//! while sustaining >2× the throughput at batch size 1024 on the dense
-//! presets (see `benches/add_batch.rs` in the bench crate; measured
-//! speedups are recorded in the workspace `ROADMAP.md`). Batches
-//! containing NaN, ±∞, or out-of-range values are rejected **atomically**:
-//! the error names the offending value and the sketch is left untouched.
+//! The result is **bit-identical** to per-value `add` (same bins, count,
+//! sum, min, max — property-tested across every preset) while sustaining
+//! over 2× the throughput at batch size 1024 on the dense presets (see
+//! `benches/add_batch.rs` in the bench crate; measured speedups are
+//! recorded in the workspace `ROADMAP.md`). Batches containing NaN, ±∞, or
+//! out-of-range values are rejected **atomically**: the error names the
+//! offending value and the sketch is left untouched.
 //!
 //! The pipeline layers expose the same fast path: `ConcurrentSketch::
 //! add_slice` ingests a batch under a single shard-lock acquisition, and
 //! `TimeSeriesStore::record_slice` ingests a batch with one cell lookup.
 //!
-//! When you need several quantiles, prefer [`DDSketch::quantiles`]: it
-//! sorts the requested ranks and walks each store's cumulative counts
-//! once, instead of rescanning per quantile.
-//!
-//! ## Picking a configuration
-//!
-//! | preset | mapping | store | use when |
-//! |--------|---------|-------|----------|
-//! | [`presets::unbounded`] | exact log | dense, unbounded | guarantee must hold for every quantile, size is secondary |
-//! | [`presets::logarithmic_collapsing`] | exact log | dense, bounded | production default (paper Table 2) |
-//! | [`presets::fast`] | cubic interpolation | dense, bounded | insertion speed matters most |
-//! | [`presets::sparse`] | exact log | B-tree | wide value ranges, memory matters |
-//! | [`presets::paper_exact`] | exact log | sparse, Algorithm-3 collapse | studying the paper's exact semantics |
+//! When you need several quantiles, prefer `quantiles`: it sorts the
+//! requested ranks and walks each store's cumulative counts once, instead
+//! of rescanning per quantile.
 
+pub mod any;
+pub mod config;
 pub mod encode;
 pub mod mapping;
 pub mod presets;
 mod sketch;
 pub mod store;
 
+pub use any::AnyDDSketch;
+pub use config::{DDSketchBuilder, SketchConfig, DEFAULT_MAX_BINS};
 pub use encode::SketchPayload;
 pub use mapping::{
     CubicInterpolatedMapping, IndexMapping, LinearInterpolatedMapping, LogarithmicMapping,
@@ -100,7 +140,7 @@ pub use presets::{
 pub use sketch::DDSketch;
 pub use store::{
     CollapsingHighestDenseStore, CollapsingLowestDenseStore, CollapsingSparseStore, DenseStore,
-    SparseStore, Store,
+    SparseStore, Store, StoreKind,
 };
 
 // Re-export the shared vocabulary so downstream users need only this crate.

@@ -1,4 +1,11 @@
 //! Standard sketch configurations (paper Section 2.2 / Section 4).
+//!
+//! These are the statically-typed counterparts of the runtime
+//! [`crate::SketchConfig`] presets: each constructor here builds the
+//! concrete [`DDSketch`] instantiation that the matching config's
+//! [`crate::AnyDDSketch`] wraps, with zero dispatch overhead. Prefer
+//! [`crate::DDSketchBuilder`] when the configuration is an operational
+//! knob; prefer these when it is fixed at compile time.
 
 use crate::mapping::{CubicInterpolatedMapping, LogarithmicMapping};
 use crate::sketch::DDSketch;

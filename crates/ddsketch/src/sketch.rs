@@ -485,6 +485,18 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
         self.sum = 0.0;
     }
 
+    /// Free the batched-ingestion scratch buffers.
+    ///
+    /// [`Self::add_slice`] retains its scratch capacity (proportional to
+    /// the largest batch seen) so steady-state ingestion allocates
+    /// nothing; that capacity is real resident memory and is counted by
+    /// [`Self::memory_bytes`]. Call this when switching from ingestion to
+    /// a query-only phase — or before measuring sketch size — to drop it.
+    /// The buffers regrow transparently on the next `add_slice`.
+    pub fn release_scratch(&mut self) {
+        self.scratch = Scratch::default();
+    }
+
     /// Structural memory footprint in bytes, including the batched-ingest
     /// scratch buffers (whose capacity persists across `add_slice` calls).
     pub fn memory_bytes(&self) -> usize {
@@ -546,6 +558,10 @@ impl<M: IndexMapping, SP: Store, SN: Store> QuantileSketch for DDSketch<M, SP, S
 
     fn add_n(&mut self, value: f64, count: u64) -> Result<(), SketchError> {
         DDSketch::add_n(self, value, count)
+    }
+
+    fn add_slice(&mut self, values: &[f64]) -> Result<(), SketchError> {
+        DDSketch::add_slice(self, values)
     }
 
     fn quantile(&self, q: f64) -> Result<f64, SketchError> {

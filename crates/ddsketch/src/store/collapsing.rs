@@ -1,7 +1,7 @@
 //! Bounded-size contiguous stores (paper Algorithms 3 and 4, dense
 //! span-limited variant).
 
-use super::Store;
+use super::{Store, StoreKind};
 
 const CHUNK: i64 = 128;
 
@@ -262,6 +262,10 @@ impl CollapsingLowestDenseStore {
 }
 
 impl Store for CollapsingLowestDenseStore {
+    fn store_kind(&self) -> StoreKind {
+        StoreKind::CollapsingDense
+    }
+
     fn add_n(&mut self, index: i32, count: u64) {
         if count == 0 {
             return;
@@ -524,6 +528,10 @@ impl CollapsingHighestDenseStore {
 }
 
 impl Store for CollapsingHighestDenseStore {
+    fn store_kind(&self) -> StoreKind {
+        StoreKind::CollapsingDense
+    }
+
     fn add_n(&mut self, index: i32, count: u64) {
         self.inner.add_n(neg(index), count);
     }

@@ -1,6 +1,6 @@
 //! Unbounded contiguous store.
 
-use super::Store;
+use super::{Store, StoreKind};
 
 /// Growth granularity: reallocations are rounded to multiples of this many
 /// buckets, and growth at least doubles the array, so a monotone stream of
@@ -125,6 +125,10 @@ impl DenseStore {
 }
 
 impl Store for DenseStore {
+    fn store_kind(&self) -> StoreKind {
+        StoreKind::Unbounded
+    }
+
     fn add_n(&mut self, index: i32, count: u64) {
         if count == 0 {
             return;

@@ -28,8 +28,67 @@ pub use collapsing::{CollapsingHighestDenseStore, CollapsingLowestDenseStore};
 pub use dense::DenseStore;
 pub use sparse::{CollapsingSparseStore, SparseStore};
 
+use sketch_core::SketchError;
+
+/// Identifies the store family a sketch was built with.
+///
+/// This is the runtime-configuration counterpart of the concrete store
+/// types above: [`crate::SketchConfig`] selects a `StoreKind`, and the
+/// self-describing wire format carries it so a decoder can reconstruct the
+/// right store without caller-side type knowledge. The discriminant values
+/// are part of the `DDS2` wire format and must never be reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum StoreKind {
+    /// [`DenseStore`]: contiguous, unbounded span, never collapses.
+    Unbounded = 0,
+    /// [`CollapsingLowestDenseStore`] / [`CollapsingHighestDenseStore`]:
+    /// contiguous, index span bounded by `max_bins`.
+    CollapsingDense = 1,
+    /// [`SparseStore`]: B-tree keyed by index, unbounded, never collapses.
+    Sparse = 2,
+    /// [`CollapsingSparseStore`]: B-tree with the number of *non-empty*
+    /// buckets bounded by `max_bins` (Algorithm 3 exactly).
+    CollapsingSparse = 3,
+}
+
+impl StoreKind {
+    /// Decode from the codec byte.
+    pub fn from_u8(b: u8) -> Result<Self, SketchError> {
+        match b {
+            0 => Ok(StoreKind::Unbounded),
+            1 => Ok(StoreKind::CollapsingDense),
+            2 => Ok(StoreKind::Sparse),
+            3 => Ok(StoreKind::CollapsingSparse),
+            other => Err(SketchError::Decode(format!("unknown store kind {other}"))),
+        }
+    }
+
+    /// Whether this store family is bounded (takes a `max_bins` limit).
+    pub fn is_bounded(self) -> bool {
+        matches!(
+            self,
+            StoreKind::CollapsingDense | StoreKind::CollapsingSparse
+        )
+    }
+
+    /// Display name used in config errors and benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKind::Unbounded => "unbounded-dense",
+            StoreKind::CollapsingDense => "collapsing-dense",
+            StoreKind::Sparse => "sparse",
+            StoreKind::CollapsingSparse => "collapsing-sparse",
+        }
+    }
+}
+
 /// A multiset of integer bucket indices with u64 multiplicities.
 pub trait Store: Clone + std::fmt::Debug {
+    /// The store family this implementation belongs to (used by the
+    /// self-describing codec and [`crate::SketchConfig`] reconstruction).
+    fn store_kind(&self) -> StoreKind;
+
     /// Add `count` occurrences of bucket `index`.
     fn add_n(&mut self, index: i32, count: u64);
 

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use super::Store;
+use super::{Store, StoreKind};
 
 /// Estimated per-entry overhead of a `BTreeMap<i32, u64>` node: 12 bytes of
 /// payload, amortized node headers/edges, and allocator slack. B-tree nodes
@@ -27,6 +27,10 @@ impl SparseStore {
 }
 
 impl Store for SparseStore {
+    fn store_kind(&self) -> StoreKind {
+        StoreKind::Sparse
+    }
+
     fn add_n(&mut self, index: i32, count: u64) {
         if count == 0 {
             return;
@@ -181,6 +185,10 @@ impl CollapsingSparseStore {
 }
 
 impl Store for CollapsingSparseStore {
+    fn store_kind(&self) -> StoreKind {
+        StoreKind::CollapsingSparse
+    }
+
     fn add_n(&mut self, index: i32, count: u64) {
         self.inner.add_n(index, count);
         self.collapse_if_needed();

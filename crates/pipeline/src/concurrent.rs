@@ -6,34 +6,51 @@
 //! independent sketch behind its own lock, writers pick a shard by thread
 //! identity, and readers merge all shards on demand — the merged view is
 //! exactly the sketch of all inserted values, by full mergeability.
+//!
+//! The sketch configuration is runtime data ([`SketchConfig`]): the same
+//! concurrent facade serves every preset, from the paper's collapsing
+//! dense default to the sparse memory-bound variants.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use ddsketch::{presets, BoundedDDSketch, SketchError};
+use ddsketch::{AnyDDSketch, SketchConfig, SketchError};
 use parking_lot::Mutex;
 
-/// A sharded, thread-safe DDSketch.
+/// A sharded, thread-safe DDSketch over any runtime configuration.
 #[derive(Debug)]
 pub struct ConcurrentSketch {
-    shards: Vec<Mutex<BoundedDDSketch>>,
+    config: SketchConfig,
+    shards: Vec<Mutex<AnyDDSketch>>,
     /// Round-robin assignment for callers without a shard hint.
     next: AtomicUsize,
 }
 
 impl ConcurrentSketch {
-    /// Create a sketch with `shards` independent shards (≥ 1); shard count
-    /// should roughly match writer-thread count.
-    pub fn new(alpha: f64, max_bins: usize, shards: usize) -> Result<Self, SketchError> {
+    /// Create a sketch with `shards` independent shards (≥ 1) of the given
+    /// configuration; shard count should roughly match writer-thread count.
+    pub fn with_config(config: SketchConfig, shards: usize) -> Result<Self, SketchError> {
         if shards == 0 {
             return Err(SketchError::InvalidConfig("shards must be positive".into()));
         }
         let shards = (0..shards)
-            .map(|_| presets::logarithmic_collapsing(alpha, max_bins).map(Mutex::new))
+            .map(|_| config.build().map(Mutex::new))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
+            config,
             shards,
             next: AtomicUsize::new(0),
         })
+    }
+
+    /// Convenience constructor for the paper's default configuration
+    /// (collapsing dense stores, exact logarithmic mapping).
+    pub fn new(alpha: f64, max_bins: usize, shards: usize) -> Result<Self, SketchError> {
+        Self::with_config(SketchConfig::dense_collapsing(alpha, max_bins), shards)
+    }
+
+    /// The configuration every shard was built with.
+    pub fn config(&self) -> SketchConfig {
+        self.config
     }
 
     /// Number of shards.
@@ -80,7 +97,7 @@ impl ConcurrentSketch {
     /// Merge all shards into a single snapshot sketch. By full
     /// mergeability this is exactly the sketch of every value inserted so
     /// far (modulo inserts racing with the snapshot).
-    pub fn snapshot(&self) -> Result<BoundedDDSketch, SketchError> {
+    pub fn snapshot(&self) -> Result<AnyDDSketch, SketchError> {
         let mut iter = self.shards.iter();
         let mut merged = iter.next().expect("shards >= 1").lock().clone();
         for shard in iter {
@@ -93,11 +110,23 @@ impl ConcurrentSketch {
     pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
         self.snapshot()?.quantile(q)
     }
+
+    /// Estimate several quantiles from **one** snapshot: the shards are
+    /// merged once, then all ranks are answered by a single sorted-rank
+    /// walk of the merged stores ([`AnyDDSketch::quantiles`]) — instead of
+    /// paying a full shard-merge per quantile as repeated
+    /// [`Self::quantile`] calls would. Output order matches `qs`, and each
+    /// estimate equals what `quantile` would return against the same
+    /// snapshot.
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        self.snapshot()?.quantiles(qs)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ddsketch::presets;
     use std::sync::Arc;
 
     #[test]
@@ -105,6 +134,8 @@ mod tests {
         assert!(ConcurrentSketch::new(0.01, 2048, 0).is_err());
         assert!(ConcurrentSketch::new(0.0, 2048, 4).is_err());
         assert!(ConcurrentSketch::new(0.01, 2048, 4).is_ok());
+        assert!(ConcurrentSketch::with_config(SketchConfig::sparse(0.01), 0).is_err());
+        assert!(ConcurrentSketch::with_config(SketchConfig::sparse(2.0), 4).is_err());
     }
 
     #[test]
@@ -124,6 +155,31 @@ mod tests {
                 plain.quantile(q).unwrap(),
                 "q = {q}"
             );
+        }
+    }
+
+    #[test]
+    fn every_config_works_behind_the_concurrent_facade() {
+        for config in SketchConfig::all(0.01, 1024) {
+            let cs = ConcurrentSketch::with_config(config, 3).unwrap();
+            assert_eq!(cs.config(), config);
+            let mut plain = config.build().unwrap();
+            for i in 1..=3_000 {
+                let v = f64::from(i) * 0.3;
+                cs.add_hinted(i as usize, v).unwrap();
+                plain.add(v).unwrap();
+            }
+            let snap = cs.snapshot().unwrap();
+            assert_eq!(snap.config(), config);
+            assert_eq!(snap.count(), plain.count(), "{}", config.name());
+            for q in [0.1, 0.5, 0.99] {
+                assert_eq!(
+                    snap.quantile(q).unwrap(),
+                    plain.quantile(q).unwrap(),
+                    "{} q = {q}",
+                    config.name()
+                );
+            }
         }
     }
 
@@ -195,10 +251,29 @@ mod tests {
     }
 
     #[test]
+    fn batch_quantiles_match_single_quantile_calls() {
+        let cs = ConcurrentSketch::new(0.01, 2048, 4).unwrap();
+        for i in 1..=20_000 {
+            cs.add_hinted(i, 0.2 + i as f64 * 1e-3).unwrap();
+        }
+        // Unsorted, duplicated request order.
+        let qs = [0.99, 0.0, 0.5, 0.5, 1.0, 0.25];
+        let batch = cs.quantiles(&qs).unwrap();
+        assert_eq!(batch.len(), qs.len());
+        for (&q, &got) in qs.iter().zip(&batch) {
+            assert_eq!(got, cs.quantile(q).unwrap(), "q = {q}");
+        }
+        // Validation propagates like the scalar path.
+        assert!(cs.quantiles(&[0.5, 1.5]).is_err());
+        assert_eq!(cs.quantiles(&[]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
     fn snapshot_of_empty_sketch_is_empty() {
         let cs = ConcurrentSketch::new(0.01, 2048, 2).unwrap();
         let snap = cs.snapshot().unwrap();
         assert!(snap.is_empty());
         assert!(cs.quantile(0.5).is_err());
+        assert!(cs.quantiles(&[0.5]).is_err());
     }
 }

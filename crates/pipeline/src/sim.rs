@@ -7,13 +7,18 @@
 //! them into a [`TimeSeriesStore`]. Because DDSketch is fully mergeable,
 //! the aggregated store is *bucket-identical* to a store that had ingested
 //! every raw latency directly; the tests assert exactly that.
+//!
+//! The sketch configuration is part of [`SimConfig`]: the same simulation
+//! runs under every preset (dense-collapsing, fast, sparse, …), and the
+//! aggregator reconstructs whatever arrives via the self-describing
+//! [`AnyDDSketch::decode`] — it never needs to know what the workers run.
 
 use crossbeam::channel;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use datasets::{Distribution, LogNormal, Pareto, Weibull};
-use ddsketch::{presets, BoundedDDSketch, SketchError};
+use ddsketch::{AnyDDSketch, SketchConfig, SketchError};
 
 use crate::window::TimeSeriesStore;
 
@@ -28,10 +33,8 @@ pub struct SimConfig {
     pub duration_secs: u64,
     /// Aggregation window width in seconds.
     pub window_secs: u64,
-    /// Sketch relative accuracy.
-    pub alpha: f64,
-    /// Sketch bucket limit.
-    pub max_bins: usize,
+    /// Sketch configuration used by every worker and the aggregator.
+    pub sketch: SketchConfig,
     /// Master seed; every worker derives its own deterministic stream.
     pub seed: u64,
 }
@@ -43,8 +46,7 @@ impl Default for SimConfig {
             requests_per_worker: 10_000,
             duration_secs: 60,
             window_secs: 10,
-            alpha: 0.01,
-            max_bins: 2048,
+            sketch: SketchConfig::dense_collapsing(0.01, 2048),
             seed: 0xDD5,
         }
     }
@@ -72,7 +74,7 @@ pub struct Payload {
     pub metric: &'static str,
     /// Window start (seconds).
     pub window_start: u64,
-    /// Wire-encoded sketch bytes.
+    /// Wire-encoded sketch bytes (self-describing `DDS2`).
     pub bytes: Vec<u8>,
 }
 
@@ -118,11 +120,11 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport, SketchError> {
             "workers, window_secs and duration_secs must be positive".into(),
         ));
     }
-    // Validate sketch parameters up front.
-    presets::logarithmic_collapsing(config.alpha, config.max_bins)?;
+    // Validate the sketch configuration up front.
+    config.sketch.validate()?;
 
     let (tx, rx) = channel::unbounded::<Payload>();
-    let mut store = TimeSeriesStore::new(config.alpha, config.max_bins, config.window_secs)?;
+    let mut store = TimeSeriesStore::with_config(config.sketch, config.window_secs)?;
     let mut total_requests = 0u64;
     let mut payloads = 0u64;
     let mut wire_bytes = 0u64;
@@ -141,7 +143,7 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport, SketchError> {
                 // small batch buffer so the hot loop is a push and the
                 // sketch ingests via its bulk `add_slice` fast path.
                 struct LocalCell {
-                    sketch: BoundedDDSketch,
+                    sketch: AnyDDSketch,
                     buffer: Vec<f64>,
                 }
                 let mut local: std::collections::BTreeMap<(&'static str, u64), LocalCell> =
@@ -149,8 +151,7 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport, SketchError> {
                 for (metric, ts, latency) in worker_stream(&config, worker) {
                     let window = ts - ts % config.window_secs;
                     let cell = local.entry((metric, window)).or_insert_with(|| LocalCell {
-                        sketch: presets::logarithmic_collapsing(config.alpha, config.max_bins)
-                            .expect("validated"),
+                        sketch: config.sketch.build().expect("validated"),
                         buffer: Vec::with_capacity(BATCH),
                     });
                     cell.buffer.push(latency);
@@ -179,9 +180,10 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport, SketchError> {
         }
         drop(tx);
 
-        // Aggregator loop: decode and merge.
+        // Aggregator loop: self-describing decode — the payload bytes
+        // alone select the sketch variant — then a bucket-exact merge.
         for payload in rx.iter() {
-            let sketch = BoundedDDSketch::decode(&payload.bytes)?;
+            let sketch = AnyDDSketch::decode(&payload.bytes)?;
             total_requests += sketch.count();
             payloads += 1;
             wire_bytes += payload.bytes.len() as u64;
@@ -202,7 +204,7 @@ pub fn run_simulation(config: &SimConfig) -> Result<SimReport, SketchError> {
 /// Used by tests and the Figure 2 binary to demonstrate that distributed
 /// aggregation loses nothing.
 pub fn run_sequential(config: &SimConfig) -> Result<TimeSeriesStore, SketchError> {
-    let mut store = TimeSeriesStore::new(config.alpha, config.max_bins, config.window_secs)?;
+    let mut store = TimeSeriesStore::with_config(config.sketch, config.window_secs)?;
     for worker in 0..config.workers {
         for (metric, ts, latency) in worker_stream(config, worker) {
             store.record(metric, ts, latency)?;
@@ -231,37 +233,44 @@ mod tests {
         c.workers = 0;
         assert!(run_simulation(&c).is_err());
         let mut c = small_config();
-        c.alpha = 0.0;
+        c.sketch.alpha = 0.0;
         assert!(run_simulation(&c).is_err());
     }
 
     #[test]
-    fn distributed_equals_sequential() {
-        // The paper's central claim in action: the distributed pipeline
-        // (sketch → encode → ship → decode → merge) must answer quantile
-        // queries identically to a single sequential ingest.
-        let config = small_config();
-        let report = run_simulation(&config).unwrap();
-        let sequential = run_sequential(&config).unwrap();
+    fn distributed_equals_sequential_under_every_sketch_config() {
+        // The paper's central claim in action, for every runtime
+        // configuration: the distributed pipeline (sketch → encode → ship
+        // → decode → merge) must answer quantile queries identically to a
+        // single sequential ingest.
+        for sketch in SketchConfig::all(0.01, 2048) {
+            let config = SimConfig {
+                sketch,
+                ..small_config()
+            };
+            let report = run_simulation(&config).unwrap();
+            let sequential = run_sequential(&config).unwrap();
 
-        assert_eq!(
-            report.total_requests,
-            (config.workers * config.requests_per_worker) as u64
-        );
-        assert_eq!(report.store.num_cells(), sequential.num_cells());
-        for (key, direct) in sequential.cells() {
-            for q in [0.5, 0.75, 0.9, 0.99] {
-                let agg = report
-                    .store
-                    .quantile(&key.metric, key.window_start, q)
-                    .expect("cell exists");
-                assert_eq!(
-                    agg,
-                    direct.quantile(q).unwrap(),
-                    "metric {} window {} q {q}",
-                    key.metric,
-                    key.window_start
-                );
+            assert_eq!(
+                report.total_requests,
+                (config.workers * config.requests_per_worker) as u64
+            );
+            assert_eq!(report.store.num_cells(), sequential.num_cells());
+            for (key, direct) in sequential.cells() {
+                for q in [0.5, 0.75, 0.9, 0.99] {
+                    let agg = report
+                        .store
+                        .quantile(&key.metric, key.window_start, q)
+                        .expect("cell exists");
+                    assert_eq!(
+                        agg,
+                        direct.quantile(q).unwrap(),
+                        "{}: metric {} window {} q {q}",
+                        sketch.name(),
+                        key.metric,
+                        key.window_start
+                    );
+                }
             }
         }
     }

@@ -6,10 +6,14 @@
 //! ones *perfectly accurately* — which is exactly what full mergeability
 //! buys: a merged sketch is bucket-identical to a sketch built from the
 //! union of the raw data.
+//!
+//! The store is generic over the runtime [`SketchConfig`]: an operator can
+//! trade accuracy for memory per deployment (dense-collapsing for
+//! production defaults, sparse for wide-range metrics) without a rebuild.
 
 use std::collections::BTreeMap;
 
-use ddsketch::{presets, BoundedDDSketch, SketchError};
+use ddsketch::{AnyDDSketch, SketchConfig, SketchError};
 
 /// Identifies one aggregation cell: a metric key (e.g. endpoint name) and
 /// the start of its time window in epoch seconds.
@@ -21,33 +25,41 @@ pub struct CellKey {
     pub window_start: u64,
 }
 
-/// A time-series store of sketches: one [`BoundedDDSketch`] per
-/// (metric, window) cell.
+/// A time-series store of sketches: one [`AnyDDSketch`] of a fixed
+/// [`SketchConfig`] per (metric, window) cell.
 #[derive(Debug)]
 pub struct TimeSeriesStore {
-    alpha: f64,
-    max_bins: usize,
+    config: SketchConfig,
     /// Window width in seconds.
     window_secs: u64,
-    cells: BTreeMap<CellKey, BoundedDDSketch>,
+    cells: BTreeMap<CellKey, AnyDDSketch>,
 }
 
 impl TimeSeriesStore {
-    /// Create a store with the given sketch parameters and window width.
-    pub fn new(alpha: f64, max_bins: usize, window_secs: u64) -> Result<Self, SketchError> {
+    /// Create a store whose cells use the given sketch configuration.
+    pub fn with_config(config: SketchConfig, window_secs: u64) -> Result<Self, SketchError> {
         if window_secs == 0 {
             return Err(SketchError::InvalidConfig(
                 "window_secs must be positive".into(),
             ));
         }
-        // Validate the sketch parameters once up front.
-        presets::logarithmic_collapsing(alpha, max_bins)?;
+        config.validate()?;
         Ok(Self {
-            alpha,
-            max_bins,
+            config,
             window_secs,
             cells: BTreeMap::new(),
         })
+    }
+
+    /// Convenience constructor for the paper's default configuration
+    /// (collapsing dense stores, exact logarithmic mapping).
+    pub fn new(alpha: f64, max_bins: usize, window_secs: u64) -> Result<Self, SketchError> {
+        Self::with_config(SketchConfig::dense_collapsing(alpha, max_bins), window_secs)
+    }
+
+    /// The sketch configuration every cell uses.
+    pub fn config(&self) -> SketchConfig {
+        self.config
     }
 
     /// Window width in seconds.
@@ -65,21 +77,34 @@ impl TimeSeriesStore {
         ts_secs - ts_secs % self.window_secs
     }
 
-    fn cell(&mut self, metric: &str, window_start: u64) -> &mut BoundedDDSketch {
+    /// Run `op` against the cell for `(metric, window_start)`, creating
+    /// the cell only if `op` succeeds — so a rejected record/absorb on a
+    /// not-yet-existing cell leaves no phantom empty cell behind (every
+    /// `op` used here mutates the sketch atomically, so existing cells
+    /// are likewise untouched on failure).
+    fn with_cell(
+        &mut self,
+        metric: &str,
+        window_start: u64,
+        op: impl FnOnce(&mut AnyDDSketch) -> Result<(), SketchError>,
+    ) -> Result<(), SketchError> {
         let key = CellKey {
             metric: metric.to_string(),
             window_start,
         };
-        let (alpha, bins) = (self.alpha, self.max_bins);
-        self.cells.entry(key).or_insert_with(|| {
-            presets::logarithmic_collapsing(alpha, bins).expect("validated in constructor")
-        })
+        if let Some(cell) = self.cells.get_mut(&key) {
+            return op(cell);
+        }
+        let mut fresh = self.config.build().expect("validated in constructor");
+        op(&mut fresh)?;
+        self.cells.insert(key, fresh);
+        Ok(())
     }
 
     /// Record a single observation for `metric` at time `ts_secs`.
     pub fn record(&mut self, metric: &str, ts_secs: u64, value: f64) -> Result<(), SketchError> {
         let window = self.window_of(ts_secs);
-        self.cell(metric, window).add(value)
+        self.with_cell(metric, window, |cell| cell.add(value))
     }
 
     /// Record a batch of observations sharing one timestamp window — one
@@ -94,20 +119,27 @@ impl TimeSeriesStore {
         values: &[f64],
     ) -> Result<(), SketchError> {
         let window = self.window_of(ts_secs);
-        self.cell(metric, window).add_slice(values)
+        self.with_cell(metric, window, |cell| cell.add_slice(values))
     }
 
     /// Absorb a sketch shipped by an agent for `(metric, window_start)` —
     /// the paper's merge path. Fully mergeable: repeated absorption equals
     /// having seen all the raw points.
+    ///
+    /// Sketches from a different variant (mapping or store family) or a
+    /// different `α` are rejected with `IncompatibleMerge`, leaving the
+    /// store untouched. A same-variant sketch with a different `max_bins`
+    /// is accepted — bucket boundaries agree, and the cell re-collapses
+    /// to its own bound (Algorithm 4) — though an agent whose smaller
+    /// bound already collapsed buckets carries that accuracy loss with it.
     pub fn absorb(
         &mut self,
         metric: &str,
         window_start: u64,
-        sketch: &BoundedDDSketch,
+        sketch: &AnyDDSketch,
     ) -> Result<(), SketchError> {
         let window = self.window_of(window_start);
-        self.cell(metric, window).merge_from(sketch)
+        self.with_cell(metric, window, |cell| cell.merge_from(sketch))
     }
 
     /// Quantile estimate for one cell, if present and non-empty.
@@ -150,7 +182,7 @@ impl TimeSeriesStore {
                 "rollup factor must be positive".into(),
             ));
         }
-        let mut out = TimeSeriesStore::new(self.alpha, self.max_bins, self.window_secs * factor)?;
+        let mut out = TimeSeriesStore::with_config(self.config, self.window_secs * factor)?;
         for (key, sketch) in &self.cells {
             out.absorb(&key.metric, key.window_start, sketch)?;
         }
@@ -158,7 +190,7 @@ impl TimeSeriesStore {
     }
 
     /// Iterate over all cells (ascending by metric, then window).
-    pub fn cells(&self) -> impl Iterator<Item = (&CellKey, &BoundedDDSketch)> {
+    pub fn cells(&self) -> impl Iterator<Item = (&CellKey, &AnyDDSketch)> {
         self.cells.iter()
     }
 
@@ -182,6 +214,8 @@ mod tests {
         assert!(TimeSeriesStore::new(0.0, 2048, 10).is_err());
         assert!(TimeSeriesStore::new(0.01, 0, 10).is_err());
         assert!(TimeSeriesStore::new(0.01, 2048, 10).is_ok());
+        assert!(TimeSeriesStore::with_config(SketchConfig::sparse(0.01), 10).is_ok());
+        assert!(TimeSeriesStore::with_config(SketchConfig::sparse(0.0), 10).is_err());
     }
 
     #[test]
@@ -228,33 +262,37 @@ mod tests {
     }
 
     #[test]
-    fn rollup_is_exactly_the_union() {
-        let mut fine = TimeSeriesStore::new(0.01, 2048, 1).unwrap();
-        let mut coarse_direct = TimeSeriesStore::new(0.01, 2048, 60).unwrap();
-        for t in 0..600u64 {
-            let v = 1.0 + (t % 97) as f64;
-            fine.record("m", t, v).unwrap();
-            coarse_direct.record("m", t, v).unwrap();
-        }
-        let rolled = fine.rollup(60).unwrap();
-        assert_eq!(rolled.num_cells(), coarse_direct.num_cells());
-        for (key, direct) in coarse_direct.cells() {
-            let merged = rolled.quantile(&key.metric, key.window_start, 0.9).unwrap();
-            assert_eq!(
-                merged,
-                direct.quantile(0.9).unwrap(),
-                "rollup must equal direct ingestion for window {}",
-                key.window_start
-            );
+    fn rollup_is_exactly_the_union_under_every_config() {
+        for config in SketchConfig::all(0.01, 2048) {
+            let mut fine = TimeSeriesStore::with_config(config, 1).unwrap();
+            let mut coarse_direct = TimeSeriesStore::with_config(config, 60).unwrap();
+            for t in 0..600u64 {
+                let v = 1.0 + (t % 97) as f64;
+                fine.record("m", t, v).unwrap();
+                coarse_direct.record("m", t, v).unwrap();
+            }
+            let rolled = fine.rollup(60).unwrap();
+            assert_eq!(rolled.config(), config);
+            assert_eq!(rolled.num_cells(), coarse_direct.num_cells());
+            for (key, direct) in coarse_direct.cells() {
+                let merged = rolled.quantile(&key.metric, key.window_start, 0.9).unwrap();
+                assert_eq!(
+                    merged,
+                    direct.quantile(0.9).unwrap(),
+                    "{}: rollup must equal direct ingestion for window {}",
+                    config.name(),
+                    key.window_start
+                );
+            }
         }
     }
 
     #[test]
     fn absorb_equals_record() {
-        use ddsketch::presets::logarithmic_collapsing;
+        use ddsketch::AnyDDSketch;
         let mut via_absorb = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
         let mut via_record = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
-        let mut agent_sketch = logarithmic_collapsing(0.01, 2048).unwrap();
+        let mut agent_sketch = SketchConfig::dense_collapsing(0.01, 2048).build().unwrap();
         for i in 1..=100 {
             let v = f64::from(i) * 0.5;
             agent_sketch.add(v).unwrap();
@@ -267,6 +305,38 @@ mod tests {
                 via_record.quantile("m", 40, q).unwrap()
             );
         }
+        // Statically-typed producers convert losslessly into the store.
+        let mut preset = ddsketch::presets::logarithmic_collapsing(0.01, 2048).unwrap();
+        preset.add(1.0).unwrap();
+        let any: AnyDDSketch = preset.into();
+        via_absorb.absorb("m", 42, &any).unwrap();
+    }
+
+    #[test]
+    fn absorb_rejects_mismatched_configs() {
+        let mut ts = TimeSeriesStore::with_config(SketchConfig::sparse(0.01), 10).unwrap();
+        let foreign = SketchConfig::dense_collapsing(0.01, 2048).build().unwrap();
+        assert!(matches!(
+            ts.absorb("m", 0, &foreign),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+        // The rejection must not leave a phantom empty cell behind — a
+        // long-lived aggregator fed bad payloads must not grow.
+        assert_eq!(ts.num_cells(), 0);
+        // Same for an existing cell: rejected absorb leaves it untouched.
+        ts.record("m", 0, 1.0).unwrap();
+        assert!(ts.absorb("m", 0, &foreign).is_err());
+        assert_eq!(ts.num_cells(), 1);
+        assert_eq!(ts.metric_count("m"), 1);
+    }
+
+    #[test]
+    fn rejected_writes_leave_no_phantom_cells() {
+        let mut ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        assert!(ts.record("m", 0, f64::NAN).is_err());
+        assert!(ts.record_slice("m", 0, &[1.0, f64::INFINITY]).is_err());
+        assert_eq!(ts.num_cells(), 0, "failed writes must not create cells");
+        assert_eq!(ts.quantile_series("m", 0.5), vec![]);
     }
 
     #[test]

@@ -28,6 +28,21 @@ pub trait QuantileSketch {
         Ok(())
     }
 
+    /// Insert a batch of observations.
+    ///
+    /// Default: per-value [`QuantileSketch::add`] that stops at the first
+    /// unsupported value — values before it are already ingested, so the
+    /// default is **not** atomic. Sketches with a bulk ingestion path
+    /// (DDSketch's fused batch kernel) override this with an atomic,
+    /// bit-identical fast path; benchmark harnesses call this method so
+    /// every contender gets its best batch path uniformly.
+    fn add_slice(&mut self, values: &[f64]) -> Result<(), SketchError> {
+        for &v in values {
+            self.add(v)?;
+        }
+        Ok(())
+    }
+
     /// Estimate the q-quantile, `0 ≤ q ≤ 1`.
     ///
     /// Returns `Empty` for sketches with no data and `InvalidQuantile` for
@@ -131,6 +146,17 @@ mod tests {
         s.add_n(2.0, 5).unwrap();
         assert_eq!(s.count(), 5);
         assert_eq!(s.quantile(0.5).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn default_add_slice_loops_and_stops_at_first_bad_value() {
+        let mut s = ExactSketch { values: vec![] };
+        s.add_slice(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.count(), 3);
+        // The loop fallback is not atomic: values before the unsupported
+        // one are already ingested when the error surfaces.
+        assert!(s.add_slice(&[4.0, f64::NAN, 5.0]).is_err());
+        assert_eq!(s.count(), 4);
     }
 
     #[test]

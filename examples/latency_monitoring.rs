@@ -17,6 +17,7 @@
 //!
 //! Run with: `cargo run --release --example latency_monitoring`
 
+use ddsketch::SketchConfig;
 use pipeline::{run_sequential, run_simulation, SimConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,8 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         requests_per_worker: 100_000,
         duration_secs: 120,
         window_secs: 10,
-        alpha: 0.01,
-        max_bins: 2048,
+        // The sketch parameters are runtime data: swap in
+        // `SketchConfig::sparse(0.01)` or any other preset and the whole
+        // pipeline — workers, wire format, aggregator — follows.
+        sketch: SketchConfig::dense_collapsing(0.01, 2048),
         seed: 42,
     };
 

@@ -1,22 +1,37 @@
 //! Serialization walk-through: encode sketches on many "hosts", ship the
-//! bytes, decode and merge at the collector, and round-trip through the
-//! serde payload for JSON-ish pipelines.
+//! bytes, and decode at the collector **without knowing what each host
+//! runs** — the `DDS2` wire format carries the mapping and store family,
+//! so `AnyDDSketch::decode` reconstructs the right variant by itself.
 //!
 //! Run with: `cargo run --release --example wire_format`
 
 use datasets::Dataset;
-use ddsketch::{presets, SketchPayload};
+use ddsketch::{AnyDDSketch, DDSketchBuilder, SketchConfig, SketchPayload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 16 hosts each sketch 100k span durations and ship the bytes.
+    // 16 hosts each sketch 100k span durations and ship the bytes. The
+    // fleet is heterogeneous: hosts run whichever configuration suits
+    // them (a rolling config migration, say) — the collector does not
+    // care.
     let hosts = 16;
     let per_host = 100_000;
+    let configs = [
+        SketchConfig::dense_collapsing(0.01, 2048),
+        SketchConfig::fast(0.01, 2048),
+        SketchConfig::sparse(0.01),
+    ];
     let mut wire: Vec<Vec<u8>> = Vec::new();
     for host in 0..hosts {
-        let mut sketch = presets::logarithmic_collapsing(0.01, 2048)?;
+        let mut sketch = configs[host % configs.len()].build()?;
+        let mut buffer = Vec::with_capacity(1024);
         for v in Dataset::Span.stream(host as u64).take(per_host) {
-            sketch.add(v)?;
+            buffer.push(v);
+            if buffer.len() == buffer.capacity() {
+                sketch.add_slice(&buffer)?;
+                buffer.clear();
+            }
         }
+        sketch.add_slice(&buffer)?;
         wire.push(sketch.encode());
     }
     let total_bytes: usize = wire.iter().map(Vec::len).sum();
@@ -28,34 +43,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total_bytes as f64 / (hosts * per_host) as f64,
     );
 
-    // The collector decodes and merges everything.
-    let mut merged = presets::logarithmic_collapsing(0.01, 2048)?;
+    // The collector decodes self-describingly and buckets by config:
+    // same-config sketches merge exactly, cross-config merges are
+    // rejected rather than silently wrong.
+    let mut merged: Vec<AnyDDSketch> = Vec::new();
     for bytes in &wire {
-        let sketch = presets::BoundedDDSketch::decode(bytes)?;
-        merged.merge_from(&sketch)?;
+        let sketch = AnyDDSketch::decode(bytes)?;
+        match merged.iter_mut().find(|m| m.config() == sketch.config()) {
+            Some(m) => m.merge_from(&sketch)?,
+            None => merged.push(sketch),
+        }
     }
-    println!("merged count: {}", merged.count());
-    for q in [0.5, 0.95, 0.99] {
-        println!("p{:<4} = {:>14.0} ns", q * 100.0, merged.quantile(q)?);
+    for m in &merged {
+        println!(
+            "\n{} (α = {}): merged count {}",
+            m.config().name(),
+            m.config().alpha,
+            m.count()
+        );
+        for q in [0.5, 0.95, 0.99] {
+            println!("  p{:<4} = {:>14.0} ns", q * 100.0, m.quantile(q)?);
+        }
     }
 
-    // The payload struct is plain serde data — inspect or transform it.
-    let payload: SketchPayload = merged.to_payload();
+    // The payload struct is plain data — inspect or transform it.
+    let payload: SketchPayload = merged[0].to_payload();
     println!(
-        "\npayload: α = {}, {} positive bins, zero count {}, bin limit {}",
+        "\npayload: α = {}, store kind {}, {} positive bins, zero count {}, bin limit {}",
         payload.relative_accuracy,
+        payload.store,
         payload.positive.len(),
         payload.zero_count,
         payload.bin_limit,
     );
-    let restored = presets::BoundedDDSketch::from_payload(&payload)?;
-    assert_eq!(restored.quantile(0.99)?, merged.quantile(0.99)?);
+    let restored = AnyDDSketch::from_payload(&payload)?;
+    assert_eq!(restored.quantile(0.99)?, merged[0].quantile(0.99)?);
     println!("payload round-trip preserves quantiles exactly");
+
+    // Statically-typed decoding still works when the caller *does* know
+    // the configuration (zero-dispatch hot paths).
+    let bounded = DDSketchBuilder::new(0.01).dense_collapsing(2048).build()?;
+    let typed = ddsketch::BoundedDDSketch::decode(&bounded.encode())?;
+    assert!(typed.is_empty());
 
     // Corruption is rejected, never mis-decoded.
     let mut corrupted = wire[0].clone();
     corrupted.truncate(corrupted.len() / 2);
-    assert!(presets::BoundedDDSketch::decode(&corrupted).is_err());
+    assert!(AnyDDSketch::decode(&corrupted).is_err());
     println!("truncated payload correctly rejected");
     Ok(())
 }

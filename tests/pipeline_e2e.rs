@@ -1,29 +1,73 @@
 //! Integration: the distributed pipeline end-to-end, including the wire
-//! codec and concurrent producers.
+//! codec and concurrent producers, parameterized over the runtime sketch
+//! configurations.
 
+use ddsketch::SketchConfig;
 use pipeline::{run_sequential, run_simulation, ConcurrentSketch, SimConfig};
+
+/// The configurations the e2e suite sweeps: the production default
+/// (dense-collapsing), the speed-optimized cubic mapping, and the
+/// memory-bound sparse store.
+fn e2e_configs() -> [SketchConfig; 3] {
+    [
+        SketchConfig::dense_collapsing(0.01, 2048),
+        SketchConfig::fast(0.01, 2048),
+        SketchConfig::sparse(0.01),
+    ]
+}
 
 #[test]
 fn distributed_aggregation_is_lossless() {
-    let config = SimConfig {
-        workers: 6,
-        requests_per_worker: 20_000,
-        duration_secs: 60,
-        window_secs: 10,
-        alpha: 0.01,
-        max_bins: 2048,
-        seed: 77,
-    };
-    let report = run_simulation(&config).unwrap();
-    let sequential = run_sequential(&config).unwrap();
-    assert_eq!(report.total_requests, 120_000);
-    assert_eq!(report.store.num_cells(), sequential.num_cells());
-    for (key, direct) in sequential.cells() {
-        for q in [0.5, 0.9, 0.99] {
+    for sketch in e2e_configs() {
+        let config = SimConfig {
+            workers: 6,
+            requests_per_worker: 20_000,
+            duration_secs: 60,
+            window_secs: 10,
+            sketch,
+            seed: 77,
+        };
+        let report = run_simulation(&config).unwrap();
+        let sequential = run_sequential(&config).unwrap();
+        assert_eq!(report.total_requests, 120_000, "{}", sketch.name());
+        assert_eq!(report.store.num_cells(), sequential.num_cells());
+        for (key, direct) in sequential.cells() {
+            for q in [0.5, 0.9, 0.99] {
+                assert_eq!(
+                    report.store.quantile(&key.metric, key.window_start, q),
+                    direct.quantile(q).ok(),
+                    "{}: {} @ {} q={q}",
+                    sketch.name(),
+                    key.metric,
+                    key.window_start
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rollups_compose() {
+    for sketch in e2e_configs() {
+        let config = SimConfig {
+            workers: 3,
+            requests_per_worker: 30_000,
+            duration_secs: 120,
+            window_secs: 5,
+            sketch,
+            ..SimConfig::default()
+        };
+        let report = run_simulation(&config).unwrap();
+        // 5s → 20s → 60s must equal 5s → 60s directly.
+        let via_20 = report.store.rollup(4).unwrap().rollup(3).unwrap();
+        let direct = report.store.rollup(12).unwrap();
+        assert_eq!(via_20.num_cells(), direct.num_cells());
+        for (key, cell) in direct.cells() {
             assert_eq!(
-                report.store.quantile(&key.metric, key.window_start, q),
-                direct.quantile(q).ok(),
-                "{} @ {} q={q}",
+                via_20.quantile(&key.metric, key.window_start, 0.95),
+                cell.quantile(0.95).ok(),
+                "{}: rollup composition mismatch at {} / {}",
+                sketch.name(),
                 key.metric,
                 key.window_start
             );
@@ -32,49 +76,30 @@ fn distributed_aggregation_is_lossless() {
 }
 
 #[test]
-fn rollups_compose() {
-    let config = SimConfig {
-        workers: 3,
-        requests_per_worker: 30_000,
-        duration_secs: 120,
-        window_secs: 5,
-        ..SimConfig::default()
-    };
-    let report = run_simulation(&config).unwrap();
-    // 5s → 20s → 60s must equal 5s → 60s directly.
-    let via_20 = report.store.rollup(4).unwrap().rollup(3).unwrap();
-    let direct = report.store.rollup(12).unwrap();
-    assert_eq!(via_20.num_cells(), direct.num_cells());
-    for (key, sketch) in direct.cells() {
-        assert_eq!(
-            via_20.quantile(&key.metric, key.window_start, 0.95),
-            sketch.quantile(0.95).ok(),
-            "rollup composition mismatch at {} / {}",
-            key.metric,
-            key.window_start
-        );
-    }
-}
-
-#[test]
 fn concurrent_sketch_under_contention() {
     use std::sync::Arc;
-    let cs = Arc::new(ConcurrentSketch::new(0.01, 2048, 4).unwrap());
-    // More threads than shards: forces lock contention on the hinted path.
-    std::thread::scope(|scope| {
-        for t in 0..16u32 {
-            let cs = Arc::clone(&cs);
-            scope.spawn(move || {
-                for i in 0..5_000u32 {
-                    cs.add_hinted(t as usize, 1.0 + f64::from(i % 1000))
-                        .unwrap();
-                }
-            });
-        }
-    });
-    assert_eq!(cs.count(), 16 * 5_000);
-    let p50 = cs.quantile(0.5).unwrap();
-    assert!((400.0..700.0).contains(&p50), "p50 {p50}");
+    for sketch in e2e_configs() {
+        let cs = Arc::new(ConcurrentSketch::with_config(sketch, 4).unwrap());
+        // More threads than shards: forces lock contention on the hinted
+        // path.
+        std::thread::scope(|scope| {
+            for t in 0..16u32 {
+                let cs = Arc::clone(&cs);
+                scope.spawn(move || {
+                    for i in 0..5_000u32 {
+                        cs.add_hinted(t as usize, 1.0 + f64::from(i % 1000))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cs.count(), 16 * 5_000, "{}", sketch.name());
+        let p50 = cs.quantile(0.5).unwrap();
+        assert!((400.0..700.0).contains(&p50), "{} p50 {p50}", sketch.name());
+        // The batched-quantile path answers from one snapshot.
+        let qs = cs.quantiles(&[0.5, 0.99, 0.01]).unwrap();
+        assert_eq!(qs[0], p50, "{}", sketch.name());
+    }
 }
 
 #[test]

@@ -1,0 +1,207 @@
+//! Integration: the runtime-configuration surface — `SketchConfig`,
+//! `DDSketchBuilder`, `AnyDDSketch`, and the self-describing wire format —
+//! exercised across the whole configuration matrix.
+
+use ddsketch::{
+    presets, AnyDDSketch, DDSketchBuilder, MappingKind, SketchConfig, SketchError, Store, StoreKind,
+};
+use proptest::prelude::*;
+
+/// Build every supported config at the given parameters.
+fn matrix(alpha: f64, max_bins: usize) -> [SketchConfig; 5] {
+    SketchConfig::all(alpha, max_bins)
+}
+
+/// Acceptance: an `AnyDDSketch` built from each of the five configs is
+/// bit-identical (bins, count, sum, min, max) to its statically-typed
+/// preset on the same stream.
+#[test]
+fn any_sketch_is_bit_identical_to_every_preset() {
+    let values: Vec<f64> = (1..=20_000)
+        .map(|i| {
+            let v = (i as f64).powf(1.21) * 0.037;
+            if i % 4 == 0 {
+                -v
+            } else {
+                v
+            }
+        })
+        .collect();
+    let (alpha, max_bins) = (0.01, 512);
+
+    macro_rules! check {
+        ($config:expr, $preset:expr) => {{
+            let config = $config;
+            let mut any = config.build().unwrap();
+            let mut preset = $preset;
+            for chunk in values.chunks(900) {
+                any.add_slice(chunk).unwrap();
+            }
+            for &v in &values {
+                preset.add(v).unwrap();
+            }
+            assert_eq!(
+                any.positive_bins(),
+                preset.positive_store().bins_ascending(),
+                "{}",
+                config.name()
+            );
+            assert_eq!(
+                any.negative_bins(),
+                preset.negative_store().bins_ascending(),
+                "{}",
+                config.name()
+            );
+            assert_eq!(any.count(), preset.count());
+            assert_eq!(any.sum(), preset.sum(), "sum must be bit-identical");
+            assert_eq!(any.min(), preset.min());
+            assert_eq!(any.max(), preset.max());
+            for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(
+                    any.quantile(q).unwrap(),
+                    preset.quantile(q).unwrap(),
+                    "{} q={q}",
+                    config.name()
+                );
+            }
+        }};
+    }
+    check!(
+        SketchConfig::unbounded(alpha),
+        presets::unbounded(alpha).unwrap()
+    );
+    check!(
+        SketchConfig::dense_collapsing(alpha, max_bins),
+        presets::logarithmic_collapsing(alpha, max_bins).unwrap()
+    );
+    check!(
+        SketchConfig::fast(alpha, max_bins),
+        presets::fast(alpha, max_bins).unwrap()
+    );
+    check!(SketchConfig::sparse(alpha), presets::sparse(alpha).unwrap());
+    check!(
+        SketchConfig::paper_exact(alpha, max_bins),
+        presets::paper_exact(alpha, max_bins).unwrap()
+    );
+}
+
+/// Acceptance: `encode → AnyDDSketch::decode` round-trips every variant
+/// with no caller-side type annotation.
+#[test]
+fn self_describing_roundtrip_needs_no_type_knowledge() {
+    for config in matrix(0.02, 256) {
+        let mut sketch = config.build().unwrap();
+        for i in 1..=3000u32 {
+            sketch.add(f64::from(i) * 0.25).unwrap();
+        }
+        let bytes = sketch.encode();
+        let decoded = AnyDDSketch::decode(&bytes).unwrap();
+        assert_eq!(decoded.config(), config, "wire format must self-describe");
+        assert_eq!(decoded.to_payload(), sketch.to_payload());
+        // The decoded sketch keeps merging with the original.
+        let mut merged = decoded;
+        merged.merge_from(&sketch).unwrap();
+        assert_eq!(merged.count(), 2 * sketch.count());
+    }
+}
+
+/// Every pair of distinct variants refuses to merge; same-config pairs
+/// merge bucket-exactly.
+#[test]
+fn cross_config_merges_reject_and_same_config_merges_exactly() {
+    let configs = matrix(0.01, 256);
+    for (i, ca) in configs.iter().enumerate() {
+        for (j, cb) in configs.iter().enumerate() {
+            let mut a = ca.build().unwrap();
+            let mut b = cb.build().unwrap();
+            for v in 1..200 {
+                a.add(v as f64).unwrap();
+                b.add(v as f64 * 3.1).unwrap();
+            }
+            if i == j {
+                let mut union = ca.build().unwrap();
+                for v in 1..200 {
+                    union.add(v as f64).unwrap();
+                    union.add(v as f64 * 3.1).unwrap();
+                }
+                a.merge_from(&b).unwrap();
+                assert_eq!(a.positive_bins(), union.positive_bins(), "{}", ca.name());
+                assert_eq!(a.count(), union.count());
+                assert_eq!(a.sum(), union.sum());
+            } else {
+                assert!(
+                    matches!(a.merge_from(&b), Err(SketchError::IncompatibleMerge(_))),
+                    "{} vs {} must reject",
+                    ca.name(),
+                    cb.name()
+                );
+                // A failed merge must leave the target untouched.
+                assert_eq!(a.count(), 199);
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_and_config_agree_end_to_end() {
+    let from_builder = DDSketchBuilder::new(0.01)
+        .mapping(MappingKind::CubicInterpolated)
+        .store(StoreKind::CollapsingDense)
+        .max_bins(128)
+        .build()
+        .unwrap();
+    let from_config = SketchConfig::fast(0.01, 128).build().unwrap();
+    assert_eq!(from_builder.config(), from_config.config());
+}
+
+/// Strategy: a random valid `SketchConfig`.
+fn arb_config() -> impl Strategy<Value = SketchConfig> {
+    (0usize..5, 1u32..40, 5usize..9).prop_map(|(variant, alpha_step, bins_pow)| {
+        let alpha = f64::from(alpha_step) * 0.005; // 0.005 ..= 0.195
+        let max_bins = 1usize << bins_pow; // 32 ..= 256
+        SketchConfig::all(alpha, max_bins)[variant]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Satellite: encode → decode round-trip over *random* configs and
+    // random streams, with no type annotation at the decode site.
+    #[test]
+    fn prop_roundtrip_over_random_configs(
+        config in arb_config(),
+        values in proptest::collection::vec(-1e6f64..1e6, 0..400),
+    ) {
+        let mut sketch = config.build().unwrap();
+        for &v in &values {
+            sketch.add(v).unwrap();
+        }
+        let decoded = AnyDDSketch::decode(&sketch.encode()).unwrap();
+        prop_assert_eq!(decoded.config(), config);
+        prop_assert_eq!(decoded.to_payload(), sketch.to_payload());
+        prop_assert_eq!(decoded.count(), values.len() as u64);
+    }
+
+    // Random config pairs: merging succeeds iff variant (mapping + store)
+    // and alpha agree. max_bins may differ — the target re-collapses to
+    // its own bound (Algorithm 4), so bounded sketches of different sizes
+    // still merge.
+    #[test]
+    fn prop_merge_compatibility_is_variant_and_alpha_equality(
+        ca in arb_config(),
+        cb in arb_config(),
+    ) {
+        let mut a = ca.build().unwrap();
+        let b = cb.build().unwrap();
+        let compatible = ca.mapping == cb.mapping && ca.store == cb.store && ca.alpha == cb.alpha;
+        if compatible {
+            prop_assert!(a.merge_from(&b).is_ok());
+        } else {
+            prop_assert!(matches!(
+                a.merge_from(&b),
+                Err(SketchError::IncompatibleMerge(_))
+            ));
+        }
+    }
+}

@@ -78,6 +78,30 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (mirrors
+    /// `proptest::strategy::Strategy::prop_map`; no shrinking in this
+    /// stand-in).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    #[inline]
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.sample(rng))
+    }
 }
 
 macro_rules! impl_int_range_strategy {
