@@ -1,11 +1,24 @@
-//! Criterion microbenchmark behind Figure 9: merging two sketches of
-//! n/2 values each.
+//! Criterion microbenchmarks for the merge/query plane.
+//!
+//! * `merge/*` — Figure 9: merging two sketches of n/2 values each,
+//!   across all contender sketch families.
+//! * `merge_plane/*` — the k-way aggregation plane: answering p50/p99
+//!   from S shards (S ∈ {1, 4, 16, 64}) of a 1M-value stream, comparing
+//!   the pre-refactor path (clone a shard, pairwise `merge_from` the
+//!   rest, query the materialized merge) against `merge_many` and the
+//!   zero-copy `merged_quantiles` k-way walk, plus the full
+//!   `ConcurrentSketch::quantiles` read path (shard copies under
+//!   per-shard locks, walk outside all locks).
+//! * `rollup/*` — `TimeSeriesStore::rollup` throughput: 3600 one-second
+//!   cells rolled up 60× into minutes, one `merge_many` per coarse cell.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use bench_suite::{Contender, ContenderKind};
 use datasets::Dataset;
+use ddsketch::{AnyDDSketch, SketchConfig};
+use pipeline::{ConcurrentSketch, TimeSeriesStore};
 
 fn populated_pair(kind: ContenderKind, ds: Dataset, n: usize) -> (Contender, Contender) {
     let values = ds.generate(n, 31);
@@ -50,6 +63,102 @@ fn bench_merge(c: &mut Criterion) {
     }
 }
 
+/// The paper's production configuration, used by the aggregation-plane
+/// benchmarks.
+fn plane_config() -> SketchConfig {
+    SketchConfig::dense_collapsing(0.01, 2048)
+}
+
+/// Build S shard sketches (and a matching `ConcurrentSketch`) over a
+/// 1M-value heavy-tailed stream split round-robin across shards.
+fn populated_shards(shards: usize) -> (Vec<AnyDDSketch>, ConcurrentSketch) {
+    let values = Dataset::Pareto.generate(1_000_000, 47);
+    let config = plane_config();
+    let mut plain: Vec<AnyDDSketch> = (0..shards)
+        .map(|_| config.build().expect("valid config"))
+        .collect();
+    let concurrent = ConcurrentSketch::with_config(config, shards).expect("valid config");
+    for (shard, chunk) in values.chunks(values.len() / shards).enumerate() {
+        let shard = shard.min(shards - 1);
+        plain[shard].add_slice(chunk).expect("positive latencies");
+        concurrent
+            .add_slice_hinted(shard, chunk)
+            .expect("positive latencies");
+    }
+    for sketch in &mut plain {
+        sketch.release_scratch();
+    }
+    (plain, concurrent)
+}
+
+fn bench_merge_plane(c: &mut Criterion) {
+    let qs = [0.5, 0.99];
+    let mut group = c.benchmark_group("merge_plane/p50+p99");
+    for shards in [1usize, 4, 16, 64] {
+        let (plain, concurrent) = populated_shards(shards);
+        let refs: Vec<&AnyDDSketch> = plain.iter().collect();
+
+        // Pre-refactor snapshot-then-query: clone the first shard, fold
+        // the rest in pairwise (one grow/collapse each), query the
+        // materialized merge.
+        group.bench_function(BenchmarkId::new("pairwise-materialize", shards), |b| {
+            b.iter(|| {
+                let mut merged = plain[0].clone();
+                for other in &plain[1..] {
+                    merged.merge_from(black_box(other)).expect("same config");
+                }
+                merged.quantiles(black_box(&qs)).expect("non-empty")
+            });
+        });
+
+        // The merge plane, still materializing: one k-way merge_many.
+        group.bench_function(BenchmarkId::new("merge_many-materialize", shards), |b| {
+            b.iter(|| {
+                let mut merged = plain[0].clone();
+                merged
+                    .merge_many(black_box(&refs[1..]))
+                    .expect("same config");
+                merged.quantiles(black_box(&qs)).expect("non-empty")
+            });
+        });
+
+        // The zero-copy walk: no merged sketch exists at any point.
+        group.bench_function(BenchmarkId::new("merged_quantiles", shards), |b| {
+            b.iter(|| AnyDDSketch::merged_quantiles(black_box(&refs), black_box(&qs)))
+        });
+
+        // The full concurrent read path (per-shard lock + bin copy, then
+        // the same walk outside all locks).
+        group.bench_function(BenchmarkId::new("concurrent-quantiles", shards), |b| {
+            b.iter(|| concurrent.quantiles(black_box(&qs)).expect("non-empty"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rollup(c: &mut Criterion) {
+    // One hour of per-second cells for two endpoints, rolled up to
+    // minutes: 120 merge_many calls over 60 cells each.
+    let mut fine = TimeSeriesStore::with_config(plane_config(), 1).expect("valid config");
+    let values = Dataset::Pareto.generate(3600 * 64, 48);
+    for (second, chunk) in values.chunks(64).enumerate() {
+        let (home, checkout) = chunk.split_at(32);
+        fine.record_slice("web.home", second as u64, home)
+            .expect("positive latencies");
+        fine.record_slice("web.checkout", second as u64, checkout)
+            .expect("positive latencies");
+    }
+    let mut group = c.benchmark_group("rollup/1h-1s-to-1m");
+    group.bench_function("merge_many-per-minute", |b| {
+        b.iter(|| {
+            fine.rollup(black_box(60))
+                .expect("valid factor")
+                .num_cells()
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     // Short, low-variance runs: the full suite covers 5 sketches × 3 data
@@ -58,6 +167,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .measurement_time(std::time::Duration::from_secs(2))
         .sample_size(20);
-    targets = bench_merge
+    targets = bench_merge, bench_merge_plane, bench_rollup
 }
 criterion_main!(benches);

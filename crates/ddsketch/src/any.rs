@@ -39,6 +39,23 @@ pub enum AnyDDSketch {
     PaperExact(PaperExactDDSketch),
 }
 
+/// Recover the runtime configuration of a borrowed preset — the body of
+/// [`AnyDDSketch::config`], callable while the enum itself is already
+/// borrowed through one of its variants (as the merge error paths need).
+fn config_of<M, SP, SN>(sketch: &crate::DDSketch<M, SP, SN>) -> SketchConfig
+where
+    M: IndexMapping,
+    SP: Store,
+    SN: Store,
+{
+    SketchConfig {
+        alpha: sketch.relative_accuracy(),
+        mapping: sketch.mapping().kind(),
+        store: sketch.positive_store().store_kind(),
+        max_bins: sketch.positive_store().bin_limit().unwrap_or(0),
+    }
+}
+
 /// Dispatch `$body` over whichever preset `$self` wraps, binding it to
 /// `$s`. One macro, five arms, zero virtual calls.
 macro_rules! dispatch {
@@ -85,12 +102,7 @@ impl AnyDDSketch {
     /// Round-trips exactly: `AnyDDSketch::new(c)?.config() == c` for every
     /// valid `c`.
     pub fn config(&self) -> SketchConfig {
-        dispatch!(self, s => SketchConfig {
-            alpha: s.relative_accuracy(),
-            mapping: s.mapping().kind(),
-            store: s.positive_store().store_kind(),
-            max_bins: s.positive_store().bin_limit().unwrap_or(0),
-        })
+        dispatch!(self, s => config_of(s))
     }
 
     /// The relative accuracy `α` guaranteed for non-collapsed buckets.
@@ -158,6 +170,87 @@ impl AnyDDSketch {
                 a.config(),
                 b.config()
             ))),
+        }
+    }
+
+    /// Merge any number of same-variant sketches into this one in a
+    /// single k-way pass; see [`crate::DDSketch::merge_many`].
+    ///
+    /// Like [`Self::merge_from`], every sketch must wrap the same variant
+    /// with a mergeable mapping; the first mismatch fails the whole call
+    /// with `IncompatibleMerge` before anything is merged.
+    pub fn merge_many(&mut self, others: &[&Self]) -> Result<(), SketchError> {
+        macro_rules! merge_arm {
+            ($target:ident, $variant:ident) => {{
+                let mut typed = Vec::with_capacity(others.len());
+                for other in others {
+                    match other {
+                        AnyDDSketch::$variant(sketch) => typed.push(sketch),
+                        mismatched => {
+                            return Err(SketchError::IncompatibleMerge(format!(
+                                "store/mapping mismatch: {:?} vs {:?}",
+                                config_of($target),
+                                mismatched.config()
+                            )))
+                        }
+                    }
+                }
+                $target.merge_many(&typed)
+            }};
+        }
+        match self {
+            AnyDDSketch::Unbounded(s) => merge_arm!(s, Unbounded),
+            AnyDDSketch::Bounded(s) => merge_arm!(s, Bounded),
+            AnyDDSketch::Fast(s) => merge_arm!(s, Fast),
+            AnyDDSketch::Sparse(s) => merge_arm!(s, Sparse),
+            AnyDDSketch::PaperExact(s) => merge_arm!(s, PaperExact),
+        }
+    }
+
+    /// Estimate quantiles of the merge of `sketches` without materializing
+    /// the merged sketch; see [`crate::DDSketch::merged_quantiles`].
+    ///
+    /// Every sketch must wrap the same variant with a mergeable mapping.
+    /// With no sketches (or no data), non-empty `qs` fail with `Empty`
+    /// while an empty `qs` succeeds with an empty vec.
+    pub fn merged_quantiles(sketches: &[&Self], qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        let Some((first, rest)) = sketches.split_first() else {
+            for &q in qs {
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(SketchError::InvalidQuantile(q));
+                }
+            }
+            return if qs.is_empty() {
+                Ok(Vec::new())
+            } else {
+                Err(SketchError::Empty)
+            };
+        };
+        macro_rules! quantiles_arm {
+            ($head:ident, $variant:ident) => {{
+                let mut typed = Vec::with_capacity(sketches.len());
+                typed.push($head);
+                for other in rest {
+                    match other {
+                        AnyDDSketch::$variant(sketch) => typed.push(sketch),
+                        mismatched => {
+                            return Err(SketchError::IncompatibleMerge(format!(
+                                "store/mapping mismatch: {:?} vs {:?}",
+                                config_of($head),
+                                mismatched.config()
+                            )))
+                        }
+                    }
+                }
+                crate::DDSketch::merged_quantiles(&typed, qs)
+            }};
+        }
+        match first {
+            AnyDDSketch::Unbounded(s) => quantiles_arm!(s, Unbounded),
+            AnyDDSketch::Bounded(s) => quantiles_arm!(s, Bounded),
+            AnyDDSketch::Fast(s) => quantiles_arm!(s, Fast),
+            AnyDDSketch::Sparse(s) => quantiles_arm!(s, Sparse),
+            AnyDDSketch::PaperExact(s) => quantiles_arm!(s, PaperExact),
         }
     }
 
@@ -345,5 +438,56 @@ mod tests {
         // From<preset> conversions preserve the configuration.
         let any: AnyDDSketch = presets::sparse(0.03).unwrap().into();
         assert_eq!(any.config(), SketchConfig::sparse(0.03));
+    }
+
+    #[test]
+    fn merge_plane_smoke() {
+        let build = |vals: &[f64]| {
+            let mut s = SketchConfig::dense_collapsing(0.01, 512).build().unwrap();
+            s.add_slice(vals).unwrap();
+            s
+        };
+        let a = build(&[1.0, 2.0, 3.0]);
+        let b = build(&[4.0, 5.0]);
+        let c = build(&[6.0]);
+        let mut bulk = a.clone();
+        bulk.merge_many(&[&b, &c]).unwrap();
+        let mut seq = a.clone();
+        seq.merge_from(&b).unwrap();
+        seq.merge_from(&c).unwrap();
+        assert_eq!(bulk.positive_bins(), seq.positive_bins());
+        assert_eq!(bulk.count(), 6);
+        // merged_quantiles ≡ quantiles of the materialized merge.
+        let qs = [0.0, 0.5, 1.0];
+        assert_eq!(
+            AnyDDSketch::merged_quantiles(&[&a, &b, &c], &qs).unwrap(),
+            bulk.quantiles(&qs).unwrap()
+        );
+        // Cross-variant inputs are rejected atomically with the configs
+        // named.
+        let sparse = SketchConfig::sparse(0.01).build().unwrap();
+        let mut target = a.clone();
+        assert!(matches!(
+            target.merge_many(&[&b, &sparse]),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+        assert_eq!(target.positive_bins(), a.positive_bins());
+        assert!(matches!(
+            AnyDDSketch::merged_quantiles(&[&a, &sparse], &[0.5]),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+        // Empty input handling.
+        assert_eq!(
+            AnyDDSketch::merged_quantiles(&[], &[]).unwrap(),
+            Vec::<f64>::new()
+        );
+        assert!(matches!(
+            AnyDDSketch::merged_quantiles(&[], &[0.5]),
+            Err(SketchError::Empty)
+        ));
+        assert!(matches!(
+            AnyDDSketch::merged_quantiles(&[], &[1.5]),
+            Err(SketchError::InvalidQuantile(_))
+        ));
     }
 }

@@ -117,6 +117,57 @@
 //! When you need several quantiles, prefer `quantiles`: it sorts the
 //! requested ranks and walks each store's cumulative counts once, instead
 //! of rescanning per quantile.
+//!
+//! ## Aggregation plane
+//!
+//! Full mergeability (Proposition 3) is the read-side counterpart of
+//! batched ingestion, and it gets the same bulk treatment. Two k-way
+//! primitives — on the preset types and on [`AnyDDSketch`] — replace
+//! pairwise `merge_from` folds:
+//!
+//! * `merge_many(&[&sketch])` merges any number of compatible sketches
+//!   with **one** capacity/collapse decision per store (one reallocation
+//!   and at most one fold for the whole union, instead of up to k of
+//!   each). Bit-identical to folding `merge_from` in order.
+//! * `merged_quantiles(&[&sketch], &qs)` answers quantiles of the merge
+//!   **without materializing it**: one sorted-rank k-way walk over the
+//!   shards' borrowed bins ([`store::BinIter`] — zero copies), with
+//!   bounded-store collapse accounted for by clamping each bin to the
+//!   index the real merge would fold it to ([`Store::merge_clamp`]).
+//!   Identical — including collapsed tails — to merging and then calling
+//!   `quantiles`; property-tested across every preset.
+//!
+//! ```
+//! use ddsketch::{AnyDDSketch, DDSketchBuilder};
+//!
+//! let shards: Vec<AnyDDSketch> = (0..4)
+//!     .map(|shard| {
+//!         let mut s = DDSketchBuilder::new(0.01).dense_collapsing(2048).build().unwrap();
+//!         for i in 1..=1000u32 {
+//!             s.add(f64::from(shard * 1000 + i)).unwrap();
+//!         }
+//!         s
+//!     })
+//!     .collect();
+//! let refs: Vec<&AnyDDSketch> = shards.iter().collect();
+//!
+//! // Quantiles of the merge, no merged sketch ever built:
+//! let p = AnyDDSketch::merged_quantiles(&refs, &[0.5, 0.99]).unwrap();
+//!
+//! // ... identical to materializing with one k-way merge:
+//! let mut merged = shards[0].clone();
+//! merged.merge_many(&refs[1..]).unwrap();
+//! assert_eq!(p, merged.quantiles(&[0.5, 0.99]).unwrap());
+//! ```
+//!
+//! The pipeline crate rides this plane end to end: `ConcurrentSketch::
+//! snapshot` copies each shard under its own lock and runs one
+//! `merge_many` outside all locks; `ConcurrentSketch::quantiles` answers
+//! straight off the borrowed shards with the zero-copy walk;
+//! `TimeSeriesStore` interns metric names into ids (allocation-free
+//! lookups, range-scanned per-metric series), rolls fine windows up with
+//! one `merge_many` per coarse cell, and bounds a long-lived aggregator
+//! with `evict_before`.
 
 pub mod any;
 pub mod config;

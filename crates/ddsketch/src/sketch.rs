@@ -1,7 +1,7 @@
 //! The DDSketch itself (paper Section 2).
 
 use crate::mapping::{IndexMapping, MappingKind};
-use crate::store::Store;
+use crate::store::{BinIter, Store};
 use sketch_core::{target_rank, MemoryFootprint, MergeableSketch, QuantileSketch, SketchError};
 
 /// A quantile sketch with relative-error guarantees over all of ℝ.
@@ -39,7 +39,7 @@ pub struct DDSketch<M: IndexMapping, SP: Store, SN: Store = SP> {
 /// Reusable buffers for [`DDSketch::add_slice`]: contents are transient
 /// (cleared on every call), only the capacity persists, so repeated batch
 /// ingestion allocates nothing in steady state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 struct Scratch {
     /// Positive values of the current batch.
     pos: Vec<f64>,
@@ -49,11 +49,302 @@ struct Scratch {
     indices: Vec<i32>,
 }
 
+impl Clone for Scratch {
+    /// Scratch contents are transient and its capacity is a private
+    /// ingest-side optimization, so a cloned sketch starts with fresh
+    /// (empty) buffers. This keeps snapshot clones — e.g. a concurrent
+    /// shard copied under its lock — a pure bin copy.
+    fn clone(&self) -> Self {
+        Scratch::default()
+    }
+}
+
 impl Scratch {
     /// Retained heap capacity, counted by [`DDSketch::memory_bytes`].
     fn heap_bytes(&self) -> usize {
         (self.pos.capacity() + self.neg.capacity()) * std::mem::size_of::<f64>()
             + self.indices.capacity() * std::mem::size_of::<i32>()
+    }
+}
+
+/// Block width of the dense column walk: wide enough that the per-shard
+/// slice additions vectorize, small enough that the block buffer lives in
+/// L1 alongside the shard windows being summed.
+const COLUMN_BLOCK: usize = 256;
+
+/// Monotone cursor over the (virtual) merge of several stores' bins: a
+/// k-way walk that answers ascending rank queries with the effective
+/// bucket index the materialized merge would report, without building it.
+///
+/// `descending = false` walks bins in ascending index order (the
+/// positive-store walk); `descending = true` walks them in descending
+/// order (the negative-store walk from the most negative value). The
+/// clamp maps each raw index to the bucket a real merge would fold it
+/// into ([`Store::merge_clamp`]); clamping is monotone, so sub-bins of
+/// one effective bucket are always consumed consecutively and the
+/// cumulative-count stopping rule matches the merged store's
+/// `key_at_rank` exactly.
+///
+/// Two strategies behind one face: all-dense shard sets (the contiguous
+/// store families) walk **columns** — per-block vectorized slice sums of
+/// the shards' borrowed counter windows, the same arithmetic a
+/// materialized merge would do but with no allocation, no store
+/// bookkeeping, and early exit at the last requested rank. Sparse (or
+/// mixed) sets fall back to a per-bin smallest/largest-head scan, which
+/// is proportional to *non-empty* bins — exactly the regime sparse
+/// stores are chosen for.
+// The size gap between variants is deliberate: the cursor is a
+// short-lived stack local of the quantile walk, and boxing the dense
+// variant would put an allocation on the hot read path.
+#[allow(clippy::large_enum_variant)]
+enum KWayRankCursor<'a> {
+    Dense(DenseColumnCursor<'a>),
+    Generic(GenericRankCursor<'a>),
+}
+
+impl<'a> KWayRankCursor<'a> {
+    fn new(iters: Vec<BinIter<'a>>, descending: bool, clamp: (i32, i32)) -> Self {
+        // The shards of one merge share a store type, so their iterators
+        // share a `BinIter` variant; only the dense families take the
+        // column walk. (A mixed set cannot arise from `merged_quantiles`,
+        // but the generic walk would still handle it correctly.)
+        let mut windows: Vec<(&[u64], i64)> = Vec::with_capacity(iters.len());
+        let mut mirrored: Option<bool> = None;
+        let mut all_dense = true;
+        for iter in &iters {
+            let (counts, first, is_mirrored) = match *iter {
+                BinIter::Dense { counts, first } => (counts, first, false),
+                BinIter::DenseNeg { counts, first } => (counts, first, true),
+                BinIter::Sparse(_) => {
+                    all_dense = false;
+                    break;
+                }
+            };
+            if counts.is_empty() {
+                continue;
+            }
+            if *mirrored.get_or_insert(is_mirrored) != is_mirrored {
+                all_dense = false;
+                break;
+            }
+            windows.push((counts, first));
+        }
+        if all_dense {
+            KWayRankCursor::Dense(DenseColumnCursor::new(
+                windows,
+                mirrored.unwrap_or(false),
+                descending,
+                clamp,
+            ))
+        } else {
+            KWayRankCursor::Generic(GenericRankCursor::new(iters, descending, clamp))
+        }
+    }
+
+    /// Advance until the cumulative count exceeds `rank` (ranks must be
+    /// presented in ascending order) and return the effective bucket index
+    /// there — or stay on the last bucket when floating-point rounding
+    /// pushes `rank` past the total, matching `key_at_rank`'s fallback.
+    fn advance_to(&mut self, rank: f64) -> Option<i32> {
+        match self {
+            KWayRankCursor::Dense(cursor) => cursor.advance_to(rank),
+            KWayRankCursor::Generic(cursor) => cursor.advance_to(rank),
+        }
+    }
+}
+
+/// The all-dense strategy: per-block column sums over the shards'
+/// borrowed counter windows.
+///
+/// Walk order and index signs are normalized into *storage* coordinates:
+/// a mirrored window (the highest-collapsing store's negated inner array)
+/// reports index `-g` for storage index `g` and therefore walks storage
+/// in the direction opposite to the requested output order.
+struct DenseColumnCursor<'a> {
+    windows: Vec<(&'a [u64], i64)>,
+    /// Output index = `sign * storage index` (−1 for mirrored windows).
+    sign: i64,
+    /// Storage-order step per consumed column (+1 or −1).
+    dir: i64,
+    clamp: (i32, i32),
+    /// Next storage index to consume.
+    g: i64,
+    /// Final storage index (inclusive) in walk direction.
+    last: i64,
+    exhausted: bool,
+    /// Column sums for storage indices `[buf_lo, buf_lo + COLUMN_BLOCK)`.
+    buf: [u64; COLUMN_BLOCK],
+    buf_lo: i64,
+    buf_filled: bool,
+    cum: u64,
+    cursor: Option<i32>,
+}
+
+impl<'a> DenseColumnCursor<'a> {
+    fn new(
+        windows: Vec<(&'a [u64], i64)>,
+        mirrored: bool,
+        descending: bool,
+        clamp: (i32, i32),
+    ) -> Self {
+        // Output ascending walks plain windows upward and mirrored
+        // windows downward; output descending mirrors both.
+        let dir = match (mirrored, descending) {
+            (false, false) | (true, true) => 1,
+            (false, true) | (true, false) => -1,
+        };
+        let sign = if mirrored { -1 } else { 1 };
+        let lo = windows.iter().map(|&(_, first)| first).min();
+        let hi = windows
+            .iter()
+            .map(|&(counts, first)| first + counts.len() as i64 - 1)
+            .max();
+        let (g, last, exhausted) = match (lo, hi) {
+            (Some(lo), Some(hi)) if dir > 0 => (lo, hi, false),
+            (Some(lo), Some(hi)) => (hi, lo, false),
+            _ => (0, 0, true),
+        };
+        Self {
+            windows,
+            sign,
+            dir,
+            clamp,
+            g,
+            last,
+            exhausted,
+            buf: [0; COLUMN_BLOCK],
+            buf_lo: 0,
+            buf_filled: false,
+            cum: 0,
+            cursor: None,
+        }
+    }
+
+    /// Sum every shard's overlap with the block containing `g` (aligned
+    /// so the block extends in walk direction) — contiguous slice adds,
+    /// the vectorizable core of the walk.
+    fn fill_block(&mut self, g: i64) {
+        let lo = if self.dir > 0 {
+            g
+        } else {
+            g - (COLUMN_BLOCK as i64 - 1)
+        };
+        self.buf = [0; COLUMN_BLOCK];
+        for &(counts, first) in &self.windows {
+            let overlap_lo = lo.max(first);
+            let overlap_hi = (lo + COLUMN_BLOCK as i64).min(first + counts.len() as i64);
+            if overlap_lo < overlap_hi {
+                let dst = (overlap_lo - lo) as usize..(overlap_hi - lo) as usize;
+                let src = (overlap_lo - first) as usize..(overlap_hi - first) as usize;
+                for (d, s) in self.buf[dst].iter_mut().zip(&counts[src]) {
+                    *d += s;
+                }
+            }
+        }
+        self.buf_lo = lo;
+        self.buf_filled = true;
+    }
+
+    fn advance_to(&mut self, rank: f64) -> Option<i32> {
+        while (self.cum as f64) <= rank && !self.exhausted {
+            if !self.buf_filled
+                || self.g < self.buf_lo
+                || self.g >= self.buf_lo + COLUMN_BLOCK as i64
+            {
+                self.fill_block(self.g);
+            }
+            // Consume columns inside the current block.
+            loop {
+                let column = self.buf[(self.g - self.buf_lo) as usize];
+                if column > 0 {
+                    self.cum += column;
+                    let out = (self.sign * self.g) as i32;
+                    self.cursor = Some(out.clamp(self.clamp.0, self.clamp.1));
+                }
+                if self.g == self.last {
+                    self.exhausted = true;
+                    break;
+                }
+                self.g += self.dir;
+                if (self.cum as f64) > rank
+                    || self.g < self.buf_lo
+                    || self.g >= self.buf_lo + COLUMN_BLOCK as i64
+                {
+                    break;
+                }
+            }
+        }
+        self.cursor
+    }
+}
+
+/// The fallback strategy: per-bin smallest/largest-head scan across the
+/// shard iterators.
+struct GenericRankCursor<'a> {
+    iters: Vec<BinIter<'a>>,
+    heads: Vec<Option<(i32, u64)>>,
+    descending: bool,
+    clamp: (i32, i32),
+    cum: u64,
+    cursor: Option<i32>,
+}
+
+impl<'a> GenericRankCursor<'a> {
+    fn new(mut iters: Vec<BinIter<'a>>, descending: bool, clamp: (i32, i32)) -> Self {
+        let heads = iters
+            .iter_mut()
+            .map(|iter| {
+                if descending {
+                    iter.next_back()
+                } else {
+                    iter.next()
+                }
+            })
+            .collect();
+        Self {
+            iters,
+            heads,
+            descending,
+            clamp,
+            cum: 0,
+            cursor: None,
+        }
+    }
+
+    fn advance_to(&mut self, rank: f64) -> Option<i32> {
+        while (self.cum as f64) <= rank {
+            let mut best: Option<usize> = None;
+            for (k, head) in self.heads.iter().enumerate() {
+                if let Some((idx, _)) = *head {
+                    best = Some(match best {
+                        None => k,
+                        Some(b) => {
+                            let (best_idx, _) = self.heads[b].expect("best head is live");
+                            let take = if self.descending {
+                                idx > best_idx
+                            } else {
+                                idx < best_idx
+                            };
+                            if take {
+                                k
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+            }
+            let Some(k) = best else { break };
+            let (idx, count) = self.heads[k].take().expect("best head is live");
+            self.heads[k] = if self.descending {
+                self.iters[k].next_back()
+            } else {
+                self.iters[k].next()
+            };
+            self.cum += count;
+            self.cursor = Some(idx.clamp(self.clamp.0, self.clamp.1));
+        }
+        self.cursor
     }
 }
 
@@ -343,75 +634,110 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
     /// per store monotonically, answering all k in one walk (O(k·log k +
     /// bins)). Output order matches the input order, and every estimate is
     /// identical to what [`Self::quantile`] returns for the same `q`.
+    ///
+    /// This is the single-shard case of [`Self::merged_quantiles`], and is
+    /// implemented as exactly that.
     pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        Self::merged_quantiles(&[self], qs)
+    }
+
+    /// Estimate quantiles of the **merge** of `sketches` without
+    /// materializing the merged sketch.
+    ///
+    /// The borrowed shards' bins are consumed through one k-way
+    /// sorted-rank walk per store side ([`crate::store::BinIter`], so no
+    /// intermediate store, no reallocation, no collapse work), with
+    /// bounded store families accounted for by clamping each bin to the
+    /// effective index the real merge would fold it to
+    /// ([`Store::merge_clamp`]). The result is **identical** — including
+    /// collapsed tails — to `target.quantiles(qs)` where `target` is a
+    /// clone of `sketches[0]` that merged every remaining shard
+    /// ([`Self::merge_from`] / [`Self::merge_many`]); the equivalence is
+    /// property-tested across every preset.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidQuantile` for any `q` outside `[0, 1]`, `IncompatibleMerge`
+    /// when the sketches' mappings cannot merge, and `Empty` when
+    /// `sketches` is empty or holds no data (unless `qs` is empty, which
+    /// always succeeds with an empty vec).
+    pub fn merged_quantiles(sketches: &[&Self], qs: &[f64]) -> Result<Vec<f64>, SketchError> {
         for &q in qs {
             if !(0.0..=1.0).contains(&q) {
                 return Err(SketchError::InvalidQuantile(q));
             }
         }
         if qs.is_empty() {
-            // Nothing to estimate: succeed even on an empty sketch, as the
+            // Nothing to estimate: succeed even with no data, as the
             // per-quantile mapping always has.
             return Ok(Vec::new());
         }
-        let n = self.count();
+        let Some((first, rest)) = sketches.split_first() else {
+            return Err(SketchError::Empty);
+        };
+        for other in rest {
+            if !first.mapping.is_mergeable_with(&other.mapping) {
+                return Err(SketchError::IncompatibleMerge(format!(
+                    "mapping {} (α={}) vs {} (α={})",
+                    first.mapping.name(),
+                    first.mapping.relative_accuracy(),
+                    other.mapping.name(),
+                    other.mapping.relative_accuracy()
+                )));
+            }
+        }
+        let n: u64 = sketches.iter().map(|s| s.count()).sum();
         if n == 0 {
             return Err(SketchError::Empty);
         }
+        let min = sketches.iter().map(|s| s.min).fold(f64::INFINITY, f64::min);
+        let max = sketches
+            .iter()
+            .map(|s| s.max)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let neg_total: u64 = sketches.iter().map(|s| s.negative.total_count()).sum();
+        let zero_total: u64 = sketches.iter().map(|s| s.zero_count).sum();
+
+        let pos_stores: Vec<&SP> = sketches.iter().map(|s| &s.positive).collect();
+        let neg_stores: Vec<&SN> = sketches.iter().map(|s| &s.negative).collect();
+        // Positive walk runs ascending; the negative walk runs from the
+        // most negative value, i.e. from the largest |x| bucket downward —
+        // mirroring key_at_rank_descending.
+        let mut pos = KWayRankCursor::new(
+            pos_stores.iter().map(|s| s.bin_iter()).collect(),
+            false,
+            SP::merge_clamp(&pos_stores),
+        );
+        let mut neg = KWayRankCursor::new(
+            neg_stores.iter().map(|s| s.bin_iter()).collect(),
+            true,
+            SN::merge_clamp(&neg_stores),
+        );
+
         // Visit the ranks in ascending order, remembering each one's
         // original slot so the output order stays stable.
         let mut order: Vec<usize> = (0..qs.len()).collect();
         order.sort_by(|&a, &b| qs[a].total_cmp(&qs[b]));
 
-        let neg_total = self.negative.total_count() as f64;
-        let zero_total = self.zero_count as f64;
-        let neg_bins = self.negative.bins_ascending();
-        let pos_bins = self.positive.bins_ascending();
-        // Negative walk runs from the most negative value, i.e. from the
-        // largest |x| bucket downward — mirroring key_at_rank_descending.
-        let mut neg_iter = neg_bins.iter().rev();
-        let mut neg_cum = 0u64;
-        let mut neg_cursor: Option<i32> = None;
-        let mut pos_iter = pos_bins.iter();
-        let mut pos_cum = 0u64;
-        let mut pos_cursor: Option<i32> = None;
-
+        let neg_total = neg_total as f64;
+        let zero_total = zero_total as f64;
         let mut out = vec![0.0; qs.len()];
         for &slot in &order {
             let rank = target_rank(qs[slot], n);
             let raw = if rank < neg_total {
-                while neg_cum as f64 <= rank {
-                    match neg_iter.next() {
-                        Some(&(idx, c)) => {
-                            neg_cum += c;
-                            neg_cursor = Some(idx);
-                        }
-                        // Floating-point rounding pushed the rank past the
-                        // store total: stay on the last bucket, matching
-                        // key_at_rank_descending's fallback.
-                        None => break,
-                    }
-                }
-                -self
-                    .mapping
-                    .value(neg_cursor.expect("rank < neg_total implies a bin"))
+                let idx = neg
+                    .advance_to(rank)
+                    .expect("rank < neg_total implies a negative bin");
+                -first.mapping.value(idx)
             } else if rank < neg_total + zero_total {
                 0.0
             } else {
-                let pos_rank = rank - neg_total - zero_total;
-                while pos_cum as f64 <= pos_rank {
-                    match pos_iter.next() {
-                        Some(&(idx, c)) => {
-                            pos_cum += c;
-                            pos_cursor = Some(idx);
-                        }
-                        None => break,
-                    }
-                }
-                self.mapping
-                    .value(pos_cursor.expect("rank < total implies positive store non-empty"))
+                let idx = pos
+                    .advance_to(rank - neg_total - zero_total)
+                    .expect("rank < total implies a positive bin");
+                first.mapping.value(idx)
             };
-            out[slot] = raw.clamp(self.min, self.max);
+            out[slot] = raw.clamp(min, max);
         }
         Ok(out)
     }
@@ -457,21 +783,47 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
     /// Merge another sketch into this one (Algorithm 4). Bucket-exact: the
     /// result is identical to a single sketch over the union of the inputs.
     pub fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
-        if !self.mapping.is_mergeable_with(&other.mapping) {
-            return Err(SketchError::IncompatibleMerge(format!(
-                "mapping {} (α={}) vs {} (α={})",
-                self.mapping.name(),
-                self.mapping.relative_accuracy(),
-                other.mapping.name(),
-                other.mapping.relative_accuracy()
-            )));
+        self.merge_many(&[other])
+    }
+
+    /// Merge any number of compatible sketches into this one in a single
+    /// k-way pass.
+    ///
+    /// Equivalent — bins, count, `sum`, `min`, `max`, and the collapse
+    /// flag, all bit-identical — to folding [`Self::merge_from`] over
+    /// `others` in order, but each store makes its capacity and collapse
+    /// decisions **once** for the whole union ([`Store::merge_many`]): one
+    /// reallocation and at most one fold instead of up to k of each. This
+    /// is the aggregation-plane workhorse behind shard snapshots and
+    /// time-series rollups.
+    ///
+    /// # Errors
+    ///
+    /// `IncompatibleMerge` if any sketch's mapping cannot merge with this
+    /// one's; the check runs before any mutation, so a failed call leaves
+    /// the sketch untouched.
+    pub fn merge_many(&mut self, others: &[&Self]) -> Result<(), SketchError> {
+        for other in others {
+            if !self.mapping.is_mergeable_with(&other.mapping) {
+                return Err(SketchError::IncompatibleMerge(format!(
+                    "mapping {} (α={}) vs {} (α={})",
+                    self.mapping.name(),
+                    self.mapping.relative_accuracy(),
+                    other.mapping.name(),
+                    other.mapping.relative_accuracy()
+                )));
+            }
         }
-        self.positive.merge_from(&other.positive);
-        self.negative.merge_from(&other.negative);
-        self.zero_count += other.zero_count;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        self.sum += other.sum;
+        let positives: Vec<&SP> = others.iter().map(|s| &s.positive).collect();
+        self.positive.merge_many(&positives);
+        let negatives: Vec<&SN> = others.iter().map(|s| &s.negative).collect();
+        self.negative.merge_many(&negatives);
+        for other in others {
+            self.zero_count += other.zero_count;
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+            self.sum += other.sum;
+        }
         Ok(())
     }
 
@@ -599,7 +951,8 @@ impl<M: IndexMapping, SP: Store, SN: Store> MemoryFootprint for DDSketch<M, SP, 
 #[cfg(test)]
 mod tests {
     use crate::mapping::IndexMapping;
-    use crate::presets::*;
+    use crate::presets::{self, *};
+    use crate::sketch::DDSketch;
     use crate::store::Store;
     use sketch_core::SketchError;
 
@@ -970,6 +1323,140 @@ mod tests {
         assert_eq!(
             unbounded(0.01).unwrap().quantiles(&[]).unwrap(),
             Vec::<f64>::new()
+        );
+    }
+
+    #[test]
+    fn merge_many_matches_sequential_merges() {
+        let mut shards = Vec::new();
+        for shard in 0..5 {
+            let mut s = unbounded(0.01).unwrap();
+            for i in 1..=400 {
+                let v = (shard * 400 + i) as f64 * 0.7 - 500.0;
+                s.add(v).unwrap();
+            }
+            shards.push(s);
+        }
+        // One shard left intentionally empty.
+        shards.push(unbounded(0.01).unwrap());
+        let refs: Vec<_> = shards[1..].iter().collect();
+        let mut bulk = shards[0].clone();
+        bulk.merge_many(&refs).unwrap();
+        let mut seq = shards[0].clone();
+        for other in &refs {
+            seq.merge_from(other).unwrap();
+        }
+        assert_eq!(bulk.count(), seq.count());
+        assert_eq!(bulk.zero_count(), seq.zero_count());
+        assert_eq!(bulk.sum(), seq.sum(), "sum must be bit-identical");
+        assert_eq!(bulk.min(), seq.min());
+        assert_eq!(bulk.max(), seq.max());
+        assert_eq!(
+            bulk.positive_store().bins_ascending(),
+            seq.positive_store().bins_ascending()
+        );
+        assert_eq!(
+            bulk.negative_store().bins_ascending(),
+            seq.negative_store().bins_ascending()
+        );
+        // Merging nothing is a no-op that still succeeds.
+        let before = bulk.count();
+        bulk.merge_many(&[]).unwrap();
+        assert_eq!(bulk.count(), before);
+    }
+
+    #[test]
+    fn merge_many_rejects_atomically() {
+        let mut target = unbounded(0.01).unwrap();
+        target.add(1.0).unwrap();
+        let mut good = unbounded(0.01).unwrap();
+        good.add(2.0).unwrap();
+        let bad = unbounded(0.02).unwrap();
+        assert!(matches!(
+            target.merge_many(&[&good, &bad]),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+        // Validation precedes mutation: nothing was merged.
+        assert_eq!(target.count(), 1);
+    }
+
+    #[test]
+    fn merged_quantiles_match_materialized_merge() {
+        // Mixed signs and zeros across unevenly-sized shards.
+        let mut shards = Vec::new();
+        for shard in 0..4usize {
+            let mut s = unbounded(0.01).unwrap();
+            for i in 1..=(200 * (shard + 1)) {
+                let v = match i % 5 {
+                    0 => 0.0,
+                    1 | 2 => (i as f64).sqrt() * 2.5,
+                    _ => -(i as f64) * 0.3,
+                };
+                s.add(v).unwrap();
+            }
+            shards.push(s);
+        }
+        let refs: Vec<_> = shards.iter().collect();
+        let mut materialized = shards[0].clone();
+        materialized.merge_many(&refs[1..]).unwrap();
+        let qs = [0.99, 0.0, 0.5, 0.5, 1.0, 0.01, 0.25, 0.75];
+        assert_eq!(
+            DDSketch::merged_quantiles(&refs, &qs).unwrap(),
+            materialized.quantiles(&qs).unwrap()
+        );
+        // Validation mirrors `quantiles`.
+        assert!(DDSketch::merged_quantiles(&refs, &[1.5]).is_err());
+        assert!(DDSketch::merged_quantiles(&refs, &[f64::NAN]).is_err());
+        assert_eq!(
+            DDSketch::merged_quantiles(&refs, &[]).unwrap(),
+            Vec::<f64>::new()
+        );
+        // No sketches (or only empty sketches) → Empty, unless qs is
+        // empty too.
+        let no_shards: [&presets::UnboundedDDSketch; 0] = [];
+        assert!(matches!(
+            DDSketch::merged_quantiles(&no_shards, &[0.5]),
+            Err(SketchError::Empty)
+        ));
+        assert_eq!(
+            DDSketch::merged_quantiles(&no_shards, &[]).unwrap(),
+            Vec::<f64>::new()
+        );
+        let empty = unbounded(0.01).unwrap();
+        assert!(matches!(
+            DDSketch::merged_quantiles(&[&empty], &[0.5]),
+            Err(SketchError::Empty)
+        ));
+        // Mismatched mappings are rejected.
+        let other_alpha = unbounded(0.02).unwrap();
+        assert!(matches!(
+            DDSketch::merged_quantiles(&[&shards[0], &other_alpha], &[0.5]),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+    }
+
+    #[test]
+    fn merged_quantiles_honour_collapsed_tails() {
+        // Tiny bin cap: the union spans far more buckets than any single
+        // shard, so the (virtual) merge must collapse — and the k-way walk
+        // must report exactly what the materialized collapse reports.
+        let mut shards = Vec::new();
+        for shard in 0..6 {
+            let mut s = logarithmic_collapsing(0.01, 32).unwrap();
+            for i in 1..=500 {
+                let v = 1.001_f64.powi(shard * 700 + i) * (1.0 + (i % 3) as f64);
+                s.add(v).unwrap();
+            }
+            shards.push(s);
+        }
+        let refs: Vec<_> = shards.iter().collect();
+        let mut materialized = shards[0].clone();
+        materialized.merge_many(&refs[1..]).unwrap();
+        assert!(materialized.has_collapsed());
+        let qs = [0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 1.0];
+        assert_eq!(
+            DDSketch::merged_quantiles(&refs, &qs).unwrap(),
+            materialized.quantiles(&qs).unwrap()
         );
     }
 

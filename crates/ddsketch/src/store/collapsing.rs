@@ -1,7 +1,7 @@
 //! Bounded-size contiguous stores (paper Algorithms 3 and 4, dense
 //! span-limited variant).
 
-use super::{Store, StoreKind};
+use super::{BinIter, Store, StoreKind};
 
 const CHUNK: i64 = 128;
 
@@ -359,116 +359,113 @@ impl Store for CollapsingLowestDenseStore {
         (self.total > 0).then_some(self.max_idx as i32)
     }
 
-    fn num_bins(&self) -> usize {
+    fn bin_iter(&self) -> BinIter<'_> {
         if self.total == 0 {
-            return 0;
+            return BinIter::empty();
         }
-        self.live().iter().filter(|&&c| c > 0).count()
-    }
-
-    fn bins_ascending(&self) -> Vec<(i32, u64)> {
-        if self.total == 0 {
-            return Vec::new();
+        BinIter::Dense {
+            counts: self.live(),
+            first: self.min_idx,
         }
-        let min_idx = self.min_idx;
-        self.live()
-            .iter()
-            .enumerate()
-            .filter_map(|(k, &c)| (c > 0).then_some(((min_idx + k as i64) as i32, c)))
-            .collect()
-    }
-
-    fn key_at_rank(&self, rank: f64) -> Option<i32> {
-        if self.total == 0 {
-            return None;
-        }
-        let mut cum = 0u64;
-        for (k, &c) in self.live().iter().enumerate() {
-            cum += c;
-            if cum as f64 > rank {
-                return Some((self.min_idx + k as i64) as i32);
-            }
-        }
-        Some(self.max_idx as i32)
-    }
-
-    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
-        if self.total == 0 {
-            return None;
-        }
-        let mut cum = 0u64;
-        for (k, &c) in self.live().iter().enumerate().rev() {
-            cum += c;
-            if cum as f64 > rank {
-                return Some((self.min_idx + k as i64) as i32);
-            }
-        }
-        Some(self.min_idx as i32)
     }
 
     fn merge_from(&mut self, other: &Self) {
-        // Bulk Algorithm 4: determine the merged maximum first, fold both
-        // sides' out-of-span buckets into the lowest allowed bucket, then
-        // add the arrays elementwise — no per-bucket re-insertion, which
-        // is what makes DDSketch merges an order of magnitude faster than
-        // GK/HDR in the paper's Figure 9.
-        self.collapsed |= other.collapsed;
-        if other.total == 0 {
-            return;
+        self.merge_many(&[other]);
+    }
+
+    fn merge_many(&mut self, others: &[&Self]) {
+        // Bulk Algorithm 4, k ways at once: determine the union maximum
+        // first, fold our own out-of-span buckets exactly once, reallocate
+        // exactly once for the union's effective window, then add every
+        // source's array elementwise — no per-bucket re-insertion and no
+        // per-source capacity work, which is what makes DDSketch merges an
+        // order of magnitude faster than GK/HDR in the paper's Figure 9.
+        let mut others_max: Option<i64> = None;
+        for other in others {
+            self.collapsed |= other.collapsed;
+            if other.total > 0 {
+                others_max = Some(others_max.map_or(other.max_idx, |m| m.max(other.max_idx)));
+            }
         }
+        let Some(others_max) = others_max else { return };
         let new_max = if self.total == 0 {
-            other.max_idx
+            others_max
         } else {
-            self.max_idx.max(other.max_idx)
+            self.max_idx.max(others_max)
         };
         let allowed_min = new_max - self.max_bins + 1;
 
-        // Fold our own low buckets first if the merged span demands it.
+        // Fold our own low buckets once if the union span demands it.
         if self.total > 0 && self.min_idx < allowed_min {
             self.collapse_lowest_to(allowed_min);
         }
 
-        let eff_other_min = other.min_idx.max(allowed_min);
-        let lo = if self.total == 0 {
-            eff_other_min
+        // One reallocation covering every source's effective window.
+        let mut lo = if self.total > 0 {
+            self.min_idx
         } else {
-            self.min_idx.min(eff_other_min)
+            i64::MAX
         };
+        for other in others {
+            if other.total > 0 {
+                lo = lo.min(other.min_idx.max(allowed_min));
+            }
+        }
         self.fit_range(lo, new_max);
 
-        // Elementwise add. Fast path: nothing of `other` collapses, so the
-        // two windows add as plain slices (vectorizable).
-        if other.min_idx >= allowed_min {
-            let dst = self.pos(other.min_idx);
-            let src = other.pos(other.min_idx);
-            let len = (other.max_idx - other.min_idx + 1) as usize;
-            for (d, s) in self.counts[dst..dst + len]
-                .iter_mut()
-                .zip(&other.counts[src..src + len])
-            {
-                *d += s;
+        for other in others {
+            if other.total == 0 {
+                continue;
             }
-        } else {
-            for i in other.min_idx..=other.max_idx {
-                let c = other.counts[other.pos(i)];
-                if c > 0 {
-                    let eff = i.max(allowed_min);
-                    if eff != i {
-                        self.collapsed = true;
+            let eff_other_min = other.min_idx.max(allowed_min);
+            // Elementwise add. Fast path: nothing of `other` collapses, so
+            // the two windows add as plain slices (vectorizable).
+            if other.min_idx >= allowed_min {
+                let dst = self.pos(other.min_idx);
+                let src = other.pos(other.min_idx);
+                let len = (other.max_idx - other.min_idx + 1) as usize;
+                for (d, s) in self.counts[dst..dst + len]
+                    .iter_mut()
+                    .zip(&other.counts[src..src + len])
+                {
+                    *d += s;
+                }
+            } else {
+                for i in other.min_idx..=other.max_idx {
+                    let c = other.counts[other.pos(i)];
+                    if c > 0 {
+                        let eff = i.max(allowed_min);
+                        if eff != i {
+                            self.collapsed = true;
+                        }
+                        let pos = self.pos(eff);
+                        self.counts[pos] += c;
                     }
-                    let pos = self.pos(eff);
-                    self.counts[pos] += c;
                 }
             }
+            if self.total == 0 {
+                self.min_idx = eff_other_min;
+                self.max_idx = other.max_idx.max(eff_other_min);
+            } else {
+                self.min_idx = self.min_idx.min(eff_other_min);
+                self.max_idx = self.max_idx.max(other.max_idx.max(eff_other_min));
+            }
+            self.total += other.total;
         }
-        if self.total == 0 {
-            self.min_idx = eff_other_min;
-            self.max_idx = new_max;
-        } else {
-            self.min_idx = self.min_idx.min(eff_other_min);
-            self.max_idx = new_max;
-        }
-        self.total += other.total;
+    }
+
+    fn merge_clamp(stores: &[&Self]) -> (i32, i32) {
+        let unclamped = (i32::MIN, i32::MAX);
+        let (Some(first), Some(union_max)) = (
+            stores.first(),
+            stores.iter().filter_map(|s| s.max_index()).max(),
+        ) else {
+            return unclamped;
+        };
+        // Everything below the merged window's lowest kept bucket folds
+        // into it; the merge target's (stores[0]'s) cap governs.
+        let lo = (i64::from(union_max) - first.max_bins + 1).max(i64::from(i32::MIN));
+        (lo as i32, i32::MAX)
     }
 
     fn clear(&mut self) {
@@ -564,27 +561,40 @@ impl Store for CollapsingHighestDenseStore {
         self.inner.num_bins()
     }
 
-    fn bins_ascending(&self) -> Vec<(i32, u64)> {
-        let mut bins: Vec<(i32, u64)> = self
-            .inner
-            .bins_ascending()
-            .into_iter()
-            .map(|(i, c)| (neg(i), c))
-            .collect();
-        bins.reverse();
-        bins
-    }
-
-    fn key_at_rank(&self, rank: f64) -> Option<i32> {
-        self.inner.key_at_rank_descending(rank).map(neg)
-    }
-
-    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
-        self.inner.key_at_rank(rank).map(neg)
+    fn bin_iter(&self) -> BinIter<'_> {
+        if self.inner.total == 0 {
+            return BinIter::empty();
+        }
+        // Ascending mirrored order: BinIter walks the inner (negated)
+        // window backward and negates each index.
+        BinIter::DenseNeg {
+            counts: self.inner.live(),
+            first: self.inner.min_idx,
+        }
     }
 
     fn merge_from(&mut self, other: &Self) {
         self.inner.merge_from(&other.inner);
+    }
+
+    fn merge_many(&mut self, others: &[&Self]) {
+        let inners: Vec<&CollapsingLowestDenseStore> =
+            others.iter().map(|other| &other.inner).collect();
+        self.inner.merge_many(&inners);
+    }
+
+    fn merge_clamp(stores: &[&Self]) -> (i32, i32) {
+        let unclamped = (i32::MIN, i32::MAX);
+        let (Some(first), Some(union_min)) = (
+            stores.first(),
+            stores.iter().filter_map(|s| s.min_index()).min(),
+        ) else {
+            return unclamped;
+        };
+        // Mirror image of the lowest-collapsing clamp: everything above
+        // the merged window's highest kept bucket folds into it.
+        let hi = (i64::from(union_min) + first.inner.max_bins - 1).min(i64::from(i32::MAX));
+        (i32::MIN, hi as i32)
     }
 
     fn clear(&mut self) {
@@ -782,6 +792,79 @@ mod tests {
     }
 
     #[test]
+    fn bin_iter_suites() {
+        let stream = [5, 6, 7, 20, -3, 100, -50, 20];
+        storetests::run_bin_iter_suite(|| CollapsingLowestDenseStore::new(100_000), &stream);
+        storetests::run_bin_iter_suite(|| CollapsingHighestDenseStore::new(100_000), &stream);
+        // And in a collapsing regime.
+        storetests::run_bin_iter_suite(|| CollapsingLowestDenseStore::new(8), &stream);
+        storetests::run_bin_iter_suite(|| CollapsingHighestDenseStore::new(8), &stream);
+    }
+
+    #[test]
+    fn merge_many_equivalence() {
+        for cap in [4usize, 16, 100_000] {
+            storetests::run_merge_many_equivalence(
+                || CollapsingLowestDenseStore::new(cap),
+                &[7, -7],
+                &[&[0, 5, 5], &[], &[-100, 2000], &[3, 3, 3]],
+            );
+            storetests::run_merge_many_equivalence(
+                || CollapsingHighestDenseStore::new(cap),
+                &[7, -7],
+                &[&[0, 5, 5], &[], &[-100, 2000], &[3, 3, 3]],
+            );
+        }
+    }
+
+    #[test]
+    fn merge_clamp_mirrors_collapse() {
+        let mut a = CollapsingLowestDenseStore::new(4);
+        let mut b = CollapsingLowestDenseStore::new(4);
+        for i in 0..4 {
+            a.add(i);
+        }
+        for i in 10..14 {
+            b.add(i);
+        }
+        // Union max 13, cap 4 → everything below 10 folds into 10.
+        assert_eq!(
+            CollapsingLowestDenseStore::merge_clamp(&[&a, &b]),
+            (10, i32::MAX)
+        );
+        // Mirrored for the highest-collapsing store.
+        let mut ha = CollapsingHighestDenseStore::new(4);
+        let mut hb = CollapsingHighestDenseStore::new(4);
+        for i in 0..4 {
+            ha.add(i);
+        }
+        for i in 10..14 {
+            hb.add(i);
+        }
+        assert_eq!(
+            CollapsingHighestDenseStore::merge_clamp(&[&ha, &hb]),
+            (i32::MIN, 3)
+        );
+        // Within-cap unions clamp below every live bin — a functional
+        // no-op.
+        let mut c = CollapsingLowestDenseStore::new(4096);
+        c.add(0);
+        let (lo, hi) = CollapsingLowestDenseStore::merge_clamp(&[&c]);
+        assert!(lo <= c.min_index().unwrap());
+        assert_eq!(hi, i32::MAX);
+        // Empty inputs never clamp.
+        let empty = CollapsingLowestDenseStore::new(4);
+        assert_eq!(
+            CollapsingLowestDenseStore::merge_clamp(&[&empty]),
+            (i32::MIN, i32::MAX)
+        );
+        assert_eq!(
+            CollapsingLowestDenseStore::merge_clamp(&[]),
+            (i32::MIN, i32::MAX)
+        );
+    }
+
+    #[test]
     fn total_count_preserved_through_collapse() {
         let mut s = CollapsingLowestDenseStore::new(16);
         let mut expected = 0u64;
@@ -854,6 +937,20 @@ mod tests {
                                     cap in 1usize..64) {
             storetests::run_bulk_equivalence(|| CollapsingLowestDenseStore::new(cap), &stream);
             storetests::run_bulk_equivalence(|| CollapsingHighestDenseStore::new(cap), &stream);
+        }
+
+        #[test]
+        fn prop_merge_many_matches_sequential(
+            a in proptest::collection::vec(-500i32..500, 0..100),
+            b in proptest::collection::vec(-500i32..500, 0..100),
+            c in proptest::collection::vec(-500i32..500, 0..100),
+            warm in proptest::collection::vec(-500i32..500, 0..50),
+            cap in 2usize..48,
+        ) {
+            storetests::run_merge_many_equivalence(
+                || CollapsingLowestDenseStore::new(cap), &warm, &[&a, &b, &c]);
+            storetests::run_merge_many_equivalence(
+                || CollapsingHighestDenseStore::new(cap), &warm, &[&a, &b, &c]);
         }
 
         #[test]

@@ -1,6 +1,6 @@
 //! Unbounded contiguous store.
 
-use super::{Store, StoreKind};
+use super::{BinIter, Store, StoreKind};
 
 /// Growth granularity: reallocations are rounded to multiples of this many
 /// buckets, and growth at least doubles the array, so a monotone stream of
@@ -255,76 +255,55 @@ impl Store for DenseStore {
         (self.total > 0).then_some(self.max_idx as i32)
     }
 
-    fn num_bins(&self) -> usize {
+    fn bin_iter(&self) -> BinIter<'_> {
         if self.total == 0 {
-            return 0;
+            return BinIter::empty();
         }
-        self.live().iter().filter(|&&c| c > 0).count()
-    }
-
-    fn bins_ascending(&self) -> Vec<(i32, u64)> {
-        if self.total == 0 {
-            return Vec::new();
+        BinIter::Dense {
+            counts: self.live(),
+            first: self.min_idx,
         }
-        let min_idx = self.min_idx;
-        self.live()
-            .iter()
-            .enumerate()
-            .filter_map(|(k, &c)| (c > 0).then_some(((min_idx + k as i64) as i32, c)))
-            .collect()
-    }
-
-    fn key_at_rank(&self, rank: f64) -> Option<i32> {
-        if self.total == 0 {
-            return None;
-        }
-        let mut cum = 0u64;
-        for (k, &c) in self.live().iter().enumerate() {
-            cum += c;
-            if cum as f64 > rank {
-                return Some((self.min_idx + k as i64) as i32);
-            }
-        }
-        Some(self.max_idx as i32)
-    }
-
-    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
-        if self.total == 0 {
-            return None;
-        }
-        let mut cum = 0u64;
-        for (k, &c) in self.live().iter().enumerate().rev() {
-            cum += c;
-            if cum as f64 > rank {
-                return Some((self.min_idx + k as i64) as i32);
-            }
-        }
-        Some(self.min_idx as i32)
     }
 
     fn merge_from(&mut self, other: &Self) {
-        if other.total == 0 {
-            return;
+        self.merge_many(&[other]);
+    }
+
+    fn merge_many(&mut self, others: &[&Self]) {
+        // Make room for the whole union's window with at most one
+        // reallocation (merging k stores pairwise used to pay up to k
+        // grows), then add each window as plain slices — vectorizable.
+        let mut span: Option<(i64, i64)> = None;
+        for other in others {
+            if other.total > 0 {
+                span = Some(match span {
+                    None => (other.min_idx, other.max_idx),
+                    Some((lo, hi)) => (lo.min(other.min_idx), hi.max(other.max_idx)),
+                });
+            }
         }
-        // Make room for other's full window with at most one reallocation
-        // (growing to each end separately used to copy the array twice),
-        // then add the two windows as plain slices — vectorizable.
-        if !self.in_range(other.min_idx) || !self.in_range(other.max_idx) {
-            self.grow_range(other.min_idx, other.max_idx);
+        let Some((lo, hi)) = span else { return };
+        if !self.in_range(lo) || !self.in_range(hi) {
+            self.grow_range(lo, hi);
         }
-        let dst = self.pos(other.min_idx);
-        let len = (other.max_idx - other.min_idx + 1) as usize;
-        for (d, s) in self.counts[dst..dst + len].iter_mut().zip(other.live()) {
-            *d += s;
+        for other in others {
+            if other.total == 0 {
+                continue;
+            }
+            let dst = self.pos(other.min_idx);
+            let len = (other.max_idx - other.min_idx + 1) as usize;
+            for (d, s) in self.counts[dst..dst + len].iter_mut().zip(other.live()) {
+                *d += s;
+            }
+            if self.total == 0 {
+                self.min_idx = other.min_idx;
+                self.max_idx = other.max_idx;
+            } else {
+                self.min_idx = self.min_idx.min(other.min_idx);
+                self.max_idx = self.max_idx.max(other.max_idx);
+            }
+            self.total += other.total;
         }
-        if self.total == 0 {
-            self.min_idx = other.min_idx;
-            self.max_idx = other.max_idx;
-        } else {
-            self.min_idx = self.min_idx.min(other.min_idx);
-            self.max_idx = self.max_idx.max(other.max_idx);
-        }
-        self.total += other.total;
     }
 
     fn clear(&mut self) {
@@ -354,6 +333,20 @@ mod tests {
             DenseStore::new,
             &[0, 5, 5, -100, 2000, 3],
             &[5, -100, -100, 77],
+        );
+    }
+
+    #[test]
+    fn bin_iter_suite() {
+        storetests::run_bin_iter_suite(DenseStore::new, &[0, 5, 5, -100, 2000, 3]);
+    }
+
+    #[test]
+    fn merge_many_equivalence() {
+        storetests::run_merge_many_equivalence(
+            DenseStore::new,
+            &[7, -7],
+            &[&[0, 5, 5], &[], &[-100, 2000], &[3, 3, 3]],
         );
     }
 
@@ -445,6 +438,16 @@ mod tests {
         #[test]
         fn prop_bulk_matches_scalar(stream in proptest::collection::vec(-3000i32..3000, 0..200)) {
             storetests::run_bulk_equivalence(DenseStore::new, &stream);
+        }
+
+        #[test]
+        fn prop_merge_many_matches_sequential(
+            a in proptest::collection::vec(-3000i32..3000, 0..80),
+            b in proptest::collection::vec(-3000i32..3000, 0..80),
+            c in proptest::collection::vec(-3000i32..3000, 0..80),
+            warm in proptest::collection::vec(-3000i32..3000, 0..40),
+        ) {
+            storetests::run_merge_many_equivalence(DenseStore::new, &warm, &[&a, &b, &c]);
         }
     }
 }

@@ -83,6 +83,112 @@ impl StoreKind {
     }
 }
 
+/// A borrowed, allocation-free view of a store's non-empty `(index, count)`
+/// bins in ascending index order — the zero-copy counterpart of
+/// [`Store::bins_ascending`] and the building block of the k-way merge
+/// plane: merged quantile walks consume any number of stores' bins through
+/// these iterators without materializing an intermediate store.
+///
+/// One concrete enum serves every store family (no `dyn`, no allocation):
+/// dense stores hand out their live counter slice, the highest-collapsing
+/// store hands out the mirrored view of its negated inner slice, and the
+/// sparse stores hand out their B-tree range. The iterator is double-ended,
+/// so the negative-value quantile walk (largest `|x|` first) is `.rev()`.
+#[derive(Debug, Clone)]
+pub enum BinIter<'a> {
+    /// Dense counters: entry `k` holds the count of bucket `first + k`.
+    Dense {
+        /// The store's live counter window (may contain zero entries).
+        counts: &'a [u64],
+        /// Bucket index of `counts[0]` (i64: index arithmetic near the
+        /// i32 extremes must not overflow).
+        first: i64,
+    },
+    /// Mirrored dense counters (the highest-collapsing store's view of its
+    /// negated inner store): entry `k` holds the count of bucket
+    /// `-(first + k)`, so ascending output order walks the slice backward.
+    DenseNeg {
+        /// The inner store's live counter window.
+        counts: &'a [u64],
+        /// *Inner* bucket index of `counts[0]`.
+        first: i64,
+    },
+    /// Ordered-map bins (sparse stores).
+    Sparse(std::collections::btree_map::Iter<'a, i32, u64>),
+}
+
+impl BinIter<'_> {
+    /// An iterator over no bins.
+    pub fn empty() -> Self {
+        BinIter::Dense {
+            counts: &[],
+            first: 0,
+        }
+    }
+}
+
+impl Iterator for BinIter<'_> {
+    type Item = (i32, u64);
+
+    fn next(&mut self) -> Option<(i32, u64)> {
+        match self {
+            BinIter::Dense { counts, first } => {
+                while let Some((&c, rest)) = counts.split_first() {
+                    let idx = *first;
+                    *counts = rest;
+                    *first += 1;
+                    if c > 0 {
+                        return Some((idx as i32, c));
+                    }
+                }
+                None
+            }
+            BinIter::DenseNeg { counts, first } => {
+                // Ascending mirrored order = descending inner order.
+                while let Some((&c, rest)) = counts.split_last() {
+                    let idx = *first + rest.len() as i64;
+                    *counts = rest;
+                    if c > 0 {
+                        return Some(((-idx) as i32, c));
+                    }
+                }
+                None
+            }
+            BinIter::Sparse(iter) => iter.next().map(|(&i, &c)| (i, c)),
+        }
+    }
+}
+
+impl DoubleEndedIterator for BinIter<'_> {
+    fn next_back(&mut self) -> Option<(i32, u64)> {
+        match self {
+            BinIter::Dense { counts, first } => {
+                while let Some((&c, rest)) = counts.split_last() {
+                    let idx = *first + rest.len() as i64;
+                    *counts = rest;
+                    if c > 0 {
+                        return Some((idx as i32, c));
+                    }
+                }
+                None
+            }
+            BinIter::DenseNeg { counts, first } => {
+                // Descending mirrored order = ascending inner order.
+                while let Some((&c, rest)) = counts.split_first() {
+                    let idx = *first;
+                    *counts = rest;
+                    *first += 1;
+                    if c > 0 {
+                        return Some(((-idx) as i32, c));
+                    }
+                }
+                None
+            }
+            BinIter::Sparse(iter) => iter.next_back().map(|(&i, &c)| (i, c)),
+        }
+    }
+}
+
 /// A multiset of integer bucket indices with u64 multiplicities.
 pub trait Store: Clone + std::fmt::Debug {
     /// The store family this implementation belongs to (used by the
@@ -139,11 +245,22 @@ pub trait Store: Clone + std::fmt::Debug {
     /// Largest non-empty bucket index.
     fn max_index(&self) -> Option<i32>;
 
+    /// Borrowed iterator over the non-empty `(index, count)` bins in
+    /// ascending index order. Allocation-free; the k-way merge plane is
+    /// built on these.
+    fn bin_iter(&self) -> BinIter<'_>;
+
     /// Number of non-empty buckets ("bins" in the paper's Figure 7).
-    fn num_bins(&self) -> usize;
+    fn num_bins(&self) -> usize {
+        self.bin_iter().count()
+    }
 
     /// Non-empty `(index, count)` pairs in ascending index order.
-    fn bins_ascending(&self) -> Vec<(i32, u64)>;
+    ///
+    /// Allocates the result; prefer [`Store::bin_iter`] on hot paths.
+    fn bins_ascending(&self) -> Vec<(i32, u64)> {
+        self.bin_iter().collect()
+    }
 
     /// Algorithm 2's cumulative walk: the smallest index whose cumulative
     /// count (ascending) exceeds `rank`. Falls back to the maximal index
@@ -151,7 +268,7 @@ pub trait Store: Clone + std::fmt::Debug {
     fn key_at_rank(&self, rank: f64) -> Option<i32> {
         let mut cum = 0u64;
         let mut last = None;
-        for (idx, count) in self.bins_ascending() {
+        for (idx, count) in self.bin_iter() {
             cum += count;
             last = Some(idx);
             if cum as f64 > rank {
@@ -166,7 +283,7 @@ pub trait Store: Clone + std::fmt::Debug {
     fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
         let mut cum = 0u64;
         let mut last = None;
-        for (idx, count) in self.bins_ascending().into_iter().rev() {
+        for (idx, count) in self.bin_iter().rev() {
             cum += count;
             last = Some(idx);
             if cum as f64 > rank {
@@ -179,6 +296,43 @@ pub trait Store: Clone + std::fmt::Debug {
     /// Merge another store of the same type into this one (summing bucket
     /// counts; bounded stores re-collapse as needed — Algorithm 4).
     fn merge_from(&mut self, other: &Self);
+
+    /// Merge several same-type stores into this one.
+    ///
+    /// Equivalent — bucket for bucket, including the `has_collapsed` flag
+    /// — to folding [`Store::merge_from`] over `others` in order, but
+    /// bulk-capable stores override it to make the capacity and collapse
+    /// decisions **once** for the whole batch (one reallocation and one
+    /// fold for a k-way merge, instead of up to k of each).
+    fn merge_many(&mut self, others: &[&Self])
+    where
+        Self: Sized,
+    {
+        for other in others {
+            self.merge_from(other);
+        }
+    }
+
+    /// The effective-index clamp that merging `stores` into a fresh store
+    /// of `stores[0]`'s configuration would apply: a bin at raw index `i`
+    /// lands at `i.clamp(lo, hi)` in the merged store.
+    ///
+    /// This lets a k-way reader (e.g. a merged quantile walk) account for
+    /// collapse semantics *without materializing the merge*: unbounded
+    /// families never clamp (the default), the lowest-collapsing dense
+    /// store folds everything below `union_max − m + 1` upward, the
+    /// highest-collapsing store mirrors that, and the Algorithm-3 sparse
+    /// store folds everything at or below its post-collapse lowest
+    /// surviving bucket. Since `clamp` is monotone, walking raw bins in
+    /// index order and clamping on the fly visits the merged store's bins
+    /// in order with identical cumulative counts.
+    fn merge_clamp(stores: &[&Self]) -> (i32, i32)
+    where
+        Self: Sized,
+    {
+        let _ = stores;
+        (i32::MIN, i32::MAX)
+    }
 
     /// Remove all occurrences, keeping allocated capacity where sensible.
     fn clear(&mut self);
@@ -347,6 +501,84 @@ pub(crate) mod storetests {
                 "add_bins diverged from scalar adds (warm prefix {split})"
             );
             assert_eq!(rle.total_count(), scalar.total_count());
+        }
+    }
+
+    /// `bin_iter` must agree with `bins_ascending` in both directions and
+    /// never report empty bins.
+    pub(crate) fn run_bin_iter_suite<S: Store>(mut fresh: impl FnMut() -> S, stream: &[i32]) {
+        let empty = fresh();
+        assert_eq!(empty.bin_iter().count(), 0);
+        assert_eq!(empty.bin_iter().rev().count(), 0);
+
+        let mut s = fresh();
+        for &i in stream {
+            s.add(i);
+        }
+        let expected = s.bins_ascending();
+        assert_eq!(s.bin_iter().collect::<Vec<_>>(), expected);
+        let mut reversed: Vec<_> = s.bin_iter().rev().collect();
+        reversed.reverse();
+        assert_eq!(reversed, expected, "rev() must mirror the forward walk");
+        assert!(s.bin_iter().all(|(_, c)| c > 0));
+        assert_eq!(s.num_bins(), expected.len());
+
+        // Alternating front/back consumption covers the double-ended
+        // bookkeeping.
+        let mut front_back = Vec::new();
+        let mut back = Vec::new();
+        let mut iter = s.bin_iter();
+        while let Some(front) = iter.next() {
+            front_back.push(front);
+            if let Some(b) = iter.next_back() {
+                back.push(b);
+            }
+        }
+        back.reverse();
+        front_back.extend(back);
+        assert_eq!(front_back, expected);
+    }
+
+    /// `merge_many` must equal folding `merge_from` in order — bins,
+    /// totals, extremes, and the collapse flag — from both an empty and a
+    /// warm target.
+    pub(crate) fn run_merge_many_equivalence<S: Store>(
+        mut fresh: impl FnMut() -> S,
+        warm: &[i32],
+        streams: &[&[i32]],
+    ) {
+        let sources: Vec<S> = streams
+            .iter()
+            .map(|stream| {
+                let mut s = fresh();
+                for &i in *stream {
+                    s.add(i);
+                }
+                s
+            })
+            .collect();
+        let refs: Vec<&S> = sources.iter().collect();
+        for warm_prefix in [&[][..], warm] {
+            let mut bulk = fresh();
+            let mut seq = fresh();
+            for &i in warm_prefix {
+                bulk.add(i);
+                seq.add(i);
+            }
+            bulk.merge_many(&refs);
+            for source in &sources {
+                seq.merge_from(source);
+            }
+            assert_eq!(
+                bulk.bins_ascending(),
+                seq.bins_ascending(),
+                "merge_many diverged from sequential merge_from (warm: {})",
+                !warm_prefix.is_empty()
+            );
+            assert_eq!(bulk.total_count(), seq.total_count());
+            assert_eq!(bulk.min_index(), seq.min_index());
+            assert_eq!(bulk.max_index(), seq.max_index());
+            assert_eq!(bulk.has_collapsed(), seq.has_collapsed());
         }
     }
 

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use super::{Store, StoreKind};
+use super::{BinIter, Store, StoreKind};
 
 /// Estimated per-entry overhead of a `BTreeMap<i32, u64>` node: 12 bytes of
 /// payload, amortized node headers/edges, and allocator slack. B-tree nodes
@@ -93,34 +93,8 @@ impl Store for SparseStore {
         self.bins.len()
     }
 
-    fn bins_ascending(&self) -> Vec<(i32, u64)> {
-        self.bins.iter().map(|(&i, &c)| (i, c)).collect()
-    }
-
-    fn key_at_rank(&self, rank: f64) -> Option<i32> {
-        let mut cum = 0u64;
-        let mut last = None;
-        for (&i, &c) in &self.bins {
-            cum += c;
-            last = Some(i);
-            if cum as f64 > rank {
-                return Some(i);
-            }
-        }
-        last
-    }
-
-    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
-        let mut cum = 0u64;
-        let mut last = None;
-        for (&i, &c) in self.bins.iter().rev() {
-            cum += c;
-            last = Some(i);
-            if cum as f64 > rank {
-                return Some(i);
-            }
-        }
-        last
+    fn bin_iter(&self) -> BinIter<'_> {
+        BinIter::Sparse(self.bins.iter())
     }
 
     fn merge_from(&mut self, other: &Self) {
@@ -184,6 +158,44 @@ impl CollapsingSparseStore {
     }
 }
 
+/// K-way ascending walk over several stores' *distinct* bin indices,
+/// allocation-free apart from one small `Vec` of cursors. Used to predict
+/// the Algorithm-3 collapse threshold of a merge without performing it.
+struct DistinctAscending<'a> {
+    iters: Vec<std::iter::Peekable<BinIter<'a>>>,
+}
+
+impl<'a> DistinctAscending<'a> {
+    fn over(stores: &[&'a CollapsingSparseStore]) -> Self {
+        Self {
+            iters: stores.iter().map(|s| s.bin_iter().peekable()).collect(),
+        }
+    }
+}
+
+impl Iterator for DistinctAscending<'_> {
+    type Item = i32;
+
+    fn next(&mut self) -> Option<i32> {
+        let mut min: Option<i32> = None;
+        for iter in &mut self.iters {
+            if let Some(&(i, _)) = iter.peek() {
+                min = Some(match min {
+                    None => i,
+                    Some(m) => m.min(i),
+                });
+            }
+        }
+        let min = min?;
+        for iter in &mut self.iters {
+            while matches!(iter.peek(), Some(&(i, _)) if i == min) {
+                iter.next();
+            }
+        }
+        Some(min)
+    }
+}
+
 impl Store for CollapsingSparseStore {
     fn store_kind(&self) -> StoreKind {
         StoreKind::CollapsingSparse
@@ -229,16 +241,8 @@ impl Store for CollapsingSparseStore {
         self.inner.num_bins()
     }
 
-    fn bins_ascending(&self) -> Vec<(i32, u64)> {
-        self.inner.bins_ascending()
-    }
-
-    fn key_at_rank(&self, rank: f64) -> Option<i32> {
-        self.inner.key_at_rank(rank)
-    }
-
-    fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
-        self.inner.key_at_rank_descending(rank)
+    fn bin_iter(&self) -> BinIter<'_> {
+        self.inner.bin_iter()
     }
 
     fn merge_from(&mut self, other: &Self) {
@@ -247,6 +251,33 @@ impl Store for CollapsingSparseStore {
         self.inner.merge_from(&other.inner);
         self.collapse_if_needed();
         self.collapsed |= other.collapsed;
+    }
+
+    // merge_many keeps the trait's fold-of-merge_from default on purpose:
+    // summing all k sources before one collapse would be bit-identical
+    // (Algorithm 3's fold is confluent), but it would let the B-tree hold
+    // up to k·max_bins live entries mid-merge — transiently defeating the
+    // bounded-memory property this store family is selected for. A B-tree
+    // has no batch capacity decision to amortize anyway.
+
+    fn merge_clamp(stores: &[&Self]) -> (i32, i32) {
+        let unclamped = (i32::MIN, i32::MAX);
+        let Some(first) = stores.first() else {
+            return unclamped;
+        };
+        let m = first.max_bins;
+        // Count the union's distinct indices with a k-way walk; if the
+        // merge would overflow the non-empty-bucket bound, everything at
+        // or below the (distinct − m + 1)-th smallest distinct index folds
+        // into it (Algorithm 3 applied to the summed buckets).
+        let distinct = DistinctAscending::over(stores).count();
+        if distinct <= m {
+            return unclamped;
+        }
+        let threshold = DistinctAscending::over(stores)
+            .nth(distinct - m)
+            .expect("distinct > m implies at least distinct - m + 1 indices");
+        (threshold, i32::MAX)
     }
 
     fn clear(&mut self) {
@@ -320,6 +351,61 @@ mod tests {
         assert_eq!(a.total_count(), 4);
         // 1 folds into 2, then {2:2} folds into 3 → {3:3, 4:1}.
         assert_eq!(a.bins_ascending(), vec![(3, 3), (4, 1)]);
+    }
+
+    #[test]
+    fn bin_iter_suites() {
+        let stream = [0, 5, 5, -100, 2000, 3, -100];
+        storetests::run_bin_iter_suite(SparseStore::new, &stream);
+        storetests::run_bin_iter_suite(|| CollapsingSparseStore::new(100_000), &stream);
+        storetests::run_bin_iter_suite(|| CollapsingSparseStore::new(3), &stream);
+    }
+
+    #[test]
+    fn merge_many_equivalence() {
+        for cap in [2usize, 8, 100_000] {
+            storetests::run_merge_many_equivalence(
+                || CollapsingSparseStore::new(cap),
+                &[7, -7],
+                &[&[0, 5, 5], &[], &[-100, 2000], &[3, 3, 3]],
+            );
+        }
+        storetests::run_merge_many_equivalence(
+            SparseStore::new,
+            &[7, -7],
+            &[&[0, 5, 5], &[], &[-100, 2000], &[3, 3, 3]],
+        );
+    }
+
+    #[test]
+    fn merge_clamp_predicts_algorithm3_fold() {
+        let mut a = CollapsingSparseStore::new(3);
+        let mut b = CollapsingSparseStore::new(3);
+        for i in [10, 20] {
+            a.add(i);
+        }
+        for i in [30, 40] {
+            b.add(i);
+        }
+        // Union distinct {10, 20, 30, 40}, m = 3 → fold at the 2nd
+        // smallest distinct index (20).
+        assert_eq!(
+            CollapsingSparseStore::merge_clamp(&[&a, &b]),
+            (20, i32::MAX)
+        );
+        // The materialized merge agrees.
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        assert_eq!(merged.min_index(), Some(20));
+        // Under the bound: no clamp.
+        assert_eq!(
+            CollapsingSparseStore::merge_clamp(&[&a]),
+            (i32::MIN, i32::MAX)
+        );
+        assert_eq!(
+            CollapsingSparseStore::merge_clamp(&[]),
+            (i32::MIN, i32::MAX)
+        );
     }
 
     #[test]

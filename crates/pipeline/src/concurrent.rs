@@ -7,22 +7,42 @@
 //! identity, and readers merge all shards on demand — the merged view is
 //! exactly the sketch of all inserted values, by full mergeability.
 //!
+//! Reads ride the k-way merge plane: [`ConcurrentSketch::snapshot`] holds
+//! each shard lock only long enough to copy that shard's bins and runs
+//! the one k-way merge outside every lock, while
+//! [`ConcurrentSketch::quantiles`] never materializes a merged sketch at
+//! all — a direct rank walk over the shards (zero-copy for the dense
+//! families, over short-hold bin copies for the sparse ones).
+//!
 //! The sketch configuration is runtime data ([`SketchConfig`]): the same
 //! concurrent facade serves every preset, from the paper's collapsing
 //! dense default to the sparse memory-bound variants.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use ddsketch::{AnyDDSketch, SketchConfig, SketchError};
+use ddsketch::{AnyDDSketch, SketchConfig, SketchError, StoreKind};
 use parking_lot::Mutex;
+
+/// The calling thread's default shard: a hash of its `ThreadId`, computed
+/// once per thread. Unlike a shared round-robin counter, this costs no
+/// cross-thread cache-line traffic on the write path, and a thread keeps
+/// hitting the same shard — uncontended as long as threads don't outnumber
+/// shards (and merely contended, never wrong, when they do).
+fn thread_shard() -> usize {
+    use std::hash::{Hash, Hasher};
+    std::thread_local! {
+        static SHARD: usize = {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut hasher);
+            hasher.finish() as usize
+        };
+    }
+    SHARD.with(|shard| *shard)
+}
 
 /// A sharded, thread-safe DDSketch over any runtime configuration.
 #[derive(Debug)]
 pub struct ConcurrentSketch {
     config: SketchConfig,
     shards: Vec<Mutex<AnyDDSketch>>,
-    /// Round-robin assignment for callers without a shard hint.
-    next: AtomicUsize,
 }
 
 impl ConcurrentSketch {
@@ -35,11 +55,7 @@ impl ConcurrentSketch {
         let shards = (0..shards)
             .map(|_| config.build().map(Mutex::new))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self {
-            config,
-            shards,
-            next: AtomicUsize::new(0),
-        })
+        Ok(Self { config, shards })
     }
 
     /// Convenience constructor for the paper's default configuration
@@ -64,11 +80,11 @@ impl ConcurrentSketch {
         self.shards[hint % self.shards.len()].lock().add(value)
     }
 
-    /// Insert using a round-robin shard (uncontended as long as writer
-    /// count ≤ shard count).
+    /// Insert using the calling thread's default shard (a hash of its
+    /// thread id — uncontended as long as writer threads ≤ shards, with no
+    /// shared counter for every writer to bounce a cache line on).
     pub fn add(&self, value: f64) -> Result<(), SketchError> {
-        let hint = self.next.fetch_add(1, Ordering::Relaxed);
-        self.add_hinted(hint, value)
+        self.add_hinted(thread_shard(), value)
     }
 
     /// Bulk-insert a batch into one shard: a single lock acquisition and a
@@ -83,10 +99,9 @@ impl ConcurrentSketch {
             .add_slice(values)
     }
 
-    /// Bulk-insert a batch using a round-robin shard.
+    /// Bulk-insert a batch using the calling thread's default shard.
     pub fn add_slice(&self, values: &[f64]) -> Result<(), SketchError> {
-        let hint = self.next.fetch_add(1, Ordering::Relaxed);
-        self.add_slice_hinted(hint, values)
+        self.add_slice_hinted(thread_shard(), values)
     }
 
     /// Total count across shards.
@@ -94,32 +109,69 @@ impl ConcurrentSketch {
         self.shards.iter().map(|s| s.lock().count()).sum()
     }
 
+    /// Copy every shard, holding each shard's lock only for the duration
+    /// of its (cheap, bin-copying) clone — writers are never blocked on
+    /// merge work.
+    fn shard_copies(&self) -> Vec<AnyDDSketch> {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().clone())
+            .collect()
+    }
+
     /// Merge all shards into a single snapshot sketch. By full
     /// mergeability this is exactly the sketch of every value inserted so
     /// far (modulo inserts racing with the snapshot).
+    ///
+    /// Each shard lock is held only while that shard's bins are copied;
+    /// the k-way merge itself ([`AnyDDSketch::merge_many`], one capacity
+    /// decision for all shards) runs outside every lock.
     pub fn snapshot(&self) -> Result<AnyDDSketch, SketchError> {
-        let mut iter = self.shards.iter();
-        let mut merged = iter.next().expect("shards >= 1").lock().clone();
-        for shard in iter {
-            merged.merge_from(&shard.lock())?;
-        }
+        let mut copies = self.shard_copies().into_iter();
+        let mut merged = copies.next().expect("shards >= 1");
+        let rest: Vec<AnyDDSketch> = copies.collect();
+        let refs: Vec<&AnyDDSketch> = rest.iter().collect();
+        merged.merge_many(&refs)?;
         Ok(merged)
     }
 
-    /// Convenience: quantile of a fresh snapshot.
+    /// Convenience: a single quantile via [`Self::quantiles`].
     pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
-        self.snapshot()?.quantile(q)
+        Ok(self.quantiles(std::slice::from_ref(&q))?[0])
     }
 
-    /// Estimate several quantiles from **one** snapshot: the shards are
-    /// merged once, then all ranks are answered by a single sorted-rank
-    /// walk of the merged stores ([`AnyDDSketch::quantiles`]) — instead of
-    /// paying a full shard-merge per quantile as repeated
-    /// [`Self::quantile`] calls would. Output order matches `qs`, and each
-    /// estimate equals what `quantile` would return against the same
-    /// snapshot.
+    /// Estimate several quantiles with **no materialized merge**: every
+    /// rank is answered by one k-way sorted-rank walk
+    /// ([`AnyDDSketch::merged_quantiles`]) — no merged store is built and
+    /// no merge-time grow/collapse work happens at all. Output order
+    /// matches `qs`, and each estimate equals what
+    /// [`Self::snapshot`]`.quantiles(qs)` would return against the same
+    /// shard states.
+    ///
+    /// Locking is tuned per store family. The contiguous (dense) families
+    /// take the fully zero-copy path: all shard locks are held (acquired
+    /// in shard order — this is the only multi-lock path, so it cannot
+    /// deadlock) for just the blocked, vectorized column walk, whose cost
+    /// is bounded by the stores' index span — comparable to the one
+    /// `merge_from` the old snapshot ran under each shard's lock, and far
+    /// less total work. The sparse families' per-bin walk instead scales
+    /// with total non-empty bins, so there each shard is copied under a
+    /// short per-shard hold (a bin copy, like [`Self::snapshot`]) and the
+    /// walk runs over the copies outside all locks — writers never wait
+    /// on read work.
     pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
-        self.snapshot()?.quantiles(qs)
+        if matches!(
+            self.config.store,
+            StoreKind::Unbounded | StoreKind::CollapsingDense
+        ) {
+            let guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
+            let refs: Vec<&AnyDDSketch> = guards.iter().map(|guard| &**guard).collect();
+            AnyDDSketch::merged_quantiles(&refs, qs)
+        } else {
+            let copies = self.shard_copies();
+            let refs: Vec<&AnyDDSketch> = copies.iter().collect();
+            AnyDDSketch::merged_quantiles(&refs, qs)
+        }
     }
 }
 
@@ -220,6 +272,71 @@ mod tests {
                 plain.quantile(q).unwrap(),
                 "q = {q}"
             );
+        }
+    }
+
+    #[test]
+    fn unhinted_multithread_ingest_bucket_matches_plain_sketch() {
+        // Writers without a shard hint land on a thread-identity hash;
+        // whatever the shard assignment, the merged view must be
+        // bucket-identical to a single sketch over all inserted values.
+        let cs = Arc::new(ConcurrentSketch::new(0.01, 2048, 8).unwrap());
+        let threads = 8u32;
+        let per_thread = 10_000u32;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cs = Arc::clone(&cs);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let v = 0.5 + f64::from(t * per_thread + i) * 1e-3;
+                        if i % 3 == 0 {
+                            cs.add(v).unwrap();
+                        } else if i % 3 == 1 {
+                            cs.add(-v).unwrap();
+                        } else {
+                            cs.add_slice(&[v, v * 2.0]).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let mut plain = SketchConfig::dense_collapsing(0.01, 2048).build().unwrap();
+        for t in 0..threads {
+            for i in 0..per_thread {
+                let v = 0.5 + f64::from(t * per_thread + i) * 1e-3;
+                if i % 3 == 0 {
+                    plain.add(v).unwrap();
+                } else if i % 3 == 1 {
+                    plain.add(-v).unwrap();
+                } else {
+                    plain.add_slice(&[v, v * 2.0]).unwrap();
+                }
+            }
+        }
+        let snap = cs.snapshot().unwrap();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.positive_bins(), plain.positive_bins());
+        assert_eq!(snap.negative_bins(), plain.negative_bins());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.999, 1.0] {
+            assert_eq!(
+                cs.quantile(q).unwrap(),
+                plain.quantile(q).unwrap(),
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_never_materialize_but_match_snapshot() {
+        for config in SketchConfig::all(0.01, 256) {
+            let cs = ConcurrentSketch::with_config(config, 5).unwrap();
+            for i in 1..=5_000usize {
+                cs.add_hinted(i, (i as f64).sqrt() * 0.7).unwrap();
+            }
+            let qs = [0.99, 0.0, 0.5, 1.0, 0.75];
+            let direct = cs.quantiles(&qs).unwrap();
+            let via_snapshot = cs.snapshot().unwrap().quantiles(&qs).unwrap();
+            assert_eq!(direct, via_snapshot, "{}", config.name());
         }
     }
 

@@ -9,9 +9,9 @@
 //!
 //! Modules:
 //! * [`window`] — the `(metric, window) → sketch` time-series store with
-//!   exact rollups.
+//!   interned metric ids, exact k-way rollups, and retention eviction.
 //! * [`concurrent`] — a sharded thread-safe sketch for multi-threaded
-//!   producers.
+//!   producers whose read path merges outside all locks.
 //! * [`sim`] — the end-to-end threaded simulation (workers → channel →
 //!   aggregator) used by the Figure 2 binary and integration tests.
 
@@ -21,4 +21,4 @@ pub mod window;
 
 pub use concurrent::ConcurrentSketch;
 pub use sim::{run_sequential, run_simulation, Payload, SimConfig, SimReport};
-pub use window::{CellKey, TimeSeriesStore};
+pub use window::{MetricId, TimeSeriesStore};

@@ -256,19 +256,17 @@ mod tests {
                 (config.workers * config.requests_per_worker) as u64
             );
             assert_eq!(report.store.num_cells(), sequential.num_cells());
-            for (key, direct) in sequential.cells() {
+            for (metric, window_start, direct) in sequential.cells() {
                 for q in [0.5, 0.75, 0.9, 0.99] {
                     let agg = report
                         .store
-                        .quantile(&key.metric, key.window_start, q)
+                        .quantile(metric, window_start, q)
                         .expect("cell exists");
                     assert_eq!(
                         agg,
                         direct.quantile(q).unwrap(),
-                        "{}: metric {} window {} q {q}",
+                        "{}: metric {metric} window {window_start} q {q}",
                         sketch.name(),
-                        key.metric,
-                        key.window_start
                     );
                 }
             }
@@ -281,10 +279,10 @@ mod tests {
         let a = run_simulation(&config).unwrap();
         let b = run_simulation(&config).unwrap();
         assert_eq!(a.total_requests, b.total_requests);
-        for (key, sketch) in a.store.cells() {
+        for (metric, window_start, sketch) in a.store.cells() {
             assert_eq!(
                 sketch.quantile(0.9).ok(),
-                b.store.quantile(&key.metric, key.window_start, 0.9),
+                b.store.quantile(metric, window_start, 0.9),
             );
         }
     }

@@ -7,23 +7,29 @@
 //! buys: a merged sketch is bucket-identical to a sketch built from the
 //! union of the raw data.
 //!
+//! Metric names are interned once into dense [`MetricId`]s; every cell is
+//! keyed by `(MetricId, window_start)`, so per-metric queries are
+//! allocation-free range scans over just that metric's windows instead of
+//! string-compare filters over every cell of every metric. Rollups ride
+//! the k-way merge plane ([`AnyDDSketch::merge_many`]: one capacity
+//! decision per coarse window), and [`TimeSeriesStore::evict_before`]
+//! bounds a long-lived aggregator's memory.
+//!
 //! The store is generic over the runtime [`SketchConfig`]: an operator can
 //! trade accuracy for memory per deployment (dense-collapsing for
 //! production defaults, sparse for wide-range metrics) without a rebuild.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ddsketch::{AnyDDSketch, SketchConfig, SketchError};
 
-/// Identifies one aggregation cell: a metric key (e.g. endpoint name) and
-/// the start of its time window in epoch seconds.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct CellKey {
-    /// Metric / endpoint identifier.
-    pub metric: String,
-    /// Window start, in seconds since an arbitrary epoch.
-    pub window_start: u64,
-}
+/// Interned identifier of a metric name within one [`TimeSeriesStore`].
+///
+/// Assigned densely in first-seen order by the store's intern table; cell
+/// keys, range scans, and rollup grouping all operate on this `Copy` id so
+/// the hot read paths never allocate or compare strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId(u32);
 
 /// A time-series store of sketches: one [`AnyDDSketch`] of a fixed
 /// [`SketchConfig`] per (metric, window) cell.
@@ -32,7 +38,13 @@ pub struct TimeSeriesStore {
     config: SketchConfig,
     /// Window width in seconds.
     window_secs: u64,
-    cells: BTreeMap<CellKey, AnyDDSketch>,
+    /// Metric name → id; lookup by `&str` allocates nothing.
+    ids: HashMap<String, MetricId>,
+    /// Id → metric name (index = id).
+    names: Vec<String>,
+    /// Cells ordered by (metric, window): one metric's whole series is a
+    /// contiguous key range.
+    cells: BTreeMap<(MetricId, u64), AnyDDSketch>,
 }
 
 impl TimeSeriesStore {
@@ -47,6 +59,8 @@ impl TimeSeriesStore {
         Ok(Self {
             config,
             window_secs,
+            ids: HashMap::new(),
+            names: Vec::new(),
             cells: BTreeMap::new(),
         })
     }
@@ -77,27 +91,67 @@ impl TimeSeriesStore {
         ts_secs - ts_secs % self.window_secs
     }
 
-    /// Run `op` against the cell for `(metric, window_start)`, creating
-    /// the cell only if `op` succeeds — so a rejected record/absorb on a
-    /// not-yet-existing cell leaves no phantom empty cell behind (every
-    /// `op` used here mutates the sketch atomically, so existing cells
-    /// are likewise untouched on failure).
+    /// The interned id of `metric`, if the store has ever seen it.
+    /// Allocation-free.
+    pub fn metric_id(&self, metric: &str) -> Option<MetricId> {
+        self.ids.get(metric).copied()
+    }
+
+    /// The name behind an interned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this store.
+    pub fn metric_name(&self, id: MetricId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Every interned metric in id (= first-seen) order, with or without
+    /// live cells.
+    pub fn metrics(&self) -> impl Iterator<Item = (MetricId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (MetricId(i as u32), name.as_str()))
+    }
+
+    /// Intern `metric`, allocating its name only on first sight.
+    fn intern(&mut self, metric: &str) -> MetricId {
+        if let Some(&id) = self.ids.get(metric) {
+            return id;
+        }
+        let id = MetricId(self.names.len() as u32);
+        self.names.push(metric.to_string());
+        self.ids.insert(metric.to_string(), id);
+        id
+    }
+
+    /// The key range holding every cell of `id`.
+    fn metric_range(id: MetricId) -> std::ops::RangeInclusive<(MetricId, u64)> {
+        (id, 0)..=(id, u64::MAX)
+    }
+
+    /// Run `op` against the cell for `(metric, window_start)`, interning
+    /// the metric and creating the cell only if `op` succeeds — so a
+    /// rejected record/absorb on a not-yet-existing cell (or metric)
+    /// leaves no phantom empty cell and no phantom intern-table entry
+    /// behind (every `op` used here mutates the sketch atomically, so
+    /// existing cells are likewise untouched on failure).
     fn with_cell(
         &mut self,
         metric: &str,
         window_start: u64,
         op: impl FnOnce(&mut AnyDDSketch) -> Result<(), SketchError>,
     ) -> Result<(), SketchError> {
-        let key = CellKey {
-            metric: metric.to_string(),
-            window_start,
-        };
-        if let Some(cell) = self.cells.get_mut(&key) {
-            return op(cell);
+        if let Some(id) = self.metric_id(metric) {
+            if let Some(cell) = self.cells.get_mut(&(id, window_start)) {
+                return op(cell);
+            }
         }
         let mut fresh = self.config.build().expect("validated in constructor");
         op(&mut fresh)?;
-        self.cells.insert(key, fresh);
+        let id = self.intern(metric);
+        self.cells.insert((id, window_start), fresh);
         Ok(())
     }
 
@@ -143,64 +197,115 @@ impl TimeSeriesStore {
     }
 
     /// Quantile estimate for one cell, if present and non-empty.
+    /// Allocation-free: an interned-id lookup, one cell probe, and a
+    /// cumulative bin walk.
     pub fn quantile(&self, metric: &str, window_start: u64, q: f64) -> Option<f64> {
-        let key = CellKey {
-            metric: metric.to_string(),
-            window_start,
-        };
-        self.cells.get(&key).and_then(|s| s.quantile(q).ok())
+        let id = self.metric_id(metric)?;
+        self.cells
+            .get(&(id, window_start))
+            .and_then(|s| s.quantile(q).ok())
     }
 
     /// The quantile time series for a metric: `(window_start, estimate)`
     /// for every window that has data — the data behind the paper's
-    /// Figures 2 and 4.
+    /// Figures 2 and 4. A range scan over just this metric's cells;
+    /// only the returned series is allocated.
     pub fn quantile_series(&self, metric: &str, q: f64) -> Vec<(u64, f64)> {
+        let Some(id) = self.metric_id(metric) else {
+            return Vec::new();
+        };
         self.cells
-            .iter()
-            .filter(|(k, s)| k.metric == metric && !s.is_empty())
-            .filter_map(|(k, s)| s.quantile(q).ok().map(|v| (k.window_start, v)))
+            .range(Self::metric_range(id))
+            .filter_map(|(&(_, window), s)| s.quantile(q).ok().map(|v| (window, v)))
             .collect()
     }
 
     /// The average time series for a metric (the paper's Figure 2 dotted
     /// line — exact, since sums and counts merge exactly).
     pub fn average_series(&self, metric: &str) -> Vec<(u64, f64)> {
+        let Some(id) = self.metric_id(metric) else {
+            return Vec::new();
+        };
         self.cells
-            .iter()
-            .filter(|(k, _)| k.metric == metric)
-            .filter_map(|(k, s)| s.average().map(|v| (k.window_start, v)))
+            .range(Self::metric_range(id))
+            .filter_map(|(&(_, window), s)| s.average().map(|v| (window, v)))
             .collect()
+    }
+
+    /// Total observation count across all cells of a metric.
+    /// Allocation-free range scan.
+    pub fn metric_count(&self, metric: &str) -> u64 {
+        let Some(id) = self.metric_id(metric) else {
+            return 0;
+        };
+        self.cells
+            .range(Self::metric_range(id))
+            .map(|(_, s)| s.count())
+            .sum()
     }
 
     /// Roll the store up into `factor`-times-wider windows, merging the
     /// sketches of each group ("rolling up the sums and counts ... over
     /// much larger time periods perfectly accurately" — and with DDSketch,
     /// the same now holds for quantiles).
+    ///
+    /// Each coarse window is produced by **one** k-way
+    /// [`AnyDDSketch::merge_many`] over its fine cells — one capacity
+    /// decision per coarse cell instead of one merge per fine cell — and
+    /// is bucket-identical to ingesting the union directly.
     pub fn rollup(&self, factor: u64) -> Result<TimeSeriesStore, SketchError> {
         if factor == 0 {
             return Err(SketchError::InvalidConfig(
                 "rollup factor must be positive".into(),
             ));
         }
-        let mut out = TimeSeriesStore::with_config(self.config, self.window_secs * factor)?;
-        for (key, sketch) in &self.cells {
-            out.absorb(&key.metric, key.window_start, sketch)?;
+        let coarse_secs = self.window_secs.checked_mul(factor).ok_or_else(|| {
+            SketchError::InvalidConfig(format!("rollup factor {factor} overflows the window width"))
+        })?;
+        let mut out = TimeSeriesStore::with_config(self.config, coarse_secs)?;
+        // Cells are ordered by (metric, window), so each (metric, coarse
+        // window) group is a contiguous run.
+        let mut cells = self.cells.iter().peekable();
+        let mut group: Vec<&AnyDDSketch> = Vec::new();
+        while let Some((&(id, window), sketch)) = cells.next() {
+            let coarse = window - window % coarse_secs;
+            group.push(sketch);
+            let group_continues = matches!(
+                cells.peek(),
+                Some(&(&(next_id, next_window), _))
+                    if next_id == id && next_window - next_window % coarse_secs == coarse
+            );
+            if group_continues {
+                continue;
+            }
+            let mut merged = self.config.build().expect("validated in constructor");
+            merged.merge_many(&group)?;
+            group.clear();
+            let out_id = out.intern(self.metric_name(id));
+            out.cells.insert((out_id, coarse), merged);
         }
         Ok(out)
     }
 
-    /// Iterate over all cells (ascending by metric, then window).
-    pub fn cells(&self) -> impl Iterator<Item = (&CellKey, &AnyDDSketch)> {
-        self.cells.iter()
+    /// Drop every cell whose window starts before `window_start`; returns
+    /// how many were evicted. This is the retention knob that keeps a
+    /// long-lived aggregator bounded: a rollup of the old windows can be
+    /// taken first, then the fine cells evicted.
+    ///
+    /// Interned metric names are retained (they are bounded by the number
+    /// of distinct metrics, not by time).
+    pub fn evict_before(&mut self, window_start: u64) -> usize {
+        let before = self.cells.len();
+        self.cells.retain(|&(_, window), _| window >= window_start);
+        before - self.cells.len()
     }
 
-    /// Total observation count across all cells of a metric.
-    pub fn metric_count(&self, metric: &str) -> u64 {
+    /// Iterate over all cells as `(metric name, window_start, sketch)`,
+    /// ascending by metric id, then window.
+    pub fn cells(&self) -> impl Iterator<Item = (&str, u64, &AnyDDSketch)> {
         self.cells
             .iter()
-            .filter(|(k, _)| k.metric == metric)
-            .map(|(_, s)| s.count())
-            .sum()
+            .map(|(&(id, window), s)| (self.metric_name(id), window, s))
     }
 }
 
@@ -262,6 +367,42 @@ mod tests {
     }
 
     #[test]
+    fn per_metric_queries_never_observe_other_metrics() {
+        // Prefix-sharing names and interleaved windows: the range scan
+        // must cover exactly one metric's cells, nothing more.
+        let mut ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        for (metric, base) in [("api", 1.0), ("api.latency", 100.0), ("ap", 10_000.0)] {
+            for w in 0..5u64 {
+                ts.record(metric, w * 10, base + w as f64).unwrap();
+                ts.record(metric, w * 10, base + w as f64).unwrap();
+            }
+        }
+        // Extreme windows on a neighbouring id must not leak into range
+        // scans either.
+        ts.record("api.latency", u64::MAX - 1, 100.0).unwrap();
+        assert_eq!(ts.metric_count("api"), 10);
+        assert_eq!(ts.metric_count("api.latency"), 11);
+        assert_eq!(ts.metric_count("ap"), 10);
+        assert_eq!(ts.metric_count("a"), 0);
+        assert_eq!(ts.quantile_series("api", 0.5).len(), 5);
+        assert_eq!(ts.quantile_series("api.latency", 0.5).len(), 6);
+        for (w, v) in ts.quantile_series("api", 0.99) {
+            assert!(
+                (1.0..=6.0).contains(&v),
+                "metric 'api' window {w} leaked foreign value {v}"
+            );
+        }
+        for (_, v) in ts.average_series("ap") {
+            assert!(v >= 10_000.0);
+        }
+        // Ids round-trip through names.
+        let id = ts.metric_id("api.latency").unwrap();
+        assert_eq!(ts.metric_name(id), "api.latency");
+        assert_eq!(ts.metrics().count(), 3);
+        assert!(ts.metric_id("api.lat").is_none());
+    }
+
+    #[test]
     fn rollup_is_exactly_the_union_under_every_config() {
         for config in SketchConfig::all(0.01, 2048) {
             let mut fine = TimeSeriesStore::with_config(config, 1).unwrap();
@@ -274,16 +415,35 @@ mod tests {
             let rolled = fine.rollup(60).unwrap();
             assert_eq!(rolled.config(), config);
             assert_eq!(rolled.num_cells(), coarse_direct.num_cells());
-            for (key, direct) in coarse_direct.cells() {
-                let merged = rolled.quantile(&key.metric, key.window_start, 0.9).unwrap();
+            for (metric, window, direct) in coarse_direct.cells() {
+                let merged = rolled.quantile(metric, window, 0.9).unwrap();
                 assert_eq!(
                     merged,
                     direct.quantile(0.9).unwrap(),
                     "{}: rollup must equal direct ingestion for window {}",
                     config.name(),
-                    key.window_start
+                    window
                 );
             }
+        }
+    }
+
+    #[test]
+    fn rollup_groups_multiple_metrics() {
+        let mut fine = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        for w in 0..12u64 {
+            fine.record("a", w * 10, 1.0 + w as f64).unwrap();
+            fine.record("b", w * 10, 100.0 + w as f64).unwrap();
+        }
+        let rolled = fine.rollup(6).unwrap();
+        assert_eq!(rolled.num_cells(), 4); // 2 metrics × 2 coarse windows
+        assert_eq!(rolled.metric_count("a"), 12);
+        assert_eq!(rolled.metric_count("b"), 12);
+        for (_, v) in rolled.quantile_series("a", 0.5) {
+            assert!(v < 50.0);
+        }
+        for (_, v) in rolled.quantile_series("b", 0.5) {
+            assert!(v > 50.0);
         }
     }
 
@@ -331,12 +491,21 @@ mod tests {
     }
 
     #[test]
-    fn rejected_writes_leave_no_phantom_cells() {
+    fn rejected_writes_leave_no_phantom_cells_or_metrics() {
         let mut ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
         assert!(ts.record("m", 0, f64::NAN).is_err());
         assert!(ts.record_slice("m", 0, &[1.0, f64::INFINITY]).is_err());
         assert_eq!(ts.num_cells(), 0, "failed writes must not create cells");
         assert_eq!(ts.quantile_series("m", 0.5), vec![]);
+        // Nor may they leak entries into the intern table: a long-lived
+        // aggregator fed bad payloads under ever-fresh names must not
+        // grow at all.
+        assert!(ts.metric_id("m").is_none());
+        assert_eq!(ts.metrics().count(), 0);
+        // A later valid write interns normally.
+        ts.record("m", 0, 1.0).unwrap();
+        assert!(ts.metric_id("m").is_some());
+        assert_eq!(ts.metrics().count(), 1);
     }
 
     #[test]
@@ -354,5 +523,36 @@ mod tests {
         let ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
         assert!(ts.rollup(0).is_err());
         assert!(ts.rollup(6).is_ok());
+        assert!(ts.rollup(u64::MAX).is_err(), "overflowing widths error");
+    }
+
+    #[test]
+    fn evict_before_bounds_retention() {
+        let mut ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        for w in 0..10u64 {
+            ts.record("a", w * 10, 1.0).unwrap();
+            ts.record("b", w * 10, 2.0).unwrap();
+        }
+        assert_eq!(ts.num_cells(), 20);
+        // Roll up the old fine windows first, then drop them — the
+        // retention idiom for a long-lived aggregator.
+        let archived = ts.rollup(10).unwrap();
+        assert_eq!(ts.evict_before(50), 10);
+        assert_eq!(ts.num_cells(), 10);
+        assert_eq!(ts.metric_count("a"), 5);
+        assert_eq!(archived.metric_count("a"), 10);
+        // Only windows ≥ 50 remain.
+        for (_, window, _) in ts.cells() {
+            assert!(window >= 50);
+        }
+        // Recording into an evicted window recreates the cell.
+        ts.record("a", 0, 3.0).unwrap();
+        assert_eq!(ts.num_cells(), 11);
+        // Evicting everything empties the store but keeps the intern
+        // table usable.
+        assert_eq!(ts.evict_before(u64::MAX), 11);
+        assert_eq!(ts.num_cells(), 0);
+        assert!(ts.metric_id("a").is_some());
+        assert_eq!(ts.evict_before(0), 0);
     }
 }

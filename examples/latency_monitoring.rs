@@ -55,7 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Roll the 10s windows up into 60s windows — losslessly, thanks to
-    // full mergeability.
+    // full mergeability. Each 60s cell is produced by one k-way
+    // `merge_many` over its six 10s cells.
     let rolled = report.store.rollup(6)?;
     println!("\nrolled up to 60s windows: {} cells", rolled.num_cells());
     for (w, v) in rolled.quantile_series("web.checkout", 0.99) {
@@ -66,8 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // sequential ingest of the same streams.
     let sequential = run_sequential(&config)?;
     let mut mismatches = 0;
-    for (key, direct) in sequential.cells() {
-        let agg = report.store.quantile(&key.metric, key.window_start, 0.99);
+    for (metric, window_start, direct) in sequential.cells() {
+        let agg = report.store.quantile(metric, window_start, 0.99);
         if agg != direct.quantile(0.99).ok() {
             mismatches += 1;
         }
@@ -78,5 +79,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mismatches
     );
     assert_eq!(mismatches, 0, "full mergeability means zero mismatches");
+
+    // Retention: a long-lived aggregator stays bounded by archiving old
+    // fine windows into the (lossless) rollup and evicting them. The
+    // coarse cells keep answering quantile queries for the archived span.
+    let mut store = report.store;
+    let horizon = 60; // keep the last minute at 10s resolution
+    let evicted = store.evict_before(horizon);
+    println!(
+        "\nevicted {evicted} fine cells before t={horizon}s; {} remain \
+         (archived at 60s resolution: {} cells)",
+        store.num_cells(),
+        rolled.num_cells()
+    );
+    let archived_p99 = rolled
+        .quantile("web.checkout", 0, 0.99)
+        .expect("archived window");
+    println!("archived window t=0 p99 = {:.2} ms", archived_p99 * 1e3);
     Ok(())
 }

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sketch_bytes: usize = report
             .store
             .cells()
-            .map(|(_, s): (_, &AnyDDSketch)| s.memory_bytes())
+            .map(|(_, _, s): (_, _, &AnyDDSketch)| s.memory_bytes())
             .sum();
         println!(
             "{spec:<12} {:<6} {:>7.2}  {:>7.2}  {:>8.1}  {:>10.1}",

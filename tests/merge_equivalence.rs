@@ -1,0 +1,156 @@
+//! Property tests for the k-way merge plane: for every runtime
+//! configuration and random shard splits of a random stream,
+//!
+//! * `merge_many` ≡ folding `merge_from` sequentially (bit-identical:
+//!   bins, count, zero bucket, min, max, and `sum`, which accumulates in
+//!   the same order),
+//! * the merged sketch ≡ a single sketch over the union of the stream
+//!   (full mergeability, Proposition 3 — bucket-identical even through
+//!   collapsed tails),
+//! * `merged_quantiles` ≡ the quantiles of the materialized merge, with
+//!   no intermediate sketch built.
+//!
+//! The bin caps are kept deliberately tiny so the dense and sparse
+//! collapsing stores fold on most cases — the equivalences must hold
+//! through Algorithm 3/4 collapse, not just in the easy uncollapsed
+//! regime.
+
+use ddsketch::{AnyDDSketch, SketchConfig};
+use proptest::prelude::*;
+
+/// Decode a raw `(mantissa, class)` pair into a stream value covering the
+/// interesting regimes: wide-magnitude positives (to force dense-store
+/// collapse), negatives, and exact zeros.
+fn decode_value(mantissa: f64, class: u8) -> f64 {
+    let magnitude = (0.5 + mantissa) * 10f64.powi(i32::from(class % 9) - 4);
+    match class % 5 {
+        0..=2 => magnitude,
+        3 => -magnitude,
+        _ => 0.0,
+    }
+}
+
+/// Split `values` into `shards` contiguous chunks at the given cut points.
+fn shard_streams(values: &[f64], cuts: &[usize]) -> Vec<Vec<f64>> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (values.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(values.len());
+    bounds.sort_unstable();
+    bounds
+        .windows(2)
+        .map(|w| values[w[0]..w[1]].to_vec())
+        .collect()
+}
+
+fn build(config: SketchConfig, values: &[f64]) -> AnyDDSketch {
+    let mut sketch = config.build().unwrap();
+    for &v in values {
+        sketch.add(v).unwrap();
+    }
+    sketch
+}
+
+fn assert_state_eq(a: &AnyDDSketch, b: &AnyDDSketch, what: &str, config: SketchConfig) {
+    let name = config.name();
+    assert_eq!(a.count(), b.count(), "{name}: {what}: count");
+    assert_eq!(
+        a.zero_count(),
+        b.zero_count(),
+        "{name}: {what}: zero bucket"
+    );
+    assert_eq!(a.min(), b.min(), "{name}: {what}: min");
+    assert_eq!(a.max(), b.max(), "{name}: {what}: max");
+    assert_eq!(
+        a.positive_bins(),
+        b.positive_bins(),
+        "{name}: {what}: positive bins"
+    );
+    assert_eq!(
+        a.negative_bins(),
+        b.negative_bins(),
+        "{name}: {what}: negative bins"
+    );
+    assert_eq!(
+        a.has_collapsed(),
+        b.has_collapsed(),
+        "{name}: {what}: collapse flag"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn merge_plane_is_exact_for_every_config(
+        raw in proptest::collection::vec((0.0f64..1.0, 0u8..255), 1..300),
+        cuts in proptest::collection::vec(0usize..300, 0..6),
+        max_bins in 8usize..48,
+    ) {
+        let values: Vec<f64> = raw
+            .iter()
+            .map(|&(mantissa, class)| decode_value(mantissa, class))
+            .collect();
+        let shards_values = shard_streams(&values, &cuts);
+        for config in SketchConfig::all(0.02, max_bins) {
+            let shards: Vec<AnyDDSketch> = shards_values
+                .iter()
+                .map(|chunk| build(config, chunk))
+                .collect();
+            let refs: Vec<&AnyDDSketch> = shards.iter().collect();
+
+            // merge_many ≡ sequential merge_from, bit-identical
+            // (including sum, which folds in the same order).
+            let mut bulk = config.build().unwrap();
+            bulk.merge_many(&refs).unwrap();
+            let mut seq = config.build().unwrap();
+            for shard in &refs {
+                seq.merge_from(shard).unwrap();
+            }
+            assert_state_eq(&bulk, &seq, "merge_many vs sequential", config);
+            prop_assert_eq!(
+                bulk.sum(),
+                seq.sum(),
+                "{}: merge_many sum must fold in order",
+                config.name()
+            );
+
+            // Merged ≡ a single sketch over the union (full
+            // mergeability), modulo floating-point sum association.
+            let union = build(config, &values);
+            assert_state_eq(&bulk, &union, "merge vs union", config);
+            let tolerance = 1e-9 * values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+            prop_assert!(
+                (bulk.sum() - union.sum()).abs() <= tolerance,
+                "{}: merged sum {} vs union sum {}",
+                config.name(),
+                bulk.sum(),
+                union.sum()
+            );
+
+            // merged_quantiles ≡ quantiles of the materialized merge —
+            // exactly, including collapsed tails — and, via quantiles'
+            // implementation, ≡ per-q scalar quantile calls.
+            let qs = [0.99, 0.0, 0.5, 0.5, 1.0, 0.01, 0.25, 0.75, 0.9];
+            if bulk.is_empty() {
+                prop_assert!(AnyDDSketch::merged_quantiles(&refs, &qs).is_err());
+            } else {
+                let walked = AnyDDSketch::merged_quantiles(&refs, &qs).unwrap();
+                let materialized = bulk.quantiles(&qs).unwrap();
+                prop_assert_eq!(
+                    &walked,
+                    &materialized,
+                    "{}: merged_quantiles diverged from the materialized merge",
+                    config.name()
+                );
+                for (&q, &estimate) in qs.iter().zip(&walked) {
+                    prop_assert_eq!(
+                        estimate,
+                        bulk.quantile(q).unwrap(),
+                        "{}: q={} diverged from the scalar walk",
+                        config.name(),
+                        q
+                    );
+                }
+            }
+        }
+    }
+}

@@ -31,15 +31,13 @@ fn distributed_aggregation_is_lossless() {
         let sequential = run_sequential(&config).unwrap();
         assert_eq!(report.total_requests, 120_000, "{}", sketch.name());
         assert_eq!(report.store.num_cells(), sequential.num_cells());
-        for (key, direct) in sequential.cells() {
+        for (metric, window_start, direct) in sequential.cells() {
             for q in [0.5, 0.9, 0.99] {
                 assert_eq!(
-                    report.store.quantile(&key.metric, key.window_start, q),
+                    report.store.quantile(metric, window_start, q),
                     direct.quantile(q).ok(),
-                    "{}: {} @ {} q={q}",
+                    "{}: {metric} @ {window_start} q={q}",
                     sketch.name(),
-                    key.metric,
-                    key.window_start
                 );
             }
         }
@@ -62,14 +60,12 @@ fn rollups_compose() {
         let via_20 = report.store.rollup(4).unwrap().rollup(3).unwrap();
         let direct = report.store.rollup(12).unwrap();
         assert_eq!(via_20.num_cells(), direct.num_cells());
-        for (key, cell) in direct.cells() {
+        for (metric, window_start, cell) in direct.cells() {
             assert_eq!(
-                via_20.quantile(&key.metric, key.window_start, 0.95),
+                via_20.quantile(metric, window_start, 0.95),
                 cell.quantile(0.95).ok(),
-                "{}: rollup composition mismatch at {} / {}",
+                "{}: rollup composition mismatch at {metric} / {window_start}",
                 sketch.name(),
-                key.metric,
-                key.window_start
             );
         }
     }

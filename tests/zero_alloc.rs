@@ -1,0 +1,116 @@
+//! Allocation accounting for the hot read paths.
+//!
+//! After the `MetricId` interning refactor, per-metric lookups must not
+//! allocate: `TimeSeriesStore::quantile` and `metric_count` are an
+//! id-table probe plus a B-tree range scan plus a borrowed cumulative bin
+//! walk, and the scalar sketch quantile walks `BinIter` — no `String`
+//! keys, no materialized bin vectors. This binary installs a counting
+//! global allocator and holds those paths to **zero** allocations (and
+//! the series queries to exactly their output allocations).
+//!
+//! Kept as the only test in this integration binary so no concurrent
+//! test's allocations can bleed into the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ddsketch::SketchConfig;
+use pipeline::TimeSeriesStore;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Count the allocations `f` performs.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn lookup_paths_do_not_allocate() {
+    for config in SketchConfig::all(0.01, 512) {
+        let mut store = TimeSeriesStore::with_config(config, 10).unwrap();
+        for (metric, scale) in [
+            ("api.home", 1.0),
+            ("api.checkout", 50.0),
+            ("db.query", 0.01),
+        ] {
+            for window in 0..20u64 {
+                for i in 1..=50 {
+                    let sign = if i % 7 == 0 { -1.0 } else { 1.0 };
+                    store
+                        .record(metric, window * 10, sign * scale * f64::from(i))
+                        .unwrap();
+                }
+            }
+        }
+
+        // Warm up once (lazy statics, branch caches — nothing should
+        // allocate here either, but the assertion below is the contract).
+        let _ = store.quantile("api.checkout", 50, 0.99);
+
+        let name = config.name();
+        let quantile_allocs = allocations_during(|| {
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                for window in (0..200u64).step_by(10) {
+                    assert!(store.quantile("api.checkout", window, q).is_some());
+                }
+            }
+        });
+        assert_eq!(quantile_allocs, 0, "{name}: quantile lookups allocated");
+
+        let count_allocs = allocations_during(|| {
+            assert_eq!(store.metric_count("api.home"), 20 * 50);
+            assert_eq!(store.metric_count("db.query"), 20 * 50);
+            assert_eq!(store.metric_count("nope"), 0);
+            assert!(store.metric_id("api.home").is_some());
+        });
+        assert_eq!(count_allocs, 0, "{name}: metric_count allocated");
+
+        // Missing metrics and cells short-circuit without allocating.
+        let miss_allocs = allocations_during(|| {
+            assert!(store.quantile("absent.metric", 0, 0.5).is_none());
+            assert!(store.quantile("api.home", 999_990, 0.5).is_none());
+            assert!(store.quantile_series("absent.metric", 0.5).is_empty());
+        });
+        assert_eq!(miss_allocs, 0, "{name}: misses allocated");
+
+        // Series queries may allocate exactly their output vector (plus
+        // its growth), never per-cell or per-metric scratch.
+        let series_allocs = allocations_during(|| {
+            let series = store.quantile_series("api.checkout", 0.9);
+            assert_eq!(series.len(), 20);
+        });
+        assert!(
+            series_allocs <= 8,
+            "{name}: quantile_series allocated {series_allocs} times \
+             (expected just the output vector's growth)"
+        );
+    }
+}
