@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks for the sliding-window quantile plane.
+//!
+//! * `sliding_query/*` — p50+p99 over a fully-populated window vs slot
+//!   count (60 / 300 / 3600 one-second slots): the `ring-walk` layout's
+//!   query cost grows with the slot count, while the `suffix-agg`
+//!   (two-stack) layout folds at most three sketches and must stay
+//!   measurably flat (≤1.5× from 60 to 3600 slots — the PR's acceptance
+//!   bar), plus the exponentially-decayed per-slot walk for comparison.
+//! * `sliding_ingest/*` — batched ingest overhead of the sliding window
+//!   (slot routing + rotation + two-stack upkeep) against a bare
+//!   `ConcurrentSketch`, the no-window baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use datasets::Dataset;
+use ddsketch::SketchConfig;
+use pipeline::{ConcurrentSketch, SlidingWindowSketch};
+
+/// The paper's production configuration.
+fn plane_config() -> SketchConfig {
+    SketchConfig::dense_collapsing(0.01, 2048)
+}
+
+/// A window with every slot populated: `per_slot` Pareto latencies per
+/// one-second slot, driven through several full turns so rotations (and
+/// two-stack flips) are all in steady state.
+fn populated(slots: usize, per_slot: usize, folded: bool) -> SlidingWindowSketch {
+    let mut window = if folded {
+        SlidingWindowSketch::with_suffix_aggregates(plane_config(), 1, slots).unwrap()
+    } else {
+        SlidingWindowSketch::with_config(plane_config(), 1, slots).unwrap()
+    };
+    let turns = slots + slots / 2;
+    let values = Dataset::Pareto.generate(per_slot * turns, 53);
+    for (ts, chunk) in values.chunks(per_slot).enumerate() {
+        window
+            .record_slice(ts as u64, chunk)
+            .expect("positive latencies");
+    }
+    window
+}
+
+fn bench_query(c: &mut Criterion) {
+    let qs = [0.5, 0.99];
+    let mut group = c.benchmark_group("sliding_query/p50+p99");
+    for slots in [60usize, 300, 3600] {
+        let per_slot = 64;
+        let ring = populated(slots, per_slot, false);
+        let folded = populated(slots, per_slot, true);
+        let mut out = Vec::new();
+        group.bench_function(BenchmarkId::new("ring-walk", slots), |b| {
+            b.iter(|| {
+                ring.quantiles_into(black_box(&qs), &mut out).unwrap();
+                out[0]
+            })
+        });
+        group.bench_function(BenchmarkId::new("suffix-agg", slots), |b| {
+            b.iter(|| {
+                folded.quantiles_into(black_box(&qs), &mut out).unwrap();
+                out[0]
+            })
+        });
+        group.bench_function(BenchmarkId::new("decayed-0.99", slots), |b| {
+            b.iter(|| {
+                ring.quantiles_decayed_into(black_box(&qs), 0.99, &mut out)
+                    .unwrap();
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sliding_ingest/batch-64");
+    let batch = Dataset::Pareto.generate(64, 54);
+    // Baseline: the same batches into a bare (1-shard) concurrent sketch
+    // — no slot routing, no rotation, no window upkeep.
+    let baseline = ConcurrentSketch::with_config(plane_config(), 1).unwrap();
+    group.bench_function("concurrent-sketch", |b| {
+        b.iter(|| baseline.add_slice(black_box(&batch)))
+    });
+    for (name, folded) in [("ring-walk", false), ("suffix-agg", true)] {
+        let mut window = populated(300, 64, folded);
+        // Advance one slot per 8 batches: a realistic 512-values/second
+        // feed with steady rotations (and amortized two-stack flips).
+        let mut tick = 0u64;
+        let mut ts = window.head().unwrap_or(0);
+        group.bench_function(BenchmarkId::new(name, 300), |b| {
+            b.iter(|| {
+                tick += 1;
+                if tick.is_multiple_of(8) {
+                    ts += 1;
+                }
+                window.record_slice(ts, black_box(&batch))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_query, bench_ingest
+}
+criterion_main!(benches);

@@ -254,6 +254,128 @@ impl AnyDDSketch {
         }
     }
 
+    /// [`Self::merged_quantiles`] over an iterator of borrowed sketches,
+    /// writing into caller-owned buffers; see
+    /// [`crate::DDSketch::merged_quantiles_into`]. With `scratch` and
+    /// `out` reused across calls, dense-store walks perform zero heap
+    /// allocations at steady state — the sliding-window read path.
+    ///
+    /// Every sketch must wrap the same variant with a mergeable mapping;
+    /// the first mismatch fails the whole call before any walk state is
+    /// built.
+    pub fn merged_quantiles_into<'a>(
+        sketches: impl Iterator<Item = &'a Self> + Clone,
+        qs: &[f64],
+        scratch: &mut crate::MergedQuantileScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SketchError> {
+        let Some(first) = sketches.clone().next() else {
+            for &q in qs {
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(SketchError::InvalidQuantile(q));
+                }
+            }
+            out.clear();
+            return if qs.is_empty() {
+                Ok(())
+            } else {
+                Err(SketchError::Empty)
+            };
+        };
+        macro_rules! into_arm {
+            ($head:ident, $variant:ident) => {{
+                for other in sketches.clone() {
+                    if !matches!(other, AnyDDSketch::$variant(_)) {
+                        return Err(SketchError::IncompatibleMerge(format!(
+                            "store/mapping mismatch: {:?} vs {:?}",
+                            config_of($head),
+                            other.config()
+                        )));
+                    }
+                }
+                crate::DDSketch::merged_quantiles_into(
+                    sketches.map(|s| match s {
+                        AnyDDSketch::$variant(sketch) => sketch,
+                        _ => unreachable!("variants checked above"),
+                    }),
+                    qs,
+                    scratch,
+                    out,
+                )
+            }};
+        }
+        match first {
+            AnyDDSketch::Unbounded(s) => into_arm!(s, Unbounded),
+            AnyDDSketch::Bounded(s) => into_arm!(s, Bounded),
+            AnyDDSketch::Fast(s) => into_arm!(s, Fast),
+            AnyDDSketch::Sparse(s) => into_arm!(s, Sparse),
+            AnyDDSketch::PaperExact(s) => into_arm!(s, PaperExact),
+        }
+    }
+
+    /// Weighted merged quantiles over `(sketch, weight)` pairs; see
+    /// [`crate::DDSketch::weighted_merged_quantiles_into`]. Each sketch's
+    /// bins count `weight` times in the rank walk — the query-time decay
+    /// behind "recent-biased" sliding-window reads. Every sketch must
+    /// wrap the same variant with a mergeable mapping.
+    pub fn weighted_merged_quantiles_into<'a>(
+        sketches: impl Iterator<Item = (&'a Self, f64)> + Clone,
+        qs: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), SketchError> {
+        let Some((first, _)) = sketches.clone().next() else {
+            for &q in qs {
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(SketchError::InvalidQuantile(q));
+                }
+            }
+            out.clear();
+            return if qs.is_empty() {
+                Ok(())
+            } else {
+                Err(SketchError::Empty)
+            };
+        };
+        macro_rules! weighted_arm {
+            ($head:ident, $variant:ident) => {{
+                for (other, _) in sketches.clone() {
+                    if !matches!(other, AnyDDSketch::$variant(_)) {
+                        return Err(SketchError::IncompatibleMerge(format!(
+                            "store/mapping mismatch: {:?} vs {:?}",
+                            config_of($head),
+                            other.config()
+                        )));
+                    }
+                }
+                crate::DDSketch::weighted_merged_quantiles_into(
+                    sketches.map(|(s, w)| match s {
+                        AnyDDSketch::$variant(sketch) => (sketch, w),
+                        _ => unreachable!("variants checked above"),
+                    }),
+                    qs,
+                    out,
+                )
+            }};
+        }
+        match first {
+            AnyDDSketch::Unbounded(s) => weighted_arm!(s, Unbounded),
+            AnyDDSketch::Bounded(s) => weighted_arm!(s, Bounded),
+            AnyDDSketch::Fast(s) => weighted_arm!(s, Fast),
+            AnyDDSketch::Sparse(s) => weighted_arm!(s, Sparse),
+            AnyDDSketch::PaperExact(s) => weighted_arm!(s, PaperExact),
+        }
+    }
+
+    /// Convenience slice form of [`Self::weighted_merged_quantiles_into`].
+    pub fn weighted_merged_quantiles(
+        sketches: &[(&Self, f64)],
+        qs: &[f64],
+    ) -> Result<Vec<f64>, SketchError> {
+        let mut out = Vec::with_capacity(qs.len());
+        Self::weighted_merged_quantiles_into(sketches.iter().copied(), qs, &mut out)?;
+        Ok(out)
+    }
+
     /// Total number of stored occurrences.
     pub fn count(&self) -> u64 {
         dispatch!(self, s => s.count())

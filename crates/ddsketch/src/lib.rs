@@ -160,14 +160,36 @@
 //! assert_eq!(p, merged.quantiles(&[0.5, 0.99]).unwrap());
 //! ```
 //!
+//! Both primitives have allocation-conscious forms for callers that ask
+//! the same question every tick:
+//!
+//! * `merged_quantiles_into` walks an **iterator** of borrowed sketches
+//!   into caller-owned buffers through a reusable
+//!   [`MergedQuantileScratch`] — on the dense store families the walk
+//!   performs **zero** heap allocations at steady state (held there by a
+//!   counting-allocator test).
+//! * `weighted_merged_quantiles_into` scales each sketch's bins by a
+//!   per-sketch weight *inside the rank walk* — the query-time
+//!   exponential decay behind "recent-biased" sliding-window reads. For
+//!   integer weights it is bit-identical to the unweighted walk over
+//!   weight-many copies of each sketch (property-tested), and the dense
+//!   families keep the vectorized column strategy (weighted f64 column
+//!   sums), so even a 3600-shard decayed read stays in the milliseconds.
+//!
 //! The pipeline crate rides this plane end to end: `ConcurrentSketch::
 //! snapshot` copies each shard under its own lock and runs one
 //! `merge_many` outside all locks; `ConcurrentSketch::quantiles` answers
 //! straight off the borrowed shards with the zero-copy walk;
 //! `TimeSeriesStore` interns metric names into ids (allocation-free
 //! lookups, range-scanned per-metric series), rolls fine windows up with
-//! one `merge_many` per coarse cell, and bounds a long-lived aggregator
-//! with `evict_before`.
+//! one `merge_many` per coarse cell, bounds a long-lived aggregator with
+//! `evict_before`, and serves trailing-width reads over existing cells
+//! via `sliding_view`; `SlidingWindowSketch` answers the paper's opening
+//! question — "the p99 over the last five minutes" — from a ring of
+//! per-slot sketches read by one `merged_quantiles_into` walk, with a
+//! two-stack suffix-aggregate layout whose steady-state query folds at
+//! most three sketches regardless of slot count, and a
+//! `quantiles_decayed` read on the weighted walk.
 
 pub mod any;
 pub mod config;
@@ -188,7 +210,7 @@ pub use presets::{
     fast, logarithmic_collapsing, paper_exact, sparse, unbounded, BoundedDDSketch, FastDDSketch,
     PaperExactDDSketch, SparseDDSketch, UnboundedDDSketch,
 };
-pub use sketch::DDSketch;
+pub use sketch::{DDSketch, MergedQuantileScratch};
 pub use store::{
     CollapsingHighestDenseStore, CollapsingLowestDenseStore, CollapsingSparseStore, DenseStore,
     SparseStore, Store, StoreKind,

@@ -15,11 +15,13 @@ use sketch_core::{target_rank, MemoryFootprint, MergeableSketch, QuantileSketch,
 /// * zero and anything smaller than the mapping's minimum indexable value
 ///   → an exact `zero_count` bucket.
 ///
-/// The sketch additionally tracks exact `min`, `max`, and `sum` (the paper:
+/// The sketch additionally tracks `min`, `max`, and `sum` (the paper:
 /// "like most sketch implementations, it is useful to keep separate track
-/// of the minimum and maximum values"), which also lets quantile estimates
-/// be clamped into `[min, max]` — a strict improvement that preserves the
-/// α guarantee since the true quantile always lies in that interval.
+/// of the minimum and maximum values") — exact on insert-only streams, and
+/// kept tight through deletions by re-deriving the touched extreme from
+/// the surviving buckets. That also lets quantile estimates be clamped
+/// into `[min, max]` — a strict improvement that preserves the α guarantee
+/// since the true quantile always lies in that interval.
 ///
 /// Type parameters select the bucket-index scheme (`M`) and the backing
 /// stores for the positive (`SP`) and negative (`SN`) halves; see the
@@ -72,6 +74,42 @@ impl Scratch {
 /// L1 alongside the shard windows being summed.
 const COLUMN_BLOCK: usize = 256;
 
+/// One side's reusable dense-window buffer: `(borrowed counters, first
+/// index)` pairs. Parked with a `'static` placeholder lifetime between
+/// calls — the buffer is always **empty** at rest, so no borrow actually
+/// outlives the call that pushed it.
+type WindowBuf = Vec<(&'static [u64], i64)>;
+
+/// Re-lifetime an **empty** dense-window buffer so its capacity can be
+/// reused for the current call's borrows (and parked again afterwards).
+fn recycle_windows<'dst>(mut buf: Vec<(&[u64], i64)>) -> Vec<(&'dst [u64], i64)> {
+    buf.clear();
+    // SAFETY: the vector was just emptied, so no `&'src [u64]` value is
+    // reinterpreted at the new lifetime; `Vec<(&[u64], i64)>` has one
+    // layout regardless of the slice lifetime (lifetimes are erased at
+    // monomorphization), so only the allocation's capacity crosses over.
+    unsafe { std::mem::transmute(buf) }
+}
+
+/// Reusable buffers for [`DDSketch::merged_quantiles_into`] (and its
+/// [`crate::AnyDDSketch`] counterpart): holding one of these across calls
+/// makes repeated merged-quantile walks over dense-store sketches
+/// allocation-free at steady state — the backbone of the sliding-window
+/// read path, where a p99 is asked of the same window shape every tick.
+///
+/// Contents are transient (cleared on every call); only capacity persists.
+/// Sparse-store walks keep their per-call iterator allocations and ignore
+/// the window buffers.
+#[derive(Debug, Default)]
+pub struct MergedQuantileScratch {
+    /// Requested-quantile slots in ascending-rank visit order.
+    order: Vec<usize>,
+    /// Dense counter windows for the positive-store walk.
+    pos_windows: WindowBuf,
+    /// Dense counter windows for the negative-store walk.
+    neg_windows: WindowBuf,
+}
+
 /// Monotone cursor over the (virtual) merge of several stores' bins: a
 /// k-way walk that answers ascending rank queries with the effective
 /// bucket index the materialized merge would report, without building it.
@@ -99,20 +137,30 @@ const COLUMN_BLOCK: usize = 256;
 #[allow(clippy::large_enum_variant)]
 enum KWayRankCursor<'a> {
     Dense(DenseColumnCursor<'a>),
-    Generic(GenericRankCursor<'a>),
+    /// The heads walk plus the (empty) window buffer it was handed, so
+    /// the buffer's capacity can be recovered by the caller's scratch.
+    Generic(GenericRankCursor<'a>, Vec<(&'a [u64], i64)>),
 }
 
 impl<'a> KWayRankCursor<'a> {
-    fn new(iters: Vec<BinIter<'a>>, descending: bool, clamp: (i32, i32)) -> Self {
-        // The shards of one merge share a store type, so their iterators
-        // share a `BinIter` variant; only the dense families take the
-        // column walk. (A mixed set cannot arise from `merged_quantiles`,
-        // but the generic walk would still handle it correctly.)
-        let mut windows: Vec<(&[u64], i64)> = Vec::with_capacity(iters.len());
+    /// Build a cursor over `stores`' bins. The shards of one merge share a
+    /// store type, so their iterators share a `BinIter` variant; only the
+    /// dense families take the column walk, whose borrowed counter windows
+    /// land in `windows` — a reusable scratch buffer, so the dense path
+    /// performs **no** heap allocation. Sparse (or mixed-orientation) sets
+    /// fall back to the per-bin heads walk, which allocates its iterator
+    /// and head vectors.
+    fn for_stores<S: Store + 'a>(
+        stores: impl Iterator<Item = &'a S> + Clone,
+        descending: bool,
+        clamp: (i32, i32),
+        mut windows: Vec<(&'a [u64], i64)>,
+    ) -> Self {
+        windows.clear();
         let mut mirrored: Option<bool> = None;
         let mut all_dense = true;
-        for iter in &iters {
-            let (counts, first, is_mirrored) = match *iter {
+        for store in stores.clone() {
+            let (counts, first, is_mirrored) = match store.bin_iter() {
                 BinIter::Dense { counts, first } => (counts, first, false),
                 BinIter::DenseNeg { counts, first } => (counts, first, true),
                 BinIter::Sparse(_) => {
@@ -137,7 +185,9 @@ impl<'a> KWayRankCursor<'a> {
                 clamp,
             ))
         } else {
-            KWayRankCursor::Generic(GenericRankCursor::new(iters, descending, clamp))
+            windows.clear();
+            let iters: Vec<BinIter<'a>> = stores.map(|s| s.bin_iter()).collect();
+            KWayRankCursor::Generic(GenericRankCursor::new(iters, descending, clamp), windows)
         }
     }
 
@@ -148,7 +198,19 @@ impl<'a> KWayRankCursor<'a> {
     fn advance_to(&mut self, rank: f64) -> Option<i32> {
         match self {
             KWayRankCursor::Dense(cursor) => cursor.advance_to(rank),
-            KWayRankCursor::Generic(cursor) => cursor.advance_to(rank),
+            KWayRankCursor::Generic(cursor, _) => cursor.advance_to(rank),
+        }
+    }
+
+    /// Hand the (emptied) dense-window buffer back for scratch reuse.
+    fn recover_windows(self) -> Vec<(&'a [u64], i64)> {
+        match self {
+            KWayRankCursor::Dense(cursor) => {
+                let mut windows = cursor.windows;
+                windows.clear();
+                windows
+            }
+            KWayRankCursor::Generic(_, windows) => windows,
         }
     }
 }
@@ -348,6 +410,259 @@ impl<'a> GenericRankCursor<'a> {
     }
 }
 
+/// The decayed-read counterpart of [`KWayRankCursor`]: the same two
+/// strategies (vectorized dense column walk / per-bin heads walk), with
+/// every shard's cumulative counts scaled by a caller-supplied weight —
+/// the sliding-window plane's "recent-biased" read path, where slot
+/// sketches age at query time. Weights are query-time data: nothing in
+/// the shards is mutated, copied, or re-bucketed. The dense column
+/// strategy matters just as much here: a 3600-slot decayed window walks
+/// 3600 shards, and an O(shards)-per-bin heads scan would turn a
+/// sub-millisecond read into seconds.
+#[allow(clippy::large_enum_variant)]
+enum WeightedRankCursor<'a> {
+    Dense(WeightedColumnCursor<'a>),
+    Generic(WeightedHeadsCursor<'a>),
+}
+
+impl<'a> WeightedRankCursor<'a> {
+    fn new(
+        sources: impl Iterator<Item = (BinIter<'a>, f64)> + Clone,
+        descending: bool,
+        clamp: (i32, i32),
+    ) -> Self {
+        let mut windows: Vec<(&[u64], i64, f64)> = Vec::new();
+        let mut mirrored: Option<bool> = None;
+        let mut all_dense = true;
+        for (iter, weight) in sources.clone() {
+            let (counts, first, is_mirrored) = match iter {
+                BinIter::Dense { counts, first } => (counts, first, false),
+                BinIter::DenseNeg { counts, first } => (counts, first, true),
+                BinIter::Sparse(_) => {
+                    all_dense = false;
+                    break;
+                }
+            };
+            if counts.is_empty() {
+                continue;
+            }
+            if *mirrored.get_or_insert(is_mirrored) != is_mirrored {
+                all_dense = false;
+                break;
+            }
+            windows.push((counts, first, weight));
+        }
+        if all_dense {
+            WeightedRankCursor::Dense(WeightedColumnCursor::new(
+                windows,
+                mirrored.unwrap_or(false),
+                descending,
+                clamp,
+            ))
+        } else {
+            WeightedRankCursor::Generic(WeightedHeadsCursor::new(sources, descending, clamp))
+        }
+    }
+
+    fn advance_to(&mut self, rank: f64) -> Option<i32> {
+        match self {
+            WeightedRankCursor::Dense(cursor) => cursor.advance_to(rank),
+            WeightedRankCursor::Generic(cursor) => cursor.advance_to(rank),
+        }
+    }
+}
+
+/// Weighted variant of [`DenseColumnCursor`]: per-block column sums of
+/// `weight × count` over the shards' borrowed counter windows. For
+/// integer weights the f64 sums are exact, so the walk is bit-identical
+/// to an unweighted walk over weight-many copies of each shard.
+struct WeightedColumnCursor<'a> {
+    windows: Vec<(&'a [u64], i64, f64)>,
+    sign: i64,
+    dir: i64,
+    clamp: (i32, i32),
+    g: i64,
+    last: i64,
+    exhausted: bool,
+    buf: [f64; COLUMN_BLOCK],
+    buf_lo: i64,
+    buf_filled: bool,
+    cum: f64,
+    cursor: Option<i32>,
+}
+
+impl<'a> WeightedColumnCursor<'a> {
+    fn new(
+        windows: Vec<(&'a [u64], i64, f64)>,
+        mirrored: bool,
+        descending: bool,
+        clamp: (i32, i32),
+    ) -> Self {
+        let dir = match (mirrored, descending) {
+            (false, false) | (true, true) => 1,
+            (false, true) | (true, false) => -1,
+        };
+        let sign = if mirrored { -1 } else { 1 };
+        let lo = windows.iter().map(|&(_, first, _)| first).min();
+        let hi = windows
+            .iter()
+            .map(|&(counts, first, _)| first + counts.len() as i64 - 1)
+            .max();
+        let (g, last, exhausted) = match (lo, hi) {
+            (Some(lo), Some(hi)) if dir > 0 => (lo, hi, false),
+            (Some(lo), Some(hi)) => (hi, lo, false),
+            _ => (0, 0, true),
+        };
+        Self {
+            windows,
+            sign,
+            dir,
+            clamp,
+            g,
+            last,
+            exhausted,
+            buf: [0.0; COLUMN_BLOCK],
+            buf_lo: 0,
+            buf_filled: false,
+            cum: 0.0,
+            cursor: None,
+        }
+    }
+
+    /// Weighted mirror of [`DenseColumnCursor::fill_block`].
+    fn fill_block(&mut self, g: i64) {
+        let lo = if self.dir > 0 {
+            g
+        } else {
+            g - (COLUMN_BLOCK as i64 - 1)
+        };
+        self.buf = [0.0; COLUMN_BLOCK];
+        for &(counts, first, weight) in &self.windows {
+            let overlap_lo = lo.max(first);
+            let overlap_hi = (lo + COLUMN_BLOCK as i64).min(first + counts.len() as i64);
+            if overlap_lo < overlap_hi {
+                let dst = (overlap_lo - lo) as usize..(overlap_hi - lo) as usize;
+                let src = (overlap_lo - first) as usize..(overlap_hi - first) as usize;
+                for (d, s) in self.buf[dst].iter_mut().zip(&counts[src]) {
+                    *d += weight * *s as f64;
+                }
+            }
+        }
+        self.buf_lo = lo;
+        self.buf_filled = true;
+    }
+
+    fn advance_to(&mut self, rank: f64) -> Option<i32> {
+        while self.cum <= rank && !self.exhausted {
+            if !self.buf_filled
+                || self.g < self.buf_lo
+                || self.g >= self.buf_lo + COLUMN_BLOCK as i64
+            {
+                self.fill_block(self.g);
+            }
+            loop {
+                let column = self.buf[(self.g - self.buf_lo) as usize];
+                if column > 0.0 {
+                    self.cum += column;
+                    let out = (self.sign * self.g) as i32;
+                    self.cursor = Some(out.clamp(self.clamp.0, self.clamp.1));
+                }
+                if self.g == self.last {
+                    self.exhausted = true;
+                    break;
+                }
+                self.g += self.dir;
+                if self.cum > rank
+                    || self.g < self.buf_lo
+                    || self.g >= self.buf_lo + COLUMN_BLOCK as i64
+                {
+                    break;
+                }
+            }
+        }
+        self.cursor
+    }
+}
+
+/// Weighted fallback strategy for the sparse (or mixed) families: the
+/// per-bin smallest/largest-head scan of [`GenericRankCursor`] with a
+/// weighted cumulative count.
+struct WeightedHeadsCursor<'a> {
+    iters: Vec<BinIter<'a>>,
+    weights: Vec<f64>,
+    heads: Vec<Option<(i32, u64)>>,
+    descending: bool,
+    clamp: (i32, i32),
+    cum: f64,
+    cursor: Option<i32>,
+}
+
+impl<'a> WeightedHeadsCursor<'a> {
+    fn new(
+        sources: impl Iterator<Item = (BinIter<'a>, f64)>,
+        descending: bool,
+        clamp: (i32, i32),
+    ) -> Self {
+        let mut iters = Vec::new();
+        let mut weights = Vec::new();
+        let mut heads = Vec::new();
+        for (mut iter, weight) in sources {
+            heads.push(if descending {
+                iter.next_back()
+            } else {
+                iter.next()
+            });
+            iters.push(iter);
+            weights.push(weight);
+        }
+        Self {
+            iters,
+            weights,
+            heads,
+            descending,
+            clamp,
+            cum: 0.0,
+            cursor: None,
+        }
+    }
+
+    fn advance_to(&mut self, rank: f64) -> Option<i32> {
+        while self.cum <= rank {
+            let mut best: Option<usize> = None;
+            for (k, head) in self.heads.iter().enumerate() {
+                if let Some((idx, _)) = *head {
+                    best = Some(match best {
+                        None => k,
+                        Some(b) => {
+                            let (best_idx, _) = self.heads[b].expect("best head is live");
+                            let take = if self.descending {
+                                idx > best_idx
+                            } else {
+                                idx < best_idx
+                            };
+                            if take {
+                                k
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+            }
+            let Some(k) = best else { break };
+            let (idx, count) = self.heads[k].take().expect("best head is live");
+            self.heads[k] = if self.descending {
+                self.iters[k].next_back()
+            } else {
+                self.iters[k].next()
+            };
+            self.cum += self.weights[k] * count as f64;
+            self.cursor = Some(idx.clamp(self.clamp.0, self.clamp.1));
+        }
+        self.cursor
+    }
+}
+
 impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
     /// Assemble a sketch from a mapping and two (empty) stores.
     pub fn from_parts(mapping: M, positive: SP, negative: SN) -> Self {
@@ -518,8 +833,12 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
     ///
     /// Returns `false` if the bucket `value` maps to holds no occurrences —
     /// which can happen legitimately after a collapse folded it away.
-    /// `min`/`max` are *not* recomputed (they remain valid bounds but may
-    /// become loose); `sum` is adjusted exactly.
+    /// `sum` is adjusted exactly. [`Self::min`]/[`Self::max`] stay honest:
+    /// deleting at (or beyond) a tracked extreme re-tightens that extreme
+    /// to the surviving buckets' bounds, deleting to empty resets the
+    /// sketch's summary state entirely (so a later re-add starts exact),
+    /// and the quantile clamp therefore can never pin an estimate to a
+    /// fully-deleted extreme — only to a bound of data still present.
     pub fn delete(&mut self, value: f64) -> bool {
         if !value.is_finite() {
             return false;
@@ -541,8 +860,56 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
         };
         if removed {
             self.sum -= value;
+            if self.is_empty() {
+                // Fully drained: drop every summary so the next add is
+                // exact again (in particular, `sum` sheds any
+                // floating-point residue of the add/delete sequence).
+                self.min = f64::INFINITY;
+                self.max = f64::NEG_INFINITY;
+                self.sum = 0.0;
+            } else {
+                // The deleted value may have *been* the tracked extreme;
+                // re-tighten from the surviving buckets (tighten-only:
+                // the recomputed value is always a valid bound, within
+                // one bucket of the true surviving extreme).
+                if value <= self.min {
+                    self.min = self.min.max(self.surviving_lower_bound());
+                }
+                if value >= self.max {
+                    self.max = self.max.min(self.surviving_upper_bound());
+                }
+            }
         }
         removed
+    }
+
+    /// A lower bound on the smallest value still stored, from the
+    /// surviving buckets: the most-negative bucket's magnitude bound, the
+    /// exact zero bucket, or the lowest positive bucket's lower edge.
+    fn surviving_lower_bound(&self) -> f64 {
+        if let Some(idx) = self.negative.max_index() {
+            -self.mapping.upper_bound(idx)
+        } else if self.zero_count > 0 {
+            0.0
+        } else if let Some(idx) = self.positive.min_index() {
+            self.mapping.lower_bound(idx)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mirror of [`Self::surviving_lower_bound`]: an upper bound on the
+    /// largest value still stored.
+    fn surviving_upper_bound(&self) -> f64 {
+        if let Some(idx) = self.positive.max_index() {
+            self.mapping.upper_bound(idx)
+        } else if self.zero_count > 0 {
+            0.0
+        } else if let Some(idx) = self.negative.min_index() {
+            -self.mapping.lower_bound(idx)
+        } else {
+            f64::NEG_INFINITY
+        }
     }
 
     /// Total number of stored occurrences.
@@ -566,12 +933,17 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
         (n > 0).then(|| self.sum / n as f64)
     }
 
-    /// Exact minimum inserted value (a lower bound after deletions).
+    /// The tracked minimum: exact for insert-only streams. After a
+    /// [`Self::delete`] at the minimum it is re-tightened to the surviving
+    /// buckets' lower bound, so it is always a valid lower bound within
+    /// one bucket's relative error of the true surviving minimum — never a
+    /// fully-deleted value.
     pub fn min(&self) -> Option<f64> {
         (!self.is_empty()).then_some(self.min)
     }
 
-    /// Exact maximum inserted value (an upper bound after deletions).
+    /// The tracked maximum: exact for insert-only streams; after deletions
+    /// a tight upper bound (see [`Self::min`] for the symmetric contract).
     pub fn max(&self) -> Option<f64> {
         (!self.is_empty()).then_some(self.max)
     }
@@ -662,20 +1034,57 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
     /// `sketches` is empty or holds no data (unless `qs` is empty, which
     /// always succeeds with an empty vec).
     pub fn merged_quantiles(sketches: &[&Self], qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        let mut out = Vec::with_capacity(qs.len());
+        Self::merged_quantiles_into(
+            sketches.iter().copied(),
+            qs,
+            &mut MergedQuantileScratch::default(),
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    /// [`Self::merged_quantiles`] over an iterator of borrowed sketches,
+    /// writing into caller-owned buffers — the allocation-free form of the
+    /// k-way walk.
+    ///
+    /// `sketches` must be restartable (`Clone`): the walk takes several
+    /// passes (compatibility check, totals, clamp prediction, bin
+    /// windows) without ever materializing a slice of references. With a
+    /// `scratch` and `out` reused across calls, a walk over dense-store
+    /// sketches performs **zero** heap allocations at steady state —
+    /// this is what lets a sliding window answer its per-tick p99 without
+    /// touching the allocator. Sparse-store walks still allocate their
+    /// per-bin head iterators (proportional to shard count, not bins).
+    ///
+    /// `out` is cleared and then filled to `qs.len()`, in `qs` order.
+    /// Errors and estimates are identical to [`Self::merged_quantiles`].
+    pub fn merged_quantiles_into<'a>(
+        sketches: impl Iterator<Item = &'a Self> + Clone,
+        qs: &[f64],
+        scratch: &mut MergedQuantileScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SketchError>
+    where
+        M: 'a,
+        SP: 'a,
+        SN: 'a,
+    {
         for &q in qs {
             if !(0.0..=1.0).contains(&q) {
                 return Err(SketchError::InvalidQuantile(q));
             }
         }
+        out.clear();
         if qs.is_empty() {
             // Nothing to estimate: succeed even with no data, as the
             // per-quantile mapping always has.
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let Some((first, rest)) = sketches.split_first() else {
+        let Some(first) = sketches.clone().next() else {
             return Err(SketchError::Empty);
         };
-        for other in rest {
+        for other in sketches.clone() {
             if !first.mapping.is_mergeable_with(&other.mapping) {
                 return Err(SketchError::IncompatibleMerge(format!(
                     "mapping {} (α={}) vs {} (α={})",
@@ -686,43 +1095,48 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
                 )));
             }
         }
-        let n: u64 = sketches.iter().map(|s| s.count()).sum();
+        let (mut n, mut neg_total, mut zero_total) = (0u64, 0u64, 0u64);
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in sketches.clone() {
+            n += s.count();
+            neg_total += s.negative.total_count();
+            zero_total += s.zero_count;
+            min = min.min(s.min);
+            max = max.max(s.max);
+        }
         if n == 0 {
             return Err(SketchError::Empty);
         }
-        let min = sketches.iter().map(|s| s.min).fold(f64::INFINITY, f64::min);
-        let max = sketches
-            .iter()
-            .map(|s| s.max)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let neg_total: u64 = sketches.iter().map(|s| s.negative.total_count()).sum();
-        let zero_total: u64 = sketches.iter().map(|s| s.zero_count).sum();
 
-        let pos_stores: Vec<&SP> = sketches.iter().map(|s| &s.positive).collect();
-        let neg_stores: Vec<&SN> = sketches.iter().map(|s| &s.negative).collect();
         // Positive walk runs ascending; the negative walk runs from the
         // most negative value, i.e. from the largest |x| bucket downward —
         // mirroring key_at_rank_descending.
-        let mut pos = KWayRankCursor::new(
-            pos_stores.iter().map(|s| s.bin_iter()).collect(),
+        let mut pos = KWayRankCursor::for_stores(
+            sketches.clone().map(|s| &s.positive),
             false,
-            SP::merge_clamp(&pos_stores),
+            SP::merge_clamp_iter(sketches.clone().map(|s| &s.positive)),
+            recycle_windows(std::mem::take(&mut scratch.pos_windows)),
         );
-        let mut neg = KWayRankCursor::new(
-            neg_stores.iter().map(|s| s.bin_iter()).collect(),
+        let mut neg = KWayRankCursor::for_stores(
+            sketches.clone().map(|s| &s.negative),
             true,
-            SN::merge_clamp(&neg_stores),
+            SN::merge_clamp_iter(sketches.map(|s| &s.negative)),
+            recycle_windows(std::mem::take(&mut scratch.neg_windows)),
         );
 
         // Visit the ranks in ascending order, remembering each one's
-        // original slot so the output order stays stable.
-        let mut order: Vec<usize> = (0..qs.len()).collect();
-        order.sort_by(|&a, &b| qs[a].total_cmp(&qs[b]));
+        // original slot so the output order stays stable (in-place
+        // unstable sort: equal quantiles give equal estimates anyway).
+        scratch.order.clear();
+        scratch.order.extend(0..qs.len());
+        scratch
+            .order
+            .sort_unstable_by(|&a, &b| qs[a].total_cmp(&qs[b]));
 
         let neg_total = neg_total as f64;
         let zero_total = zero_total as f64;
-        let mut out = vec![0.0; qs.len()];
-        for &slot in &order {
+        out.resize(qs.len(), 0.0);
+        for &slot in &scratch.order {
             let rank = target_rank(qs[slot], n);
             let raw = if rank < neg_total {
                 let idx = neg
@@ -739,6 +1153,129 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
             };
             out[slot] = raw.clamp(min, max);
         }
+        scratch.pos_windows = recycle_windows(pos.recover_windows());
+        scratch.neg_windows = recycle_windows(neg.recover_windows());
+        Ok(())
+    }
+
+    /// Estimate quantiles of the **weighted** merge of `sketches`: each
+    /// sketch's bins count `weight` times, as if every value it stored had
+    /// been inserted `weight` times — the rank walk that backs
+    /// exponentially-decayed ("recent-biased") sliding-window reads.
+    ///
+    /// Weights are applied at query time through the cumulative rank walk;
+    /// nothing is copied, scaled, or re-bucketed. The target rank for `q`
+    /// is `q·(W − 1)` where `W` is the total weighted count, the direct
+    /// generalization of the paper's `q·(n − 1)`: for **integer** weights
+    /// the result is bit-identical to an unweighted
+    /// [`Self::merged_quantiles`] walk over the same sketches repeated
+    /// `weight` times (property-tested). Sketches with `weight == 0.0` are
+    /// excluded entirely (they contribute neither counts nor min/max).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidQuantile` for any `q` outside `[0, 1]`; `InvalidConfig` for
+    /// a NaN, infinite, or negative weight; `IncompatibleMerge` when the
+    /// sketches' mappings cannot merge; `Empty` when no positive-weight
+    /// data remains (unless `qs` is empty, which always succeeds).
+    pub fn weighted_merged_quantiles_into<'a>(
+        sketches: impl Iterator<Item = (&'a Self, f64)> + Clone,
+        qs: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), SketchError>
+    where
+        M: 'a,
+        SP: 'a,
+        SN: 'a,
+    {
+        for &q in qs {
+            if !(0.0..=1.0).contains(&q) {
+                return Err(SketchError::InvalidQuantile(q));
+            }
+        }
+        for (_, weight) in sketches.clone() {
+            if !(weight.is_finite() && weight >= 0.0) {
+                return Err(SketchError::InvalidConfig(format!(
+                    "sketch weight must be finite and non-negative, got {weight}"
+                )));
+            }
+        }
+        out.clear();
+        if qs.is_empty() {
+            return Ok(());
+        }
+        let Some((first, _)) = sketches.clone().next() else {
+            return Err(SketchError::Empty);
+        };
+        for (other, _) in sketches.clone() {
+            if !first.mapping.is_mergeable_with(&other.mapping) {
+                return Err(SketchError::IncompatibleMerge(format!(
+                    "mapping {} (α={}) vs {} (α={})",
+                    first.mapping.name(),
+                    first.mapping.relative_accuracy(),
+                    other.mapping.name(),
+                    other.mapping.relative_accuracy()
+                )));
+            }
+        }
+        // Zero-weight sketches are out of the union entirely.
+        let live = sketches.filter(|&(_, weight)| weight > 0.0);
+        let (mut total_w, mut neg_w, mut zero_w) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (s, weight) in live.clone() {
+            total_w += weight * s.count() as f64;
+            neg_w += weight * s.negative.total_count() as f64;
+            zero_w += weight * s.zero_count as f64;
+            min = min.min(s.min);
+            max = max.max(s.max);
+        }
+        if total_w <= 0.0 {
+            return Err(SketchError::Empty);
+        }
+
+        let mut pos = WeightedRankCursor::new(
+            live.clone().map(|(s, w)| (s.positive.bin_iter(), w)),
+            false,
+            SP::merge_clamp_iter(live.clone().map(|(s, _)| &s.positive)),
+        );
+        let mut neg = WeightedRankCursor::new(
+            live.clone().map(|(s, w)| (s.negative.bin_iter(), w)),
+            true,
+            SN::merge_clamp_iter(live.map(|(s, _)| &s.negative)),
+        );
+
+        let mut order: Vec<usize> = (0..qs.len()).collect();
+        order.sort_unstable_by(|&a, &b| qs[a].total_cmp(&qs[b]));
+
+        out.resize(qs.len(), 0.0);
+        for &slot in &order {
+            // q·(W − 1): the weighted generalization of target_rank.
+            let rank = qs[slot].clamp(0.0, 1.0) * (total_w - 1.0).max(0.0);
+            let raw = if rank < neg_w {
+                let idx = neg
+                    .advance_to(rank)
+                    .expect("rank < weighted neg total implies a negative bin");
+                -first.mapping.value(idx)
+            } else if rank < neg_w + zero_w {
+                0.0
+            } else {
+                let idx = pos
+                    .advance_to(rank - neg_w - zero_w)
+                    .expect("rank < weighted total implies a positive bin");
+                first.mapping.value(idx)
+            };
+            out[slot] = raw.clamp(min, max);
+        }
+        Ok(())
+    }
+
+    /// Convenience slice form of [`Self::weighted_merged_quantiles_into`].
+    pub fn weighted_merged_quantiles(
+        sketches: &[(&Self, f64)],
+        qs: &[f64],
+    ) -> Result<Vec<f64>, SketchError> {
+        let mut out = Vec::with_capacity(qs.len());
+        Self::weighted_merged_quantiles_into(sketches.iter().copied(), qs, &mut out)?;
         Ok(out)
     }
 
@@ -1090,6 +1627,252 @@ mod tests {
         s.add(0.0).unwrap();
         assert!(s.delete(0.0));
         assert!(!s.delete(0.0));
+    }
+
+    #[test]
+    fn delete_to_empty_then_readd_is_exact() {
+        // Regression: min/max/sum must not survive a delete-to-empty —
+        // pre-fix, the stale extremes of the drained stream leaked into
+        // the re-added one (min() reported 5.0 here with only 10.0 live).
+        let mut s = unbounded(0.01).unwrap();
+        s.add(5.0).unwrap();
+        assert!(s.delete(5.0));
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        s.add(10.0).unwrap();
+        assert_eq!(s.min(), Some(10.0));
+        assert_eq!(s.max(), Some(10.0));
+        assert_eq!(s.sum(), 10.0);
+        // Same through the zero bucket and the negative store.
+        let mut s = unbounded(0.01).unwrap();
+        s.add(0.0).unwrap();
+        s.add(-3.0).unwrap();
+        assert!(s.delete(-3.0));
+        assert!(s.delete(0.0));
+        assert!(s.is_empty());
+        s.add(-7.0).unwrap();
+        assert_eq!(s.min(), Some(-7.0));
+        assert_eq!(s.max(), Some(-7.0));
+        // And sum sheds the float residue of the drained stream: after
+        // deleting 0.1 and 0.3 the naive running sum holds ~5.5e-17.
+        let mut s = unbounded(0.01).unwrap();
+        s.add(0.1).unwrap();
+        s.add(0.3).unwrap();
+        assert!(s.delete(0.1));
+        assert!(s.delete(0.3));
+        s.add(10.0).unwrap();
+        assert_eq!(s.sum(), 10.0, "sum must be exact after drain + re-add");
+    }
+
+    #[test]
+    fn delete_at_the_extremes_keeps_min_max_honest() {
+        let alpha = 0.01;
+        // Deleting the maximum: max() must tighten to the surviving
+        // bucket's bound instead of reporting the fully-deleted 1000.0
+        // (the pre-fix accessors kept the stale extreme).
+        let mut s = unbounded(alpha).unwrap();
+        s.add(1.0).unwrap();
+        s.add(1000.0).unwrap();
+        assert!(s.delete(1000.0));
+        let max = s.max().unwrap();
+        assert!(
+            max <= 1.0 * (1.0 + alpha) * (1.0 + 1e-9) && max >= 1.0,
+            "stale max must tighten to the surviving bucket, got {max}"
+        );
+        // The quantile clamp therefore cannot pin to the deleted value.
+        let p100 = s.quantile(1.0).unwrap();
+        assert!(p100 <= max, "estimate {p100} pinned above the bound {max}");
+        // Mirror case at the minimum, through the negative store.
+        let mut s = unbounded(alpha).unwrap();
+        s.add(-1000.0).unwrap();
+        s.add(-1.0).unwrap();
+        s.add(5.0).unwrap();
+        assert!(s.delete(-1000.0));
+        let min = s.min().unwrap();
+        assert!(
+            min >= -((1.0 + alpha) * (1.0 + 1e-9)) && min <= -1.0,
+            "stale min must tighten to the surviving bucket, got {min}"
+        );
+        assert!(s.quantile(0.0).unwrap() >= min);
+        // Deleting a non-extreme value leaves the exact extremes alone.
+        let mut s = unbounded(alpha).unwrap();
+        for v in [1.0, 50.0, 1000.0] {
+            s.add(v).unwrap();
+        }
+        assert!(s.delete(50.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(1000.0));
+        // Deleting one of several occupants of the extreme bucket keeps
+        // the extreme (the bucket still holds a count).
+        let mut s = unbounded(alpha).unwrap();
+        s.add(1000.0).unwrap();
+        s.add(1000.0).unwrap();
+        s.add(1.0).unwrap();
+        assert!(s.delete(1000.0));
+        assert_eq!(s.max(), Some(1000.0));
+        // Zero as the surviving extreme is exact.
+        let mut s = unbounded(alpha).unwrap();
+        s.add(0.0).unwrap();
+        s.add(9.0).unwrap();
+        assert!(s.delete(9.0));
+        assert_eq!(s.max(), Some(0.0));
+        assert_eq!(s.min(), Some(0.0));
+    }
+
+    #[test]
+    fn weighted_walk_with_unit_weights_matches_unweighted() {
+        let mut shards = Vec::new();
+        for shard in 0..3usize {
+            let mut s = unbounded(0.01).unwrap();
+            for i in 1..=(150 * (shard + 1)) {
+                let v = match i % 4 {
+                    0 => 0.0,
+                    1 | 2 => (i as f64).sqrt() * 1.3,
+                    _ => -(i as f64) * 0.2,
+                };
+                s.add(v).unwrap();
+            }
+            shards.push(s);
+        }
+        let refs: Vec<_> = shards.iter().collect();
+        let pairs: Vec<_> = shards.iter().map(|s| (s, 1.0)).collect();
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0];
+        assert_eq!(
+            DDSketch::weighted_merged_quantiles(&pairs, &qs).unwrap(),
+            DDSketch::merged_quantiles(&refs, &qs).unwrap(),
+            "unit weights must reproduce the unweighted walk exactly"
+        );
+    }
+
+    #[test]
+    fn weighted_walk_with_integer_weights_matches_replication() {
+        // Weight w ≡ the sketch repeated w times in an unweighted walk:
+        // for integer weights the cumulative counts are identical f64
+        // sums, so the answers must agree bit-for-bit.
+        let build = |seed: usize, n: usize| {
+            let mut s = unbounded(0.01).unwrap();
+            for i in 1..=n {
+                let v = ((seed * 37 + i) as f64).sqrt() * 0.9 - 5.0;
+                if v.abs() > 1e-6 {
+                    s.add(v).unwrap();
+                } else {
+                    s.add(0.0).unwrap();
+                }
+            }
+            s
+        };
+        let (a, b, c) = (build(1, 200), build(2, 333), build(3, 77));
+        let weighted = [(&a, 1.0), (&b, 2.0), (&c, 3.0)];
+        let replicated = [&a, &b, &b, &c, &c, &c];
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+        assert_eq!(
+            DDSketch::weighted_merged_quantiles(&weighted, &qs).unwrap(),
+            DDSketch::merged_quantiles(&replicated, &qs).unwrap(),
+            "integer weights must equal unweighted replication"
+        );
+        // Zero-weight sketches drop out of the union entirely.
+        let zeroed = [(&a, 1.0), (&b, 0.0)];
+        assert_eq!(
+            DDSketch::weighted_merged_quantiles(&zeroed, &qs).unwrap(),
+            DDSketch::merged_quantiles(&[&a], &qs).unwrap(),
+            "weight 0 must exclude the sketch"
+        );
+    }
+
+    #[test]
+    fn weighted_walk_biases_toward_heavier_shards() {
+        // A recent shard of large values at weight 8 must pull the median
+        // far above the unweighted merge's.
+        let mut old = unbounded(0.01).unwrap();
+        let mut recent = unbounded(0.01).unwrap();
+        for i in 1..=1000 {
+            old.add(1.0 + (i % 10) as f64 * 0.01).unwrap();
+            recent.add(100.0 + (i % 10) as f64).unwrap();
+        }
+        let unweighted = DDSketch::merged_quantiles(&[&old, &recent], &[0.25]).unwrap()[0];
+        let biased = DDSketch::weighted_merged_quantiles(&[(&old, 1.0), (&recent, 8.0)], &[0.25])
+            .unwrap()[0];
+        assert!(
+            unweighted < 2.0,
+            "q25 of the even merge sits in the old data"
+        );
+        assert!(
+            biased > 90.0,
+            "q25 of the 8× weighting sits in the recent data"
+        );
+    }
+
+    #[test]
+    fn weighted_walk_validation() {
+        let mut s = unbounded(0.01).unwrap();
+        s.add(1.0).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(matches!(
+                DDSketch::weighted_merged_quantiles(&[(&s, bad)], &[0.5]),
+                Err(SketchError::InvalidConfig(_))
+            ));
+        }
+        assert!(matches!(
+            DDSketch::weighted_merged_quantiles(&[(&s, 1.0)], &[1.5]),
+            Err(SketchError::InvalidQuantile(_))
+        ));
+        // All weights zero → no data.
+        assert!(matches!(
+            DDSketch::weighted_merged_quantiles(&[(&s, 0.0)], &[0.5]),
+            Err(SketchError::Empty)
+        ));
+        // Empty qs succeeds even with no sketches.
+        let none: [(&presets::UnboundedDDSketch, f64); 0] = [];
+        assert_eq!(
+            DDSketch::weighted_merged_quantiles(&none, &[]).unwrap(),
+            Vec::<f64>::new()
+        );
+        assert!(matches!(
+            DDSketch::weighted_merged_quantiles(&none, &[0.5]),
+            Err(SketchError::Empty)
+        ));
+        // Mismatched mappings are rejected.
+        let other = unbounded(0.02).unwrap();
+        assert!(matches!(
+            DDSketch::weighted_merged_quantiles(&[(&s, 1.0), (&other, 1.0)], &[0.5]),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+    }
+
+    #[test]
+    fn merged_quantiles_into_reuses_scratch_across_shard_sets() {
+        // One scratch serving alternating shard sets (different counts,
+        // different window spans) must keep answering exactly like the
+        // allocating entry point.
+        let mut scratch = crate::MergedQuantileScratch::default();
+        let mut out = Vec::new();
+        let build = |lo: usize, n: usize| {
+            let mut s = logarithmic_collapsing(0.01, 64).unwrap();
+            for i in lo..lo + n {
+                s.add(1.001_f64.powi(i as i32) * 3.0).unwrap();
+            }
+            s
+        };
+        let sets = [
+            vec![build(0, 500), build(2000, 300)],
+            vec![build(100, 50)],
+            vec![build(0, 10), build(5000, 700), build(900, 20)],
+        ];
+        let qs = [0.99, 0.0, 0.5, 1.0];
+        for set in &sets {
+            let refs: Vec<_> = set.iter().collect();
+            DDSketch::merged_quantiles_into(set.iter(), &qs, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, DDSketch::merged_quantiles(&refs, &qs).unwrap());
+        }
+        // Error paths leave the buffers reusable.
+        assert!(
+            DDSketch::merged_quantiles_into(sets[0].iter(), &[2.0], &mut scratch, &mut out)
+                .is_err()
+        );
+        DDSketch::merged_quantiles_into(sets[2].iter(), &qs, &mut scratch, &mut out).unwrap();
+        let refs: Vec<_> = sets[2].iter().collect();
+        assert_eq!(out, DDSketch::merged_quantiles(&refs, &qs).unwrap());
     }
 
     #[test]

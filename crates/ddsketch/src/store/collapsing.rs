@@ -454,16 +454,16 @@ impl Store for CollapsingLowestDenseStore {
         }
     }
 
-    fn merge_clamp(stores: &[&Self]) -> (i32, i32) {
+    fn merge_clamp_iter<'s>(stores: impl Iterator<Item = &'s Self> + Clone) -> (i32, i32) {
         let unclamped = (i32::MIN, i32::MAX);
         let (Some(first), Some(union_max)) = (
-            stores.first(),
-            stores.iter().filter_map(|s| s.max_index()).max(),
+            stores.clone().next(),
+            stores.filter_map(|s| s.max_index()).max(),
         ) else {
             return unclamped;
         };
         // Everything below the merged window's lowest kept bucket folds
-        // into it; the merge target's (stores[0]'s) cap governs.
+        // into it; the merge target's (the first store's) cap governs.
         let lo = (i64::from(union_max) - first.max_bins + 1).max(i64::from(i32::MIN));
         (lo as i32, i32::MAX)
     }
@@ -583,11 +583,11 @@ impl Store for CollapsingHighestDenseStore {
         self.inner.merge_many(&inners);
     }
 
-    fn merge_clamp(stores: &[&Self]) -> (i32, i32) {
+    fn merge_clamp_iter<'s>(stores: impl Iterator<Item = &'s Self> + Clone) -> (i32, i32) {
         let unclamped = (i32::MIN, i32::MAX);
         let (Some(first), Some(union_min)) = (
-            stores.first(),
-            stores.iter().filter_map(|s| s.min_index()).min(),
+            stores.clone().next(),
+            stores.filter_map(|s| s.min_index()).min(),
         ) else {
             return unclamped;
         };

@@ -330,6 +330,18 @@ pub trait Store: Clone + std::fmt::Debug {
     where
         Self: Sized,
     {
+        Self::merge_clamp_iter(stores.iter().copied())
+    }
+
+    /// Iterator form of [`Store::merge_clamp`], for callers that walk
+    /// borrowed stores without materializing a `&[&Self]` slice (the
+    /// allocation-free merged quantile walk). The iterator must be
+    /// restartable (`Clone`): bounded implementations may take more than
+    /// one pass over the stores.
+    fn merge_clamp_iter<'s>(stores: impl Iterator<Item = &'s Self> + Clone) -> (i32, i32)
+    where
+        Self: Sized + 's,
+    {
         let _ = stores;
         (i32::MIN, i32::MAX)
     }

@@ -166,9 +166,9 @@ struct DistinctAscending<'a> {
 }
 
 impl<'a> DistinctAscending<'a> {
-    fn over(stores: &[&'a CollapsingSparseStore]) -> Self {
+    fn over(stores: impl Iterator<Item = &'a CollapsingSparseStore>) -> Self {
         Self {
-            iters: stores.iter().map(|s| s.bin_iter().peekable()).collect(),
+            iters: stores.map(|s| s.bin_iter().peekable()).collect(),
         }
     }
 }
@@ -260,9 +260,9 @@ impl Store for CollapsingSparseStore {
     // bounded-memory property this store family is selected for. A B-tree
     // has no batch capacity decision to amortize anyway.
 
-    fn merge_clamp(stores: &[&Self]) -> (i32, i32) {
+    fn merge_clamp_iter<'s>(stores: impl Iterator<Item = &'s Self> + Clone) -> (i32, i32) {
         let unclamped = (i32::MIN, i32::MAX);
-        let Some(first) = stores.first() else {
+        let Some(first) = stores.clone().next() else {
             return unclamped;
         };
         let m = first.max_bins;
@@ -270,7 +270,7 @@ impl Store for CollapsingSparseStore {
         // merge would overflow the non-empty-bucket bound, everything at
         // or below the (distinct − m + 1)-th smallest distinct index folds
         // into it (Algorithm 3 applied to the summed buckets).
-        let distinct = DistinctAscending::over(stores).count();
+        let distinct = DistinctAscending::over(stores.clone()).count();
         if distinct <= m {
             return unclamped;
         }

@@ -61,18 +61,37 @@ impl ExactOracle {
         }
     }
 
-    /// Rank error of an estimate for the q-quantile, normalized by `n`:
-    /// `min over the estimate's rank interval of |R − ⌊1+q(n−1)⌋| / n`.
+    /// Rank error of an estimate for the q-quantile, normalized by `n`
+    /// (the paper's Definition 2, with `R(v)` = number of elements ≤ `v`
+    /// and the one-based target rank `⌊1 + q(n−1)⌋`).
     ///
-    /// The interval form matters because an estimate falling inside a run
-    /// of duplicates has every rank in the run; sketches must not be
-    /// penalized for the arbitrary choice.
+    /// Two regimes:
+    ///
+    /// * The estimate **equals stored elements** (a run of duplicates
+    ///   occupying one-based ranks `[lo, hi]`): the error is the distance
+    ///   from the target to that interval — zero anywhere inside. The
+    ///   interval form matters because `x_(r)` is the same value for every
+    ///   rank `r` in the run; a sketch must not be penalized for the
+    ///   arbitrary choice among ranks whose order statistic it matched
+    ///   exactly.
+    /// * The estimate is **unseen** (strictly between elements, below the
+    ///   minimum, or above the maximum): its rank is simply `R(estimate)`
+    ///   and the error is `|R − target|`, per Definition 2. In particular
+    ///   an estimate below every element has `R = 0` — a distance of
+    ///   `target` ranks, not `target − 1`: the previous implementation
+    ///   took a min against the 1-based insertion point here, silently
+    ///   crediting unseen estimates with one rank they never covered
+    ///   (and reporting a perfect 0 for a below-minimum estimate at
+    ///   `q = 0`).
     pub fn rank_error(&self, q: f64, estimate: f64) -> f64 {
         let n = self.sorted.len();
         let target = lower_quantile_index(q, n) as f64 + 1.0; // one-based
-        let hi = self.rank(estimate) as f64;
+        let hi = self.rank(estimate) as f64; // R(estimate), = run top when seen
         let lo = self.sorted.partition_point(|&x| x < estimate) as f64 + 1.0;
-        let dist = if lo <= target && target <= hi {
+        let dist = if lo > hi {
+            // Unseen estimate: Definition 2 on R(estimate) directly.
+            (hi - target).abs()
+        } else if lo <= target && target <= hi {
             0.0
         } else {
             (lo - target).abs().min((hi - target).abs())
@@ -122,13 +141,60 @@ mod tests {
     #[test]
     fn rank_error_for_unseen_values() {
         let o = ExactOracle::new(vec![10.0, 20.0, 30.0]);
-        // Estimate 15.0 sits between ranks 1 and 2, so it is exact for
-        // q = 0 (target rank 1)…
+        // Estimate 15.0 has R = 1, so it is exact for q = 0 (target 1)…
         assert_eq!(o.rank_error(0.0, 15.0), 0.0);
-        // …but for q = 1 (target rank 3) the distance is 1 rank → 1/3.
-        assert!((o.rank_error(1.0, 15.0) - 1.0 / 3.0).abs() < 1e-12);
+        // …but for q = 1 (target rank 3) Definition 2 gives |1 − 3| = 2
+        // ranks → 2/3 (the pre-fix interval min credited it with rank 2,
+        // reporting 1/3).
+        assert!((o.rank_error(1.0, 15.0) - 2.0 / 3.0).abs() < 1e-12);
         // A spot-on estimate has zero error.
         assert_eq!(o.rank_error(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn rank_error_at_the_boundaries_follows_definition_2() {
+        // Table-driven audit of the below-min / above-max / between-bins
+        // edges: (data, q, estimate, expected rank distance). `R` is the
+        // number of elements ≤ estimate; unseen estimates score
+        // |R − ⌊1+q(n−1)⌋| exactly — no phantom insertion-point credit.
+        let cases: &[(&[f64], f64, f64, f64)] = &[
+            // Below every element: R = 0. Regression — the pre-fix code
+            // returned 0.0 for q = 0 here.
+            (&[10.0, 20.0, 30.0], 0.0, 5.0, 1.0),
+            (&[10.0, 20.0, 30.0], 0.5, 5.0, 2.0),
+            (&[10.0, 20.0, 30.0], 1.0, 5.0, 3.0),
+            // Above every element: R = n; exact for q = 1.
+            (&[10.0, 20.0, 30.0], 1.0, 35.0, 0.0),
+            (&[10.0, 20.0, 30.0], 0.5, 35.0, 1.0),
+            (&[10.0, 20.0, 30.0], 0.0, 35.0, 2.0),
+            // Strictly between elements: R = #{≤ estimate}.
+            (&[10.0, 20.0, 30.0], 0.0, 15.0, 0.0),
+            (&[10.0, 20.0, 30.0], 0.5, 15.0, 1.0),
+            (&[10.0, 20.0, 30.0], 1.0, 25.0, 1.0),
+            // Equal to the extremes (seen): interval semantics.
+            (&[10.0, 20.0, 30.0], 0.0, 10.0, 0.0),
+            (&[10.0, 20.0, 30.0], 1.0, 30.0, 0.0),
+            (&[10.0, 20.0, 30.0], 1.0, 10.0, 2.0),
+            // Duplicate run at the minimum covers ranks 1..=2.
+            (&[10.0, 10.0, 30.0], 0.0, 10.0, 0.0),
+            (&[10.0, 10.0, 30.0], 0.5, 10.0, 0.0),
+            (&[10.0, 10.0, 30.0], 1.0, 10.0, 1.0),
+            // Below a duplicate-run minimum is still unseen: R = 0.
+            (&[10.0, 10.0, 30.0], 0.0, 5.0, 1.0),
+            // Single element.
+            (&[42.0], 0.0, 42.0, 0.0),
+            (&[42.0], 1.0, 41.0, 1.0),
+            (&[42.0], 1.0, 43.0, 0.0),
+        ];
+        for &(data, q, estimate, expected_ranks) in cases {
+            let o = ExactOracle::new(data.to_vec());
+            let expected = expected_ranks / data.len() as f64;
+            let got = o.rank_error(q, estimate);
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "data {data:?}, q {q}, estimate {estimate}: got {got}, expected {expected}"
+            );
+        }
     }
 
     #[test]

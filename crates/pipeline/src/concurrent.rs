@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 /// cross-thread cache-line traffic on the write path, and a thread keeps
 /// hitting the same shard — uncontended as long as threads don't outnumber
 /// shards (and merely contended, never wrong, when they do).
-fn thread_shard() -> usize {
+pub(crate) fn thread_shard() -> usize {
     use std::hash::{Hash, Hasher};
     std::thread_local! {
         static SHARD: usize = {

@@ -9,7 +9,12 @@
 //!
 //! Modules:
 //! * [`window`] — the `(metric, window) → sketch` time-series store with
-//!   interned metric ids, exact k-way rollups, and retention eviction.
+//!   interned metric ids, exact k-way rollups, retention eviction, and
+//!   trailing-width [`window::SlidingView`] reads over existing cells.
+//! * [`window_sliding`] — continuously sliding quantile windows ("p99
+//!   over the last five minutes"): a ring of per-slot sketches read by
+//!   one zero-copy k-way walk, with suffix-aggregate (two-stack) and
+//!   exponentially-decayed variants, plus a sharded concurrent front.
 //! * [`concurrent`] — a sharded thread-safe sketch for multi-threaded
 //!   producers whose read path merges outside all locks.
 //! * [`sim`] — the end-to-end threaded simulation (workers → channel →
@@ -18,7 +23,9 @@
 pub mod concurrent;
 pub mod sim;
 pub mod window;
+pub mod window_sliding;
 
 pub use concurrent::ConcurrentSketch;
 pub use sim::{run_sequential, run_simulation, Payload, SimConfig, SimReport};
-pub use window::{MetricId, TimeSeriesStore};
+pub use window::{MetricId, SlidingView, TimeSeriesStore};
+pub use window_sliding::{ConcurrentSlidingWindow, SlidingWindowSketch};

@@ -307,6 +307,76 @@ impl TimeSeriesStore {
             .iter()
             .map(|(&(id, window), s)| (self.metric_name(id), window, s))
     }
+
+    /// A trailing-width view over a metric's newest cells: the sliding
+    /// "p99 over the last `width_secs` seconds" read, answered straight
+    /// from the fixed cells already in the store (no re-bucketing, no
+    /// copied sketches — the view borrows them).
+    ///
+    /// "Now" is the end of the metric's newest cell; every cell
+    /// overlapping the trailing `width_secs` is included whole (cells are
+    /// atomic, so the effective span is `width_secs` rounded up to cell
+    /// boundaries). Returns `None` for an unknown metric, a metric with
+    /// no cells, or a zero width. For a continuously fed stream prefer
+    /// [`crate::SlidingWindowSketch`], which also evicts as it slides;
+    /// this adapter is the ad-hoc query over data a store already holds.
+    pub fn sliding_view(&self, metric: &str, width_secs: u64) -> Option<SlidingView<'_>> {
+        if width_secs == 0 {
+            return None;
+        }
+        let id = self.metric_id(metric)?;
+        let (&(_, newest), _) = self.cells.range(Self::metric_range(id)).next_back()?;
+        let end = newest.saturating_add(self.window_secs);
+        let lo = end.saturating_sub(width_secs);
+        // A cell [s, s + w) overlaps [lo, end) iff s + w > lo.
+        let first = lo.saturating_sub(self.window_secs - 1);
+        let mut start = newest;
+        let mut cells = Vec::new();
+        for (&(_, window), sketch) in self.cells.range((id, first)..=(id, newest)) {
+            start = start.min(window);
+            cells.push(sketch);
+        }
+        Some(SlidingView { cells, start, end })
+    }
+}
+
+/// A borrowed trailing-window view from
+/// [`TimeSeriesStore::sliding_view`]: quantile queries run one zero-copy
+/// k-way [`AnyDDSketch::merged_quantiles`] walk over the covered cells.
+#[derive(Debug)]
+pub struct SlidingView<'a> {
+    cells: Vec<&'a AnyDDSketch>,
+    start: u64,
+    end: u64,
+}
+
+impl SlidingView<'_> {
+    /// Number of cells the view covers.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The covered time range `[start, end)` in seconds: `start` is the
+    /// oldest covered cell's window start, `end` the newest cell's end.
+    pub fn range(&self) -> (u64, u64) {
+        (self.start, self.end)
+    }
+
+    /// Total observation count inside the view.
+    pub fn count(&self) -> u64 {
+        self.cells.iter().map(|s| s.count()).sum()
+    }
+
+    /// Estimate several quantiles over the view — one k-way walk over the
+    /// borrowed cells, no materialized merge.
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        AnyDDSketch::merged_quantiles(&self.cells, qs)
+    }
+
+    /// Convenience: a single quantile via [`Self::quantiles`].
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        Ok(self.quantiles(std::slice::from_ref(&q))?[0])
+    }
 }
 
 #[cfg(test)]
@@ -524,6 +594,43 @@ mod tests {
         assert!(ts.rollup(0).is_err());
         assert!(ts.rollup(6).is_ok());
         assert!(ts.rollup(u64::MAX).is_err(), "overflowing widths error");
+    }
+
+    #[test]
+    fn sliding_view_covers_the_trailing_width() {
+        let mut ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        for w in 0..12u64 {
+            // One value per 10s cell: 100 + cell index.
+            ts.record("m", w * 10, 100.0 + w as f64).unwrap();
+        }
+        // Newest cell is [110, 120); a 30s view covers cells 90, 100, 110.
+        let view = ts.sliding_view("m", 30).unwrap();
+        assert_eq!(view.num_cells(), 3);
+        assert_eq!(view.range(), (90, 120));
+        assert_eq!(view.count(), 3);
+        let p100 = view.quantile(1.0).unwrap();
+        let p0 = view.quantile(0.0).unwrap();
+        assert!((111.0 * 0.99..=111.0 * 1.01).contains(&p100));
+        assert!((109.0 * 0.99..=109.0 * 1.01).contains(&p0));
+        // The view must equal a from-scratch sketch over the same cells.
+        let mut union = ts.config().build().unwrap();
+        for v in [109.0, 110.0, 111.0] {
+            union.add(v).unwrap();
+        }
+        let qs = [0.0, 0.5, 1.0];
+        assert_eq!(view.quantiles(&qs).unwrap(), union.quantiles(&qs).unwrap());
+        // A width smaller than one cell still covers the newest cell.
+        let view = ts.sliding_view("m", 1).unwrap();
+        assert_eq!(view.num_cells(), 1);
+        // A width beyond the data covers everything.
+        let view = ts.sliding_view("m", 10_000).unwrap();
+        assert_eq!(view.num_cells(), 12);
+        assert_eq!(view.count(), 12);
+        // Unknown metric, empty store, zero width.
+        assert!(ts.sliding_view("nope", 30).is_none());
+        assert!(ts.sliding_view("m", 0).is_none());
+        let empty = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        assert!(empty.sliding_view("m", 30).is_none());
     }
 
     #[test]

@@ -1,0 +1,1062 @@
+//! Continuously sliding quantile windows over the k-way merge plane.
+//!
+//! The paper's opening workload is "the p99 over the last five minutes":
+//! [`crate::TimeSeriesStore`] answers fixed cells and all-time rollups,
+//! but the monitoring question slides. [`SlidingWindowSketch`] keeps a
+//! ring of per-slot [`AnyDDSketch`]es (e.g. 300 × 1 s for a five-minute
+//! window), advances and evicts slots on **ingest timestamps** (no wall
+//! clock — deterministic and replayable), and answers quantiles over the
+//! live window with one borrowed-shard
+//! [`AnyDDSketch::merged_quantiles_into`] walk: no materialized merge, no
+//! per-query heap allocation on the dense store families (held to zero by
+//! the workspace's counting-allocator test).
+//!
+//! Three read strategies share the ring:
+//!
+//! * **Ring walk** (default): one k-way walk over all live slots —
+//!   query cost grows with the slot count, ingest is one slot `add`.
+//! * **Suffix aggregates** ([`SlidingWindowSketch::with_suffix_aggregates`]):
+//!   the classic two-stack sliding-window-aggregation layout. Sealed
+//!   slots fold into a running *back* aggregate; when the precomputed
+//!   *front* suffix stack drains (every ≈`num_slots` rotations) it is
+//!   rebuilt from the ring via [`AnyDDSketch::merge_many`] — amortized
+//!   O(1) merges per rotation. A steady-state query folds at most
+//!   **three** sketches (front top ∪ back ∪ live head slot) regardless of
+//!   slot count, which is what makes 3600-slot windows as cheap to read
+//!   as 60-slot ones.
+//! * **Exponential decay** ([`SlidingWindowSketch::quantiles_decayed`]):
+//!   per-slot weights `decay^age` applied *at query time* through the
+//!   weighted rank walk — a "recent-biased" p99 with nothing copied,
+//!   rescaled, or re-bucketed.
+//!
+//! For multi-threaded producers, [`ConcurrentSlidingWindow`] shards whole
+//! sliding windows behind per-shard locks (each writer advances its own
+//! ring on its own timestamps — no cross-shard roll coordination, no
+//! attribution skew) and reads merge every shard's live slots in one
+//! walk, exactly like [`crate::ConcurrentSketch`] reads its shards.
+
+use std::cell::RefCell;
+
+use ddsketch::{AnyDDSketch, MergedQuantileScratch, SketchConfig, SketchError};
+use parking_lot::Mutex;
+
+use crate::concurrent::thread_shard;
+
+/// Marker for a ring cell that holds no slot yet.
+const NO_SLOT: u64 = u64::MAX;
+
+/// Ring position of the slot starting at `start`.
+#[inline]
+fn ring_index(start: u64, slot_secs: u64, num_slots: usize) -> usize {
+    ((start / slot_secs) % num_slots as u64) as usize
+}
+
+/// The two-stack (suffix-aggregate) state: `aggs[i]` holds the union of
+/// the front-region slots `[front_lo + i·w, front_hi]`, `back` holds the
+/// union of every sealed slot from `back_lo` to the newest sealed slot.
+#[derive(Debug)]
+struct FoldedState {
+    aggs: Vec<AnyDDSketch>,
+    front_lo: u64,
+    front_len: usize,
+    back: AnyDDSketch,
+    back_lo: u64,
+}
+
+/// A sliding-window quantile sketch: the last `num_slots × slot_secs`
+/// seconds of a timestamped stream, one [`AnyDDSketch`] per slot.
+///
+/// Time is driven purely by ingest timestamps: recording into a newer
+/// slot advances the window and evicts (clears, retaining allocations)
+/// the slots that fall out of it; recording into an already-evicted slot
+/// fails with [`SketchError::StaleTimestamp`]. Out-of-order arrivals
+/// *within* the live window are accepted. Note the timestamp advances the
+/// window even when the value itself is rejected — the clock is data.
+#[derive(Debug)]
+pub struct SlidingWindowSketch {
+    config: SketchConfig,
+    slot_secs: u64,
+    ring: Vec<AnyDDSketch>,
+    /// `starts[i]`: slot start held by `ring[i]`, or [`NO_SLOT`]. Every
+    /// held start lies inside the live window (rotation reclaims exactly
+    /// the expiring slot's cell).
+    starts: Vec<u64>,
+    /// Start of the newest slot ingested so far.
+    head: Option<u64>,
+    folded: Option<FoldedState>,
+    /// Reusable read-path buffers (interior mutability so queries stay
+    /// `&self`; a borrow is held only for the duration of one walk).
+    scratch: RefCell<MergedQuantileScratch>,
+}
+
+impl SlidingWindowSketch {
+    /// A ring-walk window: `num_slots` slots of `slot_secs` seconds each,
+    /// every slot an empty sketch of `config`.
+    pub fn with_config(
+        config: SketchConfig,
+        slot_secs: u64,
+        num_slots: usize,
+    ) -> Result<Self, SketchError> {
+        Self::build(config, slot_secs, num_slots, false)
+    }
+
+    /// A window with the two-stack suffix-aggregate read path: steady-state
+    /// queries fold at most three sketches regardless of `num_slots`, in
+    /// exchange for roughly doubled sketch memory (the suffix stack) and
+    /// one amortized extra merge per slot rotation.
+    pub fn with_suffix_aggregates(
+        config: SketchConfig,
+        slot_secs: u64,
+        num_slots: usize,
+    ) -> Result<Self, SketchError> {
+        Self::build(config, slot_secs, num_slots, true)
+    }
+
+    /// Convenience constructor for the paper's default configuration
+    /// (collapsing dense stores, exact logarithmic mapping).
+    pub fn new(
+        alpha: f64,
+        max_bins: usize,
+        slot_secs: u64,
+        num_slots: usize,
+    ) -> Result<Self, SketchError> {
+        Self::with_config(
+            SketchConfig::dense_collapsing(alpha, max_bins),
+            slot_secs,
+            num_slots,
+        )
+    }
+
+    fn build(
+        config: SketchConfig,
+        slot_secs: u64,
+        num_slots: usize,
+        folded: bool,
+    ) -> Result<Self, SketchError> {
+        if slot_secs == 0 {
+            return Err(SketchError::InvalidConfig(
+                "slot_secs must be positive".into(),
+            ));
+        }
+        if num_slots == 0 {
+            return Err(SketchError::InvalidConfig(
+                "num_slots must be positive".into(),
+            ));
+        }
+        config.validate()?;
+        let ring = (0..num_slots)
+            .map(|_| config.build())
+            .collect::<Result<Vec<_>, _>>()?;
+        let folded = if folded {
+            Some(FoldedState {
+                aggs: (0..num_slots.saturating_sub(1))
+                    .map(|_| config.build())
+                    .collect::<Result<Vec<_>, _>>()?,
+                front_lo: 0,
+                front_len: 0,
+                back: config.build()?,
+                back_lo: 0,
+            })
+        } else {
+            None
+        };
+        Ok(Self {
+            config,
+            slot_secs,
+            ring,
+            starts: vec![NO_SLOT; num_slots],
+            head: None,
+            folded,
+            scratch: RefCell::new(MergedQuantileScratch::default()),
+        })
+    }
+
+    /// The sketch configuration every slot uses.
+    pub fn config(&self) -> SketchConfig {
+        self.config
+    }
+
+    /// Slot width in seconds.
+    pub fn slot_secs(&self) -> u64 {
+        self.slot_secs
+    }
+
+    /// Number of slots in the ring.
+    pub fn num_slots(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Total window span in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.slot_secs * self.ring.len() as u64
+    }
+
+    /// Whether this window uses the suffix-aggregate read path.
+    pub fn has_suffix_aggregates(&self) -> bool {
+        self.folded.is_some()
+    }
+
+    /// Start of the newest slot ingested so far, if any.
+    pub fn head(&self) -> Option<u64> {
+        self.head
+    }
+
+    /// Start of the oldest slot the window still covers, if any.
+    pub fn window_start(&self) -> Option<u64> {
+        self.head.map(|h| self.window_lo(h))
+    }
+
+    /// Align a timestamp down to its slot start.
+    pub fn slot_of(&self, ts_secs: u64) -> u64 {
+        ts_secs - ts_secs % self.slot_secs
+    }
+
+    fn window_lo(&self, head: u64) -> u64 {
+        head.saturating_sub((self.ring.len() as u64 - 1) * self.slot_secs)
+    }
+
+    /// Total observation count across the live window.
+    pub fn count(&self) -> u64 {
+        self.live_slots().map(|s| s.count()).sum()
+    }
+
+    /// Whether the live window holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Every live slot's sketch (including empty ones), unordered.
+    fn live_slots(&self) -> impl Iterator<Item = &AnyDDSketch> + Clone {
+        self.ring
+            .iter()
+            .zip(&self.starts)
+            .filter_map(|(sketch, &start)| (start != NO_SLOT).then_some(sketch))
+    }
+
+    /// Live `(slot_start, sketch)` pairs whose slot starts at or after
+    /// `cutoff` — the multi-shard read path's filter: a stale shard must
+    /// contribute only slots inside the *global* window.
+    pub fn live_slots_from(&self, cutoff: u64) -> impl Iterator<Item = &AnyDDSketch> + Clone + '_ {
+        self.ring
+            .iter()
+            .zip(&self.starts)
+            .filter_map(move |(sketch, &start)| {
+                (start != NO_SLOT && start >= cutoff).then_some(sketch)
+            })
+    }
+
+    /// Advance the window so it ends at the slot containing `ts_secs`,
+    /// sealing and evicting slots as needed. A no-op for timestamps at or
+    /// behind the current head; useful on its own to tick an idle stream
+    /// forward so old slots age out without new data.
+    pub fn advance_to(&mut self, ts_secs: u64) {
+        let new_head = self.slot_of(ts_secs);
+        let w = self.slot_secs;
+        let n = self.ring.len();
+        let Some(head) = self.head else {
+            let idx = ring_index(new_head, w, n);
+            self.starts[idx] = new_head;
+            self.head = Some(new_head);
+            if let Some(folded) = &mut self.folded {
+                folded.back_lo = new_head;
+                folded.front_len = 0;
+            }
+            return;
+        };
+        if new_head <= head {
+            return;
+        }
+        if (new_head - head) / w >= n as u64 {
+            // The jump clears the whole window: reset rather than rotate
+            // slot by slot.
+            for (sketch, start) in self.ring.iter_mut().zip(&mut self.starts) {
+                sketch.clear();
+                *start = NO_SLOT;
+            }
+            let idx = ring_index(new_head, w, n);
+            self.starts[idx] = new_head;
+            self.head = Some(new_head);
+            if let Some(folded) = &mut self.folded {
+                for agg in &mut folded.aggs {
+                    agg.clear();
+                }
+                folded.front_len = 0;
+                folded.back.clear();
+                folded.back_lo = new_head;
+            }
+            return;
+        }
+        let mut h = head;
+        while h < new_head {
+            // Seal the outgoing head slot into the back aggregate.
+            if let Some(folded) = &mut self.folded {
+                let idx = ring_index(h, w, n);
+                if !self.ring[idx].is_empty() {
+                    folded
+                        .back
+                        .merge_from(&self.ring[idx])
+                        .expect("slots share the window's config");
+                }
+            }
+            h += w;
+            // Reclaim the expiring oldest slot's cell for the new head.
+            let idx = ring_index(h, w, n);
+            self.ring[idx].clear();
+            self.starts[idx] = h;
+            // Flip the two stacks once the precomputed front is spent.
+            let window_lo = self.window_lo(h);
+            let needs_flip = self
+                .folded
+                .as_ref()
+                .is_some_and(|folded| window_lo >= folded.back_lo);
+            if needs_flip {
+                self.rebuild_front(h, window_lo);
+            }
+        }
+        self.head = Some(h);
+    }
+
+    /// Rebuild the suffix-aggregate stack over the sealed slots
+    /// `[window_lo, head − w]` and restart the back aggregate — the
+    /// two-stack "flip", one k-way [`AnyDDSketch::merge_many`] per suffix.
+    fn rebuild_front(&mut self, head: u64, window_lo: u64) {
+        let w = self.slot_secs;
+        let n = self.ring.len();
+        let folded = self.folded.as_mut().expect("flip only in folded mode");
+        let front_len = if head >= w && window_lo <= head - w {
+            ((head - w - window_lo) / w + 1) as usize
+        } else {
+            0
+        };
+        debug_assert!(front_len <= folded.aggs.len());
+        for i in (0..front_len).rev() {
+            let (left, right) = folded.aggs.split_at_mut(i + 1);
+            let agg = &mut left[i];
+            agg.clear();
+            let slot = &self.ring[ring_index(window_lo + i as u64 * w, w, n)];
+            let mut parts: [&AnyDDSketch; 2] = [slot; 2];
+            let mut k = 0;
+            if i + 1 < front_len {
+                parts[k] = &right[0];
+                k += 1;
+            }
+            if !slot.is_empty() {
+                parts[k] = slot;
+                k += 1;
+            }
+            agg.merge_many(&parts[..k])
+                .expect("slots share the window's config");
+        }
+        folded.front_lo = window_lo;
+        folded.front_len = front_len;
+        folded.back.clear();
+        folded.back_lo = head;
+    }
+
+    /// Advance to `ts_secs` and hand back the target slot index, or
+    /// reject a timestamp whose slot already fell out of the window.
+    fn slot_index_for(&mut self, ts_secs: u64) -> Result<usize, SketchError> {
+        let start = self.slot_of(ts_secs);
+        if let Some(head) = self.head {
+            // (A start beyond the head advances the window instead.)
+            if start < self.window_lo(head) {
+                return Err(SketchError::StaleTimestamp {
+                    ts_secs,
+                    window_start: self.window_lo(head),
+                });
+            }
+        }
+        self.advance_to(ts_secs);
+        let idx = ring_index(start, self.slot_secs, self.ring.len());
+        if self.starts[idx] != start {
+            // An in-window slot *behind* the first (or post-reset) head
+            // that no rotation has assigned yet: claim it. Its cell is
+            // necessarily empty — nothing lands in a cell without
+            // assigning it, in-window starts map to distinct cells, and
+            // rotation/reset clear every cell they retire.
+            debug_assert!(self.starts[idx] == NO_SLOT && self.ring[idx].is_empty());
+            self.starts[idx] = start;
+        }
+        Ok(idx)
+    }
+
+    /// Mirror a successful slot mutation into the aggregates that already
+    /// cover that (sealed) slot, so two-stack reads stay exact under
+    /// out-of-order arrivals within the window.
+    fn apply_to_aggregates(
+        &mut self,
+        start: u64,
+        mut op: impl FnMut(&mut AnyDDSketch) -> Result<(), SketchError>,
+    ) {
+        let head = self.head.expect("aggregates imply an ingested head");
+        let Some(folded) = &mut self.folded else {
+            return;
+        };
+        if start == head {
+            // The live head slot is not aggregated yet.
+        } else if start >= folded.back_lo {
+            op(&mut folded.back).expect("aggregate shares the slot's config");
+        } else if folded.front_len > 0 {
+            // A front-region late arrival: it belongs to every suffix
+            // aggregate from the stack base up to its own slot. (With a
+            // live front, a sealed slot below back_lo is always at or
+            // above front_lo — the stack was rebuilt at the window edge.)
+            debug_assert!(start >= folded.front_lo);
+            let last = ((start - folded.front_lo) / self.slot_secs) as usize;
+            let last = last.min(folded.front_len - 1);
+            for agg in &mut folded.aggs[..=last] {
+                op(agg).expect("aggregate shares the slot's config");
+            }
+        } else {
+            // A pre-head slot claimed before any flip has built a front:
+            // fold it into the back aggregate and widen back's coverage
+            // down to it (the cells in between are empty, so the
+            // contiguous-coverage invariant holds).
+            folded.back_lo = start;
+            op(&mut folded.back).expect("aggregate shares the slot's config");
+        }
+    }
+
+    /// Record one observation at `ts_secs`.
+    pub fn record(&mut self, ts_secs: u64, value: f64) -> Result<(), SketchError> {
+        let idx = self.slot_index_for(ts_secs)?;
+        self.ring[idx].add(value)?;
+        self.apply_to_aggregates(self.starts[idx], |s| s.add(value));
+        Ok(())
+    }
+
+    /// Record a batch sharing one timestamp — one slot resolution and one
+    /// bulk ingestion. All-or-nothing like
+    /// [`ddsketch::DDSketch::add_slice`]: an unsupported value fails the
+    /// whole batch with no slot or aggregate touched.
+    pub fn record_slice(&mut self, ts_secs: u64, values: &[f64]) -> Result<(), SketchError> {
+        let idx = self.slot_index_for(ts_secs)?;
+        self.ring[idx].add_slice(values)?;
+        self.apply_to_aggregates(self.starts[idx], |s| s.add_slice(values));
+        Ok(())
+    }
+
+    /// Absorb an externally-built sketch into the slot covering
+    /// `ts_secs` — the agent-ships-sketches path of the paper's Figure 1,
+    /// windowed. Same compatibility rules as [`AnyDDSketch::merge_from`].
+    pub fn absorb(&mut self, ts_secs: u64, sketch: &AnyDDSketch) -> Result<(), SketchError> {
+        let idx = self.slot_index_for(ts_secs)?;
+        self.ring[idx].merge_from(sketch)?;
+        self.apply_to_aggregates(self.starts[idx], |s| s.merge_from(sketch));
+        Ok(())
+    }
+
+    /// Estimate several quantiles over the live window, writing into a
+    /// caller-owned buffer. One borrowed-shard k-way walk — no merged
+    /// sketch is ever materialized, and with `out` reused across calls
+    /// the dense store families perform **zero** heap allocations at
+    /// steady state (counting-allocator-tested). Output order matches
+    /// `qs`; an empty window fails with [`SketchError::Empty`] (unless
+    /// `qs` is empty).
+    pub fn quantiles_into(&self, qs: &[f64], out: &mut Vec<f64>) -> Result<(), SketchError> {
+        let scratch = &mut *self.scratch.borrow_mut();
+        if let (Some(folded), Some(head)) = (&self.folded, self.head) {
+            // Two-stack read: front suffix ∪ back ∪ live head slot.
+            let mut parts: [&AnyDDSketch; 3] = [&folded.back; 3];
+            let mut k = 0;
+            let window_lo = self.window_lo(head);
+            if folded.front_len > 0 && window_lo >= folded.front_lo {
+                let top = ((window_lo - folded.front_lo) / self.slot_secs) as usize;
+                if top < folded.front_len {
+                    parts[k] = &folded.aggs[top];
+                    k += 1;
+                }
+            }
+            if !folded.back.is_empty() {
+                parts[k] = &folded.back;
+                k += 1;
+            }
+            let head_slot = &self.ring[ring_index(head, self.slot_secs, self.ring.len())];
+            if !head_slot.is_empty() {
+                parts[k] = head_slot;
+                k += 1;
+            }
+            AnyDDSketch::merged_quantiles_into(parts[..k].iter().copied(), qs, scratch, out)
+        } else {
+            AnyDDSketch::merged_quantiles_into(self.live_slots(), qs, scratch, out)
+        }
+    }
+
+    /// Estimate several quantiles over the live window; see
+    /// [`Self::quantiles_into`] for the allocation contract.
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        let mut out = Vec::with_capacity(qs.len());
+        self.quantiles_into(qs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Convenience: a single quantile via [`Self::quantiles_into`].
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        Ok(self.quantiles(std::slice::from_ref(&q))?[0])
+    }
+
+    /// Recent-biased quantiles: slot `a` slots behind the head weighs
+    /// `decay^a` in the rank walk (`decay ∈ (0, 1]`; `1.0` reproduces
+    /// [`Self::quantiles`]' semantics). Weights are applied at query time
+    /// through [`AnyDDSketch::weighted_merged_quantiles_into`] — nothing
+    /// is copied or rescaled. Always a per-slot walk (the suffix
+    /// aggregates cannot serve it: every slot carries its own weight).
+    pub fn quantiles_decayed_into(
+        &self,
+        qs: &[f64],
+        decay: f64,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SketchError> {
+        if !(decay.is_finite() && decay > 0.0 && decay <= 1.0) {
+            return Err(SketchError::InvalidConfig(format!(
+                "decay must be in (0, 1], got {decay}"
+            )));
+        }
+        let head = self.head.unwrap_or(0);
+        let w = self.slot_secs;
+        AnyDDSketch::weighted_merged_quantiles_into(
+            self.ring
+                .iter()
+                .zip(&self.starts)
+                .filter(|&(_, &start)| start != NO_SLOT)
+                .map(move |(sketch, &start)| (sketch, decay.powi(((head - start) / w) as i32))),
+            qs,
+            out,
+        )
+    }
+
+    /// Recent-biased quantiles; see [`Self::quantiles_decayed_into`].
+    pub fn quantiles_decayed(&self, qs: &[f64], decay: f64) -> Result<Vec<f64>, SketchError> {
+        let mut out = Vec::with_capacity(qs.len());
+        self.quantiles_decayed_into(qs, decay, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reset to an empty window, retaining allocations and configuration.
+    pub fn clear(&mut self) {
+        for (sketch, start) in self.ring.iter_mut().zip(&mut self.starts) {
+            sketch.clear();
+            *start = NO_SLOT;
+        }
+        self.head = None;
+        if let Some(folded) = &mut self.folded {
+            for agg in &mut folded.aggs {
+                agg.clear();
+            }
+            folded.front_len = 0;
+            folded.back.clear();
+        }
+    }
+}
+
+/// A sharded, thread-safe sliding window: each shard is a complete
+/// [`SlidingWindowSketch`] behind its own lock, writers pick a shard by
+/// thread identity (or an explicit hint) and advance it on their own
+/// timestamps — no cross-shard roll coordination and no attribution skew,
+/// because every observation lands in the slot its timestamp names.
+///
+/// Reads lock every shard, take the newest head across shards as "now",
+/// and answer with one k-way walk over every shard's slots inside that
+/// global window (slots a lagging shard still holds from before the
+/// global window are filtered out). By full mergeability the result is
+/// exactly the single-window answer over all inserted observations.
+#[derive(Debug)]
+pub struct ConcurrentSlidingWindow {
+    shards: Vec<Mutex<SlidingWindowSketch>>,
+    slot_secs: u64,
+    num_slots: usize,
+    /// Reusable read-path buffers, shared by all readers.
+    scratch: Mutex<MergedQuantileScratch>,
+}
+
+impl ConcurrentSlidingWindow {
+    /// `shards` independent sliding windows (≥ 1) of the given shape;
+    /// shard count should roughly match writer-thread count.
+    pub fn with_config(
+        config: SketchConfig,
+        slot_secs: u64,
+        num_slots: usize,
+        shards: usize,
+    ) -> Result<Self, SketchError> {
+        if shards == 0 {
+            return Err(SketchError::InvalidConfig("shards must be positive".into()));
+        }
+        let shards = (0..shards)
+            .map(|_| SlidingWindowSketch::with_config(config, slot_secs, num_slots).map(Mutex::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            shards,
+            slot_secs,
+            num_slots,
+            scratch: Mutex::new(MergedQuantileScratch::default()),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total window span in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.slot_secs * self.num_slots as u64
+    }
+
+    /// Record one observation with an explicit shard hint (reduced modulo
+    /// the shard count).
+    pub fn record_hinted(&self, hint: usize, ts_secs: u64, value: f64) -> Result<(), SketchError> {
+        self.shards[hint % self.shards.len()]
+            .lock()
+            .record(ts_secs, value)
+    }
+
+    /// Record one observation on the calling thread's default shard.
+    pub fn record(&self, ts_secs: u64, value: f64) -> Result<(), SketchError> {
+        self.record_hinted(thread_shard(), ts_secs, value)
+    }
+
+    /// Record a batch sharing one timestamp under a single shard lock.
+    pub fn record_slice_hinted(
+        &self,
+        hint: usize,
+        ts_secs: u64,
+        values: &[f64],
+    ) -> Result<(), SketchError> {
+        self.shards[hint % self.shards.len()]
+            .lock()
+            .record_slice(ts_secs, values)
+    }
+
+    /// Record a batch on the calling thread's default shard.
+    pub fn record_slice(&self, ts_secs: u64, values: &[f64]) -> Result<(), SketchError> {
+        self.record_slice_hinted(thread_shard(), ts_secs, values)
+    }
+
+    /// Total observation count across every shard's live window, judged
+    /// against the newest head across shards.
+    pub fn count(&self) -> u64 {
+        let guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
+        let Some(head) = guards.iter().filter_map(|g| g.head()).max() else {
+            return 0;
+        };
+        let cutoff = head.saturating_sub((self.num_slots as u64 - 1) * self.slot_secs);
+        guards
+            .iter()
+            .flat_map(|g| g.live_slots_from(cutoff))
+            .map(|s| s.count())
+            .sum()
+    }
+
+    /// Estimate several quantiles over the global live window into a
+    /// caller-owned buffer: all shard locks are held (acquired in shard
+    /// order — the only multi-lock path, so it cannot deadlock) for one
+    /// borrowed-slot k-way walk; nothing is materialized.
+    pub fn quantiles_into(&self, qs: &[f64], out: &mut Vec<f64>) -> Result<(), SketchError> {
+        let guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
+        let scratch = &mut *self.scratch.lock();
+        let Some(head) = guards.iter().filter_map(|g| g.head()).max() else {
+            return AnyDDSketch::merged_quantiles_into(std::iter::empty(), qs, scratch, out);
+        };
+        let cutoff = head.saturating_sub((self.num_slots as u64 - 1) * self.slot_secs);
+        AnyDDSketch::merged_quantiles_into(
+            guards.iter().flat_map(|g| g.live_slots_from(cutoff)),
+            qs,
+            scratch,
+            out,
+        )
+    }
+
+    /// Estimate several quantiles over the global live window.
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        let mut out = Vec::with_capacity(qs.len());
+        self.quantiles_into(qs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Convenience: a single quantile via [`Self::quantiles`].
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        Ok(self.quantiles(std::slice::from_ref(&q))?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn config() -> SketchConfig {
+        SketchConfig::dense_collapsing(0.01, 512)
+    }
+
+    /// A from-scratch sketch over exactly the in-window values of a
+    /// timestamped stream, judged at `head`.
+    fn reference(
+        cfg: SketchConfig,
+        stream: &[(u64, f64)],
+        slot_secs: u64,
+        num_slots: usize,
+        head_ts: u64,
+    ) -> AnyDDSketch {
+        let head = head_ts - head_ts % slot_secs;
+        let lo = head.saturating_sub((num_slots as u64 - 1) * slot_secs);
+        let mut union = cfg.build().unwrap();
+        for &(ts, v) in stream {
+            if ts - ts % slot_secs >= lo {
+                union.add(v).unwrap();
+            }
+        }
+        union
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(SlidingWindowSketch::with_config(config(), 0, 10).is_err());
+        assert!(SlidingWindowSketch::with_config(config(), 1, 0).is_err());
+        assert!(
+            SlidingWindowSketch::with_config(SketchConfig::dense_collapsing(0.0, 10), 1, 10)
+                .is_err()
+        );
+        assert!(SlidingWindowSketch::with_config(config(), 1, 10).is_ok());
+        assert!(SlidingWindowSketch::with_suffix_aggregates(config(), 1, 1).is_ok());
+        assert!(ConcurrentSlidingWindow::with_config(config(), 1, 10, 0).is_err());
+        assert!(ConcurrentSlidingWindow::with_config(config(), 1, 10, 4).is_ok());
+        let sw = SlidingWindowSketch::new(0.01, 2048, 1, 300).unwrap();
+        assert_eq!(sw.window_secs(), 300);
+        assert_eq!(sw.num_slots(), 300);
+        assert!(!sw.has_suffix_aggregates());
+    }
+
+    #[test]
+    fn empty_window_behaviour() {
+        for folded in [false, true] {
+            let sw = if folded {
+                SlidingWindowSketch::with_suffix_aggregates(config(), 1, 5).unwrap()
+            } else {
+                SlidingWindowSketch::with_config(config(), 1, 5).unwrap()
+            };
+            assert!(sw.is_empty());
+            assert_eq!(sw.count(), 0);
+            assert_eq!(sw.head(), None);
+            assert!(matches!(sw.quantile(0.5), Err(SketchError::Empty)));
+            assert!(matches!(
+                sw.quantiles_decayed(&[0.5], 0.9),
+                Err(SketchError::Empty)
+            ));
+            assert_eq!(sw.quantiles(&[]).unwrap(), Vec::<f64>::new());
+            assert!(matches!(
+                sw.quantiles(&[1.5]),
+                Err(SketchError::InvalidQuantile(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn window_tracks_only_recent_slots() {
+        for folded in [false, true] {
+            let mut sw = if folded {
+                SlidingWindowSketch::with_suffix_aggregates(config(), 10, 3).unwrap()
+            } else {
+                SlidingWindowSketch::with_config(config(), 10, 3).unwrap()
+            };
+            sw.record(5, 1.0).unwrap(); // slot 0
+            sw.record(15, 2.0).unwrap(); // slot 10
+            sw.record(25, 3.0).unwrap(); // slot 20
+            assert_eq!(sw.count(), 3);
+            assert_eq!(sw.window_start(), Some(0));
+            // Slot 30 evicts slot 0.
+            sw.record(30, 4.0).unwrap();
+            assert_eq!(sw.count(), 3);
+            assert_eq!(sw.window_start(), Some(10));
+            let p100 = sw.quantile(1.0).unwrap();
+            let p0 = sw.quantile(0.0).unwrap();
+            assert!(p100 >= 4.0 * 0.99 && p0 >= 2.0 * 0.99, "folded={folded}");
+            // A stale write is rejected without touching anything.
+            assert!(matches!(
+                sw.record(5, 9.0),
+                Err(SketchError::StaleTimestamp { .. })
+            ));
+            assert_eq!(sw.count(), 3);
+            // A big jump clears everything but the new slot's data.
+            sw.record(500, 7.0).unwrap();
+            assert_eq!(sw.count(), 1);
+            let v = sw.quantile(0.5).unwrap();
+            assert!((v - 7.0).abs() <= 0.08, "folded={folded}: {v}");
+        }
+    }
+
+    #[test]
+    fn matches_from_scratch_sketch_across_rotations() {
+        // Deterministic stream with out-of-order arrivals inside the
+        // window, across many rotations and all three read paths.
+        for folded in [false, true] {
+            for cfg in SketchConfig::all(0.01, 128) {
+                let mut sw = if folded {
+                    SlidingWindowSketch::with_suffix_aggregates(cfg, 2, 7).unwrap()
+                } else {
+                    SlidingWindowSketch::with_config(cfg, 2, 7).unwrap()
+                };
+                let mut stream: Vec<(u64, f64)> = Vec::new();
+                let mut ts = 0u64;
+                for i in 0..400u64 {
+                    ts += i % 3; // dwell, then advance
+                    let v = match i % 7 {
+                        0 => 0.0,
+                        1..=3 => ((i + 1) as f64).sqrt() * 3.0,
+                        4 => -((i + 1) as f64) * 0.1,
+                        _ => 0.5 + (i % 50) as f64,
+                    };
+                    // Occasional late arrival into an older live slot.
+                    let late = i % 11 == 0 && ts >= 4;
+                    let t = if late { ts - 4 } else { ts };
+                    stream.push((t, v));
+                    sw.record(t, v).unwrap();
+                }
+                let union = reference(cfg, &stream, 2, 7, ts);
+                assert_eq!(sw.count(), union.count(), "{} folded={folded}", cfg.name());
+                let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0];
+                assert_eq!(
+                    sw.quantiles(&qs).unwrap(),
+                    union.quantiles(&qs).unwrap(),
+                    "{} folded={folded}: window must equal the from-scratch union",
+                    cfg.name()
+                );
+                // Decay 1.0 degrades to the plain window semantics.
+                assert_eq!(
+                    sw.quantiles_decayed(&qs, 1.0).unwrap(),
+                    AnyDDSketch::weighted_merged_quantiles(&[(&union, 1.0)], &qs).unwrap(),
+                    "{} folded={folded}",
+                    cfg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_slot_window_is_the_newest_slot_only() {
+        for folded in [false, true] {
+            let mut sw = if folded {
+                SlidingWindowSketch::with_suffix_aggregates(config(), 10, 1).unwrap()
+            } else {
+                SlidingWindowSketch::with_config(config(), 10, 1).unwrap()
+            };
+            sw.record(3, 100.0).unwrap();
+            sw.record(7, 200.0).unwrap();
+            assert_eq!(sw.count(), 2);
+            sw.record(12, 5.0).unwrap();
+            assert_eq!(sw.count(), 1, "folded={folded}");
+            let v = sw.quantile(0.5).unwrap();
+            assert!((v - 5.0).abs() <= 0.06, "folded={folded}: {v}");
+            assert!(matches!(
+                sw.record(3, 1.0),
+                Err(SketchError::StaleTimestamp { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn arrivals_behind_the_first_head_are_not_lost() {
+        // Regression: a slot inside the live window but *behind* the
+        // first (or post-jump) head was accepted yet never claimed its
+        // ring cell, so the value vanished from count()/quantiles (and
+        // the two-stack layout misrouted it through a NO_SLOT start).
+        for folded in [false, true] {
+            let mut sw = if folded {
+                SlidingWindowSketch::with_suffix_aggregates(config(), 1, 5).unwrap()
+            } else {
+                SlidingWindowSketch::with_config(config(), 1, 5).unwrap()
+            };
+            sw.record(10, 1.0).unwrap();
+            sw.record(8, 2.0).unwrap(); // in [6, 10], behind the first head
+            assert_eq!(sw.count(), 2, "folded={folded}");
+            let p100 = sw.quantile(1.0).unwrap();
+            assert!((p100 - 2.0).abs() <= 0.03, "folded={folded}: {p100}");
+            // The claimed slot participates in rotation and aging like
+            // any other: slot 8 expires once the head reaches 13.
+            sw.record(13, 3.0).unwrap();
+            assert_eq!(sw.count(), 2, "folded={folded}: slot 8 aged out");
+            // Same after a full-window jump reset.
+            sw.record(100, 5.0).unwrap();
+            sw.record(97, 6.0).unwrap();
+            assert_eq!(sw.count(), 2, "folded={folded}");
+            let p100 = sw.quantile(1.0).unwrap();
+            assert!((p100 - 6.0).abs() <= 0.07, "folded={folded}: {p100}");
+            // And the claimed-then-sealed slots keep matching a
+            // from-scratch union as the window moves on.
+            sw.record(101, 4.0).unwrap();
+            let mut union = config().build().unwrap();
+            for v in [5.0, 6.0, 4.0] {
+                union.add(v).unwrap();
+            }
+            let qs = [0.0, 0.5, 1.0];
+            assert_eq!(
+                sw.quantiles(&qs).unwrap(),
+                union.quantiles(&qs).unwrap(),
+                "folded={folded}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_slice_and_absorb_match_scalar_records() {
+        let mut scalar = SlidingWindowSketch::with_suffix_aggregates(config(), 5, 4).unwrap();
+        let mut batched = SlidingWindowSketch::with_suffix_aggregates(config(), 5, 4).unwrap();
+        let mut absorbed = SlidingWindowSketch::with_suffix_aggregates(config(), 5, 4).unwrap();
+        for t in 0..8u64 {
+            let ts = t * 5;
+            let values: Vec<f64> = (1..=40).map(|i| 0.3 + (t * 40 + i) as f64 * 0.01).collect();
+            for &v in &values {
+                scalar.record(ts, v).unwrap();
+            }
+            batched.record_slice(ts, &values).unwrap();
+            let mut agent = config().build().unwrap();
+            agent.add_slice(&values).unwrap();
+            absorbed.absorb(ts, &agent).unwrap();
+        }
+        let qs = [0.0, 0.5, 0.99, 1.0];
+        let want = scalar.quantiles(&qs).unwrap();
+        assert_eq!(batched.quantiles(&qs).unwrap(), want);
+        assert_eq!(absorbed.quantiles(&qs).unwrap(), want);
+        // A bad batch at a live timestamp fails atomically (a *future*
+        // timestamp would still advance the window — the clock is data).
+        assert!(batched.record_slice(35, &[1.0, f64::NAN]).is_err());
+        assert_eq!(batched.count(), scalar.count());
+        // An incompatible absorb is rejected.
+        let foreign = SketchConfig::sparse(0.01).build().unwrap();
+        assert!(matches!(
+            absorbed.absorb(35, &foreign),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+    }
+
+    #[test]
+    fn decayed_quantiles_bias_toward_recent_slots() {
+        let mut sw = SlidingWindowSketch::with_config(config(), 1, 10).unwrap();
+        // Nine old slots of ~1 ms, one fresh slot of ~100 ms.
+        for t in 0..9u64 {
+            for i in 0..50 {
+                sw.record(t, 1.0 + i as f64 * 0.001).unwrap();
+            }
+        }
+        for i in 0..50 {
+            sw.record(9, 100.0 + i as f64).unwrap();
+        }
+        let plain = sw.quantile(0.5).unwrap();
+        let decayed = sw.quantiles_decayed(&[0.5], 0.3).unwrap()[0];
+        assert!(plain < 2.0, "even weighting keeps the median old: {plain}");
+        assert!(
+            decayed > 90.0,
+            "decay 0.3 pulls the median recent: {decayed}"
+        );
+        assert!(sw.quantiles_decayed(&[0.5], 0.0).is_err());
+        assert!(sw.quantiles_decayed(&[0.5], 1.1).is_err());
+        assert!(sw.quantiles_decayed(&[0.5], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn advance_without_data_ages_slots_out() {
+        for folded in [false, true] {
+            let mut sw = if folded {
+                SlidingWindowSketch::with_suffix_aggregates(config(), 1, 4).unwrap()
+            } else {
+                SlidingWindowSketch::with_config(config(), 1, 4).unwrap()
+            };
+            sw.record(0, 1.0).unwrap();
+            sw.advance_to(2);
+            assert_eq!(sw.count(), 1, "still inside the window");
+            sw.advance_to(5);
+            assert_eq!(sw.count(), 0, "folded={folded}: aged out");
+            assert!(sw.quantile(0.5).is_err());
+            // The window stays usable afterwards.
+            sw.record(6, 2.0).unwrap();
+            assert_eq!(sw.count(), 1);
+            sw.clear();
+            assert!(sw.is_empty());
+            assert_eq!(sw.head(), None);
+            sw.record(0, 3.0).unwrap();
+            assert_eq!(sw.count(), 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_window_matches_single_writer() {
+        let cw = Arc::new(ConcurrentSlidingWindow::with_config(config(), 2, 6, 4).unwrap());
+        let mut single = SlidingWindowSketch::with_config(config(), 2, 6).unwrap();
+        // All threads write the same deterministic (ts, value) stream
+        // regions; every observation's slot is named by its timestamp, so
+        // the sharded union must equal the single-writer window exactly.
+        let per_thread = 2_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cw = Arc::clone(&cw);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let ts = i / 100; // shared clock: all within the window
+                        let v = 0.5 + (t * per_thread + i) as f64 * 1e-3;
+                        cw.record_hinted(t as usize, ts, v).unwrap();
+                    }
+                });
+            }
+        });
+        // Replay in global timestamp order (a single writer's clock only
+        // moves forward; the sharded windows each kept their own clock).
+        for i in 0..per_thread {
+            let ts = i / 100;
+            for t in 0..4u64 {
+                let v = 0.5 + (t * per_thread + i) as f64 * 1e-3;
+                single.record(ts, v).unwrap();
+            }
+        }
+        assert_eq!(cw.count(), single.count());
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.999, 1.0];
+        assert_eq!(cw.quantiles(&qs).unwrap(), single.quantiles(&qs).unwrap());
+        assert_eq!(cw.quantile(0.5).unwrap(), single.quantile(0.5).unwrap());
+    }
+
+    #[test]
+    fn concurrent_window_filters_lagging_shards() {
+        let cw = ConcurrentSlidingWindow::with_config(config(), 10, 3, 2).unwrap();
+        // Shard 0 stops at t=0; shard 1 advances to t=60, pushing the
+        // global window to [40, 70). Shard 0's slot-0 data must drop out
+        // of reads even though its own ring still holds it.
+        cw.record_hinted(0, 0, 1.0).unwrap();
+        cw.record_hinted(1, 5, 2.0).unwrap();
+        assert_eq!(cw.count(), 2);
+        cw.record_hinted(1, 65, 3.0).unwrap();
+        assert_eq!(cw.count(), 1, "stale shard slots are filtered");
+        let v = cw.quantile(1.0).unwrap();
+        assert!((v - 3.0).abs() <= 0.04, "{v}");
+        // Empty window behaviour.
+        let fresh = ConcurrentSlidingWindow::with_config(config(), 1, 4, 2).unwrap();
+        assert_eq!(fresh.count(), 0);
+        assert!(matches!(fresh.quantiles(&[0.5]), Err(SketchError::Empty)));
+        assert_eq!(fresh.quantiles(&[]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn suffix_aggregates_survive_many_flips() {
+        // Long steady march: the two-stack layout flips every ≈n
+        // rotations; every configuration must keep answering exactly like
+        // the plain ring walk throughout.
+        for cfg in [config(), SketchConfig::sparse(0.01)] {
+            let mut plain = SlidingWindowSketch::with_config(cfg, 1, 5).unwrap();
+            let mut folded = SlidingWindowSketch::with_suffix_aggregates(cfg, 1, 5).unwrap();
+            for ts in 0..100u64 {
+                for i in 0..8 {
+                    let v = 0.2 + ((ts * 13 + i * 7) % 97) as f64;
+                    plain.record(ts, v).unwrap();
+                    folded.record(ts, v).unwrap();
+                }
+                if ts % 3 == 0 {
+                    let qs = [0.0, 0.5, 0.99, 1.0];
+                    assert_eq!(
+                        folded.quantiles(&qs).unwrap(),
+                        plain.quantiles(&qs).unwrap(),
+                        "{} diverged at ts={ts}",
+                        cfg.name()
+                    );
+                }
+            }
+            assert_eq!(folded.count(), plain.count());
+        }
+    }
+}

@@ -25,6 +25,16 @@ pub enum SketchError {
     IncompatibleMerge(String),
     /// A serialized sketch could not be decoded.
     Decode(String),
+    /// A timestamped observation fell before the live range of a sliding
+    /// window: its slot has already been evicted, so it can no longer be
+    /// attributed. Carries the observation's timestamp and the window's
+    /// current lower bound (both in seconds).
+    StaleTimestamp {
+        /// The observation's timestamp.
+        ts_secs: u64,
+        /// The oldest timestamp the window still covers.
+        window_start: u64,
+    },
 }
 
 impl fmt::Display for SketchError {
@@ -38,6 +48,13 @@ impl fmt::Display for SketchError {
             }
             SketchError::IncompatibleMerge(msg) => write!(f, "incompatible merge: {msg}"),
             SketchError::Decode(msg) => write!(f, "decode error: {msg}"),
+            SketchError::StaleTimestamp {
+                ts_secs,
+                window_start,
+            } => write!(
+                f,
+                "timestamp {ts_secs}s predates the sliding window (oldest covered: {window_start}s)"
+            ),
         }
     }
 }

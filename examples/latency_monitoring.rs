@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig {
         workers: 8,
         requests_per_worker: 100_000,
-        duration_secs: 120,
+        duration_secs: 600,
         window_secs: 10,
         // The sketch parameters are runtime data: swap in
         // `SketchConfig::sparse(0.01)` or any other preset and the whole
@@ -53,6 +53,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ((w, a), (_, b)) in p50.iter().zip(&p99) {
         println!("  t={w:>4}s  p50={:>8.2}  p99={:>9.2}", a * 1e3, b * 1e3);
     }
+
+    // The monitoring question the paper opens with: "what is the p99
+    // over the last five minutes?" — a *sliding* window, answered here
+    // two ways that must agree. First, straight off the store's fixed
+    // cells: `sliding_view` borrows the trailing 30 cells and runs one
+    // zero-copy k-way walk over them.
+    let view = report
+        .store
+        .sliding_view("web.checkout", 300)
+        .expect("checkout has cells");
+    let (from, to) = view.range();
+    println!(
+        "\nsliding 5-minute p99 (cells [{from}s, {to}s), {} requests): {:.2} ms",
+        view.count(),
+        view.quantile(0.99)? * 1e3
+    );
+    // Second, through a continuously-fed `SlidingWindowSketch` with the
+    // two-stack suffix-aggregate read path (steady-state queries fold ≤3
+    // sketches no matter how many slots the window has). Feeding it the
+    // same cells via `absorb` reproduces the view exactly — full
+    // mergeability again.
+    let mut sliding = pipeline::SlidingWindowSketch::with_suffix_aggregates(config.sketch, 10, 30)?;
+    for (metric, window_start, cell) in report.store.cells() {
+        if metric == "web.checkout" {
+            sliding.absorb(window_start, cell)?;
+        }
+    }
+    assert_eq!(
+        sliding.quantile(0.99)?,
+        view.quantile(0.99)?,
+        "the live window and the cell view see the same five minutes"
+    );
+    // A recent-biased read on the same window: each slot's weight decays
+    // by 0.98 per 10s of age at query time — nothing is copied.
+    println!(
+        "sliding 5-minute p99, recent-biased (decay 0.98/slot): {:.2} ms",
+        sliding.quantiles_decayed(&[0.99], 0.98)?[0] * 1e3
+    );
 
     // Roll the 10s windows up into 60s windows — losslessly, thanks to
     // full mergeability. Each 60s cell is produced by one k-way
@@ -84,7 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // fine windows into the (lossless) rollup and evicting them. The
     // coarse cells keep answering quantile queries for the archived span.
     let mut store = report.store;
-    let horizon = 60; // keep the last minute at 10s resolution
+    let horizon = 540; // keep the last minute at 10s resolution
     let evicted = store.evict_before(horizon);
     println!(
         "\nevicted {evicted} fine cells before t={horizon}s; {} remain \

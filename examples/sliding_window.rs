@@ -1,0 +1,113 @@
+//! Sliding-window quantiles: the paper's opening question — "what is the
+//! p99 over the last five minutes?" — answered continuously while a
+//! latency regression rolls through a stream.
+//!
+//! A `SlidingWindowSketch` keeps 300 one-second slots. Ingest advances
+//! the window on timestamps (no wall clock); queries run one zero-copy
+//! k-way walk over the live slots. The suffix-aggregate variant
+//! precomputes two-stack aggregates so a query folds at most three
+//! sketches regardless of slot count, and the decayed read weighs each
+//! slot by `decay^age` at query time — three read strategies over the
+//! same ring, all exact against the in-window data (the first two
+//! bit-identically so).
+//!
+//! Run with: `cargo run --release --example sliding_window`
+
+use ddsketch::SketchConfig;
+use pipeline::{ConcurrentSlidingWindow, SlidingWindowSketch};
+
+/// Deterministic pseudo-random latency in seconds: lognormal-ish body
+/// with a heavy tail, scaled up during the "incident".
+fn latency(tick: u64, incident: bool) -> f64 {
+    let u = ((tick.wrapping_mul(2654435761) >> 7) % 10_000) as f64 / 10_000.0;
+    let base = 0.004 + 0.02 * u * u * u * u; // body ~4ms, tail to ~24ms
+    if incident {
+        base * 8.0 // the regression: everything 8× slower
+    } else {
+        base
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SketchConfig::dense_collapsing(0.01, 2048);
+    // 300 × 1s slots = a five-minute window, two-stack read path.
+    let mut window = SlidingWindowSketch::with_suffix_aggregates(config, 1, 300)?;
+
+    // Twenty minutes of traffic at 200 requests/second; minutes 8–11 are
+    // an incident. Watch the sliding p99 inflate as the bad minutes
+    // enter the window and deflate as they age out — no resets, no
+    // fixed-epoch seams.
+    println!("five-minute sliding p99 (300 × 1s slots, suffix-aggregate reads):");
+    let mut out = Vec::new();
+    for ts in 0..1200u64 {
+        let incident = (480..660).contains(&ts);
+        for r in 0..200u64 {
+            window.record(ts, latency(ts * 200 + r, incident))?;
+        }
+        if ts % 60 == 59 {
+            window.quantiles_into(&[0.5, 0.99], &mut out)?;
+            println!(
+                "  t={:>4}s  window [{:>4}s..{:>4}s]  p50={:>6.2} ms  p99={:>6.2} ms{}",
+                ts,
+                window.window_start().unwrap(),
+                window.head().unwrap(),
+                out[0] * 1e3,
+                out[1] * 1e3,
+                if incident { "   << incident live" } else { "" }
+            );
+        }
+    }
+
+    // The same window, recent-biased: with slot weights decaying 2% per
+    // second of age, the read recovers from the incident faster than the
+    // evenly-weighted one — the paper's α guarantee per bucket, the
+    // operator's recency preference per slot.
+    let even = window.quantile(0.99)?;
+    let biased = window.quantiles_decayed(&[0.99], 0.98)?[0];
+    println!(
+        "\nfinal window p99: evenly weighted {:.2} ms, recent-biased {:.2} ms",
+        even * 1e3,
+        biased * 1e3
+    );
+
+    // Sharded writers: each thread feeds its own full sliding window
+    // behind its own lock (no roll coordination, no attribution skew);
+    // reads merge every shard's live slots in one walk. The merged
+    // answer must match a single-writer window fed the same stream —
+    // full mergeability, sliding.
+    let concurrent = ConcurrentSlidingWindow::with_config(config, 1, 300, 4)?;
+    let mut single = SlidingWindowSketch::with_config(config, 1, 300)?;
+    std::thread::scope(|scope| {
+        for shard in 0..4u64 {
+            let concurrent = &concurrent;
+            scope.spawn(move || {
+                for ts in 0..300u64 {
+                    for r in 0..50u64 {
+                        let v = latency(shard * 1_000_000 + ts * 50 + r, false);
+                        concurrent.record_hinted(shard as usize, ts, v).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    for ts in 0..300u64 {
+        for shard in 0..4u64 {
+            for r in 0..50u64 {
+                single.record(ts, latency(shard * 1_000_000 + ts * 50 + r, false))?;
+            }
+        }
+    }
+    let qs = [0.5, 0.99];
+    assert_eq!(
+        concurrent.quantiles(&qs)?,
+        single.quantiles(&qs)?,
+        "4 sharded writers ≡ 1 writer, bit for bit"
+    );
+    println!(
+        "\n4-shard concurrent window ({} requests): p50={:.2} ms p99={:.2} ms — identical to the single-writer window",
+        concurrent.count(),
+        concurrent.quantiles(&qs)?[0] * 1e3,
+        concurrent.quantiles(&qs)?[1] * 1e3,
+    );
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! Surface-parity audit: [`AnyDDSketch`] must dispatch every operation
+//! bit-identically to the statically-typed preset it wraps.
+//!
+//! The drive script below is expanded **twice per configuration by one
+//! macro** — once against the typed preset, once against the enum — so
+//! the two runs are guaranteed to perform the same calls in the same
+//! order; the collected [`Surface`] records are then compared field by
+//! field. Because the macro calls every method by name on both receivers,
+//! a method that exists on `DDSketch` but was forgotten (or wired to the
+//! wrong preset call) in `AnyDDSketch` either fails to compile here or
+//! diverges in the comparison — this file is the CI tripwire the enum's
+//! hand-written dispatch needs.
+//!
+//! **Maintenance contract:** when a public method is added to `DDSketch`,
+//! add it to `drive_surface!` (and to `AnyDDSketch`). The known,
+//! deliberate asymmetries are `mapping()`/`positive_store()`/
+//! `negative_store()` (type-level accessors; the enum exposes
+//! `positive_bins`/`negative_bins` instead, compared below) and
+//! `QuantileSketch::name` (the enum reports the config-precise name).
+
+use ddsketch::{presets, AnyDDSketch, SketchConfig, Store};
+
+/// Everything observable after the drive script ran.
+#[derive(Debug, PartialEq)]
+struct Surface {
+    count: u64,
+    is_empty: bool,
+    zero_count: u64,
+    sum: f64,
+    average: Option<f64>,
+    min: Option<f64>,
+    max: Option<f64>,
+    num_bins: usize,
+    has_collapsed: bool,
+    relative_accuracy: f64,
+    quantile_errors: Vec<bool>,
+    quantiles: Vec<f64>,
+    bounds: Vec<(f64, f64)>,
+    add_errors: Vec<bool>,
+    deletes: Vec<bool>,
+    memory_after_release: usize,
+    post_clear_count: u64,
+    post_drain_min: Option<f64>,
+    post_drain_sum: f64,
+}
+
+/// Run the full mutation + query script against `$sketch` (`&mut` to a
+/// typed preset or an `AnyDDSketch` — the macro body is the single source
+/// of truth for the shared surface).
+macro_rules! drive_surface {
+    ($sketch:expr) => {{
+        let s = $sketch;
+        // Weighted, scalar, batched and iterator ingestion.
+        s.add_n(2.5, 3).unwrap();
+        s.add(725.0).unwrap();
+        s.add_slice(&[0.004, 81.0, -3.25, 0.0, 0.33]).unwrap();
+        s.extend([8.5, f64::NAN, 16.25, -0.5]);
+        // Rejected inputs must not mutate (and must agree on rejection).
+        let add_errors = vec![
+            s.add(f64::NAN).is_err(),
+            s.add(f64::INFINITY).is_err(),
+            s.add_slice(&[1.0, f64::NEG_INFINITY, 2.0]).is_err(),
+            s.add_n(f64::NAN, 7).is_err(),
+        ];
+        // Deletions: present, bucket-empty, zero bucket, at the extremes.
+        let deletes = vec![
+            s.delete(2.5),
+            s.delete(2.5),
+            s.delete(1e9),
+            s.delete(0.0),
+            s.delete(0.0),
+            s.delete(725.0), // the tracked maximum: bounds re-tighten
+            s.delete(f64::NAN),
+        ];
+        // Merge plane: self-merge via both entry points.
+        let snapshot = s.clone();
+        s.merge_from(&snapshot).unwrap();
+        s.merge_many(&[&snapshot]).unwrap();
+        // Query surface.
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0];
+        let quantile_errors = vec![
+            s.quantile(1.5).is_err(),
+            s.quantile(f64::NAN).is_err(),
+            s.quantiles(&[0.5, -0.1]).is_err(),
+            s.quantile_bounds(2.0).is_err(),
+        ];
+        let quantiles = s.quantiles(&qs).unwrap();
+        for (&q, &est) in qs.iter().zip(&quantiles) {
+            assert_eq!(est, s.quantile(q).unwrap(), "quantiles vs quantile at {q}");
+        }
+        let bounds: Vec<(f64, f64)> = qs.iter().map(|&q| s.quantile_bounds(q).unwrap()).collect();
+        s.release_scratch();
+        let memory_after_release = s.memory_bytes();
+        let surface = Surface {
+            count: s.count(),
+            is_empty: s.is_empty(),
+            zero_count: s.zero_count(),
+            sum: s.sum(),
+            average: s.average(),
+            min: s.min(),
+            max: s.max(),
+            num_bins: s.num_bins(),
+            has_collapsed: s.has_collapsed(),
+            relative_accuracy: s.relative_accuracy(),
+            quantile_errors,
+            quantiles,
+            bounds,
+            add_errors,
+            deletes,
+            memory_after_release,
+            post_clear_count: {
+                s.clear();
+                s.count()
+            },
+            // Drain-to-empty then re-add: the delete fix's reset path.
+            post_drain_min: {
+                s.add(0.1).unwrap();
+                s.add(0.3).unwrap();
+                assert!(s.delete(0.1) && s.delete(0.3));
+                s.add(42.0).unwrap();
+                s.min()
+            },
+            post_drain_sum: s.sum(),
+        };
+        surface
+    }};
+}
+
+macro_rules! parity_tests {
+    ($($name:ident: $config:expr => $preset:expr;)*) => {$(
+        #[test]
+        fn $name() {
+            let config: SketchConfig = $config;
+            let mut any = config.build().unwrap();
+            let mut typed = $preset.unwrap();
+            let from_any = drive_surface!(&mut any);
+            let from_typed = drive_surface!(&mut typed);
+            assert_eq!(
+                from_any,
+                from_typed,
+                "AnyDDSketch drifted from its typed preset for {}",
+                config.name()
+            );
+            // Bin-level identity and config round-trips.
+            assert_eq!(any.positive_bins(), typed.positive_store().bins_ascending());
+            assert_eq!(any.negative_bins(), typed.negative_store().bins_ascending());
+            assert_eq!(any.config(), config);
+            assert_eq!(any.memory_bytes(), typed.memory_bytes());
+            assert_eq!(AnyDDSketch::from(typed).positive_bins(), any.positive_bins());
+        }
+    )*};
+}
+
+parity_tests! {
+    unbounded_matches_preset:
+        SketchConfig::unbounded(0.01) => presets::unbounded(0.01);
+    dense_collapsing_matches_preset:
+        SketchConfig::dense_collapsing(0.01, 64) => presets::logarithmic_collapsing(0.01, 64);
+    fast_matches_preset:
+        SketchConfig::fast(0.01, 64) => presets::fast(0.01, 64);
+    sparse_matches_preset:
+        SketchConfig::sparse(0.01) => presets::sparse(0.01);
+    paper_exact_matches_preset:
+        SketchConfig::paper_exact(0.01, 64) => presets::paper_exact(0.01, 64);
+}
+
+/// The static merge-plane entry points must also agree variant-for-
+/// variant (they dispatch through a different macro arm than the
+/// instance methods).
+#[test]
+fn static_merge_plane_dispatch_parity() {
+    for config in SketchConfig::all(0.01, 64) {
+        let mut shards = Vec::new();
+        for k in 0..3usize {
+            let mut s = config.build().unwrap();
+            for i in 1..=(120 * (k + 1)) {
+                let v = match i % 5 {
+                    0 => 0.0,
+                    1 | 2 => (i as f64).sqrt() * 2.0,
+                    _ => -(i as f64) * 0.4,
+                };
+                s.add(v).unwrap();
+            }
+            shards.push(s);
+        }
+        let refs: Vec<&AnyDDSketch> = shards.iter().collect();
+        let qs = [0.0, 0.5, 0.99, 1.0];
+        let walked = AnyDDSketch::merged_quantiles(&refs, &qs).unwrap();
+        let mut materialized = shards[0].clone();
+        materialized.merge_many(&refs[1..]).unwrap();
+        assert_eq!(
+            walked,
+            materialized.quantiles(&qs).unwrap(),
+            "{}",
+            config.name()
+        );
+        // The scratch-based walk and the weighted walk at unit weights
+        // agree with the allocating one.
+        let mut scratch = ddsketch::MergedQuantileScratch::default();
+        let mut out = Vec::new();
+        AnyDDSketch::merged_quantiles_into(shards.iter(), &qs, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, walked, "{}", config.name());
+        let pairs: Vec<(&AnyDDSketch, f64)> = shards.iter().map(|s| (s, 1.0)).collect();
+        assert_eq!(
+            AnyDDSketch::weighted_merged_quantiles(&pairs, &qs).unwrap(),
+            walked,
+            "{}",
+            config.name()
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //! regime.
 
 use ddsketch::{AnyDDSketch, SketchConfig};
+use pipeline::SlidingWindowSketch;
 use proptest::prelude::*;
 
 /// Decode a raw `(mantissa, class)` pair into a stream value covering the
@@ -150,6 +151,73 @@ proptest! {
                         q
                     );
                 }
+            }
+        }
+    }
+
+    // A sliding window's quantiles must equal a from-scratch sketch fed
+    // only the in-window values — across every configuration, both read
+    // layouts (ring walk and two-stack suffix aggregates), random slot
+    // shapes, and streams whose timestamp jumps cross (and overshoot)
+    // slot-rotation boundaries. Since the window rides the same k-way
+    // walk the merge plane proves exact above, the equality here is
+    // exact, not merely within bucket tolerance.
+    #[test]
+    fn sliding_window_equals_from_scratch_union(
+        raw in proptest::collection::vec((0.0f64..1.0, 0u8..255, 0u64..6), 1..200),
+        slot_secs in 1u64..4,
+        num_slots in 1usize..10,
+        max_bins in 8usize..48,
+    ) {
+        // Timestamps advance by 0..6·slot span per step: dwells, single
+        // rotations, multi-slot jumps, and full-window overshoots.
+        let mut ts = 0u64;
+        let stream: Vec<(u64, f64)> = raw
+            .iter()
+            .map(|&(mantissa, class, dt)| {
+                ts += dt * (dt % 3); // 0, 1·dt or 2·dt: bursty advances
+                (ts, decode_value(mantissa, class))
+            })
+            .collect();
+        let head = {
+            let last = stream.last().expect("non-empty stream").0;
+            last - last % slot_secs
+        };
+        let window_lo = head.saturating_sub((num_slots as u64 - 1) * slot_secs);
+        for config in SketchConfig::all(0.02, max_bins) {
+            let mut ring = SlidingWindowSketch::with_config(config, slot_secs, num_slots).unwrap();
+            let mut folded =
+                SlidingWindowSketch::with_suffix_aggregates(config, slot_secs, num_slots).unwrap();
+            for &(t, v) in &stream {
+                ring.record(t, v).unwrap();
+                folded.record(t, v).unwrap();
+            }
+            let mut union = config.build().unwrap();
+            for &(t, v) in &stream {
+                if t - t % slot_secs >= window_lo {
+                    union.add(v).unwrap();
+                }
+            }
+            prop_assert_eq!(ring.count(), union.count(), "{}: count", config.name());
+            prop_assert_eq!(folded.count(), union.count(), "{}: folded count", config.name());
+            let qs = [0.99, 0.0, 0.5, 1.0, 0.01, 0.75];
+            if union.is_empty() {
+                prop_assert!(ring.quantiles(&qs).is_err());
+                prop_assert!(folded.quantiles(&qs).is_err());
+            } else {
+                let expected = union.quantiles(&qs).unwrap();
+                prop_assert_eq!(
+                    ring.quantiles(&qs).unwrap(),
+                    expected.clone(),
+                    "{}: ring walk diverged from the in-window union",
+                    config.name()
+                );
+                prop_assert_eq!(
+                    folded.quantiles(&qs).unwrap(),
+                    expected,
+                    "{}: suffix-aggregate walk diverged from the in-window union",
+                    config.name()
+                );
             }
         }
     }

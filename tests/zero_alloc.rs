@@ -15,7 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ddsketch::SketchConfig;
-use pipeline::TimeSeriesStore;
+use pipeline::{SlidingWindowSketch, TimeSeriesStore};
 
 struct CountingAllocator;
 
@@ -112,5 +112,48 @@ fn lookup_paths_do_not_allocate() {
             "{name}: quantile_series allocated {series_allocs} times \
              (expected just the output vector's growth)"
         );
+    }
+
+    // The sliding-window read path: on the dense store families,
+    // `SlidingWindowSketch::quantiles_into` is one borrowed-shard k-way
+    // walk through reusable scratch — zero heap allocations at steady
+    // state, for both the ring walk and the suffix-aggregate layout.
+    // (The sparse families intentionally keep their per-shard iterator
+    // allocations; their walks are covered by the correctness suites.)
+    let dense_configs = [
+        SketchConfig::unbounded(0.01),
+        SketchConfig::dense_collapsing(0.01, 512),
+        SketchConfig::fast(0.01, 512),
+    ];
+    let qs = [0.5, 0.99, 0.0, 1.0];
+    for config in dense_configs {
+        for folded in [false, true] {
+            let mut window = if folded {
+                SlidingWindowSketch::with_suffix_aggregates(config, 1, 30).unwrap()
+            } else {
+                SlidingWindowSketch::with_config(config, 1, 30).unwrap()
+            };
+            // Several full window turns so rotations (and, for the
+            // two-stack layout, flips) have all happened.
+            let values: Vec<f64> = (1..=64).map(|i| 0.3 + f64::from(i) * 0.7).collect();
+            for ts in 0..95u64 {
+                window.record_slice(ts, &values).unwrap();
+            }
+            let mut out = Vec::new();
+            // Warm the scratch and output buffers once.
+            window.quantiles_into(&qs, &mut out).unwrap();
+            let name = config.name();
+            let query_allocs = allocations_during(|| {
+                for _ in 0..50 {
+                    window.quantiles_into(&qs, &mut out).unwrap();
+                    assert_eq!(out.len(), qs.len());
+                }
+            });
+            assert_eq!(
+                query_allocs, 0,
+                "{name} (suffix aggregates: {folded}): sliding-window \
+                 quantiles allocated at steady state"
+            );
+        }
     }
 }
