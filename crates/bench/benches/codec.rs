@@ -1,0 +1,273 @@
+//! Wire-plane benchmarks: encode / decode / view-walk / aggregate.
+//!
+//! The headline comparison is the aggregator economics of paper Figure 1:
+//! 1000 agent payloads arrive, the fleet p50+p99 is wanted.
+//!
+//! * `aggregate-1000-payloads/decode-merge-query` — the materializing
+//!   baseline: decode every payload into an `AnyDDSketch`, fold it with
+//!   `merge_from`, query the accumulator.
+//! * `aggregate-1000-payloads/aggregator` — the decode-free plane:
+//!   `Aggregator::feed` validates each frame as a borrowed `SketchView`,
+//!   folds every 32 frames with one bulk `add_bins` pass per store, and
+//!   queries resident ∪ pending views in one mixed-source rank walk.
+//!   Zero intermediate sketches; the acceptance bar is ≥ 2× over the
+//!   baseline.
+//!
+//! Unlike the criterion-based benches, this target hand-rolls its timing
+//! loop so it can emit machine-readable results: a run writes
+//! `results/BENCH_codec.json` (id → ns/iter, plus derived throughput and
+//! the aggregate speedup) for trend tracking across PRs. `--test` (what
+//! `cargo bench --bench codec -- --test` passes) runs every body once as
+//! a smoke test and skips measurement and the JSON.
+
+use std::time::{Duration, Instant};
+
+use datasets::Dataset;
+use ddsketch::{AnyDDSketch, SketchConfig, SketchView, SourceQuantileScratch};
+use pipeline::Aggregator;
+use std::hint::black_box;
+
+/// The paper's production configuration.
+fn plane_config() -> SketchConfig {
+    SketchConfig::dense_collapsing(0.01, 2048)
+}
+
+/// Warm-up-estimated, median-of-3 ns/iteration — the same methodology as
+/// the vendored criterion stand-in.
+fn bench_ns(test_mode: bool, mut f: impl FnMut()) -> Option<f64> {
+    if test_mode {
+        f();
+        return None;
+    }
+    let warmup = Duration::from_millis(300);
+    let start = Instant::now();
+    let mut warm_iters = 0u64;
+    while start.elapsed() < warmup {
+        f();
+        warm_iters += 1;
+    }
+    let est_ns = (warmup.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+    let batch_iters = ((400e6 / est_ns) as u64).max(1);
+    let mut samples = [0.0f64; 3];
+    for sample in &mut samples {
+        let start = Instant::now();
+        for _ in 0..batch_iters {
+            f();
+        }
+        *sample = start.elapsed().as_nanos() as f64 / batch_iters as f64;
+    }
+    samples.sort_by(f64::total_cmp);
+    Some(samples[1])
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{:.2} ms", ns / 1e6)
+    }
+}
+
+struct Record {
+    id: &'static str,
+    ns_per_iter: f64,
+    extras: Vec<(&'static str, f64)>,
+}
+
+fn run(
+    results: &mut Vec<Record>,
+    test_mode: bool,
+    filter: &Option<String>,
+    id: &'static str,
+    mut f: impl FnMut(),
+) -> Option<f64> {
+    if let Some(filter) = filter {
+        if !id.contains(filter.as_str()) {
+            return None;
+        }
+    }
+    let ns = bench_ns(test_mode, &mut f);
+    match ns {
+        None => println!("{id:<50} ok (smoke)"),
+        Some(ns) => {
+            println!("{id:<50} time: {:>12}", human_time(ns));
+            results.push(Record {
+                id,
+                ns_per_iter: ns,
+                extras: Vec::new(),
+            });
+        }
+    }
+    ns
+}
+
+fn write_json(results: &[Record]) {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_codec.json"
+    );
+    let mut out = String::from(
+        "{\n  \"bench\": \"codec\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n",
+    );
+    for (k, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}",
+            r.id, r.ns_per_iter
+        ));
+        for (key, value) in &r.extras {
+            out.push_str(&format!(", \"{key}\": {value:.3}"));
+        }
+        out.push_str(if k + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("\nmachine-readable results -> results/BENCH_codec.json"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut test_mode = false;
+    let mut filter = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => test_mode = true,
+            s if s.starts_with('-') => {}
+            s => filter = Some(s.to_string()),
+        }
+    }
+    let mut results: Vec<Record> = Vec::new();
+    let qs = [0.5, 0.99];
+
+    // One warm producer sketch: 100k Pareto latencies in the paper config.
+    let mut producer = plane_config().build().unwrap();
+    for chunk in Dataset::Pareto.generate(100_000, 61).chunks(1024) {
+        producer.add_slice(chunk).unwrap();
+    }
+    let bytes = producer.encode();
+    println!(
+        "payload: {} bins, {} bytes ({:.2} bytes/bin)\n",
+        producer.num_bins(),
+        bytes.len(),
+        bytes.len() as f64 / producer.num_bins() as f64
+    );
+
+    run(&mut results, test_mode, &filter, "codec/encode", || {
+        black_box(black_box(&producer).encode());
+    });
+    run(&mut results, test_mode, &filter, "codec/decode", || {
+        black_box(AnyDDSketch::decode(black_box(&bytes)).unwrap());
+    });
+    run(&mut results, test_mode, &filter, "codec/view-parse", || {
+        black_box(SketchView::parse(black_box(&bytes)).unwrap());
+    });
+    // The decode-free read: parse + p50/p99 straight off the bytes,
+    // against decoding and querying the materialized sketch.
+    let mut scratch = SourceQuantileScratch::default();
+    let mut out = Vec::new();
+    run(
+        &mut results,
+        test_mode,
+        &filter,
+        "codec/view-walk-p50p99",
+        || {
+            let view = SketchView::parse(black_box(&bytes)).unwrap();
+            view.quantiles_into(&qs, &mut scratch, &mut out).unwrap();
+            black_box(out[0]);
+        },
+    );
+    run(
+        &mut results,
+        test_mode,
+        &filter,
+        "codec/decode-then-query-p50p99",
+        || {
+            let decoded = AnyDDSketch::decode(black_box(&bytes)).unwrap();
+            black_box(decoded.quantiles(&qs).unwrap());
+        },
+    );
+
+    // The aggregator scenario: 1000 agent payloads of 256 values each.
+    let frames: Vec<Vec<u8>> = {
+        let values = Dataset::Pareto.generate(256_000, 62);
+        values
+            .chunks(256)
+            .map(|chunk| {
+                let mut sketch = plane_config().build().unwrap();
+                sketch.add_slice(chunk).unwrap();
+                sketch.encode()
+            })
+            .collect()
+    };
+    assert_eq!(frames.len(), 1000);
+
+    // Both contenders are long-lived, as a real aggregator is: one
+    // iteration = absorb all 1000 payloads + answer p50/p99. The baseline
+    // pays a decode (payload vectors + two stores + a per-bin rebuild)
+    // per payload; the aggregator stages each frame into recycled
+    // buffers and folds with bulk `add_bins` passes.
+    let mut resident = plane_config().build().unwrap();
+    let baseline = run(
+        &mut results,
+        test_mode,
+        &filter,
+        "aggregate-1000-payloads/decode-merge-query",
+        || {
+            for frame in &frames {
+                let decoded = AnyDDSketch::decode(frame).unwrap();
+                resident.merge_from(&decoded).unwrap();
+            }
+            black_box(resident.quantiles(&qs).unwrap());
+        },
+    );
+    let mut agg = Aggregator::with_config(plane_config(), 32).unwrap();
+    let decode_free = run(
+        &mut results,
+        test_mode,
+        &filter,
+        "aggregate-1000-payloads/aggregator",
+        || {
+            for frame in &frames {
+                agg.feed(frame).unwrap();
+            }
+            black_box(agg.quantiles(&qs).unwrap());
+        },
+    );
+    if let (Some(baseline), Some(decode_free)) = (baseline, decode_free) {
+        let speedup = baseline / decode_free;
+        println!("\naggregate-1000-payloads speedup: {speedup:.2}x (acceptance bar: >= 2x)");
+        if let Some(r) = results
+            .iter_mut()
+            .find(|r| r.id == "aggregate-1000-payloads/aggregator")
+        {
+            r.extras.push(("speedup_vs_decode_merge_query", speedup));
+        }
+    }
+
+    // Sanity in both modes: the two aggregate paths answer identically.
+    {
+        let mut resident = plane_config().build().unwrap();
+        let mut agg = Aggregator::with_config(plane_config(), 32).unwrap();
+        for frame in &frames {
+            resident
+                .merge_from(&AnyDDSketch::decode(frame).unwrap())
+                .unwrap();
+            agg.feed(frame).unwrap();
+        }
+        assert_eq!(
+            agg.quantiles(&qs).unwrap(),
+            resident.quantiles(&qs).unwrap(),
+            "decode-free aggregation drifted from the materializing baseline"
+        );
+    }
+
+    if !test_mode && filter.is_none() {
+        write_json(&results);
+    }
+}

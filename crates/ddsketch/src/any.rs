@@ -7,7 +7,7 @@
 //! an enum over the five presets with macro-generated match arms (no `dyn`,
 //! no allocation per call) exposing the full sketch surface, plus
 //! [`AnyDDSketch::config`] to recover the runtime configuration and a
-//! self-describing codec ([`AnyDDSketch::decode`] in [`crate::encode`])
+//! self-describing codec ([`AnyDDSketch::decode`] in [`crate::codec`])
 //! that reconstructs the right variant with no caller-side type knowledge.
 //!
 //! Every operation dispatches to the statically-typed preset it wraps, so
@@ -42,7 +42,7 @@ pub enum AnyDDSketch {
 /// Recover the runtime configuration of a borrowed preset — the body of
 /// [`AnyDDSketch::config`], callable while the enum itself is already
 /// borrowed through one of its variants (as the merge error paths need).
-fn config_of<M, SP, SN>(sketch: &crate::DDSketch<M, SP, SN>) -> SketchConfig
+pub(crate) fn config_of<M, SP, SN>(sketch: &crate::DDSketch<M, SP, SN>) -> SketchConfig
 where
     M: IndexMapping,
     SP: Store,

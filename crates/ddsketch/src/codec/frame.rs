@@ -1,0 +1,317 @@
+//! Length-prefixed frame streams: many payloads per connection or file.
+//!
+//! Agents batch several sketches per flush and aggregators checkpoint
+//! whole stores; both need a framing layer above the raw payload codec.
+//! The layout is deliberately minimal (see the [`crate::codec`] docs):
+//! a 4-byte magic + version header, then `varint length` + payload bytes
+//! per frame, ending at clean EOF. Frames are payload-agnostic — sketch
+//! bytes, checkpoint cells, anything — so one stream dialect serves every
+//! transport in the workspace.
+//!
+//! The reader is hardened the same way the payload decoder is: a declared
+//! frame length is clamped against [`FrameReader::max_frame_len`]
+//! *before* any allocation, truncation mid-frame is
+//! [`SketchError::Malformed`], and I/O failures surface as
+//! [`SketchError::Io`] so callers can tell corruption from a broken pipe.
+
+use std::io::{Read, Write};
+
+use super::varint::put_varint;
+use crate::any::AnyDDSketch;
+use sketch_core::SketchError;
+
+/// Magic bytes opening every frame stream.
+pub(crate) const STREAM_MAGIC: &[u8; 4] = b"DDSF";
+
+/// Current frame-stream version byte.
+pub const FRAME_STREAM_VERSION: u8 = 1;
+
+/// Default ceiling on a single frame's declared length (16 MiB): far above
+/// any real sketch payload, far below an allocation that hurts.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 16 << 20;
+
+fn io_err(e: std::io::Error) -> SketchError {
+    SketchError::Io(e.to_string())
+}
+
+/// Writes a frame stream to any [`Write`] sink.
+///
+/// The stream header is written on construction; each
+/// [`FrameWriter::write_frame`] appends one varint-length-prefixed frame.
+/// Dropping the writer ends the stream (clean EOF *is* the terminator).
+#[derive(Debug)]
+pub struct FrameWriter<W: Write> {
+    inner: W,
+    frames: u64,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Open a stream on `sink`, writing the header immediately.
+    pub fn new(mut sink: W) -> Result<Self, SketchError> {
+        sink.write_all(STREAM_MAGIC).map_err(io_err)?;
+        sink.write_all(&[FRAME_STREAM_VERSION]).map_err(io_err)?;
+        Ok(Self {
+            inner: sink,
+            frames: 0,
+            scratch: Vec::with_capacity(10),
+        })
+    }
+
+    /// Append one frame holding `payload`.
+    pub fn write_frame(&mut self, payload: &[u8]) -> Result<(), SketchError> {
+        self.scratch.clear();
+        put_varint(&mut self.scratch, payload.len() as u64);
+        self.inner.write_all(&self.scratch).map_err(io_err)?;
+        self.inner.write_all(payload).map_err(io_err)?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Encode `sketch` and append it as one frame.
+    pub fn write_sketch(&mut self, sketch: &AnyDDSketch) -> Result<(), SketchError> {
+        self.write_frame(&sketch.encode())
+    }
+
+    /// Frames written so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Flush and hand the sink back.
+    pub fn finish(mut self) -> Result<W, SketchError> {
+        self.inner.flush().map_err(io_err)?;
+        Ok(self.inner)
+    }
+}
+
+/// Reads a frame stream from any [`Read`] source.
+///
+/// [`FrameReader::read_frame`] fills a caller-owned buffer (reused across
+/// frames, so a steady-state reader allocates nothing once the buffer has
+/// grown to the largest frame) and returns `Ok(None)` at clean EOF —
+/// i.e. EOF exactly on a frame boundary; EOF anywhere else is
+/// [`SketchError::Malformed`].
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+    max_frame_len: usize,
+    frames: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Open a stream on `source`, checking the header immediately.
+    pub fn new(source: R) -> Result<Self, SketchError> {
+        Self::with_max_frame_len(source, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// Like [`FrameReader::new`] with a custom per-frame length ceiling.
+    pub fn with_max_frame_len(mut source: R, max_frame_len: usize) -> Result<Self, SketchError> {
+        let mut header = [0u8; 5];
+        source.read_exact(&mut header).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                SketchError::Malformed("truncated frame-stream header".into())
+            } else {
+                io_err(e)
+            }
+        })?;
+        if &header[..4] != STREAM_MAGIC {
+            return Err(SketchError::Malformed("bad frame-stream magic".into()));
+        }
+        if header[4] != FRAME_STREAM_VERSION {
+            return Err(SketchError::Decode(format!(
+                "unsupported frame-stream version {}",
+                header[4]
+            )));
+        }
+        Ok(Self {
+            inner: source,
+            max_frame_len,
+            frames: 0,
+        })
+    }
+
+    /// The ceiling a declared frame length is clamped against.
+    pub fn max_frame_len(&self) -> usize {
+        self.max_frame_len
+    }
+
+    /// Frames read so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Read one byte; `Ok(None)` on EOF.
+    fn read_byte(&mut self) -> Result<Option<u8>, SketchError> {
+        let mut byte = [0u8; 1];
+        loop {
+            match self.inner.read(&mut byte) {
+                Ok(0) => return Ok(None),
+                Ok(_) => return Ok(Some(byte[0])),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+    }
+
+    /// Read the next frame into `buf` (cleared and filled), returning its
+    /// length — or `None` at clean end-of-stream.
+    pub fn read_frame(&mut self, buf: &mut Vec<u8>) -> Result<Option<usize>, SketchError> {
+        // Varint length prefix, byte by byte: EOF before the first byte is
+        // the clean end of the stream, EOF anywhere later is truncation.
+        let mut len = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = match self.read_byte()? {
+                Some(byte) => byte,
+                None if shift == 0 => return Ok(None),
+                None => return Err(SketchError::Malformed("truncated frame length".into())),
+            };
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(SketchError::Malformed(
+                    "frame length varint overflow".into(),
+                ));
+            }
+            len |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|&len| len <= self.max_frame_len)
+            .ok_or_else(|| {
+                SketchError::Malformed(format!(
+                    "declared frame length {len} exceeds the {}-byte ceiling",
+                    self.max_frame_len
+                ))
+            })?;
+        buf.clear();
+        buf.resize(len, 0);
+        self.inner.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                SketchError::Malformed("truncated frame body".into())
+            } else {
+                io_err(e)
+            }
+        })?;
+        self.frames += 1;
+        Ok(Some(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SketchConfig;
+
+    #[test]
+    fn stream_roundtrip_many_frames() {
+        let mut writer = FrameWriter::new(Vec::new()).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..20)
+            .map(|i| {
+                let mut s = SketchConfig::dense_collapsing(0.01, 256).build().unwrap();
+                for k in 1..=(i * 13 + 1) {
+                    s.add(k as f64 * 0.5).unwrap();
+                }
+                s.encode()
+            })
+            .collect();
+        for p in &payloads {
+            writer.write_frame(p).unwrap();
+        }
+        assert_eq!(writer.frames(), 20);
+        let bytes = writer.finish().unwrap();
+
+        let mut reader = FrameReader::new(bytes.as_slice()).unwrap();
+        let mut buf = Vec::new();
+        for (i, expected) in payloads.iter().enumerate() {
+            let len = reader.read_frame(&mut buf).unwrap().unwrap();
+            assert_eq!(len, expected.len(), "frame {i}");
+            assert_eq!(&buf, expected, "frame {i}");
+            // Every frame is a decodable sketch payload.
+            assert!(crate::AnyDDSketch::decode(&buf).is_ok());
+        }
+        assert_eq!(reader.read_frame(&mut buf).unwrap(), None);
+        assert_eq!(reader.read_frame(&mut buf).unwrap(), None, "EOF is sticky");
+        assert_eq!(reader.frames(), 20);
+    }
+
+    #[test]
+    fn empty_frames_and_empty_streams() {
+        let mut writer = FrameWriter::new(Vec::new()).unwrap();
+        writer.write_frame(b"").unwrap();
+        let bytes = writer.finish().unwrap();
+        let mut reader = FrameReader::new(bytes.as_slice()).unwrap();
+        let mut buf = vec![1, 2, 3];
+        assert_eq!(reader.read_frame(&mut buf).unwrap(), Some(0));
+        assert!(buf.is_empty());
+        assert_eq!(reader.read_frame(&mut buf).unwrap(), None);
+
+        // A header-only stream holds zero frames.
+        let bytes = FrameWriter::new(Vec::new()).unwrap().finish().unwrap();
+        let mut reader = FrameReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.read_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn corruption_is_malformed_not_panic() {
+        // Bad magic / version / truncated header.
+        assert!(matches!(
+            FrameReader::new(&b"XXSF\x01"[..]),
+            Err(SketchError::Malformed(_))
+        ));
+        assert!(matches!(
+            FrameReader::new(&b"DDS"[..]),
+            Err(SketchError::Malformed(_))
+        ));
+        assert!(matches!(
+            FrameReader::new(&b"DDSF\x09"[..]),
+            Err(SketchError::Decode(_))
+        ));
+
+        // Truncated frame body.
+        let mut writer = FrameWriter::new(Vec::new()).unwrap();
+        writer.write_frame(&[7u8; 100]).unwrap();
+        let bytes = writer.finish().unwrap();
+        let mut buf = Vec::new();
+        for cut in 6..bytes.len() {
+            let mut reader = FrameReader::new(&bytes[..cut]).unwrap();
+            assert!(
+                matches!(reader.read_frame(&mut buf), Err(SketchError::Malformed(_))),
+                "cut at {cut}"
+            );
+        }
+
+        // Truncated length varint.
+        let mut stream = b"DDSF\x01".to_vec();
+        stream.push(0x80);
+        let mut reader = FrameReader::new(stream.as_slice()).unwrap();
+        assert!(matches!(
+            reader.read_frame(&mut buf),
+            Err(SketchError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_lengths_are_clamped_before_allocation() {
+        let mut stream = b"DDSF\x01".to_vec();
+        put_varint(&mut stream, u64::MAX);
+        let mut reader = FrameReader::new(stream.as_slice()).unwrap();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            reader.read_frame(&mut buf),
+            Err(SketchError::Malformed(_))
+        ));
+        assert!(buf.capacity() < 1024, "hostile length must not allocate");
+
+        let mut stream = b"DDSF\x01".to_vec();
+        put_varint(&mut stream, 1 << 30);
+        let mut reader = FrameReader::with_max_frame_len(stream.as_slice(), 4096).unwrap();
+        assert!(matches!(
+            reader.read_frame(&mut buf),
+            Err(SketchError::Malformed(_))
+        ));
+    }
+}

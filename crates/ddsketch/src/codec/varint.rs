@@ -1,0 +1,164 @@
+//! LEB128 varints and zigzag signs: the integer substrate of the codec.
+//!
+//! Exposed publicly (not just within the crate) because composite frame
+//! payloads — e.g. the pipeline's checkpoint cells, which prepend metric
+//! ids and window starts to sketch bytes — are built from the same
+//! primitives, and a second varint dialect on top of the frame stream
+//! would be a bug farm.
+
+use bytes::{Buf, BufMut};
+use sketch_core::SketchError;
+
+/// Append `v` as an LEB128 varint (1–10 bytes).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Consume one LEB128 varint from the front of `buf`.
+///
+/// Truncated or over-long (> 64 bit) varints fail with
+/// [`SketchError::Malformed`] — structural corruption, not a semantic
+/// mismatch.
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64, SketchError> {
+    let mut pos = 0usize;
+    let v = scan_varint(buf, &mut pos)?;
+    buf.advance(pos);
+    Ok(v)
+}
+
+/// Cursor-based fast variant of [`get_varint`]: single bounds check and
+/// an early return on the 1-byte encoding that dominates real bin
+/// sections (small counts, small gaps). The hot loops of the view parser
+/// and the borrowed bin walk run on this.
+#[inline]
+pub(crate) fn scan_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, SketchError> {
+    let byte = *bytes
+        .get(*pos)
+        .ok_or_else(|| SketchError::Malformed("truncated varint".into()))?;
+    *pos += 1;
+    if byte < 0x80 {
+        return Ok(u64::from(byte));
+    }
+    let mut v = u64::from(byte & 0x7f);
+    let mut shift = 7u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| SketchError::Malformed("truncated varint".into()))?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(SketchError::Malformed("varint overflow".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Split the **trailing** varint off an already-validated varint sequence.
+///
+/// LEB128 marks the final byte of every varint with a clear continuation
+/// bit, so varint boundaries are recoverable walking *backward*: the last
+/// varint of `bytes` starts right after the previous clear-bit byte. This
+/// is what makes the borrowed bin walk double-ended — the negative-store
+/// quantile walk reads delta-coded bins from the back without decoding the
+/// whole section first.
+///
+/// Only call on byte regions whose varint partition was validated by a
+/// forward pass (as [`crate::codec::SketchView::parse`] does); on arbitrary
+/// bytes the boundary scan is meaningless.
+pub(crate) fn rsplit_varint(bytes: &[u8]) -> (&[u8], u64) {
+    debug_assert!(!bytes.is_empty(), "rsplit_varint on an empty region");
+    let mut start = bytes.len() - 1;
+    while start > 0 && bytes[start - 1] & 0x80 != 0 {
+        start -= 1;
+    }
+    let (rest, tail) = bytes.split_at(start);
+    let mut v = 0u64;
+    for (k, &byte) in tail.iter().enumerate() {
+        v |= u64::from(byte & 0x7f) << (7 * k as u32);
+    }
+    (rest, v)
+}
+
+/// Zigzag-encode a signed value so small magnitudes stay small varints.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Invert [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut slice = buf.as_slice();
+            assert_eq!(get_varint(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn reverse_split_recovers_every_varint() {
+        let values = [0u64, 1, 127, 128, 16_384, 300, u64::MAX, 5];
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut region = buf.as_slice();
+        for &v in values.iter().rev() {
+            let (rest, got) = rsplit_varint(region);
+            assert_eq!(got, v);
+            region = rest;
+        }
+        assert!(region.is_empty());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::from(i32::MAX),
+            i64::from(i32::MIN),
+        ] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_malformed() {
+        let mut long = vec![0x80u8; 10];
+        long.push(0x02); // 71 bits of payload
+        for bytes in [&[] as &[u8], &[0x80], &[0xff, 0xff], &long] {
+            let mut slice = bytes;
+            assert!(matches!(
+                get_varint(&mut slice),
+                Err(SketchError::Malformed(_))
+            ));
+        }
+    }
+}

@@ -71,6 +71,10 @@ impl CubicInterpolatedMapping {
 }
 
 impl IndexMapping for CubicInterpolatedMapping {
+    fn with_accuracy(alpha: f64) -> Result<Self, SketchError> {
+        Self::new(alpha)
+    }
+
     #[inline]
     fn relative_accuracy(&self) -> f64 {
         self.0.relative_accuracy()

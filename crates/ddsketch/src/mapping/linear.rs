@@ -50,6 +50,10 @@ impl LinearInterpolatedMapping {
 }
 
 impl IndexMapping for LinearInterpolatedMapping {
+    fn with_accuracy(alpha: f64) -> Result<Self, SketchError> {
+        Self::new(alpha)
+    }
+
     #[inline]
     fn relative_accuracy(&self) -> f64 {
         self.0.relative_accuracy()

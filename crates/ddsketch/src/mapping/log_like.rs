@@ -180,6 +180,10 @@ unsafe fn index_batch_stats_avx<I: Interpolation>(
 }
 
 impl<I: Interpolation> IndexMapping for LogLikeMapping<I> {
+    fn with_accuracy(alpha: f64) -> Result<Self, SketchError> {
+        Self::new(alpha)
+    }
+
     #[inline]
     fn relative_accuracy(&self) -> f64 {
         self.relative_accuracy

@@ -43,6 +43,10 @@ impl LogarithmicMapping {
 }
 
 impl IndexMapping for LogarithmicMapping {
+    fn with_accuracy(alpha: f64) -> Result<Self, SketchError> {
+        Self::new(alpha)
+    }
+
     #[inline]
     fn relative_accuracy(&self) -> f64 {
         self.relative_accuracy

@@ -68,6 +68,17 @@ impl MappingKind {
 /// every value in a bucket is within relative error `α` of the bucket's
 /// representative value.
 pub trait IndexMapping: Clone + std::fmt::Debug + PartialEq {
+    /// Construct a mapping of this family with relative accuracy `alpha`.
+    ///
+    /// Every mapping derives its entire state deterministically from `α`,
+    /// so this reconstruction is **bit-identical** to the producer's
+    /// original mapping — which is what lets the codec rebuild the exact
+    /// bucket scheme from a wire payload's `(kind, α)` header alone (the
+    /// decode-free [`crate::codec::SketchView`] walks lean on it).
+    fn with_accuracy(alpha: f64) -> Result<Self, SketchError>
+    where
+        Self: Sized;
+
     /// The relative accuracy `α` this mapping guarantees.
     fn relative_accuracy(&self) -> f64;
 

@@ -53,6 +53,10 @@ impl QuadraticInterpolatedMapping {
 }
 
 impl IndexMapping for QuadraticInterpolatedMapping {
+    fn with_accuracy(alpha: f64) -> Result<Self, SketchError> {
+        Self::new(alpha)
+    }
+
     #[inline]
     fn relative_accuracy(&self) -> f64 {
         self.0.relative_accuracy()

@@ -139,7 +139,7 @@ enum KWayRankCursor<'a> {
     Dense(DenseColumnCursor<'a>),
     /// The heads walk plus the (empty) window buffer it was handed, so
     /// the buffer's capacity can be recovered by the caller's scratch.
-    Generic(GenericRankCursor<'a>, Vec<(&'a [u64], i64)>),
+    Generic(GenericRankCursor<BinIter<'a>>, Vec<(&'a [u64], i64)>),
 }
 
 impl<'a> KWayRankCursor<'a> {
@@ -340,10 +340,12 @@ impl<'a> DenseColumnCursor<'a> {
     }
 }
 
-/// The fallback strategy: per-bin smallest/largest-head scan across the
-/// shard iterators.
-struct GenericRankCursor<'a> {
-    iters: Vec<BinIter<'a>>,
+/// The fallback strategy: per-bin smallest/largest-head scan across any
+/// double-ended bin iterators (store [`BinIter`]s for live shards, the
+/// codec's `ViewBinIter`s for encoded payloads — the mixed-source walk in
+/// [`crate::codec`] instantiates it over an either-enum of both).
+pub(crate) struct GenericRankCursor<I> {
+    iters: Vec<I>,
     heads: Vec<Option<(i32, u64)>>,
     descending: bool,
     clamp: (i32, i32),
@@ -351,18 +353,28 @@ struct GenericRankCursor<'a> {
     cursor: Option<i32>,
 }
 
-impl<'a> GenericRankCursor<'a> {
-    fn new(mut iters: Vec<BinIter<'a>>, descending: bool, clamp: (i32, i32)) -> Self {
-        let heads = iters
-            .iter_mut()
-            .map(|iter| {
-                if descending {
-                    iter.next_back()
-                } else {
-                    iter.next()
-                }
-            })
-            .collect();
+impl<I: DoubleEndedIterator<Item = (i32, u64)>> GenericRankCursor<I> {
+    fn new(iters: Vec<I>, descending: bool, clamp: (i32, i32)) -> Self {
+        let heads = Vec::with_capacity(iters.len());
+        Self::with_buffers(iters, heads, descending, clamp)
+    }
+
+    /// Build the cursor on caller-provided buffers (`heads` is cleared and
+    /// refilled), so a scratch-reusing walk performs no allocation.
+    pub(crate) fn with_buffers(
+        mut iters: Vec<I>,
+        mut heads: Vec<Option<(i32, u64)>>,
+        descending: bool,
+        clamp: (i32, i32),
+    ) -> Self {
+        heads.clear();
+        heads.extend(iters.iter_mut().map(|iter| {
+            if descending {
+                iter.next_back()
+            } else {
+                iter.next()
+            }
+        }));
         Self {
             iters,
             heads,
@@ -373,7 +385,15 @@ impl<'a> GenericRankCursor<'a> {
         }
     }
 
-    fn advance_to(&mut self, rank: f64) -> Option<i32> {
+    /// Hand the (emptied) buffers back for scratch reuse.
+    pub(crate) fn into_buffers(self) -> (Vec<I>, Vec<Option<(i32, u64)>>) {
+        let (mut iters, mut heads) = (self.iters, self.heads);
+        iters.clear();
+        heads.clear();
+        (iters, heads)
+    }
+
+    pub(crate) fn advance_to(&mut self, rank: f64) -> Option<i32> {
         while (self.cum as f64) <= rank {
             let mut best: Option<usize> = None;
             for (k, head) in self.heads.iter().enumerate() {
@@ -1404,6 +1424,30 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
     /// Access the negative-value store.
     pub fn negative_store(&self) -> &SN {
         &self.negative
+    }
+
+    /// Internal: merge decoded state into the live sketch — one bulk
+    /// [`Store::add_bins`] pass per store (a single capacity/collapse
+    /// decision each), with the summary statistics folded the way
+    /// [`Self::merge_many`] folds them. This is how the codec's
+    /// [`crate::codec::SketchView`]s are absorbed without ever
+    /// materializing an intermediate sketch; empty-state sentinels
+    /// (`min = +∞`, `max = −∞`, `sum = 0`) fold as no-ops.
+    pub(crate) fn absorb_bins(
+        &mut self,
+        zero_count: u64,
+        min: f64,
+        max: f64,
+        sum: f64,
+        pos_bins: &[(i32, u64)],
+        neg_bins: &[(i32, u64)],
+    ) {
+        self.positive.add_bins(pos_bins);
+        self.negative.add_bins(neg_bins);
+        self.zero_count += zero_count;
+        self.min = self.min.min(min);
+        self.max = self.max.max(max);
+        self.sum += sum;
     }
 
     /// Internal: bulk-load decoded state. Used by the codec.

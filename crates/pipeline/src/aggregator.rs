@@ -1,0 +1,378 @@
+//! The fleet-facing aggregator: raw frames in, quantiles out, no
+//! intermediate sketches.
+//!
+//! This is the receiving half of the paper's Figure 1 deployment: agents
+//! encode their per-window sketches and ship them every few seconds; the
+//! aggregator answers "what is the fleet's p99 right now?" continuously.
+//! The naive implementation decodes every payload into a sketch and
+//! merges it — paying two store allocations, a per-bin scalar rebuild,
+//! and a grow/collapse *per payload*. [`Aggregator`] never does that:
+//!
+//! * [`Aggregator::feed`] decodes each frame exactly once, into a
+//!   **recycled** staging payload (bins + summary, no stores — see
+//!   [`ddsketch::SketchPayload::decode_into`]): one fused
+//!   validate-and-decode pass, no allocation at steady state.
+//! * Every `fold_threshold` frames, the pending payloads fold into one
+//!   resident [`AnyDDSketch`] through the mixed-source merge path — one
+//!   bulk `add_bins` pass per store per payload, bins flowing straight
+//!   from the staged slices into the resident stores.
+//! * [`Aggregator::quantiles_into`] answers from the resident sketch ∪
+//!   the not-yet-folded payloads in one k-way rank walk
+//!   ([`ddsketch::SketchSource`]): zero intermediate sketches ever
+//!   exist, and with the internal scratch warm the query performs zero
+//!   heap allocations on the dense store families (counting-allocator
+//!   tested).
+//!
+//! Callers that want to *inspect* a frame without staging it — routing,
+//!   compatibility probes, ad-hoc quantiles — use the zero-copy
+//! [`SketchView`] directly; the aggregator's rejection path is exactly
+//! that validation.
+
+use ddsketch::codec::FrameReader;
+use ddsketch::{
+    AnyDDSketch, MappingKind, SketchConfig, SketchError, SketchPayload, SketchSource,
+    SourceQuantileScratch, StoreKind,
+};
+
+/// Decode-free sketch aggregator: feeds on encoded `DDS2` frames,
+/// periodically folds them into a resident sketch, and serves quantiles
+/// over resident ∪ unfolded payloads without materializing any sketch
+/// per payload.
+#[derive(Debug)]
+pub struct Aggregator {
+    config: SketchConfig,
+    resident: AnyDDSketch,
+    /// Decoded frames awaiting the next fold (recycled buffers).
+    pending: Vec<SketchPayload>,
+    /// Spent staging payloads (bin-vector capacity only).
+    spare: Vec<SketchPayload>,
+    fold_threshold: usize,
+    scratch: SourceQuantileScratch,
+    frames_received: u64,
+    frames_folded: u64,
+}
+
+impl Aggregator {
+    /// Create an aggregator whose resident sketch uses `config`, folding
+    /// pending payloads whenever `fold_threshold` of them accumulate.
+    ///
+    /// The threshold trades fold frequency against query fan-in: queries
+    /// walk at most `fold_threshold` unfolded payloads plus the resident
+    /// sketch. A threshold of 1 folds on every frame (queries always walk
+    /// one source); thresholds in the tens suit per-second query loads.
+    pub fn with_config(config: SketchConfig, fold_threshold: usize) -> Result<Self, SketchError> {
+        if fold_threshold == 0 {
+            return Err(SketchError::InvalidConfig(
+                "fold_threshold must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            resident: config.build()?,
+            config,
+            pending: Vec::new(),
+            spare: Vec::new(),
+            fold_threshold,
+            scratch: SourceQuantileScratch::default(),
+            frames_received: 0,
+            frames_folded: 0,
+        })
+    }
+
+    /// Convenience constructor for the paper's default configuration
+    /// (collapsing dense stores, exact logarithmic mapping).
+    pub fn new(alpha: f64, max_bins: usize, fold_threshold: usize) -> Result<Self, SketchError> {
+        Self::with_config(
+            SketchConfig::dense_collapsing(alpha, max_bins),
+            fold_threshold,
+        )
+    }
+
+    /// The configuration the resident sketch runs.
+    pub fn config(&self) -> SketchConfig {
+        self.config
+    }
+
+    /// The pending-payload count that triggers a fold.
+    pub fn fold_threshold(&self) -> usize {
+        self.fold_threshold
+    }
+
+    /// Frames accepted so far.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received
+    }
+
+    /// Frames already folded into the resident sketch.
+    pub fn frames_folded(&self) -> u64 {
+        self.frames_folded
+    }
+
+    /// Frames awaiting the next fold.
+    pub fn pending_frames(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The resident sketch (excludes pending payloads; fold first for a
+    /// complete one).
+    pub fn resident(&self) -> &AnyDDSketch {
+        &self.resident
+    }
+
+    /// Total observations across resident and pending payloads.
+    pub fn count(&self) -> u64 {
+        self.resident.count()
+            + self
+                .pending
+                .iter()
+                .map(|p| {
+                    p.zero_count
+                        + p.positive.iter().map(|&(_, c)| c).sum::<u64>()
+                        + p.negative.iter().map(|&(_, c)| c).sum::<u64>()
+                })
+                .sum::<u64>()
+    }
+
+    /// Whether the aggregator has seen no data.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Reject payloads the resident sketch could not merge, *before* they
+    /// enter the pending set — a bad frame never corrupts a fold.
+    fn check_compatible(&self, payload: &SketchPayload) -> Result<(), SketchError> {
+        let compatible = payload.kind == self.config.mapping as u8
+            && payload.store == self.config.store as u8
+            && (payload.relative_accuracy - self.config.alpha).abs() < 1e-12;
+        if !compatible {
+            // A differing max_bins is fine (the resident bound governs,
+            // Algorithm 4); family or α mismatches are not.
+            return Err(SketchError::IncompatibleMerge(format!(
+                "aggregator runs {:?}, payload is (mapping {:?}, store {:?}, α={})",
+                self.config,
+                MappingKind::from_u8(payload.kind),
+                StoreKind::from_u8(payload.store),
+                payload.relative_accuracy
+            )));
+        }
+        Ok(())
+    }
+
+    /// Accept one encoded payload.
+    ///
+    /// The frame is decoded **once**, into a recycled staging payload —
+    /// validating structure, summary consistency, and configuration
+    /// without building a sketch or (at steady state) touching the
+    /// allocator. Rejected frames (corrupt bytes, incompatible
+    /// configuration) leave the aggregator untouched.
+    pub fn feed(&mut self, frame: &[u8]) -> Result<(), SketchError> {
+        let mut payload = self.spare.pop().unwrap_or_default();
+        let accepted = payload
+            .decode_into(frame)
+            .and_then(|()| self.check_compatible(&payload));
+        if let Err(e) = accepted {
+            self.spare.push(payload);
+            return Err(e);
+        }
+        self.pending.push(payload);
+        self.frames_received += 1;
+        if self.pending.len() >= self.fold_threshold {
+            self.fold();
+        }
+        Ok(())
+    }
+
+    /// Drain every frame of a [`FrameReader`] into the aggregator,
+    /// returning how many were accepted. Stops at the first corrupt or
+    /// incompatible frame (already-accepted frames stay absorbed).
+    pub fn feed_stream<R: std::io::Read>(
+        &mut self,
+        reader: &mut FrameReader<R>,
+    ) -> Result<usize, SketchError> {
+        let mut accepted = 0;
+        let mut buf = Vec::new();
+        while reader.read_frame(&mut buf)?.is_some() {
+            self.feed(&buf)?;
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
+    /// Fold every pending payload into the resident sketch, returning how
+    /// many were absorbed. Each payload costs one bulk `add_bins` pass
+    /// per store — no intermediate sketch is ever constructed.
+    pub fn fold(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        self.resident
+            .merge_sources(self.pending.iter().map(SketchSource::Payload))
+            .expect("pending payloads are compatibility-checked by feed");
+        let folded = self.pending.len();
+        self.frames_folded += folded as u64;
+        self.spare.append(&mut self.pending);
+        folded
+    }
+
+    /// Estimate quantiles over everything fed so far — resident sketch ∪
+    /// unfolded payloads — in one mixed-source rank walk. No sketch is
+    /// materialized, no merge performed; with the internal scratch warm
+    /// (one prior call), dense-family queries allocate nothing beyond
+    /// `out`'s capacity.
+    ///
+    /// `&mut self` is for scratch reuse only; no observable state
+    /// changes.
+    pub fn quantiles_into(&mut self, qs: &[f64], out: &mut Vec<f64>) -> Result<(), SketchError> {
+        let Self {
+            resident,
+            pending,
+            scratch,
+            ..
+        } = self;
+        let sources = std::iter::once(SketchSource::Live(&*resident))
+            .chain(pending.iter().map(SketchSource::Payload));
+        AnyDDSketch::merged_quantiles_sources(sources, qs, scratch, out)
+    }
+
+    /// Convenience allocating form of [`Aggregator::quantiles_into`].
+    pub fn quantiles(&mut self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        let mut out = Vec::with_capacity(qs.len());
+        self.quantiles_into(qs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Convenience: a single quantile via [`Aggregator::quantiles_into`].
+    pub fn quantile(&mut self, q: f64) -> Result<f64, SketchError> {
+        Ok(self.quantiles(std::slice::from_ref(&q))?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddsketch::codec::FrameWriter;
+
+    fn frame(config: SketchConfig, values: impl IntoIterator<Item = f64>) -> Vec<u8> {
+        let mut s = config.build().unwrap();
+        for v in values {
+            s.add(v).unwrap();
+        }
+        s.encode()
+    }
+
+    #[test]
+    fn aggregator_equals_decode_then_merge_under_every_config() {
+        for config in SketchConfig::all(0.01, 256) {
+            // Thresholds straddling the frame count: folds mid-stream,
+            // at-end, and never.
+            for threshold in [1, 7, 100] {
+                let mut agg = Aggregator::with_config(config, threshold).unwrap();
+                let mut reference = config.build().unwrap();
+                for k in 0..20u32 {
+                    let values: Vec<f64> = (1..=50)
+                        .map(|i| {
+                            let v = f64::from(i * (k + 1)) * 0.7;
+                            if i % 9 == 0 {
+                                -v
+                            } else if i % 5 == 0 {
+                                0.0
+                            } else {
+                                v
+                            }
+                        })
+                        .collect();
+                    let bytes = frame(config, values.iter().copied());
+                    agg.feed(&bytes).unwrap();
+                    reference
+                        .merge_from(&AnyDDSketch::decode(&bytes).unwrap())
+                        .unwrap();
+                }
+                assert_eq!(agg.frames_received(), 20);
+                assert_eq!(agg.count(), reference.count(), "{}", config.name());
+                let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+                assert_eq!(
+                    agg.quantiles(&qs).unwrap(),
+                    reference.quantiles(&qs).unwrap(),
+                    "{} (threshold {threshold}): aggregator must equal decode-then-merge",
+                    config.name()
+                );
+                // Folding everything must not change the answers.
+                agg.fold();
+                assert_eq!(agg.pending_frames(), 0);
+                assert_eq!(
+                    agg.quantiles(&qs).unwrap(),
+                    reference.quantiles(&qs).unwrap()
+                );
+                assert_eq!(
+                    agg.resident().to_payload().positive,
+                    reference.to_payload().positive
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feed_rejects_bad_frames_atomically() {
+        let mut agg = Aggregator::new(0.01, 256, 8).unwrap();
+        agg.feed(&frame(
+            SketchConfig::dense_collapsing(0.01, 256),
+            [1.0, 2.0],
+        ))
+        .unwrap();
+        // Corrupt bytes: truncation is Malformed, an unknown mapping
+        // discriminant is a (semantic) Decode error; both are rejected.
+        assert!(matches!(agg.feed(b"DDS2"), Err(SketchError::Malformed(_))));
+        assert!(agg.feed(b"DDS2garbage").is_err());
+        // Wrong store family and wrong alpha.
+        assert!(matches!(
+            agg.feed(&frame(SketchConfig::sparse(0.01), [1.0])),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+        assert!(matches!(
+            agg.feed(&frame(SketchConfig::dense_collapsing(0.02, 256), [1.0])),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+        // A differing max_bins is accepted: the resident bound governs.
+        agg.feed(&frame(SketchConfig::dense_collapsing(0.01, 64), [3.0]))
+            .unwrap();
+        assert_eq!(agg.frames_received(), 2);
+        assert_eq!(agg.count(), 3);
+    }
+
+    #[test]
+    fn feed_stream_drains_a_frame_stream() {
+        let config = SketchConfig::dense_collapsing(0.01, 256);
+        let mut writer = FrameWriter::new(Vec::new()).unwrap();
+        let mut reference = config.build().unwrap();
+        for k in 1..=10u32 {
+            let bytes = frame(config, (1..=30).map(|i| f64::from(i * k)));
+            reference
+                .merge_from(&AnyDDSketch::decode(&bytes).unwrap())
+                .unwrap();
+            writer.write_frame(&bytes).unwrap();
+        }
+        let stream = writer.finish().unwrap();
+        let mut agg = Aggregator::with_config(config, 4).unwrap();
+        let mut reader = FrameReader::new(stream.as_slice()).unwrap();
+        assert_eq!(agg.feed_stream(&mut reader).unwrap(), 10);
+        let qs = [0.5, 0.99];
+        assert_eq!(
+            agg.quantiles(&qs).unwrap(),
+            reference.quantiles(&qs).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_aggregator_behaviour() {
+        let mut agg = Aggregator::new(0.01, 256, 4).unwrap();
+        assert!(agg.is_empty());
+        assert!(matches!(agg.quantile(0.5), Err(SketchError::Empty)));
+        assert!(agg.quantiles(&[]).unwrap().is_empty());
+        assert_eq!(agg.fold(), 0);
+        // An empty payload is accepted and contributes nothing.
+        agg.feed(&frame(SketchConfig::dense_collapsing(0.01, 256), []))
+            .unwrap();
+        assert!(agg.is_empty());
+        assert!(matches!(agg.quantile(0.5), Err(SketchError::Empty)));
+        assert!(Aggregator::new(0.01, 256, 0).is_err());
+    }
+}

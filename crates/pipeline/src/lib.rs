@@ -8,9 +8,13 @@
 //! provide.
 //!
 //! Modules:
+//! * [`aggregator`] — the decode-free receiving end: raw `DDS2` frames
+//!   in, quantiles out, zero intermediate sketches (below).
 //! * [`window`] — the `(metric, window) → sketch` time-series store with
-//!   interned metric ids, exact k-way rollups, retention eviction, and
-//!   trailing-width [`window::SlidingView`] reads over existing cells.
+//!   interned metric ids, exact k-way rollups, retention eviction,
+//!   trailing-width [`window::SlidingView`] reads over existing cells,
+//!   and frame-stream [`TimeSeriesStore::checkpoint`]/
+//!   [`TimeSeriesStore::restore`] durability.
 //! * [`window_sliding`] — continuously sliding quantile windows ("p99
 //!   over the last five minutes"): a ring of per-slot sketches read by
 //!   one zero-copy k-way walk, with suffix-aggregate (two-stack) and
@@ -19,12 +23,56 @@
 //!   producers whose read path merges outside all locks.
 //! * [`sim`] — the end-to-end threaded simulation (workers → channel →
 //!   aggregator) used by the Figure 2 binary and integration tests.
+//!
+//! ## Agent → aggregator: the decode-free wire path
+//!
+//! An agent encodes its sketch (`sketch.encode()`, ~2 bytes per warm
+//! bucket) and ships it — one frame per payload, batched per connection
+//! or file through [`ddsketch::codec::FrameWriter`]. The receiving
+//! [`Aggregator`] never decodes a payload into a sketch:
+//!
+//! ```
+//! use ddsketch::codec::{FrameReader, FrameWriter};
+//! use ddsketch::SketchConfig;
+//! use pipeline::Aggregator;
+//!
+//! let config = SketchConfig::dense_collapsing(0.01, 2048);
+//!
+//! // A fleet of agents, each batching its payloads onto one stream.
+//! let mut stream = FrameWriter::new(Vec::new()).unwrap();
+//! for agent in 0..4u32 {
+//!     let mut sketch = config.build().unwrap();
+//!     for i in 1..=1000u32 {
+//!         sketch.add(f64::from(agent * 1000 + i) * 1e-3).unwrap();
+//!     }
+//!     stream.write_sketch(&sketch).unwrap();
+//! }
+//! let bytes = stream.finish().unwrap();
+//!
+//! // The aggregator decodes each frame once into a recycled staging
+//! // payload (bins + summary, never a sketch), folds every few frames
+//! // into one resident sketch (one bulk `add_bins` pass per store),
+//! // and answers quantiles over resident ∪ unfolded payloads in a
+//! // single k-way walk.
+//! let mut agg = Aggregator::with_config(config, 16).unwrap();
+//! agg.feed_stream(&mut FrameReader::new(bytes.as_slice()).unwrap()).unwrap();
+//! let p = agg.quantiles(&[0.5, 0.99]).unwrap();
+//! assert!(p[0] < p[1]);
+//! ```
+//!
+//! The store side gets the same treatment: a long-lived
+//! [`TimeSeriesStore`] checkpoints every `(metric, window)` cell through
+//! the frame stream and restores it exactly — interned metric ids
+//! included — so an aggregator restart costs one stream replay, not a
+//! re-ingestion.
 
+pub mod aggregator;
 pub mod concurrent;
 pub mod sim;
 pub mod window;
 pub mod window_sliding;
 
+pub use aggregator::Aggregator;
 pub use concurrent::ConcurrentSketch;
 pub use sim::{run_sequential, run_simulation, Payload, SimConfig, SimReport};
 pub use window::{MetricId, SlidingView, TimeSeriesStore};

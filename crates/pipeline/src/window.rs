@@ -21,7 +21,26 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use ddsketch::{AnyDDSketch, SketchConfig, SketchError};
+use ddsketch::codec::varint::{get_varint, put_varint};
+use ddsketch::codec::{FrameReader, FrameWriter};
+use ddsketch::{AnyDDSketch, MappingKind, SketchConfig, SketchError, StoreKind};
+
+/// Magic bytes opening a checkpoint's header frame.
+const CHECKPOINT_MAGIC: &[u8; 4] = b"DDTS";
+/// Current checkpoint header version.
+const CHECKPOINT_VERSION: u8 = 1;
+
+/// Per-frame ceiling for checkpoint streams: 1 GiB, far above any real
+/// header (the metric-name table) or cell payload, far below an
+/// allocation that takes the restoring process down.
+///
+/// Both ends share it: [`TimeSeriesStore::checkpoint`] refuses to write
+/// a frame it exceeds (fail fast, instead of producing a checkpoint
+/// that can never be restored), and [`TimeSeriesStore::restore`] passes
+/// it as the reader's hostile-length clamp — deliberately wider than
+/// the frame module's 16 MiB transport default, since a long-lived
+/// store's interned name table alone can outgrow that.
+const CHECKPOINT_MAX_FRAME_LEN: usize = 1 << 30;
 
 /// Interned identifier of a metric name within one [`TimeSeriesStore`].
 ///
@@ -338,6 +357,174 @@ impl TimeSeriesStore {
         }
         Some(SlidingView { cells, start, end })
     }
+
+    /// Snapshot the whole store — configuration, interned metric table,
+    /// and every `(metric, window)` cell — into a
+    /// [`ddsketch::codec`] frame stream on `sink`, returning the sink.
+    ///
+    /// The first frame is a header (`"DDTS"` + version, the sketch
+    /// configuration, the window width, the metric-name table in interned
+    /// id order, and the cell count); each subsequent frame is one cell:
+    /// `varint metric_id`, `varint window_start`, then the cell's `DDS2`
+    /// payload bytes. [`TimeSeriesStore::restore`] rebuilds a store that
+    /// is **exactly** equal — same interned ids (even for metrics whose
+    /// cells were all evicted), same cells, bit-identical quantiles —
+    /// property-tested in the workspace suite.
+    pub fn checkpoint<W: std::io::Write>(&self, sink: W) -> Result<W, SketchError> {
+        let mut writer = FrameWriter::new(sink)?;
+        let write_frame = |writer: &mut FrameWriter<W>, frame: &[u8]| {
+            if frame.len() > CHECKPOINT_MAX_FRAME_LEN {
+                return Err(SketchError::Io(format!(
+                    "checkpoint frame of {} bytes exceeds the {CHECKPOINT_MAX_FRAME_LEN}-byte \
+                     ceiling (roll up or evict before checkpointing)",
+                    frame.len()
+                )));
+            }
+            writer.write_frame(frame)
+        };
+        let mut frame = Vec::new();
+        frame.extend_from_slice(CHECKPOINT_MAGIC);
+        frame.push(CHECKPOINT_VERSION);
+        frame.push(self.config.mapping as u8);
+        frame.push(self.config.store as u8);
+        frame.extend_from_slice(&self.config.alpha.to_le_bytes());
+        put_varint(&mut frame, self.config.max_bins as u64);
+        put_varint(&mut frame, self.window_secs);
+        put_varint(&mut frame, self.names.len() as u64);
+        for name in &self.names {
+            put_varint(&mut frame, name.len() as u64);
+            frame.extend_from_slice(name.as_bytes());
+        }
+        put_varint(&mut frame, self.cells.len() as u64);
+        write_frame(&mut writer, &frame)?;
+        for (&(id, window), sketch) in &self.cells {
+            frame.clear();
+            put_varint(&mut frame, u64::from(id.0));
+            put_varint(&mut frame, window);
+            frame.extend_from_slice(&sketch.encode());
+            write_frame(&mut writer, &frame)?;
+        }
+        writer.finish()
+    }
+
+    /// Rebuild a store from a [`TimeSeriesStore::checkpoint`] stream.
+    ///
+    /// Metric ids are re-interned from the header's name table in its
+    /// original order, so every restored id equals the checkpointed one.
+    /// The stream is held to the same hostile-input standard as the
+    /// payload codec: truncation, duplicate names or cells, out-of-range
+    /// ids, unaligned windows, cell payloads whose configuration differs
+    /// from the header's, and trailing garbage all fail with
+    /// [`SketchError::Malformed`]/[`SketchError::Decode`] — never a panic,
+    /// never an unbounded allocation.
+    pub fn restore<R: std::io::Read>(source: R) -> Result<Self, SketchError> {
+        let mut reader = FrameReader::with_max_frame_len(source, CHECKPOINT_MAX_FRAME_LEN)?;
+        let mut frame = Vec::new();
+        if reader.read_frame(&mut frame)?.is_none() {
+            return Err(SketchError::Malformed(
+                "checkpoint missing its header frame".into(),
+            ));
+        }
+        let mut buf: &[u8] = &frame;
+        if buf.len() < 5 || &buf[..4] != CHECKPOINT_MAGIC {
+            return Err(SketchError::Malformed("bad checkpoint magic".into()));
+        }
+        if buf[4] != CHECKPOINT_VERSION {
+            return Err(SketchError::Decode(format!(
+                "unsupported checkpoint version {}",
+                buf[4]
+            )));
+        }
+        buf = &buf[5..];
+        if buf.len() < 10 {
+            return Err(SketchError::Malformed("truncated checkpoint header".into()));
+        }
+        let mapping = MappingKind::from_u8(buf[0])?;
+        let store_kind = StoreKind::from_u8(buf[1])?;
+        let alpha = f64::from_le_bytes(buf[2..10].try_into().expect("checked length"));
+        buf = &buf[10..];
+        let max_bins = usize::try_from(get_varint(&mut buf)?)
+            .map_err(|_| SketchError::Malformed("checkpoint max_bins exceeds usize".into()))?;
+        let window_secs = get_varint(&mut buf)?;
+        let config = SketchConfig {
+            alpha,
+            mapping,
+            store: store_kind,
+            max_bins,
+        };
+        let mut store = TimeSeriesStore::with_config(config, window_secs)?;
+        let num_names = get_varint(&mut buf)?;
+        // Every name costs at least its 1-byte length varint: clamp the
+        // declared table size before looping.
+        let num_names = usize::try_from(num_names)
+            .ok()
+            .filter(|&n| n <= buf.len())
+            .ok_or_else(|| {
+                SketchError::Malformed(format!("metric table of {num_names} exceeds header"))
+            })?;
+        for k in 0..num_names {
+            let len = usize::try_from(get_varint(&mut buf)?)
+                .ok()
+                .filter(|&len| len <= buf.len())
+                .ok_or_else(|| SketchError::Malformed("metric name exceeds header".into()))?;
+            let (name, rest) = buf.split_at(len);
+            buf = rest;
+            let name = std::str::from_utf8(name)
+                .map_err(|_| SketchError::Malformed("metric name is not UTF-8".into()))?;
+            let id = store.intern(name);
+            if id.0 as usize != k {
+                return Err(SketchError::Malformed(format!(
+                    "duplicate metric name {name:?} in checkpoint table"
+                )));
+            }
+        }
+        let declared_cells = get_varint(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(SketchError::Malformed(
+                "trailing bytes after the checkpoint header".into(),
+            ));
+        }
+        let mut restored = 0u64;
+        while reader.read_frame(&mut frame)?.is_some() {
+            let mut buf: &[u8] = &frame;
+            let id = get_varint(&mut buf)?;
+            let id = u32::try_from(id)
+                .ok()
+                .filter(|&id| (id as usize) < store.names.len())
+                .ok_or_else(|| {
+                    SketchError::Malformed(format!("cell names unknown metric id {id}"))
+                })?;
+            let window = get_varint(&mut buf)?;
+            if window % store.window_secs != 0 {
+                return Err(SketchError::Malformed(format!(
+                    "cell window {window} is not aligned to {}s",
+                    store.window_secs
+                )));
+            }
+            // The payload decoder owns the rest of the frame (and rejects
+            // trailing bytes itself).
+            let sketch = AnyDDSketch::decode(buf)?;
+            if sketch.config() != config {
+                return Err(SketchError::Decode(format!(
+                    "cell configured as {:?} in a {:?} checkpoint",
+                    sketch.config(),
+                    config
+                )));
+            }
+            if store.cells.insert((MetricId(id), window), sketch).is_some() {
+                return Err(SketchError::Malformed(format!(
+                    "duplicate cell (metric {id}, window {window})"
+                )));
+            }
+            restored += 1;
+        }
+        if restored != declared_cells {
+            return Err(SketchError::Malformed(format!(
+                "checkpoint declared {declared_cells} cells, stream held {restored}"
+            )));
+        }
+        Ok(store)
+    }
 }
 
 /// A borrowed trailing-window view from
@@ -631,6 +818,120 @@ mod tests {
         assert!(ts.sliding_view("m", 0).is_none());
         let empty = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
         assert!(empty.sliding_view("m", 30).is_none());
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_exactly() {
+        for config in SketchConfig::all(0.01, 256) {
+            let mut ts = TimeSeriesStore::with_config(config, 10).unwrap();
+            for (metric, scale) in [("api.home", 1.0), ("api.checkout", 50.0), ("db", 0.01)] {
+                for w in 0..8u64 {
+                    for i in 1..=20u32 {
+                        let sign = if i % 6 == 0 { -1.0 } else { 1.0 };
+                        ts.record(
+                            metric,
+                            w * 10 + u64::from(i) % 10,
+                            sign * scale * f64::from(i),
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            // A metric whose cells are later all evicted must still keep
+            // its interned id through the round trip.
+            ts.record("ephemeral", 0, 1.0).unwrap();
+            ts.evict_before(5);
+
+            let bytes = ts.checkpoint(Vec::new()).unwrap();
+            let restored = TimeSeriesStore::restore(bytes.as_slice()).unwrap();
+            assert_eq!(restored.config(), ts.config(), "{}", config.name());
+            assert_eq!(restored.window_secs(), ts.window_secs());
+            assert_eq!(restored.num_cells(), ts.num_cells());
+            // Ids and names identical, including the cell-less metric.
+            for (id, name) in ts.metrics() {
+                assert_eq!(restored.metric_id(name), Some(id));
+                assert_eq!(restored.metric_name(id), name);
+            }
+            // Every cell bit-identical.
+            for ((metric, window, original), (rm, rw, restored_cell)) in
+                ts.cells().zip(restored.cells())
+            {
+                assert_eq!((metric, window), (rm, rw));
+                assert_eq!(
+                    original.to_payload(),
+                    restored_cell.to_payload(),
+                    "{}: cell ({metric}, {window})",
+                    config.name()
+                );
+            }
+            // And the restored store keeps working.
+            let mut restored = restored;
+            restored.record("api.home", 200, 9.0).unwrap();
+            assert_eq!(
+                restored.metric_count("api.home"),
+                ts.metric_count("api.home") + 1
+            );
+        }
+
+        // An empty store round-trips too.
+        let empty = TimeSeriesStore::new(0.01, 256, 10).unwrap();
+        let restored =
+            TimeSeriesStore::restore(empty.checkpoint(Vec::new()).unwrap().as_slice()).unwrap();
+        assert_eq!(restored.num_cells(), 0);
+        assert_eq!(restored.metrics().count(), 0);
+    }
+
+    /// Regression: the restore reader's hostile-length clamp must sit
+    /// above anything `checkpoint` legitimately writes. A store with a
+    /// large interned-name table produces a header frame beyond the
+    /// frame module's 16 MiB transport default — it must still restore.
+    #[test]
+    fn checkpoint_restores_headers_beyond_the_transport_frame_default() {
+        let mut ts = TimeSeriesStore::new(0.01, 64, 10).unwrap();
+        // ~2000 metrics × ~10 kB names ≈ 20 MB of header.
+        for k in 0..2000u32 {
+            let name = format!("{k}.{}", "m".repeat(10_000));
+            ts.record(&name, 0, 1.0).unwrap();
+        }
+        let bytes = ts.checkpoint(Vec::new()).unwrap();
+        assert!(
+            bytes.len() > 16 << 20,
+            "test wants a header beyond the 16 MiB transport default"
+        );
+        let restored = TimeSeriesStore::restore(bytes.as_slice()).unwrap();
+        assert_eq!(restored.num_cells(), ts.num_cells());
+        assert_eq!(restored.metrics().count(), 2000);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_checkpoints() {
+        let mut ts = TimeSeriesStore::new(0.01, 256, 10).unwrap();
+        ts.record("m", 5, 1.0).unwrap();
+        ts.record("n", 25, 2.0).unwrap();
+        let bytes = ts.checkpoint(Vec::new()).unwrap();
+
+        // Sanity: the pristine stream restores.
+        assert!(TimeSeriesStore::restore(bytes.as_slice()).is_ok());
+        // Every strict prefix fails cleanly (truncated header, truncated
+        // cell frames, missing cells vs the declared count).
+        for cut in 0..bytes.len() {
+            assert!(
+                TimeSeriesStore::restore(&bytes[..cut]).is_err(),
+                "prefix of length {cut} restored"
+            );
+        }
+        // Trailing garbage after the last cell.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(TimeSeriesStore::restore(extended.as_slice()).is_err());
+        // Flip one byte at a time through the whole stream: restore must
+        // error or produce a store, never panic. (Most flips corrupt;
+        // some — e.g. inside a count — survive as a different store.)
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x10;
+            let _ = TimeSeriesStore::restore(flipped.as_slice());
+        }
     }
 
     #[test]

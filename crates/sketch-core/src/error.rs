@@ -25,6 +25,17 @@ pub enum SketchError {
     IncompatibleMerge(String),
     /// A serialized sketch could not be decoded.
     Decode(String),
+    /// Serialized bytes are structurally corrupt (truncated, oversized
+    /// length claims, trailing garbage, invalid varints): the byte-level
+    /// counterpart of [`SketchError::Decode`], which covers semantic
+    /// mismatches on structurally-valid payloads. Decoders return this
+    /// *before* acting on hostile claims (e.g. before allocating for a
+    /// declared bin count), so malformed input can never balloon memory.
+    Malformed(String),
+    /// An underlying I/O operation failed while reading or writing a
+    /// sketch stream (frame streams, checkpoints). Carries the rendered
+    /// `std::io::Error`, keeping this enum `Clone + PartialEq`.
+    Io(String),
     /// A timestamped observation fell before the live range of a sliding
     /// window: its slot has already been evicted, so it can no longer be
     /// attributed. Carries the observation's timestamp and the window's
@@ -48,6 +59,8 @@ impl fmt::Display for SketchError {
             }
             SketchError::IncompatibleMerge(msg) => write!(f, "incompatible merge: {msg}"),
             SketchError::Decode(msg) => write!(f, "decode error: {msg}"),
+            SketchError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            SketchError::Io(msg) => write!(f, "I/O error: {msg}"),
             SketchError::StaleTimestamp {
                 ts_secs,
                 window_start,
@@ -82,6 +95,14 @@ mod tests {
         assert!(SketchError::Decode("truncated".into())
             .to_string()
             .contains("truncated"));
+        assert!(
+            SketchError::Malformed("bin count 9999 exceeds payload".into())
+                .to_string()
+                .contains("malformed")
+        );
+        assert!(SketchError::Io("connection reset".into())
+            .to_string()
+            .contains("connection reset"));
     }
 
     #[test]

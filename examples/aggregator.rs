@@ -1,0 +1,121 @@
+//! Fleet demo: agents ship encoded sketches over frame streams, the
+//! aggregator answers fleet quantiles **without decoding a single
+//! payload into a sketch**, and the time-series store checkpoints itself
+//! for restarts — the paper's Figure 1 deployment, end to end.
+//!
+//! Run with: `cargo run --release --example aggregator`
+
+use datasets::Dataset;
+use ddsketch::codec::{FrameReader, FrameWriter};
+use ddsketch::{SketchConfig, SketchView};
+use pipeline::{Aggregator, TimeSeriesStore};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SketchConfig::dense_collapsing(0.01, 2048);
+    let agents = 50;
+    let flushes = 20; // one flush per agent per "second"
+
+    // ── Agents ─────────────────────────────────────────────────────────
+    // Each agent batches its per-second sketches onto one frame stream
+    // (one connection or file per agent, many payloads per stream).
+    let mut streams: Vec<Vec<u8>> = Vec::new();
+    let mut shipped = 0usize;
+    for agent in 0..agents {
+        let mut writer = FrameWriter::new(Vec::new())?;
+        let mut latencies = Dataset::Pareto.stream(agent as u64);
+        for _ in 0..flushes {
+            let mut sketch = config.build()?;
+            let batch: Vec<f64> = latencies.by_ref().take(512).collect();
+            sketch.add_slice(&batch)?;
+            writer.write_sketch(&sketch)?;
+            shipped += 1;
+        }
+        streams.push(writer.finish()?);
+    }
+    let wire_bytes: usize = streams.iter().map(Vec::len).sum();
+    println!(
+        "{agents} agents × {flushes} flushes → {shipped} payloads, {:.1} kB on the wire",
+        wire_bytes as f64 / 1000.0
+    );
+
+    // A transit hop can inspect any frame without decoding it: parse a
+    // zero-copy view straight over the bytes.
+    {
+        let mut reader = FrameReader::new(streams[0].as_slice())?;
+        let mut frame = Vec::new();
+        reader.read_frame(&mut frame)?;
+        let view = SketchView::parse(&frame)?;
+        println!(
+            "peeked one frame: {} values, p99 ≈ {:.3} ({} bins, {} bytes, no sketch built)",
+            view.count(),
+            view.quantile(0.99)?,
+            view.num_bins(),
+            frame.len()
+        );
+    }
+
+    // ── Aggregator ─────────────────────────────────────────────────────
+    // Feed every stream. Each frame is decoded once into a recycled
+    // staging buffer; every 32 frames fold into the resident sketch with
+    // one bulk `add_bins` pass per store. No per-payload sketch, ever.
+    let mut agg = Aggregator::with_config(config, 32)?;
+    for stream in &streams {
+        agg.feed_stream(&mut FrameReader::new(stream.as_slice())?)?;
+    }
+    let p = agg.quantiles(&[0.5, 0.95, 0.99])?;
+    println!(
+        "fleet over {} payloads ({} values): p50 {:.3}  p95 {:.3}  p99 {:.3}",
+        agg.frames_received(),
+        agg.count(),
+        p[0],
+        p[1],
+        p[2]
+    );
+
+    // Full mergeability (Proposition 3): the decode-free aggregate equals
+    // one sketch over every agent's raw values.
+    let mut union = config.build()?;
+    for agent in 0..agents {
+        let values: Vec<f64> = Dataset::Pareto
+            .stream(agent as u64)
+            .take(512 * flushes)
+            .collect();
+        union.add_slice(&values)?;
+    }
+    assert_eq!(p, union.quantiles(&[0.5, 0.95, 0.99])?);
+    println!("✓ decode-free aggregate ≡ one sketch over all raw values");
+
+    // ── Durability ─────────────────────────────────────────────────────
+    // The same payloads routed into a time-series store (per-metric,
+    // per-window), checkpointed through the frame stream, and restored —
+    // a restart costs one replay, not a re-ingestion.
+    let mut store = TimeSeriesStore::with_config(config, 1)?;
+    for (agent, stream) in streams.iter().enumerate() {
+        let mut reader = FrameReader::new(stream.as_slice())?;
+        let mut frame = Vec::new();
+        let mut second = 0u64;
+        while reader.read_frame(&mut frame)?.is_some() {
+            let sketch = ddsketch::AnyDDSketch::decode(&frame)?;
+            let metric = if agent % 2 == 0 {
+                "api.latency"
+            } else {
+                "db.latency"
+            };
+            store.absorb(metric, second, &sketch)?;
+            second += 1;
+        }
+    }
+    let checkpoint = store.checkpoint(Vec::new())?;
+    let restored = TimeSeriesStore::restore(checkpoint.as_slice())?;
+    assert_eq!(restored.num_cells(), store.num_cells());
+    assert_eq!(
+        restored.quantile_series("api.latency", 0.99),
+        store.quantile_series("api.latency", 0.99)
+    );
+    println!(
+        "✓ checkpoint: {} cells, {:.1} kB; restore round-trips the store exactly",
+        store.num_cells(),
+        checkpoint.len() as f64 / 1000.0
+    );
+    Ok(())
+}

@@ -1,0 +1,213 @@
+//! Fast corrupted-bytes fuzz loop for the wire plane.
+//!
+//! Deterministic (no proptest shrink cycles, a simple xorshift for the
+//! random cases) so it stays a cheap `cargo test --test codec_fuzz`
+//! target that CI runs on every push. The property everywhere: hostile
+//! bytes produce `Err`, never a panic, never a huge allocation — and
+//! whenever a *decode* succeeds on mutated bytes, the parallel *view*
+//! must succeed too and agree with it (the two readers may not drift).
+
+use ddsketch::codec::FrameReader;
+use ddsketch::{AnyDDSketch, SketchConfig, SketchPayload, SketchView};
+use pipeline::TimeSeriesStore;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Every reader that accepts raw payload bytes, run over one mutation.
+fn exercise_payload_readers(bytes: &[u8]) {
+    let payload = SketchPayload::decode(bytes);
+    let view = SketchView::parse(bytes);
+    // A payload the decoder accepts is one the view must accept — unless
+    // the decoder was more lenient about the *configuration* (the view
+    // insists on a buildable config, exactly like AnyDDSketch::decode).
+    if let (Ok(p), Ok(v)) = (&payload, &view) {
+        assert_eq!(p.zero_count, v.zero_count());
+        assert_eq!(
+            p.positive,
+            v.positive_bins().collect::<Vec<_>>(),
+            "decode and view disagree on the positive bins"
+        );
+        assert_eq!(p.negative, v.negative_bins().collect::<Vec<_>>());
+    }
+    if let Ok(decoded) = AnyDDSketch::decode(bytes) {
+        let v = view.expect("AnyDDSketch::decode accepted bytes the view rejected");
+        assert_eq!(decoded.config(), v.config());
+        assert_eq!(decoded.count(), v.count());
+        if !decoded.is_empty() {
+            assert_eq!(
+                decoded.quantiles(&[0.0, 0.5, 1.0]).unwrap(),
+                v.quantiles(&[0.0, 0.5, 1.0]).unwrap(),
+                "decode and view disagree on quantiles of mutated bytes"
+            );
+        }
+    }
+}
+
+fn pristine_payloads() -> Vec<Vec<u8>> {
+    SketchConfig::all(0.013, 32)
+        .into_iter()
+        .flat_map(|config| {
+            let mut empty = config.build().unwrap();
+            let populated = {
+                let mut s = config.build().unwrap();
+                for i in 1..400 {
+                    let v = 1.001_f64.powi(i * 29) * 1e-3;
+                    s.add(if i % 11 == 0 { -v } else { v }).unwrap();
+                    if i % 17 == 0 {
+                        s.add(0.0).unwrap();
+                    }
+                }
+                s
+            };
+            empty.add(0.0).unwrap();
+            empty.delete(0.0);
+            [empty.encode(), populated.encode()]
+        })
+        .collect()
+}
+
+#[test]
+fn truncations_never_panic() {
+    for bytes in pristine_payloads() {
+        for cut in 0..bytes.len() {
+            assert!(
+                SketchPayload::decode(&bytes[..cut]).is_err(),
+                "strict prefix of length {cut} decoded"
+            );
+            assert!(
+                SketchView::parse(&bytes[..cut]).is_err(),
+                "strict prefix of length {cut} parsed as a view"
+            );
+        }
+        // Trailing garbage in several flavours.
+        for tail in [&[0u8][..], &[0xff; 3], &[0x80; 16]] {
+            let mut extended = bytes.clone();
+            extended.extend_from_slice(tail);
+            assert!(SketchPayload::decode(&extended).is_err());
+            assert!(SketchView::parse(&extended).is_err());
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_panic() {
+    for bytes in pristine_payloads() {
+        // Single-bit flips at every position (each of the 8 bits for the
+        // header, one per byte beyond it to keep the loop fast).
+        for i in 0..bytes.len() {
+            let masks: &[u8] = if i < 30 {
+                &[1, 2, 4, 8, 16, 32, 64, 128]
+            } else {
+                &[1 << (i % 8)]
+            };
+            for &mask in masks {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= mask;
+                exercise_payload_readers(&flipped);
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_varints_and_random_mutations_never_panic() {
+    let payloads = pristine_payloads();
+    let mut rng = 0x5DEECE66D_u64;
+    // Splice over-long / overflowing varints at random offsets, and apply
+    // random multi-byte stomps.
+    let hostile_splices: Vec<Vec<u8>> = vec![
+        vec![0x80; 12], // never-ending varint
+        vec![0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f], // u64::MAX-ish
+        vec![
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02,
+        ], // > 64 bits
+        vec![0x00],
+    ];
+    for bytes in &payloads {
+        for _ in 0..400 {
+            let mut mutated = bytes.clone();
+            match xorshift(&mut rng) % 3 {
+                0 => {
+                    let at = (xorshift(&mut rng) as usize) % mutated.len();
+                    let splice =
+                        &hostile_splices[(xorshift(&mut rng) as usize) % hostile_splices.len()];
+                    let end = (at + splice.len()).min(mutated.len());
+                    mutated[at..end].copy_from_slice(&splice[..end - at]);
+                }
+                1 => {
+                    for _ in 0..4 {
+                        let at = (xorshift(&mut rng) as usize) % mutated.len();
+                        mutated[at] = xorshift(&mut rng) as u8;
+                    }
+                }
+                _ => {
+                    let at = (xorshift(&mut rng) as usize) % (mutated.len() + 1);
+                    mutated.truncate(at);
+                    let splice =
+                        &hostile_splices[(xorshift(&mut rng) as usize) % hostile_splices.len()];
+                    mutated.extend_from_slice(splice);
+                }
+            }
+            exercise_payload_readers(&mutated);
+        }
+    }
+    // Pure noise of assorted lengths.
+    for len in [0usize, 1, 3, 4, 5, 16, 40, 200] {
+        for _ in 0..50 {
+            let mut noise: Vec<u8> = (0..len).map(|_| xorshift(&mut rng) as u8).collect();
+            exercise_payload_readers(&noise);
+            // And with a valid magic up front, to get past the first gate.
+            if noise.len() >= 4 {
+                noise[..4].copy_from_slice(b"DDS2");
+                exercise_payload_readers(&noise);
+                noise[..4].copy_from_slice(b"DDS1");
+                exercise_payload_readers(&noise);
+            }
+        }
+    }
+}
+
+#[test]
+fn frame_streams_and_checkpoints_survive_corruption() {
+    let mut ts = TimeSeriesStore::new(0.01, 64, 10).unwrap();
+    for w in 0..6u64 {
+        for i in 1..=25 {
+            ts.record("api", w * 10, f64::from(i) * 1.3).unwrap();
+            ts.record("db", w * 10 + 3, f64::from(i) * 0.2).unwrap();
+        }
+    }
+    let bytes = ts.checkpoint(Vec::new()).unwrap();
+    assert!(TimeSeriesStore::restore(bytes.as_slice()).is_ok());
+
+    for cut in 0..bytes.len() {
+        assert!(
+            TimeSeriesStore::restore(&bytes[..cut]).is_err(),
+            "checkpoint prefix {cut} restored"
+        );
+    }
+    let mut rng = 0xC0FFEE_u64;
+    for _ in 0..1500 {
+        let mut mutated = bytes.clone();
+        for _ in 0..=(xorshift(&mut rng) % 4) {
+            let at = (xorshift(&mut rng) as usize) % mutated.len();
+            mutated[at] ^= (xorshift(&mut rng) % 255 + 1) as u8;
+        }
+        // Error or a (different) store — never a panic.
+        let _ = TimeSeriesStore::restore(mutated.as_slice());
+    }
+
+    // The raw frame reader on noise.
+    let mut buf = Vec::new();
+    for _ in 0..200 {
+        let len = (xorshift(&mut rng) % 64) as usize;
+        let noise: Vec<u8> = (0..len).map(|_| xorshift(&mut rng) as u8).collect();
+        if let Ok(mut reader) = FrameReader::new(noise.as_slice()) {
+            while let Ok(Some(_)) = reader.read_frame(&mut buf) {}
+        }
+    }
+}

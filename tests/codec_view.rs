@@ -1,0 +1,335 @@
+//! Integration: the decode-free wire plane.
+//!
+//! The contract under test: a [`SketchView`] over encoded bytes is
+//! indistinguishable from the live sketch that produced them — header
+//! accessors, bin walks (from either end, in any interleaving), quantile
+//! estimates (bit-identical, collapsed tails included) — and the mixed
+//! live∪view merge plane (`merge_sources`, `merged_quantiles_sources`,
+//! `Aggregator`) equals decode-then-merge exactly. Plus the
+//! checkpoint/restore round-trip property for `TimeSeriesStore`.
+
+use ddsketch::{
+    AnyDDSketch, SketchConfig, SketchError, SketchSource, SketchView, SourceQuantileScratch,
+};
+use pipeline::{Aggregator, TimeSeriesStore};
+use proptest::prelude::*;
+
+const QS: [f64; 9] = [0.0, 0.001, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+
+/// All five runtime configurations, with a bound small enough that the
+/// value streams below actually collapse the bounded families.
+fn configs() -> [SketchConfig; 5] {
+    SketchConfig::all(0.01, 64)
+}
+
+fn build(config: SketchConfig, values: &[f64]) -> AnyDDSketch {
+    let mut s = config.build().unwrap();
+    for &v in values {
+        s.add(v).unwrap();
+    }
+    s
+}
+
+/// Interesting fixed streams: empty, zero-only, negative-only, single
+/// value, wide-range (collapsing for m = 64), mixed signs.
+fn streams() -> Vec<Vec<f64>> {
+    let mut wide = Vec::new();
+    for i in 0..500 {
+        wide.push(1.0002_f64.powi(i * 37) * 0.001);
+    }
+    let mut mixed = Vec::new();
+    for i in 1..300 {
+        mixed.push(match i % 4 {
+            0 => 0.0,
+            1 => f64::from(i) * 0.01,
+            2 => -f64::from(i) * 3.0,
+            _ => f64::from(i * i),
+        });
+    }
+    vec![
+        vec![],
+        vec![0.0, 0.0, -0.0],
+        (1..100).map(|i| -f64::from(i) * 0.5).collect(),
+        vec![42.0],
+        wide,
+        mixed,
+    ]
+}
+
+#[test]
+fn view_header_and_bin_walks_match_the_live_sketch() {
+    for config in configs() {
+        for values in streams() {
+            let sketch = build(config, &values);
+            let bytes = sketch.encode();
+            let view = SketchView::parse(&bytes).unwrap();
+            let name = config.name();
+
+            assert_eq!(view.config(), config, "{name}");
+            assert_eq!(view.count(), sketch.count(), "{name}");
+            assert_eq!(view.is_empty(), sketch.is_empty());
+            assert_eq!(view.zero_count(), sketch.zero_count());
+            assert_eq!(view.min(), sketch.min(), "{name}");
+            assert_eq!(view.max(), sketch.max(), "{name}");
+            assert_eq!(view.sum(), sketch.sum(), "{name}");
+            assert_eq!(view.average(), sketch.average());
+            assert_eq!(view.num_bins(), sketch.num_bins(), "{name}");
+            assert_eq!(
+                view.bin_limit().map(|l| l as u64).unwrap_or(0),
+                config.max_bins as u64
+            );
+
+            // Forward, backward, and alternating walks over both stores.
+            let payload = sketch.to_payload();
+            for (walk, expected) in [
+                (view.positive_bins(), &payload.positive),
+                (view.negative_bins(), &payload.negative),
+            ] {
+                assert_eq!(walk.clone().collect::<Vec<_>>(), *expected, "{name}");
+                let mut reversed: Vec<_> = walk.clone().rev().collect();
+                reversed.reverse();
+                assert_eq!(reversed, *expected, "{name}: rev must mirror");
+                let mut front_back = Vec::new();
+                let mut back = Vec::new();
+                let mut iter = walk.clone();
+                while let Some(front) = iter.next() {
+                    front_back.push(front);
+                    if let Some(b) = iter.next_back() {
+                        back.push(b);
+                    }
+                }
+                back.reverse();
+                front_back.extend(back);
+                assert_eq!(front_back, *expected, "{name}: alternating walk");
+            }
+        }
+    }
+}
+
+#[test]
+fn view_quantiles_are_bit_identical_to_the_live_sketch() {
+    for config in configs() {
+        for values in streams() {
+            let sketch = build(config, &values);
+            let bytes = sketch.encode();
+            let view = SketchView::parse(&bytes).unwrap();
+            let name = config.name();
+            if sketch.is_empty() {
+                assert!(matches!(view.quantile(0.5), Err(SketchError::Empty)));
+                continue;
+            }
+            assert_eq!(
+                view.quantiles(&QS).unwrap(),
+                sketch.quantiles(&QS).unwrap(),
+                "{name}: view quantiles must be bit-identical"
+            );
+            assert!(view.quantiles(&[1.5]).is_err());
+        }
+    }
+}
+
+proptest! {
+    // The central equivalence, under arbitrary streams: view quantile
+    // walks over encoded bytes ≡ the live sketch, for every config —
+    // including collapsed tails (m = 64 with values spanning ~12 decades)
+    // and sketches that are empty or negative-only.
+    #[test]
+    fn prop_view_walks_equal_live_sketch(
+        raw in proptest::collection::vec(-1e6f64..1e6, 0..400)
+    ) {
+        // Sprinkle exact zeros and near-zero values into the stream so
+        // the zero bucket and both store sides are exercised.
+        let values: Vec<f64> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| match i % 7 {
+                0 => 0.0,
+                1 => v * 1e-10,
+                _ => v,
+            })
+            .collect();
+        for config in configs() {
+            let sketch = build(config, &values);
+            let bytes = sketch.encode();
+            let view = SketchView::parse(&bytes).unwrap();
+            prop_assert_eq!(view.count(), sketch.count());
+            prop_assert_eq!(view.min(), sketch.min());
+            prop_assert_eq!(view.max(), sketch.max());
+            let payload = sketch.to_payload();
+            prop_assert_eq!(view.positive_bins().collect::<Vec<_>>(), payload.positive);
+            prop_assert_eq!(view.negative_bins().collect::<Vec<_>>(), payload.negative);
+            if sketch.is_empty() {
+                prop_assert!(matches!(view.quantile(0.5), Err(SketchError::Empty)));
+            } else {
+                prop_assert_eq!(
+                    view.quantiles(&QS).unwrap(),
+                    sketch.quantiles(&QS).unwrap(),
+                    "{}", config.name()
+                );
+            }
+        }
+    }
+
+    // Mixed-source plane ≡ decode-then-merge, under arbitrary shard
+    // streams: both the zero-materialization quantile walk and the
+    // add_bins fold must agree with materializing every payload.
+    #[test]
+    fn prop_mixed_sources_equal_decode_then_merge(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(-1e5f64..1e5, 0..150),
+            1..6,
+        ),
+        live_count in 0usize..3,
+    ) {
+        for config in configs() {
+            let sketches: Vec<AnyDDSketch> =
+                shards.iter().map(|vals| build(config, vals)).collect();
+            let (live, encoded) = sketches.split_at(live_count.min(sketches.len()));
+            let frames: Vec<Vec<u8>> = encoded.iter().map(|s| s.encode()).collect();
+            let views: Vec<SketchView<'_>> =
+                frames.iter().map(|f| SketchView::parse(f).unwrap()).collect();
+
+            // Baseline: materialize everything.
+            let mut reference = config.build().unwrap();
+            for s in &sketches {
+                reference.merge_from(s).unwrap();
+            }
+
+            // merge_sources fold.
+            let mut folded = config.build().unwrap();
+            folded
+                .merge_sources(
+                    live.iter()
+                        .map(SketchSource::Live)
+                        .chain(views.iter().map(|v| SketchSource::View(*v))),
+                )
+                .unwrap();
+            prop_assert_eq!(
+                folded.to_payload(),
+                reference.to_payload(),
+                "{}: fold must equal decode-then-merge",
+                config.name()
+            );
+
+            // merged_quantiles_sources walk.
+            if !reference.is_empty() {
+                let mut scratch = SourceQuantileScratch::default();
+                let mut out = Vec::new();
+                AnyDDSketch::merged_quantiles_sources(
+                    live.iter()
+                        .map(SketchSource::Live)
+                        .chain(views.iter().map(|v| SketchSource::View(*v))),
+                    &QS,
+                    &mut scratch,
+                    &mut out,
+                )
+                .unwrap();
+                prop_assert_eq!(
+                    out,
+                    reference.quantiles(&QS).unwrap(),
+                    "{}: walk must equal decode-then-merge-then-query",
+                    config.name()
+                );
+            }
+        }
+    }
+
+    // `TimeSeriesStore::restore(checkpoint(s))` round-trips a populated
+    // store exactly: configuration, window width, interned ids, cells,
+    // and quantiles.
+    #[test]
+    fn prop_checkpoint_restore_roundtrips(
+        records in proptest::collection::vec(
+            (0u8..4, 0u64..500, -1e4f64..1e4),
+            0..120,
+        ),
+        config_idx in 0usize..5,
+        window_secs in 1u64..30,
+    ) {
+        let config = configs()[config_idx];
+        let mut ts = TimeSeriesStore::with_config(config, window_secs).unwrap();
+        let metrics = ["api.lat", "db.query", "q", "api.lat.p99"];
+        for &(m, ts_secs, v) in &records {
+            ts.record(metrics[m as usize], ts_secs, v).unwrap();
+        }
+        let bytes = ts.checkpoint(Vec::new()).unwrap();
+        let restored = TimeSeriesStore::restore(bytes.as_slice()).unwrap();
+        prop_assert_eq!(restored.config(), ts.config());
+        prop_assert_eq!(restored.window_secs(), ts.window_secs());
+        prop_assert_eq!(restored.num_cells(), ts.num_cells());
+        prop_assert_eq!(
+            restored.metrics().map(|(i, n)| (i, n.to_string())).collect::<Vec<_>>(),
+            ts.metrics().map(|(i, n)| (i, n.to_string())).collect::<Vec<_>>()
+        );
+        for ((m, w, original), (rm, rw, restored_cell)) in ts.cells().zip(restored.cells()) {
+            prop_assert_eq!((m, w), (rm, rw));
+            prop_assert_eq!(original.to_payload(), restored_cell.to_payload());
+        }
+        // Quantile queries agree on every populated cell.
+        for (m, w, cell) in ts.cells() {
+            prop_assert_eq!(restored.quantile(m, w, 0.9), cell.quantile(0.9).ok());
+        }
+    }
+}
+
+/// `SketchViewMeta` detaches a parse result and rebinds in O(1): the
+/// rebound view must be indistinguishable from a fresh parse, and a
+/// buffer of the wrong length must be rejected.
+#[test]
+fn view_meta_rebinds_without_reparsing() {
+    let config = SketchConfig::dense_collapsing(0.01, 64);
+    let sketch = build(
+        config,
+        &(1..200).map(|i| f64::from(i) * 0.3).collect::<Vec<_>>(),
+    );
+    let bytes = sketch.encode();
+    let meta = SketchView::parse(&bytes).unwrap().meta();
+    assert_eq!(meta.config(), config);
+    assert_eq!(meta.count(), sketch.count());
+    let rebound = meta.bind(&bytes).unwrap();
+    assert_eq!(
+        rebound.quantiles(&QS).unwrap(),
+        sketch.quantiles(&QS).unwrap()
+    );
+    assert_eq!(
+        rebound.positive_bins().collect::<Vec<_>>(),
+        sketch.to_payload().positive
+    );
+    assert!(matches!(
+        meta.bind(&bytes[..bytes.len() - 1]),
+        Err(SketchError::Malformed(_))
+    ));
+}
+
+/// The aggregator over many encoded payloads equals one big decode-based
+/// fold, through fold boundaries, for every configuration.
+#[test]
+fn aggregator_matches_reference_through_folds() {
+    for config in configs() {
+        let mut agg = Aggregator::with_config(config, 5).unwrap();
+        let mut reference = config.build().unwrap();
+        for k in 1..=23u32 {
+            let values: Vec<f64> = (1..=40)
+                .map(|i| f64::from(i * k) * if i % 7 == 0 { -0.1 } else { 0.9 })
+                .collect();
+            let sketch = build(config, &values);
+            let bytes = sketch.encode();
+            agg.feed(&bytes).unwrap();
+            reference.merge_from(&sketch).unwrap();
+            // Querying mid-stream (arbitrary pending counts) stays exact.
+            if k % 3 == 0 {
+                assert_eq!(
+                    agg.quantiles(&QS).unwrap(),
+                    reference.quantiles(&QS).unwrap(),
+                    "{} after {k} frames",
+                    config.name()
+                );
+            }
+        }
+        assert_eq!(agg.count(), reference.count());
+        assert_eq!(
+            agg.quantiles(&QS).unwrap(),
+            reference.quantiles(&QS).unwrap()
+        );
+    }
+}
