@@ -1,0 +1,235 @@
+//! Multi-threaded ingest benchmarks: the lock-free atomic plane vs locked
+//! shards vs thread-local publishing.
+//!
+//! Scenario: `T` writer threads split a fixed pool of values and race to
+//! ingest them into one shared [`pipeline::ConcurrentSketch`]. Three
+//! contenders at each thread count:
+//!
+//! * `locked` — the pre-existing baseline: one sketch per shard behind a
+//!   lock ([`ConcurrentSketch::with_config_locked`]).
+//! * `atomic` — the lock-free plane: relaxed `fetch_add` into atomic dense
+//!   stores, no lock or CAS loop on the hot path.
+//! * `local-publish` — [`pipeline::LocalIngest`]: values accumulate in a
+//!   private sequential sketch and publish bin-wise at flush boundaries.
+//!
+//! Every mode ingests the same values and is checked to produce the same
+//! final count, so the timing comparison is apples-to-apples.
+//!
+//! Like the codec bench, this hand-rolls its timing (threaded iterations
+//! are too coarse for the criterion stand-in) and emits machine-readable
+//! results to `results/BENCH_ingest.json`. `--test` runs each body once
+//! as a smoke test and skips measurement and the JSON.
+//!
+//! **Hardware caveat**: results depend heavily on core count. On a
+//! single-core host the thread counts > 1 measure scheduling overhead
+//! plus contention behaviour, not parallel speedup — the interesting
+//! signal there is atomic-vs-locked at equal thread counts.
+
+use std::time::Instant;
+
+use datasets::Dataset;
+use ddsketch::SketchConfig;
+use pipeline::ConcurrentSketch;
+use std::hint::black_box;
+
+/// The paper's production configuration.
+fn plane_config() -> SketchConfig {
+    SketchConfig::dense_collapsing(0.01, 2048)
+}
+
+fn human_rate(mops: f64) -> String {
+    format!("{mops:>8.2} Mops/s")
+}
+
+struct Record {
+    id: String,
+    ns_per_iter: f64,
+    extras: Vec<(&'static str, f64)>,
+}
+
+fn write_json(results: &[Record], cores: usize) {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_ingest.json"
+    );
+    let mut out = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"unit\": \"ns_per_op\",\n  \"host_cores\": {cores},\n  \"results\": [\n",
+    );
+    for (k, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_op\": {:.2}",
+            r.id, r.ns_per_iter
+        ));
+        for (key, value) in &r.extras {
+            out.push_str(&format!(", \"{key}\": {value:.3}"));
+        }
+        out.push_str(if k + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("\nmachine-readable results -> results/BENCH_ingest.json"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Locked,
+    Atomic,
+    LocalPublish,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Locked => "locked",
+            Mode::Atomic => "atomic",
+            Mode::LocalPublish => "local-publish",
+        }
+    }
+
+    fn build(self, threads: usize) -> ConcurrentSketch {
+        // Equal shard counts keep the comparison apples-to-apples.
+        let shards = threads.min(16);
+        match self {
+            Mode::Locked => ConcurrentSketch::with_config_locked(plane_config(), shards).unwrap(),
+            Mode::Atomic | Mode::LocalPublish => {
+                ConcurrentSketch::with_config(plane_config(), shards).unwrap()
+            }
+        }
+    }
+}
+
+/// One timed pass: `threads` writers split `values` and race into a fresh
+/// sketch. Returns (elapsed ns per value, final count) — the count check
+/// keeps every contender honest about ingesting everything.
+fn ingest_pass(mode: Mode, threads: usize, values: &[f64]) -> (f64, u64) {
+    let sketch = mode.build(threads);
+    let chunk = values.len() / threads;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let sketch = &sketch;
+            let mine = &values[t * chunk..(t + 1) * chunk];
+            scope.spawn(move || match mode {
+                Mode::Locked | Mode::Atomic => {
+                    for &v in mine {
+                        sketch.add_hinted(t, v).unwrap();
+                    }
+                }
+                Mode::LocalPublish => {
+                    let mut local = sketch.local_ingest().unwrap();
+                    for &v in mine {
+                        local.add(v).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let ingested = (chunk * threads) as u64;
+    assert_eq!(sketch.count(), ingested, "{} lost values", mode.name());
+    black_box(sketch.quantile(0.5).unwrap());
+    (elapsed / ingested as f64, ingested)
+}
+
+fn main() {
+    let mut test_mode = false;
+    let mut filter = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => test_mode = true,
+            s if s.starts_with('-') => {}
+            s => filter = Some(s.to_string()),
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let total_ops = if test_mode { 64 * 64 } else { 1_000_000 };
+    let values = Dataset::Pareto.generate(total_ops, 71);
+    println!(
+        "ingest: {total_ops} Pareto values per pass, host cores: {cores}\n\
+         (thread counts above the core count measure contention, not parallel speedup)\n"
+    );
+
+    let mut results: Vec<Record> = Vec::new();
+    let thread_counts = [1usize, 4, 16, 64];
+    let modes = [Mode::Locked, Mode::Atomic, Mode::LocalPublish];
+    // ns/op per (mode, threads), for the derived speedups.
+    let mut grid = vec![vec![f64::NAN; thread_counts.len()]; modes.len()];
+
+    for (mi, &mode) in modes.iter().enumerate() {
+        for (ti, &threads) in thread_counts.iter().enumerate() {
+            let id = format!("ingest/{}/threads-{threads}", mode.name());
+            if let Some(filter) = &filter {
+                if !id.contains(filter.as_str()) {
+                    continue;
+                }
+            }
+            if test_mode {
+                ingest_pass(mode, threads, &values);
+                println!("{id:<40} ok (smoke)");
+                continue;
+            }
+            // Median of 3 full passes; each pass re-spawns its threads,
+            // which is part of what a real ingest fan-out pays.
+            let mut samples = [0.0f64; 3];
+            for sample in &mut samples {
+                *sample = ingest_pass(mode, threads, &values).0;
+            }
+            samples.sort_by(f64::total_cmp);
+            let ns_per_op = samples[1];
+            let mops = 1e3 / ns_per_op;
+            println!("{id:<40} {:>8.2} ns/op {}", ns_per_op, human_rate(mops));
+            grid[mi][ti] = ns_per_op;
+            results.push(Record {
+                id,
+                ns_per_iter: ns_per_op,
+                extras: vec![("mops_per_sec", mops)],
+            });
+        }
+    }
+
+    if !test_mode && filter.is_none() {
+        println!();
+        for (ti, &threads) in thread_counts.iter().enumerate() {
+            let locked = grid[0][ti];
+            for (mi, &mode) in modes.iter().enumerate().skip(1) {
+                let mine = grid[mi][ti];
+                if locked.is_finite() && mine.is_finite() {
+                    let speedup = locked / mine;
+                    println!(
+                        "threads-{threads:<3} {:<14} vs locked: {speedup:.2}x",
+                        mode.name()
+                    );
+                    if let Some(r) = results
+                        .iter_mut()
+                        .find(|r| r.id == format!("ingest/{}/threads-{threads}", mode.name()))
+                    {
+                        r.extras.push(("speedup_vs_locked", speedup));
+                    }
+                }
+            }
+        }
+        // Self-scaling of the atomic plane (1 thread -> N threads). Only
+        // meaningful with >= N cores; recorded regardless, honestly.
+        let base = grid[1][0];
+        for (ti, &threads) in thread_counts.iter().enumerate().skip(1) {
+            let mine = grid[1][ti];
+            if base.is_finite() && mine.is_finite() {
+                let scaling = base / mine;
+                println!("atomic threads-{threads:<3} vs threads-1: {scaling:.2}x");
+                if let Some(r) = results
+                    .iter_mut()
+                    .find(|r| r.id == format!("ingest/atomic/threads-{threads}"))
+                {
+                    r.extras.push(("scaling_vs_1_thread", scaling));
+                }
+            }
+        }
+        write_json(&results, cores);
+    }
+}

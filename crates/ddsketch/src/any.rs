@@ -426,6 +426,24 @@ impl AnyDDSketch {
         dispatch!(self, s => s.clear())
     }
 
+    /// Internal: bulk-absorb raw state (summary statistics plus positive /
+    /// negative bins) with union-merge semantics — one [`Store::add_bins`]
+    /// pass per store, so bounded families apply their collapse clamp
+    /// exactly as a merge would. This is how the lock-free ingest plane's
+    /// snapshots materialize ([`crate::atomic`]): raw atomic counters in,
+    /// a regular sketch out, without an intermediate sketch.
+    pub(crate) fn absorb_raw(
+        &mut self,
+        zero_count: u64,
+        min: f64,
+        max: f64,
+        sum: f64,
+        pos_bins: &[(i32, u64)],
+        neg_bins: &[(i32, u64)],
+    ) {
+        dispatch!(self, s => s.absorb_bins(zero_count, min, max, sum, pos_bins, neg_bins))
+    }
+
     /// Free the batched-ingestion scratch buffers; see
     /// [`crate::DDSketch::release_scratch`].
     pub fn release_scratch(&mut self) {

@@ -219,8 +219,61 @@
 //! two-stack suffix-aggregate layout whose steady-state query folds at
 //! most three sketches regardless of slot count, and a
 //! `quantiles_decayed` read on the weighted walk.
+//!
+//! ## Concurrency model
+//!
+//! The sequential sketches above are `&mut self` and single-writer. For
+//! multi-core ingest the [`atomic`] module provides a third plane:
+//! [`AtomicDDSketch`] / [`AnyAtomicDDSketch`] take **`&self`** for every
+//! ingestion method — the hot `add` is one relaxed `fetch_add` into an
+//! atomic dense store ([`store::AtomicDenseStore`]) plus relaxed striped
+//! summary updates. No lock and no CAS loop on the fast path; store
+//! growth and bucket collapse run on a rare mutex-guarded slow path whose
+//! effects are published with `Release`/`Acquire` and fenced from readers
+//! by a seqlock epoch.
+//!
+//! The memory-ordering contract, in one line each:
+//!
+//! * **Counter updates are `Relaxed`** — counts are commutative sums, so
+//!   no ordering between writers is needed, only atomicity per counter.
+//! * **Table publication and fold epochs are `Release`/`Acquire`** — a
+//!   reader that sees a new table or an even epoch also sees the writes
+//!   that built it; snapshots retry while an epoch is odd or changed.
+//! * **Quiesced reads are exact** — after writers quiesce with a
+//!   happens-before edge to the reader (thread join, channel hand-off), a
+//!   snapshot is bit-identical (bins, count, min, max; sum up to addition
+//!   reassociation) to a single-threaded sketch over the union of every
+//!   writer's values. Mid-race, each counter reads at some instant during
+//!   the read — never torn, lost, or double-counted.
+//!
+//! Only the dense store families run lock-free (bucket identity must be
+//! an array slot); sparse configs are rejected by
+//! [`AnyAtomicDDSketch::new`] and stay on the locked-shard plane in the
+//! `pipeline` crate, whose `ConcurrentSketch` picks the right plane per
+//! config automatically and adds a thread-local `LocalIngest` front-end
+//! for writers that want to batch even the atomic traffic.
+//!
+//! ```
+//! use ddsketch::{AnyAtomicDDSketch, SketchConfig};
+//!
+//! let sketch = AnyAtomicDDSketch::new(SketchConfig::dense_collapsing(0.01, 2048)).unwrap();
+//! std::thread::scope(|scope| {
+//!     for t in 0..4u32 {
+//!         let sketch = &sketch; // shared reference: no lock, no clone
+//!         scope.spawn(move || {
+//!             for i in 1..=1000u32 {
+//!                 sketch.add(f64::from(t * 1000 + i)).unwrap();
+//!             }
+//!         });
+//!     }
+//! });
+//! // Writers joined => the snapshot equals the single-threaded union.
+//! let snap = sketch.snapshot().unwrap();
+//! assert_eq!(snap.count(), 4000);
+//! ```
 
 pub mod any;
+pub mod atomic;
 pub mod codec;
 pub mod config;
 pub mod mapping;
@@ -229,6 +282,7 @@ mod sketch;
 pub mod store;
 
 pub use any::AnyDDSketch;
+pub use atomic::{AnyAtomicDDSketch, AtomicDDSketch, AtomicSketchScratch};
 pub use codec::{
     FrameReader, FrameWriter, SketchPayload, SketchSource, SketchView, SketchViewMeta,
     SourceQuantileScratch,
@@ -249,4 +303,6 @@ pub use store::{
 };
 
 // Re-export the shared vocabulary so downstream users need only this crate.
-pub use sketch_core::{MemoryFootprint, MergeableSketch, QuantileSketch, SketchError};
+pub use sketch_core::{
+    ConcurrentIngest, MemoryFootprint, MergeableSketch, QuantileSketch, SketchError,
+};

@@ -1,0 +1,475 @@
+//! Lock-free shared bucket counters: the write plane behind
+//! [`crate::atomic::AtomicDDSketch`].
+//!
+//! # Design
+//!
+//! An [`AtomicDenseStore`] is a short chain of immutable-geometry counter
+//! tables, each a [`DenseStore<AtomicU64>`](super::DenseStore). Tables are
+//! append-only: once published they are never moved, shrunk, or freed
+//! until the store is dropped, so a writer holding a reference into one
+//! can never be invalidated — the property that makes the hot path a
+//! single `fetch_add(Relaxed)` with **no lock and no CAS loop**:
+//!
+//! 1. load the newest table pointer (`Acquire`),
+//! 2. bounds-check the bucket index against its span,
+//! 3. `fetch_add(Relaxed)` the covered cell.
+//!
+//! Every new table's index span is a superset of all older spans and at
+//! least doubles the allocation, so (a) a miss on the newest table means
+//! no table covers the index and the writer takes the guarded slow path,
+//! and (b) the chain stays logarithmic in the final span — total memory
+//! is at most ~2× the newest table, exactly the amortization the
+//! sequential [`DenseStore`](super::DenseStore) gets from doubling.
+//!
+//! A bucket's logical count is the **sum of its cell across every table**
+//! (each table accumulated the adds that landed while it was newest, plus
+//! whatever folds moved into it). Readers therefore sum the chain; they
+//! never need the tables to be reconciled.
+//!
+//! # Collapse (bounded stores) and the seqlock epoch
+//!
+//! Bounded (`max_bins = m`) stores fold low buckets like
+//! [`super::CollapsingLowestDenseStore`], but lazily: the authoritative
+//! collapse happens at *read* time, when a snapshot's raw bins are
+//! absorbed into a regular collapsing store (which clamps exactly like a
+//! union merge would — see `crate::atomic`). The store itself folds
+//! physically only when the live span overruns `m` by a growth factor,
+//! and only on the already-guarded grow path: under the grow mutex it
+//! `take`s every cell below the allowed minimum and `fetch_add`s the sum
+//! into the lowest kept bucket. Because counts *move*, a concurrent
+//! reader could transiently observe one mid-flight; the fold therefore
+//! bumps a seqlock-style epoch to odd for its duration, and snapshots
+//! retry while the epoch is odd or changed across their scan. Writers
+//! never touch the epoch — folds cannot block the fast path.
+//!
+//! A writer racing a fold can land a count in a cell *after* it was
+//! `take`n; the count simply stays in that (older or low) cell and is
+//! clamped into the kept region at snapshot time, so nothing is ever
+//! lost or double-counted. Early folds are semantically safe for the
+//! same reason scalar collapse is: the fold target `live_max − m + 1`
+//! only grows over time, so any bucket folded now would also be folded
+//! (to an equal-or-higher target) by the eventual union collapse.
+//!
+//! # Memory-ordering contract
+//!
+//! * Cell increments and reads are `Relaxed` — counters carry no
+//!   cross-thread control flow of their own.
+//! * Table publication (`tables[t]`, then `num_tables`) is `Release`,
+//!   matched by `Acquire` loads, so a writer or reader that observes a
+//!   table count observes fully-initialized tables.
+//! * The fold epoch is `Release` on store, `Acquire` on load, bracketing
+//!   the moved counts.
+//!
+//! A snapshot that races writers observes each cell's value at some point
+//! during the scan (a valid "union at some instant per bucket" read). A
+//! snapshot taken after writers quiesce (thread join, or any external
+//! happens-before edge) is **exact**: the join synchronizes all `Relaxed`
+//! writes, and the epoch check rules out a concurrent fold.
+
+use std::sync::atomic::Ordering::{Acquire, Release};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize};
+
+use parking_lot::Mutex;
+
+use super::cell::{Cell, SharedCell};
+use super::dense::{round_up_chunk, CHUNK};
+use super::DenseStore;
+
+/// Chain capacity. Every link at least doubles the allocated span, so the
+/// 34th table would already cover the entire `i32` index range; 40 slots
+/// are unreachable in practice and cost 320 bytes.
+const MAX_TABLES: usize = 40;
+
+/// A bounded store folds physically once its live span exceeds
+/// `FOLD_FACTOR × max_bins` (checked only on the guarded grow path).
+const FOLD_FACTOR: i64 = 4;
+
+type Table = DenseStore<AtomicU64>;
+
+/// Reusable accumulation buffer for [`AtomicDenseStore::snapshot_bins`];
+/// hold one per reader and snapshots allocate only while warming up.
+#[derive(Debug, Default)]
+pub struct AtomicSnapshotScratch {
+    acc: Vec<u64>,
+}
+
+/// A concurrently writable dense bucket store (see module docs).
+#[derive(Debug)]
+pub struct AtomicDenseStore {
+    /// Published tables, oldest first. Entries `0..num_tables` are valid,
+    /// heap-allocated, and never freed or moved while the store lives.
+    tables: [AtomicPtr<Table>; MAX_TABLES],
+    num_tables: AtomicUsize,
+    /// Seqlock epoch: odd while a fold is moving counts between cells.
+    epoch: AtomicU64,
+    /// Serializes table publication and folds. Never taken on the
+    /// fast path.
+    grow: Mutex<()>,
+    /// `Some(m)`: fold low buckets so the live span tracks `m` (the
+    /// collapsing-dense families). `None`: never fold (unbounded).
+    max_bins: Option<i64>,
+}
+
+// SAFETY: all shared mutation goes through atomics; the raw table
+// pointers are published with Release/Acquire, point at heap allocations
+// owned by this store, and are only freed in `Drop` (exclusive access).
+unsafe impl Send for AtomicDenseStore {}
+unsafe impl Sync for AtomicDenseStore {}
+
+impl AtomicDenseStore {
+    /// An empty store; `max_bins` enables physical folding for the
+    /// bounded families.
+    pub fn new(max_bins: Option<usize>) -> Self {
+        Self {
+            tables: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            num_tables: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            grow: Mutex::new(()),
+            max_bins: max_bins.map(|m| m as i64),
+        }
+    }
+
+    /// Table `k`, which must be `< num_tables` (acquired by the caller).
+    #[inline]
+    fn table(&self, k: usize) -> &Table {
+        // SAFETY: entries below an Acquire-observed `num_tables` were
+        // Release-published as valid boxed tables and are never freed
+        // while `&self` is alive.
+        unsafe { &*self.tables[k].load(Acquire) }
+    }
+
+    /// Add `count` occurrences of bucket `index`.
+    ///
+    /// Lock-free fast path; takes the grow mutex only when no table
+    /// covers `index` yet (amortized O(log span) times per store).
+    #[inline]
+    pub fn add_n(&self, index: i64, count: u64) {
+        let t = self.num_tables.load(Acquire);
+        if t > 0 {
+            if let Some(cell) = self.table(t - 1).cell(index) {
+                SharedCell::fetch_add(cell, count);
+                return;
+            }
+        }
+        self.add_slow(index, count);
+    }
+
+    /// Grow path: publish a covering table, then retry the add (under the
+    /// lock, so at most one thread builds each table).
+    #[cold]
+    fn add_slow(&self, index: i64, count: u64) {
+        let _guard = self.grow.lock();
+        // Re-check: another writer may have published a covering table
+        // while we waited for the lock.
+        let t = self.num_tables.load(Acquire);
+        if t > 0 {
+            if let Some(cell) = self.table(t - 1).cell(index) {
+                SharedCell::fetch_add(cell, count);
+                return;
+            }
+        }
+        assert!(t < MAX_TABLES, "atomic store table chain exhausted");
+        // Union span of every existing table plus the new index…
+        let (mut lo, mut hi_inc, old_len) = if t > 0 {
+            let newest = self.table(t - 1);
+            (
+                newest.span_lo().min(index),
+                (newest.span_hi() - 1).max(index),
+                newest.cells().len() as i64,
+            )
+        } else {
+            (index, index, 0)
+        };
+        // …sized to at least double the newest table (chunk-rounded), with
+        // the slack on the side that is growing.
+        let needed = hi_inc - lo + 1;
+        let target = round_up_chunk(needed.max(old_len * 2).max(CHUNK));
+        let extra = target - needed;
+        if t > 0 {
+            let newest = self.table(t - 1);
+            if index < newest.span_lo() {
+                lo -= extra;
+            } else {
+                hi_inc += extra;
+            }
+        } else {
+            // Fresh store: center the index like DenseStore does.
+            lo -= extra / 2;
+            hi_inc = lo + target - 1;
+        }
+        let table = Box::new(Table::with_span(lo, hi_inc));
+        debug_assert!(table.span_hi() - table.span_lo() >= target);
+        let cell = table
+            .cell(index)
+            .expect("with_span covers the requested span");
+        SharedCell::fetch_add(cell, count);
+        let ptr = Box::into_raw(table);
+        self.tables[t].store(ptr, Release);
+        self.num_tables.store(t + 1, Release);
+        // Bounded stores: fold low buckets once the live span has drifted
+        // far past the cap (still under the grow lock).
+        if let Some(m) = self.max_bins {
+            self.maybe_fold_locked(m);
+        }
+    }
+
+    /// Physically fold buckets below `live_max − m + 1` into the lowest
+    /// kept bucket when the live span exceeds `FOLD_FACTOR × m`. Caller
+    /// holds the grow lock.
+    fn maybe_fold_locked(&self, m: i64) {
+        let t = self.num_tables.load(Acquire);
+        let (mut live_lo, mut live_hi) = (i64::MAX, i64::MIN);
+        for k in 0..t {
+            let table = self.table(k);
+            let base = table.span_lo();
+            for (i, cell) in table.cells().iter().enumerate() {
+                if Cell::get(cell) > 0 {
+                    let idx = base + i as i64;
+                    live_lo = live_lo.min(idx);
+                    live_hi = live_hi.max(idx);
+                }
+            }
+        }
+        if live_lo > live_hi || live_hi - live_lo < FOLD_FACTOR * m {
+            return;
+        }
+        let allowed_min = live_hi - m + 1;
+        // Seqlock: counts move below; readers retry while odd.
+        self.epoch.fetch_add(1, Release);
+        let mut folded = 0u64;
+        for k in 0..t {
+            let table = self.table(k);
+            let base = table.span_lo();
+            let cut = ((allowed_min - base).max(0) as usize).min(table.cells().len());
+            for cell in &table.cells()[..cut] {
+                folded += cell.take();
+            }
+        }
+        if folded > 0 {
+            let newest = self.table(t - 1);
+            // The newest table covers every live index, hence allowed_min.
+            let kept = newest
+                .cell(allowed_min)
+                .expect("newest table covers the live span");
+            SharedCell::fetch_add(kept, folded);
+        }
+        self.epoch.fetch_add(1, Release);
+    }
+
+    /// Collect the non-empty `(index, count)` bins, ascending, appended to
+    /// `out`. Retries around concurrent folds (see module docs for the
+    /// exact consistency guarantee). Returns the summed count.
+    pub fn snapshot_bins(
+        &self,
+        out: &mut Vec<(i64, u64)>,
+        scratch: &mut AtomicSnapshotScratch,
+    ) -> u64 {
+        loop {
+            let e1 = self.epoch.load(Acquire);
+            if e1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let t = self.num_tables.load(Acquire);
+            if t == 0 {
+                return 0;
+            }
+            let newest = self.table(t - 1);
+            let base = newest.span_lo();
+            let len = newest.cells().len();
+            scratch.acc.clear();
+            scratch.acc.resize(len, 0);
+            for k in 0..t {
+                let table = self.table(k);
+                let off = (table.span_lo() - base) as usize;
+                for (i, cell) in table.cells().iter().enumerate() {
+                    let c = Cell::get(cell);
+                    if c > 0 {
+                        scratch.acc[off + i] += c;
+                    }
+                }
+            }
+            // A grow during the scan cannot invalidate it (tables are
+            // append-only), but a fold can move counts mid-scan; the
+            // epoch re-check rules that out.
+            if self.epoch.load(Acquire) != e1 {
+                continue;
+            }
+            let mut total = 0u64;
+            for (i, &c) in scratch.acc.iter().enumerate() {
+                if c > 0 {
+                    out.push((base + i as i64, c));
+                    total += c;
+                }
+            }
+            return total;
+        }
+    }
+
+    /// Structural memory footprint in bytes (all chained tables).
+    pub fn memory_bytes(&self) -> usize {
+        let t = self.num_tables.load(Acquire);
+        let mut bytes = std::mem::size_of::<Self>();
+        for k in 0..t {
+            bytes += std::mem::size_of::<Table>() + std::mem::size_of_val(self.table(k).cells());
+        }
+        bytes
+    }
+}
+
+impl Drop for AtomicDenseStore {
+    fn drop(&mut self) {
+        let t = *self.num_tables.get_mut();
+        for slot in &mut self.tables[..t] {
+            let ptr = *slot.get_mut();
+            if !ptr.is_null() {
+                // SAFETY: published pointers came from Box::into_raw and
+                // are dropped exactly once (exclusive access here).
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bins(store: &AtomicDenseStore) -> Vec<(i64, u64)> {
+        let mut out = Vec::new();
+        let mut scratch = AtomicSnapshotScratch::default();
+        store.snapshot_bins(&mut out, &mut scratch);
+        out
+    }
+
+    #[test]
+    fn sequential_adds_match_dense_store() {
+        use crate::store::Store;
+        let atomic = AtomicDenseStore::new(None);
+        let mut dense = crate::store::DenseStore::new();
+        for i in [0i64, 5, 5, -100, 2000, 3, -100, 7, 2000] {
+            atomic.add_n(i, 2);
+            dense.add_n(i as i32, 2);
+        }
+        let expected: Vec<(i64, u64)> = dense
+            .bins_ascending()
+            .into_iter()
+            .map(|(i, c)| (i as i64, c))
+            .collect();
+        assert_eq!(bins(&atomic), expected);
+    }
+
+    #[test]
+    fn growth_chains_tables_without_losing_counts() {
+        let store = AtomicDenseStore::new(None);
+        let mut expected_total = 0u64;
+        // Monotone stream forces repeated growth.
+        for i in 0..50_000i64 {
+            store.add_n(i, 1);
+            expected_total += 1;
+        }
+        let mut out = Vec::new();
+        let mut scratch = AtomicSnapshotScratch::default();
+        let total = store.snapshot_bins(&mut out, &mut scratch);
+        assert_eq!(total, expected_total);
+        assert_eq!(out.len(), 50_000);
+        assert!(out.iter().all(|&(_, c)| c == 1));
+        assert!(
+            store.num_tables.load(Acquire) <= 12,
+            "doubling keeps the chain short"
+        );
+    }
+
+    #[test]
+    fn bounded_store_folds_low_buckets() {
+        let m = 64i64;
+        let store = AtomicDenseStore::new(Some(m as usize));
+        // Slide the live window far past FOLD_FACTOR * m, then force the
+        // deferred fold check (normally it piggybacks on the grow path).
+        for i in 0..10_000i64 {
+            store.add_n(i, 1);
+        }
+        {
+            let _guard = store.grow.lock();
+            store.maybe_fold_locked(m);
+        }
+        let out = bins(&store);
+        let total: u64 = out.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 10_000);
+        // Post-fold the live span is exactly the cap, with every folded
+        // count in the lowest kept bucket.
+        let allowed_min = 9_999 - m + 1;
+        assert_eq!(out.first().unwrap(), &(allowed_min, 10_000 - m as u64 + 1));
+        assert_eq!(out.last().unwrap(), &(9_999, 1));
+        assert_eq!(out.len(), m as usize);
+        // The epoch ended even, so snapshots keep working.
+        assert_eq!(store.epoch.load(Acquire) % 2, 0);
+        assert!(store.epoch.load(Acquire) >= 2, "fold bumped the epoch");
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly() {
+        let store = AtomicDenseStore::new(None);
+        let threads = 8;
+        let per_thread = 20_000;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // Overlapping, growing index ranges across threads.
+                        store.add_n(((i * 7 + t * 13) % 4096) as i64 - 2048, 1);
+                    }
+                });
+            }
+        });
+        let mut out = Vec::new();
+        let mut scratch = AtomicSnapshotScratch::default();
+        let total = store.snapshot_bins(&mut out, &mut scratch);
+        assert_eq!(total, (threads * per_thread) as u64);
+    }
+
+    #[test]
+    fn concurrent_adds_with_folds_lose_nothing() {
+        let m = 32usize;
+        let store = AtomicDenseStore::new(Some(m));
+        let threads = 4;
+        let per_thread = 30_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // Rising stream: keeps triggering growth + folds
+                        // while other writers are mid-add.
+                        store.add_n((i / 3) as i64 + t as i64, 1);
+                    }
+                });
+                // A racing reader that must never observe a torn fold as
+                // a panic or a wild total above the true final count.
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut scratch = AtomicSnapshotScratch::default();
+                    for _ in 0..50 {
+                        out.clear();
+                        let total = store.snapshot_bins(&mut out, &mut scratch);
+                        assert!(total <= threads as u64 * per_thread);
+                    }
+                });
+            }
+        });
+        let total = {
+            let mut out = Vec::new();
+            let mut scratch = AtomicSnapshotScratch::default();
+            store.snapshot_bins(&mut out, &mut scratch)
+        };
+        assert_eq!(total, threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn empty_store_snapshot_is_empty() {
+        let store = AtomicDenseStore::new(Some(16));
+        assert!(bins(&store).is_empty());
+        assert!(store.memory_bytes() >= std::mem::size_of::<AtomicDenseStore>());
+    }
+}

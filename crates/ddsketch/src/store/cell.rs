@@ -1,0 +1,151 @@
+//! Counter-cell abstraction for the dense stores.
+//!
+//! [`DenseStore`](super::DenseStore) and the collapsing dense stores are
+//! generic over the type that holds one bucket's count. Two instantiations
+//! exist today:
+//!
+//! * `u64` — the plain single-writer counter every sequential sketch uses.
+//!   All [`Cell`] operations compile to ordinary integer arithmetic, so the
+//!   generic stores are bit-identical (and instruction-identical) to the
+//!   pre-generic code.
+//! * [`AtomicU64`] — the shared-writer counter behind the lock-free ingest
+//!   plane ([`super::AtomicDenseStore`]). The exclusive-access [`Cell`]
+//!   operations use `get_mut`/`into_inner` (no atomic instructions), while
+//!   the [`SharedCell`] extension exposes the `&self` RMW operations
+//!   (`fetch_add`, `take`) that concurrent writers and folds need.
+//!
+//! The same seam is what a weighted/`f64`-count store will plug into later:
+//! only the cell type changes, not the store geometry (growth, collapse,
+//! live-window tracking).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One bucket counter, accessed exclusively (`&mut self` writes).
+///
+/// The trait deliberately mirrors what the dense-store geometry needs and
+/// nothing more: construct, read, accumulate, overwrite. Implementations
+/// must behave like a plain `u64` under exclusive access.
+pub trait Cell: Default + Sized {
+    /// A cell holding `value`.
+    fn new(value: u64) -> Self;
+
+    /// The current count. For atomic cells this is a `Relaxed` load, so it
+    /// is safe (but possibly momentarily stale) under concurrent writers.
+    fn get(&self) -> u64;
+
+    /// Add `n` to the count (exclusive access).
+    fn add_assign(&mut self, n: u64);
+
+    /// Overwrite the count (exclusive access).
+    fn set(&mut self, value: u64);
+}
+
+impl Cell for u64 {
+    #[inline(always)]
+    fn new(value: u64) -> Self {
+        value
+    }
+
+    #[inline(always)]
+    fn get(&self) -> u64 {
+        *self
+    }
+
+    #[inline(always)]
+    fn add_assign(&mut self, n: u64) {
+        *self += n;
+    }
+
+    #[inline(always)]
+    fn set(&mut self, value: u64) {
+        *self = value;
+    }
+}
+
+impl Cell for AtomicU64 {
+    #[inline(always)]
+    fn new(value: u64) -> Self {
+        AtomicU64::new(value)
+    }
+
+    #[inline(always)]
+    fn get(&self) -> u64 {
+        self.load(Ordering::Relaxed)
+    }
+
+    #[inline(always)]
+    fn add_assign(&mut self, n: u64) {
+        // Exclusive access: a plain read-modify-write, no atomic RMW.
+        let v = *self.get_mut();
+        *self.get_mut() = v + n;
+    }
+
+    #[inline(always)]
+    fn set(&mut self, value: u64) {
+        *self.get_mut() = value;
+    }
+}
+
+/// A [`Cell`] that additionally supports shared-reference (`&self`)
+/// mutation, the requirement of the lock-free write plane.
+///
+/// # Memory-ordering contract
+///
+/// Both operations are `Relaxed`: bucket counters carry no cross-thread
+/// control flow of their own. Publication of the *arrays that hold them* is
+/// what carries `Acquire`/`Release` (see [`super::AtomicDenseStore`]), and
+/// reads that need exact totals quiesce the writers first (thread join or
+/// an external barrier), which supplies the happens-before edge.
+pub trait SharedCell: Cell + Sync {
+    /// Atomically add `n` through a shared reference.
+    fn fetch_add(&self, n: u64);
+
+    /// Atomically take the count, leaving zero — the fold/restripe
+    /// primitive: moving a count between cells is `take` + `fetch_add`, so
+    /// a concurrent reader can miss a moving count only while the fold's
+    /// seqlock epoch is odd (and then retries).
+    fn take(&self) -> u64;
+}
+
+impl SharedCell for AtomicU64 {
+    #[inline(always)]
+    fn fetch_add(&self, n: u64) {
+        AtomicU64::fetch_add(self, n, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    fn take(&self) -> u64 {
+        self.swap(0, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_cell<C: Cell>() {
+        let mut c = C::new(7);
+        assert_eq!(c.get(), 7);
+        c.add_assign(5);
+        assert_eq!(c.get(), 12);
+        c.set(3);
+        assert_eq!(c.get(), 3);
+        assert_eq!(C::default().get(), 0);
+    }
+
+    #[test]
+    fn u64_cell_behaves_like_u64() {
+        exercise_cell::<u64>();
+    }
+
+    #[test]
+    fn atomic_cell_matches_u64_semantics() {
+        exercise_cell::<AtomicU64>();
+        let c = AtomicU64::new(0);
+        SharedCell::fetch_add(&c, 41);
+        SharedCell::fetch_add(&c, 1);
+        assert_eq!(Cell::get(&c), 42);
+        assert_eq!(c.take(), 42);
+        assert_eq!(Cell::get(&c), 0);
+    }
+}

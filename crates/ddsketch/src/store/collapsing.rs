@@ -1,15 +1,9 @@
 //! Bounded-size contiguous stores (paper Algorithms 3 and 4, dense
 //! span-limited variant).
 
+use super::cell::Cell;
+use super::dense::{round_up_chunk, CHUNK};
 use super::{BinIter, Store, StoreKind};
-
-const CHUNK: i64 = 128;
-
-/// Round `v` (positive) up to the next multiple of `CHUNK`.
-#[inline]
-fn round_up_chunk(v: i64) -> i64 {
-    (v + CHUNK - 1) / CHUNK * CHUNK
-}
 
 /// Contiguous store whose index **span** is capped at `max_bins`; when an
 /// insertion would exceed the cap, the lowest indices are folded into the
@@ -24,8 +18,8 @@ fn round_up_chunk(v: i64) -> i64 {
 /// see [`super::CollapsingSparseStore`]), bounding the span is stricter, so
 /// Proposition 4's guarantee carries over unchanged.
 #[derive(Debug, Clone)]
-pub struct CollapsingLowestDenseStore {
-    counts: Vec<u64>,
+pub struct CollapsingLowestDenseStore<C: Cell = u64> {
+    counts: Vec<C>,
     offset: i64,
     min_idx: i64,
     max_idx: i64,
@@ -53,10 +47,17 @@ impl CollapsingLowestDenseStore {
             collapsed: false,
         }
     }
+}
 
+impl<C: Cell> CollapsingLowestDenseStore<C> {
     /// The configured bucket-span limit.
     pub fn max_bins(&self) -> usize {
         self.max_bins as usize
+    }
+
+    /// A zeroed cell buffer (generic stand-in for `vec![0; len]`).
+    fn zeroed(len: usize) -> Vec<C> {
+        std::iter::repeat_with(C::default).take(len).collect()
     }
 
     #[inline]
@@ -77,7 +78,7 @@ impl CollapsingLowestDenseStore {
         if self.counts.is_empty() {
             let len = CHUNK.min(self.max_bins) as usize;
             self.offset = index - (len as i64) / 2;
-            self.counts = vec![0; len];
+            self.counts = Self::zeroed(len);
             return;
         }
         if self.total == 0 {
@@ -108,9 +109,10 @@ impl CollapsingLowestDenseStore {
         } else {
             lo - extra
         };
-        let mut new_counts = vec![0u64; target_len as usize];
+        let mut new_counts = Self::zeroed(target_len as usize);
         for i in self.min_idx..=self.max_idx {
-            new_counts[(i - new_offset) as usize] = self.counts[self.pos(i)];
+            let src = self.pos(i);
+            new_counts[(i - new_offset) as usize] = std::mem::take(&mut self.counts[src]);
         }
         self.counts = new_counts;
         self.offset = new_offset;
@@ -139,7 +141,7 @@ impl CollapsingLowestDenseStore {
                 .max(span)
                 .max(CHUNK.min(self.max_bins));
             if (self.counts.len() as i64) < target {
-                self.counts = vec![0; target as usize];
+                self.counts = Self::zeroed(target as usize);
             }
             self.offset = wlo;
             return;
@@ -152,9 +154,10 @@ impl CollapsingLowestDenseStore {
             .max(span);
         // Slack goes above: the window only slides upward over time.
         let new_offset = wlo;
-        let mut new_counts = vec![0u64; target_len as usize];
+        let mut new_counts = Self::zeroed(target_len as usize);
         for i in self.min_idx..=self.max_idx {
-            new_counts[(i - new_offset) as usize] = self.counts[self.pos(i)];
+            let src = self.pos(i);
+            new_counts[(i - new_offset) as usize] = std::mem::take(&mut self.counts[src]);
         }
         self.counts = new_counts;
         self.offset = new_offset;
@@ -171,7 +174,7 @@ impl CollapsingLowestDenseStore {
         let fold_end = new_min.min(self.max_idx + 1);
         for i in self.min_idx..fold_end {
             let pos = self.pos(i);
-            folded += std::mem::take(&mut self.counts[pos]);
+            folded += std::mem::take(&mut self.counts[pos]).get();
         }
         debug_assert!(folded > 0, "min bucket was non-empty by invariant");
         self.collapsed = true;
@@ -181,16 +184,18 @@ impl CollapsingLowestDenseStore {
             self.min_idx = new_min;
             self.max_idx = new_min;
             if !self.in_range(new_min) {
-                debug_assert!(self.counts.iter().all(|&c| c == 0));
+                debug_assert!(self.counts.iter().all(|c| c.get() == 0));
                 self.offset = new_min - (self.counts.len() as i64) / 2;
             }
         } else {
             self.min_idx = new_min;
         }
         let pos = self.pos(new_min);
-        self.counts[pos] += folded;
+        self.counts[pos].add_assign(folded);
     }
+}
 
+impl CollapsingLowestDenseStore {
     /// Shared bulk-insertion core: add `count(i)` occurrences for every
     /// index in the batch, collapsing/clamping against the **final** span
     /// exactly once.

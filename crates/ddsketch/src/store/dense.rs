@@ -1,15 +1,16 @@
-//! Unbounded contiguous store.
+//! Unbounded contiguous store, generic over the counter [`Cell`] type.
 
+use super::cell::Cell;
 use super::{BinIter, Store, StoreKind};
 
 /// Growth granularity: reallocations are rounded to multiples of this many
 /// buckets, and growth at least doubles the array, so a monotone stream of
 /// `n` distinct indices costs O(n) amortized bucket copies.
-const CHUNK: i64 = 128;
+pub(crate) const CHUNK: i64 = 128;
 
 /// Round `v` (positive) up to the next multiple of `CHUNK`.
 #[inline]
-fn round_up_chunk(v: i64) -> i64 {
+pub(crate) fn round_up_chunk(v: i64) -> i64 {
     (v + CHUNK - 1) / CHUNK * CHUNK
 }
 
@@ -21,9 +22,15 @@ fn round_up_chunk(v: i64) -> i64 {
 /// buckets and keep all the buckets between the minimum and maximum"
 /// option. Grows without bound; pair with
 /// [`super::CollapsingLowestDenseStore`] when a size cap is needed.
+///
+/// The counter type is pluggable: `DenseStore` (= `DenseStore<u64>`) is
+/// the plain sequential store and the only instantiation implementing
+/// [`Store`]; `DenseStore<AtomicU64>` is the shared counter table the
+/// lock-free [`super::AtomicDenseStore`] chains together. Geometry (growth,
+/// offsets, live-window tracking) is shared; only the cell type changes.
 #[derive(Debug, Clone, Default)]
-pub struct DenseStore {
-    counts: Vec<u64>,
+pub struct DenseStore<C: Cell = u64> {
+    counts: Vec<C>,
     /// Bucket index of `counts[0]`. i64 so index arithmetic near the i32
     /// extremes cannot overflow.
     offset: i64,
@@ -38,6 +45,17 @@ impl DenseStore {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+impl<C: Cell> DenseStore<C> {
+    /// An empty store pre-grown to cover at least the inclusive index span
+    /// `[lo, hi]` (rounded up to the growth chunk). Used by the atomic
+    /// ingest plane, which sizes its counter tables up front.
+    pub(crate) fn with_span(lo: i64, hi: i64) -> Self {
+        let mut s = Self::default();
+        s.grow_range(lo, hi);
+        s
+    }
 
     #[inline]
     fn pos(&self, index: i64) -> usize {
@@ -48,6 +66,42 @@ impl DenseStore {
     #[inline]
     fn in_range(&self, index: i64) -> bool {
         index >= self.offset && index < self.offset + self.counts.len() as i64
+    }
+
+    /// Lowest index covered by the allocation (not the live window).
+    #[inline]
+    pub(crate) fn span_lo(&self) -> i64 {
+        self.offset
+    }
+
+    /// One past the highest index covered by the allocation.
+    #[inline]
+    pub(crate) fn span_hi(&self) -> i64 {
+        self.offset + self.counts.len() as i64
+    }
+
+    /// Shared access to the cell for `index`, if the allocation covers it.
+    /// This is the lock-free write plane's whole fast path: bounds check,
+    /// then `fetch_add` on the returned cell.
+    #[inline]
+    pub(crate) fn cell(&self, index: i64) -> Option<&C> {
+        if self.in_range(index) {
+            Some(&self.counts[self.pos(index)])
+        } else {
+            None
+        }
+    }
+
+    /// Every allocated cell, in index order starting at
+    /// [`DenseStore::span_lo`].
+    #[inline]
+    pub(crate) fn cells(&self) -> &[C] {
+        &self.counts
+    }
+
+    /// A zeroed cell buffer (generic stand-in for `vec![0; len]`).
+    fn zeroed(len: usize) -> Vec<C> {
+        std::iter::repeat_with(C::default).take(len).collect()
     }
 
     /// Reallocate so the array covers `index` as well as the current live
@@ -66,7 +120,7 @@ impl DenseStore {
             let len = round_up_chunk(span.max(CHUNK));
             // Center the requested span in the fresh buffer.
             self.offset = lo - (len - span) / 2;
-            self.counts = vec![0; len as usize];
+            self.counts = Self::zeroed(len as usize);
             return;
         }
         let old_lo = self.offset;
@@ -88,9 +142,14 @@ impl DenseStore {
             0
         };
         let final_lo = new_lo - below;
-        let mut new_counts = vec![0u64; target_len as usize];
+        let mut new_counts = Self::zeroed(target_len as usize);
         let shift = (old_lo - final_lo) as usize;
-        new_counts[shift..shift + self.counts.len()].copy_from_slice(&self.counts);
+        for (dst, src) in new_counts[shift..shift + self.counts.len()]
+            .iter_mut()
+            .zip(self.counts.iter_mut())
+        {
+            *dst = std::mem::take(src);
+        }
         self.counts = new_counts;
         self.offset = final_lo;
     }
@@ -98,7 +157,7 @@ impl DenseStore {
     /// The live (possibly zero-padded) slice covering `[min_idx, max_idx]`;
     /// valid only when `total > 0`.
     #[inline]
-    fn live(&self) -> &[u64] {
+    fn live(&self) -> &[C] {
         let lo = self.pos(self.min_idx);
         let hi = self.pos(self.max_idx);
         &self.counts[lo..=hi]
@@ -109,7 +168,7 @@ impl DenseStore {
         let first = self
             .live()
             .iter()
-            .position(|&c| c > 0)
+            .position(|c| c.get() > 0)
             .expect("total > 0 implies a non-empty bucket");
         self.min_idx += first as i64;
     }
@@ -118,7 +177,7 @@ impl DenseStore {
         let last = self
             .live()
             .iter()
-            .rposition(|&c| c > 0)
+            .rposition(|c| c.get() > 0)
             .expect("total > 0 implies a non-empty bucket");
         self.max_idx = self.min_idx + last as i64;
     }

@@ -20,10 +20,14 @@
 //! number of **non-empty** buckets, which is the letter of Algorithm 3.
 //! Both satisfy Proposition 4's accuracy condition.
 
+mod atomic;
+mod cell;
 mod collapsing;
 mod dense;
 mod sparse;
 
+pub use atomic::{AtomicDenseStore, AtomicSnapshotScratch};
+pub use cell::{Cell, SharedCell};
 pub use collapsing::{CollapsingHighestDenseStore, CollapsingLowestDenseStore};
 pub use dense::DenseStore;
 pub use sparse::{CollapsingSparseStore, SparseStore};

@@ -2,23 +2,60 @@
 //!
 //! High-throughput endpoints ("over 10M points per second", paper
 //! Section 5) are served by many worker threads. Because DDSketch is fully
-//! mergeable, the cheapest safe design is *sharding*: each shard is an
-//! independent sketch behind its own lock, writers pick a shard by thread
-//! identity, and readers merge all shards on demand — the merged view is
-//! exactly the sketch of all inserted values, by full mergeability.
+//! mergeable, every design below reduces to the same correctness story:
+//! the merged view of whatever the writers built is exactly the sketch of
+//! all inserted values.
 //!
-//! Reads ride the k-way merge plane: [`ConcurrentSketch::snapshot`] holds
-//! each shard lock only long enough to copy that shard's bins and runs
-//! the one k-way merge outside every lock, while
-//! [`ConcurrentSketch::quantiles`] never materializes a merged sketch at
-//! all — a direct rank walk over the shards (zero-copy for the dense
-//! families, over short-hold bin copies for the sparse ones).
+//! # Concurrency model
+//!
+//! [`ConcurrentSketch`] runs one of two ingest planes, chosen by the store
+//! family of its [`SketchConfig`]:
+//!
+//! * **Atomic plane** (dense store families — the default
+//!   `dense_collapsing`, `unbounded`, and `fast` configs). Each shard is an
+//!   [`AnyAtomicDDSketch`]: the hot `add` is a single relaxed `fetch_add`
+//!   into an atomic bucket cell plus relaxed striped summary updates — no
+//!   lock, no CAS loop, writers never wait on each other or on readers.
+//!   Growth and collapse happen on a rare seqlock-guarded slow path that
+//!   writers other than the grower never observe.
+//! * **Locked plane** (sparse store families, whose B-tree rebalancing
+//!   cannot be made lock-free with these techniques; also available for
+//!   any config via [`ConcurrentSketch::with_config_locked`] as a
+//!   benchmark baseline). Each shard is an independent sketch behind its
+//!   own lock; writers pick a shard by thread identity so shards stay
+//!   uncontended while writer threads ≤ shards.
+//!
+//! Reads never block writers on the atomic plane: [`ConcurrentSketch::count`]
+//! sums the striped counters lock-free, and snapshots/quantiles
+//! materialize each shard through an epoch-validated counter scan into
+//! recycled per-reader buffers (readers serialize among themselves on one
+//! small scratch lock; writers are unaffected). On the locked plane, reads
+//! hold each shard lock only long enough to copy its bins, and the k-way
+//! merge walk runs outside every lock.
+//!
+//! Writers that want to amortize even the atomic traffic use
+//! [`LocalIngest`]: a thread-local front-end with a private sequential
+//! sketch that publishes its deltas to the shared sketch at flush
+//! boundaries (and on drop), turning N shared-counter updates into one
+//! bin-wise publish per flush.
+//!
+//! **Memory-ordering contract** (inherited from
+//! [`ddsketch::atomic`]): counter updates are `Relaxed`; store growth and
+//! fold epochs use `Release`/`Acquire`. A racing reader sees every counter
+//! at some instant during its read — never torn, lost, or double-counted.
+//! After writers quiesce with a happens-before edge to the reader (thread
+//! join, channel hand-off), reads are *exact*: bit-identical bins, count,
+//! min, and max to a single-threaded sketch over the union of all values
+//! (the `f64` sum matches up to addition reassociation across threads).
 //!
 //! The sketch configuration is runtime data ([`SketchConfig`]): the same
 //! concurrent facade serves every preset, from the paper's collapsing
 //! dense default to the sparse memory-bound variants.
 
-use ddsketch::{AnyDDSketch, SketchConfig, SketchError, StoreKind};
+use ddsketch::{
+    AnyAtomicDDSketch, AnyDDSketch, AtomicSketchScratch, ConcurrentIngest, SketchConfig,
+    SketchError, StoreKind,
+};
 use parking_lot::Mutex;
 
 /// The calling thread's default shard: a hash of its `ThreadId`, computed
@@ -38,28 +75,82 @@ pub(crate) fn thread_shard() -> usize {
     SHARD.with(|shard| *shard)
 }
 
+/// The two ingest planes; see the module docs.
+#[derive(Debug)]
+enum Plane {
+    /// One sketch per shard behind its own lock.
+    Locked(Vec<Mutex<AnyDDSketch>>),
+    /// One lock-free atomic sketch per shard.
+    Atomic(Vec<AnyAtomicDDSketch>),
+}
+
+/// Recycled per-reader buffers for materializing atomic shards: one
+/// snapshot copy per shard plus the raw-counter scratch. Kept behind one
+/// small lock so steady-state reads stop allocating; writers never touch
+/// it.
+#[derive(Debug, Default)]
+struct ReadScratch {
+    copies: Vec<AnyDDSketch>,
+    snap: AtomicSketchScratch,
+}
+
 /// A sharded, thread-safe DDSketch over any runtime configuration.
 #[derive(Debug)]
 pub struct ConcurrentSketch {
     config: SketchConfig,
-    shards: Vec<Mutex<AnyDDSketch>>,
+    plane: Plane,
+    read_scratch: Mutex<ReadScratch>,
 }
 
 impl ConcurrentSketch {
     /// Create a sketch with `shards` independent shards (≥ 1) of the given
     /// configuration; shard count should roughly match writer-thread count.
+    ///
+    /// Dense store families get the lock-free atomic plane; sparse
+    /// families get locked shards (see the module docs).
     pub fn with_config(config: SketchConfig, shards: usize) -> Result<Self, SketchError> {
+        if AnyAtomicDDSketch::supports(&config) {
+            Self::build(config, shards, true)
+        } else {
+            Self::build(config, shards, false)
+        }
+    }
+
+    /// Like [`Self::with_config`], but always uses locked shards, even for
+    /// the dense families the atomic plane would normally serve. This is
+    /// the baseline the ingest benchmarks compare the lock-free plane
+    /// against; production code has no reason to prefer it.
+    pub fn with_config_locked(config: SketchConfig, shards: usize) -> Result<Self, SketchError> {
+        Self::build(config, shards, false)
+    }
+
+    fn build(config: SketchConfig, shards: usize, atomic: bool) -> Result<Self, SketchError> {
         if shards == 0 {
             return Err(SketchError::InvalidConfig("shards must be positive".into()));
         }
-        let shards = (0..shards)
-            .map(|_| config.build().map(Mutex::new))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { config, shards })
+        let plane = if atomic {
+            Plane::Atomic(
+                (0..shards)
+                    .map(|_| AnyAtomicDDSketch::new(config))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        } else {
+            Plane::Locked(
+                (0..shards)
+                    .map(|_| config.build().map(Mutex::new))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        };
+        Ok(Self {
+            config,
+            plane,
+            read_scratch: Mutex::new(ReadScratch::default()),
+        })
     }
 
     /// Convenience constructor for the paper's default configuration
-    /// (collapsing dense stores, exact logarithmic mapping).
+    /// (collapsing dense stores, exact logarithmic mapping) — served by
+    /// the lock-free atomic plane.
     pub fn new(alpha: f64, max_bins: usize, shards: usize) -> Result<Self, SketchError> {
         Self::with_config(SketchConfig::dense_collapsing(alpha, max_bins), shards)
     }
@@ -71,13 +162,33 @@ impl ConcurrentSketch {
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        match &self.plane {
+            Plane::Locked(shards) => shards.len(),
+            Plane::Atomic(shards) => shards.len(),
+        }
+    }
+
+    /// Whether ingestion runs on the lock-free atomic plane (dense store
+    /// families) rather than locked shards.
+    pub fn is_lock_free(&self) -> bool {
+        matches!(self.plane, Plane::Atomic(_))
     }
 
     /// Insert with an explicit shard hint (e.g. a worker id); any value
     /// works — it is reduced modulo the shard count.
     pub fn add_hinted(&self, hint: usize, value: f64) -> Result<(), SketchError> {
-        self.shards[hint % self.shards.len()].lock().add(value)
+        match &self.plane {
+            Plane::Locked(shards) => shards[hint % shards.len()].lock().add(value),
+            Plane::Atomic(shards) => shards[hint % shards.len()].add(value),
+        }
+    }
+
+    /// Insert `count` copies of `value` with an explicit shard hint.
+    pub fn add_n_hinted(&self, hint: usize, value: f64, count: u64) -> Result<(), SketchError> {
+        match &self.plane {
+            Plane::Locked(shards) => shards[hint % shards.len()].lock().add_n(value, count),
+            Plane::Atomic(shards) => shards[hint % shards.len()].add_n(value, count),
+        }
     }
 
     /// Insert using the calling thread's default shard (a hash of its
@@ -87,16 +198,24 @@ impl ConcurrentSketch {
         self.add_hinted(thread_shard(), value)
     }
 
-    /// Bulk-insert a batch into one shard: a single lock acquisition and a
-    /// single batched sketch ingestion for the whole slice — the fast path
-    /// for writers that buffer locally and flush periodically.
+    /// Insert `count` copies of `value` using the calling thread's
+    /// default shard.
+    pub fn add_n(&self, value: f64, count: u64) -> Result<(), SketchError> {
+        self.add_n_hinted(thread_shard(), value, count)
+    }
+
+    /// Bulk-insert a batch into one shard. On the locked plane this is a
+    /// single lock acquisition and one batched sketch ingestion; on the
+    /// atomic plane the batch is validated up front and the striped
+    /// summaries are updated once for the whole slice.
     ///
     /// All-or-nothing like [`ddsketch::DDSketch::add_slice`]: an
     /// unsupported value fails the whole batch without ingesting anything.
     pub fn add_slice_hinted(&self, hint: usize, values: &[f64]) -> Result<(), SketchError> {
-        self.shards[hint % self.shards.len()]
-            .lock()
-            .add_slice(values)
+        match &self.plane {
+            Plane::Locked(shards) => shards[hint % shards.len()].lock().add_slice(values),
+            Plane::Atomic(shards) => shards[hint % shards.len()].add_slice(values),
+        }
     }
 
     /// Bulk-insert a batch using the calling thread's default shard.
@@ -104,35 +223,81 @@ impl ConcurrentSketch {
         self.add_slice_hinted(thread_shard(), values)
     }
 
-    /// Total count across shards.
+    /// Total count across shards. Lock-free on the atomic plane (a sum of
+    /// relaxed striped counters); takes each shard lock briefly on the
+    /// locked plane.
     pub fn count(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().count()).sum()
+        match &self.plane {
+            Plane::Locked(shards) => shards.iter().map(|s| s.lock().count()).sum(),
+            Plane::Atomic(shards) => shards.iter().map(|s| s.count()).sum(),
+        }
     }
 
-    /// Copy every shard, holding each shard's lock only for the duration
-    /// of its (cheap, bin-copying) clone — writers are never blocked on
-    /// merge work.
-    fn shard_copies(&self) -> Vec<AnyDDSketch> {
-        self.shards
-            .iter()
-            .map(|shard| shard.lock().clone())
-            .collect()
+    /// A thread-local ingestion front-end: values accumulate in a private
+    /// sequential sketch and publish to this sketch at flush boundaries
+    /// (every [`LocalIngest::DEFAULT_FLUSH_EVERY`] values, configurable)
+    /// and on drop. See [`LocalIngest`].
+    pub fn local_ingest(&self) -> Result<LocalIngest<'_>, SketchError> {
+        Ok(LocalIngest {
+            parent: self,
+            local: self.config.build()?,
+            pending: 0,
+            flush_every: LocalIngest::DEFAULT_FLUSH_EVERY,
+        })
+    }
+
+    /// Copy every locked shard, holding each shard's lock only for the
+    /// duration of its (cheap, bin-copying) clone — writers are never
+    /// blocked on merge work.
+    fn locked_copies(shards: &[Mutex<AnyDDSketch>]) -> Vec<AnyDDSketch> {
+        shards.iter().map(|shard| shard.lock().clone()).collect()
+    }
+
+    /// Materialize every atomic shard into the recycled `scratch.copies`
+    /// (growing it on first use). Each shard's scan is epoch-validated
+    /// against concurrent folds; writers are never blocked.
+    fn fill_atomic_copies(
+        &self,
+        shards: &[AnyAtomicDDSketch],
+        scratch: &mut ReadScratch,
+    ) -> Result<(), SketchError> {
+        while scratch.copies.len() < shards.len() {
+            scratch.copies.push(self.config.build()?);
+        }
+        for (shard, copy) in shards.iter().zip(scratch.copies.iter_mut()) {
+            shard.snapshot_into(copy, &mut scratch.snap)?;
+        }
+        Ok(())
     }
 
     /// Merge all shards into a single snapshot sketch. By full
     /// mergeability this is exactly the sketch of every value inserted so
     /// far (modulo inserts racing with the snapshot).
     ///
-    /// Each shard lock is held only while that shard's bins are copied;
-    /// the k-way merge itself ([`AnyDDSketch::merge_many`], one capacity
+    /// On the locked plane each shard lock is held only while that shard's
+    /// bins are copied; on the atomic plane no writer is disturbed at all.
+    /// The k-way merge itself ([`AnyDDSketch::merge_many`], one capacity
     /// decision for all shards) runs outside every lock.
     pub fn snapshot(&self) -> Result<AnyDDSketch, SketchError> {
-        let mut copies = self.shard_copies().into_iter();
-        let mut merged = copies.next().expect("shards >= 1");
-        let rest: Vec<AnyDDSketch> = copies.collect();
-        let refs: Vec<&AnyDDSketch> = rest.iter().collect();
-        merged.merge_many(&refs)?;
-        Ok(merged)
+        match &self.plane {
+            Plane::Locked(shards) => {
+                let mut copies = Self::locked_copies(shards).into_iter();
+                let mut merged = copies.next().expect("shards >= 1");
+                let rest: Vec<AnyDDSketch> = copies.collect();
+                let refs: Vec<&AnyDDSketch> = rest.iter().collect();
+                merged.merge_many(&refs)?;
+                Ok(merged)
+            }
+            Plane::Atomic(shards) => {
+                let mut guard = self.read_scratch.lock();
+                let scratch = &mut *guard;
+                self.fill_atomic_copies(shards, scratch)?;
+                let mut merged = scratch.copies[0].clone();
+                let refs: Vec<&AnyDDSketch> = scratch.copies[1..shards.len()].iter().collect();
+                merged.merge_many(&refs)?;
+                Ok(merged)
+            }
+        }
     }
 
     /// Convenience: a single quantile via [`Self::quantiles`].
@@ -148,30 +313,154 @@ impl ConcurrentSketch {
     /// [`Self::snapshot`]`.quantiles(qs)` would return against the same
     /// shard states.
     ///
-    /// Locking is tuned per store family. The contiguous (dense) families
-    /// take the fully zero-copy path: all shard locks are held (acquired
-    /// in shard order — this is the only multi-lock path, so it cannot
-    /// deadlock) for just the blocked, vectorized column walk, whose cost
-    /// is bounded by the stores' index span — comparable to the one
-    /// `merge_from` the old snapshot ran under each shard's lock, and far
-    /// less total work. The sparse families' per-bin walk instead scales
-    /// with total non-empty bins, so there each shard is copied under a
-    /// short per-shard hold (a bin copy, like [`Self::snapshot`]) and the
-    /// walk runs over the copies outside all locks — writers never wait
-    /// on read work.
+    /// On the atomic plane the walk runs over epoch-validated per-shard
+    /// snapshots in recycled buffers — writers are never blocked, and no
+    /// shard lock exists to take. On the locked plane, locking is tuned
+    /// per store family: the contiguous (dense) families take the fully
+    /// zero-copy path — all shard locks held (acquired in shard order, the
+    /// only multi-lock path, so it cannot deadlock) for just the blocked,
+    /// vectorized column walk — while the sparse families' per-bin walk
+    /// scales with total non-empty bins, so each shard is copied under a
+    /// short per-shard hold and the walk runs over the copies outside all
+    /// locks.
     pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
-        if matches!(
-            self.config.store,
-            StoreKind::Unbounded | StoreKind::CollapsingDense
-        ) {
-            let guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
-            let refs: Vec<&AnyDDSketch> = guards.iter().map(|guard| &**guard).collect();
-            AnyDDSketch::merged_quantiles(&refs, qs)
-        } else {
-            let copies = self.shard_copies();
-            let refs: Vec<&AnyDDSketch> = copies.iter().collect();
-            AnyDDSketch::merged_quantiles(&refs, qs)
+        match &self.plane {
+            Plane::Atomic(shards) => {
+                let mut guard = self.read_scratch.lock();
+                let scratch = &mut *guard;
+                self.fill_atomic_copies(shards, scratch)?;
+                let refs: Vec<&AnyDDSketch> = scratch.copies[..shards.len()].iter().collect();
+                AnyDDSketch::merged_quantiles(&refs, qs)
+            }
+            Plane::Locked(shards) => {
+                if matches!(
+                    self.config.store,
+                    StoreKind::Unbounded | StoreKind::CollapsingDense
+                ) {
+                    let guards: Vec<_> = shards.iter().map(Mutex::lock).collect();
+                    let refs: Vec<&AnyDDSketch> = guards.iter().map(|guard| &**guard).collect();
+                    AnyDDSketch::merged_quantiles(&refs, qs)
+                } else {
+                    let copies = Self::locked_copies(shards);
+                    let refs: Vec<&AnyDDSketch> = copies.iter().collect();
+                    AnyDDSketch::merged_quantiles(&refs, qs)
+                }
+            }
         }
+    }
+}
+
+impl ConcurrentIngest for ConcurrentSketch {
+    fn add(&self, value: f64) -> Result<(), SketchError> {
+        ConcurrentSketch::add(self, value)
+    }
+
+    fn add_n(&self, value: f64, count: u64) -> Result<(), SketchError> {
+        ConcurrentSketch::add_n(self, value, count)
+    }
+
+    fn add_slice(&self, values: &[f64]) -> Result<(), SketchError> {
+        ConcurrentSketch::add_slice(self, values)
+    }
+
+    fn count(&self) -> u64 {
+        ConcurrentSketch::count(self)
+    }
+}
+
+/// A thread-local ingestion front-end over a [`ConcurrentSketch`].
+///
+/// Even a relaxed `fetch_add` costs a shared cache line when many cores
+/// hammer the same hot buckets. `LocalIngest` removes that traffic from
+/// the per-value path entirely: each value lands in a **private**
+/// sequential sketch (plain `u64` counters, no atomics), and only at a
+/// flush boundary — every [`LocalIngest::DEFAULT_FLUSH_EVERY`] values by
+/// default, on an explicit [`LocalIngest::flush`], or on drop — are the
+/// accumulated deltas published to the shared sketch in one bin-wise pass.
+/// Because DDSketch is fully mergeable, the published result is exactly
+/// the sketch of all values, regardless of flush timing.
+///
+/// The trade-off is staleness: up to `flush_every` values per thread are
+/// invisible to readers until the next flush. Dropping the front-end
+/// flushes the remainder (a publish failure on drop is ignored — it can
+/// only happen for config mismatches, which [`ConcurrentSketch::local_ingest`]
+/// rules out by construction).
+#[derive(Debug)]
+pub struct LocalIngest<'a> {
+    parent: &'a ConcurrentSketch,
+    local: AnyDDSketch,
+    pending: u64,
+    flush_every: u64,
+}
+
+impl LocalIngest<'_> {
+    /// Default flush boundary: values per publish.
+    pub const DEFAULT_FLUSH_EVERY: u64 = 8192;
+
+    /// Set the flush boundary (≥ 1): publish after this many values.
+    pub fn flush_every(mut self, every: u64) -> Self {
+        self.flush_every = every.max(1);
+        self
+    }
+
+    /// Values accumulated since the last publish.
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    /// Insert one value into the private sketch.
+    pub fn add(&mut self, value: f64) -> Result<(), SketchError> {
+        self.add_n(value, 1)
+    }
+
+    /// Insert `count` copies of `value` into the private sketch.
+    pub fn add_n(&mut self, value: f64, count: u64) -> Result<(), SketchError> {
+        self.local.add_n(value, count)?;
+        self.pending += count;
+        self.maybe_flush()
+    }
+
+    /// Insert a batch into the private sketch (all-or-nothing, like
+    /// [`ddsketch::DDSketch::add_slice`]).
+    pub fn add_slice(&mut self, values: &[f64]) -> Result<(), SketchError> {
+        self.local.add_slice(values)?;
+        self.pending += values.len() as u64;
+        self.maybe_flush()
+    }
+
+    fn maybe_flush(&mut self) -> Result<(), SketchError> {
+        if self.pending >= self.flush_every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Publish the private sketch's contents to the shared sketch and
+    /// clear the private sketch. A no-op when nothing is pending.
+    pub fn flush(&mut self) -> Result<(), SketchError> {
+        if self.local.is_empty() {
+            self.pending = 0;
+            return Ok(());
+        }
+        match &self.parent.plane {
+            Plane::Atomic(shards) => {
+                shards[thread_shard() % shards.len()].absorb(&self.local)?;
+            }
+            Plane::Locked(shards) => {
+                shards[thread_shard() % shards.len()]
+                    .lock()
+                    .merge_from(&self.local)?;
+            }
+        }
+        self.local.clear();
+        self.pending = 0;
+        Ok(())
+    }
+}
+
+impl Drop for LocalIngest<'_> {
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 
@@ -188,11 +477,28 @@ mod tests {
         assert!(ConcurrentSketch::new(0.01, 2048, 4).is_ok());
         assert!(ConcurrentSketch::with_config(SketchConfig::sparse(0.01), 0).is_err());
         assert!(ConcurrentSketch::with_config(SketchConfig::sparse(2.0), 4).is_err());
+        assert!(ConcurrentSketch::with_config_locked(SketchConfig::unbounded(0.01), 0).is_err());
+    }
+
+    #[test]
+    fn plane_selection_follows_store_family() {
+        for config in SketchConfig::all(0.01, 1024) {
+            let cs = ConcurrentSketch::with_config(config, 2).unwrap();
+            let dense = matches!(
+                config.store,
+                StoreKind::Unbounded | StoreKind::CollapsingDense
+            );
+            assert_eq!(cs.is_lock_free(), dense, "{}", config.name());
+            // The locked baseline is available for every config.
+            let locked = ConcurrentSketch::with_config_locked(config, 2).unwrap();
+            assert!(!locked.is_lock_free());
+        }
     }
 
     #[test]
     fn sequential_inserts_match_plain_sketch() {
         let cs = ConcurrentSketch::new(0.01, 2048, 4).unwrap();
+        assert!(cs.is_lock_free());
         let mut plain = presets::logarithmic_collapsing(0.01, 2048).unwrap();
         for i in 1..=10_000 {
             let v = f64::from(i) * 0.1;
@@ -232,6 +538,35 @@ mod tests {
                     config.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn locked_and_atomic_planes_agree_exactly() {
+        for config in [
+            SketchConfig::unbounded(0.01),
+            SketchConfig::dense_collapsing(0.01, 512),
+            SketchConfig::fast(0.01, 512),
+        ] {
+            let atomic = ConcurrentSketch::with_config(config, 4).unwrap();
+            let locked = ConcurrentSketch::with_config_locked(config, 4).unwrap();
+            assert!(atomic.is_lock_free() && !locked.is_lock_free());
+            for i in 1..=8_000usize {
+                let v = (i as f64).sqrt() * if i % 4 == 0 { -0.9 } else { 0.7 };
+                atomic.add_hinted(i, v).unwrap();
+                locked.add_hinted(i, v).unwrap();
+            }
+            assert_eq!(atomic.count(), locked.count());
+            let (a, l) = (atomic.snapshot().unwrap(), locked.snapshot().unwrap());
+            assert_eq!(a.positive_bins(), l.positive_bins(), "{}", config.name());
+            assert_eq!(a.negative_bins(), l.negative_bins());
+            assert_eq!(a.min(), l.min());
+            assert_eq!(a.max(), l.max());
+            let qs = [0.0, 0.1, 0.5, 0.9, 1.0];
+            assert_eq!(
+                atomic.quantiles(&qs).unwrap(),
+                locked.quantiles(&qs).unwrap()
+            );
         }
     }
 
@@ -392,5 +727,76 @@ mod tests {
         assert!(snap.is_empty());
         assert!(cs.quantile(0.5).is_err());
         assert!(cs.quantiles(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn local_ingest_publishes_at_flush_boundaries_and_on_drop() {
+        let cs = ConcurrentSketch::new(0.01, 2048, 2).unwrap();
+        {
+            let mut local = cs.local_ingest().unwrap().flush_every(100);
+            for i in 1..=250 {
+                local.add(f64::from(i)).unwrap();
+            }
+            // Two automatic flushes have happened; 50 values pending.
+            assert_eq!(local.pending(), 50);
+            assert_eq!(cs.count(), 200);
+            local.add_n(3.0, 10).unwrap();
+            local.add_slice(&[1.0, 2.0]).unwrap();
+            assert_eq!(local.pending(), 62);
+        } // Drop publishes the remainder.
+        assert_eq!(cs.count(), 262);
+
+        // The published union is exactly the single-threaded sketch.
+        let mut plain = SketchConfig::dense_collapsing(0.01, 2048).build().unwrap();
+        for i in 1..=250 {
+            plain.add(f64::from(i)).unwrap();
+        }
+        plain.add_n(3.0, 10).unwrap();
+        plain.add_slice(&[1.0, 2.0]).unwrap();
+        let snap = cs.snapshot().unwrap();
+        assert_eq!(snap.positive_bins(), plain.positive_bins());
+        assert_eq!(snap.min(), plain.min());
+        assert_eq!(snap.max(), plain.max());
+    }
+
+    #[test]
+    fn local_ingest_multithreaded_union_is_exact() {
+        // One LocalIngest per writer over both planes; the quiesced union
+        // must be bucket-identical to a single-threaded sketch.
+        type Make = fn(SketchConfig, usize) -> Result<ConcurrentSketch, SketchError>;
+        for make in [
+            ConcurrentSketch::with_config as Make,
+            ConcurrentSketch::with_config_locked as Make,
+        ] {
+            let config = SketchConfig::dense_collapsing(0.01, 1024);
+            let cs = make(config, 4).unwrap();
+            let threads = 4u32;
+            let per_thread = 20_000u32;
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let cs = &cs;
+                    scope.spawn(move || {
+                        let mut local = cs.local_ingest().unwrap().flush_every(1000);
+                        for i in 0..per_thread {
+                            let v = 0.1 + f64::from(t * per_thread + i) * 1e-3;
+                            local.add(v).unwrap();
+                        }
+                    });
+                }
+            });
+            let mut plain = config.build().unwrap();
+            for t in 0..threads {
+                for i in 0..per_thread {
+                    plain
+                        .add(0.1 + f64::from(t * per_thread + i) * 1e-3)
+                        .unwrap();
+                }
+            }
+            let snap = cs.snapshot().unwrap();
+            assert_eq!(snap.count(), plain.count());
+            assert_eq!(snap.positive_bins(), plain.positive_bins());
+            assert_eq!(snap.min(), plain.min());
+            assert_eq!(snap.max(), plain.max());
+        }
     }
 }

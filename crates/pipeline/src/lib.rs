@@ -24,6 +24,43 @@
 //! * [`sim`] — the end-to-end threaded simulation (workers → channel →
 //!   aggregator) used by the Figure 2 binary and integration tests.
 //!
+//! ## Concurrency model
+//!
+//! Multi-threaded ingestion runs on one of three planes, fastest first:
+//!
+//! 1. **Lock-free atomic** ([`ConcurrentSketch`] over a dense-store
+//!    config, the default): every shard is a [`ddsketch::AnyAtomicDDSketch`]
+//!    whose `add` is a relaxed `fetch_add` into an atomic bucket cell —
+//!    no lock, no CAS loop; growth/collapse on a rare guarded slow path.
+//!    Reads snapshot each shard through an epoch-validated counter scan
+//!    into recycled buffers; writers are never blocked by readers.
+//! 2. **Thread-local publish** ([`LocalIngest`]): values accumulate in a
+//!    private sequential sketch (plain `u64` counters) and publish
+//!    bin-wise to the shared sketch at flush boundaries and on drop —
+//!    removing even atomic cache-line traffic from the per-value path, at
+//!    the cost of bounded read staleness.
+//! 3. **Locked shards** (sparse-store configs, or any config via
+//!    [`ConcurrentSketch::with_config_locked`]): one sketch per shard
+//!    behind its own lock, writers pick shards by thread identity.
+//!    [`ConcurrentSlidingWindow`] uses this plane with short-hold reads:
+//!    each shard lock is held only for that shard's own head scan or slot
+//!    copy, never all shards at once.
+//!
+//! All three planes share one correctness story, inherited from full
+//! mergeability and the contract in [`ddsketch::atomic`]: once writers
+//! quiesce with a happens-before edge to the reader (thread join, channel
+//! hand-off), the merged view is **exactly** — bit-identical bins, count,
+//! min, max — the sketch a single thread would have built over the union
+//! of every writer's values, with the `f64` sum equal up to addition
+//! reassociation. Reads racing writers see each counter at some instant
+//! during the read, never torn, lost, or double-counted. Counter updates
+//! are `Relaxed`; store growth and fold epochs use `Release`/`Acquire`
+//! (see the `ddsketch` crate's "Concurrency model" section for the full
+//! ordering contract). `tests/concurrent_ingest.rs` stress-tests the
+//! exactness claim and `tests/zero_alloc_ingest.rs` holds the steady-state
+//! atomic hot path to zero allocations; multi-thread throughput is
+//! measured in `benches/ingest.rs` (`results/BENCH_ingest.json`).
+//!
 //! ## Agent → aggregator: the decode-free wire path
 //!
 //! An agent encodes its sketch (`sketch.encode()`, ~2 bytes per warm
@@ -73,7 +110,7 @@ pub mod window;
 pub mod window_sliding;
 
 pub use aggregator::Aggregator;
-pub use concurrent::ConcurrentSketch;
+pub use concurrent::{ConcurrentSketch, LocalIngest};
 pub use sim::{run_sequential, run_simulation, Payload, SimConfig, SimReport};
 pub use window::{MetricId, SlidingView, TimeSeriesStore};
 pub use window_sliding::{ConcurrentSlidingWindow, SlidingWindowSketch};

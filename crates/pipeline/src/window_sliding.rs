@@ -566,7 +566,16 @@ pub struct ConcurrentSlidingWindow {
     slot_secs: u64,
     num_slots: usize,
     /// Reusable read-path buffers, shared by all readers.
-    scratch: Mutex<MergedQuantileScratch>,
+    scratch: Mutex<WindowReadScratch>,
+}
+
+/// Recycled read-path buffers: the k-way merge scratch plus the
+/// short-hold slot copies the quantile walk runs over outside all shard
+/// locks.
+#[derive(Debug, Default)]
+struct WindowReadScratch {
+    merge: MergedQuantileScratch,
+    slot_copies: Vec<AnyDDSketch>,
 }
 
 impl ConcurrentSlidingWindow {
@@ -588,7 +597,7 @@ impl ConcurrentSlidingWindow {
             shards,
             slot_secs,
             num_slots,
-            scratch: Mutex::new(MergedQuantileScratch::default()),
+            scratch: Mutex::new(WindowReadScratch::default()),
         })
     }
 
@@ -632,38 +641,68 @@ impl ConcurrentSlidingWindow {
         self.record_slice_hinted(thread_shard(), ts_secs, values)
     }
 
+    /// The newest head across shards and the matching global-window
+    /// cutoff, from one brief per-shard lock hold each (never all shards
+    /// at once).
+    fn global_cutoff(&self) -> Option<u64> {
+        let head = self
+            .shards
+            .iter()
+            .filter_map(|shard| shard.lock().head())
+            .max()?;
+        Some(head.saturating_sub((self.num_slots as u64 - 1) * self.slot_secs))
+    }
+
     /// Total observation count across every shard's live window, judged
     /// against the newest head across shards.
+    ///
+    /// Each shard lock is held only for that shard's own O(slots) scan —
+    /// never all shards at once, so writers on other shards proceed
+    /// unblocked throughout the read. A write racing the read is counted
+    /// or not, like any snapshot.
     pub fn count(&self) -> u64 {
-        let guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
-        let Some(head) = guards.iter().filter_map(|g| g.head()).max() else {
+        let Some(cutoff) = self.global_cutoff() else {
             return 0;
         };
-        let cutoff = head.saturating_sub((self.num_slots as u64 - 1) * self.slot_secs);
-        guards
+        self.shards
             .iter()
-            .flat_map(|g| g.live_slots_from(cutoff))
-            .map(|s| s.count())
+            .map(|shard| {
+                shard
+                    .lock()
+                    .live_slots_from(cutoff)
+                    .map(|s| s.count())
+                    .sum::<u64>()
+            })
             .sum()
     }
 
     /// Estimate several quantiles over the global live window into a
-    /// caller-owned buffer: all shard locks are held (acquired in shard
-    /// order — the only multi-lock path, so it cannot deadlock) for one
-    /// borrowed-slot k-way walk; nothing is materialized.
+    /// caller-owned buffer.
+    ///
+    /// Each shard lock is held only long enough to copy that shard's live
+    /// slots' bins into recycled read buffers — never all shards at once —
+    /// and the one k-way walk runs over the copies outside every shard
+    /// lock, so writers are never blocked on read work. A shard that
+    /// advances between the head scan and its copy contributes its new
+    /// slots like any write racing a snapshot would.
     pub fn quantiles_into(&self, qs: &[f64], out: &mut Vec<f64>) -> Result<(), SketchError> {
-        let guards: Vec<_> = self.shards.iter().map(Mutex::lock).collect();
         let scratch = &mut *self.scratch.lock();
-        let Some(head) = guards.iter().filter_map(|g| g.head()).max() else {
-            return AnyDDSketch::merged_quantiles_into(std::iter::empty(), qs, scratch, out);
+        let Some(cutoff) = self.global_cutoff() else {
+            return AnyDDSketch::merged_quantiles_into(
+                std::iter::empty(),
+                qs,
+                &mut scratch.merge,
+                out,
+            );
         };
-        let cutoff = head.saturating_sub((self.num_slots as u64 - 1) * self.slot_secs);
-        AnyDDSketch::merged_quantiles_into(
-            guards.iter().flat_map(|g| g.live_slots_from(cutoff)),
-            qs,
-            scratch,
-            out,
-        )
+        scratch.slot_copies.clear();
+        for shard in &self.shards {
+            let guard = shard.lock();
+            scratch
+                .slot_copies
+                .extend(guard.live_slots_from(cutoff).cloned());
+        }
+        AnyDDSketch::merged_quantiles_into(scratch.slot_copies.iter(), qs, &mut scratch.merge, out)
     }
 
     /// Estimate several quantiles over the global live window.

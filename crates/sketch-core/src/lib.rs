@@ -20,7 +20,7 @@ pub mod traits;
 
 pub use error::SketchError;
 pub use rank::{lower_quantile_index, rank_of_query, target_rank};
-pub use traits::{MemoryFootprint, MergeError, MergeableSketch, QuantileSketch};
+pub use traits::{ConcurrentIngest, MemoryFootprint, MergeError, MergeableSketch, QuantileSketch};
 
 #[cfg(test)]
 mod tests {

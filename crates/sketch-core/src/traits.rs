@@ -81,6 +81,57 @@ pub trait MergeableSketch: Sized {
     fn merge_from(&mut self, other: &Self) -> Result<(), MergeError>;
 }
 
+/// Shared-reference ingestion for sketches that admit concurrent writers.
+///
+/// The methods mirror [`QuantileSketch`]'s ingestion trio but take `&self`:
+/// an implementor promises that any number of threads may call them on the
+/// same sketch simultaneously without locks on the caller's side, and that
+/// once writers quiesce (with a happens-before edge to the reader, e.g. a
+/// thread join) the sketch's contents equal what a single thread inserting
+/// the union of all values would have produced. Mid-race reads see each
+/// counter at some instant during the read — never torn, lost, or
+/// double-counted values.
+///
+/// Validation contracts are inherited unchanged: non-finite and
+/// out-of-range values are rejected with `UnsupportedValue` and leave the
+/// sketch untouched.
+pub trait ConcurrentIngest: Sync {
+    /// Insert a single observation through a shared reference.
+    fn add(&self, value: f64) -> Result<(), SketchError>;
+
+    /// Insert `count` copies of `value`. Default: one [`ConcurrentIngest::add`]
+    /// per copy; weighted implementations override with O(1).
+    fn add_n(&self, value: f64, count: u64) -> Result<(), SketchError> {
+        for _ in 0..count {
+            self.add(value)?;
+        }
+        Ok(())
+    }
+
+    /// Insert a batch of observations.
+    ///
+    /// Unlike the `&mut` default on [`QuantileSketch::add_slice`],
+    /// implementations should validate the whole batch before ingesting
+    /// any of it (all-or-nothing), because a concurrent caller cannot
+    /// roll back a half-applied batch.
+    fn add_slice(&self, values: &[f64]) -> Result<(), SketchError> {
+        for &v in values {
+            self.add(v)?;
+        }
+        Ok(())
+    }
+
+    /// Number of observations inserted. Exact at quiescence; while racing
+    /// writers, a value the sketch held at some instant during the call.
+    fn count(&self) -> u64;
+
+    /// Whether the sketch has seen no data (same racing-read caveat as
+    /// [`ConcurrentIngest::count`]).
+    fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+}
+
 /// In-memory footprint accounting used by Figure 6.
 ///
 /// The paper compares "sketch size in memory in kB" across the four Java

@@ -1,19 +1,55 @@
-//! Fleet demo: agents ship encoded sketches over frame streams, the
-//! aggregator answers fleet quantiles **without decoding a single
-//! payload into a sketch**, and the time-series store checkpoints itself
-//! for restarts — the paper's Figure 1 deployment, end to end.
+//! Fleet demo: worker threads ingest latencies lock-free on one host,
+//! agents ship encoded sketches over frame streams, the aggregator
+//! answers fleet quantiles **without decoding a single payload into a
+//! sketch**, and the time-series store checkpoints itself for restarts —
+//! the paper's Figure 1 deployment, end to end.
 //!
 //! Run with: `cargo run --release --example aggregator`
 
 use datasets::Dataset;
 use ddsketch::codec::{FrameReader, FrameWriter};
 use ddsketch::{SketchConfig, SketchView};
-use pipeline::{Aggregator, TimeSeriesStore};
+use pipeline::{Aggregator, ConcurrentSketch, TimeSeriesStore};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SketchConfig::dense_collapsing(0.01, 2048);
     let agents = 50;
     let flushes = 20; // one flush per agent per "second"
+
+    // ── Ingest plane ───────────────────────────────────────────────────
+    // Before anything ships anywhere, each host's worker threads note
+    // latencies into ONE shared sketch — lock-free: a dense-store config
+    // puts ConcurrentSketch on the atomic plane, where `add` is a single
+    // relaxed fetch_add through a shared reference.
+    {
+        let workers = 4usize;
+        let per_worker = 250_000usize;
+        let values = Dataset::Pareto.generate(workers * per_worker, 7);
+        let shared = ConcurrentSketch::with_config(config, workers)?;
+        assert!(shared.is_lock_free());
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for (t, mine) in values.chunks(per_worker).enumerate() {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for &v in mine {
+                        shared.add_hinted(t, v).unwrap();
+                    }
+                });
+            }
+        });
+        let secs = start.elapsed().as_secs_f64();
+        let total = workers * per_worker;
+        println!(
+            "{workers} workers ingested {total} values lock-free in {:.1} ms \
+             ({:.1} Mops/s aggregate); p99 ≈ {:.3}",
+            secs * 1e3,
+            total as f64 / secs / 1e6,
+            shared.quantile(0.99)?
+        );
+        // Writers joined => the shared view is exact, not approximate.
+        assert_eq!(shared.count() as usize, total);
+    }
 
     // ── Agents ─────────────────────────────────────────────────────────
     // Each agent batches its per-second sketches onto one frame stream

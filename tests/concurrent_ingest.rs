@@ -1,0 +1,265 @@
+//! Multithreaded stress tests for the lock-free ingest plane.
+//!
+//! The contract under test (see `ddsketch::atomic` and
+//! `pipeline::concurrent`): N racing writers plus concurrent readers, and
+//! once the writers quiesce (thread join) the shared sketch is **exactly**
+//! the sketch a single thread would have built from the union of every
+//! writer's values — bit-identical bins, count, min, max, and quantiles
+//! (the `f64` sum matches up to addition reassociation). Readers racing
+//! the writers must never panic, never observe counts above the true
+//! final total, and always get monotone quantile answers.
+
+use ddsketch::{AnyAtomicDDSketch, AnyDDSketch, SketchConfig};
+use pipeline::ConcurrentSketch;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The dense-family configs the atomic plane serves.
+fn dense_configs() -> [SketchConfig; 3] {
+    [
+        SketchConfig::unbounded(0.01),
+        SketchConfig::dense_collapsing(0.01, 1024),
+        SketchConfig::fast(0.01, 1024),
+    ]
+}
+
+/// Deterministic per-writer value stream: mixed signs and magnitudes so
+/// both stores, the zero bucket, and the extremes all see traffic.
+fn value(t: u32, i: u32) -> f64 {
+    let k = u64::from(t) * 1_000_003 + u64::from(i);
+    let magnitude = 1e-2 + (k % 10_000) as f64 * 0.173;
+    if k % 7 == 0 {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+/// Single-threaded replication of what `threads` writers insert.
+fn reference(config: SketchConfig, threads: u32, per_thread: u32) -> AnyDDSketch {
+    let mut plain = config.build().unwrap();
+    for t in 0..threads {
+        for i in 0..per_thread {
+            let v = value(t, i);
+            match i % 16 {
+                0 => plain.add_n(v, 3).unwrap(),
+                1..=3 => {
+                    let batch = [v, v * 0.5, -v];
+                    plain.add_slice(&batch).unwrap();
+                }
+                _ => plain.add(v).unwrap(),
+            }
+        }
+    }
+    plain
+}
+
+/// One ingestion operation; writers replay a deterministic op stream so
+/// every front-end sees identical traffic.
+enum Op<'a> {
+    Add(f64),
+    AddN(f64, u64),
+    Slice(&'a [f64]),
+}
+
+/// One writer's share, against any ingestion front-end.
+fn write_share(sink: &mut dyn FnMut(Op), t: u32, per_thread: u32) {
+    for i in 0..per_thread {
+        let v = value(t, i);
+        match i % 16 {
+            0 => sink(Op::AddN(v, 3)),
+            1..=3 => {
+                let batch = [v, v * 0.5, -v];
+                sink(Op::Slice(&batch));
+            }
+            _ => sink(Op::Add(v)),
+        }
+    }
+}
+
+/// The exactness assertions shared by every scenario.
+fn assert_union_exact(snap: &AnyDDSketch, plain: &AnyDDSketch, label: &str) {
+    assert_eq!(snap.count(), plain.count(), "{label}: count");
+    assert_eq!(
+        snap.positive_bins(),
+        plain.positive_bins(),
+        "{label}: positive bins"
+    );
+    assert_eq!(
+        snap.negative_bins(),
+        plain.negative_bins(),
+        "{label}: negative bins"
+    );
+    assert_eq!(snap.zero_count(), plain.zero_count(), "{label}: zeros");
+    assert_eq!(snap.min(), plain.min(), "{label}: min");
+    assert_eq!(snap.max(), plain.max(), "{label}: max");
+    let reference_sum = plain.sum();
+    assert!(
+        (snap.sum() - reference_sum).abs() <= reference_sum.abs() * 1e-9,
+        "{label}: sum drifted beyond reassociation tolerance"
+    );
+    for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+        assert_eq!(
+            snap.quantile(q).unwrap(),
+            plain.quantile(q).unwrap(),
+            "{label}: q = {q}"
+        );
+    }
+}
+
+#[test]
+fn atomic_sketch_writers_with_racing_readers_end_exact() {
+    let threads = 8u32;
+    let per_thread = 30_000u32;
+    for config in dense_configs() {
+        let atomic = AnyAtomicDDSketch::new(config).unwrap();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let atomic = &atomic;
+                scope.spawn(move || {
+                    write_share(
+                        &mut |op| match op {
+                            Op::Add(v) => atomic.add(v).unwrap(),
+                            Op::AddN(v, n) => atomic.add_n(v, n).unwrap(),
+                            Op::Slice(vs) => atomic.add_slice(vs).unwrap(),
+                        },
+                        t,
+                        per_thread,
+                    );
+                });
+            }
+            // Two racing readers: snapshots must never panic and never
+            // exceed the true final totals.
+            let true_final = reference(config, threads, per_thread).count();
+            for _ in 0..2 {
+                let atomic = &atomic;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut scratch = ddsketch::AtomicSketchScratch::default();
+                    let mut target = config.build().unwrap();
+                    while !done.load(Ordering::Acquire) {
+                        atomic.snapshot_into(&mut target, &mut scratch).unwrap();
+                        assert!(target.count() <= true_final, "read overshot the union");
+                        if !target.is_empty() {
+                            let q = target.quantiles(&[0.25, 0.5, 0.75]).unwrap();
+                            assert!(q[0] <= q[1] && q[1] <= q[2], "non-monotone quantiles");
+                        }
+                    }
+                });
+            }
+            // Writers are the first `threads` spawned handles; scope join
+            // order doesn't matter — flag readers done after scope's
+            // writers finish naturally via a sentinel thread.
+            let atomic = &atomic;
+            let done = &done;
+            scope.spawn(move || {
+                let expected = reference(config, threads, per_thread).count();
+                while atomic.count() < expected {
+                    std::hint::spin_loop();
+                }
+                done.store(true, Ordering::Release);
+            });
+        });
+        let snap = atomic.snapshot().unwrap();
+        let plain = reference(config, threads, per_thread);
+        assert_union_exact(&snap, &plain, config.name());
+    }
+}
+
+#[test]
+fn concurrent_sketch_atomic_plane_ends_exact() {
+    let threads = 8u32;
+    let per_thread = 25_000u32;
+    for config in dense_configs() {
+        let cs = ConcurrentSketch::with_config(config, 4).unwrap();
+        assert!(cs.is_lock_free());
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cs = &cs;
+                scope.spawn(move || {
+                    write_share(
+                        &mut |op| match op {
+                            Op::Add(v) => cs.add(v).unwrap(),
+                            Op::AddN(v, n) => cs.add_n(v, n).unwrap(),
+                            Op::Slice(vs) => cs.add_slice(vs).unwrap(),
+                        },
+                        t,
+                        per_thread,
+                    );
+                });
+            }
+        });
+        let snap = cs.snapshot().unwrap();
+        let plain = reference(config, threads, per_thread);
+        assert_union_exact(&snap, &plain, config.name());
+    }
+}
+
+#[test]
+fn local_ingest_publish_ends_exact_on_both_planes() {
+    let threads = 6u32;
+    let per_thread = 20_000u32;
+    let config = SketchConfig::dense_collapsing(0.01, 1024);
+    for locked in [false, true] {
+        let cs = if locked {
+            ConcurrentSketch::with_config_locked(config, 4).unwrap()
+        } else {
+            ConcurrentSketch::with_config(config, 4).unwrap()
+        };
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cs = &cs;
+                scope.spawn(move || {
+                    let mut local = cs.local_ingest().unwrap().flush_every(777);
+                    write_share(
+                        &mut |op| match op {
+                            Op::Add(v) => local.add(v).unwrap(),
+                            Op::AddN(v, n) => local.add_n(v, n).unwrap(),
+                            Op::Slice(vs) => local.add_slice(vs).unwrap(),
+                        },
+                        t,
+                        per_thread,
+                    );
+                    // Drop publishes the tail.
+                });
+            }
+        });
+        let snap = cs.snapshot().unwrap();
+        let plain = reference(config, threads, per_thread);
+        let label = if locked { "locked" } else { "atomic" };
+        assert_union_exact(&snap, &plain, label);
+    }
+}
+
+#[test]
+fn atomic_and_locked_planes_agree_under_race() {
+    // Same writer fleet against both planes; the quiesced views must be
+    // bit-identical to each other (both equal the union).
+    let threads = 4u32;
+    let per_thread = 15_000u32;
+    let config = SketchConfig::unbounded(0.005);
+    let atomic = ConcurrentSketch::with_config(config, 4).unwrap();
+    let locked = ConcurrentSketch::with_config_locked(config, 4).unwrap();
+    for cs in [&atomic, &locked] {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || {
+                    write_share(
+                        &mut |op| match op {
+                            Op::Add(v) => cs.add(v).unwrap(),
+                            Op::AddN(v, n) => cs.add_n(v, n).unwrap(),
+                            Op::Slice(vs) => cs.add_slice(vs).unwrap(),
+                        },
+                        t,
+                        per_thread,
+                    );
+                });
+            }
+        });
+    }
+    let (a, l) = (atomic.snapshot().unwrap(), locked.snapshot().unwrap());
+    assert_union_exact(&a, &reference(config, threads, per_thread), "atomic");
+    assert_eq!(a.positive_bins(), l.positive_bins());
+    assert_eq!(a.negative_bins(), l.negative_bins());
+    assert_eq!(a.count(), l.count());
+}
