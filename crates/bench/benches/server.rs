@@ -1,0 +1,310 @@
+//! Soak harness for `sketchd`: a fleet of agents drives ≥ 1M sketch
+//! payloads over TCP loopback while a concurrent query client samples
+//! fleet quantiles, with ~1% corrupt frames and periodic mid-stream
+//! disconnects injected throughout.
+//!
+//! The run records ingest throughput (payloads/s, values/s) and query
+//! latency (p50 / p99) and — the acceptance bar — verifies at the end
+//! that **zero payloads were lost or duplicated**: the served quantiles
+//! must be bit-identical to a from-scratch union sketch over every
+//! valid payload sent, and the total count must match exactly.
+//!
+//! Like the codec bench, this hand-rolls its harness so it can emit
+//! machine-readable results to `results/BENCH_server.json`. Modes:
+//!
+//! * default        — full soak, 1,048,576 payloads
+//! * `--frames N`   — override the payload budget (CI short-soak)
+//! * `--test`       — smoke: 20k payloads, full verification, no JSON
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ddsketch::{AnyDDSketch, SketchConfig};
+use sketchd::{AgentSender, Bind, QueryClient, ServerConfig, ServerHandle};
+
+const AGENTS: usize = 8;
+const POOL: usize = 64;
+const VALUES_PER_FRAME: usize = 16;
+const TENANT: &str = "soak";
+
+fn plane_config() -> SketchConfig {
+    SketchConfig::dense_collapsing(0.01, 2048)
+}
+
+/// The rotation of distinct payloads every agent ships: pool entry `j`
+/// always encodes the same 16 values, so the expected union is the pool
+/// union weighted by how often each entry was sent.
+fn payload_pool() -> Vec<Vec<u8>> {
+    (0..POOL)
+        .map(|j| {
+            let mut sketch = plane_config().build().unwrap();
+            for k in 0..VALUES_PER_FRAME {
+                let v = 0.5 + ((j * VALUES_PER_FRAME + k) * 37 % 911) as f64 * 0.5;
+                sketch.add(v).unwrap();
+            }
+            sketch.encode()
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2} M/s", per_sec / 1e6)
+    } else {
+        format!("{:.1} k/s", per_sec / 1e3)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    frames: u64,
+    corrupt: u64,
+    elapsed: Duration,
+    payloads_per_sec: f64,
+    values_per_sec: f64,
+    queries: u64,
+    p50_query_ns: u64,
+    p99_query_ns: u64,
+) {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_server.json"
+    );
+    let out = format!(
+        "{{\n  \"bench\": \"server\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n    \
+         {{\"id\": \"soak/ingest-payload\", \"ns_per_iter\": {:.1}, \
+         \"frames\": {frames}, \"corrupt_frames\": {corrupt}, \
+         \"payloads_per_sec\": {payloads_per_sec:.0}, \
+         \"values_per_sec\": {values_per_sec:.0}}},\n    \
+         {{\"id\": \"soak/query-quantile-p50\", \"ns_per_iter\": {p50_query_ns}, \
+         \"queries\": {queries}}},\n    \
+         {{\"id\": \"soak/query-quantile-p99\", \"ns_per_iter\": {p99_query_ns}, \
+         \"queries\": {queries}}}\n  ]\n}}\n",
+        elapsed.as_nanos() as f64 / frames.max(1) as f64,
+    );
+    match std::fs::write(path, out) {
+        Ok(()) => println!("\nmachine-readable results -> results/BENCH_server.json"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut test_mode = false;
+    let mut frames_override: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--test" => test_mode = true,
+            "--frames" => {
+                frames_override = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--frames takes a payload count"),
+                );
+            }
+            _ => {}
+        }
+    }
+    let total_frames: u64 = frames_override.unwrap_or(if test_mode { 20_000 } else { 1 << 20 });
+    let per_agent = total_frames / AGENTS as u64;
+    let total_frames = per_agent * AGENTS as u64;
+
+    let server = ServerHandle::spawn(
+        &Bind::Tcp("127.0.0.1:0".into()),
+        ServerConfig {
+            sketch: plane_config(),
+            shards_per_tenant: 4,
+            staging_bound: 256,
+            fold_threshold: 32,
+            window_secs: 10,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let endpoint = server.endpoint().clone();
+    println!(
+        "sketchd soak: {total_frames} payloads x {VALUES_PER_FRAME} values, \
+         {AGENTS} agents -> {endpoint}, ~1% corrupt frames, periodic disconnects\n"
+    );
+
+    // Concurrent query client: samples the fleet p99 throughout the
+    // soak and records per-query latency.
+    let stop = Arc::new(AtomicBool::new(false));
+    let query_thread = {
+        let endpoint = endpoint.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut client = QueryClient::connect(&endpoint).unwrap();
+            let mut latencies_ns: Vec<u64> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let start = Instant::now();
+                match client.quantile(TENANT, 0.99) {
+                    Ok(_) | Err(sketchd::ServerError::Protocol(_)) => {
+                        latencies_ns.push(start.elapsed().as_nanos() as u64);
+                    }
+                    Err(e) => panic!("query plane failed mid-soak: {e}"),
+                }
+                // ~1k queries/s so the soak measures steady-state mixed
+                // load, not a query-side DoS.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            latencies_ns
+        })
+    };
+
+    let pool = Arc::new(payload_pool());
+    // Scale the disconnect cadence to the budget so even a short smoke
+    // run exercises a few reconnects per agent.
+    let disconnect_every = (per_agent / 4).clamp(1, 10_000);
+    let soak_start = Instant::now();
+    let agents: Vec<_> = (0..AGENTS)
+        .map(|a| {
+            let endpoint = endpoint.clone();
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let mut agent = AgentSender::connect(endpoint, TENANT).expect("agent connects");
+                let mut sent = vec![0u64; POOL];
+                let mut corrupt = 0u64;
+                for i in 0..per_agent {
+                    // ~1% corrupt payloads ride valid framing.
+                    if (a as u64 + i).is_multiple_of(101) {
+                        agent
+                            .send_encoded("m0", 0, b"DDS2 corrupt payload bytes")
+                            .expect("corrupt frame ships");
+                        corrupt += 1;
+                        continue;
+                    }
+                    // Mid-stream disconnects: reconnect + whole-frame
+                    // resend must never tear or duplicate a frame.
+                    if i > 0 && i % disconnect_every == 0 {
+                        agent.drop_connection();
+                    }
+                    let entry = ((a as u64 + i) % POOL as u64) as usize;
+                    let metric = format!("m{}", i % 16);
+                    let ts = (i % 360) * 10;
+                    agent.send_encoded(&metric, ts, &pool[entry]).expect("send");
+                    sent[entry] += 1;
+                }
+                let reconnects = agent.reconnects();
+                agent.close().expect("clean close");
+                (sent, corrupt, reconnects)
+            })
+        })
+        .collect();
+
+    let mut multiplicity = vec![0u64; POOL];
+    let mut total_corrupt = 0u64;
+    let mut total_reconnects = 0u64;
+    for handle in agents {
+        let (sent, corrupt, reconnects) = handle.join().unwrap();
+        for (slot, n) in multiplicity.iter_mut().zip(sent) {
+            *slot += n;
+        }
+        total_corrupt += corrupt;
+        total_reconnects += reconnects;
+    }
+
+    // The agents have flushed everything to the kernel; wait until the
+    // server accounts for every frame, then stop the clock.
+    let mut client = QueryClient::connect(&endpoint).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let stats = loop {
+        let stats = client.stats().unwrap();
+        if stats.frames_ingested + stats.frames_rejected >= total_frames {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "soak stalled at {}/{} frames",
+            stats.frames_ingested + stats.frames_rejected,
+            total_frames
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    client.sync().unwrap();
+    let elapsed = soak_start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies_ns = query_thread.join().unwrap();
+    latencies_ns.sort_unstable();
+
+    // ---- Verification: zero loss, zero duplication, bit-identical ----
+    let valid_frames: u64 = multiplicity.iter().sum();
+    assert_eq!(valid_frames + total_corrupt, total_frames);
+    assert_eq!(stats.frames_rejected, total_corrupt, "rejects != injected");
+    assert_eq!(stats.frames_ingested, valid_frames, "absorbed != sent");
+    assert!(total_reconnects >= AGENTS as u64, "disconnects never fired");
+    assert_eq!(
+        client.count(TENANT).unwrap(),
+        valid_frames * VALUES_PER_FRAME as u64,
+        "lost or duplicated values"
+    );
+
+    // From-scratch union: each pool entry merged as often as it was
+    // sent. Merging is bucket-count addition, so this is the exact
+    // expected fleet state.
+    let mut reference = plane_config().build().unwrap();
+    let decoded: Vec<AnyDDSketch> = pool
+        .iter()
+        .map(|b| AnyDDSketch::decode(b).unwrap())
+        .collect();
+    for (entry, &times) in multiplicity.iter().enumerate() {
+        for _ in 0..times {
+            reference.merge_from(&decoded[entry]).unwrap();
+        }
+    }
+    let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+    let served = client.quantiles(TENANT, &qs).unwrap();
+    let expected = reference.quantiles(&qs).unwrap();
+    for (q, (got, want)) in qs.iter().zip(served.iter().zip(expected.iter())) {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "q={q}: served {got} != union {want} — state diverged"
+        );
+    }
+    server.shutdown().unwrap();
+
+    // ---- Report ----
+    let payloads_per_sec = total_frames as f64 / elapsed.as_secs_f64();
+    let values_per_sec = (valid_frames * VALUES_PER_FRAME as u64) as f64 / elapsed.as_secs_f64();
+    let p50 = percentile(&latencies_ns, 0.50);
+    let p99 = percentile(&latencies_ns, 0.99);
+    println!(
+        "ingest: {total_frames} payloads ({total_corrupt} corrupt, {total_reconnects} reconnects) \
+         in {:.2}s -> {} payloads, {} values",
+        elapsed.as_secs_f64(),
+        human_rate(payloads_per_sec),
+        human_rate(values_per_sec),
+    );
+    println!(
+        "query : {} samples, p50 {:.1} µs, p99 {:.1} µs",
+        latencies_ns.len(),
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3,
+    );
+    println!("verify: quantiles bit-identical to the union, count exact — zero loss");
+
+    if test_mode {
+        println!("\nsmoke mode: skipping results/BENCH_server.json");
+    } else {
+        write_json(
+            total_frames,
+            total_corrupt,
+            elapsed,
+            payloads_per_sec,
+            values_per_sec,
+            latencies_ns.len() as u64,
+            p50,
+            p99,
+        );
+    }
+}

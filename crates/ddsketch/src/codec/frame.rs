@@ -13,8 +13,33 @@
 //! *before* any allocation, truncation mid-frame is
 //! [`SketchError::Malformed`], and I/O failures surface as
 //! [`SketchError::Io`] so callers can tell corruption from a broken pipe.
+//!
+//! ## Real sockets
+//!
+//! Unlike the in-memory buffers the earlier tests exercised, a socket
+//! returns *short* reads, spurious [`ErrorKind::Interrupted`] failures,
+//! and — with a read timeout configured — [`ErrorKind::WouldBlock`] /
+//! [`ErrorKind::TimedOut`] in the middle of a frame. The reader handles
+//! all three:
+//!
+//! * short reads are looped until the header, length varint, or body is
+//!   complete (frame parsing is buffer-boundary-independent: a
+//!   byte-at-a-time source produces bit-identical frames);
+//! * `Interrupted` is retried internally and never surfaces;
+//! * `WouldBlock`/`TimedOut` surface as the retryable
+//!   [`SketchError::WouldBlock`] **without losing position** — the
+//!   partially-read header, length prefix, or body is retained, and the
+//!   next [`FrameReader::read_frame`] call resumes exactly where the
+//!   stream stalled. This is what lets a server thread poll a blocking
+//!   socket with a read timeout, check its shutdown flag on every tick,
+//!   and still never tear a frame.
+//!
+//! [`FrameReader::new`] reads the stream header eagerly (it blocks until
+//! the peer sends one); [`FrameReader::lazy`] defers the header to the
+//! first `read_frame`, which is what a connection handler wants when the
+//! peer may take a while to speak.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 
 use super::varint::put_varint;
 use crate::any::AnyDDSketch;
@@ -32,6 +57,13 @@ pub const DEFAULT_MAX_FRAME_LEN: usize = 16 << 20;
 
 fn io_err(e: std::io::Error) -> SketchError {
     SketchError::Io(e.to_string())
+}
+
+/// Whether an I/O error means "no data right now, retry later" rather
+/// than a broken stream: `WouldBlock` (non-blocking sources, and what a
+/// Unix read timeout raises) and `TimedOut` (what Windows raises).
+fn retryable(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
 /// Writes a frame stream to any [`Write`] sink.
@@ -97,38 +129,58 @@ pub struct FrameReader<R: Read> {
     inner: R,
     max_frame_len: usize,
     frames: u64,
+    /// Stream-header progress: bytes received so far, validated once full.
+    header: [u8; 5],
+    header_filled: usize,
+    header_checked: bool,
+    /// In-progress length varint, retained across [`SketchError::WouldBlock`].
+    len_partial: Option<(u64, u32)>,
+    /// In-progress frame body (internal, swapped into the caller's buffer
+    /// on completion so a stalled read never exposes a torn frame).
+    body: Vec<u8>,
+    body_target: Option<usize>,
+    body_filled: usize,
 }
 
 impl<R: Read> FrameReader<R> {
     /// Open a stream on `source`, checking the header immediately.
+    ///
+    /// Blocks until the peer has sent the 5 header bytes; on a source
+    /// with a read timeout this can fail with
+    /// [`SketchError::WouldBlock`] — use [`FrameReader::lazy`] when the
+    /// peer may be slow to speak.
     pub fn new(source: R) -> Result<Self, SketchError> {
         Self::with_max_frame_len(source, DEFAULT_MAX_FRAME_LEN)
     }
 
     /// Like [`FrameReader::new`] with a custom per-frame length ceiling.
-    pub fn with_max_frame_len(mut source: R, max_frame_len: usize) -> Result<Self, SketchError> {
-        let mut header = [0u8; 5];
-        source.read_exact(&mut header).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                SketchError::Malformed("truncated frame-stream header".into())
-            } else {
-                io_err(e)
-            }
-        })?;
-        if &header[..4] != STREAM_MAGIC {
-            return Err(SketchError::Malformed("bad frame-stream magic".into()));
-        }
-        if header[4] != FRAME_STREAM_VERSION {
-            return Err(SketchError::Decode(format!(
-                "unsupported frame-stream version {}",
-                header[4]
-            )));
-        }
-        Ok(Self {
+    pub fn with_max_frame_len(source: R, max_frame_len: usize) -> Result<Self, SketchError> {
+        let mut reader = Self::lazy_with_max_frame_len(source, max_frame_len);
+        reader.poll_header()?;
+        Ok(reader)
+    }
+
+    /// Open a stream without touching the source: the header is read and
+    /// validated lazily by the first [`FrameReader::read_frame`] call
+    /// (resumably, like everything else).
+    pub fn lazy(source: R) -> Self {
+        Self::lazy_with_max_frame_len(source, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// Like [`FrameReader::lazy`] with a custom per-frame length ceiling.
+    pub fn lazy_with_max_frame_len(source: R, max_frame_len: usize) -> Self {
+        Self {
             inner: source,
             max_frame_len,
             frames: 0,
-        })
+            header: [0u8; 5],
+            header_filled: 0,
+            header_checked: false,
+            len_partial: None,
+            body: Vec::new(),
+            body_target: None,
+            body_filled: 0,
+        }
     }
 
     /// The ceiling a declared frame length is clamped against.
@@ -141,14 +193,51 @@ impl<R: Read> FrameReader<R> {
         self.frames
     }
 
-    /// Read one byte; `Ok(None)` on EOF.
+    /// A reference to the underlying source.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Read and validate the stream header; resumable, no-op once done.
+    fn poll_header(&mut self) -> Result<(), SketchError> {
+        while self.header_filled < self.header.len() {
+            match self.inner.read(&mut self.header[self.header_filled..]) {
+                Ok(0) => {
+                    return Err(SketchError::Malformed(
+                        "truncated frame-stream header".into(),
+                    ))
+                }
+                Ok(n) => self.header_filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if retryable(&e) => return Err(SketchError::WouldBlock),
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+        if !self.header_checked {
+            if &self.header[..4] != STREAM_MAGIC {
+                return Err(SketchError::Malformed("bad frame-stream magic".into()));
+            }
+            if self.header[4] != FRAME_STREAM_VERSION {
+                return Err(SketchError::Decode(format!(
+                    "unsupported frame-stream version {}",
+                    self.header[4]
+                )));
+            }
+            self.header_checked = true;
+        }
+        Ok(())
+    }
+
+    /// Read one byte; `Ok(None)` on EOF, retrying `Interrupted` and
+    /// surfacing `WouldBlock`/`TimedOut` as the retryable error.
     fn read_byte(&mut self) -> Result<Option<u8>, SketchError> {
         let mut byte = [0u8; 1];
         loop {
             match self.inner.read(&mut byte) {
                 Ok(0) => return Ok(None),
                 Ok(_) => return Ok(Some(byte[0])),
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if retryable(&e) => return Err(SketchError::WouldBlock),
                 Err(e) => return Err(io_err(e)),
             }
         }
@@ -156,48 +245,75 @@ impl<R: Read> FrameReader<R> {
 
     /// Read the next frame into `buf` (cleared and filled), returning its
     /// length — or `None` at clean end-of-stream.
+    ///
+    /// On [`SketchError::WouldBlock`] no progress is lost: call again
+    /// (with any buffer) to resume the stalled header, length prefix, or
+    /// body read. Any other error means the stream is broken.
     pub fn read_frame(&mut self, buf: &mut Vec<u8>) -> Result<Option<usize>, SketchError> {
-        // Varint length prefix, byte by byte: EOF before the first byte is
-        // the clean end of the stream, EOF anywhere later is truncation.
-        let mut len = 0u64;
-        let mut shift = 0u32;
-        loop {
-            let byte = match self.read_byte()? {
-                Some(byte) => byte,
-                None if shift == 0 => return Ok(None),
-                None => return Err(SketchError::Malformed("truncated frame length".into())),
-            };
-            if shift >= 64 || (shift == 63 && byte > 1) {
-                return Err(SketchError::Malformed(
-                    "frame length varint overflow".into(),
-                ));
+        self.poll_header()?;
+        let target = match self.body_target {
+            Some(target) => target,
+            None => {
+                // Varint length prefix, byte by byte: EOF before the first
+                // byte (of a fresh prefix) is the clean end of the stream,
+                // EOF anywhere later is truncation.
+                let (mut len, mut shift) = self.len_partial.take().unwrap_or((0, 0));
+                let len = loop {
+                    let byte = match self.read_byte() {
+                        Ok(Some(byte)) => byte,
+                        Ok(None) if shift == 0 && len == 0 => return Ok(None),
+                        Ok(None) => {
+                            return Err(SketchError::Malformed("truncated frame length".into()))
+                        }
+                        Err(SketchError::WouldBlock) => {
+                            self.len_partial = Some((len, shift));
+                            return Err(SketchError::WouldBlock);
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    if shift >= 64 || (shift == 63 && byte > 1) {
+                        return Err(SketchError::Malformed(
+                            "frame length varint overflow".into(),
+                        ));
+                    }
+                    len |= u64::from(byte & 0x7f) << shift;
+                    if byte & 0x80 == 0 {
+                        break len;
+                    }
+                    shift += 7;
+                };
+                let target = usize::try_from(len)
+                    .ok()
+                    .filter(|&len| len <= self.max_frame_len)
+                    .ok_or_else(|| {
+                        SketchError::Malformed(format!(
+                            "declared frame length {len} exceeds the {}-byte ceiling",
+                            self.max_frame_len
+                        ))
+                    })?;
+                self.body.clear();
+                self.body.resize(target, 0);
+                self.body_filled = 0;
+                self.body_target = Some(target);
+                target
             }
-            len |= u64::from(byte & 0x7f) << shift;
-            if byte & 0x80 == 0 {
-                break;
+        };
+        while self.body_filled < target {
+            match self.inner.read(&mut self.body[self.body_filled..target]) {
+                Ok(0) => return Err(SketchError::Malformed("truncated frame body".into())),
+                Ok(n) => self.body_filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if retryable(&e) => return Err(SketchError::WouldBlock),
+                Err(e) => return Err(io_err(e)),
             }
-            shift += 7;
         }
-        let len = usize::try_from(len)
-            .ok()
-            .filter(|&len| len <= self.max_frame_len)
-            .ok_or_else(|| {
-                SketchError::Malformed(format!(
-                    "declared frame length {len} exceeds the {}-byte ceiling",
-                    self.max_frame_len
-                ))
-            })?;
-        buf.clear();
-        buf.resize(len, 0);
-        self.inner.read_exact(buf).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                SketchError::Malformed("truncated frame body".into())
-            } else {
-                io_err(e)
-            }
-        })?;
+        // Complete: hand the body over by swap, so the internal buffer
+        // inherits the caller's capacity for the next frame (steady-state
+        // reading ping-pongs two buffers, no per-frame allocation).
+        self.body_target = None;
+        std::mem::swap(buf, &mut self.body);
         self.frames += 1;
-        Ok(Some(len))
+        Ok(Some(target))
     }
 }
 
@@ -292,6 +408,157 @@ mod tests {
             reader.read_frame(&mut buf),
             Err(SketchError::Malformed(_))
         ));
+    }
+
+    /// A source that yields one byte per `read` call, optionally raising
+    /// `WouldBlock` or `Interrupted` between every byte — the shape of a
+    /// slow socket with a read timeout.
+    struct HostileSource<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+        stall: Option<ErrorKind>,
+        stall_next: bool,
+    }
+
+    impl Read for HostileSource<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if let Some(kind) = self.stall {
+                self.stall_next = !self.stall_next;
+                if !self.stall_next {
+                    return Err(std::io::Error::new(kind, "stall"));
+                }
+            }
+            if self.pos == self.bytes.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    fn sample_stream() -> (Vec<Vec<u8>>, Vec<u8>) {
+        let mut writer = FrameWriter::new(Vec::new()).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..8)
+            .map(|i| {
+                let mut s = SketchConfig::dense_collapsing(0.01, 128).build().unwrap();
+                for k in 1..=(i * 37 + 1) {
+                    s.add(k as f64 * 1.3).unwrap();
+                }
+                s.encode()
+            })
+            .collect();
+        for p in &payloads {
+            writer.write_frame(p).unwrap();
+        }
+        (payloads, writer.finish().unwrap())
+    }
+
+    #[test]
+    fn byte_at_a_time_source_is_bit_identical() {
+        let (payloads, bytes) = sample_stream();
+        let source = HostileSource {
+            bytes: &bytes,
+            pos: 0,
+            stall: None,
+            stall_next: false,
+        };
+        let mut reader = FrameReader::new(source).unwrap();
+        let mut buf = Vec::new();
+        for expected in &payloads {
+            assert_eq!(reader.read_frame(&mut buf).unwrap(), Some(expected.len()));
+            assert_eq!(&buf, expected);
+        }
+        assert_eq!(reader.read_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn would_block_between_every_byte_resumes_losslessly() {
+        for kind in [ErrorKind::WouldBlock, ErrorKind::TimedOut] {
+            let (payloads, bytes) = sample_stream();
+            let source = HostileSource {
+                bytes: &bytes,
+                pos: 0,
+                stall: Some(kind),
+                stall_next: false,
+            };
+            // Lazy open: the constructor must not touch the stalling source.
+            let mut reader = FrameReader::lazy(source);
+            let mut buf = Vec::new();
+            let mut stalls = 0u32;
+            for expected in &payloads {
+                let len = loop {
+                    match reader.read_frame(&mut buf) {
+                        Ok(len) => break len,
+                        Err(SketchError::WouldBlock) => stalls += 1,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                };
+                assert_eq!(len, Some(expected.len()));
+                assert_eq!(&buf, expected, "resumed frame must be bit-identical");
+            }
+            let end = loop {
+                match reader.read_frame(&mut buf) {
+                    Ok(end) => break end,
+                    Err(SketchError::WouldBlock) => continue,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            };
+            assert_eq!(end, None);
+            assert!(stalls as usize >= bytes.len() / 2, "stall injection ran");
+        }
+    }
+
+    #[test]
+    fn interrupted_is_retried_internally() {
+        let (payloads, bytes) = sample_stream();
+        let source = HostileSource {
+            bytes: &bytes,
+            pos: 0,
+            stall: Some(ErrorKind::Interrupted),
+            stall_next: false,
+        };
+        // `Interrupted` must never surface — not from the eager header
+        // read, not from length prefixes, not from bodies.
+        let mut reader = FrameReader::new(source).unwrap();
+        let mut buf = Vec::new();
+        for expected in &payloads {
+            assert_eq!(reader.read_frame(&mut buf).unwrap(), Some(expected.len()));
+            assert_eq!(&buf, expected);
+        }
+        assert_eq!(reader.read_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn eager_open_on_stalled_source_is_retryable() {
+        let bytes = b"DDSF\x01".to_vec();
+        let source = HostileSource {
+            bytes: &bytes,
+            pos: 0,
+            stall: Some(ErrorKind::WouldBlock),
+            stall_next: false,
+        };
+        assert!(matches!(
+            FrameReader::new(source),
+            Err(SketchError::WouldBlock)
+        ));
+        // Lazy + retry loop gets through the same source.
+        let source = HostileSource {
+            bytes: &bytes,
+            pos: 0,
+            stall: Some(ErrorKind::WouldBlock),
+            stall_next: false,
+        };
+        let mut reader = FrameReader::lazy(source);
+        let mut buf = Vec::new();
+        let end = loop {
+            match reader.read_frame(&mut buf) {
+                Ok(end) => break end,
+                Err(SketchError::WouldBlock) => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(end, None, "header-only stream holds zero frames");
     }
 
     #[test]

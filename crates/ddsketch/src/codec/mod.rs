@@ -83,7 +83,7 @@ pub mod source;
 pub mod varint;
 pub mod view;
 
-pub use frame::{FrameReader, FrameWriter, FRAME_STREAM_VERSION};
+pub use frame::{FrameReader, FrameWriter, DEFAULT_MAX_FRAME_LEN, FRAME_STREAM_VERSION};
 pub use source::{SketchSource, SourceQuantileScratch};
 pub use view::{SketchView, SketchViewMeta, ViewBinIter};
 
@@ -222,6 +222,20 @@ fn get_f64(buf: &mut &[u8]) -> Result<f64, SketchError> {
 }
 
 impl SketchPayload {
+    /// Whether a sketch built from `config` could merge this payload:
+    /// same mapping family, same store family, same relative accuracy α
+    /// (to within float-print noise). A differing `max_bins` does **not**
+    /// disqualify — bucket boundaries agree and the receiver's bound
+    /// governs (paper Algorithm 4) — so it is deliberately not compared.
+    /// This is the shared admission predicate of every payload-staging
+    /// receiver (the pipeline aggregator, the time-series store, the
+    /// fleet server).
+    pub fn matches_config(&self, config: &crate::SketchConfig) -> bool {
+        self.kind == config.mapping as u8
+            && self.store == config.store as u8
+            && (self.relative_accuracy - config.alpha).abs() < 1e-12
+    }
+
     /// Serialize to the compact binary wire format (always `DDS2`).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64 + 4 * (self.positive.len() + self.negative.len()));

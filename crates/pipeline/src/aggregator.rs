@@ -140,10 +140,7 @@ impl Aggregator {
     /// Reject payloads the resident sketch could not merge, *before* they
     /// enter the pending set — a bad frame never corrupts a fold.
     fn check_compatible(&self, payload: &SketchPayload) -> Result<(), SketchError> {
-        let compatible = payload.kind == self.config.mapping as u8
-            && payload.store == self.config.store as u8
-            && (payload.relative_accuracy - self.config.alpha).abs() < 1e-12;
-        if !compatible {
+        if !payload.matches_config(&self.config) {
             // A differing max_bins is fine (the resident bound governs,
             // Algorithm 4); family or α mismatches are not.
             return Err(SketchError::IncompatibleMerge(format!(
@@ -165,12 +162,39 @@ impl Aggregator {
     /// allocator. Rejected frames (corrupt bytes, incompatible
     /// configuration) leave the aggregator untouched.
     pub fn feed(&mut self, frame: &[u8]) -> Result<(), SketchError> {
-        let mut payload = self.spare.pop().unwrap_or_default();
-        let accepted = payload
-            .decode_into(frame)
-            .and_then(|()| self.check_compatible(&payload));
-        if let Err(e) = accepted {
-            self.spare.push(payload);
+        let mut payload = self.take_spare();
+        if let Err(e) = payload.decode_into(frame) {
+            self.recycle(payload);
+            return Err(e);
+        }
+        self.feed_payload(payload)
+    }
+
+    /// Take a recycled staging payload (or a fresh one) so a caller can
+    /// run [`ddsketch::SketchPayload::decode_into`] itself — e.g. a
+    /// server thread that must route on the decoded bytes *before*
+    /// deciding where to stage them. Hand the buffer back through
+    /// [`Aggregator::feed_payload`] or [`Aggregator::recycle`] to keep
+    /// the steady state allocation-free.
+    pub fn take_spare(&mut self) -> SketchPayload {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Return a payload buffer to the recycle pool without staging it
+    /// (the counterpart of [`Aggregator::take_spare`] for rejected or
+    /// unused buffers).
+    pub fn recycle(&mut self, payload: SketchPayload) {
+        self.spare.push(payload);
+    }
+
+    /// Stage one already-decoded payload — the out-of-band half of
+    /// [`Aggregator::feed`], for callers that decoded (and perhaps
+    /// routed on) the payload themselves. The compatibility gate is the
+    /// same as `feed`'s; a rejected payload's buffer is recycled
+    /// internally and the aggregator is left untouched.
+    pub fn feed_payload(&mut self, payload: SketchPayload) -> Result<(), SketchError> {
+        if let Err(e) = self.check_compatible(&payload) {
+            self.recycle(payload);
             return Err(e);
         }
         self.pending.push(payload);

@@ -102,6 +102,18 @@
 //! the frame stream and restores it exactly — interned metric ids
 //! included — so an aggregator restart costs one stream replay, not a
 //! re-ingestion.
+//!
+//! This crate models the path in-process; the `sketchd` crate deploys it
+//! over real sockets. There, `AgentSender` ships each frame with a
+//! single atomic `write_all` (reconnect + whole-frame resend on
+//! failure), and the server routes frames by FNV-1a metric hash to
+//! per-shard workers that absorb each decoded payload into both an
+//! [`Aggregator`] (fleet quantiles) and a [`TimeSeriesStore`] (per-window
+//! series + checkpoints), behind bounded staging queues whose
+//! backpressure throttles agents through TCP flow control. Because both
+//! sinks are fed from the same single decode, the served quantiles stay
+//! bit-identical to a from-scratch union over every agent's payloads —
+//! the same exactness contract as the in-process plane.
 
 pub mod aggregator;
 pub mod concurrent;

@@ -23,7 +23,9 @@ use std::collections::{BTreeMap, HashMap};
 
 use ddsketch::codec::varint::{get_varint, put_varint};
 use ddsketch::codec::{FrameReader, FrameWriter};
-use ddsketch::{AnyDDSketch, MappingKind, SketchConfig, SketchError, StoreKind};
+use ddsketch::{
+    AnyDDSketch, MappingKind, SketchConfig, SketchError, SketchPayload, SketchSource, StoreKind,
+};
 
 /// Magic bytes opening a checkpoint's header frame.
 const CHECKPOINT_MAGIC: &[u8; 4] = b"DDTS";
@@ -213,6 +215,39 @@ impl TimeSeriesStore {
     ) -> Result<(), SketchError> {
         let window = self.window_of(window_start);
         self.with_cell(metric, window, |cell| cell.merge_from(sketch))
+    }
+
+    /// Merge one decoded wire payload into the cell for `metric` at
+    /// `window_start` — the staging-buffer counterpart of
+    /// [`TimeSeriesStore::absorb`], so a receiver that already ran
+    /// [`ddsketch::SketchPayload::decode_into`] (the fleet server's
+    /// ingest workers) never materializes a sketch per frame: the bins
+    /// flow straight from the staged payload into the cell's stores via
+    /// one bulk `add_bins` pass.
+    ///
+    /// Admission follows [`ddsketch::SketchPayload::matches_config`]:
+    /// mapping/store-family or α mismatches are rejected with
+    /// `IncompatibleMerge` before any mutation; a differing `max_bins`
+    /// is accepted (the cell's own bound governs, Algorithm 4).
+    pub fn absorb_payload(
+        &mut self,
+        metric: &str,
+        window_start: u64,
+        payload: &SketchPayload,
+    ) -> Result<(), SketchError> {
+        if !payload.matches_config(&self.config) {
+            return Err(SketchError::IncompatibleMerge(format!(
+                "store runs {:?}, payload is (mapping {:?}, store {:?}, α={})",
+                self.config,
+                MappingKind::from_u8(payload.kind),
+                StoreKind::from_u8(payload.store),
+                payload.relative_accuracy
+            )));
+        }
+        let window = self.window_of(window_start);
+        self.with_cell(metric, window, |cell| {
+            cell.merge_sources(std::iter::once(SketchSource::Payload(payload)))
+        })
     }
 
     /// Quantile estimate for one cell, if present and non-empty.

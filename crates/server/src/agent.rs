@@ -1,0 +1,304 @@
+//! The agent half of the fleet: [`AgentSender`] ships per-window
+//! sketches to a `sketchd` server, reconnecting with bounded,
+//! jittered exponential backoff when the server restarts or the
+//! network hiccups.
+//!
+//! ## Frame atomicity across reconnects
+//!
+//! Every frame is assembled into one contiguous buffer —
+//! `varint(length) | envelope` — and sent with a **single** `write_all`.
+//! If that call fails, the kernel was handed at most a strict prefix of
+//! the frame, so the server sees a truncated frame, discards it, and
+//! counts a disconnect; nothing half-written ever reaches tenant state.
+//! The sender then reconnects and resends the *whole* frame, which
+//! therefore cannot duplicate data the server already absorbed. (This
+//! is at-least-once delivery with no torn frames — not exactly-once: a
+//! server killed after fully reading a frame but the sender's `send`
+//! still returning an error can induce a resend the operator sees as a
+//! retry, and a fully-delivered frame on a connection the agent never
+//! reuses is simply counted once.)
+//!
+//! The reconnect handshake (`INGEST <tenant>\n` plus the `DDSF` stream
+//! header) is likewise one write, so a new connection is either fully
+//! established or not at all.
+
+use std::io::Write;
+use std::time::Duration;
+
+use ddsketch::codec::varint::put_varint;
+use ddsketch::codec::FRAME_STREAM_VERSION;
+use ddsketch::AnyDDSketch;
+use rand::prelude::*;
+
+use crate::error::ServerError;
+use crate::net::{Conn, Endpoint};
+use crate::protocol::{encode_envelope, valid_name};
+
+/// Bounded-retry knobs for [`AgentSender`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per operation (first try included) before giving up
+    /// with [`ServerError::RetriesExhausted`].
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (1-based): exponential
+    /// with full jitter — uniform in `(0, base·2^(attempt-1)]`, capped
+    /// at `max_backoff` — so a fleet of agents reconnecting after a
+    /// server restart does not stampede in lockstep.
+    fn backoff(&self, attempt: u32, rng: &mut SmallRng) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20));
+        let cap = exp.min(self.max_backoff).max(Duration::from_micros(1));
+        cap.mul_f64(rng.random_range(0.0f64..1.0).max(f64::EPSILON))
+    }
+}
+
+/// Client-side ingest library: connects to a [`crate::ServerHandle`]'s
+/// endpoint, speaks the ingest handshake, and ships envelope frames.
+#[derive(Debug)]
+pub struct AgentSender {
+    endpoint: Endpoint,
+    tenant: String,
+    policy: RetryPolicy,
+    conn: Option<Conn>,
+    rng: SmallRng,
+    /// Scratch for the envelope body and the final framed bytes.
+    envelope: Vec<u8>,
+    frame: Vec<u8>,
+    frames_sent: u64,
+    connects: u64,
+}
+
+impl AgentSender {
+    /// Connect to `endpoint` as `tenant` with the default retry policy.
+    pub fn connect(endpoint: Endpoint, tenant: &str) -> Result<Self, ServerError> {
+        Self::with_policy(endpoint, tenant, RetryPolicy::default())
+    }
+
+    /// Connect with an explicit retry policy.
+    pub fn with_policy(
+        endpoint: Endpoint,
+        tenant: &str,
+        policy: RetryPolicy,
+    ) -> Result<Self, ServerError> {
+        if !valid_name(tenant) {
+            return Err(ServerError::Protocol(format!(
+                "invalid tenant name {tenant:?}"
+            )));
+        }
+        if policy.max_attempts == 0 {
+            return Err(ServerError::Protocol("max_attempts must be > 0".into()));
+        }
+        // Jitter seed: wall clock ⊕ tenant hash — distinct per agent in
+        // practice, and nothing here needs reproducibility.
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            ^ crate::state::fnv1a(tenant.as_bytes());
+        let mut sender = Self {
+            endpoint,
+            tenant: tenant.to_string(),
+            policy,
+            conn: None,
+            rng: SmallRng::seed_from_u64(seed),
+            envelope: Vec::new(),
+            frame: Vec::new(),
+            frames_sent: 0,
+            connects: 0,
+        };
+        sender.with_retries(|sender| sender.ensure_connected())?;
+        Ok(sender)
+    }
+
+    /// The endpoint this sender ships to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Frames successfully written (each with a single `write_all`).
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Connections established beyond the first — how often the sender
+    /// had to reconnect.
+    pub fn reconnects(&self) -> u64 {
+        self.connects.saturating_sub(1)
+    }
+
+    /// Encode `sketch` and ship it for `(metric, ts_secs)`.
+    pub fn send(
+        &mut self,
+        metric: &str,
+        ts_secs: u64,
+        sketch: &AnyDDSketch,
+    ) -> Result<(), ServerError> {
+        let payload = sketch.encode();
+        self.send_encoded(metric, ts_secs, &payload)
+    }
+
+    /// Ship an already-encoded `DDS2` payload for `(metric, ts_secs)` —
+    /// the allocation-light path for agents that keep encoded bytes
+    /// around (or relay frames they received).
+    pub fn send_encoded(
+        &mut self,
+        metric: &str,
+        ts_secs: u64,
+        payload: &[u8],
+    ) -> Result<(), ServerError> {
+        if !valid_name(metric) {
+            return Err(ServerError::Protocol(format!(
+                "invalid metric name {metric:?}"
+            )));
+        }
+        self.envelope.clear();
+        encode_envelope(&mut self.envelope, metric, ts_secs, payload);
+        self.frame.clear();
+        put_varint(&mut self.frame, self.envelope.len() as u64);
+        self.frame.extend_from_slice(&self.envelope);
+        self.with_retries(|sender| {
+            sender.ensure_connected()?;
+            let conn = sender.conn.as_mut().expect("just connected");
+            // One contiguous write: failure ⇒ the server holds at most
+            // a strict prefix ⇒ the whole-frame resend cannot duplicate.
+            match conn.write_all(&sender.frame) {
+                Ok(()) => {
+                    sender.frames_sent += 1;
+                    Ok(())
+                }
+                Err(e) => {
+                    sender.conn = None;
+                    Err(e.into())
+                }
+            }
+        })
+    }
+
+    /// Drop the current connection without closing it cleanly — a test
+    /// hook simulating an agent crash or network cut mid-stream.
+    pub fn drop_connection(&mut self) {
+        self.conn = None;
+    }
+
+    /// Flush and half-close the stream so the server sees a clean
+    /// end-of-stream (EOF on a frame boundary) rather than a disconnect.
+    pub fn close(mut self) -> Result<(), ServerError> {
+        if let Some(mut conn) = self.conn.take() {
+            conn.flush()?;
+            conn.shutdown_write()?;
+        }
+        Ok(())
+    }
+
+    /// Run `op` under the bounded retry policy with jittered
+    /// exponential backoff between attempts.
+    fn with_retries(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<(), ServerError>,
+    ) -> Result<(), ServerError> {
+        let mut last: Option<ServerError> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                let pause = self.policy.backoff(attempt, &mut self.rng);
+                std::thread::sleep(pause);
+            }
+            match op(self) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ServerError::RetriesExhausted {
+            attempts: self.policy.max_attempts,
+            last: last.map_or_else(|| "unknown".into(), |e| e.to_string()),
+        })
+    }
+
+    /// Dial and handshake if not already connected. The handshake line
+    /// and the `DDSF` stream header go out as one write (all-or-nothing
+    /// connection establishment).
+    fn ensure_connected(&mut self) -> Result<(), ServerError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut conn = self.endpoint.connect()?;
+        let mut hello = Vec::with_capacity(self.tenant.len() + 13);
+        hello.extend_from_slice(b"INGEST ");
+        hello.extend_from_slice(self.tenant.as_bytes());
+        hello.push(b'\n');
+        hello.extend_from_slice(b"DDSF");
+        hello.push(FRAME_STREAM_VERSION);
+        conn.write_all(&hello)?;
+        self.connects += 1;
+        self.conn = Some(conn);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut saw_distinct = false;
+        let mut previous = Duration::ZERO;
+        for attempt in 1..20 {
+            let pause = policy.backoff(attempt, &mut rng);
+            assert!(pause > Duration::ZERO);
+            assert!(pause <= policy.max_backoff, "attempt {attempt}: {pause:?}");
+            if attempt > 1 && pause != previous {
+                saw_distinct = true;
+            }
+            previous = pause;
+        }
+        assert!(saw_distinct, "jitter must vary the pauses");
+    }
+
+    #[test]
+    fn invalid_names_are_rejected_before_any_io() {
+        let endpoint = Endpoint::Tcp("127.0.0.1:1".parse().unwrap());
+        assert!(matches!(
+            AgentSender::connect(endpoint, "bad tenant"),
+            Err(ServerError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn retries_exhaust_against_a_dead_endpoint() {
+        // Port 1 on loopback: nothing listens there.
+        let endpoint = Endpoint::Tcp("127.0.0.1:1".parse().unwrap());
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        };
+        match AgentSender::with_policy(endpoint, "t", policy) {
+            Err(ServerError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The server-side error type: transport failures, sketch-layer errors,
+//! protocol violations, and exhausted retry budgets under one roof.
+
+use std::fmt;
+
+use ddsketch::SketchError;
+
+/// Errors surfaced by the `sketchd` server, the agent sender, and the
+/// query client.
+#[derive(Debug)]
+pub enum ServerError {
+    /// An underlying socket or filesystem operation failed.
+    Io(std::io::Error),
+    /// A sketch-layer operation failed (decode, merge, checkpoint…).
+    Sketch(SketchError),
+    /// The peer violated the wire protocol, or the server answered a
+    /// query with `-ERR` (the carried string is the server's message).
+    Protocol(String),
+    /// Every connect/write attempt of a bounded retry loop failed.
+    /// Carries the attempt count and the final attempt's rendered error.
+    RetriesExhausted {
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The last attempt's error, rendered.
+        last: String,
+    },
+    /// The operation raced the server's shutdown and was refused.
+    Shutdown,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "I/O error: {e}"),
+            ServerError::Sketch(e) => write!(f, "sketch error: {e}"),
+            ServerError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServerError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts (last error: {last})")
+            }
+            ServerError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Sketch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<SketchError> for ServerError {
+    fn from(e: SketchError) -> Self {
+        ServerError::Sketch(e)
+    }
+}

@@ -1,0 +1,115 @@
+//! `sketchd` — a socket-based agent → aggregator fleet server for
+//! DDSketch frame streams.
+//!
+//! This crate is the deployment story of the paper's Figure 1 run end
+//! to end over real sockets: a fleet of agents each builds per-window
+//! sketches locally, ships them as `DDSF` frames, and a central server
+//! folds every tenant's stream into mergeable state it can answer
+//! quantile queries from at any moment — *exactly*, because DDSketch's
+//! full mergeability makes the server's folded state bit-identical to a
+//! sketch built from the union of every agent's raw data.
+//!
+//! Everything runs on `std::net` (TCP) and `std::os::unix::net` (Unix
+//! domain sockets): fully offline, loopback-friendly, no runtime
+//! dependencies.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  agents (AgentSender)                  sketchd (ServerHandle)
+//!  ┌────────────────────┐   DDSF    ┌─────────────────────────────────┐
+//!  │ sketch → envelope  │──frames──▶│ conn thread: decode → route     │
+//!  │ single write_all   │           │      │ bounded staging queue    │
+//!  │ retry + backoff    │           │      ▼ (backpressure)           │
+//!  └────────────────────┘           │ shard worker: absorb into       │
+//!  ┌────────────────────┐   text    │   Aggregator + TimeSeriesStore  │
+//!  │ QueryClient        │◀─lines───▶│ query threads: fold + k-way     │
+//!  └────────────────────┘           │   merged quantiles              │
+//!                                   │ checkpointer: {tenant}@{n}.ddts │
+//!                                   └─────────────────────────────────┘
+//! ```
+//!
+//! * Each tenant's metrics are sharded by FNV-1a hash; one worker owns
+//!   each shard's state, so absorption is lock-cheap and a tenant-wide
+//!   quantile is a k-way merge over one resident sketch per shard.
+//! * Staging queues are bounded: a full queue blocks the connection
+//!   thread, which stops reading its socket, which throttles the agent
+//!   through TCP flow control — load sheds as backpressure, not OOM.
+//! * All server reads run with a short timeout; the frame reader's
+//!   lossless `WouldBlock` resume lets every thread poll the shutdown
+//!   flag between bytes without ever tearing a frame.
+//! * Corrupt payloads are rejected per frame (framing intact, stream
+//!   continues); corrupt framing or a cut connection drops only that
+//!   agent's connection. Neither touches tenant state.
+//!
+//! ## Wire protocol (ingest)
+//!
+//! | step      | bytes                                                  |
+//! |-----------|--------------------------------------------------------|
+//! | handshake | `INGEST <tenant>\n` then `DDSF` + version (one write)  |
+//! | frame     | `varint len` + envelope, one per shipped sketch        |
+//! | envelope  | `varint metric_len` + metric + `varint ts_secs` + DDS2 |
+//! | end       | clean socket close / write-half shutdown at a boundary |
+//!
+//! ## Query protocol (text lines)
+//!
+//! | command                        | response                            |
+//! |--------------------------------|-------------------------------------|
+//! | `PING`                         | `+PONG`                             |
+//! | `STATS`                        | `+OK key=value …` counters          |
+//! | `TENANTS`                      | `+OK name …`                        |
+//! | `SHARDS <tenant>`              | `+OK n depth:high …`                |
+//! | `METRICS <tenant>`             | `+OK metric …`                      |
+//! | `COUNT <tenant>`               | `+OK n`                             |
+//! | `QUANTILE <tenant> <q> …`      | `+OK v …` (shortest-round-trip f64) |
+//! | `SERIES <tenant> <metric> <q>` | `+OK window=v …`                    |
+//! | `DUMP <tenant> <shard>`        | `+DUMP <len>` + `len` binary bytes  |
+//! | `SYNC`                         | `+OK` once staged frames absorbed   |
+//! | `CHECKPOINT`                   | `+OK <files>`                       |
+//! | `SHUTDOWN` / `QUIT`            | `+OK`, connection closes            |
+//!
+//! Errors answer `-ERR <message>` on one line; the connection stays
+//! usable. Floats render via Rust's `{:?}` (shortest round-trip), so
+//! parsed responses are bit-identical to the server's values.
+//!
+//! ## Quick start (loopback)
+//!
+//! ```no_run
+//! use sketchd::{AgentSender, Bind, QueryClient, ServerConfig, ServerHandle};
+//!
+//! let server = ServerHandle::spawn(
+//!     &Bind::Tcp("127.0.0.1:0".into()),
+//!     ServerConfig::default(),
+//! ).unwrap();
+//!
+//! // An agent ships one per-window sketch.
+//! let mut sketch = ddsketch::SketchConfig::dense_collapsing(0.01, 2048)
+//!     .build().unwrap();
+//! sketch.add(42.0).unwrap();
+//! let mut agent = AgentSender::connect(server.endpoint().clone(), "acme").unwrap();
+//! agent.send("api.latency", 1700000000, &sketch).unwrap();
+//! agent.close().unwrap();
+//!
+//! // A dashboard asks for the fleet p99.
+//! let mut client = QueryClient::connect(server.endpoint()).unwrap();
+//! client.sync().unwrap();
+//! let p99 = client.quantile("acme", 0.99).unwrap();
+//! println!("fleet p99 = {p99}");
+//! server.shutdown().unwrap();
+//! ```
+
+mod agent;
+mod client;
+mod error;
+mod net;
+mod protocol;
+mod server;
+mod state;
+
+pub use agent::{AgentSender, RetryPolicy};
+pub use client::QueryClient;
+pub use error::ServerError;
+pub use net::{Bind, Endpoint};
+pub use protocol::{valid_name, MAX_LINE, MAX_NAME};
+pub use server::{ServerConfig, ServerHandle};
+pub use state::StatsSnapshot;

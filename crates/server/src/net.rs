@@ -1,0 +1,173 @@
+//! Transport plumbing: one listener/stream abstraction over TCP and
+//! Unix-domain sockets, so every other module is transport-agnostic.
+//!
+//! `std::net` + `std::os::unix::net` only — the server works fully
+//! offline on loopback, which is exactly how the soak harness and CI
+//! drive it.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where to bind a server.
+#[derive(Debug, Clone)]
+pub enum Bind {
+    /// A TCP address string, e.g. `"127.0.0.1:0"` (port 0 picks a free
+    /// port; the actual one is in the returned [`Endpoint`]).
+    Tcp(String),
+    /// A Unix-domain socket path. An existing socket file at the path is
+    /// removed before binding (the conventional daemon behaviour).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// A connectable address — what a bound listener actually listens on,
+/// and what [`crate::AgentSender`]/[`crate::QueryClient`] dial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A resolved TCP socket address.
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+impl Endpoint {
+    /// Dial the endpoint, returning a connected stream.
+    pub(crate) fn connect(&self) -> io::Result<Conn> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Ok(Conn::Unix(UnixStream::connect(path)?)),
+        }
+    }
+}
+
+/// A bound listening socket of either transport.
+#[derive(Debug)]
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Bind `bind`, returning the listener and the concrete endpoint
+    /// (with the OS-assigned port resolved for `Tcp(":0")` binds).
+    pub(crate) fn bind(bind: &Bind) -> io::Result<(Self, Endpoint)> {
+        match bind {
+            Bind::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let endpoint = Endpoint::Tcp(listener.local_addr()?);
+                Ok((Listener::Tcp(listener), endpoint))
+            }
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                // Stale socket files from a previous run would make bind
+                // fail with AddrInUse even though nothing is listening.
+                match std::fs::remove_file(path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+                let listener = UnixListener::bind(path)?;
+                Ok((Listener::Unix(listener), Endpoint::Unix(path.clone())))
+            }
+        }
+    }
+
+    /// Accept one connection (blocking).
+    pub(crate) fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true)?;
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Conn::Unix(stream))
+            }
+        }
+    }
+}
+
+/// A connected stream of either transport. `Read`/`Write` delegate to
+/// the inner socket, so [`ddsketch::codec::FrameReader`] and the line
+/// protocol run over both transports unchanged.
+#[derive(Debug)]
+pub(crate) enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Set (or clear) the read timeout. With a timeout set, stalled
+    /// reads raise `WouldBlock`/`TimedOut`, which the frame reader
+    /// surfaces as the retryable [`ddsketch::SketchError::WouldBlock`] —
+    /// the tick that lets server threads poll their shutdown flag.
+    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Half-close the write side, signalling clean end-of-stream to the
+    /// peer while keeping the read side open.
+    pub(crate) fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}

@@ -1,0 +1,692 @@
+//! The `sketchd` server proper: accept loop, ingest and query
+//! connection handlers, shard workers, the checkpointer, and graceful
+//! shutdown.
+//!
+//! ## Thread model
+//!
+//! * **accept thread** — blocks in `accept`, spawns one connection
+//!   thread per peer.
+//! * **connection threads** — read the handshake line, then either pump
+//!   an ingest frame stream (decode → route → stage) or answer query
+//!   commands. All reads run with a short timeout; the resulting
+//!   `WouldBlock` ticks are where the thread polls the shutdown flag,
+//!   riding the frame reader's lossless-resume guarantee.
+//! * **shard workers** — one per (tenant, shard): pop staged jobs and
+//!   absorb them into the shard's aggregator + time-series store under
+//!   the shard's state lock.
+//! * **checkpointer** — optional: periodically snapshots every shard's
+//!   store to `{tenant}@{shard}.ddts` (tmp + rename, so a crash
+//!   mid-write never clobbers the previous good checkpoint).
+//!
+//! Shutdown ([`ServerHandle::shutdown`]) is ordered so that no accepted
+//! frame is lost: stop accepting → connection threads exit at their
+//! next tick → staging queues close and workers drain the backlog →
+//! one final checkpoint sweep.
+
+use std::fs;
+use std::io::{self, ErrorKind, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ddsketch::codec::{FrameReader, DEFAULT_MAX_FRAME_LEN};
+use ddsketch::{AnyDDSketch, SketchConfig, SketchError, SketchPayload};
+use pipeline::TimeSeriesStore;
+
+use crate::error::ServerError;
+use crate::net::{Bind, Conn, Endpoint, Listener};
+use crate::protocol::{decode_envelope, fmt_f64, parse_command, valid_name, Command, LineReader};
+use crate::state::{lock, Job, Registry, Shard, ShardState, Stats, StatsSnapshot, Tenant};
+
+/// Knobs for a [`ServerHandle::spawn`]ed server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Sketch configuration every tenant runs. Frames whose payload
+    /// disagrees on mapping, store family, or α are rejected.
+    pub sketch: SketchConfig,
+    /// Time-series window width, seconds.
+    pub window_secs: u64,
+    /// Aggregator fold threshold (pending payloads per shard before a
+    /// fold into the resident sketch).
+    pub fold_threshold: usize,
+    /// Shards per tenant; each metric is owned by exactly one shard.
+    pub shards_per_tenant: usize,
+    /// Staging-queue bound per shard — the backpressure knob. A full
+    /// queue blocks the pushing connection thread, which stops reading
+    /// its socket, which throttles the agent via TCP.
+    pub staging_bound: usize,
+    /// Read timeout on every server-side socket: the poll tick at which
+    /// blocked reads recheck the shutdown flag.
+    pub read_timeout: Duration,
+    /// Hostile-length clamp for inbound frames.
+    pub max_frame_len: usize,
+    /// Where checkpoints live. `None` disables checkpointing (the
+    /// `CHECKPOINT` command then answers `-ERR`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Interval between periodic checkpoint sweeps; `None` means only
+    /// on-demand (`CHECKPOINT`) and final (shutdown) sweeps run.
+    pub checkpoint_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            sketch: SketchConfig::dense_collapsing(0.01, 2048),
+            window_secs: 10,
+            fold_threshold: 32,
+            shards_per_tenant: 4,
+            staging_bound: 256,
+            read_timeout: Duration::from_millis(50),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            checkpoint_dir: None,
+            checkpoint_interval: None,
+        }
+    }
+}
+
+struct ServerInner {
+    config: ServerConfig,
+    registry: Registry,
+    stats: Stats,
+    shutdown: AtomicBool,
+    endpoint: Endpoint,
+    shard_workers: Mutex<Vec<JoinHandle<()>>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    checkpoint_wake: (Mutex<()>, Condvar),
+}
+
+impl ServerInner {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A running `sketchd` server. Dropping the handle shuts the server
+/// down gracefully (prefer calling [`ServerHandle::shutdown`] to
+/// observe errors and the final stats).
+pub struct ServerHandle {
+    inner: Arc<ServerInner>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    checkpoint_thread: Mutex<Option<JoinHandle<()>>>,
+    done: AtomicBool,
+}
+
+impl ServerHandle {
+    /// Bind `bind`, restore any checkpoints found in the configured
+    /// checkpoint directory, and start serving.
+    pub fn spawn(bind: &Bind, config: ServerConfig) -> Result<Self, ServerError> {
+        if config.shards_per_tenant == 0 {
+            return Err(ServerError::Protocol(
+                "shards_per_tenant must be > 0".into(),
+            ));
+        }
+        config.sketch.validate().map_err(ServerError::Sketch)?;
+        let (listener, endpoint) = Listener::bind(bind)?;
+        let inner = Arc::new(ServerInner {
+            config,
+            registry: Registry::default(),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            endpoint,
+            shard_workers: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            checkpoint_wake: (Mutex::new(()), Condvar::new()),
+        });
+        restore_checkpoints(&inner)?;
+        let accept = {
+            let inner = inner.clone();
+            std::thread::spawn(move || accept_loop(&inner, &listener))
+        };
+        let checkpointer = inner.config.checkpoint_interval.map(|interval| {
+            let inner = inner.clone();
+            std::thread::spawn(move || checkpoint_loop(&inner, interval))
+        });
+        Ok(Self {
+            inner,
+            accept_thread: Mutex::new(Some(accept)),
+            checkpoint_thread: Mutex::new(checkpointer),
+            done: AtomicBool::new(false),
+        })
+    }
+
+    /// The concrete endpoint the server listens on (with an
+    /// OS-assigned port resolved for `tcp://…:0` binds).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.inner.endpoint
+    }
+
+    /// A point-in-time copy of the server's counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Whether shutdown has been requested (via this handle or a
+    /// `SHUTDOWN` command). The owner should then call
+    /// [`ServerHandle::shutdown`] to complete it.
+    pub fn shutdown_requested(&self) -> bool {
+        self.inner.shutting_down()
+    }
+
+    /// Gracefully shut the server down: stop accepting, let connection
+    /// threads exit, drain every staging queue, run one final
+    /// checkpoint sweep, and join every thread. Idempotent; returns
+    /// the final stats.
+    pub fn shutdown(&self) -> Result<StatsSnapshot, ServerError> {
+        if self.done.swap(true, Ordering::AcqRel) {
+            return Ok(self.inner.stats.snapshot());
+        }
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection; it checks
+        // the flag on every wakeup.
+        let _ = self.inner.endpoint.connect();
+        if let Some(handle) = lock(&self.accept_thread).take() {
+            let _ = handle.join();
+        }
+        // Connection threads notice the flag at their next read tick.
+        for handle in lock(&self.inner.conn_threads).drain(..) {
+            let _ = handle.join();
+        }
+        // Close staging: workers drain the remaining backlog, then exit
+        // — accepted frames are never dropped.
+        for tenant in self.inner.registry.all() {
+            for shard in &tenant.shards {
+                shard.close();
+            }
+        }
+        for handle in lock(&self.inner.shard_workers).drain(..) {
+            let _ = handle.join();
+        }
+        // Wake and join the checkpointer, then take the final sweep
+        // ourselves (after the drain, so it includes every frame).
+        self.inner.checkpoint_wake.1.notify_all();
+        if let Some(handle) = lock(&self.checkpoint_thread).take() {
+            let _ = handle.join();
+        }
+        checkpoint_all(&self.inner)?;
+        Ok(self.inner.stats.snapshot())
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// Look a tenant up, creating it (and spawning its shard workers) on
+/// first sight.
+fn tenant(inner: &Arc<ServerInner>, name: &str) -> Result<Arc<Tenant>, SketchError> {
+    let cfg = &inner.config;
+    let (tenant, created) = inner.registry.get_or_create(name, || {
+        Tenant::new(
+            name,
+            cfg.sketch,
+            cfg.shards_per_tenant,
+            cfg.staging_bound,
+            cfg.fold_threshold,
+            cfg.window_secs,
+        )
+    })?;
+    if created {
+        let mut workers = lock(&inner.shard_workers);
+        for shard in &tenant.shards {
+            let shard = shard.clone();
+            let inner = inner.clone();
+            workers.push(std::thread::spawn(move || worker_loop(&inner, &shard)));
+        }
+    }
+    Ok(tenant)
+}
+
+/// One shard worker: absorb staged jobs until the shard closes and its
+/// backlog drains.
+fn worker_loop(inner: &ServerInner, shard: &Shard) {
+    while let Some(Job {
+        metric,
+        ts_secs,
+        payload,
+    }) = shard.pop()
+    {
+        let mut state = lock(&shard.state);
+        // Both sinks run the same admission predicate as the connection
+        // thread's pre-check, so neither can fail here — but a failure
+        // must still leave agg and store consistent: skip both.
+        let spare = match state.store.absorb_payload(&metric, ts_secs, &payload) {
+            Ok(()) => match state.agg.feed_payload(payload) {
+                Ok(()) => {
+                    Stats::add(&inner.stats.frames_ingested, 1);
+                    state.agg.take_spare()
+                }
+                Err(_) => {
+                    Stats::add(&inner.stats.frames_rejected, 1);
+                    state.agg.take_spare()
+                }
+            },
+            Err(_) => {
+                Stats::add(&inner.stats.frames_rejected, 1);
+                payload
+            }
+        };
+        drop(state);
+        shard.complete(spare, metric);
+    }
+}
+
+fn accept_loop(inner: &Arc<ServerInner>, listener: &Listener) {
+    loop {
+        match listener.accept() {
+            Ok(conn) => {
+                if inner.shutting_down() {
+                    return;
+                }
+                Stats::add(&inner.stats.connections_total, 1);
+                let inner2 = inner.clone();
+                let handle = std::thread::spawn(move || handle_conn(&inner2, conn));
+                lock(&inner.conn_threads).push(handle);
+            }
+            Err(_) if inner.shutting_down() => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Decrements `connections_active` even if the handler panics.
+struct ActiveGuard<'a>(&'a Stats);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn is_retryable(e: &io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn handle_conn(inner: &Arc<ServerInner>, mut conn: Conn) {
+    Stats::add(&inner.stats.connections_active, 1);
+    let _guard = ActiveGuard(&inner.stats);
+    if conn
+        .set_read_timeout(Some(inner.config.read_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let mut lines = LineReader::new();
+    let first = loop {
+        match lines.poll_line(&mut conn) {
+            Ok(Some(line)) => break line,
+            Ok(None) => return,
+            Err(e) if is_retryable(&e) => {
+                if inner.shutting_down() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    };
+    if let Some(tenant_name) = first.strip_prefix("INGEST ") {
+        handle_ingest(inner, conn, tenant_name.trim());
+    } else {
+        handle_query(inner, conn, first);
+    }
+}
+
+/// Pump one agent's frame stream into its tenant's shards.
+fn handle_ingest(inner: &Arc<ServerInner>, conn: Conn, tenant_name: &str) {
+    if !valid_name(tenant_name) {
+        Stats::add(&inner.stats.ingest_disconnects, 1);
+        return;
+    }
+    let Ok(tenant) = tenant(inner, tenant_name) else {
+        Stats::add(&inner.stats.ingest_disconnects, 1);
+        return;
+    };
+    let mut reader = FrameReader::lazy_with_max_frame_len(conn, inner.config.max_frame_len);
+    let mut frame = Vec::new();
+    let mut spare_payload = SketchPayload::default();
+    let mut spare_metric = String::new();
+    let clean = loop {
+        match reader.read_frame(&mut frame) {
+            Ok(Some(_)) => {}
+            // Clean `DDSF` end-of-stream terminator.
+            Ok(None) => break true,
+            Err(SketchError::WouldBlock) => {
+                if inner.shutting_down() {
+                    break false;
+                }
+                continue;
+            }
+            // Framing is unrecoverable after a corrupt length or a cut
+            // connection: drop the stream; the agent reconnects.
+            Err(_) => {
+                Stats::add(&inner.stats.frames_rejected, 1);
+                break false;
+            }
+        }
+        match decode_envelope(&frame) {
+            Ok((metric, ts_secs, payload_bytes)) => {
+                // Reject corrupt or incompatible payloads here, before
+                // staging — a bad frame never reaches tenant state, and
+                // the (intact) framing lets the stream continue.
+                if spare_payload.decode_into(payload_bytes).is_ok()
+                    && spare_payload.matches_config(&inner.config.sketch)
+                {
+                    spare_metric.clear();
+                    spare_metric.push_str(metric);
+                    Stats::add(&inner.stats.bytes_ingested, frame.len() as u64);
+                    let shard = tenant.shard_for(&spare_metric).clone();
+                    let job = Job {
+                        metric: std::mem::take(&mut spare_metric),
+                        ts_secs,
+                        payload: std::mem::take(&mut spare_payload),
+                    };
+                    match shard.push(job, &inner.stats) {
+                        Ok((payload, metric)) => {
+                            spare_payload = payload;
+                            spare_metric = metric;
+                        }
+                        // The shard closed under us: server shutdown.
+                        Err(()) => break false,
+                    }
+                } else {
+                    Stats::add(&inner.stats.frames_rejected, 1);
+                }
+            }
+            Err(_) => Stats::add(&inner.stats.frames_rejected, 1),
+        }
+    };
+    if !clean {
+        Stats::add(&inner.stats.ingest_disconnects, 1);
+    }
+}
+
+fn respond(conn: &mut Conn, line: &str) -> io::Result<()> {
+    conn.write_all(line.as_bytes())?;
+    conn.write_all(b"\n")
+}
+
+fn handle_query(inner: &Arc<ServerInner>, mut conn: Conn, first: String) {
+    let mut lines = LineReader::new();
+    let mut pending = Some(first);
+    loop {
+        let line = match pending.take() {
+            Some(line) => line,
+            None => match lines.poll_line(&mut conn) {
+                Ok(Some(line)) => line,
+                Ok(None) => return,
+                Err(e) if is_retryable(&e) => {
+                    if inner.shutting_down() {
+                        return;
+                    }
+                    continue;
+                }
+                Err(_) => return,
+            },
+        };
+        Stats::add(&inner.stats.queries_served, 1);
+        let keep_going = match parse_command(&line) {
+            Ok(command) => execute(inner, command, &mut conn),
+            Err(message) => respond(&mut conn, &format!("-ERR {message}")).map(|()| true),
+        };
+        if !keep_going.unwrap_or(false) {
+            return;
+        }
+    }
+}
+
+/// Run one query command; `Ok(false)` closes the connection.
+fn execute(inner: &Arc<ServerInner>, command: Command, conn: &mut Conn) -> io::Result<bool> {
+    match command {
+        Command::Ping => respond(conn, "+PONG")?,
+        Command::Stats => {
+            let s = inner.stats.snapshot();
+            respond(
+                conn,
+                &format!(
+                    "+OK frames_ingested={} frames_rejected={} bytes_ingested={} \
+                     connections_total={} connections_active={} ingest_disconnects={} \
+                     queries_served={} backpressure_waits={} checkpoints_completed={}",
+                    s.frames_ingested,
+                    s.frames_rejected,
+                    s.bytes_ingested,
+                    s.connections_total,
+                    s.connections_active,
+                    s.ingest_disconnects,
+                    s.queries_served,
+                    s.backpressure_waits,
+                    s.checkpoints_completed
+                ),
+            )?;
+        }
+        Command::Tenants => {
+            let names: Vec<String> = inner
+                .registry
+                .all()
+                .iter()
+                .map(|t| t.name.clone())
+                .collect();
+            respond(conn, &format!("+OK {}", names.join(" ")))?;
+        }
+        Command::Shards(name) => match inner.registry.get(&name) {
+            Some(tenant) => {
+                let mut line = format!("+OK {}", tenant.shards.len());
+                for shard in &tenant.shards {
+                    let (depth, high) = shard.depth();
+                    line.push_str(&format!(" {depth}:{high}"));
+                }
+                respond(conn, &line)?;
+            }
+            None => respond(conn, "-ERR unknown tenant")?,
+        },
+        Command::Metrics(name) => match inner.registry.get(&name) {
+            Some(tenant) => {
+                let mut metrics: Vec<String> = Vec::new();
+                for shard in &tenant.shards {
+                    let state = lock(&shard.state);
+                    metrics.extend(state.store.metrics().map(|(_, m)| m.to_string()));
+                }
+                metrics.sort();
+                metrics.dedup();
+                respond(conn, &format!("+OK {}", metrics.join(" ")))?;
+            }
+            None => respond(conn, "-ERR unknown tenant")?,
+        },
+        Command::Count(name) => match inner.registry.get(&name) {
+            Some(tenant) => {
+                let total: u64 = tenant
+                    .shards
+                    .iter()
+                    .map(|shard| lock(&shard.state).agg.count())
+                    .sum();
+                respond(conn, &format!("+OK {total}"))?;
+            }
+            None => respond(conn, "-ERR unknown tenant")?,
+        },
+        Command::Quantile(name, qs) => match inner.registry.get(&name) {
+            Some(tenant) => {
+                // Fold each shard under its own lock, clone the resident,
+                // and answer with one k-way merged walk outside all locks
+                // — exact by full mergeability, so the result is
+                // bit-identical to a single union sketch.
+                let residents: Vec<AnyDDSketch> = tenant
+                    .shards
+                    .iter()
+                    .map(|shard| {
+                        let mut state = lock(&shard.state);
+                        state.agg.fold();
+                        state.agg.resident().clone()
+                    })
+                    .collect();
+                let refs: Vec<&AnyDDSketch> = residents.iter().collect();
+                match AnyDDSketch::merged_quantiles(&refs, &qs) {
+                    Ok(values) => {
+                        let rendered: Vec<String> = values.iter().map(|&v| fmt_f64(v)).collect();
+                        respond(conn, &format!("+OK {}", rendered.join(" ")))?;
+                    }
+                    Err(e) => respond(conn, &format!("-ERR {e}"))?,
+                }
+            }
+            None => respond(conn, "-ERR unknown tenant")?,
+        },
+        Command::Series {
+            tenant: name,
+            metric,
+            q,
+        } => match inner.registry.get(&name) {
+            Some(tenant) => {
+                let state = lock(&tenant.shard_for(&metric).state);
+                let series = state.store.quantile_series(&metric, q);
+                drop(state);
+                let rendered: Vec<String> = series
+                    .iter()
+                    .map(|&(window, v)| format!("{window}={}", fmt_f64(v)))
+                    .collect();
+                respond(conn, &format!("+OK {}", rendered.join(" ")))?;
+            }
+            None => respond(conn, "-ERR unknown tenant")?,
+        },
+        Command::Dump {
+            tenant: name,
+            shard,
+        } => match inner.registry.get(&name) {
+            Some(tenant) if shard < tenant.shards.len() => {
+                let state = lock(&tenant.shards[shard].state);
+                let bytes = state
+                    .store
+                    .checkpoint(Vec::new())
+                    .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+                drop(state);
+                respond(conn, &format!("+DUMP {}", bytes.len()))?;
+                conn.write_all(&bytes)?;
+            }
+            Some(_) => respond(conn, "-ERR shard index out of range")?,
+            None => respond(conn, "-ERR unknown tenant")?,
+        },
+        Command::Sync => {
+            for tenant in inner.registry.all() {
+                for shard in &tenant.shards {
+                    shard.sync();
+                }
+            }
+            respond(conn, "+OK")?;
+        }
+        Command::Checkpoint => {
+            if inner.config.checkpoint_dir.is_none() {
+                respond(conn, "-ERR no checkpoint directory configured")?;
+            } else {
+                match checkpoint_all(inner) {
+                    Ok(files) => respond(conn, &format!("+OK {files}"))?,
+                    Err(e) => respond(conn, &format!("-ERR {e}"))?,
+                }
+            }
+        }
+        Command::Shutdown => {
+            inner.shutdown.store(true, Ordering::Release);
+            inner.checkpoint_wake.1.notify_all();
+            respond(conn, "+OK")?;
+            return Ok(false);
+        }
+        Command::Quit => {
+            respond(conn, "+OK")?;
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn checkpoint_loop(inner: &Arc<ServerInner>, interval: Duration) {
+    let (mutex, condvar) = &inner.checkpoint_wake;
+    loop {
+        let guard = mutex.lock().unwrap_or_else(|p| p.into_inner());
+        let _unused = condvar
+            .wait_timeout(guard, interval)
+            .unwrap_or_else(|p| p.into_inner());
+        if inner.shutting_down() {
+            // The final sweep belongs to `shutdown`, after the drain.
+            return;
+        }
+        let _ = checkpoint_all(inner);
+    }
+}
+
+/// Snapshot every shard's store to `{tenant}@{shard}.ddts` under the
+/// configured directory (tmp + rename). Returns the file count.
+fn checkpoint_all(inner: &ServerInner) -> Result<usize, ServerError> {
+    let Some(dir) = &inner.config.checkpoint_dir else {
+        return Ok(0);
+    };
+    fs::create_dir_all(dir)?;
+    let mut files = 0;
+    for tenant in inner.registry.all() {
+        for (index, shard) in tenant.shards.iter().enumerate() {
+            let state = lock(&shard.state);
+            let bytes = state.store.checkpoint(Vec::new())?;
+            drop(state);
+            let tmp = dir.join(format!("{}@{index}.ddts.tmp", tenant.name));
+            let path = dir.join(format!("{}@{index}.ddts", tenant.name));
+            fs::write(&tmp, &bytes)?;
+            fs::rename(&tmp, &path)?;
+            files += 1;
+        }
+    }
+    Stats::add(&inner.stats.checkpoints_completed, 1);
+    Ok(files)
+}
+
+/// Boot-time restore: load every `{tenant}@{shard}.ddts` under the
+/// checkpoint directory back into tenant state, rebuilding each shard's
+/// resident aggregator from the restored cells.
+fn restore_checkpoints(inner: &Arc<ServerInner>) -> Result<(), ServerError> {
+    let Some(dir) = &inner.config.checkpoint_dir else {
+        return Ok(());
+    };
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(stem) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_suffix(".ddts"))
+        else {
+            continue;
+        };
+        let Some((tenant_name, index)) = stem.rsplit_once('@') else {
+            return Err(ServerError::Protocol(format!(
+                "checkpoint file {} is not named tenant@shard.ddts",
+                path.display()
+            )));
+        };
+        let index: usize = index
+            .parse()
+            .map_err(|_| ServerError::Protocol(format!("bad shard index in {}", path.display())))?;
+        if !valid_name(tenant_name) || index >= inner.config.shards_per_tenant {
+            return Err(ServerError::Protocol(format!(
+                "checkpoint file {} does not fit this server's layout",
+                path.display()
+            )));
+        }
+        let file = fs::File::open(&path)?;
+        let store = TimeSeriesStore::restore(io::BufReader::new(file))?;
+        if store.config() != inner.config.sketch || store.window_secs() != inner.config.window_secs
+        {
+            return Err(ServerError::Protocol(format!(
+                "checkpoint {} was taken under a different configuration",
+                path.display()
+            )));
+        }
+        let tenant = tenant(inner, tenant_name)?;
+        let mut state = lock(&tenant.shards[index].state);
+        let ShardState { agg, store: slot } = &mut *state;
+        *slot = store;
+        for (_, _, cell) in slot.cells() {
+            agg.feed(&cell.encode())?;
+        }
+        agg.fold();
+    }
+    Ok(())
+}

@@ -1,0 +1,423 @@
+//! Server-side state: global counters, per-tenant sharded sketch state,
+//! and the bounded staging queues between connection threads and shard
+//! workers.
+//!
+//! ## Sharding
+//!
+//! Each tenant owns `shards_per_tenant` shards; a metric is routed to
+//! `fnv1a(metric) % shards`, so **every metric is owned by exactly one
+//! shard** — no cross-shard merge is ever needed for a per-metric
+//! query, and a tenant-wide quantile is a k-way merge over one resident
+//! sketch per shard (exact, by the paper's full mergeability).
+//!
+//! ## Backpressure
+//!
+//! Every shard has a bounded staging queue. Connection threads block in
+//! [`Shard::push`] when the queue is full; since an ingest connection
+//! reads nothing further while blocked, the stall propagates to the
+//! agent as TCP backpressure — the server throttles instead of
+//! buffering unboundedly. Payload buffers and metric-name strings are
+//! recycled through the queue in a ping-pong: `push` hands back a spare
+//! pair for the connection's next decode, and workers return spent
+//! buffers via [`Shard::complete`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use ddsketch::{SketchConfig, SketchPayload};
+use pipeline::{Aggregator, TimeSeriesStore};
+
+/// Lock a mutex, surviving poisoning: a connection thread that panicked
+/// mid-operation must not wedge every other agent of the tenant. All
+/// state mutations behind these locks are transactional (reject-before-
+/// mutate), so the state a panicking thread leaves behind is consistent.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// FNV-1a over the metric name — the shard routing hash. Stable across
+/// runs (checkpoint files are per-shard) and dependency-free.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Global monotonic counters, shared by every thread of a server.
+#[derive(Debug, Default)]
+pub(crate) struct Stats {
+    pub frames_ingested: AtomicU64,
+    pub frames_rejected: AtomicU64,
+    pub bytes_ingested: AtomicU64,
+    pub connections_total: AtomicU64,
+    pub connections_active: AtomicU64,
+    pub ingest_disconnects: AtomicU64,
+    pub queries_served: AtomicU64,
+    pub backpressure_waits: AtomicU64,
+    pub checkpoints_completed: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            frames_ingested: self.frames_ingested.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            bytes_ingested: self.bytes_ingested.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            ingest_disconnects: self.ingest_disconnects.load(Ordering::Relaxed),
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
+            checkpoints_completed: self.checkpoints_completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the server's counters — what `STATS` reports
+/// and what [`crate::ServerHandle::stats`] returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Frames decoded, routed, and absorbed into tenant state.
+    pub frames_ingested: u64,
+    /// Frames rejected (corrupt bytes or incompatible configuration)
+    /// without touching tenant state.
+    pub frames_rejected: u64,
+    /// Envelope bytes of accepted frames.
+    pub bytes_ingested: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Ingest connections that ended without a clean `DDSF` terminator.
+    pub ingest_disconnects: u64,
+    /// Query commands answered (including `-ERR` answers).
+    pub queries_served: u64,
+    /// Times a connection thread blocked on a full staging queue.
+    pub backpressure_waits: u64,
+    /// Checkpoint sweeps completed (periodic, on demand, and final).
+    pub checkpoints_completed: u64,
+}
+
+/// One routed, decoded frame awaiting absorption by a shard worker.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub metric: String,
+    pub ts_secs: u64,
+    pub payload: SketchPayload,
+}
+
+/// The sketch state a shard worker owns: the tenant-shard's resident
+/// aggregator (tenant-wide quantiles) and its windowed time-series
+/// store (per-metric series, checkpoints). Both absorb every accepted
+/// frame, so they answer from the same data.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    pub agg: Aggregator,
+    pub store: TimeSeriesStore,
+}
+
+#[derive(Debug, Default)]
+struct StagingInner {
+    queue: VecDeque<Job>,
+    /// Spent decode buffers flowing back to connection threads.
+    spare_payloads: Vec<SketchPayload>,
+    spare_strings: Vec<String>,
+    /// Jobs popped but not yet [`Shard::complete`]d — `sync` must wait
+    /// for these too, or a drained queue could still mean an absorb in
+    /// flight.
+    in_flight: usize,
+    high_watermark: usize,
+    closed: bool,
+}
+
+/// One shard of a tenant: a bounded staging queue feeding a dedicated
+/// worker that owns the shard's [`ShardState`].
+#[derive(Debug)]
+pub(crate) struct Shard {
+    staging: Mutex<StagingInner>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    drained: Condvar,
+    bound: usize,
+    pub state: Mutex<ShardState>,
+}
+
+impl Shard {
+    fn new(state: ShardState, bound: usize) -> Self {
+        Self {
+            staging: Mutex::new(StagingInner::default()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            drained: Condvar::new(),
+            bound: bound.max(1),
+            state: Mutex::new(state),
+        }
+    }
+
+    /// Stage one job, blocking while the queue is at its bound (the
+    /// backpressure path; `stats` counts the waits). Returns a recycled
+    /// `(payload, metric string)` pair for the caller's next decode —
+    /// or `Err(())` if the shard closed while waiting (server shutdown).
+    pub(crate) fn push(&self, job: Job, stats: &Stats) -> Result<(SketchPayload, String), ()> {
+        let mut inner = lock(&self.staging);
+        while inner.queue.len() >= self.bound && !inner.closed {
+            Stats::add(&stats.backpressure_waits, 1);
+            inner = self
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        if inner.closed {
+            return Err(());
+        }
+        inner.queue.push_back(job);
+        inner.high_watermark = inner.high_watermark.max(inner.queue.len());
+        let spare = (
+            inner.spare_payloads.pop().unwrap_or_default(),
+            inner.spare_strings.pop().unwrap_or_default(),
+        );
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(spare)
+    }
+
+    /// Worker side: take the next job, blocking while the queue is
+    /// empty. `None` once the shard is closed *and* drained — the
+    /// worker's signal to exit (already-staged jobs are still handed
+    /// out after close, so shutdown never drops accepted frames).
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let mut inner = lock(&self.staging);
+        loop {
+            if let Some(job) = inner.queue.pop_front() {
+                inner.in_flight += 1;
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Worker side: mark the previously popped job absorbed and return
+    /// its buffers to the recycle pools.
+    pub(crate) fn complete(&self, payload: SketchPayload, mut metric: String) {
+        metric.clear();
+        let mut inner = lock(&self.staging);
+        inner.spare_payloads.push(payload);
+        inner.spare_strings.push(metric);
+        inner.in_flight -= 1;
+        if inner.queue.is_empty() && inner.in_flight == 0 {
+            drop(inner);
+            self.drained.notify_all();
+        }
+    }
+
+    /// Block until every staged job has been absorbed (queue empty and
+    /// nothing in flight) — the barrier behind `SYNC` and checkpoints.
+    pub(crate) fn sync(&self) {
+        let mut inner = lock(&self.staging);
+        while !inner.queue.is_empty() || inner.in_flight > 0 {
+            inner = self
+                .drained
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Close the queue: pushes start failing, and the worker exits once
+    /// the backlog drains.
+    pub(crate) fn close(&self) {
+        lock(&self.staging).closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Current staging depth and the deepest it has ever been.
+    pub(crate) fn depth(&self) -> (usize, usize) {
+        let inner = lock(&self.staging);
+        (inner.queue.len() + inner.in_flight, inner.high_watermark)
+    }
+}
+
+/// One tenant: its name and its shards.
+#[derive(Debug)]
+pub(crate) struct Tenant {
+    pub name: String,
+    pub shards: Vec<Arc<Shard>>,
+}
+
+impl Tenant {
+    pub(crate) fn new(
+        name: &str,
+        config: SketchConfig,
+        num_shards: usize,
+        staging_bound: usize,
+        fold_threshold: usize,
+        window_secs: u64,
+    ) -> Result<Self, ddsketch::SketchError> {
+        let mut shards = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            shards.push(Arc::new(Shard::new(
+                ShardState {
+                    agg: Aggregator::with_config(config, fold_threshold)?,
+                    store: TimeSeriesStore::with_config(config, window_secs)?,
+                },
+                staging_bound,
+            )));
+        }
+        Ok(Self {
+            name: name.to_string(),
+            shards,
+        })
+    }
+
+    /// The shard owning `metric`.
+    pub(crate) fn shard_for(&self, metric: &str) -> &Arc<Shard> {
+        &self.shards[self.shard_index_for(metric)]
+    }
+
+    /// The index of the shard owning `metric` (stable across runs — the
+    /// checkpoint filenames depend on it).
+    pub(crate) fn shard_index_for(&self, metric: &str) -> usize {
+        (fnv1a(metric.as_bytes()) % self.shards.len() as u64) as usize
+    }
+}
+
+/// The tenant registry: name → tenant, created on first ingest (or by
+/// checkpoint restore at boot).
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+}
+
+impl Registry {
+    pub(crate) fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        lock(&self.tenants).get(name).cloned()
+    }
+
+    /// Look up `name`, building it with `make` on first sight. Returns
+    /// the tenant and whether this call created it.
+    pub(crate) fn get_or_create(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Result<Tenant, ddsketch::SketchError>,
+    ) -> Result<(Arc<Tenant>, bool), ddsketch::SketchError> {
+        let mut tenants = lock(&self.tenants);
+        if let Some(tenant) = tenants.get(name) {
+            return Ok((tenant.clone(), false));
+        }
+        let tenant = Arc::new(make()?);
+        tenants.insert(name.to_string(), tenant.clone());
+        Ok((tenant, true))
+    }
+
+    /// Every tenant, name-sorted (for `TENANTS` and checkpoint sweeps).
+    pub(crate) fn all(&self) -> Vec<Arc<Tenant>> {
+        let mut all: Vec<_> = lock(&self.tenants).values().cloned().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn staging_queue_blocks_at_bound_and_recycles() {
+        let config = SketchConfig::dense_collapsing(0.01, 128);
+        let tenant = Tenant::new("t", config, 1, 2, 4, 10).unwrap();
+        let shard = tenant.shards[0].clone();
+        let stats = Arc::new(Stats::default());
+
+        let job = |i: u64| Job {
+            metric: format!("m{i}"),
+            ts_secs: i,
+            payload: SketchPayload::default(),
+        };
+        shard.push(job(0), &stats).unwrap();
+        shard.push(job(1), &stats).unwrap();
+        assert_eq!(shard.depth().0, 2);
+
+        // A third push must block until the worker side pops.
+        let pusher = {
+            let shard = shard.clone();
+            let stats = stats.clone();
+            std::thread::spawn(move || shard.push(job(2), &stats).is_ok())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!pusher.is_finished(), "push at the bound must block");
+        let popped = shard.pop().unwrap();
+        assert_eq!(popped.metric, "m0");
+        shard.complete(popped.payload, popped.metric);
+        assert!(pusher.join().unwrap());
+        assert!(stats.backpressure_waits.load(Ordering::Relaxed) >= 1);
+
+        // Drain; sync returns once queue and in-flight are empty.
+        while let Some(job) = {
+            let (depth, _) = shard.depth();
+            (depth > 0).then(|| shard.pop().unwrap())
+        } {
+            shard.complete(job.payload, job.metric);
+        }
+        shard.sync();
+        let (_, high) = shard.depth();
+        assert_eq!(high, 2, "high watermark equals the bound");
+
+        // Closed shard: push fails, pop returns None.
+        shard.close();
+        assert!(shard.push(job(9), &stats).is_err());
+        assert!(shard.pop().is_none());
+    }
+
+    #[test]
+    fn metrics_route_to_stable_shards() {
+        let config = SketchConfig::dense_collapsing(0.01, 128);
+        let tenant = Tenant::new("t", config, 4, 8, 4, 10).unwrap();
+        for metric in ["api.latency", "db.query", "cache.hit", "queue.depth"] {
+            let a = tenant.shard_index_for(metric);
+            let b = tenant.shard_index_for(metric);
+            assert_eq!(a, b);
+            assert!(a < 4);
+            assert!(Arc::ptr_eq(tenant.shard_for(metric), &tenant.shards[a]));
+        }
+    }
+
+    #[test]
+    fn registry_creates_once() {
+        let registry = Registry::default();
+        let config = SketchConfig::dense_collapsing(0.01, 128);
+        let make = || Tenant::new("acme", config, 2, 8, 4, 10);
+        assert!(registry.get("acme").is_none());
+        let (first, created) = registry.get_or_create("acme", make).unwrap();
+        assert!(created);
+        let (second, created) = registry.get_or_create("acme", make).unwrap();
+        assert!(!created);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(registry.all().len(), 1);
+    }
+}

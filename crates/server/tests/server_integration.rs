@@ -1,0 +1,552 @@
+//! End-to-end integration tests for `sketchd` over real loopback
+//! sockets: concurrent agent fleets with corrupt-frame injection and
+//! mid-stream disconnects, backpressure, checkpoint/restore through the
+//! wire, the server-kill reconnect regression, and protocol errors.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ddsketch::{AnyDDSketch, SketchConfig};
+use sketchd::{AgentSender, Bind, QueryClient, RetryPolicy, ServerConfig, ServerHandle};
+
+/// 2048 bins is comfortably above what the value ranges below populate,
+/// so no collapsing happens and bit-identity claims stay about the
+/// merge plumbing, not collapse order.
+fn cfg() -> SketchConfig {
+    SketchConfig::dense_collapsing(0.01, 2048)
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        sketch: cfg(),
+        window_secs: 10,
+        fold_threshold: 8,
+        shards_per_tenant: 4,
+        staging_bound: 64,
+        read_timeout: Duration::from_millis(10),
+        ..ServerConfig::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sketchd-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Build one agent-side per-window sketch and return its encoded bytes.
+fn payload(values: impl IntoIterator<Item = f64>) -> Vec<u8> {
+    let mut sketch = cfg().build().unwrap();
+    for v in values {
+        sketch.add(v).unwrap();
+    }
+    sketch.encode()
+}
+
+/// `AgentSender::close` returns once the frames are flushed to the
+/// kernel, not once the server has *read* them — so tests wait until the
+/// server accounts for every frame (absorbed + rejected) before
+/// asserting on state.
+fn await_frames(client: &mut QueryClient, expect: u64) -> sketchd::StatsSnapshot {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().unwrap();
+        let seen = stats.frames_ingested + stats.frames_rejected;
+        if seen >= expect {
+            assert_eq!(seen, expect, "more frames accounted for than sent");
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out at {seen}/{expect} frames"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The tentpole soak-shaped test: 50 concurrent agents over TCP
+/// loopback, ~2% corrupt payloads and periodic mid-stream disconnects
+/// injected, queries running concurrently with ingest — and the final
+/// tenant-wide quantiles must be **bit-identical** to a from-scratch
+/// union sketch over every valid payload.
+#[test]
+fn fifty_agents_with_corruption_equal_the_union() {
+    const AGENTS: usize = 50;
+    const FRAMES_PER_AGENT: usize = 120;
+    const VALUES_PER_FRAME: usize = 20;
+
+    let server = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), server_config()).unwrap();
+    let endpoint = server.endpoint().clone();
+
+    // A concurrent query thread hammers the server throughout ingest.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let query_thread = {
+        let endpoint = endpoint.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut client = QueryClient::connect(&endpoint).unwrap();
+            let mut queries = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                client.ping().unwrap();
+                // Quantiles may legitimately answer -ERR before the first
+                // frame lands; protocol errors are fine, transport errors
+                // are not.
+                match client.quantiles("acme", &[0.5, 0.99]) {
+                    Ok(_) | Err(sketchd::ServerError::Protocol(_)) => {}
+                    Err(e) => panic!("query failed: {e}"),
+                }
+                queries += 1;
+            }
+            queries
+        })
+    };
+
+    let handles: Vec<_> = (0..AGENTS)
+        .map(|a| {
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || {
+                let mut agent = AgentSender::connect(endpoint, "acme").expect("agent connects");
+                let mut union = cfg().build().unwrap();
+                let mut corrupt = 0u64;
+                for i in 0..FRAMES_PER_AGENT {
+                    let metric = format!("m{}", (a + i) % 7);
+                    let ts = ((a * 31 + i) % 50) as u64 * 10;
+                    if (a + i) % 47 == 0 {
+                        // ~2% corrupt payloads: intact framing, garbage
+                        // sketch bytes. The server must reject exactly
+                        // these and keep the stream alive.
+                        agent
+                            .send_encoded(&metric, ts, b"DDS2 this is not a sketch")
+                            .expect("corrupt frame still ships");
+                        corrupt += 1;
+                        continue;
+                    }
+                    if i > 0 && i % 40 == 0 {
+                        // Mid-stream disconnect: the next send reconnects.
+                        agent.drop_connection();
+                    }
+                    let values: Vec<f64> = (0..VALUES_PER_FRAME)
+                        .map(|k| 0.5 + ((a * 1009 + i * 97 + k * 13) % 997) as f64)
+                        .collect();
+                    let bytes = payload(values.iter().copied());
+                    union
+                        .merge_from(&AnyDDSketch::decode(&bytes).unwrap())
+                        .unwrap();
+                    agent.send_encoded(&metric, ts, &bytes).expect("send");
+                }
+                let reconnects = agent.reconnects();
+                agent.close().expect("clean close");
+                (union, corrupt, reconnects)
+            })
+        })
+        .collect();
+
+    let mut reference = cfg().build().unwrap();
+    let mut total_corrupt = 0u64;
+    let mut total_reconnects = 0u64;
+    for handle in handles {
+        let (union, corrupt, reconnects) = handle.join().unwrap();
+        reference.merge_from(&union).unwrap();
+        total_corrupt += corrupt;
+        total_reconnects += reconnects;
+    }
+    assert!(total_corrupt >= AGENTS as u64, "corruption injection ran");
+    assert!(
+        total_reconnects >= AGENTS as u64,
+        "disconnect injection ran"
+    );
+
+    let mut client = QueryClient::connect(&endpoint).unwrap();
+    let stats = await_frames(&mut client, (AGENTS * FRAMES_PER_AGENT) as u64);
+    client.sync().unwrap();
+
+    // Quantiles bit-identical to the from-scratch union.
+    let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+    let served = client.quantiles("acme", &qs).unwrap();
+    let expected = reference.quantiles(&qs).unwrap();
+    for (q, (got, want)) in qs.iter().zip(served.iter().zip(expected.iter())) {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "q={q}: served {got} != union {want}"
+        );
+    }
+
+    // Zero lost or duplicated bins: the counts agree exactly.
+    assert_eq!(client.count("acme").unwrap(), reference.count());
+
+    // The corrupt frames were rejected, not absorbed — and nothing else.
+    assert_eq!(stats.frames_rejected, total_corrupt);
+    assert_eq!(
+        stats.frames_ingested,
+        (AGENTS * FRAMES_PER_AGENT) as u64 - total_corrupt
+    );
+
+    // Metric listing and per-metric series work alongside.
+    let metrics = client.metrics("acme").unwrap();
+    assert_eq!(metrics, (0..7).map(|i| format!("m{i}")).collect::<Vec<_>>());
+    let series = client.series("acme", "m3", 0.5).unwrap();
+    assert!(!series.is_empty());
+    for (window, value) in &series {
+        assert_eq!(window % 10, 0);
+        assert!(value.is_finite());
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let queries = query_thread.join().unwrap();
+    assert!(queries > 0, "queries ran concurrently with ingest");
+    server.shutdown().unwrap();
+}
+
+/// The same plumbing end-to-end over a Unix domain socket.
+#[cfg(unix)]
+#[test]
+fn unix_socket_end_to_end() {
+    let dir = temp_dir("unix-e2e");
+    let server =
+        ServerHandle::spawn(&Bind::Unix(dir.join("sketchd.sock")), server_config()).unwrap();
+    let mut agent = AgentSender::connect(server.endpoint().clone(), "tenant-a").unwrap();
+    let mut reference = cfg().build().unwrap();
+    for i in 0..40 {
+        let bytes = payload((1..=25).map(|k| f64::from(k) * (i + 1) as f64 * 0.3));
+        reference
+            .merge_from(&AnyDDSketch::decode(&bytes).unwrap())
+            .unwrap();
+        agent.send_encoded("api.latency", i * 10, &bytes).unwrap();
+    }
+    agent.close().unwrap();
+
+    let mut client = QueryClient::connect(server.endpoint()).unwrap();
+    await_frames(&mut client, 40);
+    client.sync().unwrap();
+    assert_eq!(client.count("tenant-a").unwrap(), reference.count());
+    let qs = [0.5, 0.95, 0.99];
+    assert_eq!(
+        client.quantiles("tenant-a", &qs).unwrap(),
+        reference.quantiles(&qs).unwrap()
+    );
+    assert_eq!(client.tenants().unwrap(), vec!["tenant-a".to_string()]);
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 2's regression: kill the server mid-stream, restart it on
+/// the same endpoint, and verify the sender reconnects and that **no
+/// frame was half-written** — every absorbed frame carries exactly its
+/// full complement of values, and the framing of the resumed stream is
+/// intact.
+#[cfg(unix)]
+#[test]
+fn server_kill_midstream_reconnects_without_torn_frames() {
+    const VALUES_PER_FRAME: u64 = 16;
+    let dir = temp_dir("kill");
+    let sock = dir.join("sketchd.sock");
+    let checkpoints = dir.join("ckpt");
+    let config = ServerConfig {
+        checkpoint_dir: Some(checkpoints.clone()),
+        ..server_config()
+    };
+
+    let server1 = ServerHandle::spawn(&Bind::Unix(sock.clone()), config.clone()).unwrap();
+    let mut agent = AgentSender::with_policy(
+        server1.endpoint().clone(),
+        "acme",
+        RetryPolicy {
+            max_attempts: 20,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+        },
+    )
+    .unwrap();
+
+    let frame_values =
+        |i: u64| (0..VALUES_PER_FRAME).map(move |k| 1.0 + ((i * 131 + k * 17) % 499) as f64);
+    for i in 0..100u64 {
+        agent
+            .send_encoded("m", (i % 20) * 10, &payload(frame_values(i)))
+            .unwrap();
+    }
+    // Barrier: everything sent so far is absorbed, then checkpointed by
+    // the graceful kill below.
+    let mut client = QueryClient::connect(server1.endpoint()).unwrap();
+    await_frames(&mut client, 100);
+    client.sync().unwrap();
+    assert_eq!(client.count("acme").unwrap(), 100 * VALUES_PER_FRAME);
+    drop(client);
+    server1.shutdown().unwrap();
+
+    // Restart on the same socket path, restoring the checkpoints.
+    let server2 = ServerHandle::spawn(&Bind::Unix(sock), config).unwrap();
+
+    // The agent's connection is dead; the next sends must ride the
+    // bounded-retry reconnect path and resend whole frames.
+    for i in 100..150u64 {
+        agent
+            .send_encoded("m", (i % 20) * 10, &payload(frame_values(i)))
+            .unwrap();
+    }
+    assert!(agent.reconnects() >= 1, "a reconnect must have happened");
+    assert_eq!(agent.frames_sent(), 150);
+    agent.close().unwrap();
+
+    let mut client = QueryClient::connect(server2.endpoint()).unwrap();
+    await_frames(&mut client, 50);
+    client.sync().unwrap();
+    let count = client.count("acme").unwrap();
+    // No torn frames: the total is an exact multiple of the frame size,
+    // and nothing was lost across the kill (pre-kill frames were synced
+    // and checkpointed, post-kill frames all reached server2).
+    assert_eq!(count % VALUES_PER_FRAME, 0, "half-written frame absorbed");
+    assert_eq!(count, 150 * VALUES_PER_FRAME);
+
+    // The restored + resumed state answers exactly like a from-scratch
+    // union over all 150 frames.
+    let mut reference = cfg().build().unwrap();
+    for i in 0..150u64 {
+        for v in frame_values(i) {
+            reference.add(v).unwrap();
+        }
+    }
+    let qs = [0.1, 0.5, 0.9, 0.99];
+    assert_eq!(
+        client.quantiles("acme", &qs).unwrap(),
+        reference.quantiles(&qs).unwrap()
+    );
+    server2.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A tiny staging bound must throttle a fast agent (backpressure
+/// observed in the stats) while losing nothing.
+#[test]
+fn backpressure_throttles_without_loss() {
+    const FRAMES: u64 = 3000;
+    let config = ServerConfig {
+        shards_per_tenant: 1,
+        staging_bound: 1,
+        ..server_config()
+    };
+    let server = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), config).unwrap();
+    let endpoint = server.endpoint().clone();
+
+    // A concurrent quantile loop contends for the shard state lock,
+    // slowing the worker enough that the bound-1 queue fills.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let contender = {
+        let endpoint = endpoint.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut client = QueryClient::connect(&endpoint).unwrap();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = client.quantiles("t", &[0.99]);
+            }
+        })
+    };
+
+    let mut agent = AgentSender::connect(endpoint.clone(), "t").unwrap();
+    let bytes = payload((1..=10).map(f64::from));
+    let per_frame = AnyDDSketch::decode(&bytes).unwrap().count();
+    for i in 0..FRAMES {
+        agent
+            .send_encoded("hot.metric", (i % 10) * 10, &bytes)
+            .unwrap();
+    }
+    agent.close().unwrap();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    contender.join().unwrap();
+
+    let mut client = QueryClient::connect(&endpoint).unwrap();
+    let stats = await_frames(&mut client, FRAMES);
+    client.sync().unwrap();
+    assert_eq!(client.count("t").unwrap(), FRAMES * per_frame);
+    assert!(
+        stats.backpressure_waits > 0,
+        "a bound-1 queue must have blocked the connection thread"
+    );
+    // The staging depth can never exceed the bound.
+    for (depth, high) in client.shards("t").unwrap() {
+        assert!(depth <= 1, "depth {depth} beyond bound");
+        assert!(high <= 1, "high watermark {high} beyond bound");
+    }
+    server.shutdown().unwrap();
+}
+
+/// Checkpoint DUMP over the socket restores to a store equal to the
+/// server's, and CHECKPOINT writes restorable `{tenant}@{shard}.ddts`
+/// files.
+#[test]
+fn dump_and_checkpoint_roundtrip_over_the_wire() {
+    let dir = temp_dir("dump");
+    let config = ServerConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..server_config()
+    };
+    let server = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), config).unwrap();
+    let mut agent = AgentSender::connect(server.endpoint().clone(), "acme").unwrap();
+    let mut reference = cfg().build().unwrap();
+    for i in 0..60u64 {
+        let metric = format!("m{}", i % 5);
+        let bytes = payload((1..=30).map(|k| f64::from(k) * 0.7 + i as f64));
+        reference
+            .merge_from(&AnyDDSketch::decode(&bytes).unwrap())
+            .unwrap();
+        agent.send_encoded(&metric, (i % 12) * 10, &bytes).unwrap();
+    }
+    agent.close().unwrap();
+
+    let mut client = QueryClient::connect(server.endpoint()).unwrap();
+    await_frames(&mut client, 60);
+    client.sync().unwrap();
+
+    // DUMP every shard and union them client-side: the restored stores
+    // must hold exactly the server's data.
+    let mut dumped_count = 0u64;
+    let mut union = cfg().build().unwrap();
+    for shard in 0..4 {
+        let store = client.fetch_store("acme", shard).unwrap();
+        for (_, _, cell) in store.cells() {
+            dumped_count += cell.count();
+            union.merge_from(cell).unwrap();
+        }
+        // The query session stays line-oriented after the binary escape.
+        client.ping().unwrap();
+    }
+    assert_eq!(dumped_count, reference.count());
+    let qs = [0.5, 0.99];
+    assert_eq!(
+        union.quantiles(&qs).unwrap(),
+        reference.quantiles(&qs).unwrap()
+    );
+
+    // CHECKPOINT writes one file per (tenant, shard), each restorable.
+    assert_eq!(client.checkpoint().unwrap(), 4);
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    files.sort();
+    assert_eq!(
+        files,
+        (0..4).map(|i| format!("acme@{i}.ddts")).collect::<Vec<_>>()
+    );
+    for file in &files {
+        let bytes = std::fs::read(dir.join(file)).unwrap();
+        pipeline::TimeSeriesStore::restore(bytes.as_slice()).unwrap();
+    }
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Protocol violations answer `-ERR` and leave the session usable;
+/// corrupt framing drops only the offending ingest connection.
+#[test]
+fn protocol_errors_are_contained() {
+    let server = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), server_config()).unwrap();
+    let endpoint = server.endpoint().clone();
+
+    let mut client = QueryClient::connect(&endpoint).unwrap();
+    for bad in [
+        "BOGUS",
+        "QUANTILE",
+        "QUANTILE nosuch 0.5",
+        "COUNT bad/name",
+        "SERIES acme",
+        "DUMP acme notanumber",
+        "PING extra args",
+    ] {
+        let err = client.command(bad).unwrap_err();
+        assert!(
+            matches!(err, sketchd::ServerError::Protocol(_)),
+            "{bad}: {err}"
+        );
+        // The session survives every -ERR.
+        client.ping().unwrap();
+    }
+
+    // An ingest stream with corrupt *framing* (a hostile declared
+    // length) is dropped without poisoning anything.
+    {
+        use std::io::Write;
+        let sketchd::Endpoint::Tcp(addr) = endpoint else {
+            unreachable!()
+        };
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.write_all(b"INGEST acme\nDDSF\x01").unwrap();
+        raw.write_all(&[0xff; 10]).unwrap(); // varint length ~2^70
+        drop(raw);
+    }
+    // The server keeps serving.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        client.ping().unwrap();
+        if client.stats().unwrap().ingest_disconnects >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "disconnect never counted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut agent = AgentSender::connect(server.endpoint().clone(), "acme").unwrap();
+    agent.send_encoded("m", 0, &payload([1.0, 2.0])).unwrap();
+    agent.close().unwrap();
+    await_frames(&mut client, 2); // the hostile frame counted one reject
+    client.sync().unwrap();
+    assert_eq!(client.count("acme").unwrap(), 2);
+    server.shutdown().unwrap();
+}
+
+/// Graceful shutdown drains every staged frame, takes a final
+/// checkpoint, and a new server boots from it with identical state.
+#[test]
+fn graceful_shutdown_checkpoints_and_restores() {
+    let dir = temp_dir("graceful");
+    let config = ServerConfig {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_interval: Some(Duration::from_secs(3600)),
+        ..server_config()
+    };
+    let server = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), config.clone()).unwrap();
+    let mut agent = AgentSender::connect(server.endpoint().clone(), "acme").unwrap();
+    let mut reference = cfg().build().unwrap();
+    for i in 0..80u64 {
+        let bytes = payload((1..=15).map(|k| f64::from(k) + i as f64 * 0.1));
+        reference
+            .merge_from(&AnyDDSketch::decode(&bytes).unwrap())
+            .unwrap();
+        agent
+            .send_encoded(&format!("m{}", i % 3), (i % 9) * 10, &bytes)
+            .unwrap();
+    }
+    agent.close().unwrap();
+    // Wait for the frames to be read off the socket (no SYNC: shutdown
+    // itself must wait for whatever is still staged).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().frames_ingested < 80 {
+        assert!(Instant::now() < deadline, "frames never absorbed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let final_stats = server.shutdown().unwrap();
+    assert_eq!(final_stats.frames_ingested, 80);
+    assert!(
+        final_stats.checkpoints_completed >= 1,
+        "final checkpoint ran"
+    );
+
+    // Boot a fresh server from the checkpoints: identical answers.
+    let server2 = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), config).unwrap();
+    let mut client = QueryClient::connect(server2.endpoint()).unwrap();
+    assert_eq!(client.count("acme").unwrap(), reference.count());
+    let qs = [0.25, 0.5, 0.75, 0.99];
+    assert_eq!(
+        client.quantiles("acme", &qs).unwrap(),
+        reference.quantiles(&qs).unwrap()
+    );
+    assert_eq!(
+        client.metrics("acme").unwrap(),
+        vec!["m0".to_string(), "m1".into(), "m2".into()]
+    );
+    server2.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

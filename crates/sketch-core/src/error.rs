@@ -36,6 +36,13 @@ pub enum SketchError {
     /// sketch stream (frame streams, checkpoints). Carries the rendered
     /// `std::io::Error`, keeping this enum `Clone + PartialEq`.
     Io(String),
+    /// A read on a non-blocking or timeout-configured source could not
+    /// make progress right now (`ErrorKind::WouldBlock` / `TimedOut`).
+    /// Unlike [`SketchError::Io`] this is retryable: stream readers
+    /// surface it *without losing position*, so the caller can poll or
+    /// wait and then repeat the same call to resume exactly where the
+    /// read left off (mid-header, mid-length, or mid-body).
+    WouldBlock,
     /// A timestamped observation fell before the live range of a sliding
     /// window: its slot has already been evicted, so it can no longer be
     /// attributed. Carries the observation's timestamp and the window's
@@ -61,6 +68,12 @@ impl fmt::Display for SketchError {
             SketchError::Decode(msg) => write!(f, "decode error: {msg}"),
             SketchError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
             SketchError::Io(msg) => write!(f, "I/O error: {msg}"),
+            SketchError::WouldBlock => {
+                write!(
+                    f,
+                    "read would block (timeout or non-blocking source); retry to resume"
+                )
+            }
             SketchError::StaleTimestamp {
                 ts_secs,
                 window_start,
@@ -103,6 +116,7 @@ mod tests {
         assert!(SketchError::Io("connection reset".into())
             .to_string()
             .contains("connection reset"));
+        assert!(SketchError::WouldBlock.to_string().contains("retry"));
     }
 
     #[test]

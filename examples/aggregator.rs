@@ -1,25 +1,28 @@
-//! Fleet demo: worker threads ingest latencies lock-free on one host,
-//! agents ship encoded sketches over frame streams, the aggregator
-//! answers fleet quantiles **without decoding a single payload into a
-//! sketch**, and the time-series store checkpoints itself for restarts —
-//! the paper's Figure 1 deployment, end to end.
+//! Fleet demo, now over real sockets: `sketchd` listens on a Unix
+//! domain socket, 50 agent threads each build per-window sketches
+//! locally (after a lock-free multi-worker ingest on their host) and
+//! ship them as `DDSF` frames with [`sketchd::AgentSender`], while a
+//! [`sketchd::QueryClient`] asks the live server for fleet quantiles —
+//! the paper's Figure 1 deployment, end to end, with a kill/restore
+//! epilogue riding the checkpoint plane.
 //!
 //! Run with: `cargo run --release --example aggregator`
 
 use datasets::Dataset;
-use ddsketch::codec::{FrameReader, FrameWriter};
-use ddsketch::{SketchConfig, SketchView};
-use pipeline::{Aggregator, ConcurrentSketch, TimeSeriesStore};
+use ddsketch::SketchConfig;
+use pipeline::ConcurrentSketch;
+use sketchd::{AgentSender, Bind, QueryClient, ServerConfig, ServerHandle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SketchConfig::dense_collapsing(0.01, 2048);
     let agents = 50;
-    let flushes = 20; // one flush per agent per "second"
+    let flushes = 20; // one per-window sketch per agent per "second"
+    let batch = 512; // values per window
 
-    // ── Ingest plane ───────────────────────────────────────────────────
-    // Before anything ships anywhere, each host's worker threads note
-    // latencies into ONE shared sketch — lock-free: a dense-store config
-    // puts ConcurrentSketch on the atomic plane, where `add` is a single
+    // ── Ingest plane (one host) ────────────────────────────────────────
+    // Before anything ships, each host's worker threads note latencies
+    // into ONE shared sketch — lock-free: a dense-store config puts
+    // ConcurrentSketch on the atomic plane, where `add` is a single
     // relaxed fetch_add through a shared reference.
     {
         let workers = 4usize;
@@ -47,111 +50,127 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             total as f64 / secs / 1e6,
             shared.quantile(0.99)?
         );
-        // Writers joined => the shared view is exact, not approximate.
-        assert_eq!(shared.count() as usize, total);
     }
+
+    // ── The aggregator fleet server ────────────────────────────────────
+    // `sketchd` on a Unix domain socket: per-tenant sharded state,
+    // bounded staging backpressure, and a checkpoint directory so a
+    // restart replays state instead of losing it.
+    let dir = std::env::temp_dir().join(format!("sketchd-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let server_config = ServerConfig {
+        sketch: config,
+        window_secs: 1,
+        checkpoint_dir: Some(dir.join("checkpoints")),
+        ..ServerConfig::default()
+    };
+    let server = ServerHandle::spawn(&Bind::Unix(dir.join("sketchd.sock")), server_config.clone())?;
+    println!("sketchd listening on {}", server.endpoint());
 
     // ── Agents ─────────────────────────────────────────────────────────
-    // Each agent batches its per-second sketches onto one frame stream
-    // (one connection or file per agent, many payloads per stream).
-    let mut streams: Vec<Vec<u8>> = Vec::new();
-    let mut shipped = 0usize;
-    for agent in 0..agents {
-        let mut writer = FrameWriter::new(Vec::new())?;
-        let mut latencies = Dataset::Pareto.stream(agent as u64);
-        for _ in 0..flushes {
-            let mut sketch = config.build()?;
-            let batch: Vec<f64> = latencies.by_ref().take(512).collect();
-            sketch.add_slice(&batch)?;
-            writer.write_sketch(&sketch)?;
-            shipped += 1;
+    // Each agent builds one sketch per window from its local latency
+    // stream and ships it over its own connection. One agent injects a
+    // corrupt payload mid-stream: the server rejects exactly that frame
+    // and the stream carries on.
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for agent in 0..agents {
+            let endpoint = server.endpoint().clone();
+            scope.spawn(move || {
+                let mut sender = AgentSender::connect(endpoint, "acme").unwrap();
+                let mut latencies = Dataset::Pareto.stream(agent);
+                let metric = if agent % 2 == 0 {
+                    "api.latency"
+                } else {
+                    "db.latency"
+                };
+                for second in 0..flushes {
+                    let mut sketch = config.build().unwrap();
+                    for v in latencies.by_ref().take(batch) {
+                        sketch.add(v).unwrap();
+                    }
+                    sender.send(metric, second, &sketch).unwrap();
+                    if agent == 13 && second == 10 {
+                        sender
+                            .send_encoded(metric, second, b"DDS2 line noise")
+                            .unwrap();
+                    }
+                }
+                sender.close().unwrap();
+            });
         }
-        streams.push(writer.finish()?);
+    });
+
+    // ── Queries, live off the server ───────────────────────────────────
+    let mut client = QueryClient::connect(server.endpoint())?;
+    // Close() flushes to the kernel; wait until the server has accounted
+    // for every frame, then SYNC so staged frames are absorbed.
+    let shipped = agents * flushes + 1; // + the corrupt one
+    loop {
+        let stats = client.stats()?;
+        if stats.frames_ingested + stats.frames_rejected >= shipped {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
     }
-    let wire_bytes: usize = streams.iter().map(Vec::len).sum();
+    client.sync()?;
+    let stats = client.stats()?;
     println!(
-        "{agents} agents × {flushes} flushes → {shipped} payloads, {:.1} kB on the wire",
-        wire_bytes as f64 / 1000.0
+        "{agents} agents × {flushes} flushes → {} payloads absorbed, {} rejected \
+         ({:.1} kB on the wire) in {:.1} ms",
+        stats.frames_ingested,
+        stats.frames_rejected,
+        stats.bytes_ingested as f64 / 1000.0,
+        start.elapsed().as_secs_f64() * 1e3,
     );
+    assert_eq!(stats.frames_rejected, 1, "exactly the injected corruption");
 
-    // A transit hop can inspect any frame without decoding it: parse a
-    // zero-copy view straight over the bytes.
-    {
-        let mut reader = FrameReader::new(streams[0].as_slice())?;
-        let mut frame = Vec::new();
-        reader.read_frame(&mut frame)?;
-        let view = SketchView::parse(&frame)?;
-        println!(
-            "peeked one frame: {} values, p99 ≈ {:.3} ({} bins, {} bytes, no sketch built)",
-            view.count(),
-            view.quantile(0.99)?,
-            view.num_bins(),
-            frame.len()
-        );
-    }
-
-    // ── Aggregator ─────────────────────────────────────────────────────
-    // Feed every stream. Each frame is decoded once into a recycled
-    // staging buffer; every 32 frames fold into the resident sketch with
-    // one bulk `add_bins` pass per store. No per-payload sketch, ever.
-    let mut agg = Aggregator::with_config(config, 32)?;
-    for stream in &streams {
-        agg.feed_stream(&mut FrameReader::new(stream.as_slice())?)?;
-    }
-    let p = agg.quantiles(&[0.5, 0.95, 0.99])?;
+    let p = client.quantiles("acme", &[0.5, 0.95, 0.99])?;
     println!(
-        "fleet over {} payloads ({} values): p50 {:.3}  p95 {:.3}  p99 {:.3}",
-        agg.frames_received(),
-        agg.count(),
+        "fleet over {} values: p50 {:.3}  p95 {:.3}  p99 {:.3}",
+        client.count("acme")?,
         p[0],
         p[1],
         p[2]
     );
+    let series = client.series("acme", "api.latency", 0.99)?;
+    println!(
+        "api.latency p99 per window: first {:.3} @ t={}, last {:.3} @ t={}",
+        series.first().unwrap().1,
+        series.first().unwrap().0,
+        series.last().unwrap().1,
+        series.last().unwrap().0,
+    );
 
-    // Full mergeability (Proposition 3): the decode-free aggregate equals
-    // one sketch over every agent's raw values.
+    // Full mergeability (Proposition 3): the server's sharded, folded
+    // state answers exactly like one sketch over every agent's raw
+    // values — bit-identical, not approximately equal.
     let mut union = config.build()?;
     for agent in 0..agents {
-        let values: Vec<f64> = Dataset::Pareto
-            .stream(agent as u64)
-            .take(512 * flushes)
-            .collect();
-        union.add_slice(&values)?;
-    }
-    assert_eq!(p, union.quantiles(&[0.5, 0.95, 0.99])?);
-    println!("✓ decode-free aggregate ≡ one sketch over all raw values");
-
-    // ── Durability ─────────────────────────────────────────────────────
-    // The same payloads routed into a time-series store (per-metric,
-    // per-window), checkpointed through the frame stream, and restored —
-    // a restart costs one replay, not a re-ingestion.
-    let mut store = TimeSeriesStore::with_config(config, 1)?;
-    for (agent, stream) in streams.iter().enumerate() {
-        let mut reader = FrameReader::new(stream.as_slice())?;
-        let mut frame = Vec::new();
-        let mut second = 0u64;
-        while reader.read_frame(&mut frame)?.is_some() {
-            let sketch = ddsketch::AnyDDSketch::decode(&frame)?;
-            let metric = if agent % 2 == 0 {
-                "api.latency"
-            } else {
-                "db.latency"
-            };
-            store.absorb(metric, second, &sketch)?;
-            second += 1;
+        for v in Dataset::Pareto.stream(agent).take(batch * flushes as usize) {
+            union.add(v)?;
         }
     }
-    let checkpoint = store.checkpoint(Vec::new())?;
-    let restored = TimeSeriesStore::restore(checkpoint.as_slice())?;
-    assert_eq!(restored.num_cells(), store.num_cells());
-    assert_eq!(
-        restored.quantile_series("api.latency", 0.99),
-        store.quantile_series("api.latency", 0.99)
-    );
+    assert_eq!(p, union.quantiles(&[0.5, 0.95, 0.99])?);
+    println!("✓ served quantiles ≡ one sketch over all raw values");
+
+    // ── Kill and restore ───────────────────────────────────────────────
+    // Graceful shutdown drains staged frames and takes a final
+    // checkpoint sweep; a new server booted on the same directory
+    // replays it and answers identically.
+    let expected = client.count("acme")?;
+    drop(client);
+    server.shutdown()?;
+    let server2 = ServerHandle::spawn(&Bind::Unix(dir.join("sketchd.sock")), server_config)?;
+    let mut client = QueryClient::connect(server2.endpoint())?;
+    assert_eq!(client.count("acme")?, expected);
+    assert_eq!(client.quantiles("acme", &[0.5, 0.95, 0.99])?, p);
     println!(
-        "✓ checkpoint: {} cells, {:.1} kB; restore round-trips the store exactly",
-        store.num_cells(),
-        checkpoint.len() as f64 / 1000.0
+        "✓ restart restored {} values from checkpoints; quantiles unchanged",
+        expected
     );
+    server2.shutdown()?;
+    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

@@ -1,0 +1,150 @@
+//! Integration: checkpoint/restore streamed through real sockets and
+//! hostile readers — the `DDSF` stream survives byte-at-a-time
+//! fragmentation, `Interrupted` noise, and non-blocking (`WouldBlock`)
+//! sources without losing or tearing a frame.
+
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use ddsketch::codec::{FrameReader, FrameWriter};
+use pipeline::TimeSeriesStore;
+
+fn populated_store() -> TimeSeriesStore {
+    let mut store = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+    for i in 0..5_000u64 {
+        let metric = ["api.latency", "db.latency", "queue.depth"][(i % 3) as usize];
+        let value = 0.1 + ((i * 37) % 911) as f64 * 0.5;
+        store.record(metric, (i % 60) * 7, value).unwrap();
+    }
+    store
+}
+
+fn assert_stores_equal(a: &TimeSeriesStore, b: &TimeSeriesStore) {
+    assert_eq!(a.num_cells(), b.num_cells());
+    let mut cells_b: Vec<_> = b.cells().collect();
+    cells_b.sort_by_key(|&(metric, window, _)| (metric.to_string(), window));
+    let mut cells_a: Vec<_> = a.cells().collect();
+    cells_a.sort_by_key(|&(metric, window, _)| (metric.to_string(), window));
+    for ((m1, w1, c1), (m2, w2, c2)) in cells_a.into_iter().zip(cells_b) {
+        assert_eq!((m1, w1), (m2, w2));
+        assert_eq!(c1.encode(), c2.encode(), "{m1} @ {w1} diverged");
+    }
+}
+
+/// A checkpoint written straight into a TCP socket restores on the
+/// other end to an identical store — no file in between.
+#[test]
+fn checkpoint_restores_identically_over_a_tcp_socket() {
+    let store = populated_store();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    // `populated_store` is deterministic, so the writer thread rebuilds
+    // its own copy to stream out.
+    let writer = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).unwrap();
+        // The socket is dropped (FIN) after the checkpoint: `restore`
+        // reads until EOF, so the close is the stream terminator.
+        populated_store()
+            .checkpoint(io::BufWriter::new(stream))
+            .unwrap();
+    });
+    let (stream, _) = listener.accept().unwrap();
+    let restored = TimeSeriesStore::restore(io::BufReader::new(stream)).unwrap();
+    writer.join().unwrap();
+
+    assert_stores_equal(&store, &restored);
+}
+
+/// Delivers one byte per `read`, with an `Interrupted` error before
+/// every byte — the worst cooperating transport.
+struct OneByteInterrupted<R> {
+    inner: R,
+    interrupt_next: bool,
+}
+
+impl<R: Read> Read for OneByteInterrupted<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.interrupt_next {
+            self.interrupt_next = false;
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+        }
+        self.interrupt_next = true;
+        let take = buf.len().min(1);
+        self.inner.read(&mut buf[..take])
+    }
+}
+
+/// Restore through a reader that fragments the checkpoint to single
+/// bytes and injects `Interrupted` between every one of them.
+#[test]
+fn checkpoint_survives_a_byte_at_a_time_reader() {
+    let store = populated_store();
+    let bytes = store.checkpoint(Vec::new()).unwrap();
+    let restored = TimeSeriesStore::restore(OneByteInterrupted {
+        inner: bytes.as_slice(),
+        interrupt_next: true,
+    })
+    .unwrap();
+    assert_stores_equal(&store, &restored);
+}
+
+/// A frame stream read from a genuinely non-blocking socket: the OS
+/// hands out real `WouldBlock`s mid-header, mid-varint, and mid-body,
+/// and the resumable reader must reassemble every frame losslessly.
+#[test]
+fn frame_stream_resumes_across_real_wouldblock() {
+    let frames: Vec<Vec<u8>> = (0..200usize)
+        .map(|i| {
+            (0..i % 97)
+                .map(|b| (b as u8).wrapping_mul(31).wrapping_add(i as u8))
+                .collect()
+        })
+        .collect();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let writer = {
+        let frames = frames.clone();
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut writer = FrameWriter::new(stream).unwrap();
+            for (i, frame) in frames.iter().enumerate() {
+                writer.write_frame(frame).unwrap();
+                if i % 17 == 0 {
+                    // Stall so the reader drains the socket dry and hits
+                    // genuine WouldBlock mid-stream (the writer is
+                    // unbuffered: every frame goes straight to the socket).
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            writer.finish().unwrap();
+            // Dropping the stream sends FIN: the clean end-of-stream.
+        })
+    };
+
+    let (stream, _) = listener.accept().unwrap();
+    stream.set_nonblocking(true).unwrap();
+    let mut reader = FrameReader::lazy(stream);
+    let mut frame = Vec::new();
+    let mut got: Vec<Vec<u8>> = Vec::new();
+    let mut wouldblocks = 0u64;
+    loop {
+        match reader.read_frame(&mut frame) {
+            Ok(Some(len)) => {
+                assert_eq!(len, frame.len());
+                got.push(frame.clone());
+            }
+            Ok(None) => break,
+            Err(ddsketch::SketchError::WouldBlock) => {
+                wouldblocks += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) => panic!("frame stream failed: {e}"),
+        }
+    }
+    writer.join().unwrap();
+    assert_eq!(got, frames);
+    assert!(wouldblocks > 0, "the socket never ran dry — not exercised");
+}
