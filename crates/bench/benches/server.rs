@@ -15,13 +15,19 @@
 //! * default        — full soak, 1,048,576 payloads
 //! * `--frames N`   — override the payload budget (CI short-soak)
 //! * `--test`       — smoke: 20k payloads, full verification, no JSON
+//! * `--evloop`     — connection-scaling matrix: 8 → 512 agents under
+//!   both I/O models (`Threaded` vs `Reactor`), each cell verified for
+//!   zero loss and bit-identical quantiles, emitted to
+//!   `results/BENCH_server_evloop.json`. With `--test`: a small CI
+//!   matrix (8 and 512 agents, short budget) that still writes the
+//!   JSON artifact.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ddsketch::{AnyDDSketch, SketchConfig};
-use sketchd::{AgentSender, Bind, QueryClient, ServerConfig, ServerHandle};
+use sketchd::{AgentSender, Bind, IoModel, QueryClient, ServerConfig, ServerHandle};
 
 const AGENTS: usize = 8;
 const POOL: usize = 64;
@@ -97,13 +103,215 @@ fn write_json(
     }
 }
 
+/// One connection-scaling cell: `agents` concurrent senders under
+/// `io_model`, verified for zero loss and bit-identical quantiles.
+struct CellResult {
+    io_model: &'static str,
+    agents: usize,
+    frames: u64,
+    ns_per_payload: f64,
+    payloads_per_sec: f64,
+}
+
+fn run_cell(
+    io_model: IoModel,
+    label: &'static str,
+    agents: usize,
+    frame_budget: u64,
+    pool: &Arc<Vec<Vec<u8>>>,
+) -> CellResult {
+    let per_agent = (frame_budget / agents as u64).max(1);
+    let total_frames = per_agent * agents as u64;
+    let server = ServerHandle::spawn(
+        &Bind::Tcp("127.0.0.1:0".into()),
+        ServerConfig {
+            sketch: plane_config(),
+            shards_per_tenant: 4,
+            staging_bound: 256,
+            fold_threshold: 32,
+            window_secs: 10,
+            io_model,
+            max_connections: 1024,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let endpoint = server.endpoint().clone();
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..agents)
+        .map(|a| {
+            let endpoint = endpoint.clone();
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let mut agent = AgentSender::connect(endpoint, TENANT).expect("agent connects");
+                let mut sent = vec![0u64; POOL];
+                for i in 0..per_agent {
+                    let entry = ((a as u64 + i) % POOL as u64) as usize;
+                    let metric = format!("m{}", i % 16);
+                    agent
+                        .send_encoded(&metric, (i % 360) * 10, &pool[entry])
+                        .expect("send");
+                    sent[entry] += 1;
+                }
+                agent.close().expect("clean close");
+                sent
+            })
+        })
+        .collect();
+    let mut multiplicity = vec![0u64; POOL];
+    for handle in handles {
+        for (slot, n) in multiplicity.iter_mut().zip(handle.join().unwrap()) {
+            *slot += n;
+        }
+    }
+
+    // Stop the clock only once the server accounts for every frame.
+    let mut client = QueryClient::connect(&endpoint).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let mut last_report = Instant::now();
+    loop {
+        let stats = client.stats().unwrap();
+        if stats.frames_ingested + stats.frames_rejected >= total_frames {
+            break;
+        }
+        if last_report.elapsed() > Duration::from_secs(5) {
+            last_report = Instant::now();
+            eprintln!(
+                "  [{label}/{agents}] {}/{total_frames} frames, open={} total={} susp={} \
+                 depth={:?} rej={} disc={}",
+                stats.frames_ingested + stats.frames_rejected,
+                stats.open_connections,
+                stats.connections_total,
+                stats.ingest_suspensions,
+                stats.staging_depth,
+                stats.frames_rejected,
+                stats.ingest_disconnects,
+            );
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cell {label}/{agents} stalled at {}/{total_frames} frames",
+            stats.frames_ingested + stats.frames_rejected,
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if std::env::var_os("EVLOOP_DEBUG").is_some() {
+        let stats = client.stats().unwrap();
+        eprintln!(
+            "  [{label}/{agents}] susp={} wakeups={} events={} bp_waits={}",
+            stats.ingest_suspensions,
+            stats.reactor_wakeups,
+            stats.reactor_events,
+            stats.backpressure_waits,
+        );
+    }
+    client.sync().unwrap();
+    let elapsed = start.elapsed();
+
+    // Zero loss, zero duplication, bit-identical quantiles.
+    assert_eq!(
+        client.count(TENANT).unwrap(),
+        total_frames * VALUES_PER_FRAME as u64,
+        "{label}/{agents}: lost or duplicated values"
+    );
+    let decoded: Vec<AnyDDSketch> = pool
+        .iter()
+        .map(|b| AnyDDSketch::decode(b).unwrap())
+        .collect();
+    let mut reference = plane_config().build().unwrap();
+    for (entry, &times) in multiplicity.iter().enumerate() {
+        for _ in 0..times {
+            reference.merge_from(&decoded[entry]).unwrap();
+        }
+    }
+    let qs = [0.01, 0.5, 0.99, 0.999];
+    let served = client.quantiles(TENANT, &qs).unwrap();
+    let expected = reference.quantiles(&qs).unwrap();
+    for (q, (got, want)) in qs.iter().zip(served.iter().zip(expected.iter())) {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{label}/{agents} q={q}: served {got} != union {want}"
+        );
+    }
+    server.shutdown().unwrap();
+
+    let payloads_per_sec = total_frames as f64 / elapsed.as_secs_f64();
+    println!(
+        "  {label:>8} x {agents:>3} agents: {total_frames} payloads in {:>6.2}s -> {:>10} (verified bit-identical)",
+        elapsed.as_secs_f64(),
+        human_rate(payloads_per_sec),
+    );
+    CellResult {
+        io_model: label,
+        agents,
+        frames: total_frames,
+        ns_per_payload: elapsed.as_nanos() as f64 / total_frames as f64,
+        payloads_per_sec,
+    }
+}
+
+fn run_evloop(test_mode: bool, frames_override: Option<u64>) {
+    let agents_axis: &[usize] = if test_mode {
+        &[8, 512]
+    } else {
+        &[8, 64, 256, 512]
+    };
+    let frame_budget = frames_override.unwrap_or(if test_mode { 1 << 14 } else { 1 << 17 });
+    let pool = Arc::new(payload_pool());
+    println!(
+        "sketchd connection scaling: {{Threaded, Reactor}} x {agents_axis:?} agents, \
+         {frame_budget} payloads per cell\n"
+    );
+    let mut cells = Vec::new();
+    for &agents in agents_axis {
+        for (io_model, label) in [
+            (IoModel::Threaded, "threaded"),
+            (IoModel::Reactor, "reactor"),
+        ] {
+            cells.push(run_cell(io_model, label, agents, frame_budget, &pool));
+        }
+    }
+
+    let mut rows = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let sep = if i + 1 < cells.len() { ",\n    " } else { "" };
+        rows.push_str(&format!(
+            "{{\"id\": \"evloop/{}/agents-{}\", \"ns_per_iter\": {:.1}, \
+             \"io_model\": \"{}\", \"agents\": {}, \"frames\": {}, \
+             \"payloads_per_sec\": {:.0}}}{sep}",
+            cell.io_model,
+            cell.agents,
+            cell.ns_per_payload,
+            cell.io_model,
+            cell.agents,
+            cell.frames,
+            cell.payloads_per_sec,
+        ));
+    }
+    let out = format!(
+        "{{\n  \"bench\": \"server_evloop\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n    {rows}\n  ]\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_server_evloop.json"
+    );
+    match std::fs::write(path, out) {
+        Ok(()) => println!("\nmachine-readable results -> results/BENCH_server_evloop.json"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let mut test_mode = false;
+    let mut evloop = false;
     let mut frames_override: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--test" => test_mode = true,
+            "--evloop" => evloop = true,
             "--frames" => {
                 frames_override = Some(
                     args.next()
@@ -113,6 +321,10 @@ fn main() {
             }
             _ => {}
         }
+    }
+    if evloop {
+        run_evloop(test_mode, frames_override);
+        return;
     }
     let total_frames: u64 = frames_override.unwrap_or(if test_mode { 20_000 } else { 1 << 20 });
     let per_agent = total_frames / AGENTS as u64;

@@ -117,16 +117,19 @@ impl<W: Write> FrameWriter<W> {
     }
 }
 
-/// Reads a frame stream from any [`Read`] source.
+/// The source-detached frame-decode state machine: everything
+/// [`FrameReader`] knows *except* the source it reads from.
 ///
-/// [`FrameReader::read_frame`] fills a caller-owned buffer (reused across
-/// frames, so a steady-state reader allocates nothing once the buffer has
-/// grown to the largest frame) and returns `Ok(None)` at clean EOF —
-/// i.e. EOF exactly on a frame boundary; EOF anywhere else is
-/// [`SketchError::Malformed`].
+/// Owning the source is the right shape for a blocking connection
+/// thread, but an event loop owns its sockets in a registration table
+/// and borrows them per readiness event — so the resumable decode state
+/// lives here, and [`FrameDecoder::read_frame`] takes the source as an
+/// argument. [`FrameReader`] is now a thin `source + FrameDecoder`
+/// bundle; both expose the identical lossless-resume guarantee across
+/// `WouldBlock`, and it is fine to hand a different (or re-wrapped)
+/// source to a later call as long as it continues the same byte stream.
 #[derive(Debug)]
-pub struct FrameReader<R: Read> {
-    inner: R,
+pub struct FrameDecoder {
     max_frame_len: usize,
     frames: u64,
     /// Stream-header progress: bytes received so far, validated once full.
@@ -142,35 +145,21 @@ pub struct FrameReader<R: Read> {
     body_filled: usize,
 }
 
-impl<R: Read> FrameReader<R> {
-    /// Open a stream on `source`, checking the header immediately.
-    ///
-    /// Blocks until the peer has sent the 5 header bytes; on a source
-    /// with a read timeout this can fail with
-    /// [`SketchError::WouldBlock`] — use [`FrameReader::lazy`] when the
-    /// peer may be slow to speak.
-    pub fn new(source: R) -> Result<Self, SketchError> {
-        Self::with_max_frame_len(source, DEFAULT_MAX_FRAME_LEN)
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with the default frame-length ceiling.
+    pub fn new() -> Self {
+        Self::with_max_frame_len(DEFAULT_MAX_FRAME_LEN)
     }
 
-    /// Like [`FrameReader::new`] with a custom per-frame length ceiling.
-    pub fn with_max_frame_len(source: R, max_frame_len: usize) -> Result<Self, SketchError> {
-        let mut reader = Self::lazy_with_max_frame_len(source, max_frame_len);
-        reader.poll_header()?;
-        Ok(reader)
-    }
-
-    /// Open a stream without touching the source: the header is read and
-    /// validated lazily by the first [`FrameReader::read_frame`] call
-    /// (resumably, like everything else).
-    pub fn lazy(source: R) -> Self {
-        Self::lazy_with_max_frame_len(source, DEFAULT_MAX_FRAME_LEN)
-    }
-
-    /// Like [`FrameReader::lazy`] with a custom per-frame length ceiling.
-    pub fn lazy_with_max_frame_len(source: R, max_frame_len: usize) -> Self {
+    /// A fresh decoder with a custom per-frame length ceiling.
+    pub fn with_max_frame_len(max_frame_len: usize) -> Self {
         Self {
-            inner: source,
             max_frame_len,
             frames: 0,
             header: [0u8; 5],
@@ -188,20 +177,15 @@ impl<R: Read> FrameReader<R> {
         self.max_frame_len
     }
 
-    /// Frames read so far.
+    /// Frames decoded so far.
     pub fn frames(&self) -> u64 {
         self.frames
     }
 
-    /// A reference to the underlying source.
-    pub fn get_ref(&self) -> &R {
-        &self.inner
-    }
-
     /// Read and validate the stream header; resumable, no-op once done.
-    fn poll_header(&mut self) -> Result<(), SketchError> {
+    fn poll_header(&mut self, source: &mut impl Read) -> Result<(), SketchError> {
         while self.header_filled < self.header.len() {
-            match self.inner.read(&mut self.header[self.header_filled..]) {
+            match source.read(&mut self.header[self.header_filled..]) {
                 Ok(0) => {
                     return Err(SketchError::Malformed(
                         "truncated frame-stream header".into(),
@@ -230,10 +214,10 @@ impl<R: Read> FrameReader<R> {
 
     /// Read one byte; `Ok(None)` on EOF, retrying `Interrupted` and
     /// surfacing `WouldBlock`/`TimedOut` as the retryable error.
-    fn read_byte(&mut self) -> Result<Option<u8>, SketchError> {
+    fn read_byte(source: &mut impl Read) -> Result<Option<u8>, SketchError> {
         let mut byte = [0u8; 1];
         loop {
-            match self.inner.read(&mut byte) {
+            match source.read(&mut byte) {
                 Ok(0) => return Ok(None),
                 Ok(_) => return Ok(Some(byte[0])),
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -243,14 +227,18 @@ impl<R: Read> FrameReader<R> {
         }
     }
 
-    /// Read the next frame into `buf` (cleared and filled), returning its
-    /// length — or `None` at clean end-of-stream.
+    /// Read the next frame from `source` into `buf` (cleared and filled),
+    /// returning its length — or `None` at clean end-of-stream.
     ///
     /// On [`SketchError::WouldBlock`] no progress is lost: call again
     /// (with any buffer) to resume the stalled header, length prefix, or
     /// body read. Any other error means the stream is broken.
-    pub fn read_frame(&mut self, buf: &mut Vec<u8>) -> Result<Option<usize>, SketchError> {
-        self.poll_header()?;
+    pub fn read_frame(
+        &mut self,
+        source: &mut impl Read,
+        buf: &mut Vec<u8>,
+    ) -> Result<Option<usize>, SketchError> {
+        self.poll_header(source)?;
         let target = match self.body_target {
             Some(target) => target,
             None => {
@@ -259,7 +247,7 @@ impl<R: Read> FrameReader<R> {
                 // EOF anywhere later is truncation.
                 let (mut len, mut shift) = self.len_partial.take().unwrap_or((0, 0));
                 let len = loop {
-                    let byte = match self.read_byte() {
+                    let byte = match Self::read_byte(source) {
                         Ok(Some(byte)) => byte,
                         Ok(None) if shift == 0 && len == 0 => return Ok(None),
                         Ok(None) => {
@@ -299,7 +287,7 @@ impl<R: Read> FrameReader<R> {
             }
         };
         while self.body_filled < target {
-            match self.inner.read(&mut self.body[self.body_filled..target]) {
+            match source.read(&mut self.body[self.body_filled..target]) {
                 Ok(0) => return Err(SketchError::Malformed("truncated frame body".into())),
                 Ok(n) => self.body_filled += n,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -314,6 +302,83 @@ impl<R: Read> FrameReader<R> {
         std::mem::swap(buf, &mut self.body);
         self.frames += 1;
         Ok(Some(target))
+    }
+}
+
+/// Reads a frame stream from any [`Read`] source.
+///
+/// [`FrameReader::read_frame`] fills a caller-owned buffer (reused across
+/// frames, so a steady-state reader allocates nothing once the buffer has
+/// grown to the largest frame) and returns `Ok(None)` at clean EOF —
+/// i.e. EOF exactly on a frame boundary; EOF anywhere else is
+/// [`SketchError::Malformed`].
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+    state: FrameDecoder,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Open a stream on `source`, checking the header immediately.
+    ///
+    /// Blocks until the peer has sent the 5 header bytes; on a source
+    /// with a read timeout this can fail with
+    /// [`SketchError::WouldBlock`] — use [`FrameReader::lazy`] when the
+    /// peer may be slow to speak.
+    pub fn new(source: R) -> Result<Self, SketchError> {
+        Self::with_max_frame_len(source, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// Like [`FrameReader::new`] with a custom per-frame length ceiling.
+    pub fn with_max_frame_len(source: R, max_frame_len: usize) -> Result<Self, SketchError> {
+        let mut reader = Self::lazy_with_max_frame_len(source, max_frame_len);
+        reader.poll_header()?;
+        Ok(reader)
+    }
+
+    /// Open a stream without touching the source: the header is read and
+    /// validated lazily by the first [`FrameReader::read_frame`] call
+    /// (resumably, like everything else).
+    pub fn lazy(source: R) -> Self {
+        Self::lazy_with_max_frame_len(source, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// Like [`FrameReader::lazy`] with a custom per-frame length ceiling.
+    pub fn lazy_with_max_frame_len(source: R, max_frame_len: usize) -> Self {
+        Self {
+            inner: source,
+            state: FrameDecoder::with_max_frame_len(max_frame_len),
+        }
+    }
+
+    /// The ceiling a declared frame length is clamped against.
+    pub fn max_frame_len(&self) -> usize {
+        self.state.max_frame_len()
+    }
+
+    /// Frames read so far.
+    pub fn frames(&self) -> u64 {
+        self.state.frames()
+    }
+
+    /// A reference to the underlying source.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Read and validate the stream header; resumable, no-op once done.
+    fn poll_header(&mut self) -> Result<(), SketchError> {
+        self.state.poll_header(&mut self.inner)
+    }
+
+    /// Read the next frame into `buf` (cleared and filled), returning its
+    /// length — or `None` at clean end-of-stream.
+    ///
+    /// On [`SketchError::WouldBlock`] no progress is lost: call again
+    /// (with any buffer) to resume the stalled header, length prefix, or
+    /// body read. Any other error means the stream is broken.
+    pub fn read_frame(&mut self, buf: &mut Vec<u8>) -> Result<Option<usize>, SketchError> {
+        self.state.read_frame(&mut self.inner, buf)
     }
 }
 

@@ -83,7 +83,9 @@ pub mod source;
 pub mod varint;
 pub mod view;
 
-pub use frame::{FrameReader, FrameWriter, DEFAULT_MAX_FRAME_LEN, FRAME_STREAM_VERSION};
+pub use frame::{
+    FrameDecoder, FrameReader, FrameWriter, DEFAULT_MAX_FRAME_LEN, FRAME_STREAM_VERSION,
+};
 pub use source::{SketchSource, SourceQuantileScratch};
 pub use view::{SketchView, SketchViewMeta, ViewBinIter};
 

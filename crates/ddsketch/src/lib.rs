@@ -284,8 +284,8 @@ pub mod store;
 pub use any::AnyDDSketch;
 pub use atomic::{AnyAtomicDDSketch, AtomicDDSketch, AtomicSketchScratch};
 pub use codec::{
-    FrameReader, FrameWriter, SketchPayload, SketchSource, SketchView, SketchViewMeta,
-    SourceQuantileScratch,
+    FrameDecoder, FrameReader, FrameWriter, SketchPayload, SketchSource, SketchView,
+    SketchViewMeta, SourceQuantileScratch,
 };
 pub use config::{DDSketchBuilder, SketchConfig, DEFAULT_MAX_BINS};
 pub use mapping::{

@@ -92,6 +92,16 @@ impl QueryClient {
             let Some((key, value)) = pair.split_once('=') else {
                 return Err(ServerError::Protocol(format!("bad stats pair {pair:?}")));
             };
+            // The per-shard depth vector is the one non-scalar key.
+            if key == "staging_depth" {
+                snapshot.staging_depth = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| ServerError::Protocol(format!("bad stats value {pair:?}")))?;
+                continue;
+            }
             let value: u64 = value
                 .parse()
                 .map_err(|_| ServerError::Protocol(format!("bad stats value {pair:?}")))?;
@@ -100,10 +110,14 @@ impl QueryClient {
                 "frames_rejected" => snapshot.frames_rejected = value,
                 "bytes_ingested" => snapshot.bytes_ingested = value,
                 "connections_total" => snapshot.connections_total = value,
-                "connections_active" => snapshot.connections_active = value,
+                "connections_rejected" => snapshot.connections_rejected = value,
+                "open_connections" => snapshot.open_connections = value,
                 "ingest_disconnects" => snapshot.ingest_disconnects = value,
                 "queries_served" => snapshot.queries_served = value,
                 "backpressure_waits" => snapshot.backpressure_waits = value,
+                "ingest_suspensions" => snapshot.ingest_suspensions = value,
+                "reactor_wakeups" => snapshot.reactor_wakeups = value,
+                "reactor_events" => snapshot.reactor_events = value,
                 "checkpoints_completed" => snapshot.checkpoints_completed = value,
                 _ => {}
             }

@@ -18,12 +18,12 @@
 //! ```text
 //!  agents (AgentSender)                  sketchd (ServerHandle)
 //!  ┌────────────────────┐   DDSF    ┌─────────────────────────────────┐
-//!  │ sketch → envelope  │──frames──▶│ conn thread: decode → route     │
+//!  │ sketch → envelope  │──frames──▶│ I/O plane: decode → route       │
 //!  │ single write_all   │           │      │ bounded staging queue    │
 //!  │ retry + backoff    │           │      ▼ (backpressure)           │
 //!  └────────────────────┘           │ shard worker: absorb into       │
 //!  ┌────────────────────┐   text    │   Aggregator + TimeSeriesStore  │
-//!  │ QueryClient        │◀─lines───▶│ query threads: fold + k-way     │
+//!  │ QueryClient        │◀─lines───▶│ query handling: fold + k-way    │
 //!  └────────────────────┘           │   merged quantiles              │
 //!                                   │ checkpointer: {tenant}@{n}.ddts │
 //!                                   └─────────────────────────────────┘
@@ -32,15 +32,46 @@
 //! * Each tenant's metrics are sharded by FNV-1a hash; one worker owns
 //!   each shard's state, so absorption is lock-cheap and a tenant-wide
 //!   quantile is a k-way merge over one resident sketch per shard.
-//! * Staging queues are bounded: a full queue blocks the connection
-//!   thread, which stops reading its socket, which throttles the agent
-//!   through TCP flow control — load sheds as backpressure, not OOM.
-//! * All server reads run with a short timeout; the frame reader's
-//!   lossless `WouldBlock` resume lets every thread poll the shutdown
-//!   flag between bytes without ever tearing a frame.
+//! * Staging queues are bounded: a full queue stalls that connection's
+//!   reading, which throttles the agent through TCP flow control —
+//!   load sheds as backpressure, not OOM.
 //! * Corrupt payloads are rejected per frame (framing intact, stream
 //!   continues); corrupt framing or a cut connection drops only that
 //!   agent's connection. Neither touches tenant state.
+//! * [`ServerConfig::max_connections`] caps concurrent connections in
+//!   both I/O models; over-cap accepts get a protocol-level
+//!   `-ERR server at connection capacity` line before the close.
+//!
+//! ## Concurrency model: the I/O plane
+//!
+//! Shard workers, checkpointing, and shutdown are identical in both
+//! models; [`ServerConfig::io_model`] selects only how sockets are
+//! driven:
+//!
+//! * [`IoModel::Threaded`] — one blocking thread per connection. Reads
+//!   run with a short timeout, and the frame reader's lossless
+//!   `WouldBlock` resume lets every thread poll the shutdown flag
+//!   between bytes without tearing a frame. A full staging queue parks
+//!   the connection thread on a condvar. Simple, debuggable, and the
+//!   only model on non-Unix targets — but each idle agent pins a
+//!   thread stack.
+//! * [`IoModel::Reactor`] (default on Unix) — a readiness event loop
+//!   (`epoll` on Linux, `poll(2)` elsewhere; no external crates) owns
+//!   every agent and query socket on one thread
+//!   ([`ServerConfig::reactor_threads`] can raise that; accepted
+//!   connections are handed off round-robin). Each connection is an
+//!   explicit resumable state machine (handshake → ingest | query)
+//!   that advances exactly as far as its socket allows, with fairness
+//!   budgets so one hot socket cannot starve the rest. No thread ever
+//!   parks on a socket: a full staging queue *suspends* the connection
+//!   — its fd is deregistered until the shard worker's pop wakes it
+//!   back up (one waiter per freed slot, with a periodic sweep as the
+//!   lost-wakeup backstop) — so backpressure still reaches agents
+//!   through TCP while the loop keeps serving everyone else.
+//!
+//! `STATS` exposes the difference: `open_connections`, per-shard
+//! `staging_depth`, `ingest_suspensions`, and reactor wakeup/event
+//! counters ([`StatsSnapshot`]).
 //!
 //! ## Wire protocol (ingest)
 //!
@@ -103,6 +134,8 @@ mod client;
 mod error;
 mod net;
 mod protocol;
+#[cfg(unix)]
+mod reactor;
 mod server;
 mod state;
 
@@ -111,5 +144,5 @@ pub use client::QueryClient;
 pub use error::ServerError;
 pub use net::{Bind, Endpoint};
 pub use protocol::{valid_name, MAX_LINE, MAX_NAME};
-pub use server::{ServerConfig, ServerHandle};
+pub use server::{IoModel, ServerConfig, ServerHandle};
 pub use state::StatsSnapshot;

@@ -68,6 +68,31 @@ pub(crate) enum Listener {
     Unix(UnixListener),
 }
 
+/// Accept-backlog requested at bind time. `std` hardcodes 128, which a
+/// fleet of agents reconnecting at once (or a connection-scaling bench)
+/// overflows — and on Linux a listen-queue overflow activates SYN
+/// cookies, under which a connection's tail segments can be silently
+/// dropped. The kernel clamps this to `net.core.somaxconn`.
+const LISTEN_BACKLOG: i32 = 4096;
+
+#[cfg(unix)]
+extern "C" {
+    fn listen(fd: i32, backlog: i32) -> i32;
+}
+
+/// Grow the accept backlog of an already-listening socket: POSIX allows
+/// a second `listen(2)` on a listening fd to re-specify the queue
+/// length. Best-effort — the socket already works with the default.
+#[cfg(unix)]
+fn widen_backlog(fd: std::os::fd::RawFd) {
+    // SAFETY: `fd` is a valid listening socket owned by the caller;
+    // `listen` does not retain it.
+    let _ = unsafe { listen(fd, LISTEN_BACKLOG) };
+}
+
+#[cfg(not(unix))]
+fn widen_backlog(_fd: i32) {}
+
 impl Listener {
     /// Bind `bind`, returning the listener and the concrete endpoint
     /// (with the OS-assigned port resolved for `Tcp(":0")` binds).
@@ -75,6 +100,8 @@ impl Listener {
         match bind {
             Bind::Tcp(addr) => {
                 let listener = TcpListener::bind(addr.as_str())?;
+                #[cfg(unix)]
+                widen_backlog(std::os::fd::AsRawFd::as_raw_fd(&listener));
                 let endpoint = Endpoint::Tcp(listener.local_addr()?);
                 Ok((Listener::Tcp(listener), endpoint))
             }
@@ -88,12 +115,15 @@ impl Listener {
                     Err(e) => return Err(e),
                 }
                 let listener = UnixListener::bind(path)?;
+                widen_backlog(std::os::fd::AsRawFd::as_raw_fd(&listener));
                 Ok((Listener::Unix(listener), Endpoint::Unix(path.clone())))
             }
         }
     }
 
-    /// Accept one connection (blocking).
+    /// Accept one connection (blocking unless the listener is in
+    /// nonblocking mode, in which case `WouldBlock` means "no pending
+    /// connection right now").
     pub(crate) fn accept(&self) -> io::Result<Conn> {
         match self {
             Listener::Tcp(l) => {
@@ -106,6 +136,27 @@ impl Listener {
                 let (stream, _) = l.accept()?;
                 Ok(Conn::Unix(stream))
             }
+        }
+    }
+
+    /// Switch the listener between blocking and nonblocking accepts —
+    /// the reactor registers the listener for readiness instead of
+    /// dedicating an accept thread.
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl std::os::fd::AsRawFd for Listener {
+    fn as_raw_fd(&self) -> std::os::fd::RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l) => l.as_raw_fd(),
         }
     }
 }
@@ -140,6 +191,27 @@ impl Conn {
             Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
             #[cfg(unix)]
             Conn::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+
+    /// Switch between blocking and nonblocking I/O. In nonblocking mode
+    /// stalled reads/writes raise `WouldBlock` immediately — the mode
+    /// every reactor-owned socket runs in.
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl std::os::fd::AsRawFd for Conn {
+    fn as_raw_fd(&self) -> std::os::fd::RawFd {
+        match self {
+            Conn::Tcp(s) => s.as_raw_fd(),
+            Conn::Unix(s) => s.as_raw_fd(),
         }
     }
 }

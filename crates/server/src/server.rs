@@ -40,6 +40,29 @@ use crate::net::{Bind, Conn, Endpoint, Listener};
 use crate::protocol::{decode_envelope, fmt_f64, parse_command, valid_name, Command, LineReader};
 use crate::state::{lock, Job, Registry, Shard, ShardState, Stats, StatsSnapshot, Tenant};
 
+/// Which I/O plane serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// One OS thread per connection, blocking reads with a poll-tick
+    /// timeout. Simple, portable, and competitive at small fleets.
+    Threaded,
+    /// A readiness-driven event loop (epoll on Linux, `poll(2)` on
+    /// other POSIX) multiplexing every socket over
+    /// [`ServerConfig::reactor_threads`] threads. No per-connection
+    /// threads, no timeout churn — the fleet-scale default on Linux.
+    Reactor,
+}
+
+impl Default for IoModel {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            IoModel::Reactor
+        } else {
+            IoModel::Threaded
+        }
+    }
+}
+
 /// Knobs for a [`ServerHandle::spawn`]ed server.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -68,6 +91,16 @@ pub struct ServerConfig {
     /// Interval between periodic checkpoint sweeps; `None` means only
     /// on-demand (`CHECKPOINT`) and final (shutdown) sweeps run.
     pub checkpoint_interval: Option<Duration>,
+    /// Which I/O plane serves connections (see [`IoModel`]).
+    pub io_model: IoModel,
+    /// Cap on simultaneously open connections. Arrivals past the cap
+    /// get a best-effort `-ERR server at connection capacity` line and
+    /// are dropped, under both I/O models.
+    pub max_connections: usize,
+    /// Event-loop threads under [`IoModel::Reactor`] (clamped to ≥ 1).
+    /// One loop comfortably saturates the shard workers; raise it only
+    /// when profiles show the I/O plane itself is the bottleneck.
+    pub reactor_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -82,24 +115,41 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             checkpoint_dir: None,
             checkpoint_interval: None,
+            io_model: IoModel::default(),
+            max_connections: 1024,
+            reactor_threads: 1,
         }
     }
 }
 
-struct ServerInner {
-    config: ServerConfig,
-    registry: Registry,
-    stats: Stats,
-    shutdown: AtomicBool,
-    endpoint: Endpoint,
-    shard_workers: Mutex<Vec<JoinHandle<()>>>,
-    conn_threads: Mutex<Vec<JoinHandle<()>>>,
-    checkpoint_wake: (Mutex<()>, Condvar),
+pub(crate) struct ServerInner {
+    pub(crate) config: ServerConfig,
+    pub(crate) registry: Registry,
+    pub(crate) stats: Stats,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) endpoint: Endpoint,
+    pub(crate) shard_workers: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) checkpoint_wake: (Mutex<()>, Condvar),
 }
 
 impl ServerInner {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Full stats snapshot: the atomic counters plus the live per-shard
+    /// staging depth (shard index summed across tenants).
+    pub(crate) fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut snapshot = self.stats.snapshot();
+        snapshot.staging_depth = vec![0u64; self.config.shards_per_tenant];
+        for tenant in self.registry.all() {
+            for (index, shard) in tenant.shards.iter().enumerate() {
+                let (depth, _) = shard.depth();
+                snapshot.staging_depth[index] += depth as u64;
+            }
+        }
+        snapshot
     }
 }
 
@@ -109,6 +159,8 @@ impl ServerInner {
 pub struct ServerHandle {
     inner: Arc<ServerInner>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
+    #[cfg(unix)]
+    reactor: Mutex<Option<crate::reactor::ReactorHandle>>,
     checkpoint_thread: Mutex<Option<JoinHandle<()>>>,
     done: AtomicBool,
 }
@@ -135,17 +187,36 @@ impl ServerHandle {
             checkpoint_wake: (Mutex::new(()), Condvar::new()),
         });
         restore_checkpoints(&inner)?;
-        let accept = {
-            let inner = inner.clone();
-            std::thread::spawn(move || accept_loop(&inner, &listener))
-        };
+        let mut accept = None;
+        #[cfg(unix)]
+        let mut reactor = None;
+        match inner.config.io_model {
+            IoModel::Threaded => {
+                let inner = inner.clone();
+                accept = Some(std::thread::spawn(move || accept_loop(&inner, &listener)));
+            }
+            IoModel::Reactor => {
+                #[cfg(unix)]
+                {
+                    reactor = Some(crate::reactor::spawn(&inner, listener)?);
+                }
+                #[cfg(not(unix))]
+                {
+                    return Err(ServerError::Protocol(
+                        "io_model: Reactor requires a POSIX platform".into(),
+                    ));
+                }
+            }
+        }
         let checkpointer = inner.config.checkpoint_interval.map(|interval| {
             let inner = inner.clone();
             std::thread::spawn(move || checkpoint_loop(&inner, interval))
         });
         Ok(Self {
             inner,
-            accept_thread: Mutex::new(Some(accept)),
+            accept_thread: Mutex::new(accept),
+            #[cfg(unix)]
+            reactor: Mutex::new(reactor),
             checkpoint_thread: Mutex::new(checkpointer),
             done: AtomicBool::new(false),
         })
@@ -157,9 +228,10 @@ impl ServerHandle {
         &self.inner.endpoint
     }
 
-    /// A point-in-time copy of the server's counters.
+    /// A point-in-time copy of the server's counters, including the
+    /// live per-shard staging depths.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot()
+        self.inner.stats_snapshot()
     }
 
     /// Whether shutdown has been requested (via this handle or a
@@ -175,13 +247,18 @@ impl ServerHandle {
     /// the final stats.
     pub fn shutdown(&self) -> Result<StatsSnapshot, ServerError> {
         if self.done.swap(true, Ordering::AcqRel) {
-            return Ok(self.inner.stats.snapshot());
+            return Ok(self.inner.stats_snapshot());
         }
         self.inner.shutdown.store(true, Ordering::Release);
-        // Unblock the accept loop with a throwaway connection; it checks
-        // the flag on every wakeup.
-        let _ = self.inner.endpoint.connect();
+        // Reactor loops observe the flag as soon as their waker fires.
+        #[cfg(unix)]
+        if let Some(reactor) = lock(&self.reactor).take() {
+            reactor.join();
+        }
+        // Unblock a threaded accept loop with a throwaway connection;
+        // it checks the flag on every wakeup.
         if let Some(handle) = lock(&self.accept_thread).take() {
+            let _ = self.inner.endpoint.connect();
             let _ = handle.join();
         }
         // Connection threads notice the flag at their next read tick.
@@ -205,7 +282,7 @@ impl ServerHandle {
             let _ = handle.join();
         }
         checkpoint_all(&self.inner)?;
-        Ok(self.inner.stats.snapshot())
+        Ok(self.inner.stats_snapshot())
     }
 }
 
@@ -217,7 +294,7 @@ impl Drop for ServerHandle {
 
 /// Look a tenant up, creating it (and spawning its shard workers) on
 /// first sight.
-fn tenant(inner: &Arc<ServerInner>, name: &str) -> Result<Arc<Tenant>, SketchError> {
+pub(crate) fn tenant(inner: &Arc<ServerInner>, name: &str) -> Result<Arc<Tenant>, SketchError> {
     let cfg = &inner.config;
     let (tenant, created) = inner.registry.get_or_create(name, || {
         Tenant::new(
@@ -277,11 +354,22 @@ fn worker_loop(inner: &ServerInner, shard: &Shard) {
 fn accept_loop(inner: &Arc<ServerInner>, listener: &Listener) {
     loop {
         match listener.accept() {
-            Ok(conn) => {
+            Ok(mut conn) => {
                 if inner.shutting_down() {
                     return;
                 }
+                let open = inner.stats.open_connections.load(Ordering::Relaxed);
+                if open >= inner.config.max_connections as u64 {
+                    // Protocol-level reject instead of an unbounded
+                    // thread spawn; best-effort so a dead peer can't
+                    // stall the accept loop.
+                    let _ = conn.write_all(b"-ERR server at connection capacity\n");
+                    let _ = conn.shutdown_write();
+                    Stats::add(&inner.stats.connections_rejected, 1);
+                    continue;
+                }
                 Stats::add(&inner.stats.connections_total, 1);
+                Stats::add(&inner.stats.open_connections, 1);
                 let inner2 = inner.clone();
                 let handle = std::thread::spawn(move || handle_conn(&inner2, conn));
                 lock(&inner.conn_threads).push(handle);
@@ -292,21 +380,22 @@ fn accept_loop(inner: &Arc<ServerInner>, listener: &Listener) {
     }
 }
 
-/// Decrements `connections_active` even if the handler panics.
+/// Decrements `open_connections` even if the handler panics.
 struct ActiveGuard<'a>(&'a Stats);
 
 impl Drop for ActiveGuard<'_> {
     fn drop(&mut self) {
-        self.0.connections_active.fetch_sub(1, Ordering::Relaxed);
+        self.0.open_connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-fn is_retryable(e: &io::Error) -> bool {
+pub(crate) fn is_retryable(e: &io::Error) -> bool {
     matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
 fn handle_conn(inner: &Arc<ServerInner>, mut conn: Conn) {
-    Stats::add(&inner.stats.connections_active, 1);
+    // `open_connections` was counted by the accept loop (it enforces
+    // `max_connections` before spawning); the guard pairs with that.
     let _guard = ActiveGuard(&inner.stats);
     if conn
         .set_read_timeout(Some(inner.config.read_timeout))
@@ -403,14 +492,10 @@ fn handle_ingest(inner: &Arc<ServerInner>, conn: Conn, tenant_name: &str) {
     }
 }
 
-fn respond(conn: &mut Conn, line: &str) -> io::Result<()> {
-    conn.write_all(line.as_bytes())?;
-    conn.write_all(b"\n")
-}
-
 fn handle_query(inner: &Arc<ServerInner>, mut conn: Conn, first: String) {
     let mut lines = LineReader::new();
     let mut pending = Some(first);
+    let mut out = Vec::new();
     loop {
         let line = match pending.take() {
             Some(line) => line,
@@ -427,39 +512,59 @@ fn handle_query(inner: &Arc<ServerInner>, mut conn: Conn, first: String) {
             },
         };
         Stats::add(&inner.stats.queries_served, 1);
+        out.clear();
         let keep_going = match parse_command(&line) {
-            Ok(command) => execute(inner, command, &mut conn),
-            Err(message) => respond(&mut conn, &format!("-ERR {message}")).map(|()| true),
+            Ok(command) => execute_into(inner, command, &mut out),
+            Err(message) => {
+                out.extend_from_slice(format!("-ERR {message}\n").as_bytes());
+                true
+            }
         };
-        if !keep_going.unwrap_or(false) {
+        if conn.write_all(&out).is_err() || !keep_going {
             return;
         }
     }
 }
 
-/// Run one query command; `Ok(false)` closes the connection.
-fn execute(inner: &Arc<ServerInner>, command: Command, conn: &mut Conn) -> io::Result<bool> {
+fn respond(out: &mut Vec<u8>, line: &str) {
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+}
+
+/// Run one query command, appending the response bytes to `out`
+/// (shared by the threaded handler and the reactor's query machines —
+/// the reactor drains `out` on writable readiness). Returns `false`
+/// when the connection should close after the response is flushed.
+pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut Vec<u8>) -> bool {
     match command {
-        Command::Ping => respond(conn, "+PONG")?,
+        Command::Ping => respond(out, "+PONG"),
         Command::Stats => {
-            let s = inner.stats.snapshot();
+            let s = inner.stats_snapshot();
+            let depths: Vec<String> = s.staging_depth.iter().map(u64::to_string).collect();
             respond(
-                conn,
+                out,
                 &format!(
                     "+OK frames_ingested={} frames_rejected={} bytes_ingested={} \
-                     connections_total={} connections_active={} ingest_disconnects={} \
-                     queries_served={} backpressure_waits={} checkpoints_completed={}",
+                     connections_total={} connections_rejected={} open_connections={} \
+                     ingest_disconnects={} queries_served={} backpressure_waits={} \
+                     ingest_suspensions={} reactor_wakeups={} reactor_events={} \
+                     checkpoints_completed={} staging_depth={}",
                     s.frames_ingested,
                     s.frames_rejected,
                     s.bytes_ingested,
                     s.connections_total,
-                    s.connections_active,
+                    s.connections_rejected,
+                    s.open_connections,
                     s.ingest_disconnects,
                     s.queries_served,
                     s.backpressure_waits,
-                    s.checkpoints_completed
+                    s.ingest_suspensions,
+                    s.reactor_wakeups,
+                    s.reactor_events,
+                    s.checkpoints_completed,
+                    depths.join(",")
                 ),
-            )?;
+            );
         }
         Command::Tenants => {
             let names: Vec<String> = inner
@@ -468,7 +573,7 @@ fn execute(inner: &Arc<ServerInner>, command: Command, conn: &mut Conn) -> io::R
                 .iter()
                 .map(|t| t.name.clone())
                 .collect();
-            respond(conn, &format!("+OK {}", names.join(" ")))?;
+            respond(out, &format!("+OK {}", names.join(" ")));
         }
         Command::Shards(name) => match inner.registry.get(&name) {
             Some(tenant) => {
@@ -477,9 +582,9 @@ fn execute(inner: &Arc<ServerInner>, command: Command, conn: &mut Conn) -> io::R
                     let (depth, high) = shard.depth();
                     line.push_str(&format!(" {depth}:{high}"));
                 }
-                respond(conn, &line)?;
+                respond(out, &line);
             }
-            None => respond(conn, "-ERR unknown tenant")?,
+            None => respond(out, "-ERR unknown tenant"),
         },
         Command::Metrics(name) => match inner.registry.get(&name) {
             Some(tenant) => {
@@ -490,9 +595,9 @@ fn execute(inner: &Arc<ServerInner>, command: Command, conn: &mut Conn) -> io::R
                 }
                 metrics.sort();
                 metrics.dedup();
-                respond(conn, &format!("+OK {}", metrics.join(" ")))?;
+                respond(out, &format!("+OK {}", metrics.join(" ")));
             }
-            None => respond(conn, "-ERR unknown tenant")?,
+            None => respond(out, "-ERR unknown tenant"),
         },
         Command::Count(name) => match inner.registry.get(&name) {
             Some(tenant) => {
@@ -501,9 +606,9 @@ fn execute(inner: &Arc<ServerInner>, command: Command, conn: &mut Conn) -> io::R
                     .iter()
                     .map(|shard| lock(&shard.state).agg.count())
                     .sum();
-                respond(conn, &format!("+OK {total}"))?;
+                respond(out, &format!("+OK {total}"));
             }
-            None => respond(conn, "-ERR unknown tenant")?,
+            None => respond(out, "-ERR unknown tenant"),
         },
         Command::Quantile(name, qs) => match inner.registry.get(&name) {
             Some(tenant) => {
@@ -524,12 +629,12 @@ fn execute(inner: &Arc<ServerInner>, command: Command, conn: &mut Conn) -> io::R
                 match AnyDDSketch::merged_quantiles(&refs, &qs) {
                     Ok(values) => {
                         let rendered: Vec<String> = values.iter().map(|&v| fmt_f64(v)).collect();
-                        respond(conn, &format!("+OK {}", rendered.join(" ")))?;
+                        respond(out, &format!("+OK {}", rendered.join(" ")));
                     }
-                    Err(e) => respond(conn, &format!("-ERR {e}"))?,
+                    Err(e) => respond(out, &format!("-ERR {e}")),
                 }
             }
-            None => respond(conn, "-ERR unknown tenant")?,
+            None => respond(out, "-ERR unknown tenant"),
         },
         Command::Series {
             tenant: name,
@@ -544,9 +649,9 @@ fn execute(inner: &Arc<ServerInner>, command: Command, conn: &mut Conn) -> io::R
                     .iter()
                     .map(|&(window, v)| format!("{window}={}", fmt_f64(v)))
                     .collect();
-                respond(conn, &format!("+OK {}", rendered.join(" ")))?;
+                respond(out, &format!("+OK {}", rendered.join(" ")));
             }
-            None => respond(conn, "-ERR unknown tenant")?,
+            None => respond(out, "-ERR unknown tenant"),
         },
         Command::Dump {
             tenant: name,
@@ -554,16 +659,18 @@ fn execute(inner: &Arc<ServerInner>, command: Command, conn: &mut Conn) -> io::R
         } => match inner.registry.get(&name) {
             Some(tenant) if shard < tenant.shards.len() => {
                 let state = lock(&tenant.shards[shard].state);
-                let bytes = state
-                    .store
-                    .checkpoint(Vec::new())
-                    .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+                let bytes = state.store.checkpoint(Vec::new());
                 drop(state);
-                respond(conn, &format!("+DUMP {}", bytes.len()))?;
-                conn.write_all(&bytes)?;
+                match bytes {
+                    Ok(bytes) => {
+                        respond(out, &format!("+DUMP {}", bytes.len()));
+                        out.extend_from_slice(&bytes);
+                    }
+                    Err(e) => respond(out, &format!("-ERR {e}")),
+                }
             }
-            Some(_) => respond(conn, "-ERR shard index out of range")?,
-            None => respond(conn, "-ERR unknown tenant")?,
+            Some(_) => respond(out, "-ERR shard index out of range"),
+            None => respond(out, "-ERR unknown tenant"),
         },
         Command::Sync => {
             for tenant in inner.registry.all() {
@@ -571,30 +678,47 @@ fn execute(inner: &Arc<ServerInner>, command: Command, conn: &mut Conn) -> io::R
                     shard.sync();
                 }
             }
-            respond(conn, "+OK")?;
+            respond(out, "+OK");
         }
         Command::Checkpoint => {
             if inner.config.checkpoint_dir.is_none() {
-                respond(conn, "-ERR no checkpoint directory configured")?;
+                respond(out, "-ERR no checkpoint directory configured");
             } else {
                 match checkpoint_all(inner) {
-                    Ok(files) => respond(conn, &format!("+OK {files}"))?,
-                    Err(e) => respond(conn, &format!("-ERR {e}"))?,
+                    Ok(files) => respond(out, &format!("+OK {files}")),
+                    Err(e) => respond(out, &format!("-ERR {e}")),
                 }
             }
         }
         Command::Shutdown => {
             inner.shutdown.store(true, Ordering::Release);
             inner.checkpoint_wake.1.notify_all();
-            respond(conn, "+OK")?;
-            return Ok(false);
+            respond(out, "+OK");
+            return false;
         }
         Command::Quit => {
-            respond(conn, "+OK")?;
-            return Ok(false);
+            respond(out, "+OK");
+            return false;
         }
     }
-    Ok(true)
+    true
+}
+
+/// A bare `ServerInner` with no I/O threads attached — lets reactor
+/// unit tests drive connection machines and event loops directly
+/// against real registry/stats state.
+#[cfg(test)]
+pub(crate) fn test_inner(config: ServerConfig) -> Arc<ServerInner> {
+    Arc::new(ServerInner {
+        config,
+        registry: Registry::default(),
+        stats: Stats::default(),
+        shutdown: AtomicBool::new(false),
+        endpoint: Endpoint::Tcp("127.0.0.1:9".parse().unwrap()),
+        shard_workers: Mutex::new(Vec::new()),
+        conn_threads: Mutex::new(Vec::new()),
+        checkpoint_wake: (Mutex::new(()), Condvar::new()),
+    })
 }
 
 fn checkpoint_loop(inner: &Arc<ServerInner>, interval: Duration) {

@@ -56,10 +56,14 @@ pub(crate) struct Stats {
     pub frames_rejected: AtomicU64,
     pub bytes_ingested: AtomicU64,
     pub connections_total: AtomicU64,
-    pub connections_active: AtomicU64,
+    pub connections_rejected: AtomicU64,
+    pub open_connections: AtomicU64,
     pub ingest_disconnects: AtomicU64,
     pub queries_served: AtomicU64,
     pub backpressure_waits: AtomicU64,
+    pub ingest_suspensions: AtomicU64,
+    pub reactor_wakeups: AtomicU64,
+    pub reactor_events: AtomicU64,
     pub checkpoints_completed: AtomicU64,
 }
 
@@ -68,24 +72,31 @@ impl Stats {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counter-only snapshot; the server layer fills in `staging_depth`
+    /// (it needs the tenant registry, which `Stats` has no view of).
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             frames_ingested: self.frames_ingested.load(Ordering::Relaxed),
             frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
             bytes_ingested: self.bytes_ingested.load(Ordering::Relaxed),
             connections_total: self.connections_total.load(Ordering::Relaxed),
-            connections_active: self.connections_active.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
             ingest_disconnects: self.ingest_disconnects.load(Ordering::Relaxed),
             queries_served: self.queries_served.load(Ordering::Relaxed),
             backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
+            ingest_suspensions: self.ingest_suspensions.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            reactor_events: self.reactor_events.load(Ordering::Relaxed),
             checkpoints_completed: self.checkpoints_completed.load(Ordering::Relaxed),
+            staging_depth: Vec::new(),
         }
     }
 }
 
 /// A point-in-time copy of the server's counters — what `STATS` reports
 /// and what [`crate::ServerHandle::stats`] returns.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Frames decoded, routed, and absorbed into tenant state.
     pub frames_ingested: u64,
@@ -96,16 +107,33 @@ pub struct StatsSnapshot {
     pub bytes_ingested: u64,
     /// Connections accepted over the server's lifetime.
     pub connections_total: u64,
+    /// Connections refused at the [`crate::ServerConfig::max_connections`]
+    /// cap (not counted in `connections_total`).
+    pub connections_rejected: u64,
     /// Connections currently open.
-    pub connections_active: u64,
+    pub open_connections: u64,
     /// Ingest connections that ended without a clean `DDSF` terminator.
     pub ingest_disconnects: u64,
     /// Query commands answered (including `-ERR` answers).
     pub queries_served: u64,
-    /// Times a connection thread blocked on a full staging queue.
+    /// Times ingest stalled on a full staging queue — Condvar waits
+    /// under the threaded model, suspensions under the reactor.
     pub backpressure_waits: u64,
+    /// Reactor-only: ingest connections deregistered on a full staging
+    /// queue until the shard worker drained space (a strict subset of
+    /// `backpressure_waits` events, counted once per suspension).
+    pub ingest_suspensions: u64,
+    /// Reactor-only: times an event-loop thread returned from its
+    /// readiness wait.
+    pub reactor_wakeups: u64,
+    /// Reactor-only: readiness events dispatched to connection state
+    /// machines.
+    pub reactor_events: u64,
     /// Checkpoint sweeps completed (periodic, on demand, and final).
     pub checkpoints_completed: u64,
+    /// Live staging depth (queued + in-flight jobs) per shard index,
+    /// summed across tenants; length = `shards_per_tenant`.
+    pub staging_depth: Vec<u64>,
 }
 
 /// One routed, decoded frame awaiting absorption by a shard worker.
@@ -126,6 +154,27 @@ pub(crate) struct ShardState {
     pub store: TimeSeriesStore,
 }
 
+/// Readiness callback for a connection suspended on a full staging
+/// queue — the reactor's nonblocking analogue of the `not_full`
+/// Condvar. Wakes must be cheap, non-blocking, and idempotent; a stale
+/// wake (the connection already resumed or died) is harmless.
+pub(crate) trait ShardWaker: Send + Sync + std::fmt::Debug {
+    fn wake(&self);
+}
+
+/// Outcome of a nonblocking [`Shard::try_push`]: the job is either
+/// stored (with recycled buffers handed back) or returned to the caller
+/// untouched, so no accepted frame is ever dropped on a full queue.
+#[derive(Debug)]
+pub(crate) enum TryPush {
+    /// Staged; here are recycled `(payload, metric string)` buffers.
+    Stored((SketchPayload, String)),
+    /// Queue at its bound — suspend and retry after a waker fires.
+    Full(Job),
+    /// Shard closed (server shutting down); the job will never land.
+    Closed,
+}
+
 #[derive(Debug, Default)]
 struct StagingInner {
     queue: VecDeque<Job>,
@@ -138,6 +187,12 @@ struct StagingInner {
     in_flight: usize,
     high_watermark: usize,
     closed: bool,
+    /// Suspended reactor connections to wake when space frees up (or
+    /// the shard closes). Each pop wakes the front waiter — one freed
+    /// slot, one resume — and close wakes them all; the reactor's idle
+    /// sweep covers any wake consumed by a connection that had already
+    /// moved on.
+    waiters: Vec<Arc<dyn ShardWaker>>,
 }
 
 /// One shard of a tenant: a bounded staging queue feeding a dedicated
@@ -191,6 +246,48 @@ impl Shard {
         Ok(spare)
     }
 
+    /// Nonblocking [`Shard::push`]: stage the job if the queue has room,
+    /// hand it straight back otherwise. The reactor's ingest path — an
+    /// event-loop thread must never park on a Condvar.
+    pub(crate) fn try_push(&self, job: Job) -> TryPush {
+        let mut inner = lock(&self.staging);
+        if inner.closed {
+            drop(job);
+            return TryPush::Closed;
+        }
+        if inner.queue.len() >= self.bound {
+            return TryPush::Full(job);
+        }
+        inner.queue.push_back(job);
+        inner.high_watermark = inner.high_watermark.max(inner.queue.len());
+        let spare = (
+            inner.spare_payloads.pop().unwrap_or_default(),
+            inner.spare_strings.pop().unwrap_or_default(),
+        );
+        drop(inner);
+        self.not_empty.notify_one();
+        TryPush::Stored(spare)
+    }
+
+    /// Register a waker to fire when staging space frees up. Deduped by
+    /// `Arc` identity, so re-registering on the lost-wakeup-avoidance
+    /// retry path (register → retry `try_push` → still full) is free.
+    pub(crate) fn add_waiter(&self, waker: &Arc<dyn ShardWaker>) {
+        let mut inner = lock(&self.staging);
+        if !inner.waiters.iter().any(|w| Arc::ptr_eq(w, waker)) {
+            inner.waiters.push(Arc::clone(waker));
+        }
+    }
+
+    /// Drop a registered waker. Called when the retry `try_push` after
+    /// [`Shard::add_waiter`] lands after all: with one-waiter-per-pop
+    /// wakes, a stale registration would otherwise consume a wake some
+    /// genuinely suspended connection needed.
+    pub(crate) fn remove_waiter(&self, waker: &Arc<dyn ShardWaker>) {
+        let mut inner = lock(&self.staging);
+        inner.waiters.retain(|w| !Arc::ptr_eq(w, waker));
+    }
+
     /// Worker side: take the next job, blocking while the queue is
     /// empty. `None` once the shard is closed *and* drained — the
     /// worker's signal to exit (already-staged jobs are still handed
@@ -200,8 +297,21 @@ impl Shard {
         loop {
             if let Some(job) = inner.queue.pop_front() {
                 inner.in_flight += 1;
+                // One pop frees one slot, so wake exactly one waiter
+                // (FIFO). Waking the whole herd makes every freed slot
+                // cost O(waiters) futile resumes. The reactor's idle
+                // sweep backstops any wake that lands on a connection
+                // that no longer needs it.
+                let waiter = if inner.waiters.is_empty() {
+                    None
+                } else {
+                    Some(inner.waiters.remove(0))
+                };
                 drop(inner);
                 self.not_full.notify_one();
+                if let Some(waker) = waiter {
+                    waker.wake();
+                }
                 return Some(job);
             }
             if inner.closed {
@@ -241,11 +351,19 @@ impl Shard {
     }
 
     /// Close the queue: pushes start failing, and the worker exits once
-    /// the backlog drains.
+    /// the backlog drains. Suspended reactor connections are woken so
+    /// they observe the close instead of waiting forever.
     pub(crate) fn close(&self) {
-        lock(&self.staging).closed = true;
+        let waiters = {
+            let mut inner = lock(&self.staging);
+            inner.closed = true;
+            std::mem::take(&mut inner.waiters)
+        };
         self.not_full.notify_all();
         self.not_empty.notify_all();
+        for waker in &waiters {
+            waker.wake();
+        }
     }
 
     /// Current staging depth and the deepest it has ever been.
@@ -392,6 +510,58 @@ mod tests {
         shard.close();
         assert!(shard.push(job(9), &stats).is_err());
         assert!(shard.pop().is_none());
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingWaker(AtomicU64);
+
+    impl ShardWaker for CountingWaker {
+        fn wake(&self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn try_push_returns_full_and_wakes_on_pop() {
+        let config = SketchConfig::dense_collapsing(0.01, 128);
+        let tenant = Tenant::new("t", config, 1, 2, 4, 10).unwrap();
+        let shard = tenant.shards[0].clone();
+        let job = |i: u64| Job {
+            metric: format!("m{i}"),
+            ts_secs: i,
+            payload: SketchPayload::default(),
+        };
+
+        assert!(matches!(shard.try_push(job(0)), TryPush::Stored(_)));
+        assert!(matches!(shard.try_push(job(1)), TryPush::Stored(_)));
+        // At the bound: the job comes back untouched, nothing blocks.
+        let bounced = match shard.try_push(job(2)) {
+            TryPush::Full(job) => job,
+            other => panic!("expected Full, got {other:?}"),
+        };
+        assert_eq!(bounced.metric, "m2");
+
+        // Lost-wakeup protocol: register, retry once, then suspend.
+        let waker = Arc::new(CountingWaker::default());
+        let dyn_waker: Arc<dyn ShardWaker> = waker.clone();
+        shard.add_waiter(&dyn_waker);
+        shard.add_waiter(&dyn_waker); // deduped by Arc identity
+        let bounced = match shard.try_push(bounced) {
+            TryPush::Full(job) => job,
+            other => panic!("expected Full, got {other:?}"),
+        };
+
+        // A pop frees space and fires the waker exactly once.
+        let popped = shard.pop().unwrap();
+        assert_eq!(waker.0.load(Ordering::Relaxed), 1);
+        assert!(matches!(shard.try_push(bounced), TryPush::Stored(_)));
+        shard.complete(popped.payload, popped.metric);
+
+        // Close wakes suspended connections and bounces jobs back.
+        shard.add_waiter(&dyn_waker);
+        shard.close();
+        assert_eq!(waker.0.load(Ordering::Relaxed), 2);
+        assert!(matches!(shard.try_push(job(3)), TryPush::Closed));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ddsketch::{AnyDDSketch, SketchConfig};
-use sketchd::{AgentSender, Bind, QueryClient, RetryPolicy, ServerConfig, ServerHandle};
+use sketchd::{AgentSender, Bind, IoModel, QueryClient, RetryPolicy, ServerConfig, ServerHandle};
 
 /// 2048 bins is comfortably above what the value ranges below populate,
 /// so no collapsing happens and bit-identity claims stay about the
@@ -17,7 +17,7 @@ fn cfg() -> SketchConfig {
     SketchConfig::dense_collapsing(0.01, 2048)
 }
 
-fn server_config() -> ServerConfig {
+fn server_config_for(io_model: IoModel) -> ServerConfig {
     ServerConfig {
         sketch: cfg(),
         window_secs: 10,
@@ -25,8 +25,13 @@ fn server_config() -> ServerConfig {
         shards_per_tenant: 4,
         staging_bound: 64,
         read_timeout: Duration::from_millis(10),
+        io_model,
         ..ServerConfig::default()
     }
+}
+
+fn server_config() -> ServerConfig {
+    server_config_for(IoModel::default())
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -70,14 +75,28 @@ fn await_frames(client: &mut QueryClient, expect: u64) -> sketchd::StatsSnapshot
 /// loopback, ~2% corrupt payloads and periodic mid-stream disconnects
 /// injected, queries running concurrently with ingest — and the final
 /// tenant-wide quantiles must be **bit-identical** to a from-scratch
-/// union sketch over every valid payload.
+/// union sketch over every valid payload. Runs under both I/O models.
 #[test]
-fn fifty_agents_with_corruption_equal_the_union() {
+fn fifty_agents_with_corruption_equal_the_union_threaded() {
+    fifty_agents_with_corruption(IoModel::Threaded);
+}
+
+#[cfg(unix)]
+#[test]
+fn fifty_agents_with_corruption_equal_the_union_reactor() {
+    fifty_agents_with_corruption(IoModel::Reactor);
+}
+
+fn fifty_agents_with_corruption(io_model: IoModel) {
     const AGENTS: usize = 50;
     const FRAMES_PER_AGENT: usize = 120;
     const VALUES_PER_FRAME: usize = 20;
 
-    let server = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), server_config()).unwrap();
+    let server = ServerHandle::spawn(
+        &Bind::Tcp("127.0.0.1:0".into()),
+        server_config_for(io_model),
+    )
+    .unwrap();
     let endpoint = server.endpoint().clone();
 
     // A concurrent query thread hammers the server throughout ingest.
@@ -192,6 +211,14 @@ fn fifty_agents_with_corruption_equal_the_union() {
     for (window, value) in &series {
         assert_eq!(window % 10, 0);
         assert!(value.is_finite());
+    }
+
+    // The per-shard depth vector is always shaped right, and the
+    // reactor's wakeup counters move only under the reactor.
+    assert_eq!(stats.staging_depth.len(), 4);
+    match io_model {
+        IoModel::Reactor => assert!(stats.reactor_wakeups > 0, "reactor wakeups counted"),
+        IoModel::Threaded => assert_eq!(stats.reactor_wakeups, 0),
     }
 
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -319,14 +346,25 @@ fn server_kill_midstream_reconnects_without_torn_frames() {
 }
 
 /// A tiny staging bound must throttle a fast agent (backpressure
-/// observed in the stats) while losing nothing.
+/// observed in the stats) while losing nothing — Condvar blocking under
+/// the threaded model, suspension/resume under the reactor.
 #[test]
-fn backpressure_throttles_without_loss() {
+fn backpressure_throttles_without_loss_threaded() {
+    backpressure_throttles_without_loss(IoModel::Threaded);
+}
+
+#[cfg(unix)]
+#[test]
+fn backpressure_throttles_without_loss_reactor() {
+    backpressure_throttles_without_loss(IoModel::Reactor);
+}
+
+fn backpressure_throttles_without_loss(io_model: IoModel) {
     const FRAMES: u64 = 3000;
     let config = ServerConfig {
         shards_per_tenant: 1,
         staging_bound: 1,
-        ..server_config()
+        ..server_config_for(io_model)
     };
     let server = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), config).unwrap();
     let endpoint = server.endpoint().clone();
@@ -363,12 +401,80 @@ fn backpressure_throttles_without_loss() {
     assert_eq!(client.count("t").unwrap(), FRAMES * per_frame);
     assert!(
         stats.backpressure_waits > 0,
-        "a bound-1 queue must have blocked the connection thread"
+        "a bound-1 queue must have stalled ingest"
     );
+    match io_model {
+        IoModel::Reactor => assert!(
+            stats.ingest_suspensions > 0,
+            "the reactor must suspend, not block"
+        ),
+        IoModel::Threaded => assert_eq!(stats.ingest_suspensions, 0),
+    }
     // The staging depth can never exceed the bound.
     for (depth, high) in client.shards("t").unwrap() {
         assert!(depth <= 1, "depth {depth} beyond bound");
         assert!(high <= 1, "high watermark {high} beyond bound");
+    }
+    server.shutdown().unwrap();
+}
+
+/// Arrivals past [`ServerConfig::max_connections`] get a clean
+/// protocol-level reject and the slot frees once a held connection
+/// closes — under both I/O models.
+#[test]
+fn connection_cap_rejects_cleanly_threaded() {
+    connection_cap_rejects_cleanly(IoModel::Threaded);
+}
+
+#[cfg(unix)]
+#[test]
+fn connection_cap_rejects_cleanly_reactor() {
+    connection_cap_rejects_cleanly(IoModel::Reactor);
+}
+
+fn connection_cap_rejects_cleanly(io_model: IoModel) {
+    use std::io::Read;
+    let config = ServerConfig {
+        max_connections: 2,
+        ..server_config_for(io_model)
+    };
+    let server = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), config).unwrap();
+    let endpoint = server.endpoint().clone();
+    let sketchd::Endpoint::Tcp(addr) = endpoint.clone() else {
+        unreachable!()
+    };
+
+    // Fill the cap with two live query sessions.
+    let mut held_a = QueryClient::connect(&endpoint).unwrap();
+    held_a.ping().unwrap();
+    let mut held_b = QueryClient::connect(&endpoint).unwrap();
+    held_b.ping().unwrap();
+
+    // The third arrival is told why and dropped.
+    let mut response = String::new();
+    std::net::TcpStream::connect(addr)
+        .unwrap()
+        .read_to_string(&mut response)
+        .unwrap();
+    assert_eq!(response, "-ERR server at connection capacity\n");
+
+    let stats = held_a.stats().unwrap();
+    assert_eq!(stats.open_connections, 2);
+    assert_eq!(stats.connections_rejected, 1);
+    assert_eq!(stats.connections_total, 2, "rejects aren't connections");
+
+    // Releasing a held session frees the slot (the server needs a
+    // moment to observe the close).
+    held_b.quit().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut client) = QueryClient::connect(&endpoint) {
+            if client.ping().is_ok() {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "capacity slot never freed");
+        std::thread::sleep(Duration::from_millis(10));
     }
     server.shutdown().unwrap();
 }
