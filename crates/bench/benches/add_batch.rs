@@ -5,9 +5,11 @@
 //! per-element throughput plus an explicit speedup summary.
 //!
 //! `cargo bench --bench add_batch` for numbers;
-//! `cargo bench --bench add_batch -- --test` for a smoke run.
+//! `cargo bench --bench add_batch -- --test` for a smoke run. A full
+//! run also writes `results/BENCH_add_batch.json` (the workspace's
+//! machine-readable bench schema); `--test` and filtered runs skip it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use datasets::{Distribution, LogNormal, Pareto};
@@ -198,4 +200,14 @@ criterion_group! {
         .sample_size(20);
     targets = bench_add_batch, speedup_summary
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    criterion::write_bench_json(
+        "add_batch",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_add_batch.json"
+        ),
+    );
+}

@@ -8,14 +8,19 @@
 //!   bar), plus the exponentially-decayed per-slot walk for comparison.
 //! * `sliding_ingest/*` — batched ingest overhead of the sliding window
 //!   (slot routing + rotation + two-stack upkeep) against a bare
-//!   `ConcurrentSketch`, the no-window baseline.
+//!   `ConcurrentSketch`, the no-window baseline, plus the weighted
+//!   plane's `DecayedIngestWindow` (per-value decay-at-ingest).
+//!
+//! A full run writes `results/BENCH_sliding.json` (same schema as the
+//! hand-rolled codec/ingest bench emitters); `--test` and filtered runs
+//! skip the write.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use datasets::Dataset;
 use ddsketch::SketchConfig;
-use pipeline::{ConcurrentSketch, SlidingWindowSketch};
+use pipeline::{ConcurrentSketch, DecayedIngestWindow, SlidingWindowSketch};
 
 /// The paper's production configuration.
 fn plane_config() -> SketchConfig {
@@ -97,6 +102,24 @@ fn bench_ingest(c: &mut Criterion) {
             })
         });
     }
+    // Ingest-time decay: one resident weighted sketch, a decay tick per
+    // slot crossing — no ring at all, the memory/fidelity trade from the
+    // other side.
+    let mut decayed = DecayedIngestWindow::with_config(plane_config(), 1, 0.99).unwrap();
+    let mut dtick = 0u64;
+    let mut dts = 0u64;
+    group.bench_function(BenchmarkId::new("decayed-ingest", "0.99"), |b| {
+        b.iter(|| {
+            dtick += 1;
+            if dtick.is_multiple_of(8) {
+                dts += 1;
+            }
+            for &v in black_box(&batch) {
+                decayed.record(dts, v).unwrap();
+            }
+            decayed.weighted_count()
+        })
+    });
     group.finish();
 }
 
@@ -108,4 +131,14 @@ criterion_group! {
         .sample_size(20);
     targets = bench_query, bench_ingest
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    criterion::write_bench_json(
+        "sliding",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_sliding.json"
+        ),
+    );
+}

@@ -21,7 +21,7 @@ fn bench_stores(c: &mut Criterion) {
     let mut group = c.benchmark_group("store/add");
     group.throughput(Throughput::Elements(indices.len() as u64));
 
-    fn run<S: Store>(mut store: S, indices: &[i32]) -> u64 {
+    fn run<S: Store<Count = u64>>(mut store: S, indices: &[i32]) -> u64 {
         for &i in indices {
             store.add(i);
         }

@@ -46,7 +46,7 @@ pub(crate) fn config_of<M, SP, SN>(sketch: &crate::DDSketch<M, SP, SN>) -> Sketc
 where
     M: IndexMapping,
     SP: Store,
-    SN: Store,
+    SN: Store<Count = SP::Count>,
 {
     SketchConfig {
         alpha: sketch.relative_accuracy(),
@@ -131,6 +131,43 @@ impl AnyDDSketch {
     /// [`crate::DDSketch::delete`].
     pub fn delete(&mut self, value: f64) -> bool {
         dispatch!(self, s => s.delete(value))
+    }
+
+    /// Insert `count` occurrences of `value` through the count-generic
+    /// ingestion path ([`crate::DDSketch::add_with_count`]); identical to
+    /// [`Self::add_n`] for this integer-counted plane.
+    pub fn add_with_count(&mut self, value: f64, count: u64) -> Result<(), SketchError> {
+        dispatch!(self, s => s.add_with_count(value, count))
+    }
+
+    /// Subtract another sketch's contents bucket-by-bucket, flooring at
+    /// zero; see [`crate::DDSketch::sub_sketch`]. Both sketches must wrap
+    /// the same variant with mergeable mappings.
+    pub fn sub_sketch(&mut self, other: &Self) -> Result<(), SketchError> {
+        match (self, other) {
+            (AnyDDSketch::Unbounded(a), AnyDDSketch::Unbounded(b)) => a.sub_sketch(b),
+            (AnyDDSketch::Bounded(a), AnyDDSketch::Bounded(b)) => a.sub_sketch(b),
+            (AnyDDSketch::Fast(a), AnyDDSketch::Fast(b)) => a.sub_sketch(b),
+            (AnyDDSketch::Sparse(a), AnyDDSketch::Sparse(b)) => a.sub_sketch(b),
+            (AnyDDSketch::PaperExact(a), AnyDDSketch::PaperExact(b)) => a.sub_sketch(b),
+            (a, b) => Err(SketchError::IncompatibleMerge(format!(
+                "store/mapping mismatch: {:?} vs {:?}",
+                a.config(),
+                b.config()
+            ))),
+        }
+    }
+
+    /// Scale every stored count by `factor` (integer counts round to
+    /// nearest); see [`crate::DDSketch::scale_counts`].
+    pub fn scale_counts(&mut self, factor: f64) -> Result<(), SketchError> {
+        dispatch!(self, s => s.scale_counts(factor))
+    }
+
+    /// Total stored weight as `f64`; see
+    /// [`crate::DDSketch::weighted_count`].
+    pub fn weighted_count(&self) -> f64 {
+        dispatch!(self, s => s.weighted_count())
     }
 
     /// Estimate the q-quantile (Algorithm 2).
@@ -536,6 +573,261 @@ impl_from_preset!(
     PaperExactDDSketch => PaperExact,
 );
 
+/// The weighted (`f64`-counted) twin of [`AnyDDSketch`]: the same five
+/// runtime-selected configurations with stores that count in `f64`, so
+/// occurrences carry fractional weights, decay in place
+/// ([`Self::scale_counts`]), and subtract with floor-at-zero semantics
+/// ([`Self::sub_sketch`]). This is the type the `DDS3` wire dialect
+/// decodes into ([`crate::codec`]) and the sliding-window plane's
+/// ingest-time-decay slots are built on.
+#[derive(Debug, Clone)]
+pub enum AnyWeightedDDSketch {
+    /// Weighted [`presets::unbounded`].
+    Unbounded(presets::WeightedUnboundedDDSketch),
+    /// Weighted [`presets::logarithmic_collapsing`].
+    Bounded(presets::WeightedBoundedDDSketch),
+    /// Weighted [`presets::fast`].
+    Fast(presets::WeightedFastDDSketch),
+    /// Weighted [`presets::sparse`].
+    Sparse(presets::WeightedSparseDDSketch),
+    /// Weighted [`presets::paper_exact`].
+    PaperExact(presets::WeightedPaperExactDDSketch),
+}
+
+/// [`dispatch!`] for the weighted enum.
+macro_rules! wdispatch {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            AnyWeightedDDSketch::Unbounded($s) => $body,
+            AnyWeightedDDSketch::Bounded($s) => $body,
+            AnyWeightedDDSketch::Fast($s) => $body,
+            AnyWeightedDDSketch::Sparse($s) => $body,
+            AnyWeightedDDSketch::PaperExact($s) => $body,
+        }
+    };
+}
+
+impl AnyWeightedDDSketch {
+    /// Build an empty weighted sketch for `config` (validating it first).
+    pub fn new(config: SketchConfig) -> Result<Self, SketchError> {
+        config.validate()?;
+        use crate::mapping::MappingKind;
+        use crate::store::StoreKind;
+        Ok(match (config.mapping, config.store) {
+            (MappingKind::Logarithmic, StoreKind::Unbounded) => {
+                AnyWeightedDDSketch::Unbounded(presets::weighted_unbounded(config.alpha)?)
+            }
+            (MappingKind::Logarithmic, StoreKind::CollapsingDense) => AnyWeightedDDSketch::Bounded(
+                presets::weighted_logarithmic_collapsing(config.alpha, config.max_bins)?,
+            ),
+            (MappingKind::CubicInterpolated, StoreKind::CollapsingDense) => {
+                AnyWeightedDDSketch::Fast(presets::weighted_fast(config.alpha, config.max_bins)?)
+            }
+            (MappingKind::Logarithmic, StoreKind::Sparse) => {
+                AnyWeightedDDSketch::Sparse(presets::weighted_sparse(config.alpha)?)
+            }
+            (MappingKind::Logarithmic, StoreKind::CollapsingSparse) => {
+                AnyWeightedDDSketch::PaperExact(presets::weighted_paper_exact(
+                    config.alpha,
+                    config.max_bins,
+                )?)
+            }
+            _ => unreachable!("validate() rejects unsupported combinations"),
+        })
+    }
+
+    /// Recover the runtime configuration this sketch was built with.
+    pub fn config(&self) -> SketchConfig {
+        wdispatch!(self, s => config_of(s))
+    }
+
+    /// The relative accuracy `α` guaranteed for non-collapsed buckets.
+    pub fn relative_accuracy(&self) -> f64 {
+        wdispatch!(self, s => s.relative_accuracy())
+    }
+
+    /// Insert one occurrence of `value` at weight 1.
+    pub fn add(&mut self, value: f64) -> Result<(), SketchError> {
+        wdispatch!(self, s => s.add_with_count(value, 1.0))
+    }
+
+    /// Insert `value` with a (possibly fractional) weight; see
+    /// [`crate::DDSketch::add_with_count`].
+    pub fn add_with_count(&mut self, value: f64, count: f64) -> Result<(), SketchError> {
+        wdispatch!(self, s => s.add_with_count(value, count))
+    }
+
+    /// Bulk-insert `(value, weight)` pairs atomically; see
+    /// [`crate::DDSketch::add_weighted_slice`].
+    pub fn add_weighted_slice(&mut self, pairs: &[(f64, f64)]) -> Result<(), SketchError> {
+        wdispatch!(self, s => s.add_weighted_slice(pairs))
+    }
+
+    /// Estimate the q-quantile of the weighted multiset; see
+    /// [`crate::DDSketch::weighted_quantile`].
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        wdispatch!(self, s => s.weighted_quantile(q))
+    }
+
+    /// Estimate several quantiles; output order matches input order.
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        wdispatch!(self, s => s.weighted_quantiles(qs))
+    }
+
+    /// [`AnyWeightedDDSketch::quantiles`] into a caller-owned buffer —
+    /// the allocation-free query form (on the dense store families the
+    /// walk touches no heap). On error `out`'s contents are unspecified.
+    pub fn quantiles_into(&self, qs: &[f64], out: &mut Vec<f64>) -> Result<(), SketchError> {
+        out.clear();
+        out.reserve(qs.len());
+        for &q in qs {
+            out.push(wdispatch!(self, s => s.weighted_quantile(q))?);
+        }
+        Ok(())
+    }
+
+    /// Merge another weighted sketch into this one (same-variant only).
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        match (self, other) {
+            (AnyWeightedDDSketch::Unbounded(a), AnyWeightedDDSketch::Unbounded(b)) => {
+                a.merge_from(b)
+            }
+            (AnyWeightedDDSketch::Bounded(a), AnyWeightedDDSketch::Bounded(b)) => a.merge_from(b),
+            (AnyWeightedDDSketch::Fast(a), AnyWeightedDDSketch::Fast(b)) => a.merge_from(b),
+            (AnyWeightedDDSketch::Sparse(a), AnyWeightedDDSketch::Sparse(b)) => a.merge_from(b),
+            (AnyWeightedDDSketch::PaperExact(a), AnyWeightedDDSketch::PaperExact(b)) => {
+                a.merge_from(b)
+            }
+            (a, b) => Err(SketchError::IncompatibleMerge(format!(
+                "store/mapping mismatch: {:?} vs {:?}",
+                a.config(),
+                b.config()
+            ))),
+        }
+    }
+
+    /// Subtract another weighted sketch bucket-by-bucket, flooring at
+    /// zero; see [`crate::DDSketch::sub_sketch`].
+    pub fn sub_sketch(&mut self, other: &Self) -> Result<(), SketchError> {
+        match (self, other) {
+            (AnyWeightedDDSketch::Unbounded(a), AnyWeightedDDSketch::Unbounded(b)) => {
+                a.sub_sketch(b)
+            }
+            (AnyWeightedDDSketch::Bounded(a), AnyWeightedDDSketch::Bounded(b)) => a.sub_sketch(b),
+            (AnyWeightedDDSketch::Fast(a), AnyWeightedDDSketch::Fast(b)) => a.sub_sketch(b),
+            (AnyWeightedDDSketch::Sparse(a), AnyWeightedDDSketch::Sparse(b)) => a.sub_sketch(b),
+            (AnyWeightedDDSketch::PaperExact(a), AnyWeightedDDSketch::PaperExact(b)) => {
+                a.sub_sketch(b)
+            }
+            (a, b) => Err(SketchError::IncompatibleMerge(format!(
+                "store/mapping mismatch: {:?} vs {:?}",
+                a.config(),
+                b.config()
+            ))),
+        }
+    }
+
+    /// Scale every stored weight by `factor` — ingest-time exponential
+    /// decay; see [`crate::DDSketch::scale_counts`].
+    pub fn scale_counts(&mut self, factor: f64) -> Result<(), SketchError> {
+        wdispatch!(self, s => s.scale_counts(factor))
+    }
+
+    /// Total stored weight.
+    pub fn weighted_count(&self) -> f64 {
+        wdispatch!(self, s => s.weighted_count())
+    }
+
+    /// Weight in the exact zero bucket.
+    pub fn zero_weight(&self) -> f64 {
+        wdispatch!(self, s => s.zero_weight())
+    }
+
+    /// Whether the sketch holds no weight.
+    pub fn is_empty(&self) -> bool {
+        wdispatch!(self, s => s.is_empty())
+    }
+
+    /// Exact weighted sum of inserted values.
+    pub fn sum(&self) -> f64 {
+        wdispatch!(self, s => s.sum())
+    }
+
+    /// Exact weighted mean, or `None` if empty.
+    pub fn average(&self) -> Option<f64> {
+        wdispatch!(self, s => s.average())
+    }
+
+    /// The tracked minimum; see [`crate::DDSketch::min`].
+    pub fn min(&self) -> Option<f64> {
+        wdispatch!(self, s => s.min())
+    }
+
+    /// The tracked maximum; see [`crate::DDSketch::max`].
+    pub fn max(&self) -> Option<f64> {
+        wdispatch!(self, s => s.max())
+    }
+
+    /// Number of non-empty buckets plus the zero bucket.
+    pub fn num_bins(&self) -> usize {
+        wdispatch!(self, s => s.num_bins())
+    }
+
+    /// Whether any store has collapsed buckets (Proposition 4).
+    pub fn has_collapsed(&self) -> bool {
+        wdispatch!(self, s => s.has_collapsed())
+    }
+
+    /// Reset to empty, retaining allocations and configuration.
+    pub fn clear(&mut self) {
+        wdispatch!(self, s => s.clear())
+    }
+
+    /// Structural memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        wdispatch!(self, s => s.memory_bytes())
+    }
+
+    /// Positive-store bins in ascending index order.
+    pub fn positive_bins(&self) -> Vec<(i32, f64)> {
+        wdispatch!(self, s => s.positive_store().bins_ascending())
+    }
+
+    /// Negative-store bins in ascending index order (of `|x|`).
+    pub fn negative_bins(&self) -> Vec<(i32, f64)> {
+        wdispatch!(self, s => s.negative_store().bins_ascending())
+    }
+
+    /// Internal: bulk-absorb raw weighted state with union-merge
+    /// semantics — the weighted mirror of [`AnyDDSketch::absorb_raw`],
+    /// used by the codec's weighted decode/feed paths.
+    pub(crate) fn absorb_raw(
+        &mut self,
+        zero_count: f64,
+        min: f64,
+        max: f64,
+        sum: f64,
+        pos_bins: &[(i32, f64)],
+        neg_bins: &[(i32, f64)],
+    ) {
+        wdispatch!(self, s => s.absorb_bins(zero_count, min, max, sum, pos_bins, neg_bins))
+    }
+
+    /// Internal: bulk-load decoded weighted state (exact overwrite, not a
+    /// fold) — the weighted mirror of the codec's `rebuild` path.
+    pub(crate) fn load_raw(
+        &mut self,
+        zero_count: f64,
+        min: f64,
+        max: f64,
+        sum: f64,
+        pos_bins: &[(i32, f64)],
+        neg_bins: &[(i32, f64)],
+    ) {
+        wdispatch!(self, s => s.load(zero_count, min, max, sum, pos_bins, neg_bins))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,6 +870,63 @@ mod tests {
         // From<preset> conversions preserve the configuration.
         let any: AnyDDSketch = presets::sparse(0.03).unwrap().into();
         assert_eq!(any.config(), SketchConfig::sparse(0.03));
+    }
+
+    #[test]
+    fn weighted_any_surface_smoke() {
+        for config in [
+            SketchConfig::unbounded(0.01),
+            SketchConfig::dense_collapsing(0.01, 256),
+            SketchConfig::fast(0.01, 256),
+            SketchConfig::sparse(0.01),
+            SketchConfig::paper_exact(0.01, 256),
+        ] {
+            let mut w = AnyWeightedDDSketch::new(config).unwrap();
+            assert_eq!(w.config(), config, "config must round-trip");
+            let mut u = AnyDDSketch::new(config).unwrap();
+            for i in 1..=500u64 {
+                let v = match i % 5 {
+                    0 => 0.0,
+                    1 | 2 => (i as f64) * 0.7,
+                    _ => -(i as f64) * 0.3,
+                };
+                let k = i % 3 + 1;
+                u.add_n(v, k).unwrap();
+                w.add_with_count(v, k as f64).unwrap();
+            }
+            // Integral weights mirror the integer plane exactly.
+            assert_eq!(w.weighted_count(), u.count() as f64, "{config:?}");
+            assert_eq!(w.sum(), u.sum(), "{config:?}");
+            assert_eq!(w.min(), u.min(), "{config:?}");
+            assert_eq!(w.max(), u.max(), "{config:?}");
+            assert_eq!(w.zero_weight(), u.zero_count() as f64, "{config:?}");
+            for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+                assert_eq!(w.quantile(q).unwrap(), u.quantile(q).unwrap(), "{config:?}");
+            }
+            // Merge and subtract round-trip: (w ∪ w) − w == w.
+            let snapshot = w.clone();
+            w.merge_from(&snapshot).unwrap();
+            assert_eq!(w.weighted_count(), 2.0 * snapshot.weighted_count());
+            w.sub_sketch(&snapshot).unwrap();
+            assert_eq!(w.positive_bins(), snapshot.positive_bins(), "{config:?}");
+            assert_eq!(w.negative_bins(), snapshot.negative_bins(), "{config:?}");
+            // Decay halves the weight exactly on the f64 plane.
+            w.scale_counts(0.5).unwrap();
+            assert_eq!(w.weighted_count(), snapshot.weighted_count() / 2.0);
+            w.clear();
+            assert!(w.is_empty());
+        }
+        // Cross-variant merges and subtractions are rejected.
+        let mut a = AnyWeightedDDSketch::new(SketchConfig::unbounded(0.01)).unwrap();
+        let b = AnyWeightedDDSketch::new(SketchConfig::sparse(0.01)).unwrap();
+        assert!(matches!(
+            a.merge_from(&b),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+        assert!(matches!(
+            a.sub_sketch(&b),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
     }
 
     #[test]

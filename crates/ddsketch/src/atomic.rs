@@ -42,10 +42,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize};
 
 use crossbeam::utils::CachePadded;
 
-use crate::any::{dispatch, AnyDDSketch};
+use crate::any::{dispatch, AnyDDSketch, AnyWeightedDDSketch};
 use crate::config::SketchConfig;
 use crate::mapping::{CubicInterpolatedMapping, IndexMapping, LogarithmicMapping, MappingKind};
-use crate::store::{AtomicDenseStore, AtomicSnapshotScratch, Store, StoreKind};
+use crate::store::{
+    AtomicDenseStore, AtomicF64, AtomicSnapshotScratch, Cell, Count, SharedCell, Store, StoreKind,
+};
 use sketch_core::SketchError;
 
 /// Number of summary stripes (power of two). Sixteen covers typical
@@ -91,15 +93,17 @@ fn stripe_id() -> usize {
 }
 
 /// One cache line of summary counters, private to (usually) one thread.
+/// The count cell matches the sketch's count plane (`AtomicU64` for
+/// integer multiplicities, [`AtomicF64`] for weighted ingestion).
 #[derive(Debug, Default)]
-struct Stripe {
-    count: AtomicU64,
+struct Stripe<C: SharedCell = AtomicU64> {
+    count: C,
     /// `f64` bit pattern of this stripe's partial sum; updated by a CAS
     /// loop that only ever contends within the stripe.
     sum_bits: AtomicU64,
 }
 
-impl Stripe {
+impl<C: SharedCell> Stripe<C> {
     fn add_sum(&self, add: f64) {
         let mut cur = self.sum_bits.load(Relaxed);
         loop {
@@ -116,35 +120,48 @@ impl Stripe {
 }
 
 /// Reusable buffers for [`AtomicDDSketch::snapshot_into`]; keep one per
-/// reader and steady-state snapshots stop allocating once warm.
+/// reader and steady-state snapshots stop allocating once warm. `V` is
+/// the count type of the plane being snapshotted (`u64` by default, `f64`
+/// for the weighted plane).
 #[derive(Debug, Default)]
-pub struct AtomicSketchScratch {
-    store: AtomicSnapshotScratch,
-    raw: Vec<(i64, u64)>,
-    pos: Vec<(i32, u64)>,
-    neg: Vec<(i32, u64)>,
+pub struct AtomicSketchScratch<V: Count = u64> {
+    store: AtomicSnapshotScratch<V>,
+    raw: Vec<(i64, V)>,
+    pos: Vec<(i32, V)>,
+    neg: Vec<(i32, V)>,
 }
 
 /// A DDSketch whose every ingestion method takes `&self` (see module
 /// docs). Reads go through [`AtomicDDSketch::snapshot_into`], which
 /// materializes a regular sketch with union-merge semantics.
+///
+/// `C` selects the count plane: the default [`AtomicU64`] is the integer
+/// plane every prior release shipped; [`AtomicF64`] (see
+/// [`WeightedAtomicDDSketch`]) carries `f64` weighted multiplicities with
+/// the same lock-free geometry (per-bucket `to_bits`/`from_bits` CAS).
 #[derive(Debug)]
-pub struct AtomicDDSketch<M: IndexMapping> {
+pub struct AtomicDDSketch<M: IndexMapping, C: SharedCell = AtomicU64> {
     mapping: M,
     config: SketchConfig,
-    positive: AtomicDenseStore,
+    positive: AtomicDenseStore<C>,
     /// Holds **negated** indices, so the low-bucket fold of
     /// [`AtomicDenseStore`] collapses the *highest* magnitude buckets —
     /// the exact mirror the sequential negative store implements.
-    negative: AtomicDenseStore,
-    zero_count: AtomicU64,
+    negative: AtomicDenseStore<C>,
+    zero_count: C,
     /// [`f64_key`]-encoded running minimum / maximum.
     min_key: AtomicU64,
     max_key: AtomicU64,
-    stripes: Box<[CachePadded<Stripe>]>,
+    stripes: Box<[CachePadded<Stripe<C>>]>,
 }
 
-impl<M: IndexMapping> AtomicDDSketch<M> {
+/// The lock-free **weighted** sketch: `f64` counts end to end, every
+/// ingestion method `&self`. Snapshots materialize into
+/// [`AnyWeightedDDSketch`] via
+/// [`AtomicDDSketch::snapshot_weighted_into`].
+pub type WeightedAtomicDDSketch<M> = AtomicDDSketch<M, AtomicF64>;
+
+impl<M: IndexMapping, C: SharedCell> AtomicDDSketch<M, C> {
     /// An empty sketch for `mapping` under `config` (already validated);
     /// `config.store` selects whether the stores fold (bounded families).
     fn with_mapping(mapping: M, config: SketchConfig) -> Self {
@@ -154,11 +171,35 @@ impl<M: IndexMapping> AtomicDDSketch<M> {
             config,
             positive: AtomicDenseStore::new(bound),
             negative: AtomicDenseStore::new(bound),
-            zero_count: AtomicU64::new(0),
+            zero_count: C::default(),
             min_key: AtomicU64::new(f64_key(f64::INFINITY)),
             max_key: AtomicU64::new(f64_key(f64::NEG_INFINITY)),
             stripes: (0..STRIPES).map(|_| CachePadded::default()).collect(),
         }
+    }
+
+    /// An empty sketch for `config`, validating that it names a dense
+    /// store family (the only families the lock-free plane supports) and
+    /// that `mapping` matches the configured family.
+    pub fn with_config(mapping: M, config: SketchConfig) -> Result<Self, SketchError> {
+        config.validate()?;
+        if !matches!(
+            config.store,
+            StoreKind::Unbounded | StoreKind::CollapsingDense
+        ) {
+            return Err(SketchError::InvalidConfig(format!(
+                "the lock-free ingest plane requires a dense store family (got {})",
+                config.store.name()
+            )));
+        }
+        if mapping.kind() != config.mapping {
+            return Err(SketchError::InvalidConfig(format!(
+                "mapping {:?} does not match configured {:?}",
+                mapping.kind(),
+                config.mapping
+            )));
+        }
+        Ok(Self::with_mapping(mapping, config))
     }
 
     /// The configuration this sketch was built for.
@@ -182,19 +223,26 @@ impl<M: IndexMapping> AtomicDDSketch<M> {
     /// Insert one occurrence of `value`. Lock-free; shared reference.
     #[inline]
     pub fn add(&self, value: f64) -> Result<(), SketchError> {
-        self.add_n(value, 1)
+        self.add_n(value, C::Value::ONE)
     }
 
     /// Insert `count` occurrences of `value`. Lock-free; shared reference.
     ///
     /// Validation matches [`crate::DDSketch::add_n`] exactly: non-finite
     /// and over-range values are rejected untouched, near-zero magnitudes
-    /// land in the exact zero bucket.
-    pub fn add_n(&self, value: f64, count: u64) -> Result<(), SketchError> {
+    /// land in the exact zero bucket. On the weighted plane an invalid
+    /// count (NaN, infinite, negative) is rejected as `InvalidConfig`,
+    /// matching [`crate::DDSketch::add_with_count`].
+    pub fn add_n(&self, value: f64, count: C::Value) -> Result<(), SketchError> {
         if !value.is_finite() {
             return Err(SketchError::UnsupportedValue(value));
         }
-        if count == 0 {
+        if !count.is_valid() {
+            return Err(SketchError::InvalidConfig(format!(
+                "count {count:?} is not a valid multiplicity"
+            )));
+        }
+        if count == C::Value::ZERO {
             return Ok(());
         }
         let magnitude = value.abs();
@@ -202,7 +250,7 @@ impl<M: IndexMapping> AtomicDDSketch<M> {
             return Err(SketchError::UnsupportedValue(value));
         }
         if magnitude < self.mapping.min_indexable_value() {
-            self.zero_count.fetch_add(count, Relaxed);
+            self.zero_count.fetch_add(count);
         } else if value > 0.0 {
             self.positive
                 .add_n(i64::from(self.mapping.index(value)), count);
@@ -212,9 +260,16 @@ impl<M: IndexMapping> AtomicDDSketch<M> {
         }
         self.note_extremes(value);
         let stripe = &self.stripes[stripe_id()];
-        stripe.count.fetch_add(count, Relaxed);
-        stripe.add_sum(value * count as f64);
+        stripe.count.fetch_add(count);
+        stripe.add_sum(value * count.to_f64());
         Ok(())
+    }
+
+    /// [`AtomicDDSketch::add_n`] under the name the sequential weighted
+    /// plane uses.
+    #[inline]
+    pub fn add_with_count(&self, value: f64, count: C::Value) -> Result<(), SketchError> {
+        self.add_n(value, count)
     }
 
     /// Insert a batch. All-or-nothing like the sequential fast path: the
@@ -232,12 +287,13 @@ impl<M: IndexMapping> AtomicDDSketch<M> {
         for &v in values {
             let magnitude = v.abs();
             if magnitude < min_indexable {
-                self.zero_count.fetch_add(1, Relaxed);
+                self.zero_count.fetch_add(C::Value::ONE);
             } else if v > 0.0 {
-                self.positive.add_n(i64::from(self.mapping.index(v)), 1);
+                self.positive
+                    .add_n(i64::from(self.mapping.index(v)), C::Value::ONE);
             } else {
                 self.negative
-                    .add_n(-i64::from(self.mapping.index(magnitude)), 1);
+                    .add_n(-i64::from(self.mapping.index(magnitude)), C::Value::ONE);
             }
             min = min.min(v);
             max = max.max(v);
@@ -249,24 +305,71 @@ impl<M: IndexMapping> AtomicDDSketch<M> {
         self.note_extremes(min);
         self.note_extremes(max);
         let stripe = &self.stripes[stripe_id()];
-        stripe.count.fetch_add(values.len() as u64, Relaxed);
+        stripe
+            .count
+            .fetch_add(C::Value::from_u64(values.len() as u64));
         stripe.add_sum(sum);
         Ok(())
     }
 
     /// Total inserted count (striped totals + zero bucket). Lock-free;
     /// exact at quiescence, momentarily approximate while racing writers.
-    pub fn count(&self) -> u64 {
-        let striped: u64 = self.stripes.iter().map(|s| s.count.load(Relaxed)).sum();
+    pub fn count(&self) -> C::Value {
+        let mut striped = C::Value::ZERO;
+        for s in self.stripes.iter() {
+            striped += s.count.get();
+        }
         striped
     }
 
     /// Whether no data has been inserted (subject to the same racing-read
     /// caveat as [`AtomicDDSketch::count`]).
     pub fn is_empty(&self) -> bool {
-        self.count() == 0
+        self.count() == C::Value::ZERO
     }
 
+    /// Structural memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.positive.memory_bytes()
+            + self.negative.memory_bytes()
+            + self.stripes.len() * std::mem::size_of::<CachePadded<Stripe<C>>>()
+    }
+
+    /// Raw summary pieces shared by both snapshot planes.
+    fn summary_parts(&self) -> (f64, f64, f64) {
+        let min = key_f64(self.min_key.load(Relaxed));
+        let max = key_f64(self.max_key.load(Relaxed));
+        let sum: f64 = self
+            .stripes
+            .iter()
+            .map(|s| f64::from_bits(s.sum_bits.load(Relaxed)))
+            .sum();
+        (min, max, sum)
+    }
+
+    /// Scan both stores into `scratch` (positive ascending, negative
+    /// un-negated), the shared first half of every snapshot.
+    fn scan_stores(&self, scratch: &mut AtomicSketchScratch<C::Value>) {
+        scratch.pos.clear();
+        scratch.neg.clear();
+        scratch.raw.clear();
+        self.positive
+            .snapshot_bins(&mut scratch.raw, &mut scratch.store);
+        for &(i, c) in &scratch.raw {
+            scratch.pos.push((i as i32, c));
+        }
+        scratch.raw.clear();
+        self.negative
+            .snapshot_bins(&mut scratch.raw, &mut scratch.store);
+        for &(i, c) in &scratch.raw {
+            // Stored negated; un-negate to the mapping's real index.
+            scratch.neg.push(((-i) as i32, c));
+        }
+    }
+}
+
+impl<M: IndexMapping> AtomicDDSketch<M> {
     /// Absorb a regular sketch's contents (the [`LocalIngest`] publish
     /// path): every bin is `fetch_add`ed, summaries are folded. Union
     /// semantics — bounded clamping happens at snapshot time exactly as a
@@ -285,7 +388,7 @@ impl<M: IndexMapping> AtomicDDSketch<M> {
         });
         let zeros = other.zero_count();
         if zeros > 0 {
-            self.zero_count.fetch_add(zeros, Relaxed);
+            SharedCell::fetch_add(&self.zero_count, zeros);
         }
         if let Some(min) = other.min() {
             self.note_extremes(min);
@@ -296,7 +399,7 @@ impl<M: IndexMapping> AtomicDDSketch<M> {
         let count = other.count();
         if count > 0 {
             let stripe = &self.stripes[stripe_id()];
-            stripe.count.fetch_add(count, Relaxed);
+            SharedCell::fetch_add(&stripe.count, count);
             stripe.add_sum(other.sum());
         }
     }
@@ -321,30 +424,10 @@ impl<M: IndexMapping> AtomicDDSketch<M> {
             )));
         }
         target.clear();
-        scratch.pos.clear();
-        scratch.neg.clear();
-        scratch.raw.clear();
-        self.positive
-            .snapshot_bins(&mut scratch.raw, &mut scratch.store);
-        for &(i, c) in &scratch.raw {
-            scratch.pos.push((i as i32, c));
-        }
-        scratch.raw.clear();
-        self.negative
-            .snapshot_bins(&mut scratch.raw, &mut scratch.store);
-        for &(i, c) in &scratch.raw {
-            // Stored negated; un-negate to the mapping's real index.
-            scratch.neg.push(((-i) as i32, c));
-        }
-        let min = key_f64(self.min_key.load(Relaxed));
-        let max = key_f64(self.max_key.load(Relaxed));
-        let sum: f64 = self
-            .stripes
-            .iter()
-            .map(|s| f64::from_bits(s.sum_bits.load(Relaxed)))
-            .sum();
+        self.scan_stores(scratch);
+        let (min, max, sum) = self.summary_parts();
         target.absorb_raw(
-            self.zero_count.load(Relaxed),
+            Cell::get(&self.zero_count),
             min,
             max,
             sum,
@@ -362,13 +445,81 @@ impl<M: IndexMapping> AtomicDDSketch<M> {
         self.snapshot_into(&mut target, &mut scratch)?;
         Ok(target)
     }
+}
 
-    /// Structural memory footprint in bytes.
-    pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.positive.memory_bytes()
-            + self.negative.memory_bytes()
-            + self.stripes.len() * std::mem::size_of::<CachePadded<Stripe>>()
+impl<M: IndexMapping> WeightedAtomicDDSketch<M> {
+    /// Absorb a weighted sketch's contents — the weighted mirror of
+    /// [`AtomicDDSketch::absorb`] on the integer plane. The donor must
+    /// share this sketch's configuration.
+    pub fn absorb_weighted(&self, other: &AnyWeightedDDSketch) -> Result<(), SketchError> {
+        if other.config() != self.config {
+            return Err(SketchError::IncompatibleMerge(format!(
+                "cannot absorb {:?} into atomic sketch {:?}",
+                other.config(),
+                self.config
+            )));
+        }
+        for (i, c) in other.positive_bins() {
+            self.positive.add_n(i64::from(i), c);
+        }
+        for (i, c) in other.negative_bins() {
+            self.negative.add_n(-i64::from(i), c);
+        }
+        let zeros = other.zero_weight();
+        if zeros > 0.0 {
+            SharedCell::fetch_add(&self.zero_count, zeros);
+        }
+        if let Some(min) = other.min() {
+            self.note_extremes(min);
+        }
+        if let Some(max) = other.max() {
+            self.note_extremes(max);
+        }
+        let count = other.weighted_count();
+        if count > 0.0 {
+            let stripe = &self.stripes[stripe_id()];
+            SharedCell::fetch_add(&stripe.count, count);
+            stripe.add_sum(other.sum());
+        }
+        Ok(())
+    }
+
+    /// Materialize the weighted plane's contents into `target` (cleared
+    /// first), which must have been built for the same [`SketchConfig`] —
+    /// the weighted mirror of [`AtomicDDSketch::snapshot_into`].
+    pub fn snapshot_weighted_into(
+        &self,
+        target: &mut AnyWeightedDDSketch,
+        scratch: &mut AtomicSketchScratch<f64>,
+    ) -> Result<(), SketchError> {
+        if target.config() != self.config {
+            return Err(SketchError::IncompatibleMerge(format!(
+                "snapshot target config {:?} != atomic sketch config {:?}",
+                target.config(),
+                self.config
+            )));
+        }
+        target.clear();
+        self.scan_stores(scratch);
+        let (min, max, sum) = self.summary_parts();
+        target.absorb_raw(
+            Cell::get(&self.zero_count),
+            min,
+            max,
+            sum,
+            &scratch.pos,
+            &scratch.neg,
+        );
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`WeightedAtomicDDSketch::snapshot_weighted_into`].
+    pub fn snapshot_weighted(&self) -> Result<AnyWeightedDDSketch, SketchError> {
+        let mut target = AnyWeightedDDSketch::new(self.config)?;
+        let mut scratch = AtomicSketchScratch::default();
+        self.snapshot_weighted_into(&mut target, &mut scratch)?;
+        Ok(target)
     }
 }
 

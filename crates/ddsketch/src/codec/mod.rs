@@ -38,6 +38,39 @@
 //! LEB128 varints. A warm sketch with mostly small dense counts costs
 //! ~2 bytes per non-empty bucket.
 //!
+//! ## The `DDS3` weighted payload layout
+//!
+//! | field | encoding |
+//! |-------|----------|
+//! | magic | 4 bytes `"DDS3"` |
+//! | kind | u8 mapping family ([`MappingKind`]) |
+//! | store | u8 store family ([`StoreKind`]) |
+//! | alpha | f64 LE relative accuracy |
+//! | limit | varint bucket limit (0 = unbounded) |
+//! | zero | **weighted count** zero-bucket weight |
+//! | min, max, sum | 3 × f64 LE (empty state: `+∞`, `−∞`, `0`) |
+//! | positive | weighted bin section |
+//! | negative | weighted bin section |
+//!
+//! `DDS3` is `DDS2` with every count generalized to `f64`. A *weighted
+//! count* is one varint tag `v`: even `v` means the integral count
+//! `v >> 1` (so integer-weight payloads cost exactly what `DDS2` charges,
+//! plus nothing); `v == 1` escapes to 8 raw little-endian `f64` bytes;
+//! odd `v > 1` is reserved and rejected. Weighted bin sections use the
+//! same strictly-ascending delta-coded indices as the integer layout with
+//! weighted counts in place of varint counts. Bin weights must be finite
+//! and strictly positive, the zero-bucket weight finite and non-negative,
+//! and every per-section and whole-payload total finite — NaN, infinite,
+//! and negative counts are structural corruption ([`SketchError::
+//! Malformed`]), enforced identically by [`SketchView::parse`] and
+//! [`WeightedSketchPayload::decode`]. Because the escape's raw `f64`
+//! bytes are opaque to LEB128 boundary recovery, weighted bin walks are
+//! **forward-only** (descending walks materialize through a scratch
+//! buffer). [`SketchPayload::decode`] deliberately rejects `DDS3`
+//! (integer receivers cannot hold fractional weights);
+//! [`WeightedSketchPayload::decode`] and [`SketchView::parse`] accept all
+//! three dialects.
+//!
 //! Decoders never trust a declared length: bin counts are clamped against
 //! the bytes actually present before any allocation, dense-store growth
 //! (bucket-index span, bucket limit) is capped by
@@ -86,8 +119,8 @@ pub mod view;
 pub use frame::{
     FrameDecoder, FrameReader, FrameWriter, DEFAULT_MAX_FRAME_LEN, FRAME_STREAM_VERSION,
 };
-pub use source::{SketchSource, SourceQuantileScratch};
-pub use view::{SketchView, SketchViewMeta, ViewBinIter};
+pub use source::{SketchSource, SourceQuantileScratch, WeightedMergeScratch};
+pub use view::{SketchView, SketchViewMeta, ViewBinIter, WeightedViewBinIter};
 
 use bytes::{Buf, BufMut};
 
@@ -103,6 +136,7 @@ use varint::{get_varint, put_varint, unzigzag, zigzag};
 
 pub(crate) const MAGIC_V1: &[u8; 4] = b"DDS1";
 pub(crate) const MAGIC: &[u8; 4] = b"DDS2";
+pub(crate) const MAGIC_V3: &[u8; 4] = b"DDS3";
 
 /// Mapping-agnostic serializable snapshot of a sketch's state.
 ///
@@ -405,7 +439,314 @@ impl Default for SketchPayload {
     }
 }
 
-impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
+/// Mapping-agnostic serializable snapshot of a **weighted** (`f64`-counted)
+/// sketch — the plain-data twin of [`SketchPayload`] for the `DDS3`
+/// dialect.
+///
+/// Encoding always emits `DDS3`; decoding accepts all three dialects
+/// (integer counts widen exactly to `f64`), so a weighted receiver drains
+/// a mixed fleet without routing on the magic. The acceptance set is
+/// *identical* to [`SketchView::parse`] by construction — decode is
+/// implemented as a view parse plus a bulk bin transfer — keeping the
+/// borrowed and owned weighted readers in lockstep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSketchPayload {
+    /// Mapping family discriminant ([`MappingKind`] as u8).
+    pub kind: u8,
+    /// Store family discriminant ([`StoreKind`] as u8); a documented guess
+    /// for payloads read from legacy `DDS1` bytes.
+    pub store: u8,
+    /// Relative accuracy α.
+    pub relative_accuracy: f64,
+    /// Bucket limit of the positive store; 0 means unbounded.
+    pub bin_limit: u64,
+    /// Zero-bucket weight (finite, ≥ 0).
+    pub zero_count: f64,
+    /// Tracked minimum (`+∞` when empty).
+    pub min: f64,
+    /// Tracked maximum (`−∞` when empty).
+    pub max: f64,
+    /// Weighted sum of inserted values.
+    pub sum: f64,
+    /// Positive-store bins, ascending index; weights finite and > 0.
+    pub positive: Vec<(i32, f64)>,
+    /// Negative-store bins, ascending index (of |x|).
+    pub negative: Vec<(i32, f64)>,
+}
+
+fn put_weighted_bins(buf: &mut Vec<u8>, bins: &[(i32, f64)]) {
+    put_varint(buf, bins.len() as u64);
+    let mut prev: Option<i32> = None;
+    for &(idx, count) in bins {
+        match prev {
+            None => put_varint(buf, zigzag(idx as i64)),
+            Some(p) => {
+                debug_assert!(idx > p, "bins must be strictly ascending");
+                put_varint(buf, (idx as i64 - p as i64 - 1) as u64);
+            }
+        }
+        varint::put_weighted_count(buf, count);
+        prev = Some(idx);
+    }
+}
+
+impl WeightedSketchPayload {
+    /// Whether a sketch built from `config` could merge this payload —
+    /// the same admission predicate as [`SketchPayload::matches_config`]
+    /// (`max_bins` deliberately not compared).
+    pub fn matches_config(&self, config: &crate::SketchConfig) -> bool {
+        self.kind == config.mapping as u8
+            && self.store == config.store as u8
+            && (self.relative_accuracy - config.alpha).abs() < 1e-12
+    }
+
+    /// Serialize to the compact binary wire format (always `DDS3`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + 4 * (self.positive.len() + self.negative.len()));
+        buf.put_slice(MAGIC_V3);
+        buf.put_u8(self.kind);
+        buf.put_u8(self.store);
+        buf.put_f64_le(self.relative_accuracy);
+        put_varint(&mut buf, self.bin_limit);
+        varint::put_weighted_count(&mut buf, self.zero_count);
+        buf.put_f64_le(self.min);
+        buf.put_f64_le(self.max);
+        buf.put_f64_le(self.sum);
+        put_weighted_bins(&mut buf, &self.positive);
+        put_weighted_bins(&mut buf, &self.negative);
+        buf
+    }
+
+    /// Decode any dialect (`DDS1`/`DDS2`/`DDS3`); integer counts widen
+    /// exactly. Accepts a byte string iff [`SketchView::parse`] does.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SketchError> {
+        let mut payload = Self::default();
+        payload.decode_into(bytes)?;
+        Ok(payload)
+    }
+
+    /// [`WeightedSketchPayload::decode`] into `self`, reusing the bin
+    /// vectors' capacity — the weighted ingest-loop form. On error,
+    /// `self`'s contents are unspecified.
+    pub fn decode_into(&mut self, bytes: &[u8]) -> Result<(), SketchError> {
+        let view = SketchView::parse(bytes)?;
+        self.fill_from_view(&view);
+        Ok(())
+    }
+
+    /// Populate from an already-parsed view (no further validation — the
+    /// parse did it all).
+    pub(crate) fn fill_from_view(&mut self, view: &SketchView<'_>) {
+        let config = view.config();
+        let (min, max, sum) = view.raw_summary();
+        self.kind = config.mapping as u8;
+        self.store = config.store as u8;
+        self.relative_accuracy = config.alpha;
+        self.bin_limit = config.max_bins as u64;
+        self.zero_count = view.weighted_zero_count();
+        self.min = min;
+        self.max = max;
+        self.sum = sum;
+        self.positive.clear();
+        self.negative.clear();
+        view.append_weighted_positive_bins(&mut self.positive);
+        view.append_weighted_negative_bins(&mut self.negative);
+    }
+}
+
+impl Default for WeightedSketchPayload {
+    /// The canonical **empty** weighted payload, mainly useful as a
+    /// reusable buffer for [`WeightedSketchPayload::decode_into`]; the
+    /// configuration fields are placeholders until a decode fills them.
+    fn default() -> Self {
+        Self {
+            kind: 0,
+            store: 0,
+            relative_accuracy: 0.0,
+            bin_limit: 0,
+            zero_count: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            positive: Vec::new(),
+            negative: Vec::new(),
+        }
+    }
+}
+
+/// Weighted mirror of [`validate_summary`]: weights must be *valid*
+/// (bins finite and strictly positive, zero bucket finite and
+/// non-negative, total finite — `NaN`/`±∞`/negative weights are
+/// structural corruption) and the summary consistent with the total.
+/// Applied when a hand-built payload becomes a live sketch; byte decodes
+/// get the identical rules from [`SketchView::parse`].
+pub(crate) fn validate_weighted_summary(
+    payload: &WeightedSketchPayload,
+) -> Result<(), SketchError> {
+    let zero = payload.zero_count;
+    if !zero.is_finite() || zero < 0.0 {
+        return Err(SketchError::Malformed(format!(
+            "zero-bucket weight {zero} is not finite and non-negative"
+        )));
+    }
+    let mut count = zero;
+    for &(_, c) in payload.positive.iter().chain(&payload.negative) {
+        if !c.is_finite() || c <= 0.0 {
+            return Err(SketchError::Malformed(format!(
+                "bin weight {c} is not finite and positive"
+            )));
+        }
+        count += c;
+    }
+    if !count.is_finite() {
+        return Err(SketchError::Malformed("total weight overflow".into()));
+    }
+    let (min, max, sum) = (payload.min, payload.max, payload.sum);
+    let consistent = if count == 0.0 {
+        min == f64::INFINITY && max == f64::NEG_INFINITY && sum == 0.0
+    } else {
+        min.is_finite() && max.is_finite() && min <= max && !sum.is_nan()
+    };
+    if !consistent {
+        return Err(SketchError::Malformed(format!(
+            "summary (min {min}, max {max}, sum {sum}) is inconsistent with weight {count}"
+        )));
+    }
+    Ok(())
+}
+
+impl<M: IndexMapping, SP: Store<Count = f64>, SN: Store<Count = f64>> DDSketch<M, SP, SN> {
+    /// Snapshot this weighted sketch into a serializable payload.
+    pub fn to_weighted_payload(&self) -> WeightedSketchPayload {
+        WeightedSketchPayload {
+            kind: self.mapping().kind() as u8,
+            store: self.positive_store().store_kind() as u8,
+            relative_accuracy: self.mapping().relative_accuracy(),
+            bin_limit: self.positive_store().bin_limit().unwrap_or(0) as u64,
+            zero_count: self.zero_weight(),
+            min: self.min().unwrap_or(f64::INFINITY),
+            max: self.max().unwrap_or(f64::NEG_INFINITY),
+            sum: self.sum(),
+            positive: self.positive_store().bins_ascending(),
+            negative: self.negative_store().bins_ascending(),
+        }
+    }
+
+    /// Serialize to the `DDS3` wire format.
+    pub fn encode_weighted(&self) -> Vec<u8> {
+        self.to_weighted_payload().encode()
+    }
+}
+
+impl crate::any::AnyWeightedDDSketch {
+    /// Snapshot into a serializable weighted payload.
+    pub fn to_weighted_payload(&self) -> WeightedSketchPayload {
+        let config = self.config();
+        WeightedSketchPayload {
+            kind: config.mapping as u8,
+            store: config.store as u8,
+            relative_accuracy: config.alpha,
+            bin_limit: config.max_bins as u64,
+            zero_count: self.zero_weight(),
+            min: self.min().unwrap_or(f64::INFINITY),
+            max: self.max().unwrap_or(f64::NEG_INFINITY),
+            sum: self.sum(),
+            positive: self.positive_bins(),
+            negative: self.negative_bins(),
+        }
+    }
+
+    /// Serialize to the self-describing `DDS3` wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_weighted_payload().encode()
+    }
+
+    /// Reconstruct the right weighted variant from a payload, dispatching
+    /// on the mapping and store discriminants — the weighted mirror of
+    /// [`AnyDDSketch::from_payload`].
+    pub fn from_weighted_payload(payload: &WeightedSketchPayload) -> Result<Self, SketchError> {
+        let mapping = MappingKind::from_u8(payload.kind)?;
+        let store = StoreKind::from_u8(payload.store)?;
+        if store.is_bounded() != (payload.bin_limit > 0) {
+            return Err(SketchError::Decode(format!(
+                "{} store with bin_limit {} is inconsistent",
+                store.name(),
+                payload.bin_limit
+            )));
+        }
+        validate_weighted_summary(payload)?;
+        validate_dense_growth(
+            store,
+            payload.bin_limit,
+            side_span(&payload.positive),
+            side_span(&payload.negative),
+        )?;
+        let config = crate::SketchConfig {
+            alpha: payload.relative_accuracy,
+            mapping,
+            store,
+            max_bins: usize::try_from(payload.bin_limit)
+                .map_err(|_| SketchError::Decode("bin_limit exceeds usize".into()))?,
+        };
+        let mut sketch = Self::new(config)?;
+        sketch.load_raw(
+            payload.zero_count,
+            payload.min,
+            payload.max,
+            payload.sum,
+            &payload.positive,
+            &payload.negative,
+        );
+        Ok(sketch)
+    }
+
+    /// Decode any dialect (`DDS1`/`DDS2`/`DDS3`) into whichever weighted
+    /// variant the bytes describe; integer counts widen exactly.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SketchError> {
+        Self::from_weighted_payload(&WeightedSketchPayload::decode(bytes)?)
+    }
+
+    /// Absorb one weighted payload into this sketch — the staged-payload
+    /// merge path of the weighted aggregation plane (one bulk `add_bins`
+    /// pass per store, no intermediate sketch, no allocation beyond store
+    /// growth).
+    ///
+    /// The payload is re-validated here (weights, summary, dense growth):
+    /// payloads decoded from bytes already hold these invariants, but
+    /// this method also accepts hand-built ones, and a corrupt summary
+    /// must never poison a resident sketch. The admission predicate is
+    /// [`WeightedSketchPayload::matches_config`].
+    pub fn merge_weighted_payload(
+        &mut self,
+        payload: &WeightedSketchPayload,
+    ) -> Result<(), SketchError> {
+        let config = self.config();
+        if !payload.matches_config(&config) {
+            return Err(SketchError::IncompatibleMerge(format!(
+                "sketch runs {config:?}, payload is (kind {}, store {}, α={})",
+                payload.kind, payload.store, payload.relative_accuracy
+            )));
+        }
+        validate_weighted_summary(payload)?;
+        validate_dense_growth(
+            config.store,
+            payload.bin_limit,
+            side_span(&payload.positive),
+            side_span(&payload.negative),
+        )?;
+        self.absorb_raw(
+            payload.zero_count,
+            payload.min,
+            payload.max,
+            payload.sum,
+            &payload.positive,
+            &payload.negative,
+        );
+        Ok(())
+    }
+}
+
+impl<M: IndexMapping, SP: Store<Count = u64>, SN: Store<Count = u64>> DDSketch<M, SP, SN> {
     /// Snapshot this sketch into a serializable payload.
     pub fn to_payload(&self) -> SketchPayload {
         SketchPayload {
@@ -510,7 +851,7 @@ impl AnyDDSketch {
 /// only carry a guessed one (see the module docs). Runtime store dispatch
 /// belongs to [`AnyDDSketch::from_payload`], where the byte is
 /// authoritative.
-fn rebuild<M: IndexMapping, SP: Store, SN: Store>(
+fn rebuild<M: IndexMapping, SP: Store<Count = u64>, SN: Store<Count = u64>>(
     payload: &SketchPayload,
     mapping: M,
     positive: SP,
@@ -588,7 +929,7 @@ pub(crate) fn validate_summary(payload: &SketchPayload) -> Result<(), SketchErro
 pub const MAX_DECODE_DENSE_SPAN: u64 = 1 << 23;
 
 /// Bucket-index span of one (ascending) bin section.
-fn side_span(bins: &[(i32, u64)]) -> u64 {
+fn side_span<C>(bins: &[(i32, C)]) -> u64 {
     match (bins.first(), bins.last()) {
         (Some(&(lo, _)), Some(&(hi, _))) => (i64::from(hi) - i64::from(lo) + 1).unsigned_abs(),
         _ => 0,

@@ -23,7 +23,7 @@
 
 use super::view::SketchView;
 use super::SketchPayload;
-use crate::any::AnyDDSketch;
+use crate::any::{AnyDDSketch, AnyWeightedDDSketch};
 use crate::mapping::{IndexMapping, MappingKind};
 use crate::sketch::{DDSketch, GenericRankCursor};
 use crate::store::{BinIter, Store, StoreKind};
@@ -240,7 +240,9 @@ fn sources_clamp<'a>(
     }
 }
 
-impl<'a, M: IndexMapping, SP: Store, SN: Store> SketchSource<'a, DDSketch<M, SP, SN>> {
+impl<'a, M: IndexMapping, SP: Store<Count = u64>, SN: Store<Count = u64>>
+    SketchSource<'a, DDSketch<M, SP, SN>>
+{
     fn count(&self) -> u64 {
         match self {
             SketchSource::Live(s) => s.count(),
@@ -348,7 +350,16 @@ impl<'a, M: IndexMapping, SP: Store, SN: Store> SketchSource<'a, DDSketch<M, SP,
                 s.mapping().relative_accuracy(),
                 s.positive_store().store_kind(),
             ),
-            SketchSource::View(v) => (v.mapping_kind(), v.relative_accuracy(), v.store_kind()),
+            SketchSource::View(v) => {
+                // DDS3 counts are not integers; weighted payloads join the
+                // weighted merge plane (`AnyWeightedDDSketch::merge_view`).
+                if v.is_weighted() {
+                    return Err(SketchError::IncompatibleMerge(
+                        "weighted DDS3 payload on the integer merge plane".into(),
+                    ));
+                }
+                (v.mapping_kind(), v.relative_accuracy(), v.store_kind())
+            }
             SketchSource::Payload(p) => {
                 // A raw payload's fields are caller data: hold its summary
                 // to the same standard the byte decoders enforce, so a
@@ -384,7 +395,7 @@ impl<'a, M: IndexMapping, SP: Store, SN: Store> SketchSource<'a, DDSketch<M, SP,
     }
 }
 
-impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
+impl<M: IndexMapping, SP: Store<Count = u64>, SN: Store<Count = u64>> DDSketch<M, SP, SN> {
     /// Estimate quantiles of the merge of mixed live-and-encoded sources
     /// without materializing anything: the decode-free generalization of
     /// [`DDSketch::merged_quantiles_into`].
@@ -742,6 +753,68 @@ impl AnyDDSketch {
     /// see [`DDSketch::merge_sources`].
     pub fn merge_view(&mut self, view: &SketchView<'_>) -> Result<(), SketchError> {
         self.merge_sources(std::iter::once(SketchSource::View(*view)))
+    }
+}
+
+/// Reusable bin scratch for [`AnyWeightedDDSketch::merge_view_with`].
+///
+/// Weighted views are forward-only (the `DDS3` escape encoding defeats
+/// the backward varint boundary scan), so the weighted merge plane
+/// materializes each view's bins before the bulk absorb; recycling this
+/// scratch keeps the steady-state fold allocation-free.
+#[derive(Debug, Default)]
+pub struct WeightedMergeScratch {
+    pos: Vec<(i32, f64)>,
+    neg: Vec<(i32, f64)>,
+}
+
+impl AnyWeightedDDSketch {
+    /// Absorb one encoded payload — any dialect (`DDS1`/`DDS2`/`DDS3`),
+    /// integer counts widened exactly — without materializing a sketch
+    /// for it.
+    pub fn merge_view(&mut self, view: &SketchView<'_>) -> Result<(), SketchError> {
+        let mut scratch = WeightedMergeScratch::default();
+        self.merge_view_with(view, &mut scratch)
+    }
+
+    /// [`AnyWeightedDDSketch::merge_view`] with a caller-owned scratch —
+    /// the weighted aggregator's steady-state form: with warm scratch
+    /// capacity the fold never touches the allocator.
+    pub fn merge_view_with(
+        &mut self,
+        view: &SketchView<'_>,
+        scratch: &mut WeightedMergeScratch,
+    ) -> Result<(), SketchError> {
+        let config = self.config();
+        let vc = view.config();
+        // The payload admission predicate (`matches_config`): mapping
+        // family, store family, and α must agree; `max_bins` may differ
+        // (the receiver's bound governs).
+        if vc.mapping != config.mapping
+            || vc.store != config.store
+            || (vc.alpha - config.alpha).abs() >= 1e-12
+        {
+            return Err(SketchError::IncompatibleMerge(format!(
+                "store/mapping mismatch: {config:?} vs {vc:?}"
+            )));
+        }
+        if view.is_empty() {
+            return Ok(());
+        }
+        scratch.pos.clear();
+        scratch.neg.clear();
+        view.append_weighted_positive_bins(&mut scratch.pos);
+        view.append_weighted_negative_bins(&mut scratch.neg);
+        let (min, max, sum) = view.raw_summary();
+        self.absorb_raw(
+            view.weighted_zero_count(),
+            min,
+            max,
+            sum,
+            &scratch.pos,
+            &scratch.neg,
+        );
+        Ok(())
     }
 }
 

@@ -91,6 +91,47 @@ pub(crate) fn rsplit_varint(bytes: &[u8]) -> (&[u8], u64) {
     (rest, v)
 }
 
+/// Append one `DDS3` weighted count.
+///
+/// Integral counts representable exactly in an `f64` (≤ 2⁵³) ride the
+/// varint fast path as `count << 1` (always even); everything else is the
+/// escape marker `1` followed by the raw little-endian `f64` bits. Odd
+/// tags other than `1` are reserved and never emitted, so decoders reject
+/// them as structural corruption.
+pub fn put_weighted_count(buf: &mut Vec<u8>, count: f64) {
+    match crate::store::Count::to_u64_exact(count) {
+        // `to_u64_exact` caps at 2^53, so the shift cannot overflow.
+        Some(n) => put_varint(buf, n << 1),
+        None => {
+            put_varint(buf, 1);
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+}
+
+/// Cursor-based decode of one `DDS3` weighted count (see
+/// [`put_weighted_count`] for the layout). Returns the decoded `f64`
+/// without judging its value — validity rules (non-zero bins, finite
+/// non-negative totals) belong to the section parsers.
+pub(crate) fn scan_weighted_count(bytes: &[u8], pos: &mut usize) -> Result<f64, SketchError> {
+    let tag = scan_varint(bytes, pos)?;
+    if tag & 1 == 0 {
+        return Ok((tag >> 1) as f64);
+    }
+    if tag != 1 {
+        return Err(SketchError::Malformed(format!(
+            "reserved weighted-count tag {tag}"
+        )));
+    }
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| SketchError::Malformed("truncated weighted count".into()))?;
+    let raw: [u8; 8] = bytes[*pos..end].try_into().expect("8-byte slice");
+    *pos = end;
+    Ok(f64::from_le_bytes(raw))
+}
+
 /// Zigzag-encode a signed value so small magnitudes stay small varints.
 #[inline]
 pub fn zigzag(v: i64) -> u64 {

@@ -19,8 +19,8 @@
 
 use bytes::Buf;
 
-use super::varint::{get_varint, rsplit_varint, scan_varint, unzigzag};
-use super::{MAGIC, MAGIC_V1};
+use super::varint::{get_varint, rsplit_varint, scan_varint, scan_weighted_count, unzigzag};
+use super::{MAGIC, MAGIC_V1, MAGIC_V3};
 use crate::config::SketchConfig;
 use crate::mapping::MappingKind;
 use crate::store::StoreKind;
@@ -44,8 +44,12 @@ pub(crate) struct BinSection {
     /// Index of the last (highest) bin; meaningless when `bins == 0`.
     /// Seeds the back cursor of the double-ended bin walk.
     last: i32,
-    /// Sum of the section's counts.
+    /// Sum of the section's counts. Exact for the integer dialects;
+    /// zero for `DDS3` sections (whose total lives in `ftotal`).
     total: u64,
+    /// Sum of the section's counts as an `f64` — exact for `DDS3`
+    /// sections, a rounding of `total` for the integer dialects.
+    ftotal: f64,
 }
 
 impl BinSection {
@@ -111,6 +115,68 @@ impl BinSection {
             first: first as i32,
             last: last as i32,
             total,
+            ftotal: total as f64,
+        })
+    }
+
+    /// Validate one **`DDS3`** bin section of `frame` starting at `*pos`.
+    /// Same structure as the integer layout, but each count is a weighted
+    /// count (see [`scan_weighted_count`]): every bin's count must be
+    /// finite and strictly positive, and the section total must stay
+    /// finite.
+    fn parse_weighted(frame: &[u8], pos: &mut usize) -> Result<Self, SketchError> {
+        let n = scan_varint(frame, pos)?;
+        // A weighted bin still needs at least 2 bytes (index varint +
+        // count tag); clamp before trusting the declared length.
+        let n = usize::try_from(n)
+            .ok()
+            .filter(|n| {
+                n.checked_mul(2)
+                    .is_some_and(|floor| floor <= frame.len() - *pos)
+            })
+            .ok_or_else(|| SketchError::Malformed(format!("bin count {n} exceeds payload size")))?;
+        let offset = *pos;
+        let (mut first, mut ftotal) = (0i64, 0.0f64);
+        let mut idx = 0i64;
+        for k in 0..n {
+            if k == 0 {
+                idx = unzigzag(scan_varint(frame, pos)?);
+                first = idx;
+                if idx < i64::from(i32::MIN) || idx > i64::from(i32::MAX) {
+                    return Err(SketchError::Malformed(format!(
+                        "bin index {idx} out of i32 range"
+                    )));
+                }
+            } else {
+                idx = idx
+                    .checked_add(scan_varint(frame, pos)? as i64)
+                    .and_then(|v| v.checked_add(1))
+                    .ok_or_else(|| SketchError::Malformed("bin index overflow".into()))?;
+                if idx > i64::from(i32::MAX) {
+                    return Err(SketchError::Malformed(format!(
+                        "bin index {idx} out of i32 range"
+                    )));
+                }
+            }
+            let count = scan_weighted_count(frame, pos)?;
+            if !count.is_finite() || count <= 0.0 {
+                return Err(SketchError::Malformed(format!(
+                    "weighted bin count {count} is not a positive finite value"
+                )));
+            }
+            ftotal += count;
+        }
+        if !ftotal.is_finite() {
+            return Err(SketchError::Malformed("bin count total overflow".into()));
+        }
+        Ok(Self {
+            offset,
+            len: *pos - offset,
+            bins: n,
+            first: first as i32,
+            last: if n > 0 { idx as i32 } else { 0 },
+            total: 0,
+            ftotal,
         })
     }
 
@@ -144,6 +210,32 @@ impl BinSection {
         }
     }
 
+    /// Decode a whole **`DDS3`** section into `out` (appended) in one
+    /// cursor loop — the weighted fold path's bulk transfer.
+    fn append_weighted_to(&self, frame: &[u8], out: &mut Vec<(i32, f64)>) {
+        if self.bins == 0 {
+            return;
+        }
+        let bytes = &frame[self.offset..self.offset + self.len];
+        let mut pos = 0usize;
+        out.reserve(self.bins);
+        let mut idx = unzigzag(ViewBinIter::expect_varint(bytes, &mut pos));
+        let count = Self::expect_weighted(bytes, &mut pos);
+        out.push((idx as i32, count));
+        for _ in 1..self.bins {
+            idx += ViewBinIter::expect_varint(bytes, &mut pos) as i64 + 1;
+            let count = Self::expect_weighted(bytes, &mut pos);
+            out.push((idx as i32, count));
+        }
+    }
+
+    /// Infallible weighted-count decode over a region `parse_weighted`
+    /// already validated.
+    #[inline]
+    fn expect_weighted(bytes: &[u8], pos: &mut usize) -> f64 {
+        scan_weighted_count(bytes, pos).expect("bin region validated by SketchView::parse")
+    }
+
     pub(crate) fn total(&self) -> u64 {
         self.total
     }
@@ -155,6 +247,16 @@ impl BinSection {
             front_index: 0,
             front_started: false,
             back_index: i64::from(self.last),
+        }
+    }
+
+    fn weighted_iter<'a>(&self, frame: &'a [u8], weighted: bool) -> WeightedViewBinIter<'a> {
+        WeightedViewBinIter {
+            weighted,
+            bytes: &frame[self.offset..self.offset + self.len],
+            remaining: self.bins,
+            front_index: 0,
+            front_started: false,
         }
     }
 }
@@ -241,12 +343,72 @@ impl DoubleEndedIterator for ViewBinIter<'_> {
 
 impl ExactSizeIterator for ViewBinIter<'_> {}
 
+/// Forward-only iterator over a view's `(index, count)` bins with **f64**
+/// counts — the dialect-agnostic weighted walk: integer-dialect counts
+/// are widened to `f64`, `DDS3` counts decode natively.
+///
+/// Forward-only by necessity: the `DDS3` escape encoding embeds 8 raw
+/// `f64` bytes whose bit patterns are opaque to the LEB128 boundary scan
+/// that makes [`ViewBinIter`] double-ended. Descending walks over
+/// weighted payloads materialize into a scratch buffer instead (see
+/// [`SketchView::append_weighted_negative_bins`]).
+#[derive(Debug, Clone)]
+pub struct WeightedViewBinIter<'a> {
+    /// Whether counts decode as `DDS3` weighted counts (vs plain varints).
+    weighted: bool,
+    bytes: &'a [u8],
+    remaining: usize,
+    front_index: i64,
+    front_started: bool,
+}
+
+impl Iterator for WeightedViewBinIter<'_> {
+    type Item = (i32, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(i32, f64)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let mut pos = 0usize;
+        let idx = if self.front_started {
+            self.front_index + ViewBinIter::expect_varint(self.bytes, &mut pos) as i64 + 1
+        } else {
+            self.front_started = true;
+            unzigzag(ViewBinIter::expect_varint(self.bytes, &mut pos))
+        };
+        let count = if self.weighted {
+            BinSection::expect_weighted(self.bytes, &mut pos)
+        } else {
+            ViewBinIter::expect_varint(self.bytes, &mut pos) as f64
+        };
+        self.bytes = &self.bytes[pos..];
+        self.front_index = idx;
+        self.remaining -= 1;
+        Some((idx as i32, count))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for WeightedViewBinIter<'_> {}
+
 /// Everything [`SketchView::parse`] computed, detached from the borrow.
 #[derive(Debug, Clone, Copy)]
 struct ViewMeta {
     config: SketchConfig,
+    /// Whether the payload is a `DDS3` weighted frame (f64 counts).
+    weighted: bool,
+    /// Exact integer totals for the `DDS1`/`DDS2` dialects; zero for
+    /// weighted frames (whose totals live in the `f*` fields).
     zero_count: u64,
     count: u64,
+    /// `f64` totals: exact for weighted frames, a rounding of the exact
+    /// integer totals otherwise.
+    fzero: f64,
+    fcount: f64,
     min: f64,
     max: f64,
     sum: f64,
@@ -298,9 +460,10 @@ impl<'a> SketchView<'a> {
         if buf.remaining() < 4 {
             return Err(SketchError::Malformed("bad magic".into()));
         }
-        let v1 = match &buf[..4] {
-            m if m == MAGIC => false,
-            m if m == MAGIC_V1 => true,
+        let (v1, weighted) = match &buf[..4] {
+            m if m == MAGIC => (false, false),
+            m if m == MAGIC_V1 => (true, false),
+            m if m == MAGIC_V3 => (false, true),
             _ => return Err(SketchError::Malformed("bad magic".into())),
         };
         buf.advance(4);
@@ -327,7 +490,20 @@ impl<'a> SketchView<'a> {
         } else {
             StoreKind::Unbounded
         });
-        let zero_count = get_varint(buf)?;
+        let (zero_count, fzero) = if weighted {
+            let mut pos = frame.len() - buf.len();
+            let z = scan_weighted_count(frame, &mut pos)?;
+            if !z.is_finite() || z < 0.0 {
+                return Err(SketchError::Malformed(format!(
+                    "weighted zero-bucket count {z} is not a finite non-negative value"
+                )));
+            }
+            buf.advance(pos - (frame.len() - buf.len()));
+            (0, z)
+        } else {
+            let z = get_varint(buf)?;
+            (z, z as f64)
+        };
         if buf.remaining() < 24 {
             return Err(SketchError::Malformed("truncated summary".into()));
         }
@@ -335,8 +511,15 @@ impl<'a> SketchView<'a> {
         let max = buf.get_f64_le();
         let sum = buf.get_f64_le();
         let mut pos = frame.len() - buf.len();
-        let positive = BinSection::parse(frame, &mut pos)?;
-        let negative = BinSection::parse(frame, &mut pos)?;
+        let (positive, negative) = if weighted {
+            let p = BinSection::parse_weighted(frame, &mut pos)?;
+            let n = BinSection::parse_weighted(frame, &mut pos)?;
+            (p, n)
+        } else {
+            let p = BinSection::parse(frame, &mut pos)?;
+            let n = BinSection::parse(frame, &mut pos)?;
+            (p, n)
+        };
         if pos != frame.len() {
             return Err(SketchError::Malformed(format!(
                 "{} trailing bytes after the negative store",
@@ -357,28 +540,41 @@ impl<'a> SketchView<'a> {
         // Same dense-growth ceiling as the payload decoder (the two
         // readers must accept exactly the same payloads).
         super::validate_dense_growth(store, bin_limit, positive.span(), negative.span())?;
-        let count = zero_count
-            .checked_add(positive.total)
-            .and_then(|c| c.checked_add(negative.total))
-            .ok_or_else(|| SketchError::Malformed("total count overflow".into()))?;
+        let (count, fcount) = if weighted {
+            let fcount = fzero + positive.ftotal + negative.ftotal;
+            if !fcount.is_finite() {
+                return Err(SketchError::Malformed("total count overflow".into()));
+            }
+            (0, fcount)
+        } else {
+            let count = zero_count
+                .checked_add(positive.total)
+                .and_then(|c| c.checked_add(negative.total))
+                .ok_or_else(|| SketchError::Malformed("total count overflow".into()))?;
+            (count, count as f64)
+        };
         // Same consistency rule as `codec::validate_summary`: the two
         // readers must accept exactly the same payloads.
-        let consistent = if count == 0 {
+        let empty = if weighted { fcount == 0.0 } else { count == 0 };
+        let consistent = if empty {
             min == f64::INFINITY && max == f64::NEG_INFINITY && sum == 0.0
         } else {
             min.is_finite() && max.is_finite() && min <= max && !sum.is_nan()
         };
         if !consistent {
             return Err(SketchError::Malformed(format!(
-                "summary (min {min}, max {max}, sum {sum}) is inconsistent with count {count}"
+                "summary (min {min}, max {max}, sum {sum}) is inconsistent with count {fcount}"
             )));
         }
         Ok(Self {
             frame,
             meta: ViewMeta {
                 config,
+                weighted,
                 zero_count,
                 count,
+                fzero,
+                fcount,
                 min,
                 max,
                 sum,
@@ -423,30 +619,51 @@ impl<'a> SketchView<'a> {
         (self.meta.config.max_bins > 0).then_some(self.meta.config.max_bins)
     }
 
-    /// Total number of encoded occurrences.
+    /// Whether this is a `DDS3` weighted frame (`f64` counts). Weighted
+    /// views only join the weighted merge plane; the integer accessors
+    /// ([`SketchView::count`], [`SketchView::positive_bins`], …) are
+    /// reserved for the `DDS1`/`DDS2` dialects.
+    pub fn is_weighted(&self) -> bool {
+        self.meta.weighted
+    }
+
+    /// Total number of encoded occurrences (integer dialects; zero for
+    /// weighted frames — use [`SketchView::weighted_count`]).
     pub fn count(&self) -> u64 {
         self.meta.count
     }
 
-    /// Whether the payload holds no data.
-    pub fn is_empty(&self) -> bool {
-        self.meta.count == 0
+    /// Total encoded weight as an `f64`: exact for `DDS3` frames, the
+    /// rounded integer total for `DDS1`/`DDS2`.
+    pub fn weighted_count(&self) -> f64 {
+        self.meta.fcount
     }
 
-    /// Count of values in the exact zero bucket.
+    /// Whether the payload holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.meta.fcount == 0.0
+    }
+
+    /// Count of values in the exact zero bucket (integer dialects; zero
+    /// for weighted frames — use [`SketchView::weighted_zero_count`]).
     pub fn zero_count(&self) -> u64 {
         self.meta.zero_count
+    }
+
+    /// Weight in the exact zero bucket as an `f64` (all dialects).
+    pub fn weighted_zero_count(&self) -> f64 {
+        self.meta.fzero
     }
 
     /// The tracked minimum, `None` when empty — same contract as
     /// [`crate::DDSketch::min`].
     pub fn min(&self) -> Option<f64> {
-        (self.meta.count > 0).then_some(self.meta.min)
+        (self.meta.fcount > 0.0).then_some(self.meta.min)
     }
 
     /// The tracked maximum, `None` when empty.
     pub fn max(&self) -> Option<f64> {
-        (self.meta.count > 0).then_some(self.meta.max)
+        (self.meta.fcount > 0.0).then_some(self.meta.max)
     }
 
     /// Exact sum of the encoded values.
@@ -456,7 +673,7 @@ impl<'a> SketchView<'a> {
 
     /// Exact mean, or `None` if empty.
     pub fn average(&self) -> Option<f64> {
-        (self.meta.count > 0).then(|| self.meta.sum / self.meta.count as f64)
+        (self.meta.fcount > 0.0).then(|| self.meta.sum / self.meta.fcount)
     }
 
     /// Number of non-empty buckets across both stores plus the zero
@@ -466,13 +683,66 @@ impl<'a> SketchView<'a> {
     }
 
     /// Walk the positive store's bins in ascending index order.
+    ///
+    /// # Panics
+    ///
+    /// On a `DDS3` weighted view, whose counts are not integers — use
+    /// [`SketchView::weighted_positive_bins`] instead (callers route on
+    /// [`SketchView::is_weighted`]).
     pub fn positive_bins(&self) -> ViewBinIter<'a> {
+        assert!(
+            !self.meta.weighted,
+            "integer bin walk over a DDS3 weighted payload; use weighted_positive_bins"
+        );
         self.meta.positive.iter(self.frame)
     }
 
     /// Walk the negative store's bins in ascending `|x|`-index order.
+    ///
+    /// # Panics
+    ///
+    /// On a `DDS3` weighted view; see [`SketchView::positive_bins`].
     pub fn negative_bins(&self) -> ViewBinIter<'a> {
+        assert!(
+            !self.meta.weighted,
+            "integer bin walk over a DDS3 weighted payload; use weighted_negative_bins"
+        );
         self.meta.negative.iter(self.frame)
+    }
+
+    /// Walk the positive store's bins with `f64` counts, ascending —
+    /// works on every dialect (integer counts are widened).
+    pub fn weighted_positive_bins(&self) -> WeightedViewBinIter<'a> {
+        self.meta
+            .positive
+            .weighted_iter(self.frame, self.meta.weighted)
+    }
+
+    /// Walk the negative store's bins with `f64` counts, ascending
+    /// `|x|`-index order — every dialect.
+    pub fn weighted_negative_bins(&self) -> WeightedViewBinIter<'a> {
+        self.meta
+            .negative
+            .weighted_iter(self.frame, self.meta.weighted)
+    }
+
+    /// Bulk-decode the positive store's bins with `f64` counts onto
+    /// `out` (appended) — the weighted fold path, every dialect.
+    pub(crate) fn append_weighted_positive_bins(&self, out: &mut Vec<(i32, f64)>) {
+        if self.meta.weighted {
+            self.meta.positive.append_weighted_to(self.frame, out);
+        } else {
+            out.extend(self.meta.positive.weighted_iter(self.frame, false));
+        }
+    }
+
+    /// Bulk-decode the negative store's bins with `f64` counts onto `out`.
+    pub(crate) fn append_weighted_negative_bins(&self, out: &mut Vec<(i32, f64)>) {
+        if self.meta.weighted {
+            self.meta.negative.append_weighted_to(self.frame, out);
+        } else {
+            out.extend(self.meta.negative.weighted_iter(self.frame, false));
+        }
     }
 
     pub(crate) fn negative_section(&self) -> BinSection {

@@ -147,6 +147,46 @@
 //! requested ranks and walks each store's cumulative counts once, instead
 //! of rescanning per quantile.
 //!
+//! ## Weighted ingestion
+//!
+//! Every count in the sketch generalizes from `u64` to `f64`
+//! (the [`store::Count`] abstraction): [`AnyWeightedDDSketch`] is the
+//! type-erased weighted twin of [`AnyDDSketch`], with the same five
+//! configurations. `add_with_count(value, w)` inserts one observation at
+//! weight `w` — a pre-aggregated client submission ("this value occurred
+//! 1 000 times"), an importance weight, or a fractional multiplicity —
+//! and for **integral** weights the result is bit-identical to calling
+//! `add(value)` `w` times (property-tested across every configuration).
+//! Weighted sketches also decay in place (`scale_counts(λ)`, the
+//! ingest-time exponential-decay primitive behind the pipeline's decayed
+//! sliding windows) and subtract with floor-at-zero semantics
+//! (`sub_sketch`). On the wire they travel as the `DDS3` dialect, whose
+//! varint fast path keeps integer-weight payloads as compact as `DDS2`;
+//! a weighted receiver ([`codec::WeightedSketchPayload`],
+//! [`AnyWeightedDDSketch::decode`], `merge_view`) accepts all three
+//! dialects, so mixed fleets drain through one merge walk.
+//!
+//! ```
+//! use ddsketch::{AnyWeightedDDSketch, SketchConfig};
+//!
+//! let config = SketchConfig::dense_collapsing(0.01, 2048);
+//! let mut sketch = AnyWeightedDDSketch::new(config).unwrap();
+//! // A client reporting pre-aggregated observations:
+//! sketch.add_with_count(0.012, 1000.0).unwrap();
+//! sketch.add_with_count(0.250, 10.0).unwrap();
+//! assert_eq!(sketch.weighted_count(), 1010.0);
+//!
+//! // Ingest-time decay: halve the weight of everything seen so far.
+//! sketch.scale_counts(0.5).unwrap();
+//! assert_eq!(sketch.weighted_count(), 505.0);
+//!
+//! // DDS3 round-trips exactly; integer dialects decode into the same
+//! // weighted receiver.
+//! let restored = AnyWeightedDDSketch::decode(&sketch.encode()).unwrap();
+//! assert_eq!(restored.weighted_count(), sketch.weighted_count());
+//! assert_eq!(restored.quantile(0.5).unwrap(), sketch.quantile(0.5).unwrap());
+//! ```
+//!
 //! ## Aggregation plane
 //!
 //! Full mergeability (Proposition 3) is the read-side counterpart of
@@ -281,11 +321,12 @@ pub mod presets;
 mod sketch;
 pub mod store;
 
-pub use any::AnyDDSketch;
-pub use atomic::{AnyAtomicDDSketch, AtomicDDSketch, AtomicSketchScratch};
+pub use any::{AnyDDSketch, AnyWeightedDDSketch};
+pub use atomic::{AnyAtomicDDSketch, AtomicDDSketch, AtomicSketchScratch, WeightedAtomicDDSketch};
 pub use codec::{
     FrameDecoder, FrameReader, FrameWriter, SketchPayload, SketchSource, SketchView,
-    SketchViewMeta, SourceQuantileScratch,
+    SketchViewMeta, SourceQuantileScratch, WeightedMergeScratch, WeightedSketchPayload,
+    WeightedViewBinIter,
 };
 pub use config::{DDSketchBuilder, SketchConfig, DEFAULT_MAX_BINS};
 pub use mapping::{
@@ -293,13 +334,16 @@ pub use mapping::{
     MappingKind, QuadraticInterpolatedMapping,
 };
 pub use presets::{
-    fast, logarithmic_collapsing, paper_exact, sparse, unbounded, BoundedDDSketch, FastDDSketch,
-    PaperExactDDSketch, SparseDDSketch, UnboundedDDSketch,
+    fast, logarithmic_collapsing, paper_exact, sparse, unbounded, weighted_fast,
+    weighted_logarithmic_collapsing, weighted_paper_exact, weighted_sparse, weighted_unbounded,
+    BoundedDDSketch, FastDDSketch, PaperExactDDSketch, SparseDDSketch, UnboundedDDSketch,
+    WeightedBoundedDDSketch, WeightedFastDDSketch, WeightedPaperExactDDSketch,
+    WeightedSparseDDSketch, WeightedUnboundedDDSketch,
 };
 pub use sketch::{DDSketch, MergedQuantileScratch};
 pub use store::{
-    CollapsingHighestDenseStore, CollapsingLowestDenseStore, CollapsingSparseStore, DenseStore,
-    SparseStore, Store, StoreKind,
+    CollapsingHighestDenseStore, CollapsingLowestDenseStore, CollapsingSparseStore, Count,
+    DenseStore, SparseStore, Store, StoreKind,
 };
 
 // Re-export the shared vocabulary so downstream users need only this crate.

@@ -45,6 +45,30 @@ pub type SparseDDSketch = DDSketch<LogarithmicMapping, SparseStore, SparseStore>
 pub type PaperExactDDSketch =
     DDSketch<LogarithmicMapping, CollapsingSparseStore, CollapsingSparseStore>;
 
+/// Weighted mirror of [`UnboundedDDSketch`]: the same mapping and store
+/// family counting in `f64`, so occurrences can carry fractional weights
+/// ([`DDSketch::add_with_count`]) and decay in place
+/// ([`DDSketch::scale_counts`]).
+pub type WeightedUnboundedDDSketch = DDSketch<LogarithmicMapping, DenseStore<f64>, DenseStore<f64>>;
+
+/// Weighted mirror of [`BoundedDDSketch`].
+pub type WeightedBoundedDDSketch =
+    DDSketch<LogarithmicMapping, CollapsingLowestDenseStore<f64>, CollapsingHighestDenseStore<f64>>;
+
+/// Weighted mirror of [`FastDDSketch`].
+pub type WeightedFastDDSketch = DDSketch<
+    CubicInterpolatedMapping,
+    CollapsingLowestDenseStore<f64>,
+    CollapsingHighestDenseStore<f64>,
+>;
+
+/// Weighted mirror of [`SparseDDSketch`].
+pub type WeightedSparseDDSketch = DDSketch<LogarithmicMapping, SparseStore<f64>, SparseStore<f64>>;
+
+/// Weighted mirror of [`PaperExactDDSketch`].
+pub type WeightedPaperExactDDSketch =
+    DDSketch<LogarithmicMapping, CollapsingSparseStore<f64>, CollapsingSparseStore<f64>>;
+
 fn validate_bins(max_bins: usize) -> Result<(), SketchError> {
     if max_bins == 0 {
         return Err(SketchError::InvalidConfig(
@@ -100,6 +124,60 @@ pub fn paper_exact(alpha: f64, max_bins: usize) -> Result<PaperExactDDSketch, Sk
         LogarithmicMapping::new(alpha)?,
         CollapsingSparseStore::new(max_bins),
         CollapsingSparseStore::new(max_bins),
+    ))
+}
+
+/// Build a [`WeightedUnboundedDDSketch`].
+pub fn weighted_unbounded(alpha: f64) -> Result<WeightedUnboundedDDSketch, SketchError> {
+    Ok(DDSketch::from_parts(
+        LogarithmicMapping::new(alpha)?,
+        DenseStore::<f64>::default(),
+        DenseStore::<f64>::default(),
+    ))
+}
+
+/// Build a [`WeightedBoundedDDSketch`].
+pub fn weighted_logarithmic_collapsing(
+    alpha: f64,
+    max_bins: usize,
+) -> Result<WeightedBoundedDDSketch, SketchError> {
+    validate_bins(max_bins)?;
+    Ok(DDSketch::from_parts(
+        LogarithmicMapping::new(alpha)?,
+        CollapsingLowestDenseStore::<f64>::with_max_bins(max_bins),
+        CollapsingHighestDenseStore::<f64>::with_max_bins(max_bins),
+    ))
+}
+
+/// Build a [`WeightedFastDDSketch`].
+pub fn weighted_fast(alpha: f64, max_bins: usize) -> Result<WeightedFastDDSketch, SketchError> {
+    validate_bins(max_bins)?;
+    Ok(DDSketch::from_parts(
+        CubicInterpolatedMapping::new(alpha)?,
+        CollapsingLowestDenseStore::<f64>::with_max_bins(max_bins),
+        CollapsingHighestDenseStore::<f64>::with_max_bins(max_bins),
+    ))
+}
+
+/// Build a [`WeightedSparseDDSketch`].
+pub fn weighted_sparse(alpha: f64) -> Result<WeightedSparseDDSketch, SketchError> {
+    Ok(DDSketch::from_parts(
+        LogarithmicMapping::new(alpha)?,
+        SparseStore::<f64>::default(),
+        SparseStore::<f64>::default(),
+    ))
+}
+
+/// Build a [`WeightedPaperExactDDSketch`].
+pub fn weighted_paper_exact(
+    alpha: f64,
+    max_bins: usize,
+) -> Result<WeightedPaperExactDDSketch, SketchError> {
+    validate_bins(max_bins)?;
+    Ok(DDSketch::from_parts(
+        LogarithmicMapping::new(alpha)?,
+        CollapsingSparseStore::<f64>::with_max_bins(max_bins),
+        CollapsingSparseStore::<f64>::with_max_bins(max_bins),
     ))
 }
 
@@ -168,6 +246,97 @@ mod tests {
             !s.has_collapsed(),
             "80µs..1y must fit in 2048 buckets at α=0.01"
         );
+    }
+
+    /// Every weighted preset fed integral `f64` counts must mirror its
+    /// `u64` twin exactly: same weighted totals, same quantile estimates
+    /// through the weighted rank walk.
+    #[test]
+    fn weighted_presets_mirror_integer_presets_on_integral_weights() {
+        let alpha = 0.01;
+        let stream: Vec<(f64, u64)> = (1..=3000)
+            .map(|i| {
+                let v = match i % 7 {
+                    0 => 0.0,
+                    1 | 2 => (i as f64).sqrt() * 2.1,
+                    3 => -(i as f64) * 0.4,
+                    _ => (i as f64) * 0.9,
+                };
+                (v, (i % 4 + 1) as u64)
+            })
+            .collect();
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0];
+
+        macro_rules! check_pair {
+            ($name:literal, $u:expr, $w:expr) => {{
+                let mut u = $u;
+                let mut w = $w;
+                for &(v, k) in &stream {
+                    u.add_n(v, k).unwrap();
+                    w.add_with_count(v, k as f64).unwrap();
+                }
+                assert_eq!(u.count() as f64, w.weighted_count(), $name);
+                assert_eq!(u.sum(), w.sum(), $name);
+                assert_eq!(u.min(), w.min(), $name);
+                assert_eq!(u.max(), w.max(), $name);
+                for &q in &qs {
+                    assert_eq!(
+                        u.quantile(q).unwrap(),
+                        w.weighted_quantile(q).unwrap(),
+                        "{} q={q}",
+                        $name
+                    );
+                }
+            }};
+        }
+        check_pair!(
+            "unbounded",
+            unbounded(alpha).unwrap(),
+            weighted_unbounded(alpha).unwrap()
+        );
+        check_pair!(
+            "bounded",
+            logarithmic_collapsing(alpha, 512).unwrap(),
+            weighted_logarithmic_collapsing(alpha, 512).unwrap()
+        );
+        check_pair!(
+            "fast",
+            fast(alpha, 512).unwrap(),
+            weighted_fast(alpha, 512).unwrap()
+        );
+        check_pair!(
+            "sparse",
+            sparse(alpha).unwrap(),
+            weighted_sparse(alpha).unwrap()
+        );
+        check_pair!(
+            "paper_exact",
+            paper_exact(alpha, 512).unwrap(),
+            weighted_paper_exact(alpha, 512).unwrap()
+        );
+    }
+
+    /// Fractional weights drive the weighted rank walk: a heavy tail value
+    /// dominates the median once its weight does.
+    #[test]
+    fn fractional_weights_shift_quantiles() {
+        let mut s = weighted_unbounded(0.01).unwrap();
+        s.add_with_count(1.0, 1.5).unwrap();
+        s.add_with_count(100.0, 6.0).unwrap();
+        let med = s.weighted_quantile(0.5).unwrap();
+        assert!(med > 90.0, "weight 6.0 at 100 must dominate, got {med}");
+        // Decay the heavy bucket away and the light one re-emerges.
+        s.scale_counts(0.25).unwrap();
+        s.add_with_count(1.0, 10.0).unwrap();
+        let med = s.weighted_quantile(0.5).unwrap();
+        assert!(
+            med < 1.2,
+            "after decay the light value dominates, got {med}"
+        );
+        // Invalid weights are rejected.
+        assert!(s.add_with_count(1.0, f64::NAN).is_err());
+        assert!(s.add_with_count(1.0, -1.0).is_err());
+        assert!(s.add_with_count(1.0, f64::INFINITY).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The DDSketch itself (paper Section 2).
 
 use crate::mapping::{IndexMapping, MappingKind};
-use crate::store::{BinIter, Store};
+use crate::store::{BinIter, Count, Store};
 use sketch_core::{target_rank, MemoryFootprint, MergeableSketch, QuantileSketch, SketchError};
 
 /// A quantile sketch with relative-error guarantees over all of ℝ.
@@ -27,11 +27,11 @@ use sketch_core::{target_rank, MemoryFootprint, MergeableSketch, QuantileSketch,
 /// stores for the positive (`SP`) and negative (`SN`) halves; see the
 /// [`crate::presets`] constructors for the standard combinations.
 #[derive(Debug, Clone)]
-pub struct DDSketch<M: IndexMapping, SP: Store, SN: Store = SP> {
+pub struct DDSketch<M: IndexMapping, SP: Store, SN: Store<Count = SP::Count> = SP> {
     mapping: M,
     positive: SP,
     negative: SN,
-    zero_count: u64,
+    zero_count: SP::Count,
     min: f64,
     max: f64,
     sum: f64,
@@ -150,7 +150,7 @@ impl<'a> KWayRankCursor<'a> {
     /// performs **no** heap allocation. Sparse (or mixed-orientation) sets
     /// fall back to the per-bin heads walk, which allocates its iterator
     /// and head vectors.
-    fn for_stores<S: Store + 'a>(
+    fn for_stores<S: Store<Count = u64> + 'a>(
         stores: impl Iterator<Item = &'a S> + Clone,
         descending: bool,
         clamp: (i32, i32),
@@ -683,14 +683,18 @@ impl<'a> WeightedHeadsCursor<'a> {
     }
 }
 
-impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
+/// The count-generic surface: everything here works for any store count
+/// type ([`Count`]), so a `u64`-counted sketch and an `f64`-counted
+/// (weighted) sketch share one implementation. The `u64`-specific block
+/// below keeps the historical integer-count API bit-identical.
+impl<M: IndexMapping, SP: Store, SN: Store<Count = SP::Count>> DDSketch<M, SP, SN> {
     /// Assemble a sketch from a mapping and two (empty) stores.
     pub fn from_parts(mapping: M, positive: SP, negative: SN) -> Self {
         Self {
             mapping,
             positive,
             negative,
-            zero_count: 0,
+            zero_count: SP::Count::ZERO,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             sum: 0.0,
@@ -709,6 +713,428 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
         self.mapping.relative_accuracy()
     }
 
+    /// Insert `count` occurrences of `value` in O(1), where `count` is
+    /// whatever the stores count in — a `u64` multiplicity or, for the
+    /// weighted (`f64`-counted) configurations, a fractional weight.
+    ///
+    /// For integer counts this is **bit-identical** to `count` repeated
+    /// [`Self::add`] calls (property-tested across every preset and both
+    /// count types). Invalid counts — NaN, infinite, or negative `f64`
+    /// weights — are rejected with `InvalidConfig` before any state
+    /// changes; a zero count is an accepted no-op.
+    pub fn add_with_count(&mut self, value: f64, count: SP::Count) -> Result<(), SketchError> {
+        if !value.is_finite() {
+            return Err(SketchError::UnsupportedValue(value));
+        }
+        if !count.is_valid() {
+            return Err(SketchError::InvalidConfig(format!(
+                "count must be finite and non-negative, got {count:?}"
+            )));
+        }
+        if count == SP::Count::ZERO {
+            return Ok(());
+        }
+        let magnitude = value.abs();
+        if magnitude > self.mapping.max_indexable_value() {
+            return Err(SketchError::UnsupportedValue(value));
+        }
+        if magnitude < self.mapping.min_indexable_value() {
+            // Within floating-point distance of zero (paper §2.2): exact
+            // zero bucket.
+            self.zero_count += count;
+        } else if value > 0.0 {
+            self.positive.add_n(self.mapping.index(value), count);
+        } else {
+            self.negative.add_n(self.mapping.index(magnitude), count);
+        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value * count.to_f64();
+        Ok(())
+    }
+
+    /// Bulk-insert `(value, count)` pairs through [`Self::add_with_count`].
+    ///
+    /// The whole batch is validated up front, so a rejected pair (NaN or
+    /// out-of-range value, invalid count) leaves the sketch exactly as it
+    /// was — the weighted counterpart of [`Self::add_slice`]'s atomicity.
+    pub fn add_weighted_slice(&mut self, pairs: &[(f64, SP::Count)]) -> Result<(), SketchError> {
+        let max_indexable = self.mapping.max_indexable_value();
+        for &(value, count) in pairs {
+            let magnitude = value.abs();
+            // Negated comparison (rather than `>`) so NaN also lands here.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(magnitude <= max_indexable) {
+                return Err(SketchError::UnsupportedValue(value));
+            }
+            if !count.is_valid() {
+                return Err(SketchError::InvalidConfig(format!(
+                    "count must be finite and non-negative, got {count:?}"
+                )));
+            }
+        }
+        for &(value, count) in pairs {
+            self.add_with_count(value, count)?;
+        }
+        Ok(())
+    }
+
+    /// Subtract `other`'s contents bucket-by-bucket, flooring every bucket
+    /// at zero ([`Store::remove_up_to`]) — the bulk generalization of
+    /// [`Self::delete`] for weighted/decayed planes, where a whole interval
+    /// sketch is retired from a running aggregate at once.
+    ///
+    /// `sum` is adjusted by each removed bucket's representative value (it
+    /// is α-approximate after subtraction, exactly as after collapses);
+    /// `min`/`max` are re-tightened to the surviving buckets' bounds, and
+    /// subtracting to empty resets the summary state entirely.
+    ///
+    /// # Errors
+    ///
+    /// `IncompatibleMerge` when the mappings cannot merge; the check runs
+    /// before any mutation.
+    pub fn sub_sketch(&mut self, other: &Self) -> Result<(), SketchError> {
+        if !self.mapping.is_mergeable_with(&other.mapping) {
+            return Err(SketchError::IncompatibleMerge(format!(
+                "mapping {} (α={}) vs {} (α={})",
+                self.mapping.name(),
+                self.mapping.relative_accuracy(),
+                other.mapping.name(),
+                other.mapping.relative_accuracy()
+            )));
+        }
+        let mut removed_sum = 0.0;
+        for (idx, count) in other.positive.bin_iter() {
+            let removed = self.positive.remove_up_to(idx, count);
+            removed_sum += self.mapping.value(idx) * removed.to_f64();
+        }
+        for (idx, count) in other.negative.bin_iter() {
+            let removed = self.negative.remove_up_to(idx, count);
+            removed_sum -= self.mapping.value(idx) * removed.to_f64();
+        }
+        self.zero_count = self.zero_count.sub_clamped(other.zero_count);
+        self.sum -= removed_sum;
+        if self.is_empty() {
+            // Fully drained: drop every summary so the next add is exact
+            // again (mirroring delete-to-empty).
+            self.min = f64::INFINITY;
+            self.max = f64::NEG_INFINITY;
+            self.sum = 0.0;
+        } else {
+            // Tighten-only: the surviving buckets' bounds are always valid
+            // bounds on the remaining data.
+            self.min = self.min.max(self.surviving_lower_bound());
+            self.max = self.max.min(self.surviving_upper_bound());
+        }
+        Ok(())
+    }
+
+    /// Scale every stored count by `factor` — ingest-time exponential
+    /// decay ([`Store::scale_counts`]). `u64` counts round to nearest (a
+    /// bucket decaying below half an occurrence empties); `f64` counts
+    /// scale exactly. `sum` scales with the counts; `min`/`max` are
+    /// unchanged while data survives (decay does not move the support),
+    /// and scaling to empty resets the summary state.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidConfig` for a NaN, infinite, or negative factor.
+    pub fn scale_counts(&mut self, factor: f64) -> Result<(), SketchError> {
+        if !(factor.is_finite() && factor >= 0.0) {
+            return Err(SketchError::InvalidConfig(format!(
+                "scale factor must be finite and non-negative, got {factor}"
+            )));
+        }
+        self.positive.scale_counts(factor);
+        self.negative.scale_counts(factor);
+        self.zero_count = self.zero_count.scale(factor);
+        self.sum *= factor;
+        if self.is_empty() {
+            self.min = f64::INFINITY;
+            self.max = f64::NEG_INFINITY;
+            self.sum = 0.0;
+        } else {
+            self.min = self.min.max(self.surviving_lower_bound());
+            self.max = self.max.min(self.surviving_upper_bound());
+        }
+        Ok(())
+    }
+
+    /// Total stored weight as `f64`: the count-type-agnostic form of
+    /// [`DDSketch::count`] (exact for integer counts below 2⁵³).
+    pub fn weighted_count(&self) -> f64 {
+        self.zero_count.to_f64()
+            + self.positive.total_count().to_f64()
+            + self.negative.total_count().to_f64()
+    }
+
+    /// Weight in the exact zero bucket, in the stores' count type (the
+    /// count-generic form of [`DDSketch::zero_count`]).
+    pub fn zero_weight(&self) -> SP::Count {
+        self.zero_count
+    }
+
+    /// Whether the sketch holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.zero_count == SP::Count::ZERO
+            && self.positive.total_count() == SP::Count::ZERO
+            && self.negative.total_count() == SP::Count::ZERO
+    }
+
+    /// Exact sum of inserted values (weighted).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact weighted mean, or `None` if empty.
+    pub fn average(&self) -> Option<f64> {
+        let n = self.weighted_count();
+        (n > 0.0).then(|| self.sum / n)
+    }
+
+    /// The tracked minimum: exact for insert-only streams. After a
+    /// [`Self::delete`] at the minimum it is re-tightened to the surviving
+    /// buckets' lower bound, so it is always a valid lower bound within
+    /// one bucket's relative error of the true surviving minimum — never a
+    /// fully-deleted value.
+    pub fn min(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// The tracked maximum: exact for insert-only streams; after deletions
+    /// a tight upper bound (see [`Self::min`] for the symmetric contract).
+    pub fn max(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// Number of non-empty buckets across both stores plus the zero bucket
+    /// (the "bins" of the paper's Figure 7).
+    pub fn num_bins(&self) -> usize {
+        self.positive.num_bins()
+            + self.negative.num_bins()
+            + usize::from(self.zero_count > SP::Count::ZERO)
+    }
+
+    /// Whether any store has collapsed buckets, i.e. whether the lowest
+    /// quantiles may no longer carry the α guarantee (Proposition 4).
+    pub fn has_collapsed(&self) -> bool {
+        self.positive.has_collapsed() || self.negative.has_collapsed()
+    }
+
+    /// A lower bound on the smallest value still stored, from the
+    /// surviving buckets: the most-negative bucket's magnitude bound, the
+    /// exact zero bucket, or the lowest positive bucket's lower edge.
+    fn surviving_lower_bound(&self) -> f64 {
+        if let Some(idx) = self.negative.max_index() {
+            -self.mapping.upper_bound(idx)
+        } else if self.zero_count > SP::Count::ZERO {
+            0.0
+        } else if let Some(idx) = self.positive.min_index() {
+            self.mapping.lower_bound(idx)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mirror of [`Self::surviving_lower_bound`]: an upper bound on the
+    /// largest value still stored.
+    fn surviving_upper_bound(&self) -> f64 {
+        if let Some(idx) = self.positive.max_index() {
+            self.mapping.upper_bound(idx)
+        } else if self.zero_count > SP::Count::ZERO {
+            0.0
+        } else if let Some(idx) = self.negative.min_index() {
+            -self.mapping.lower_bound(idx)
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Merge another sketch into this one (Algorithm 4). Bucket-exact: the
+    /// result is identical to a single sketch over the union of the inputs.
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
+        self.merge_many(&[other])
+    }
+
+    /// Merge any number of compatible sketches into this one in a single
+    /// k-way pass.
+    ///
+    /// Equivalent — bins, count, `sum`, `min`, `max`, and the collapse
+    /// flag, all bit-identical — to folding [`Self::merge_from`] over
+    /// `others` in order, but each store makes its capacity and collapse
+    /// decisions **once** for the whole union ([`Store::merge_many`]): one
+    /// reallocation and at most one fold instead of up to k of each. This
+    /// is the aggregation-plane workhorse behind shard snapshots and
+    /// time-series rollups.
+    ///
+    /// # Errors
+    ///
+    /// `IncompatibleMerge` if any sketch's mapping cannot merge with this
+    /// one's; the check runs before any mutation, so a failed call leaves
+    /// the sketch untouched.
+    pub fn merge_many(&mut self, others: &[&Self]) -> Result<(), SketchError> {
+        for other in others {
+            if !self.mapping.is_mergeable_with(&other.mapping) {
+                return Err(SketchError::IncompatibleMerge(format!(
+                    "mapping {} (α={}) vs {} (α={})",
+                    self.mapping.name(),
+                    self.mapping.relative_accuracy(),
+                    other.mapping.name(),
+                    other.mapping.relative_accuracy()
+                )));
+            }
+        }
+        let positives: Vec<&SP> = others.iter().map(|s| &s.positive).collect();
+        self.positive.merge_many(&positives);
+        let negatives: Vec<&SN> = others.iter().map(|s| &s.negative).collect();
+        self.negative.merge_many(&negatives);
+        for other in others {
+            self.zero_count += other.zero_count;
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+            self.sum += other.sum;
+        }
+        Ok(())
+    }
+
+    /// Reset to empty, retaining allocations.
+    pub fn clear(&mut self) {
+        self.positive.clear();
+        self.negative.clear();
+        self.zero_count = SP::Count::ZERO;
+        self.min = f64::INFINITY;
+        self.max = f64::NEG_INFINITY;
+        self.sum = 0.0;
+    }
+
+    /// Free the batched-ingestion scratch buffers.
+    ///
+    /// [`Self::add_slice`] retains its scratch capacity (proportional to
+    /// the largest batch seen) so steady-state ingestion allocates
+    /// nothing; that capacity is real resident memory and is counted by
+    /// [`Self::memory_bytes`]. Call this when switching from ingestion to
+    /// a query-only phase — or before measuring sketch size — to drop it.
+    /// The buffers regrow transparently on the next `add_slice`.
+    pub fn release_scratch(&mut self) {
+        self.scratch = Scratch::default();
+    }
+
+    /// Structural memory footprint in bytes, including the batched-ingest
+    /// scratch buffers (whose capacity persists across `add_slice` calls).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<SP>() - std::mem::size_of::<SN>()
+            + self.positive.memory_bytes()
+            + self.negative.memory_bytes()
+            + self.scratch.heap_bytes()
+    }
+
+    /// Access the positive-value store (read-only; used by the codec and
+    /// the evaluation harness).
+    pub fn positive_store(&self) -> &SP {
+        &self.positive
+    }
+
+    /// Access the negative-value store.
+    pub fn negative_store(&self) -> &SN {
+        &self.negative
+    }
+
+    /// Internal: merge decoded state into the live sketch — one bulk
+    /// [`Store::add_bins`] pass per store (a single capacity/collapse
+    /// decision each), with the summary statistics folded the way
+    /// [`Self::merge_many`] folds them. This is how the codec's
+    /// [`crate::codec::SketchView`]s are absorbed without ever
+    /// materializing an intermediate sketch; empty-state sentinels
+    /// (`min = +∞`, `max = −∞`, `sum = 0`) fold as no-ops.
+    pub(crate) fn absorb_bins(
+        &mut self,
+        zero_count: SP::Count,
+        min: f64,
+        max: f64,
+        sum: f64,
+        pos_bins: &[(i32, SP::Count)],
+        neg_bins: &[(i32, SP::Count)],
+    ) {
+        self.positive.add_bins(pos_bins);
+        self.negative.add_bins(neg_bins);
+        self.zero_count += zero_count;
+        self.min = self.min.min(min);
+        self.max = self.max.max(max);
+        self.sum += sum;
+    }
+
+    /// Internal: bulk-load decoded state. Used by the codec.
+    pub(crate) fn load(
+        &mut self,
+        zero_count: SP::Count,
+        min: f64,
+        max: f64,
+        sum: f64,
+        pos_bins: &[(i32, SP::Count)],
+        neg_bins: &[(i32, SP::Count)],
+    ) {
+        for &(i, c) in pos_bins.iter().rev() {
+            self.positive.add_n(i, c);
+        }
+        for &(i, c) in neg_bins {
+            self.negative.add_n(i, c);
+        }
+        self.zero_count = zero_count;
+        self.min = min;
+        self.max = max;
+        self.sum = sum;
+    }
+}
+
+/// The weighted quantile surface, available when the stores count in
+/// `f64`: target ranks generalize from the paper's `q·(n − 1)` to
+/// `q·(W − 1)` over the total stored weight `W`. For integral weights the
+/// walk is bit-identical to the `u64` sketch's [`DDSketch::quantile`]
+/// (property-tested), since the stores' cumulative counts are exact f64
+/// integers.
+impl<M: IndexMapping, SP: Store<Count = f64>, SN: Store<Count = f64>> DDSketch<M, SP, SN> {
+    /// Estimate the q-quantile of the weighted multiset.
+    pub fn weighted_quantile(&self, q: f64) -> Result<f64, SketchError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(SketchError::InvalidQuantile(q));
+        }
+        let total = self.weighted_count();
+        if total <= 0.0 {
+            return Err(SketchError::Empty);
+        }
+        let rank = q * (total - 1.0).max(0.0);
+        let neg = self.negative.total_count();
+        let raw = if rank < neg {
+            // Walk the negative store from the most negative value, i.e.
+            // from its largest |x| bucket index downward.
+            let idx = self
+                .negative
+                .key_at_rank_descending(rank)
+                .expect("negative store non-empty");
+            -self.mapping.value(idx)
+        } else if rank < neg + self.zero_count {
+            0.0
+        } else {
+            let idx = self
+                .positive
+                .key_at_rank(rank - neg - self.zero_count)
+                .expect("rank < total implies positive store non-empty");
+            self.mapping.value(idx)
+        };
+        Ok(raw.clamp(self.min, self.max))
+    }
+
+    /// Estimate several quantiles of the weighted multiset; output order
+    /// matches the input order.
+    pub fn weighted_quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        qs.iter().map(|&q| self.weighted_quantile(q)).collect()
+    }
+}
+
+/// The historical integer-count API: pinned to `u64`-counted stores so
+/// every body — and therefore every bin, count, and sum it produces —
+/// stays bit-identical to the pre-weighted implementation.
+impl<M: IndexMapping, SP: Store<Count = u64>, SN: Store<Count = u64>> DDSketch<M, SP, SN> {
     /// Insert `count` occurrences of `value` in O(1).
     pub fn add_n(&mut self, value: f64, count: u64) -> Result<(), SketchError> {
         if !value.is_finite() {
@@ -903,86 +1329,14 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
         removed
     }
 
-    /// A lower bound on the smallest value still stored, from the
-    /// surviving buckets: the most-negative bucket's magnitude bound, the
-    /// exact zero bucket, or the lowest positive bucket's lower edge.
-    fn surviving_lower_bound(&self) -> f64 {
-        if let Some(idx) = self.negative.max_index() {
-            -self.mapping.upper_bound(idx)
-        } else if self.zero_count > 0 {
-            0.0
-        } else if let Some(idx) = self.positive.min_index() {
-            self.mapping.lower_bound(idx)
-        } else {
-            f64::INFINITY
-        }
-    }
-
-    /// Mirror of [`Self::surviving_lower_bound`]: an upper bound on the
-    /// largest value still stored.
-    fn surviving_upper_bound(&self) -> f64 {
-        if let Some(idx) = self.positive.max_index() {
-            self.mapping.upper_bound(idx)
-        } else if self.zero_count > 0 {
-            0.0
-        } else if let Some(idx) = self.negative.min_index() {
-            -self.mapping.lower_bound(idx)
-        } else {
-            f64::NEG_INFINITY
-        }
-    }
-
     /// Total number of stored occurrences.
     pub fn count(&self) -> u64 {
         self.zero_count + self.positive.total_count() + self.negative.total_count()
     }
 
-    /// Whether the sketch holds no data.
-    pub fn is_empty(&self) -> bool {
-        self.count() == 0
-    }
-
-    /// Exact sum of inserted values (weighted).
-    pub fn sum(&self) -> f64 {
-        self.sum
-    }
-
-    /// Exact mean, or `None` if empty.
-    pub fn average(&self) -> Option<f64> {
-        let n = self.count();
-        (n > 0).then(|| self.sum / n as f64)
-    }
-
-    /// The tracked minimum: exact for insert-only streams. After a
-    /// [`Self::delete`] at the minimum it is re-tightened to the surviving
-    /// buckets' lower bound, so it is always a valid lower bound within
-    /// one bucket's relative error of the true surviving minimum — never a
-    /// fully-deleted value.
-    pub fn min(&self) -> Option<f64> {
-        (!self.is_empty()).then_some(self.min)
-    }
-
-    /// The tracked maximum: exact for insert-only streams; after deletions
-    /// a tight upper bound (see [`Self::min`] for the symmetric contract).
-    pub fn max(&self) -> Option<f64> {
-        (!self.is_empty()).then_some(self.max)
-    }
-
     /// Count of values in the exact zero bucket.
     pub fn zero_count(&self) -> u64 {
         self.zero_count
-    }
-
-    /// Number of non-empty buckets across both stores plus the zero bucket
-    /// (the "bins" of the paper's Figure 7).
-    pub fn num_bins(&self) -> usize {
-        self.positive.num_bins() + self.negative.num_bins() + usize::from(self.zero_count > 0)
-    }
-
-    /// Whether any store has collapsed buckets, i.e. whether the lowest
-    /// quantiles may no longer carry the α guarantee (Proposition 4).
-    pub fn has_collapsed(&self) -> bool {
-        self.positive.has_collapsed() || self.negative.has_collapsed()
     }
 
     /// Estimate the q-quantile (Algorithm 2, generalized to ℝ).
@@ -1336,144 +1690,11 @@ impl<M: IndexMapping, SP: Store, SN: Store> DDSketch<M, SP, SN> {
         };
         Ok((lo.max(self.min), hi.min(self.max)))
     }
-
-    /// Merge another sketch into this one (Algorithm 4). Bucket-exact: the
-    /// result is identical to a single sketch over the union of the inputs.
-    pub fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
-        self.merge_many(&[other])
-    }
-
-    /// Merge any number of compatible sketches into this one in a single
-    /// k-way pass.
-    ///
-    /// Equivalent — bins, count, `sum`, `min`, `max`, and the collapse
-    /// flag, all bit-identical — to folding [`Self::merge_from`] over
-    /// `others` in order, but each store makes its capacity and collapse
-    /// decisions **once** for the whole union ([`Store::merge_many`]): one
-    /// reallocation and at most one fold instead of up to k of each. This
-    /// is the aggregation-plane workhorse behind shard snapshots and
-    /// time-series rollups.
-    ///
-    /// # Errors
-    ///
-    /// `IncompatibleMerge` if any sketch's mapping cannot merge with this
-    /// one's; the check runs before any mutation, so a failed call leaves
-    /// the sketch untouched.
-    pub fn merge_many(&mut self, others: &[&Self]) -> Result<(), SketchError> {
-        for other in others {
-            if !self.mapping.is_mergeable_with(&other.mapping) {
-                return Err(SketchError::IncompatibleMerge(format!(
-                    "mapping {} (α={}) vs {} (α={})",
-                    self.mapping.name(),
-                    self.mapping.relative_accuracy(),
-                    other.mapping.name(),
-                    other.mapping.relative_accuracy()
-                )));
-            }
-        }
-        let positives: Vec<&SP> = others.iter().map(|s| &s.positive).collect();
-        self.positive.merge_many(&positives);
-        let negatives: Vec<&SN> = others.iter().map(|s| &s.negative).collect();
-        self.negative.merge_many(&negatives);
-        for other in others {
-            self.zero_count += other.zero_count;
-            self.min = self.min.min(other.min);
-            self.max = self.max.max(other.max);
-            self.sum += other.sum;
-        }
-        Ok(())
-    }
-
-    /// Reset to empty, retaining allocations.
-    pub fn clear(&mut self) {
-        self.positive.clear();
-        self.negative.clear();
-        self.zero_count = 0;
-        self.min = f64::INFINITY;
-        self.max = f64::NEG_INFINITY;
-        self.sum = 0.0;
-    }
-
-    /// Free the batched-ingestion scratch buffers.
-    ///
-    /// [`Self::add_slice`] retains its scratch capacity (proportional to
-    /// the largest batch seen) so steady-state ingestion allocates
-    /// nothing; that capacity is real resident memory and is counted by
-    /// [`Self::memory_bytes`]. Call this when switching from ingestion to
-    /// a query-only phase — or before measuring sketch size — to drop it.
-    /// The buffers regrow transparently on the next `add_slice`.
-    pub fn release_scratch(&mut self) {
-        self.scratch = Scratch::default();
-    }
-
-    /// Structural memory footprint in bytes, including the batched-ingest
-    /// scratch buffers (whose capacity persists across `add_slice` calls).
-    pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() - std::mem::size_of::<SP>() - std::mem::size_of::<SN>()
-            + self.positive.memory_bytes()
-            + self.negative.memory_bytes()
-            + self.scratch.heap_bytes()
-    }
-
-    /// Access the positive-value store (read-only; used by the codec and
-    /// the evaluation harness).
-    pub fn positive_store(&self) -> &SP {
-        &self.positive
-    }
-
-    /// Access the negative-value store.
-    pub fn negative_store(&self) -> &SN {
-        &self.negative
-    }
-
-    /// Internal: merge decoded state into the live sketch — one bulk
-    /// [`Store::add_bins`] pass per store (a single capacity/collapse
-    /// decision each), with the summary statistics folded the way
-    /// [`Self::merge_many`] folds them. This is how the codec's
-    /// [`crate::codec::SketchView`]s are absorbed without ever
-    /// materializing an intermediate sketch; empty-state sentinels
-    /// (`min = +∞`, `max = −∞`, `sum = 0`) fold as no-ops.
-    pub(crate) fn absorb_bins(
-        &mut self,
-        zero_count: u64,
-        min: f64,
-        max: f64,
-        sum: f64,
-        pos_bins: &[(i32, u64)],
-        neg_bins: &[(i32, u64)],
-    ) {
-        self.positive.add_bins(pos_bins);
-        self.negative.add_bins(neg_bins);
-        self.zero_count += zero_count;
-        self.min = self.min.min(min);
-        self.max = self.max.max(max);
-        self.sum += sum;
-    }
-
-    /// Internal: bulk-load decoded state. Used by the codec.
-    pub(crate) fn load(
-        &mut self,
-        zero_count: u64,
-        min: f64,
-        max: f64,
-        sum: f64,
-        pos_bins: &[(i32, u64)],
-        neg_bins: &[(i32, u64)],
-    ) {
-        for &(i, c) in pos_bins.iter().rev() {
-            self.positive.add_n(i, c);
-        }
-        for &(i, c) in neg_bins {
-            self.negative.add_n(i, c);
-        }
-        self.zero_count = zero_count;
-        self.min = min;
-        self.max = max;
-        self.sum = sum;
-    }
 }
 
-impl<M: IndexMapping, SP: Store, SN: Store> Extend<f64> for DDSketch<M, SP, SN> {
+impl<M: IndexMapping, SP: Store<Count = u64>, SN: Store<Count = u64>> Extend<f64>
+    for DDSketch<M, SP, SN>
+{
     /// Bulk insertion; values the sketch cannot represent (NaN, ±∞,
     /// beyond the indexable range) are silently skipped — use [`Self::add`]
     /// when per-value errors matter.
@@ -1484,7 +1705,9 @@ impl<M: IndexMapping, SP: Store, SN: Store> Extend<f64> for DDSketch<M, SP, SN> 
     }
 }
 
-impl<M: IndexMapping, SP: Store, SN: Store> QuantileSketch for DDSketch<M, SP, SN> {
+impl<M: IndexMapping, SP: Store<Count = u64>, SN: Store<Count = u64>> QuantileSketch
+    for DDSketch<M, SP, SN>
+{
     fn add(&mut self, value: f64) -> Result<(), SketchError> {
         DDSketch::add(self, value)
     }
@@ -1517,13 +1740,17 @@ impl<M: IndexMapping, SP: Store, SN: Store> QuantileSketch for DDSketch<M, SP, S
     }
 }
 
-impl<M: IndexMapping, SP: Store, SN: Store> MergeableSketch for DDSketch<M, SP, SN> {
+impl<M: IndexMapping, SP: Store, SN: Store<Count = SP::Count>> MergeableSketch
+    for DDSketch<M, SP, SN>
+{
     fn merge_from(&mut self, other: &Self) -> Result<(), SketchError> {
         DDSketch::merge_from(self, other)
     }
 }
 
-impl<M: IndexMapping, SP: Store, SN: Store> MemoryFootprint for DDSketch<M, SP, SN> {
+impl<M: IndexMapping, SP: Store, SN: Store<Count = SP::Count>> MemoryFootprint
+    for DDSketch<M, SP, SN>
+{
     fn memory_bytes(&self) -> usize {
         DDSketch::memory_bytes(self)
     }

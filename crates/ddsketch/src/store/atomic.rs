@@ -72,6 +72,7 @@ use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize};
 use parking_lot::Mutex;
 
 use super::cell::{Cell, SharedCell};
+use super::count::Count;
 use super::dense::{round_up_chunk, CHUNK};
 use super::DenseStore;
 
@@ -84,21 +85,24 @@ const MAX_TABLES: usize = 40;
 /// `FOLD_FACTOR × max_bins` (checked only on the guarded grow path).
 const FOLD_FACTOR: i64 = 4;
 
-type Table = DenseStore<AtomicU64>;
+type Table<C> = DenseStore<C>;
 
 /// Reusable accumulation buffer for [`AtomicDenseStore::snapshot_bins`];
 /// hold one per reader and snapshots allocate only while warming up.
 #[derive(Debug, Default)]
-pub struct AtomicSnapshotScratch {
-    acc: Vec<u64>,
+pub struct AtomicSnapshotScratch<V: Count = u64> {
+    acc: Vec<V>,
 }
 
-/// A concurrently writable dense bucket store (see module docs).
+/// A concurrently writable dense bucket store (see module docs), generic
+/// over the shared counter cell: `AtomicDenseStore` (= over [`AtomicU64`])
+/// is the integer ingest plane, `AtomicDenseStore<AtomicF64>` the weighted
+/// one (per-bucket CAS adds on `f64` bits).
 #[derive(Debug)]
-pub struct AtomicDenseStore {
+pub struct AtomicDenseStore<C: SharedCell = AtomicU64> {
     /// Published tables, oldest first. Entries `0..num_tables` are valid,
     /// heap-allocated, and never freed or moved while the store lives.
-    tables: [AtomicPtr<Table>; MAX_TABLES],
+    tables: [AtomicPtr<Table<C>>; MAX_TABLES],
     num_tables: AtomicUsize,
     /// Seqlock epoch: odd while a fold is moving counts between cells.
     epoch: AtomicU64,
@@ -113,10 +117,10 @@ pub struct AtomicDenseStore {
 // SAFETY: all shared mutation goes through atomics; the raw table
 // pointers are published with Release/Acquire, point at heap allocations
 // owned by this store, and are only freed in `Drop` (exclusive access).
-unsafe impl Send for AtomicDenseStore {}
-unsafe impl Sync for AtomicDenseStore {}
+unsafe impl<C: SharedCell + Send> Send for AtomicDenseStore<C> {}
+unsafe impl<C: SharedCell + Send> Sync for AtomicDenseStore<C> {}
 
-impl AtomicDenseStore {
+impl<C: SharedCell> AtomicDenseStore<C> {
     /// An empty store; `max_bins` enables physical folding for the
     /// bounded families.
     pub fn new(max_bins: Option<usize>) -> Self {
@@ -131,7 +135,7 @@ impl AtomicDenseStore {
 
     /// Table `k`, which must be `< num_tables` (acquired by the caller).
     #[inline]
-    fn table(&self, k: usize) -> &Table {
+    fn table(&self, k: usize) -> &Table<C> {
         // SAFETY: entries below an Acquire-observed `num_tables` were
         // Release-published as valid boxed tables and are never freed
         // while `&self` is alive.
@@ -143,7 +147,7 @@ impl AtomicDenseStore {
     /// Lock-free fast path; takes the grow mutex only when no table
     /// covers `index` yet (amortized O(log span) times per store).
     #[inline]
-    pub fn add_n(&self, index: i64, count: u64) {
+    pub fn add_n(&self, index: i64, count: C::Value) {
         let t = self.num_tables.load(Acquire);
         if t > 0 {
             if let Some(cell) = self.table(t - 1).cell(index) {
@@ -157,7 +161,7 @@ impl AtomicDenseStore {
     /// Grow path: publish a covering table, then retry the add (under the
     /// lock, so at most one thread builds each table).
     #[cold]
-    fn add_slow(&self, index: i64, count: u64) {
+    fn add_slow(&self, index: i64, count: C::Value) {
         let _guard = self.grow.lock();
         // Re-check: another writer may have published a covering table
         // while we waited for the lock.
@@ -197,7 +201,7 @@ impl AtomicDenseStore {
             lo -= extra / 2;
             hi_inc = lo + target - 1;
         }
-        let table = Box::new(Table::with_span(lo, hi_inc));
+        let table = Box::new(Table::<C>::with_span(lo, hi_inc));
         debug_assert!(table.span_hi() - table.span_lo() >= target);
         let cell = table
             .cell(index)
@@ -223,7 +227,7 @@ impl AtomicDenseStore {
             let table = self.table(k);
             let base = table.span_lo();
             for (i, cell) in table.cells().iter().enumerate() {
-                if Cell::get(cell) > 0 {
+                if Cell::get(cell) > C::Value::ZERO {
                     let idx = base + i as i64;
                     live_lo = live_lo.min(idx);
                     live_hi = live_hi.max(idx);
@@ -236,7 +240,7 @@ impl AtomicDenseStore {
         let allowed_min = live_hi - m + 1;
         // Seqlock: counts move below; readers retry while odd.
         self.epoch.fetch_add(1, Release);
-        let mut folded = 0u64;
+        let mut folded = C::Value::ZERO;
         for k in 0..t {
             let table = self.table(k);
             let base = table.span_lo();
@@ -245,7 +249,7 @@ impl AtomicDenseStore {
                 folded += cell.take();
             }
         }
-        if folded > 0 {
+        if folded > C::Value::ZERO {
             let newest = self.table(t - 1);
             // The newest table covers every live index, hence allowed_min.
             let kept = newest
@@ -261,9 +265,9 @@ impl AtomicDenseStore {
     /// exact consistency guarantee). Returns the summed count.
     pub fn snapshot_bins(
         &self,
-        out: &mut Vec<(i64, u64)>,
-        scratch: &mut AtomicSnapshotScratch,
-    ) -> u64 {
+        out: &mut Vec<(i64, C::Value)>,
+        scratch: &mut AtomicSnapshotScratch<C::Value>,
+    ) -> C::Value {
         loop {
             let e1 = self.epoch.load(Acquire);
             if e1 & 1 == 1 {
@@ -272,19 +276,19 @@ impl AtomicDenseStore {
             }
             let t = self.num_tables.load(Acquire);
             if t == 0 {
-                return 0;
+                return C::Value::ZERO;
             }
             let newest = self.table(t - 1);
             let base = newest.span_lo();
             let len = newest.cells().len();
             scratch.acc.clear();
-            scratch.acc.resize(len, 0);
+            scratch.acc.resize(len, C::Value::ZERO);
             for k in 0..t {
                 let table = self.table(k);
                 let off = (table.span_lo() - base) as usize;
                 for (i, cell) in table.cells().iter().enumerate() {
                     let c = Cell::get(cell);
-                    if c > 0 {
+                    if c > C::Value::ZERO {
                         scratch.acc[off + i] += c;
                     }
                 }
@@ -295,9 +299,9 @@ impl AtomicDenseStore {
             if self.epoch.load(Acquire) != e1 {
                 continue;
             }
-            let mut total = 0u64;
+            let mut total = C::Value::ZERO;
             for (i, &c) in scratch.acc.iter().enumerate() {
-                if c > 0 {
+                if c > C::Value::ZERO {
                     out.push((base + i as i64, c));
                     total += c;
                 }
@@ -311,13 +315,13 @@ impl AtomicDenseStore {
         let t = self.num_tables.load(Acquire);
         let mut bytes = std::mem::size_of::<Self>();
         for k in 0..t {
-            bytes += std::mem::size_of::<Table>() + std::mem::size_of_val(self.table(k).cells());
+            bytes += std::mem::size_of::<Table<C>>() + std::mem::size_of_val(self.table(k).cells());
         }
         bytes
     }
 }
 
-impl Drop for AtomicDenseStore {
+impl<C: SharedCell> Drop for AtomicDenseStore<C> {
     fn drop(&mut self) {
         let t = *self.num_tables.get_mut();
         for slot in &mut self.tables[..t] {
@@ -345,7 +349,7 @@ mod tests {
     #[test]
     fn sequential_adds_match_dense_store() {
         use crate::store::Store;
-        let atomic = AtomicDenseStore::new(None);
+        let atomic: AtomicDenseStore = AtomicDenseStore::new(None);
         let mut dense = crate::store::DenseStore::new();
         for i in [0i64, 5, 5, -100, 2000, 3, -100, 7, 2000] {
             atomic.add_n(i, 2);
@@ -361,7 +365,7 @@ mod tests {
 
     #[test]
     fn growth_chains_tables_without_losing_counts() {
-        let store = AtomicDenseStore::new(None);
+        let store: AtomicDenseStore = AtomicDenseStore::new(None);
         let mut expected_total = 0u64;
         // Monotone stream forces repeated growth.
         for i in 0..50_000i64 {
@@ -383,7 +387,7 @@ mod tests {
     #[test]
     fn bounded_store_folds_low_buckets() {
         let m = 64i64;
-        let store = AtomicDenseStore::new(Some(m as usize));
+        let store: AtomicDenseStore = AtomicDenseStore::new(Some(m as usize));
         // Slide the live window far past FOLD_FACTOR * m, then force the
         // deferred fold check (normally it piggybacks on the grow path).
         for i in 0..10_000i64 {
@@ -409,7 +413,7 @@ mod tests {
 
     #[test]
     fn concurrent_adds_sum_exactly() {
-        let store = AtomicDenseStore::new(None);
+        let store: AtomicDenseStore = AtomicDenseStore::new(None);
         let threads = 8;
         let per_thread = 20_000;
         std::thread::scope(|s| {
@@ -432,7 +436,7 @@ mod tests {
     #[test]
     fn concurrent_adds_with_folds_lose_nothing() {
         let m = 32usize;
-        let store = AtomicDenseStore::new(Some(m));
+        let store: AtomicDenseStore = AtomicDenseStore::new(Some(m));
         let threads = 4;
         let per_thread = 30_000u64;
         std::thread::scope(|s| {
@@ -467,8 +471,54 @@ mod tests {
     }
 
     #[test]
+    fn f64_plane_mirrors_integer_plane_on_integral_weights() {
+        use crate::store::{AtomicF64, Store};
+        let atomic: AtomicDenseStore<AtomicF64> = AtomicDenseStore::new(None);
+        let mut dense = crate::store::DenseStore::new();
+        for i in [0i64, 5, 5, -100, 2000, 3, -100, 7, 2000] {
+            atomic.add_n(i, 2.0);
+            dense.add_n(i as i32, 2);
+        }
+        // And a fractional weight on top.
+        atomic.add_n(5, 0.5);
+        let mut out = Vec::new();
+        let mut scratch = AtomicSnapshotScratch::default();
+        let total = atomic.snapshot_bins(&mut out, &mut scratch);
+        assert_eq!(total, dense.total_count() as f64 + 0.5);
+        let expected: Vec<(i64, f64)> = dense
+            .bins_ascending()
+            .into_iter()
+            .map(|(i, c)| (i as i64, c as f64 + if i == 5 { 0.5 } else { 0.0 }))
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn f64_plane_concurrent_adds_sum_exactly() {
+        use crate::store::AtomicF64;
+        let store: AtomicDenseStore<AtomicF64> = AtomicDenseStore::new(None);
+        let threads = 8;
+        let per_thread = 10_000;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // Powers of two: exact under any interleaving.
+                        store.add_n(((i * 7 + t * 13) % 1024) as i64 - 512, 0.25);
+                    }
+                });
+            }
+        });
+        let mut out = Vec::new();
+        let mut scratch = AtomicSnapshotScratch::default();
+        let total = store.snapshot_bins(&mut out, &mut scratch);
+        assert_eq!(total, (threads * per_thread) as f64 * 0.25);
+    }
+
+    #[test]
     fn empty_store_snapshot_is_empty() {
-        let store = AtomicDenseStore::new(Some(16));
+        let store: AtomicDenseStore = AtomicDenseStore::new(Some(16));
         assert!(bins(&store).is_empty());
         assert!(store.memory_bytes() >= std::mem::size_of::<AtomicDenseStore>());
     }

@@ -1,46 +1,66 @@
 //! Counter-cell abstraction for the dense stores.
 //!
 //! [`DenseStore`](super::DenseStore) and the collapsing dense stores are
-//! generic over the type that holds one bucket's count. Two instantiations
-//! exist today:
+//! generic over the type that holds one bucket's count. Four
+//! instantiations exist, the cross product of count domain ([`Count`]:
+//! `u64` or `f64`) and access mode (exclusive or shared):
 //!
 //! * `u64` — the plain single-writer counter every sequential sketch uses.
 //!   All [`Cell`] operations compile to ordinary integer arithmetic, so the
 //!   generic stores are bit-identical (and instruction-identical) to the
 //!   pre-generic code.
+//! * `f64` — the single-writer weighted counter: same geometry, fractional
+//!   multiplicities (pre-aggregated submissions, ingest-time decay).
 //! * [`AtomicU64`] — the shared-writer counter behind the lock-free ingest
 //!   plane ([`super::AtomicDenseStore`]). The exclusive-access [`Cell`]
 //!   operations use `get_mut`/`into_inner` (no atomic instructions), while
 //!   the [`SharedCell`] extension exposes the `&self` RMW operations
 //!   (`fetch_add`, `take`) that concurrent writers and folds need.
+//! * [`AtomicF64`] — the shared-writer weighted counter: an `AtomicU64`
+//!   holding `f64` bits, with `fetch_add` as a `to_bits`/`from_bits`
+//!   compare-exchange loop (contention is per *bucket*, so the loop almost
+//!   always succeeds first try).
 //!
-//! The same seam is what a weighted/`f64`-count store will plug into later:
-//! only the cell type changes, not the store geometry (growth, collapse,
-//! live-window tracking).
+//! Which count domain a cell carries is its [`Cell::Value`] associated
+//! type; the [`PlainCell`] marker identifies the cells that *are* their own
+//! value (`u64`, `f64`) — the ones the sequential `Store` implementations
+//! are generic over.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::count::Count;
 
 /// One bucket counter, accessed exclusively (`&mut self` writes).
 ///
 /// The trait deliberately mirrors what the dense-store geometry needs and
 /// nothing more: construct, read, accumulate, overwrite. Implementations
-/// must behave like a plain `u64` under exclusive access.
+/// must behave like a plain [`Cell::Value`] under exclusive access.
 pub trait Cell: Default + Sized {
+    /// The count domain this cell stores.
+    type Value: Count;
+
     /// A cell holding `value`.
-    fn new(value: u64) -> Self;
+    fn new(value: Self::Value) -> Self;
 
     /// The current count. For atomic cells this is a `Relaxed` load, so it
     /// is safe (but possibly momentarily stale) under concurrent writers.
-    fn get(&self) -> u64;
+    fn get(&self) -> Self::Value;
 
     /// Add `n` to the count (exclusive access).
-    fn add_assign(&mut self, n: u64);
+    fn add_assign(&mut self, n: Self::Value);
 
     /// Overwrite the count (exclusive access).
-    fn set(&mut self, value: u64);
+    fn set(&mut self, value: Self::Value);
 }
 
+/// Marker for cells that are their own count value (`u64`, `f64`): the
+/// single-writer cells the sequential `Store` implementations accept, so
+/// store arithmetic can treat bucket slots as plain numbers.
+pub trait PlainCell: Cell<Value = Self> + Count {}
+
 impl Cell for u64 {
+    type Value = u64;
+
     #[inline(always)]
     fn new(value: u64) -> Self {
         value
@@ -62,7 +82,37 @@ impl Cell for u64 {
     }
 }
 
+impl PlainCell for u64 {}
+
+impl Cell for f64 {
+    type Value = f64;
+
+    #[inline(always)]
+    fn new(value: f64) -> Self {
+        value
+    }
+
+    #[inline(always)]
+    fn get(&self) -> f64 {
+        *self
+    }
+
+    #[inline(always)]
+    fn add_assign(&mut self, n: f64) {
+        *self += n;
+    }
+
+    #[inline(always)]
+    fn set(&mut self, value: f64) {
+        *self = value;
+    }
+}
+
+impl PlainCell for f64 {}
+
 impl Cell for AtomicU64 {
+    type Value = u64;
+
     #[inline(always)]
     fn new(value: u64) -> Self {
         AtomicU64::new(value)
@@ -86,6 +136,40 @@ impl Cell for AtomicU64 {
     }
 }
 
+/// A shared-writer `f64` counter: `f64` bits in an `AtomicU64`.
+///
+/// Loads/stores transcode through `to_bits`/`from_bits` (free — same
+/// register width); the shared-reference add is a compare-exchange loop.
+/// Zero is all-bits-zero in both domains, so zero-initialized storage is
+/// an empty bucket exactly as it is for the integer cells.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl Cell for AtomicF64 {
+    type Value = f64;
+
+    #[inline(always)]
+    fn new(value: f64) -> Self {
+        AtomicF64(AtomicU64::new(value.to_bits()))
+    }
+
+    #[inline(always)]
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    #[inline(always)]
+    fn add_assign(&mut self, n: f64) {
+        let v = f64::from_bits(*self.0.get_mut());
+        *self.0.get_mut() = (v + n).to_bits();
+    }
+
+    #[inline(always)]
+    fn set(&mut self, value: f64) {
+        *self.0.get_mut() = value.to_bits();
+    }
+}
+
 /// A [`Cell`] that additionally supports shared-reference (`&self`)
 /// mutation, the requirement of the lock-free write plane.
 ///
@@ -98,13 +182,13 @@ impl Cell for AtomicU64 {
 /// an external barrier), which supplies the happens-before edge.
 pub trait SharedCell: Cell + Sync {
     /// Atomically add `n` through a shared reference.
-    fn fetch_add(&self, n: u64);
+    fn fetch_add(&self, n: Self::Value);
 
     /// Atomically take the count, leaving zero — the fold/restripe
     /// primitive: moving a count between cells is `take` + `fetch_add`, so
     /// a concurrent reader can miss a moving count only while the fold's
     /// seqlock epoch is odd (and then retries).
-    fn take(&self) -> u64;
+    fn take(&self) -> Self::Value;
 }
 
 impl SharedCell for AtomicU64 {
@@ -119,23 +203,57 @@ impl SharedCell for AtomicU64 {
     }
 }
 
+impl SharedCell for AtomicF64 {
+    #[inline]
+    fn fetch_add(&self, n: f64) {
+        // Per-bucket CAS loop: contention exists only between writers
+        // hitting the *same bucket* in the same instant, so the loop
+        // nearly always succeeds on the first iteration. `Relaxed` is
+        // sufficient for the same reason it is for the integer cell.
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + n).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn take(&self) -> f64 {
+        f64::from_bits(self.0.swap(0, Ordering::Relaxed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn exercise_cell<C: Cell>() {
-        let mut c = C::new(7);
-        assert_eq!(c.get(), 7);
-        c.add_assign(5);
-        assert_eq!(c.get(), 12);
-        c.set(3);
-        assert_eq!(c.get(), 3);
-        assert_eq!(C::default().get(), 0);
+        let mut c = C::new(C::Value::from_u64(7));
+        assert_eq!(c.get(), C::Value::from_u64(7));
+        c.add_assign(C::Value::from_u64(5));
+        assert_eq!(c.get(), C::Value::from_u64(12));
+        c.set(C::Value::from_u64(3));
+        assert_eq!(c.get(), C::Value::from_u64(3));
+        assert_eq!(C::default().get(), C::Value::ZERO);
     }
 
     #[test]
     fn u64_cell_behaves_like_u64() {
         exercise_cell::<u64>();
+    }
+
+    #[test]
+    fn f64_cell_behaves_like_f64() {
+        exercise_cell::<f64>();
+        let mut c = <f64 as Cell>::new(0.5);
+        Cell::add_assign(&mut c, 0.25);
+        assert_eq!(Cell::get(&c), 0.75);
     }
 
     #[test]
@@ -147,5 +265,33 @@ mod tests {
         assert_eq!(Cell::get(&c), 42);
         assert_eq!(c.take(), 42);
         assert_eq!(Cell::get(&c), 0);
+    }
+
+    #[test]
+    fn atomic_f64_cell_matches_f64_semantics() {
+        exercise_cell::<AtomicF64>();
+        let c = AtomicF64::new(0.0);
+        SharedCell::fetch_add(&c, 1.5);
+        SharedCell::fetch_add(&c, 0.25);
+        assert_eq!(Cell::get(&c), 1.75);
+        assert_eq!(SharedCell::take(&c), 1.75);
+        assert_eq!(Cell::get(&c), 0.0);
+    }
+
+    #[test]
+    fn atomic_f64_concurrent_adds_sum_exactly() {
+        // Powers of two so f64 addition is exact regardless of order.
+        let c = AtomicF64::new(0.0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        SharedCell::fetch_add(c, 0.25);
+                    }
+                });
+            }
+        });
+        assert_eq!(Cell::get(&c), 8.0 * 1000.0 * 0.25);
     }
 }

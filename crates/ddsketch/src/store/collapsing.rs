@@ -1,7 +1,8 @@
 //! Bounded-size contiguous stores (paper Algorithms 3 and 4, dense
 //! span-limited variant).
 
-use super::cell::Cell;
+use super::cell::{Cell, PlainCell};
+use super::count::Count;
 use super::dense::{round_up_chunk, CHUNK};
 use super::{BinIter, Store, StoreKind};
 
@@ -23,7 +24,7 @@ pub struct CollapsingLowestDenseStore<C: Cell = u64> {
     offset: i64,
     min_idx: i64,
     max_idx: i64,
-    total: u64,
+    total: C::Value,
     max_bins: i64,
     collapsed: bool,
 }
@@ -36,20 +37,32 @@ impl CollapsingLowestDenseStore {
     /// Panics if `max_bins == 0`; the sketch-level builder validates this
     /// before construction.
     pub fn new(max_bins: usize) -> Self {
+        Self::with_max_bins(max_bins)
+    }
+}
+
+impl<C: Cell> CollapsingLowestDenseStore<C> {
+    /// Create a store holding at most `max_bins` contiguous buckets, for
+    /// any cell type (use turbofish for non-default counts:
+    /// `CollapsingLowestDenseStore::<f64>::with_max_bins(m)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bins == 0`; the sketch-level builder validates this
+    /// before construction.
+    pub fn with_max_bins(max_bins: usize) -> Self {
         assert!(max_bins > 0, "max_bins must be positive");
         Self {
             counts: Vec::new(),
             offset: 0,
             min_idx: 0,
             max_idx: 0,
-            total: 0,
+            total: C::Value::ZERO,
             max_bins: max_bins as i64,
             collapsed: false,
         }
     }
-}
 
-impl<C: Cell> CollapsingLowestDenseStore<C> {
     /// The configured bucket-span limit.
     pub fn max_bins(&self) -> usize {
         self.max_bins as usize
@@ -81,7 +94,7 @@ impl<C: Cell> CollapsingLowestDenseStore<C> {
             self.counts = Self::zeroed(len);
             return;
         }
-        if self.total == 0 {
+        if self.total == C::Value::ZERO {
             // Allocated but logically empty: recentre the existing buffer.
             if !self.in_range(index) {
                 self.offset = index - (self.counts.len() as i64) / 2;
@@ -123,7 +136,7 @@ impl<C: Cell> CollapsingLowestDenseStore<C> {
     /// with a single reallocation.
     fn fit_range(&mut self, lo: i64, hi: i64) {
         debug_assert!(lo <= hi);
-        let (wlo, whi) = if self.total > 0 {
+        let (wlo, whi) = if self.total > C::Value::ZERO {
             (self.min_idx.min(lo), self.max_idx.max(hi))
         } else {
             (lo, hi)
@@ -134,7 +147,7 @@ impl<C: Cell> CollapsingLowestDenseStore<C> {
             "span {span} exceeds cap {}",
             self.max_bins
         );
-        if self.total == 0 {
+        if self.total == C::Value::ZERO {
             // Every counter is zero: resize if needed and re-anchor.
             let target = round_up_chunk(span)
                 .min(self.max_bins)
@@ -167,16 +180,19 @@ impl<C: Cell> CollapsingLowestDenseStore<C> {
     /// Fold every bucket below `new_min` into the bucket at `new_min`
     /// (Algorithm 3's collapse, applied in bulk).
     fn collapse_lowest_to(&mut self, new_min: i64) {
-        if self.total == 0 || new_min <= self.min_idx {
+        if self.total == C::Value::ZERO || new_min <= self.min_idx {
             return;
         }
-        let mut folded = 0u64;
+        let mut folded = C::Value::ZERO;
         let fold_end = new_min.min(self.max_idx + 1);
         for i in self.min_idx..fold_end {
             let pos = self.pos(i);
             folded += std::mem::take(&mut self.counts[pos]).get();
         }
-        debug_assert!(folded > 0, "min bucket was non-empty by invariant");
+        debug_assert!(
+            folded > C::Value::ZERO,
+            "min bucket was non-empty by invariant"
+        );
         self.collapsed = true;
         if new_min > self.max_idx {
             // Everything folded: every counter is now zero, so the buffer
@@ -184,7 +200,7 @@ impl<C: Cell> CollapsingLowestDenseStore<C> {
             self.min_idx = new_min;
             self.max_idx = new_min;
             if !self.in_range(new_min) {
-                debug_assert!(self.counts.iter().all(|c| c.get() == 0));
+                debug_assert!(self.counts.iter().all(|c| c.get() == C::Value::ZERO));
                 self.offset = new_min - (self.counts.len() as i64) / 2;
             }
         } else {
@@ -195,7 +211,7 @@ impl<C: Cell> CollapsingLowestDenseStore<C> {
     }
 }
 
-impl CollapsingLowestDenseStore {
+impl<C: PlainCell> CollapsingLowestDenseStore<C> {
     /// Shared bulk-insertion core: add `count(i)` occurrences for every
     /// index in the batch, collapsing/clamping against the **final** span
     /// exactly once.
@@ -204,11 +220,11 @@ impl CollapsingLowestDenseStore {
     /// that lowest kept index eventually (either clamped on arrival or
     /// folded when the maximum later grows), so processing the whole batch
     /// against the final window yields bit-identical bins.
-    fn bulk_add<I: Iterator<Item = (i32, u64)> + Clone>(&mut self, bins: I) {
+    fn bulk_add<I: Iterator<Item = (i32, C)> + Clone>(&mut self, bins: I) {
         let mut span: Option<(i64, i64)> = None;
-        let mut added = 0u64;
+        let mut added = C::ZERO;
         for (i, c) in bins.clone() {
-            if c > 0 {
+            if c > C::ZERO {
                 let i = i as i64;
                 span = Some(match span {
                     None => (i, i),
@@ -218,14 +234,14 @@ impl CollapsingLowestDenseStore {
             }
         }
         let Some((lo, hi)) = span else { return };
-        let new_max = if self.total == 0 {
+        let new_max = if self.total == C::ZERO {
             hi
         } else {
             self.max_idx.max(hi)
         };
         let allowed_min = new_max - self.max_bins + 1;
         // Fold our own low buckets first if the batch's maximum demands it.
-        if self.total > 0 && self.min_idx < allowed_min {
+        if self.total > C::ZERO && self.min_idx < allowed_min {
             self.collapse_lowest_to(allowed_min);
         }
         let eff_lo = lo.max(allowed_min);
@@ -233,7 +249,7 @@ impl CollapsingLowestDenseStore {
         let offset = self.offset;
         let mut clamped = false;
         for (i, c) in bins {
-            if c > 0 {
+            if c > C::ZERO {
                 let eff = (i as i64).max(allowed_min);
                 clamped |= eff != i as i64;
                 let pos = (eff - offset) as usize;
@@ -247,7 +263,7 @@ impl CollapsingLowestDenseStore {
         if clamped {
             self.collapsed = true;
         }
-        if self.total == 0 {
+        if self.total == C::ZERO {
             self.min_idx = eff_lo;
             self.max_idx = hi.max(eff_lo);
         } else {
@@ -259,24 +275,26 @@ impl CollapsingLowestDenseStore {
 
     /// The live slice covering `[min_idx, max_idx]`; valid when `total > 0`.
     #[inline]
-    fn live(&self) -> &[u64] {
+    fn live(&self) -> &[C] {
         let lo = self.pos(self.min_idx);
         let hi = self.pos(self.max_idx);
         &self.counts[lo..=hi]
     }
 }
 
-impl Store for CollapsingLowestDenseStore {
+impl<C: PlainCell> Store for CollapsingLowestDenseStore<C> {
+    type Count = C;
+
     fn store_kind(&self) -> StoreKind {
         StoreKind::CollapsingDense
     }
 
-    fn add_n(&mut self, index: i32, count: u64) {
-        if count == 0 {
+    fn add_n(&mut self, index: i32, count: C) {
+        if count <= C::ZERO {
             return;
         }
         let index = index as i64;
-        if self.total == 0 {
+        if self.total == C::ZERO {
             self.fit(index);
             let pos = self.pos(index);
             self.counts[pos] += count;
@@ -311,19 +329,22 @@ impl Store for CollapsingLowestDenseStore {
     }
 
     fn add_indices(&mut self, indices: &[i32]) {
-        self.bulk_add(indices.iter().map(|&i| (i, 1)));
+        self.bulk_add(indices.iter().map(|&i| (i, C::ONE)));
     }
 
-    fn add_bins(&mut self, bins: &[(i32, u64)]) {
+    fn add_bins(&mut self, bins: &[(i32, C)]) {
         self.bulk_add(bins.iter().copied());
     }
 
-    fn remove_n(&mut self, index: i32, count: u64) -> bool {
-        if count == 0 {
+    fn remove_n(&mut self, index: i32, count: C) -> bool {
+        if count <= C::ZERO {
             return true;
         }
         let index = index as i64;
-        if self.total == 0 || !self.in_range(index) || index < self.min_idx || index > self.max_idx
+        if self.total == C::ZERO
+            || !self.in_range(index)
+            || index < self.min_idx
+            || index > self.max_idx
         {
             return false;
         }
@@ -333,17 +354,17 @@ impl Store for CollapsingLowestDenseStore {
         }
         self.counts[pos] -= count;
         self.total -= count;
-        if self.total == 0 {
+        if self.total == C::ZERO {
             return true;
         }
-        if self.counts[pos] == 0 {
+        if self.counts[pos] == C::ZERO {
             if index == self.min_idx {
-                while self.counts[self.pos(self.min_idx)] == 0 {
+                while self.counts[self.pos(self.min_idx)] == C::ZERO {
                     self.min_idx += 1;
                 }
             }
             if index == self.max_idx {
-                while self.counts[self.pos(self.max_idx)] == 0 {
+                while self.counts[self.pos(self.max_idx)] == C::ZERO {
                     self.max_idx -= 1;
                 }
             }
@@ -351,21 +372,62 @@ impl Store for CollapsingLowestDenseStore {
         true
     }
 
+    fn remove_up_to(&mut self, index: i32, count: C) -> C {
+        if count <= C::ZERO || self.total == C::ZERO {
+            return C::ZERO;
+        }
+        let idx = index as i64;
+        if !self.in_range(idx) || idx < self.min_idx || idx > self.max_idx {
+            return C::ZERO;
+        }
+        let present = self.counts[self.pos(idx)];
+        let take = if count < present { count } else { present };
+        if take > C::ZERO && self.remove_n(index, take) {
+            take
+        } else {
+            C::ZERO
+        }
+    }
+
+    fn scale_counts(&mut self, factor: f64) {
+        if self.total == C::ZERO {
+            return;
+        }
+        let (lo, hi) = (self.pos(self.min_idx), self.pos(self.max_idx));
+        let mut total = C::ZERO;
+        for c in &mut self.counts[lo..=hi] {
+            let scaled = c.scale(factor);
+            *c = scaled;
+            total += scaled;
+        }
+        self.total = total;
+        if total == C::ZERO {
+            return;
+        }
+        // Rounding (u64 plane) may have emptied the extremes.
+        while self.counts[self.pos(self.min_idx)] == C::ZERO {
+            self.min_idx += 1;
+        }
+        while self.counts[self.pos(self.max_idx)] == C::ZERO {
+            self.max_idx -= 1;
+        }
+    }
+
     #[inline]
-    fn total_count(&self) -> u64 {
+    fn total_count(&self) -> C {
         self.total
     }
 
     fn min_index(&self) -> Option<i32> {
-        (self.total > 0).then_some(self.min_idx as i32)
+        (self.total > C::ZERO).then_some(self.min_idx as i32)
     }
 
     fn max_index(&self) -> Option<i32> {
-        (self.total > 0).then_some(self.max_idx as i32)
+        (self.total > C::ZERO).then_some(self.max_idx as i32)
     }
 
-    fn bin_iter(&self) -> BinIter<'_> {
-        if self.total == 0 {
+    fn bin_iter(&self) -> BinIter<'_, C> {
+        if self.total == C::ZERO {
             return BinIter::empty();
         }
         BinIter::Dense {
@@ -388,12 +450,12 @@ impl Store for CollapsingLowestDenseStore {
         let mut others_max: Option<i64> = None;
         for other in others {
             self.collapsed |= other.collapsed;
-            if other.total > 0 {
+            if other.total > C::ZERO {
                 others_max = Some(others_max.map_or(other.max_idx, |m| m.max(other.max_idx)));
             }
         }
         let Some(others_max) = others_max else { return };
-        let new_max = if self.total == 0 {
+        let new_max = if self.total == C::ZERO {
             others_max
         } else {
             self.max_idx.max(others_max)
@@ -401,25 +463,25 @@ impl Store for CollapsingLowestDenseStore {
         let allowed_min = new_max - self.max_bins + 1;
 
         // Fold our own low buckets once if the union span demands it.
-        if self.total > 0 && self.min_idx < allowed_min {
+        if self.total > C::ZERO && self.min_idx < allowed_min {
             self.collapse_lowest_to(allowed_min);
         }
 
         // One reallocation covering every source's effective window.
-        let mut lo = if self.total > 0 {
+        let mut lo = if self.total > C::ZERO {
             self.min_idx
         } else {
             i64::MAX
         };
         for other in others {
-            if other.total > 0 {
+            if other.total > C::ZERO {
                 lo = lo.min(other.min_idx.max(allowed_min));
             }
         }
         self.fit_range(lo, new_max);
 
         for other in others {
-            if other.total == 0 {
+            if other.total == C::ZERO {
                 continue;
             }
             let eff_other_min = other.min_idx.max(allowed_min);
@@ -433,12 +495,12 @@ impl Store for CollapsingLowestDenseStore {
                     .iter_mut()
                     .zip(&other.counts[src..src + len])
                 {
-                    *d += s;
+                    *d += *s;
                 }
             } else {
                 for i in other.min_idx..=other.max_idx {
                     let c = other.counts[other.pos(i)];
-                    if c > 0 {
+                    if c > C::ZERO {
                         let eff = i.max(allowed_min);
                         if eff != i {
                             self.collapsed = true;
@@ -448,7 +510,7 @@ impl Store for CollapsingLowestDenseStore {
                     }
                 }
             }
-            if self.total == 0 {
+            if self.total == C::ZERO {
                 self.min_idx = eff_other_min;
                 self.max_idx = other.max_idx.max(eff_other_min);
             } else {
@@ -474,8 +536,8 @@ impl Store for CollapsingLowestDenseStore {
     }
 
     fn clear(&mut self) {
-        self.counts.fill(0);
-        self.total = 0;
+        self.counts.fill(C::ZERO);
+        self.total = C::ZERO;
         self.collapsed = false;
     }
 
@@ -488,7 +550,7 @@ impl Store for CollapsingLowestDenseStore {
     }
 
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.counts.capacity() * std::mem::size_of::<u64>()
+        std::mem::size_of::<Self>() + self.counts.capacity() * std::mem::size_of::<C>()
     }
 }
 
@@ -504,8 +566,8 @@ impl Store for CollapsingLowestDenseStore {
 /// Implemented by delegating to a lowest-collapsing store over negated
 /// indices, which makes the two behaviours mirror images by construction.
 #[derive(Debug, Clone)]
-pub struct CollapsingHighestDenseStore {
-    inner: CollapsingLowestDenseStore,
+pub struct CollapsingHighestDenseStore<C: Cell = u64> {
+    inner: CollapsingLowestDenseStore<C>,
 }
 
 #[inline]
@@ -518,8 +580,16 @@ fn neg(index: i32) -> i32 {
 impl CollapsingHighestDenseStore {
     /// Create a store holding at most `max_bins` contiguous buckets.
     pub fn new(max_bins: usize) -> Self {
+        Self::with_max_bins(max_bins)
+    }
+}
+
+impl<C: Cell> CollapsingHighestDenseStore<C> {
+    /// Create a store holding at most `max_bins` contiguous buckets, for
+    /// any cell type.
+    pub fn with_max_bins(max_bins: usize) -> Self {
         Self {
-            inner: CollapsingLowestDenseStore::new(max_bins),
+            inner: CollapsingLowestDenseStore::with_max_bins(max_bins),
         }
     }
 
@@ -529,28 +599,39 @@ impl CollapsingHighestDenseStore {
     }
 }
 
-impl Store for CollapsingHighestDenseStore {
+impl<C: PlainCell> Store for CollapsingHighestDenseStore<C> {
+    type Count = C;
+
     fn store_kind(&self) -> StoreKind {
         StoreKind::CollapsingDense
     }
 
-    fn add_n(&mut self, index: i32, count: u64) {
+    fn add_n(&mut self, index: i32, count: C) {
         self.inner.add_n(neg(index), count);
     }
 
     fn add_indices(&mut self, indices: &[i32]) {
-        self.inner.bulk_add(indices.iter().map(|&i| (neg(i), 1)));
+        self.inner
+            .bulk_add(indices.iter().map(|&i| (neg(i), C::ONE)));
     }
 
-    fn add_bins(&mut self, bins: &[(i32, u64)]) {
+    fn add_bins(&mut self, bins: &[(i32, C)]) {
         self.inner.bulk_add(bins.iter().map(|&(i, c)| (neg(i), c)));
     }
 
-    fn remove_n(&mut self, index: i32, count: u64) -> bool {
+    fn remove_n(&mut self, index: i32, count: C) -> bool {
         self.inner.remove_n(neg(index), count)
     }
 
-    fn total_count(&self) -> u64 {
+    fn remove_up_to(&mut self, index: i32, count: C) -> C {
+        self.inner.remove_up_to(neg(index), count)
+    }
+
+    fn scale_counts(&mut self, factor: f64) {
+        self.inner.scale_counts(factor);
+    }
+
+    fn total_count(&self) -> C {
         self.inner.total_count()
     }
 
@@ -566,8 +647,8 @@ impl Store for CollapsingHighestDenseStore {
         self.inner.num_bins()
     }
 
-    fn bin_iter(&self) -> BinIter<'_> {
-        if self.inner.total == 0 {
+    fn bin_iter(&self) -> BinIter<'_, C> {
+        if self.inner.total == C::ZERO {
             return BinIter::empty();
         }
         // Ascending mirrored order: BinIter walks the inner (negated)
@@ -583,7 +664,7 @@ impl Store for CollapsingHighestDenseStore {
     }
 
     fn merge_many(&mut self, others: &[&Self]) {
-        let inners: Vec<&CollapsingLowestDenseStore> =
+        let inners: Vec<&CollapsingLowestDenseStore<C>> =
             others.iter().map(|other| &other.inner).collect();
         self.inner.merge_many(&inners);
     }
@@ -615,7 +696,7 @@ impl Store for CollapsingHighestDenseStore {
     }
 
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() - std::mem::size_of::<CollapsingLowestDenseStore>()
+        std::mem::size_of::<Self>() - std::mem::size_of::<CollapsingLowestDenseStore<C>>()
             + self.inner.memory_bytes()
     }
 }
@@ -635,6 +716,23 @@ mod tests {
     #[test]
     fn basic_suite_highest() {
         storetests::run_basic_suite(|| CollapsingHighestDenseStore::new(100_000));
+    }
+
+    #[test]
+    fn weighted_mirror_suites() {
+        let stream = [(5, 3u64), (6, 1), (7, 2), (20, 4), (-3, 1), (100, 2)];
+        for cap in [4usize, 16, 100_000] {
+            storetests::run_weighted_mirror_suite(
+                || CollapsingLowestDenseStore::new(cap),
+                || CollapsingLowestDenseStore::<f64>::with_max_bins(cap),
+                &stream,
+            );
+            storetests::run_weighted_mirror_suite(
+                || CollapsingHighestDenseStore::new(cap),
+                || CollapsingHighestDenseStore::<f64>::with_max_bins(cap),
+                &stream,
+            );
+        }
     }
 
     #[test]
@@ -864,7 +962,7 @@ mod tests {
             (i32::MIN, i32::MAX)
         );
         assert_eq!(
-            CollapsingLowestDenseStore::merge_clamp(&[]),
+            CollapsingLowestDenseStore::<u64>::merge_clamp(&[]),
             (i32::MIN, i32::MAX)
         );
     }

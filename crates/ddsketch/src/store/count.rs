@@ -1,0 +1,219 @@
+//! The count domain of a store: [`Count`], implemented for `u64` and
+//! `f64`.
+//!
+//! The paper defines sketches over integer multiplicities, but weighted
+//! ingestion — pre-aggregated client submissions, rate-scaled samples,
+//! ingest-time decay, sketch subtraction — needs counts that are not
+//! `u64`. This trait is the single seam those features thread through:
+//! every store family is parameterized over its count type the same way
+//! dense storage is parameterized over a [`super::Cell`], and the sketch,
+//! codec, and pipeline layers follow the store's `Count` associated type.
+//!
+//! The `u64` implementation is the paper's integer plane and compiles to
+//! exactly the arithmetic the stores used before the abstraction existed
+//! (the unweighted path is property-tested to stay bit-identical). The
+//! `f64` plane carries fractional weights; its validity rules (finite,
+//! non-negative) are enforced at the sketch layer's ingestion boundary so
+//! store internals can assume well-formed counts.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A bucket-count domain: the closed additive arithmetic a store performs
+/// on its per-bucket multiplicities.
+///
+/// Implementations must behave like a totally-ordered additive monoid on
+/// their *valid* range (`u64` everywhere, `f64` on finite non-negative
+/// values): `ZERO` is the additive identity and valid counts are closed
+/// under addition up to overflow, which [`Count::checked_add`] reports.
+pub trait Count:
+    Copy
+    + Debug
+    + Default
+    + PartialOrd
+    + PartialEq
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + SubAssign
+{
+    /// The additive identity (an empty bucket).
+    const ZERO: Self;
+    /// The multiplicity of one unweighted insertion.
+    const ONE: Self;
+
+    /// Convert an integer multiplicity into this domain. Exact for `u64`;
+    /// exact for `f64` up to 2^53 (rounded to the nearest representable
+    /// value beyond, like any u64→f64 conversion).
+    fn from_u64(n: u64) -> Self;
+
+    /// The count as an `f64`, the shared currency of rank walks and
+    /// summary statistics. For `u64` this is the plain `as f64`
+    /// conversion the integer plane has always used in `key_at_rank`.
+    fn to_f64(self) -> f64;
+
+    /// Whether `self` is a well-formed count: always for `u64`; finite
+    /// and non-negative for `f64` (NaN, ±∞, and negative totals are
+    /// rejected at the ingestion boundary).
+    fn is_valid(self) -> bool;
+
+    /// `self + other`, or `None` on overflow (`u64` wraparound, `f64`
+    /// overflow to +∞).
+    fn checked_add(self, other: Self) -> Option<Self>;
+
+    /// `max(self - other, ZERO)` — the floor-at-zero subtraction behind
+    /// sketch subtraction, where removing more than a bucket holds must
+    /// clamp rather than underflow.
+    fn sub_clamped(self, other: Self) -> Self;
+
+    /// Scale by a non-negative finite factor — the ingest-time decay
+    /// primitive. `f64` multiplies exactly; `u64` rounds to the nearest
+    /// integer (so repeated integer decay loses sub-unit residue, which
+    /// is why decayed windows run on the `f64` plane).
+    fn scale(self, factor: f64) -> Self;
+
+    /// The count as an exact `u64`, when it is one: `Some` for every
+    /// `u64`, and for `f64` values that are integral, non-negative, and
+    /// at most 2^53 (the contiguous integer range). This is the codec's
+    /// integral fast path test.
+    fn to_u64_exact(self) -> Option<u64>;
+}
+
+impl Count for u64 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+
+    #[inline(always)]
+    fn from_u64(n: u64) -> Self {
+        n
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline(always)]
+    fn is_valid(self) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn checked_add(self, other: Self) -> Option<Self> {
+        u64::checked_add(self, other)
+    }
+
+    #[inline(always)]
+    fn sub_clamped(self, other: Self) -> Self {
+        self.saturating_sub(other)
+    }
+
+    #[inline(always)]
+    fn scale(self, factor: f64) -> Self {
+        (self as f64 * factor).round() as u64
+    }
+
+    #[inline(always)]
+    fn to_u64_exact(self) -> Option<u64> {
+        Some(self)
+    }
+}
+
+/// Largest `f64` whose integer neighborhood is exactly representable
+/// (2^53): the bound of the codec's integral fast path.
+const F64_EXACT_INT_MAX: f64 = 9_007_199_254_740_992.0;
+
+impl Count for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline(always)]
+    fn from_u64(n: u64) -> Self {
+        n as f64
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn is_valid(self) -> bool {
+        self.is_finite() && self >= 0.0
+    }
+
+    #[inline(always)]
+    fn checked_add(self, other: Self) -> Option<Self> {
+        let sum = self + other;
+        sum.is_finite().then_some(sum)
+    }
+
+    #[inline(always)]
+    fn sub_clamped(self, other: Self) -> Self {
+        (self - other).max(0.0)
+    }
+
+    #[inline(always)]
+    fn scale(self, factor: f64) -> Self {
+        self * factor
+    }
+
+    #[inline(always)]
+    fn to_u64_exact(self) -> Option<u64> {
+        ((0.0..=F64_EXACT_INT_MAX).contains(&self) && self.fract() == 0.0).then_some(self as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_plane_is_plain_integer_arithmetic() {
+        assert_eq!(u64::ZERO, 0);
+        assert_eq!(u64::ONE, 1);
+        assert_eq!(u64::from_u64(17), 17);
+        assert_eq!(17u64.to_f64(), 17.0);
+        assert!(17u64.is_valid());
+        assert_eq!(3u64.checked_add(4), Some(7));
+        assert_eq!(u64::MAX.checked_add(1), None);
+        assert_eq!(3u64.sub_clamped(5), 0);
+        assert_eq!(5u64.sub_clamped(3), 2);
+        assert_eq!(10u64.scale(0.25), 3, "u64 decay rounds to nearest");
+        assert_eq!(17u64.to_u64_exact(), Some(17));
+    }
+
+    #[test]
+    fn f64_validity_rejects_hostile_counts() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, -1e-300] {
+            assert!(!bad.is_valid(), "{bad} must be invalid");
+        }
+        for good in [0.0, 1e-300, 0.5, 1.0, 1e18] {
+            assert!(good.is_valid(), "{good} must be valid");
+        }
+    }
+
+    #[test]
+    fn f64_integral_fast_path_bounds() {
+        assert_eq!(1.0f64.to_u64_exact(), Some(1));
+        assert_eq!(0.0f64.to_u64_exact(), Some(0));
+        assert_eq!(F64_EXACT_INT_MAX.to_u64_exact(), Some(1u64 << 53));
+        assert_eq!(0.5f64.to_u64_exact(), None);
+        assert_eq!((-1.0f64).to_u64_exact(), None);
+        assert_eq!((F64_EXACT_INT_MAX * 4.0).to_u64_exact(), None);
+        assert_eq!(f64::NAN.to_u64_exact(), None);
+        assert_eq!(f64::INFINITY.to_u64_exact(), None);
+    }
+
+    #[test]
+    fn f64_clamped_and_checked_ops() {
+        assert_eq!(1.5f64.sub_clamped(2.0), 0.0);
+        assert_eq!(2.0f64.sub_clamped(0.5), 1.5);
+        assert_eq!(1.5f64.checked_add(2.5), Some(4.0));
+        assert_eq!(f64::MAX.checked_add(f64::MAX), None);
+        assert_eq!(8.0f64.scale(0.25), 2.0);
+    }
+}

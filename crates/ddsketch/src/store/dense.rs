@@ -1,6 +1,7 @@
 //! Unbounded contiguous store, generic over the counter [`Cell`] type.
 
-use super::cell::Cell;
+use super::cell::{Cell, PlainCell};
+use super::count::Count;
 use super::{BinIter, Store, StoreKind};
 
 /// Growth granularity: reallocations are rounded to multiples of this many
@@ -24,10 +25,12 @@ pub(crate) fn round_up_chunk(v: i64) -> i64 {
 /// [`super::CollapsingLowestDenseStore`] when a size cap is needed.
 ///
 /// The counter type is pluggable: `DenseStore` (= `DenseStore<u64>`) is
-/// the plain sequential store and the only instantiation implementing
-/// [`Store`]; `DenseStore<AtomicU64>` is the shared counter table the
-/// lock-free [`super::AtomicDenseStore`] chains together. Geometry (growth,
-/// offsets, live-window tracking) is shared; only the cell type changes.
+/// the plain sequential integer store, `DenseStore<f64>` is its weighted
+/// mirror (every [`PlainCell`] instantiation implements [`Store`] over the
+/// matching count domain), and `DenseStore<AtomicU64>` is the shared
+/// counter table the lock-free [`super::AtomicDenseStore`] chains
+/// together. Geometry (growth, offsets, live-window tracking) is shared;
+/// only the cell type changes.
 #[derive(Debug, Clone, Default)]
 pub struct DenseStore<C: Cell = u64> {
     counts: Vec<C>,
@@ -37,7 +40,7 @@ pub struct DenseStore<C: Cell = u64> {
     /// Valid only when `total > 0`.
     min_idx: i64,
     max_idx: i64,
-    total: u64,
+    total: C::Value,
 }
 
 impl DenseStore {
@@ -168,7 +171,7 @@ impl<C: Cell> DenseStore<C> {
         let first = self
             .live()
             .iter()
-            .position(|c| c.get() > 0)
+            .position(|c| c.get() > C::Value::ZERO)
             .expect("total > 0 implies a non-empty bucket");
         self.min_idx += first as i64;
     }
@@ -177,19 +180,21 @@ impl<C: Cell> DenseStore<C> {
         let last = self
             .live()
             .iter()
-            .rposition(|c| c.get() > 0)
+            .rposition(|c| c.get() > C::Value::ZERO)
             .expect("total > 0 implies a non-empty bucket");
         self.max_idx = self.min_idx + last as i64;
     }
 }
 
-impl Store for DenseStore {
+impl<C: PlainCell> Store for DenseStore<C> {
+    type Count = C;
+
     fn store_kind(&self) -> StoreKind {
         StoreKind::Unbounded
     }
 
-    fn add_n(&mut self, index: i32, count: u64) {
-        if count == 0 {
+    fn add_n(&mut self, index: i32, count: C) {
+        if count <= C::ZERO {
             return;
         }
         let index = index as i64;
@@ -198,7 +203,7 @@ impl Store for DenseStore {
         }
         let pos = self.pos(index);
         self.counts[pos] += count;
-        if self.total == 0 {
+        if self.total == C::ZERO {
             self.min_idx = index;
             self.max_idx = index;
         } else {
@@ -227,24 +232,24 @@ impl Store for DenseStore {
             // SAFETY: `grow_range(lo, hi)` covers every index in the batch,
             // and `lo <= i <= hi` by the min/max scan above.
             unsafe {
-                *self.counts.get_unchecked_mut(pos) += 1;
+                *self.counts.get_unchecked_mut(pos) += C::ONE;
             }
         }
-        if self.total == 0 {
+        if self.total == C::ZERO {
             self.min_idx = lo;
             self.max_idx = hi;
         } else {
             self.min_idx = self.min_idx.min(lo);
             self.max_idx = self.max_idx.max(hi);
         }
-        self.total += indices.len() as u64;
+        self.total += C::from_u64(indices.len() as u64);
     }
 
-    fn add_bins(&mut self, bins: &[(i32, u64)]) {
+    fn add_bins(&mut self, bins: &[(i32, C)]) {
         let mut span: Option<(i64, i64)> = None;
-        let mut added = 0u64;
+        let mut added = C::ZERO;
         for &(i, c) in bins {
-            if c > 0 {
+            if c > C::ZERO {
                 let i = i as i64;
                 span = Some(match span {
                     None => (i, i),
@@ -258,12 +263,12 @@ impl Store for DenseStore {
             self.grow_range(lo, hi);
         }
         for &(i, c) in bins {
-            if c > 0 {
+            if c > C::ZERO {
                 let pos = self.pos(i as i64);
                 self.counts[pos] += c;
             }
         }
-        if self.total == 0 {
+        if self.total == C::ZERO {
             self.min_idx = lo;
             self.max_idx = hi;
         } else {
@@ -273,12 +278,12 @@ impl Store for DenseStore {
         self.total += added;
     }
 
-    fn remove_n(&mut self, index: i32, count: u64) -> bool {
-        if count == 0 {
+    fn remove_n(&mut self, index: i32, count: C) -> bool {
+        if count <= C::ZERO {
             return true;
         }
         let index = index as i64;
-        if self.total == 0 || !self.in_range(index) {
+        if self.total == C::ZERO || !self.in_range(index) {
             return false;
         }
         let pos = self.pos(index);
@@ -287,10 +292,10 @@ impl Store for DenseStore {
         }
         self.counts[pos] -= count;
         self.total -= count;
-        if self.total == 0 {
+        if self.total == C::ZERO {
             return true;
         }
-        if self.counts[pos] == 0 {
+        if self.counts[pos] == C::ZERO {
             if index == self.min_idx {
                 self.rescan_min();
             }
@@ -301,21 +306,58 @@ impl Store for DenseStore {
         true
     }
 
+    fn remove_up_to(&mut self, index: i32, count: C) -> C {
+        if count <= C::ZERO || self.total == C::ZERO {
+            return C::ZERO;
+        }
+        let idx = index as i64;
+        if !self.in_range(idx) {
+            return C::ZERO;
+        }
+        let present = self.counts[self.pos(idx)];
+        let take = if count < present { count } else { present };
+        if take > C::ZERO && self.remove_n(index, take) {
+            take
+        } else {
+            C::ZERO
+        }
+    }
+
+    fn scale_counts(&mut self, factor: f64) {
+        if self.total == C::ZERO {
+            return;
+        }
+        let (lo, hi) = (self.pos(self.min_idx), self.pos(self.max_idx));
+        let mut total = C::ZERO;
+        for c in &mut self.counts[lo..=hi] {
+            let scaled = c.get().scale(factor);
+            c.set(scaled);
+            total += scaled;
+        }
+        self.total = total;
+        if total == C::ZERO {
+            return;
+        }
+        // Rounding (u64 plane) may have emptied the extremes.
+        self.rescan_min();
+        self.rescan_max();
+    }
+
     #[inline]
-    fn total_count(&self) -> u64 {
+    fn total_count(&self) -> C {
         self.total
     }
 
     fn min_index(&self) -> Option<i32> {
-        (self.total > 0).then_some(self.min_idx as i32)
+        (self.total > C::ZERO).then_some(self.min_idx as i32)
     }
 
     fn max_index(&self) -> Option<i32> {
-        (self.total > 0).then_some(self.max_idx as i32)
+        (self.total > C::ZERO).then_some(self.max_idx as i32)
     }
 
-    fn bin_iter(&self) -> BinIter<'_> {
-        if self.total == 0 {
+    fn bin_iter(&self) -> BinIter<'_, C> {
+        if self.total == C::ZERO {
             return BinIter::empty();
         }
         BinIter::Dense {
@@ -334,7 +376,7 @@ impl Store for DenseStore {
         // grows), then add each window as plain slices — vectorizable.
         let mut span: Option<(i64, i64)> = None;
         for other in others {
-            if other.total > 0 {
+            if other.total > C::ZERO {
                 span = Some(match span {
                     None => (other.min_idx, other.max_idx),
                     Some((lo, hi)) => (lo.min(other.min_idx), hi.max(other.max_idx)),
@@ -346,15 +388,15 @@ impl Store for DenseStore {
             self.grow_range(lo, hi);
         }
         for other in others {
-            if other.total == 0 {
+            if other.total == C::ZERO {
                 continue;
             }
             let dst = self.pos(other.min_idx);
             let len = (other.max_idx - other.min_idx + 1) as usize;
             for (d, s) in self.counts[dst..dst + len].iter_mut().zip(other.live()) {
-                *d += s;
+                *d += *s;
             }
-            if self.total == 0 {
+            if self.total == C::ZERO {
                 self.min_idx = other.min_idx;
                 self.max_idx = other.max_idx;
             } else {
@@ -366,12 +408,12 @@ impl Store for DenseStore {
     }
 
     fn clear(&mut self) {
-        self.counts.fill(0);
-        self.total = 0;
+        self.counts.fill(C::ZERO);
+        self.total = C::ZERO;
     }
 
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.counts.capacity() * std::mem::size_of::<u64>()
+        std::mem::size_of::<Self>() + self.counts.capacity() * std::mem::size_of::<C>()
     }
 }
 
@@ -406,6 +448,15 @@ mod tests {
             DenseStore::new,
             &[7, -7],
             &[&[0, 5, 5], &[], &[-100, 2000], &[3, 3, 3]],
+        );
+    }
+
+    #[test]
+    fn weighted_mirror_suite() {
+        storetests::run_weighted_mirror_suite(
+            DenseStore::<u64>::default,
+            DenseStore::<f64>::default,
+            &[(0, 3), (5, 1), (-100, 7), (2000, 2), (5, 4)],
         );
     }
 

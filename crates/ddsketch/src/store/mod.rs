@@ -23,12 +23,14 @@
 mod atomic;
 mod cell;
 mod collapsing;
+mod count;
 mod dense;
 mod sparse;
 
 pub use atomic::{AtomicDenseStore, AtomicSnapshotScratch};
-pub use cell::{Cell, SharedCell};
+pub use cell::{AtomicF64, Cell, PlainCell, SharedCell};
 pub use collapsing::{CollapsingHighestDenseStore, CollapsingLowestDenseStore};
+pub use count::Count;
 pub use dense::DenseStore;
 pub use sparse::{CollapsingSparseStore, SparseStore};
 
@@ -98,12 +100,15 @@ impl StoreKind {
 /// store hands out the mirrored view of its negated inner slice, and the
 /// sparse stores hand out their B-tree range. The iterator is double-ended,
 /// so the negative-value quantile walk (largest `|x|` first) is `.rev()`.
+///
+/// The count parameter `C` follows the store's [`Store::Count`]; it
+/// defaults to `u64` so the integer plane's signatures read as before.
 #[derive(Debug, Clone)]
-pub enum BinIter<'a> {
+pub enum BinIter<'a, C: Count = u64> {
     /// Dense counters: entry `k` holds the count of bucket `first + k`.
     Dense {
         /// The store's live counter window (may contain zero entries).
-        counts: &'a [u64],
+        counts: &'a [C],
         /// Bucket index of `counts[0]` (i64: index arithmetic near the
         /// i32 extremes must not overflow).
         first: i64,
@@ -113,15 +118,15 @@ pub enum BinIter<'a> {
     /// `-(first + k)`, so ascending output order walks the slice backward.
     DenseNeg {
         /// The inner store's live counter window.
-        counts: &'a [u64],
+        counts: &'a [C],
         /// *Inner* bucket index of `counts[0]`.
         first: i64,
     },
     /// Ordered-map bins (sparse stores).
-    Sparse(std::collections::btree_map::Iter<'a, i32, u64>),
+    Sparse(std::collections::btree_map::Iter<'a, i32, C>),
 }
 
-impl BinIter<'_> {
+impl<C: Count> BinIter<'_, C> {
     /// An iterator over no bins.
     pub fn empty() -> Self {
         BinIter::Dense {
@@ -131,17 +136,17 @@ impl BinIter<'_> {
     }
 }
 
-impl Iterator for BinIter<'_> {
-    type Item = (i32, u64);
+impl<C: Count> Iterator for BinIter<'_, C> {
+    type Item = (i32, C);
 
-    fn next(&mut self) -> Option<(i32, u64)> {
+    fn next(&mut self) -> Option<(i32, C)> {
         match self {
             BinIter::Dense { counts, first } => {
                 while let Some((&c, rest)) = counts.split_first() {
                     let idx = *first;
                     *counts = rest;
                     *first += 1;
-                    if c > 0 {
+                    if c > C::ZERO {
                         return Some((idx as i32, c));
                     }
                 }
@@ -152,7 +157,7 @@ impl Iterator for BinIter<'_> {
                 while let Some((&c, rest)) = counts.split_last() {
                     let idx = *first + rest.len() as i64;
                     *counts = rest;
-                    if c > 0 {
+                    if c > C::ZERO {
                         return Some(((-idx) as i32, c));
                     }
                 }
@@ -163,14 +168,14 @@ impl Iterator for BinIter<'_> {
     }
 }
 
-impl DoubleEndedIterator for BinIter<'_> {
-    fn next_back(&mut self) -> Option<(i32, u64)> {
+impl<C: Count> DoubleEndedIterator for BinIter<'_, C> {
+    fn next_back(&mut self) -> Option<(i32, C)> {
         match self {
             BinIter::Dense { counts, first } => {
                 while let Some((&c, rest)) = counts.split_last() {
                     let idx = *first + rest.len() as i64;
                     *counts = rest;
-                    if c > 0 {
+                    if c > C::ZERO {
                         return Some((idx as i32, c));
                     }
                 }
@@ -182,7 +187,7 @@ impl DoubleEndedIterator for BinIter<'_> {
                     let idx = *first;
                     *counts = rest;
                     *first += 1;
-                    if c > 0 {
+                    if c > C::ZERO {
                         return Some(((-idx) as i32, c));
                     }
                 }
@@ -193,19 +198,27 @@ impl DoubleEndedIterator for BinIter<'_> {
     }
 }
 
-/// A multiset of integer bucket indices with u64 multiplicities.
+/// A multiset of integer bucket indices with [`Store::Count`]
+/// multiplicities (`u64` on the paper's integer plane, `f64` on the
+/// weighted plane).
 pub trait Store: Clone + std::fmt::Debug {
+    /// The count domain of this store's buckets. Callers at the ingestion
+    /// boundary are responsible for rejecting invalid counts
+    /// ([`Count::is_valid`] — e.g. negative or non-finite `f64` totals);
+    /// store internals assume well-formed counts.
+    type Count: Count;
+
     /// The store family this implementation belongs to (used by the
     /// self-describing codec and [`crate::SketchConfig`] reconstruction).
     fn store_kind(&self) -> StoreKind;
 
     /// Add `count` occurrences of bucket `index`.
-    fn add_n(&mut self, index: i32, count: u64);
+    fn add_n(&mut self, index: i32, count: Self::Count);
 
     /// Add a single occurrence of bucket `index`.
     #[inline]
     fn add(&mut self, index: i32) {
-        self.add_n(index, 1);
+        self.add_n(index, Self::Count::ONE);
     }
 
     /// Add one occurrence of every bucket index in `indices`.
@@ -225,7 +238,7 @@ pub trait Store: Clone + std::fmt::Debug {
     /// Equivalent to calling [`Store::add_n`] on each pair in order.
     /// Bulk-capable stores override this to pre-size for the batch's whole
     /// index span (used by merges and codec loads).
-    fn add_bins(&mut self, bins: &[(i32, u64)]) {
+    fn add_bins(&mut self, bins: &[(i32, Self::Count)]) {
         for &(index, count) in bins {
             self.add_n(index, count);
         }
@@ -233,14 +246,43 @@ pub trait Store: Clone + std::fmt::Debug {
 
     /// Remove `count` occurrences of bucket `index`. Returns `false`
     /// (leaving the store unchanged) if the bucket holds fewer than `count`.
-    fn remove_n(&mut self, index: i32, count: u64) -> bool;
+    fn remove_n(&mut self, index: i32, count: Self::Count) -> bool;
+
+    /// Remove up to `count` occurrences of bucket `index`, clamping at the
+    /// bucket's floor: removes `min(count, present)` and returns the
+    /// amount actually removed. This is the store-level primitive of
+    /// sketch subtraction, where an over-subtracted bucket clamps to empty
+    /// instead of underflowing.
+    fn remove_up_to(&mut self, index: i32, count: Self::Count) -> Self::Count {
+        if count <= Self::Count::ZERO {
+            return Self::Count::ZERO;
+        }
+        let present = self
+            .bin_iter()
+            .find(|&(i, _)| i == index)
+            .map(|(_, c)| c)
+            .unwrap_or(Self::Count::ZERO);
+        let take = if count < present { count } else { present };
+        if take > Self::Count::ZERO && self.remove_n(index, take) {
+            take
+        } else {
+            Self::Count::ZERO
+        }
+    }
+
+    /// Scale every bucket count by a non-negative finite `factor` — the
+    /// ingest-time decay primitive ([`Count::scale`]). On the `u64` plane
+    /// counts round to the nearest integer (buckets may round to empty);
+    /// on the `f64` plane the scaling is exact. The total is recomputed
+    /// from the surviving buckets.
+    fn scale_counts(&mut self, factor: f64);
 
     /// Total number of stored occurrences.
-    fn total_count(&self) -> u64;
+    fn total_count(&self) -> Self::Count;
 
     /// Whether the store holds no occurrences.
     fn is_empty(&self) -> bool {
-        self.total_count() == 0
+        self.total_count() == Self::Count::ZERO
     }
 
     /// Smallest non-empty bucket index.
@@ -252,7 +294,7 @@ pub trait Store: Clone + std::fmt::Debug {
     /// Borrowed iterator over the non-empty `(index, count)` bins in
     /// ascending index order. Allocation-free; the k-way merge plane is
     /// built on these.
-    fn bin_iter(&self) -> BinIter<'_>;
+    fn bin_iter(&self) -> BinIter<'_, Self::Count>;
 
     /// Number of non-empty buckets ("bins" in the paper's Figure 7).
     fn num_bins(&self) -> usize {
@@ -262,7 +304,7 @@ pub trait Store: Clone + std::fmt::Debug {
     /// Non-empty `(index, count)` pairs in ascending index order.
     ///
     /// Allocates the result; prefer [`Store::bin_iter`] on hot paths.
-    fn bins_ascending(&self) -> Vec<(i32, u64)> {
+    fn bins_ascending(&self) -> Vec<(i32, Self::Count)> {
         self.bin_iter().collect()
     }
 
@@ -270,12 +312,12 @@ pub trait Store: Clone + std::fmt::Debug {
     /// count (ascending) exceeds `rank`. Falls back to the maximal index
     /// when floating-point rounding pushes `rank` past the total.
     fn key_at_rank(&self, rank: f64) -> Option<i32> {
-        let mut cum = 0u64;
+        let mut cum = Self::Count::ZERO;
         let mut last = None;
         for (idx, count) in self.bin_iter() {
             cum += count;
             last = Some(idx);
-            if cum as f64 > rank {
+            if cum.to_f64() > rank {
                 return Some(idx);
             }
         }
@@ -285,12 +327,12 @@ pub trait Store: Clone + std::fmt::Debug {
     /// Mirror walk from the largest index downward, used by the
     /// negative-value store (most negative value = largest |x| index).
     fn key_at_rank_descending(&self, rank: f64) -> Option<i32> {
-        let mut cum = 0u64;
+        let mut cum = Self::Count::ZERO;
         let mut last = None;
         for (idx, count) in self.bin_iter().rev() {
             cum += count;
             last = Some(idx);
-            if cum as f64 > rank {
+            if cum.to_f64() > rank {
                 return Some(idx);
             }
         }
@@ -376,7 +418,7 @@ pub(crate) mod storetests {
 
     /// Basic single-bucket and multi-bucket behaviour every store must have
     /// (run only within each store's non-collapsing regime).
-    pub(crate) fn run_basic_suite<S: Store>(mut fresh: impl FnMut() -> S) {
+    pub(crate) fn run_basic_suite<S: Store<Count = u64>>(mut fresh: impl FnMut() -> S) {
         // Empty store.
         let s = fresh();
         assert!(s.is_empty());
@@ -471,7 +513,10 @@ pub(crate) mod storetests {
     /// Bulk insertion must equal scalar insertion, bucket-for-bucket —
     /// including in collapsing regimes, where both paths must agree on the
     /// folded layout and the `has_collapsed` flag.
-    pub(crate) fn run_bulk_equivalence<S: Store>(mut fresh: impl FnMut() -> S, stream: &[i32]) {
+    pub(crate) fn run_bulk_equivalence<S: Store<Count = u64>>(
+        mut fresh: impl FnMut() -> S,
+        stream: &[i32],
+    ) {
         for split in [0, stream.len() / 3, stream.len()] {
             let (warm, batch) = stream.split_at(split);
             let mut scalar = fresh();
@@ -522,7 +567,10 @@ pub(crate) mod storetests {
 
     /// `bin_iter` must agree with `bins_ascending` in both directions and
     /// never report empty bins.
-    pub(crate) fn run_bin_iter_suite<S: Store>(mut fresh: impl FnMut() -> S, stream: &[i32]) {
+    pub(crate) fn run_bin_iter_suite<S: Store<Count = u64>>(
+        mut fresh: impl FnMut() -> S,
+        stream: &[i32],
+    ) {
         let empty = fresh();
         assert_eq!(empty.bin_iter().count(), 0);
         assert_eq!(empty.bin_iter().rev().count(), 0);
@@ -558,7 +606,7 @@ pub(crate) mod storetests {
     /// `merge_many` must equal folding `merge_from` in order — bins,
     /// totals, extremes, and the collapse flag — from both an empty and a
     /// warm target.
-    pub(crate) fn run_merge_many_equivalence<S: Store>(
+    pub(crate) fn run_merge_many_equivalence<S: Store<Count = u64>>(
         mut fresh: impl FnMut() -> S,
         warm: &[i32],
         streams: &[&[i32]],
@@ -599,7 +647,7 @@ pub(crate) mod storetests {
     }
 
     /// Merging must equal inserting the union, bucket-for-bucket.
-    pub(crate) fn run_merge_equivalence<S: Store>(
+    pub(crate) fn run_merge_equivalence<S: Store<Count = u64>>(
         mut fresh: impl FnMut() -> S,
         stream_a: &[i32],
         stream_b: &[i32],
@@ -622,5 +670,89 @@ pub(crate) mod storetests {
             "merge(A, B) must equal sketch(A ∪ B) exactly"
         );
         assert_eq!(sa.total_count(), su.total_count());
+    }
+
+    /// The weighted count plane must mirror the integer plane exactly on
+    /// integer weights: an `f64`-count store fed `add_n(i, k as f64)`
+    /// produces bit-identical bins, totals, rank walks, and merges to the
+    /// `u64` store fed `add_n(i, k)` (integer-valued `f64` arithmetic is
+    /// exact below 2^53).
+    pub(crate) fn run_weighted_mirror_suite<SU, SF>(
+        mut fresh_u: impl FnMut() -> SU,
+        mut fresh_f: impl FnMut() -> SF,
+        stream: &[(i32, u64)],
+    ) where
+        SU: Store<Count = u64>,
+        SF: Store<Count = f64>,
+    {
+        let mut su = fresh_u();
+        let mut sf = fresh_f();
+        for &(i, k) in stream {
+            su.add_n(i, k);
+            sf.add_n(i, k as f64);
+        }
+        let ubins = su.bins_ascending();
+        let fbins = sf.bins_ascending();
+        assert_eq!(ubins.len(), fbins.len(), "bin layout diverged");
+        for (&(ui, uc), &(fi, fc)) in ubins.iter().zip(&fbins) {
+            assert_eq!(ui, fi, "bucket index diverged");
+            assert_eq!(uc as f64, fc, "bucket count diverged at {ui}");
+        }
+        assert_eq!(su.total_count() as f64, sf.total_count());
+        assert_eq!(su.min_index(), sf.min_index());
+        assert_eq!(su.max_index(), sf.max_index());
+        assert_eq!(su.has_collapsed(), sf.has_collapsed());
+        let total = su.total_count();
+        for p in 0..=10 {
+            let rank = total as f64 * p as f64 / 10.0;
+            assert_eq!(su.key_at_rank(rank), sf.key_at_rank(rank), "rank {rank}");
+            assert_eq!(
+                su.key_at_rank_descending(rank),
+                sf.key_at_rank_descending(rank),
+                "descending rank {rank}"
+            );
+        }
+
+        // Merging two weighted stores mirrors the integer merge.
+        let (mut ua, mut fa) = (fresh_u(), fresh_f());
+        let (mut ub, mut fb) = (fresh_u(), fresh_f());
+        let half = stream.len() / 2;
+        for &(i, k) in &stream[..half] {
+            ua.add_n(i, k);
+            fa.add_n(i, k as f64);
+        }
+        for &(i, k) in &stream[half..] {
+            ub.add_n(i, k);
+            fb.add_n(i, k as f64);
+        }
+        ua.merge_from(&ub);
+        fa.merge_from(&fb);
+        assert_eq!(ua.total_count() as f64, fa.total_count());
+        assert_eq!(
+            ua.bins_ascending()
+                .into_iter()
+                .map(|(i, c)| (i, c as f64))
+                .collect::<Vec<_>>(),
+            fa.bins_ascending(),
+            "weighted merge diverged from the integer merge"
+        );
+
+        // Fractional mechanics: clamped removal and exact scaling.
+        let mut s = fresh_f();
+        s.add_n(3, 2.5);
+        assert_eq!(s.remove_up_to(3, 1.0), 1.0);
+        assert_eq!(s.total_count(), 1.5);
+        assert_eq!(s.remove_up_to(3, 10.0), 1.5, "clamp at the bucket floor");
+        assert!(s.is_empty());
+        assert_eq!(s.remove_up_to(3, 1.0), 0.0, "empty bucket removes zero");
+        let mut s = fresh_f();
+        s.add_n(1, 4.0);
+        s.add_n(3, 1.0);
+        s.scale_counts(0.25);
+        assert_eq!(s.total_count(), 1.25);
+        assert_eq!(s.bins_ascending(), vec![(1, 1.0), (3, 0.25)]);
+        s.scale_counts(0.0);
+        assert!(s.is_empty(), "zero factor empties the store");
+        assert_eq!(s.min_index(), None);
     }
 }

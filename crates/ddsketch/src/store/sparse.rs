@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 
+use super::count::Count;
 use super::{BinIter, Store, StoreKind};
 
 /// Estimated per-entry overhead of a `BTreeMap<i32, u64>` node: 12 bytes of
@@ -12,11 +13,13 @@ use super::{BinIter, Store, StoreKind};
 /// fair structural estimate; used only for the Figure 6 size comparison.
 const BTREE_ENTRY_BYTES: usize = 24;
 
-/// Unbounded sparse store backed by an ordered map.
+/// Unbounded sparse store backed by an ordered map, generic over the
+/// count domain (`SparseStore` = `SparseStore<u64>`; `SparseStore<f64>`
+/// is its weighted mirror).
 #[derive(Debug, Clone, Default)]
-pub struct SparseStore {
-    bins: BTreeMap<i32, u64>,
-    total: u64,
+pub struct SparseStore<C: Count = u64> {
+    bins: BTreeMap<i32, C>,
+    total: C,
 }
 
 impl SparseStore {
@@ -26,16 +29,18 @@ impl SparseStore {
     }
 }
 
-impl Store for SparseStore {
+impl<C: Count> Store for SparseStore<C> {
+    type Count = C;
+
     fn store_kind(&self) -> StoreKind {
         StoreKind::Sparse
     }
 
-    fn add_n(&mut self, index: i32, count: u64) {
-        if count == 0 {
+    fn add_n(&mut self, index: i32, count: C) {
+        if count <= C::ZERO {
             return;
         }
-        *self.bins.entry(index).or_insert(0) += count;
+        *self.bins.entry(index).or_insert(C::ZERO) += count;
         self.total += count;
     }
 
@@ -52,22 +57,22 @@ impl Store for SparseStore {
         let mut run_start = 0;
         for k in 1..=sorted.len() {
             if k == sorted.len() || sorted[k] != sorted[run_start] {
-                let run = (k - run_start) as u64;
-                *self.bins.entry(sorted[run_start]).or_insert(0) += run;
+                let run = C::from_u64((k - run_start) as u64);
+                *self.bins.entry(sorted[run_start]).or_insert(C::ZERO) += run;
                 run_start = k;
             }
         }
-        self.total += indices.len() as u64;
+        self.total += C::from_u64(indices.len() as u64);
     }
 
-    fn remove_n(&mut self, index: i32, count: u64) -> bool {
-        if count == 0 {
+    fn remove_n(&mut self, index: i32, count: C) -> bool {
+        if count <= C::ZERO {
             return true;
         }
         match self.bins.get_mut(&index) {
             Some(c) if *c >= count => {
                 *c -= count;
-                if *c == 0 {
+                if *c == C::ZERO {
                     self.bins.remove(&index);
                 }
                 self.total -= count;
@@ -77,7 +82,38 @@ impl Store for SparseStore {
         }
     }
 
-    fn total_count(&self) -> u64 {
+    fn remove_up_to(&mut self, index: i32, count: C) -> C {
+        if count <= C::ZERO {
+            return C::ZERO;
+        }
+        let Some(c) = self.bins.get_mut(&index) else {
+            return C::ZERO;
+        };
+        let take = if count < *c { count } else { *c };
+        *c -= take;
+        if *c == C::ZERO {
+            self.bins.remove(&index);
+        }
+        self.total -= take;
+        take
+    }
+
+    fn scale_counts(&mut self, factor: f64) {
+        let mut total = C::ZERO;
+        self.bins.retain(|_, c| {
+            let scaled = c.scale(factor);
+            if scaled > C::ZERO {
+                *c = scaled;
+                total += scaled;
+                true
+            } else {
+                false
+            }
+        });
+        self.total = total;
+    }
+
+    fn total_count(&self) -> C {
         self.total
     }
 
@@ -93,20 +129,20 @@ impl Store for SparseStore {
         self.bins.len()
     }
 
-    fn bin_iter(&self) -> BinIter<'_> {
+    fn bin_iter(&self) -> BinIter<'_, C> {
         BinIter::Sparse(self.bins.iter())
     }
 
     fn merge_from(&mut self, other: &Self) {
         for (&i, &c) in &other.bins {
-            *self.bins.entry(i).or_insert(0) += c;
+            *self.bins.entry(i).or_insert(C::ZERO) += c;
         }
         self.total += other.total;
     }
 
     fn clear(&mut self) {
         self.bins.clear();
-        self.total = 0;
+        self.total = C::ZERO;
     }
 
     fn memory_bytes(&self) -> usize {
@@ -118,8 +154,8 @@ impl Store for SparseStore {
 /// of **non-empty** buckets exceeds `max_bins`, the two lowest non-empty
 /// buckets are merged (the lower one's count moves into the next one up).
 #[derive(Debug, Clone)]
-pub struct CollapsingSparseStore {
-    inner: SparseStore,
+pub struct CollapsingSparseStore<C: Count = u64> {
+    inner: SparseStore<C>,
     max_bins: usize,
     collapsed: bool,
 }
@@ -131,9 +167,21 @@ impl CollapsingSparseStore {
     ///
     /// Panics if `max_bins == 0`.
     pub fn new(max_bins: usize) -> Self {
+        Self::with_max_bins(max_bins)
+    }
+}
+
+impl<C: Count> CollapsingSparseStore<C> {
+    /// Create a store keeping at most `max_bins` non-empty buckets, for
+    /// any count type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bins == 0`.
+    pub fn with_max_bins(max_bins: usize) -> Self {
         assert!(max_bins > 0, "max_bins must be positive");
         Self {
-            inner: SparseStore::new(),
+            inner: SparseStore::default(),
             max_bins,
             collapsed: false,
         }
@@ -161,19 +209,19 @@ impl CollapsingSparseStore {
 /// K-way ascending walk over several stores' *distinct* bin indices,
 /// allocation-free apart from one small `Vec` of cursors. Used to predict
 /// the Algorithm-3 collapse threshold of a merge without performing it.
-struct DistinctAscending<'a> {
-    iters: Vec<std::iter::Peekable<BinIter<'a>>>,
+struct DistinctAscending<'a, C: Count> {
+    iters: Vec<std::iter::Peekable<BinIter<'a, C>>>,
 }
 
-impl<'a> DistinctAscending<'a> {
-    fn over(stores: impl Iterator<Item = &'a CollapsingSparseStore>) -> Self {
+impl<'a, C: Count> DistinctAscending<'a, C> {
+    fn over(stores: impl Iterator<Item = &'a CollapsingSparseStore<C>>) -> Self {
         Self {
             iters: stores.map(|s| s.bin_iter().peekable()).collect(),
         }
     }
 }
 
-impl Iterator for DistinctAscending<'_> {
+impl<C: Count> Iterator for DistinctAscending<'_, C> {
     type Item = i32;
 
     fn next(&mut self) -> Option<i32> {
@@ -196,12 +244,14 @@ impl Iterator for DistinctAscending<'_> {
     }
 }
 
-impl Store for CollapsingSparseStore {
+impl<C: Count> Store for CollapsingSparseStore<C> {
+    type Count = C;
+
     fn store_kind(&self) -> StoreKind {
         StoreKind::CollapsingSparse
     }
 
-    fn add_n(&mut self, index: i32, count: u64) {
+    fn add_n(&mut self, index: i32, count: C) {
         self.inner.add_n(index, count);
         self.collapse_if_needed();
     }
@@ -216,16 +266,24 @@ impl Store for CollapsingSparseStore {
         self.collapse_if_needed();
     }
 
-    fn add_bins(&mut self, bins: &[(i32, u64)]) {
+    fn add_bins(&mut self, bins: &[(i32, C)]) {
         self.inner.add_bins(bins);
         self.collapse_if_needed();
     }
 
-    fn remove_n(&mut self, index: i32, count: u64) -> bool {
+    fn remove_n(&mut self, index: i32, count: C) -> bool {
         self.inner.remove_n(index, count)
     }
 
-    fn total_count(&self) -> u64 {
+    fn remove_up_to(&mut self, index: i32, count: C) -> C {
+        self.inner.remove_up_to(index, count)
+    }
+
+    fn scale_counts(&mut self, factor: f64) {
+        self.inner.scale_counts(factor);
+    }
+
+    fn total_count(&self) -> C {
         self.inner.total_count()
     }
 
@@ -241,7 +299,7 @@ impl Store for CollapsingSparseStore {
         self.inner.num_bins()
     }
 
-    fn bin_iter(&self) -> BinIter<'_> {
+    fn bin_iter(&self) -> BinIter<'_, C> {
         self.inner.bin_iter()
     }
 
@@ -294,7 +352,8 @@ impl Store for CollapsingSparseStore {
     }
 
     fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() - std::mem::size_of::<SparseStore>() + self.inner.memory_bytes()
+        std::mem::size_of::<Self>() - std::mem::size_of::<SparseStore<C>>()
+            + self.inner.memory_bytes()
     }
 }
 
@@ -321,6 +380,23 @@ mod tests {
             &[0, 5, 5, -100, 2000, 3],
             &[5, -100, -100, 77],
         );
+    }
+
+    #[test]
+    fn weighted_mirror_suites() {
+        let stream = [(0, 3u64), (5, 1), (-100, 7), (2000, 2), (3, 4)];
+        storetests::run_weighted_mirror_suite(
+            SparseStore::new,
+            SparseStore::<f64>::default,
+            &stream,
+        );
+        for cap in [3usize, 8, 100_000] {
+            storetests::run_weighted_mirror_suite(
+                || CollapsingSparseStore::new(cap),
+                || CollapsingSparseStore::<f64>::with_max_bins(cap),
+                &stream,
+            );
+        }
     }
 
     #[test]
@@ -403,7 +479,7 @@ mod tests {
             (i32::MIN, i32::MAX)
         );
         assert_eq!(
-            CollapsingSparseStore::merge_clamp(&[]),
+            CollapsingSparseStore::<u64>::merge_clamp(&[]),
             (i32::MIN, i32::MAX)
         );
     }

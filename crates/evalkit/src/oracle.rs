@@ -9,6 +9,10 @@ use sketch_core::{lower_quantile_index, rank_of_query};
 #[derive(Debug, Clone)]
 pub struct ExactOracle {
     sorted: Vec<f64>,
+    /// Parallel to `sorted`. Empty ⇔ every weight is 1 (the unweighted
+    /// fast path, which keeps [`ExactOracle::new`]-built oracles exactly
+    /// as cheap as before the weighted plane existed).
+    weights: Vec<f64>,
 }
 
 impl ExactOracle {
@@ -17,7 +21,10 @@ impl ExactOracle {
     pub fn new(mut values: Vec<f64>) -> Self {
         debug_assert!(values.iter().all(|v| !v.is_nan()));
         values.sort_by(f64::total_cmp);
-        Self { sorted: values }
+        Self {
+            sorted: values,
+            weights: Vec::new(),
+        }
     }
 
     /// Number of values.
@@ -97,6 +104,133 @@ impl ExactOracle {
             (lo - target).abs().min((hi - target).abs())
         };
         dist / n as f64
+    }
+
+    // ---- the weighted count plane ------------------------------------
+
+    /// Insert one value at weight 1 (order-insensitive — the oracle keeps
+    /// itself sorted).
+    pub fn add(&mut self, value: f64) {
+        self.add_weighted(value, 1.0);
+    }
+
+    /// Insert one value carrying an arbitrary positive `f64` weight —
+    /// ground truth for pre-aggregated or decayed submissions on the
+    /// weighted count plane.
+    ///
+    /// Weights must be finite and strictly positive (the same domain the
+    /// sketches' `add_with_count` accepts). Unit weights keep the oracle
+    /// on its unweighted fast path; the first non-unit weight materializes
+    /// the parallel weight vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN values and on non-finite or non-positive weights.
+    pub fn add_weighted(&mut self, value: f64, weight: f64) {
+        assert!(!value.is_nan(), "oracle value must not be NaN");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "oracle weight must be finite and positive, got {weight}"
+        );
+        let weighted_mode = !self.weights.is_empty() || weight != 1.0;
+        if weighted_mode && self.weights.is_empty() {
+            self.weights = vec![1.0; self.sorted.len()];
+        }
+        let at = self
+            .sorted
+            .partition_point(|x| x.total_cmp(&value) == std::cmp::Ordering::Less);
+        self.sorted.insert(at, value);
+        if weighted_mode {
+            self.weights.insert(at, weight);
+        }
+    }
+
+    /// Total stored weight `W` (= `n` while every weight is 1).
+    pub fn total_weight(&self) -> f64 {
+        if self.weights.is_empty() {
+            self.sorted.len() as f64
+        } else {
+            self.weights.iter().sum()
+        }
+    }
+
+    /// The weighted rank `R(v)`: total weight of elements ≤ `v` — the
+    /// paper's `R(v)` with multiplicities generalized to `f64` weights.
+    pub fn weighted_rank(&self, v: f64) -> f64 {
+        let below_or_equal = self
+            .sorted
+            .partition_point(|x| x.total_cmp(&v) != std::cmp::Ordering::Greater);
+        if self.weights.is_empty() {
+            below_or_equal as f64
+        } else {
+            self.weights[..below_or_equal].iter().sum()
+        }
+    }
+
+    /// The exact weighted lower q-quantile: the value whose cumulative
+    /// weight first exceeds the target rank `q·(W − 1)` — the same
+    /// generalization the weighted sketches walk, so with unit weights
+    /// this is bit-identical to [`ExactOracle::quantile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty oracle.
+    pub fn weighted_quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "empty oracle has no quantiles");
+        if self.weights.is_empty() {
+            return self.quantile(q);
+        }
+        let target = q.clamp(0.0, 1.0) * (self.total_weight() - 1.0).max(0.0);
+        let mut cum = 0.0;
+        for (v, w) in self.sorted.iter().zip(&self.weights) {
+            cum += w;
+            if cum > target {
+                return *v;
+            }
+        }
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Definition-2 rank error over **weighted** ranks, normalized by the
+    /// total weight `W`. An estimate of weight `w` (`lo` = weight
+    /// strictly below it, `hi = lo + w` = `R(estimate)`) covers the
+    /// achievable one-based ranks `[lo + min(1, w), hi]`; the target is
+    /// the continuous rank `1 + q·(W − 1)` and the error is the distance
+    /// from the target to that interval. Three regimes fall out:
+    ///
+    /// * **unseen** (`w = 0`): the interval collapses to `R(estimate)`
+    ///   and the error is `|R − target|`, exactly Definition 2;
+    /// * **integral weights**: weight `k` behaves identically to `k`
+    ///   replicated copies, so scores agree with [`ExactOracle::rank_error`]
+    ///   over the replicated multiset (at integral targets — the weighted
+    ///   target takes no floor, the price of a count domain where "rank"
+    ///   is no longer an integer);
+    /// * **fractional weights** (`w < 1`): the value is an atom of mass
+    ///   `w` at rank `hi`, its interval credit shrinking with it. A
+    ///   consequence: [`ExactOracle::weighted_quantile`]'s own answer
+    ///   scores strictly under `1/W` here rather than exactly zero when
+    ///   the chosen value carries less than one unit of weight.
+    pub fn weighted_rank_error(&self, q: f64, estimate: f64) -> f64 {
+        let w = self.total_weight();
+        let target = 1.0 + q.clamp(0.0, 1.0) * (w - 1.0).max(0.0);
+        let below = self
+            .sorted
+            .partition_point(|x| x.total_cmp(&estimate) == std::cmp::Ordering::Less);
+        let lo = if self.weights.is_empty() {
+            below as f64
+        } else {
+            self.weights[..below].iter().sum()
+        };
+        let hi = self.weighted_rank(estimate);
+        let first = lo + (hi - lo).min(1.0);
+        let dist = if target < first {
+            first - target
+        } else if target > hi {
+            target - hi
+        } else {
+            0.0
+        };
+        dist / w
     }
 }
 
@@ -202,5 +336,117 @@ mod tests {
     fn empty_oracle_panics_on_quantile() {
         let o = ExactOracle::new(vec![]);
         let _ = o.quantile(0.5);
+    }
+
+    #[test]
+    fn unit_weights_stay_bit_identical_to_the_unweighted_oracle() {
+        let values = [5.0, 1.0, 3.0, 2.0, 4.0, 3.0, -1.0, 0.0];
+        let plain = ExactOracle::new(values.to_vec());
+        let mut incremental = ExactOracle::new(vec![]);
+        for v in values {
+            incremental.add(v);
+        }
+        assert_eq!(incremental.total_weight(), values.len() as f64);
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            assert_eq!(
+                incremental.weighted_quantile(q).to_bits(),
+                plain.quantile(q).to_bits(),
+                "q={q}"
+            );
+        }
+        for est in [-2.0, -1.0, 0.5, 3.0, 4.5, 9.0] {
+            assert_eq!(incremental.weighted_rank(est), plain.rank(est) as f64);
+        }
+    }
+
+    #[test]
+    fn integral_weights_equal_replicated_values() {
+        // Weight k ≡ k copies: quantiles and rank errors must agree with
+        // an oracle over the replicated multiset at every q whose target
+        // rank is integral (where the continuous and floored targets
+        // coincide).
+        let entries = [(2.0, 3.0), (7.0, 1.0), (4.0, 5.0), (-1.0, 2.0)];
+        let mut weighted = ExactOracle::new(vec![]);
+        let mut replicated = Vec::new();
+        for (v, k) in entries {
+            weighted.add_weighted(v, k);
+            for _ in 0..k as usize {
+                replicated.push(v);
+            }
+        }
+        let plain = ExactOracle::new(replicated.clone());
+        let n = replicated.len(); // 11 → q·(n−1) integral at tenths
+        assert_eq!(weighted.total_weight(), n as f64);
+        for i in 0..=(n - 1) {
+            let q = i as f64 / (n - 1) as f64;
+            assert_eq!(
+                weighted.weighted_quantile(q).to_bits(),
+                plain.quantile(q).to_bits(),
+                "q={q}"
+            );
+            for est in [-3.0, -1.0, 0.0, 2.0, 3.0, 4.0, 7.0, 8.0] {
+                assert!(
+                    (weighted.weighted_rank_error(q, est) - plain.rank_error(q, est)).abs() < 1e-12,
+                    "q={q} est={est}: weighted {} vs replicated {}",
+                    weighted.weighted_rank_error(q, est),
+                    plain.rank_error(q, est)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_weights_walk_the_cumulative_weight() {
+        let mut o = ExactOracle::new(vec![]);
+        o.add_weighted(1.0, 1.0);
+        o.add_weighted(2.0, 3.0);
+        assert_eq!(o.total_weight(), 4.0);
+        // Targets q·(W−1): 0 → 1.0 (cum 1 > 0), anything past the first
+        // unit of weight lands on 2.0.
+        assert_eq!(o.weighted_quantile(0.0), 1.0);
+        assert_eq!(o.weighted_quantile(0.5), 2.0); // target 1.5
+        assert_eq!(o.weighted_quantile(1.0), 2.0);
+        assert_eq!(o.weighted_rank(1.5), 1.0);
+        assert_eq!(o.weighted_rank(2.0), 4.0);
+
+        // Rank error: estimate 2.0 (lo=1, weight 3) covers achievable
+        // ranks [2, 4].
+        assert_eq!(o.weighted_rank_error(0.5, 2.0), 0.0); // target 2.5 ∈ [2,4]
+        assert_eq!(o.weighted_rank_error(1.0, 2.0), 0.0); // target 4.0 ∈ [2,4]
+        assert_eq!(o.weighted_rank_error(0.0, 1.0), 0.0); // target 1.0 ∈ [1,1]
+                                                          // Unseen estimate 1.5 has R = 1; q=1 target 4 → 3 ranks off, /W.
+        assert!((o.weighted_rank_error(1.0, 1.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_oracle_scores_decayed_streams() {
+        // An exponentially decayed stream: late values keep full weight,
+        // old ones fade. The median of the decayed multiset must lean
+        // toward the recent values — and the oracle's own quantile must
+        // score zero rank error against itself.
+        let mut o = ExactOracle::new(vec![]);
+        for age in 0..20 {
+            let weight = 0.8_f64.powi(age);
+            let value = if age < 10 { 100.0 } else { 1.0 };
+            o.add_weighted(value, weight);
+        }
+        let median = o.weighted_quantile(0.5);
+        assert_eq!(median, 100.0, "recent heavy values dominate");
+        // The oracle's own quantile always scores under one unit of rank
+        // (exactly zero only when the chosen value carries ≥ 1 weight).
+        let bound = 1.0 / o.total_weight() + 1e-12;
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            let err = o.weighted_rank_error(q, o.weighted_quantile(q));
+            assert!(err < bound, "q={q}: self-score {err} ≥ {bound}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weights_are_rejected() {
+        let mut o = ExactOracle::new(vec![]);
+        o.add_weighted(1.0, -0.5);
     }
 }

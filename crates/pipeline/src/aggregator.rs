@@ -30,8 +30,8 @@
 
 use ddsketch::codec::FrameReader;
 use ddsketch::{
-    AnyDDSketch, MappingKind, SketchConfig, SketchError, SketchPayload, SketchSource,
-    SourceQuantileScratch, StoreKind,
+    AnyDDSketch, AnyWeightedDDSketch, MappingKind, SketchConfig, SketchError, SketchPayload,
+    SketchSource, SourceQuantileScratch, StoreKind, WeightedSketchPayload,
 };
 
 /// Decode-free sketch aggregator: feeds on encoded `DDS2` frames,
@@ -270,6 +270,206 @@ impl Aggregator {
     }
 }
 
+/// The weighted twin of [`Aggregator`]: feeds on **any** wire dialect —
+/// `DDS1`, `DDS2`, or `DDS3` — in one mixed stream, staging each frame
+/// as a recycled [`WeightedSketchPayload`] (integer counts widen exactly)
+/// and folding into a resident [`AnyWeightedDDSketch`].
+///
+/// This is the receiving end for fleets whose agents submit
+/// pre-aggregated weighted observations (`DDS3`) alongside legacy
+/// integer-counted payloads: one aggregator, one merge walk, no routing
+/// on the magic. The steady-state contract matches the integer
+/// aggregator's — each frame is decoded exactly once into recycled
+/// buffers, folds are one bulk `add_bins` pass per store per payload,
+/// and with warm buffers neither `feed` nor `fold` touches the allocator
+/// (counting-allocator tested).
+#[derive(Debug)]
+pub struct WeightedAggregator {
+    config: SketchConfig,
+    resident: AnyWeightedDDSketch,
+    pending: Vec<WeightedSketchPayload>,
+    spare: Vec<WeightedSketchPayload>,
+    fold_threshold: usize,
+    frames_received: u64,
+    frames_folded: u64,
+}
+
+impl WeightedAggregator {
+    /// Create a weighted aggregator whose resident sketch uses `config`,
+    /// folding whenever `fold_threshold` pending payloads accumulate.
+    pub fn with_config(config: SketchConfig, fold_threshold: usize) -> Result<Self, SketchError> {
+        if fold_threshold == 0 {
+            return Err(SketchError::InvalidConfig(
+                "fold_threshold must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            resident: AnyWeightedDDSketch::new(config)?,
+            config,
+            pending: Vec::new(),
+            spare: Vec::new(),
+            fold_threshold,
+            frames_received: 0,
+            frames_folded: 0,
+        })
+    }
+
+    /// Convenience constructor for the paper's default configuration.
+    pub fn new(alpha: f64, max_bins: usize, fold_threshold: usize) -> Result<Self, SketchError> {
+        Self::with_config(
+            SketchConfig::dense_collapsing(alpha, max_bins),
+            fold_threshold,
+        )
+    }
+
+    /// The configuration the resident sketch runs.
+    pub fn config(&self) -> SketchConfig {
+        self.config
+    }
+
+    /// Frames accepted so far.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received
+    }
+
+    /// Frames already folded into the resident sketch.
+    pub fn frames_folded(&self) -> u64 {
+        self.frames_folded
+    }
+
+    /// Frames awaiting the next fold.
+    pub fn pending_frames(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The resident sketch (excludes pending payloads; fold first for a
+    /// complete one).
+    pub fn resident(&self) -> &AnyWeightedDDSketch {
+        &self.resident
+    }
+
+    /// Total stored weight across resident and pending payloads.
+    pub fn weighted_count(&self) -> f64 {
+        self.resident.weighted_count()
+            + self
+                .pending
+                .iter()
+                .map(|p| {
+                    p.zero_count
+                        + p.positive.iter().map(|&(_, c)| c).sum::<f64>()
+                        + p.negative.iter().map(|&(_, c)| c).sum::<f64>()
+                })
+                .sum::<f64>()
+    }
+
+    /// Whether the aggregator has seen no weight.
+    pub fn is_empty(&self) -> bool {
+        self.weighted_count() == 0.0
+    }
+
+    fn check_compatible(&self, payload: &WeightedSketchPayload) -> Result<(), SketchError> {
+        if !payload.matches_config(&self.config) {
+            return Err(SketchError::IncompatibleMerge(format!(
+                "aggregator runs {:?}, payload is (mapping {:?}, store {:?}, α={})",
+                self.config,
+                MappingKind::from_u8(payload.kind),
+                StoreKind::from_u8(payload.store),
+                payload.relative_accuracy
+            )));
+        }
+        Ok(())
+    }
+
+    /// Accept one encoded payload of **any** dialect. The frame is
+    /// decoded once, into a recycled staging payload; rejected frames
+    /// leave the aggregator untouched.
+    pub fn feed(&mut self, frame: &[u8]) -> Result<(), SketchError> {
+        let mut payload = self.take_spare();
+        if let Err(e) = payload.decode_into(frame) {
+            self.recycle(payload);
+            return Err(e);
+        }
+        self.feed_payload(payload)
+    }
+
+    /// Take a recycled staging payload (or a fresh one); see
+    /// [`Aggregator::take_spare`].
+    pub fn take_spare(&mut self) -> WeightedSketchPayload {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Return a payload buffer to the recycle pool without staging it.
+    pub fn recycle(&mut self, payload: WeightedSketchPayload) {
+        self.spare.push(payload);
+    }
+
+    /// Stage one already-decoded weighted payload; the compatibility gate
+    /// matches [`WeightedAggregator::feed`]'s.
+    pub fn feed_payload(&mut self, payload: WeightedSketchPayload) -> Result<(), SketchError> {
+        if let Err(e) = self.check_compatible(&payload) {
+            self.recycle(payload);
+            return Err(e);
+        }
+        self.pending.push(payload);
+        self.frames_received += 1;
+        if self.pending.len() >= self.fold_threshold {
+            self.fold();
+        }
+        Ok(())
+    }
+
+    /// Drain every frame of a [`FrameReader`] into the aggregator; see
+    /// [`Aggregator::feed_stream`].
+    pub fn feed_stream<R: std::io::Read>(
+        &mut self,
+        reader: &mut FrameReader<R>,
+    ) -> Result<usize, SketchError> {
+        let mut accepted = 0;
+        let mut buf = Vec::new();
+        while reader.read_frame(&mut buf)?.is_some() {
+            self.feed(&buf)?;
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
+    /// Fold every pending payload into the resident sketch — one bulk
+    /// `add_bins` pass per store per payload.
+    pub fn fold(&mut self) -> usize {
+        let folded = self.pending.len();
+        for payload in self.pending.drain(..) {
+            self.resident
+                .merge_weighted_payload(&payload)
+                .expect("pending payloads are compatibility-checked by feed");
+            self.spare.push(payload);
+        }
+        self.frames_folded += folded as u64;
+        folded
+    }
+
+    /// Estimate quantiles over everything fed so far. Unlike the integer
+    /// plane there is no mixed-source weighted rank walk, so pending
+    /// payloads are folded first (an observable but semantics-preserving
+    /// state change); the query itself is allocation-free on the dense
+    /// families.
+    pub fn quantiles_into(&mut self, qs: &[f64], out: &mut Vec<f64>) -> Result<(), SketchError> {
+        self.fold();
+        self.resident.quantiles_into(qs, out)
+    }
+
+    /// Convenience allocating form of [`WeightedAggregator::quantiles_into`].
+    pub fn quantiles(&mut self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        let mut out = Vec::with_capacity(qs.len());
+        self.quantiles_into(qs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Convenience: a single quantile.
+    pub fn quantile(&mut self, q: f64) -> Result<f64, SketchError> {
+        Ok(self.quantiles(std::slice::from_ref(&q))?[0])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,5 +598,87 @@ mod tests {
         assert!(agg.is_empty());
         assert!(matches!(agg.quantile(0.5), Err(SketchError::Empty)));
         assert!(Aggregator::new(0.01, 256, 0).is_err());
+    }
+
+    fn weighted_frame(
+        config: SketchConfig,
+        entries: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Vec<u8> {
+        let mut s = AnyWeightedDDSketch::new(config).unwrap();
+        for (v, w) in entries {
+            s.add_with_count(v, w).unwrap();
+        }
+        s.encode()
+    }
+
+    #[test]
+    fn weighted_aggregator_equals_decode_then_merge_over_mixed_dialects() {
+        let config = SketchConfig::dense_collapsing(0.01, 256);
+        for threshold in [1, 3, 100] {
+            let mut agg = WeightedAggregator::with_config(config, threshold).unwrap();
+            let mut reference = AnyWeightedDDSketch::new(config).unwrap();
+            let mut frames: Vec<Vec<u8>> = Vec::new();
+            // Integer frames (DDS2 wire) from the unweighted plane...
+            for k in 1..=4u32 {
+                frames.push(frame(config, (1..=40).map(|i| f64::from(i * k) * 0.3)));
+            }
+            // ...interleaved with genuinely fractional DDS3 frames.
+            for k in 1..=4u32 {
+                frames.push(weighted_frame(
+                    config,
+                    (1..=40).map(|i| (f64::from(i) * 1.7, f64::from(k) * 0.25)),
+                ));
+            }
+            for bytes in &frames {
+                agg.feed(bytes).unwrap();
+                reference
+                    .merge_from(&AnyWeightedDDSketch::decode(bytes).unwrap())
+                    .unwrap();
+            }
+            assert_eq!(agg.frames_received(), frames.len() as u64);
+            assert!((agg.weighted_count() - reference.weighted_count()).abs() < 1e-9);
+            let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+            assert_eq!(
+                agg.quantiles(&qs).unwrap(),
+                reference.quantiles(&qs).unwrap(),
+                "threshold {threshold}: weighted aggregator must equal decode-then-merge"
+            );
+            assert_eq!(agg.pending_frames(), 0, "quantiles folds everything");
+        }
+    }
+
+    #[test]
+    fn weighted_feed_rejects_bad_frames_atomically() {
+        let config = SketchConfig::dense_collapsing(0.01, 256);
+        let mut agg = WeightedAggregator::with_config(config, 8).unwrap();
+        agg.feed(&weighted_frame(config, [(1.0, 2.5)])).unwrap();
+        assert!(matches!(agg.feed(b"DDS3"), Err(SketchError::Malformed(_))));
+        assert!(agg.feed(b"DDS3garbage").is_err());
+        assert!(matches!(
+            agg.feed(&weighted_frame(SketchConfig::sparse(0.01), [(1.0, 1.0)])),
+            Err(SketchError::IncompatibleMerge(_))
+        ));
+        // A differing max_bins is accepted: the resident bound governs.
+        agg.feed(&weighted_frame(
+            SketchConfig::dense_collapsing(0.01, 64),
+            [(3.0, 0.5)],
+        ))
+        .unwrap();
+        assert_eq!(agg.frames_received(), 2);
+        assert_eq!(agg.weighted_count(), 3.0);
+        assert!(WeightedAggregator::with_config(config, 0).is_err());
+    }
+
+    #[test]
+    fn empty_weighted_aggregator_behaviour() {
+        let config = SketchConfig::dense_collapsing(0.01, 256);
+        let mut agg = WeightedAggregator::with_config(config, 4).unwrap();
+        assert!(agg.is_empty());
+        assert!(matches!(agg.quantile(0.5), Err(SketchError::Empty)));
+        assert!(agg.quantiles(&[]).unwrap().is_empty());
+        assert_eq!(agg.fold(), 0);
+        agg.feed(&weighted_frame(config, [])).unwrap();
+        assert!(agg.is_empty());
+        assert!(matches!(agg.quantile(0.5), Err(SketchError::Empty)));
     }
 }

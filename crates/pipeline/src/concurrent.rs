@@ -204,6 +204,14 @@ impl ConcurrentSketch {
         self.add_n_hinted(thread_shard(), value, count)
     }
 
+    /// Alias for [`ConcurrentSketch::add_n`], matching the sketch-layer
+    /// weighted-ingestion surface ([`ddsketch::DDSketch::add_with_count`]):
+    /// the natural entry point for pre-aggregated client submissions
+    /// ("this value occurred `count` times").
+    pub fn add_with_count(&self, value: f64, count: u64) -> Result<(), SketchError> {
+        self.add_n(value, count)
+    }
+
     /// Bulk-insert a batch into one shard. On the locked plane this is a
     /// single lock acquisition and one batched sketch ingestion; on the
     /// atomic plane the batch is validated up front and the striped

@@ -9,7 +9,10 @@
 //!
 //! Modules:
 //! * [`aggregator`] — the decode-free receiving end: raw `DDS2` frames
-//!   in, quantiles out, zero intermediate sketches (below).
+//!   in, quantiles out, zero intermediate sketches (below); its
+//!   [`WeightedAggregator`] sibling runs the same staging/fold machinery
+//!   on the `f64` count plane and accepts mixed `DDS1`/`DDS2`/`DDS3`
+//!   streams.
 //! * [`window`] — the `(metric, window) → sketch` time-series store with
 //!   interned metric ids, exact k-way rollups, retention eviction,
 //!   trailing-width [`window::SlidingView`] reads over existing cells,
@@ -18,7 +21,9 @@
 //! * [`window_sliding`] — continuously sliding quantile windows ("p99
 //!   over the last five minutes"): a ring of per-slot sketches read by
 //!   one zero-copy k-way walk, with suffix-aggregate (two-stack) and
-//!   exponentially-decayed variants, plus a sharded concurrent front.
+//!   exponentially-decayed variants, plus a sharded concurrent front and
+//!   an ingest-time decayed window ([`DecayedIngestWindow`]) that pays
+//!   the decay once per slot tick on the weighted count plane.
 //! * [`concurrent`] — a sharded thread-safe sketch for multi-threaded
 //!   producers whose read path merges outside all locks.
 //! * [`sim`] — the end-to-end threaded simulation (workers → channel →
@@ -121,8 +126,8 @@ pub mod sim;
 pub mod window;
 pub mod window_sliding;
 
-pub use aggregator::Aggregator;
+pub use aggregator::{Aggregator, WeightedAggregator};
 pub use concurrent::{ConcurrentSketch, LocalIngest};
 pub use sim::{run_sequential, run_simulation, Payload, SimConfig, SimReport};
 pub use window::{MetricId, SlidingView, TimeSeriesStore};
-pub use window_sliding::{ConcurrentSlidingWindow, SlidingWindowSketch};
+pub use window_sliding::{ConcurrentSlidingWindow, DecayedIngestWindow, SlidingWindowSketch};

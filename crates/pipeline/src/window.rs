@@ -182,6 +182,22 @@ impl TimeSeriesStore {
         self.with_cell(metric, window, |cell| cell.add(value))
     }
 
+    /// Record `count` occurrences of `value` in one insertion — the
+    /// weight-aware rollup path for pre-aggregated client submissions.
+    /// Bit-identical to calling [`TimeSeriesStore::record`] `count` times
+    /// (one bucket increment instead of `count`); `count == 0` validates
+    /// `value` and adds nothing.
+    pub fn record_with_count(
+        &mut self,
+        metric: &str,
+        ts_secs: u64,
+        value: f64,
+        count: u64,
+    ) -> Result<(), SketchError> {
+        let window = self.window_of(ts_secs);
+        self.with_cell(metric, window, |cell| cell.add_with_count(value, count))
+    }
+
     /// Record a batch of observations sharing one timestamp window — one
     /// cell lookup and one bulk sketch ingestion for the whole slice.
     ///

@@ -37,7 +37,9 @@
 
 use std::cell::RefCell;
 
-use ddsketch::{AnyDDSketch, MergedQuantileScratch, SketchConfig, SketchError};
+use ddsketch::{
+    AnyDDSketch, AnyWeightedDDSketch, MergedQuantileScratch, SketchConfig, SketchError,
+};
 use parking_lot::Mutex;
 
 use crate::concurrent::thread_shard;
@@ -546,6 +548,193 @@ impl SlidingWindowSketch {
             folded.front_len = 0;
             folded.back.clear();
         }
+    }
+}
+
+/// An **ingest-time** exponentially-decayed window on the weighted
+/// count plane: one resident [`AnyWeightedDDSketch`] whose stored
+/// weights are scaled by `decay` every slot tick
+/// ([`AnyWeightedDDSketch::scale_counts`]), so an observation aged `a`
+/// slots weighs `decay^a` — the same recency bias as
+/// [`SlidingWindowSketch::quantiles_decayed`], paid once at ingest
+/// instead of on every query.
+///
+/// The two strategies trade differently:
+///
+/// * **Query-time** ([`SlidingWindowSketch`]): per-slot sketches, exact
+///   hard eviction at the window edge, O(num_slots) sketch memory, every
+///   decayed query re-runs the weighted walk.
+/// * **Ingest-time** (this type): a single resident sketch — O(1) sketch
+///   memory and plain (cheapest) quantile reads — but no hard window
+///   edge: old data never leaves, its weight just decays geometrically
+///   (after `a` slots a value retains `decay^a` of its vote, so the
+///   effective window is `≈ 1/(1 − decay)` slots).
+///
+/// Like [`SlidingWindowSketch`], time is driven purely by ingest
+/// timestamps. Late arrivals (a timestamp behind the newest slot) are
+/// accepted and enter **pre-decayed** — weight `w · decay^age` — so a
+/// replayed stream produces the same sketch regardless of arrival
+/// interleaving (up to f64 rounding of the scale products).
+#[derive(Debug, Clone)]
+pub struct DecayedIngestWindow {
+    config: SketchConfig,
+    slot_secs: u64,
+    decay: f64,
+    resident: AnyWeightedDDSketch,
+    /// Start of the newest slot ticked so far.
+    head: Option<u64>,
+}
+
+impl DecayedIngestWindow {
+    /// A decayed window over `config`: weights scale by `decay` (in
+    /// `(0, 1]`; `1.0` disables decay) each time the head advances one
+    /// `slot_secs` slot.
+    pub fn with_config(
+        config: SketchConfig,
+        slot_secs: u64,
+        decay: f64,
+    ) -> Result<Self, SketchError> {
+        if slot_secs == 0 {
+            return Err(SketchError::InvalidConfig(
+                "slot_secs must be positive".into(),
+            ));
+        }
+        if !(decay.is_finite() && decay > 0.0 && decay <= 1.0) {
+            return Err(SketchError::InvalidConfig(format!(
+                "decay must be in (0, 1], got {decay}"
+            )));
+        }
+        Ok(Self {
+            resident: AnyWeightedDDSketch::new(config)?,
+            config,
+            slot_secs,
+            decay,
+            head: None,
+        })
+    }
+
+    /// Convenience constructor for the paper's default configuration.
+    pub fn new(
+        alpha: f64,
+        max_bins: usize,
+        slot_secs: u64,
+        decay: f64,
+    ) -> Result<Self, SketchError> {
+        Self::with_config(
+            SketchConfig::dense_collapsing(alpha, max_bins),
+            slot_secs,
+            decay,
+        )
+    }
+
+    /// The configuration the resident sketch runs.
+    pub fn config(&self) -> SketchConfig {
+        self.config
+    }
+
+    /// Slot width in seconds (one decay tick per slot).
+    pub fn slot_secs(&self) -> u64 {
+        self.slot_secs
+    }
+
+    /// The per-slot decay factor.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Start of the newest slot ticked so far, or `None` before any data.
+    pub fn head(&self) -> Option<u64> {
+        self.head
+    }
+
+    /// Total surviving (decayed) weight.
+    pub fn weighted_count(&self) -> f64 {
+        self.resident.weighted_count()
+    }
+
+    /// Whether any weight survives.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// The resident weighted sketch (e.g. for `DDS3` checkpointing via
+    /// [`AnyWeightedDDSketch::encode`]).
+    pub fn resident(&self) -> &AnyWeightedDDSketch {
+        &self.resident
+    }
+
+    /// Advance the head to the slot covering `ts_secs`, applying one
+    /// `decay` scale per slot crossed. A no-op for timestamps at or
+    /// behind the head; never fails (the clock is data, exactly as in
+    /// [`SlidingWindowSketch`]).
+    pub fn advance_to(&mut self, ts_secs: u64) {
+        let slot = ts_secs - ts_secs % self.slot_secs;
+        let Some(head) = self.head else {
+            self.head = Some(slot);
+            return;
+        };
+        if slot <= head {
+            return;
+        }
+        let ticks = (slot - head) / self.slot_secs;
+        if self.decay < 1.0 {
+            self.resident
+                .scale_counts(self.decay.powi(ticks.min(i32::MAX as u64) as i32))
+                .expect("decay factor validated in constructor");
+        }
+        self.head = Some(slot);
+    }
+
+    /// Record one observation at `ts_secs` with weight `weight`.
+    ///
+    /// Advances the head first (even if the value is rejected — the
+    /// clock is data); a late timestamp enters pre-decayed at
+    /// `weight · decay^age_slots`.
+    pub fn record_weighted(
+        &mut self,
+        ts_secs: u64,
+        value: f64,
+        weight: f64,
+    ) -> Result<(), SketchError> {
+        self.advance_to(ts_secs);
+        let head = self.head.expect("advance_to seeds the head");
+        let slot = ts_secs - ts_secs % self.slot_secs;
+        let w = if slot < head && self.decay < 1.0 {
+            let age = ((head - slot) / self.slot_secs).min(i32::MAX as u64) as i32;
+            weight * self.decay.powi(age)
+        } else {
+            weight
+        };
+        self.resident.add_with_count(value, w)
+    }
+
+    /// Record one observation at weight 1; see
+    /// [`DecayedIngestWindow::record_weighted`].
+    pub fn record(&mut self, ts_secs: u64, value: f64) -> Result<(), SketchError> {
+        self.record_weighted(ts_secs, value, 1.0)
+    }
+
+    /// Recent-biased quantiles over everything that still holds weight,
+    /// into a caller-owned buffer — a plain weighted-quantile read of the
+    /// resident sketch (allocation-free on the dense families).
+    pub fn quantiles_into(&self, qs: &[f64], out: &mut Vec<f64>) -> Result<(), SketchError> {
+        self.resident.quantiles_into(qs, out)
+    }
+
+    /// Recent-biased quantiles; see [`Self::quantiles_into`].
+    pub fn quantiles(&self, qs: &[f64]) -> Result<Vec<f64>, SketchError> {
+        self.resident.quantiles(qs)
+    }
+
+    /// Convenience: a single recent-biased quantile.
+    pub fn quantile(&self, q: f64) -> Result<f64, SketchError> {
+        self.resident.quantile(q)
+    }
+
+    /// Reset to empty, retaining allocations and configuration.
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.head = None;
     }
 }
 
@@ -1097,5 +1286,129 @@ mod tests {
             }
             assert_eq!(folded.count(), plain.count());
         }
+    }
+
+    #[test]
+    fn decayed_ingest_constructor_validates() {
+        assert!(DecayedIngestWindow::with_config(config(), 0, 0.9).is_err());
+        assert!(DecayedIngestWindow::with_config(config(), 1, 0.0).is_err());
+        assert!(DecayedIngestWindow::with_config(config(), 1, 1.5).is_err());
+        assert!(DecayedIngestWindow::with_config(config(), 1, f64::NAN).is_err());
+        assert!(DecayedIngestWindow::with_config(config(), 1, 1.0).is_ok());
+        let w = DecayedIngestWindow::new(0.01, 2048, 10, 0.5).unwrap();
+        assert_eq!(w.slot_secs(), 10);
+        assert_eq!(w.decay(), 0.5);
+        assert!(w.is_empty());
+        assert_eq!(w.head(), None);
+        assert!(matches!(w.quantile(0.5), Err(SketchError::Empty)));
+    }
+
+    #[test]
+    fn decay_one_matches_plain_sketch() {
+        // λ = 1.0 disables decay: the window must answer exactly like an
+        // unweighted sketch over every value ever recorded.
+        let mut w = DecayedIngestWindow::with_config(config(), 5, 1.0).unwrap();
+        let mut plain = config().build().unwrap();
+        for i in 0..400u64 {
+            let ts = i * 3; // crosses many slot boundaries
+            let v = 0.3 + ((i * 31) % 89) as f64;
+            w.record(ts, v).unwrap();
+            plain.add(v).unwrap();
+        }
+        assert_eq!(w.weighted_count(), plain.count() as f64);
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let got = w.quantiles(&qs).unwrap();
+        let want = plain.quantiles(&qs).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn decay_scales_total_weight_per_slot_tick() {
+        let mut w = DecayedIngestWindow::with_config(config(), 10, 0.5).unwrap();
+        w.record(5, 1.0).unwrap(); // head slot 0
+        assert_eq!(w.weighted_count(), 1.0);
+        w.advance_to(25); // slots 0 → 20: two ticks
+        assert_eq!(w.head(), Some(20));
+        assert_eq!(w.weighted_count(), 0.25);
+        w.record(25, 2.0).unwrap();
+        assert_eq!(w.weighted_count(), 1.25);
+    }
+
+    #[test]
+    fn decayed_quantiles_bias_toward_recent_values() {
+        // Old slots full of 1.0, newest slot full of 100.0: with strong
+        // decay the median must sit at the recent value, without decay at
+        // the (majority) old value.
+        for (decay, expect_high) in [(0.2, true), (1.0, false)] {
+            let mut w = DecayedIngestWindow::with_config(config(), 1, decay).unwrap();
+            for ts in 0..9u64 {
+                for _ in 0..50 {
+                    w.record(ts, 1.0).unwrap();
+                }
+            }
+            for _ in 0..50 {
+                w.record(9, 100.0).unwrap();
+            }
+            let p50 = w.quantile(0.5).unwrap();
+            if expect_high {
+                assert!(p50 > 50.0, "decay={decay}: median {p50} not recent-biased");
+            } else {
+                assert!(
+                    p50 < 2.0,
+                    "decay={decay}: median {p50} should favour the bulk"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn late_arrivals_enter_pre_decayed() {
+        // Replaying the same stream in timestamp order and in shuffled
+        // order must land on the same surviving weights: a late arrival
+        // enters at weight λ^age.
+        let slot = 10;
+        let stream = [(5u64, 2.0f64), (25, 3.0), (47, 4.0), (15, 5.0), (33, 6.0)];
+        let mut ordered = DecayedIngestWindow::with_config(config(), slot, 0.5).unwrap();
+        let mut sorted = stream;
+        sorted.sort_by_key(|&(ts, _)| ts);
+        for &(ts, v) in &sorted {
+            ordered.record(ts, v).unwrap();
+        }
+        let mut replayed = DecayedIngestWindow::with_config(config(), slot, 0.5).unwrap();
+        // Seed the head at the stream's end first so every arrival is late.
+        replayed.advance_to(47);
+        for &(ts, v) in &stream {
+            replayed.record(ts, v).unwrap();
+        }
+        assert_eq!(replayed.head(), ordered.head());
+        assert!(
+            (replayed.weighted_count() - ordered.weighted_count()).abs() < 1e-12,
+            "{} vs {}",
+            replayed.weighted_count(),
+            ordered.weighted_count()
+        );
+        let qs = [0.0, 0.5, 1.0];
+        let a = replayed.quantiles(&qs).unwrap();
+        let b = ordered.quantiles(&qs).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() <= 1e-9 * y.abs(), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn record_weighted_and_clear() {
+        let mut w = DecayedIngestWindow::with_config(config(), 10, 0.9).unwrap();
+        w.record_weighted(3, 5.0, 2.5).unwrap();
+        assert_eq!(w.weighted_count(), 2.5);
+        assert!(w.record_weighted(3, 5.0, -1.0).is_err());
+        assert!(w.record_weighted(3, 5.0, f64::NAN).is_err());
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.head(), None);
+        // Checkpoint round-trip through the weighted codec.
+        w.record_weighted(3, 5.0, 2.5).unwrap();
+        let bytes = w.resident().encode();
+        let back = AnyWeightedDDSketch::decode(&bytes).unwrap();
+        assert_eq!(back.weighted_count(), 2.5);
     }
 }

@@ -155,9 +155,11 @@ impl AgentSender {
         self.send_encoded(metric, ts_secs, &payload)
     }
 
-    /// Ship an already-encoded `DDS2` payload for `(metric, ts_secs)` —
-    /// the allocation-light path for agents that keep encoded bytes
-    /// around (or relay frames they received).
+    /// Ship an already-encoded payload (any dialect — `DDS1`/`DDS2`
+    /// integer counts or `DDS3` weighted) for `(metric, ts_secs)` — the
+    /// allocation-light path for agents that keep encoded bytes around
+    /// (or relay frames they received). The server routes `DDS3` frames
+    /// to the per-tenant weighted plane by magic.
     pub fn send_encoded(
         &mut self,
         metric: &str,

@@ -11,7 +11,7 @@ use pipeline::TimeSeriesStore;
 use crate::error::ServerError;
 use crate::net::{Conn, Endpoint};
 use crate::protocol::LineReader;
-use crate::state::StatsSnapshot;
+use crate::state::{StatsSnapshot, TenantStats};
 
 /// A connected query session.
 #[derive(Debug)]
@@ -92,7 +92,8 @@ impl QueryClient {
             let Some((key, value)) = pair.split_once('=') else {
                 return Err(ServerError::Protocol(format!("bad stats pair {pair:?}")));
             };
-            // The per-shard depth vector is the one non-scalar key.
+            // The per-shard depth vector and the per-tenant totals are
+            // the non-scalar keys.
             if key == "staging_depth" {
                 snapshot.staging_depth = value
                     .split(',')
@@ -100,6 +101,26 @@ impl QueryClient {
                     .map(str::parse)
                     .collect::<Result<_, _>>()
                     .map_err(|_| ServerError::Protocol(format!("bad stats value {pair:?}")))?;
+                continue;
+            }
+            if key == "tenants" {
+                // `name:frames:weight` per tenant; names may contain
+                // `:` but not `,`, so fields split from the right.
+                snapshot.tenants = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|entry| {
+                        let mut fields = entry.rsplitn(3, ':');
+                        let weight = fields.next()?.parse().ok()?;
+                        let frames = fields.next()?.parse().ok()?;
+                        Some(TenantStats {
+                            name: fields.next()?.to_string(),
+                            frames_absorbed: frames,
+                            weighted_total: weight,
+                        })
+                    })
+                    .collect::<Option<_>>()
+                    .ok_or_else(|| ServerError::Protocol(format!("bad stats value {pair:?}")))?;
                 continue;
             }
             let value: u64 = value
@@ -152,10 +173,40 @@ impl QueryClient {
             .map_err(|_| ServerError::Protocol(format!("bad count {body:?}")))
     }
 
+    /// Total resident observation weight across a tenant — integer
+    /// counts at weight 1 plus `DDS3` frame weights (`SYNC` first for a
+    /// barrier against in-flight ingest).
+    pub fn weighted_count(&mut self, tenant: &str) -> Result<f64, ServerError> {
+        let body = self.command(&format!("WCOUNT {tenant}"))?;
+        body.trim()
+            .parse()
+            .map_err(|_| ServerError::Protocol(format!("bad weighted count {body:?}")))
+    }
+
     /// Tenant-wide quantile estimates — exact over everything absorbed,
     /// bit-identical to a from-scratch union sketch.
     pub fn quantiles(&mut self, tenant: &str, qs: &[f64]) -> Result<Vec<f64>, ServerError> {
-        let mut line = format!("QUANTILE {tenant}");
+        self.quantiles_command("QUANTILE", tenant, qs)
+    }
+
+    /// Tenant-wide **weighted** quantile estimates over both count
+    /// planes: integer frames enter at weight 1, `DDS3` frames at their
+    /// `f64` weights.
+    pub fn weighted_quantiles(
+        &mut self,
+        tenant: &str,
+        qs: &[f64],
+    ) -> Result<Vec<f64>, ServerError> {
+        self.quantiles_command("WQUANTILE", tenant, qs)
+    }
+
+    fn quantiles_command(
+        &mut self,
+        verb: &str,
+        tenant: &str,
+        qs: &[f64],
+    ) -> Result<Vec<f64>, ServerError> {
+        let mut line = format!("{verb} {tenant}");
         for q in qs {
             line.push_str(&format!(" {q:?}"));
         }
@@ -180,6 +231,11 @@ impl QueryClient {
     /// Convenience: one tenant-wide quantile.
     pub fn quantile(&mut self, tenant: &str, q: f64) -> Result<f64, ServerError> {
         Ok(self.quantiles(tenant, std::slice::from_ref(&q))?[0])
+    }
+
+    /// Convenience: one tenant-wide weighted quantile.
+    pub fn weighted_quantile(&mut self, tenant: &str, q: f64) -> Result<f64, ServerError> {
+        Ok(self.weighted_quantiles(tenant, std::slice::from_ref(&q))?[0])
     }
 
     /// The per-window quantile series of one metric:

@@ -79,8 +79,15 @@
 //! |-----------|--------------------------------------------------------|
 //! | handshake | `INGEST <tenant>\n` then `DDSF` + version (one write)  |
 //! | frame     | `varint len` + envelope, one per shipped sketch        |
-//! | envelope  | `varint metric_len` + metric + `varint ts_secs` + DDS2 |
+//! | envelope  | `varint metric_len` + metric + `varint ts_secs` + payload |
 //! | end       | clean socket close / write-half shutdown at a boundary |
+//!
+//! The envelope payload is any sketch dialect: integer `DDS1`/`DDS2`
+//! payloads feed each shard's exact `u64` plane (aggregator + windowed
+//! store), weighted `DDS3` payloads its `f64` weighted-plane
+//! aggregator — pre-aggregated client submissions ship their weights
+//! end to end, and `STATS` reports each tenant's absorbed payload
+//! count and weighted value total.
 //!
 //! ## Query protocol (text lines)
 //!
@@ -92,7 +99,9 @@
 //! | `SHARDS <tenant>`              | `+OK n depth:high …`                |
 //! | `METRICS <tenant>`             | `+OK metric …`                      |
 //! | `COUNT <tenant>`               | `+OK n`                             |
+//! | `WCOUNT <tenant>`              | `+OK w` (f64, both count planes)    |
 //! | `QUANTILE <tenant> <q> …`      | `+OK v …` (shortest-round-trip f64) |
+//! | `WQUANTILE <tenant> <q> …`     | `+OK v …` over both count planes    |
 //! | `SERIES <tenant> <metric> <q>` | `+OK window=v …`                    |
 //! | `DUMP <tenant> <shard>`        | `+DUMP <len>` + `len` binary bytes  |
 //! | `SYNC`                         | `+OK` once staged frames absorbed   |
@@ -145,4 +154,4 @@ pub use error::ServerError;
 pub use net::{Bind, Endpoint};
 pub use protocol::{valid_name, MAX_LINE, MAX_NAME};
 pub use server::{IoModel, ServerConfig, ServerHandle};
-pub use state::StatsSnapshot;
+pub use state::{StatsSnapshot, TenantStats};

@@ -13,11 +13,15 @@
 //! stream ([`ddsketch::codec::FrameWriter`] layout). Each frame body is
 //! a routing envelope around one encoded sketch payload:
 //!
-//! | field    | encoding                        |
-//! |----------|---------------------------------|
-//! | metric   | varint length + UTF-8 bytes     |
-//! | ts_secs  | varint                          |
-//! | payload  | `DDS2` sketch bytes to frame end |
+//! | field    | encoding                                       |
+//! |----------|------------------------------------------------|
+//! | metric   | varint length + UTF-8 bytes                    |
+//! | ts_secs  | varint                                         |
+//! | payload  | `DDS1`/`DDS2`/`DDS3` sketch bytes to frame end |
+//!
+//! Integer (`DDS1`/`DDS2`) payloads feed the exact `u64` plane: the
+//! shard's aggregator and its windowed time-series store. Weighted
+//! (`DDS3`) payloads feed the shard's weighted-plane aggregator.
 //!
 //! The ingest direction is fire-and-forget: the server never writes on
 //! an ingest connection, so an agent's send path is a single
@@ -158,7 +162,9 @@ pub(crate) enum Command {
     Shards(String),
     Metrics(String),
     Count(String),
+    WCount(String),
     Quantile(String, Vec<f64>),
+    WQuantile(String, Vec<f64>),
     Series {
         tenant: String,
         metric: String,
@@ -192,7 +198,8 @@ pub(crate) fn parse_command(line: &str) -> Result<Command, String> {
         "SHARDS" => Command::Shards(name_arg("tenant")?),
         "METRICS" => Command::Metrics(name_arg("tenant")?),
         "COUNT" => Command::Count(name_arg("tenant")?),
-        "QUANTILE" => {
+        "WCOUNT" => Command::WCount(name_arg("tenant")?),
+        "QUANTILE" | "WQUANTILE" => {
             let tenant = name_arg("tenant")?;
             let qs: Vec<f64> = parts
                 .by_ref()
@@ -202,9 +209,16 @@ pub(crate) fn parse_command(line: &str) -> Result<Command, String> {
                 })
                 .collect::<Result<_, _>>()?;
             if qs.is_empty() {
-                return Err("QUANTILE needs at least one q".into());
+                return Err(format!(
+                    "{} needs at least one q",
+                    verb.to_ascii_uppercase()
+                ));
             }
-            Command::Quantile(tenant, qs)
+            if verb.eq_ignore_ascii_case("WQUANTILE") {
+                Command::WQuantile(tenant, qs)
+            } else {
+                Command::Quantile(tenant, qs)
+            }
         }
         "SERIES" => {
             let tenant = name_arg("tenant")?;
@@ -296,9 +310,19 @@ mod tests {
                 shard: 3
             }
         );
+        assert_eq!(
+            parse_command("WCOUNT acme").unwrap(),
+            Command::WCount("acme".into())
+        );
+        assert_eq!(
+            parse_command("wquantile acme 0.5 0.99").unwrap(),
+            Command::WQuantile("acme".into(), vec![0.5, 0.99])
+        );
         assert!(parse_command("").is_err());
         assert!(parse_command("QUANTILE acme").is_err());
         assert!(parse_command("QUANTILE acme zero.five").is_err());
+        assert!(parse_command("WQUANTILE acme").is_err());
+        assert!(parse_command("WCOUNT").is_err());
         assert!(parse_command("BOGUS").is_err());
         assert!(parse_command("PING extra").is_err());
         assert!(parse_command("COUNT bad name").is_err());

@@ -26,11 +26,11 @@ use std::io::{BufReader, ErrorKind, Read, Write};
 use std::sync::Arc;
 
 use ddsketch::codec::FrameDecoder;
-use ddsketch::{SketchError, SketchPayload};
+use ddsketch::{SketchError, SketchPayload, WeightedSketchPayload};
 
 use crate::protocol::{decode_envelope, parse_command, valid_name, LineReader};
-use crate::server::{execute_into, is_retryable, tenant, ServerInner};
-use crate::state::{Job, Shard, ShardWaker, Stats, Tenant, TryPush};
+use crate::server::{decode_admitted, execute_into, is_retryable, tenant, ServerInner};
+use crate::state::{Job, JobPayload, Shard, ShardWaker, Stats, Tenant, TryPush};
 
 /// Frames an ingest machine may decode per `on_ready` before yielding.
 pub(crate) const FRAME_BUDGET: usize = 256;
@@ -57,10 +57,21 @@ struct IngestPhase {
     decoder: FrameDecoder,
     frame: Vec<u8>,
     spare_payload: SketchPayload,
+    spare_weighted: WeightedSketchPayload,
     spare_metric: String,
     /// A job bounced by a full staging queue, retried before any new
     /// frame is decoded — frames are never reordered or dropped.
     pending: Option<(Arc<Shard>, Job)>,
+}
+
+impl IngestPhase {
+    /// Return a recycled payload to the spare slot of its count plane.
+    fn store_spare(&mut self, payload: JobPayload) {
+        match payload {
+            JobPayload::Integer(p) => self.spare_payload = p,
+            JobPayload::Weighted(p) => self.spare_weighted = p,
+        }
+    }
 }
 
 enum Phase {
@@ -84,7 +95,7 @@ enum Flush {
 }
 
 enum Stage {
-    Stored((SketchPayload, String)),
+    Stored((JobPayload, String)),
     Suspend(Job),
     Closed,
 }
@@ -249,7 +260,7 @@ impl<S: Read + Write> ConnMachine<S> {
                             // a one-shot wake some other suspended
                             // connection needs — drop it.
                             shard.remove_waiter(&self.waker);
-                            ing.spare_payload = payload;
+                            ing.store_spare(payload);
                             ing.spare_metric = metric;
                         }
                         Stage::Suspend(job) => {
@@ -304,6 +315,7 @@ impl<S: Read + Write> ConnMachine<S> {
             decoder: FrameDecoder::with_max_frame_len(inner.config.max_frame_len),
             frame: Vec::new(),
             spare_payload: SketchPayload::default(),
+            spare_weighted: WeightedSketchPayload::default(),
             spare_metric: String::new(),
             pending: None,
         }));
@@ -339,9 +351,13 @@ impl<S: Read + Write> ConnMachine<S> {
     fn ingest_frame(&self, inner: &ServerInner, ing: &mut IngestPhase) -> IngestOutcome {
         match decode_envelope(&ing.frame) {
             Ok((metric, ts_secs, payload_bytes)) => {
-                if ing.spare_payload.decode_into(payload_bytes).is_ok()
-                    && ing.spare_payload.matches_config(&inner.config.sketch)
-                {
+                let payload = decode_admitted(
+                    inner,
+                    payload_bytes,
+                    &mut ing.spare_payload,
+                    &mut ing.spare_weighted,
+                );
+                if let Some(payload) = payload {
                     ing.spare_metric.clear();
                     ing.spare_metric.push_str(metric);
                     Stats::add(&inner.stats.bytes_ingested, ing.frame.len() as u64);
@@ -349,11 +365,11 @@ impl<S: Read + Write> ConnMachine<S> {
                     let job = Job {
                         metric: std::mem::take(&mut ing.spare_metric),
                         ts_secs,
-                        payload: std::mem::take(&mut ing.spare_payload),
+                        payload,
                     };
                     match stage_once(inner, &shard, job, &self.waker) {
                         Stage::Stored((payload, metric)) => {
-                            ing.spare_payload = payload;
+                            ing.store_spare(payload);
                             ing.spare_metric = metric;
                             IngestOutcome::Ok
                         }

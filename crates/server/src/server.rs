@@ -31,14 +31,19 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ddsketch::codec::{FrameReader, DEFAULT_MAX_FRAME_LEN};
-use ddsketch::{AnyDDSketch, SketchConfig, SketchError, SketchPayload};
+use ddsketch::codec::{FrameReader, SketchView, DEFAULT_MAX_FRAME_LEN};
+use ddsketch::{
+    AnyDDSketch, AnyWeightedDDSketch, SketchConfig, SketchError, SketchPayload,
+    WeightedSketchPayload,
+};
 use pipeline::TimeSeriesStore;
 
 use crate::error::ServerError;
 use crate::net::{Bind, Conn, Endpoint, Listener};
 use crate::protocol::{decode_envelope, fmt_f64, parse_command, valid_name, Command, LineReader};
-use crate::state::{lock, Job, Registry, Shard, ShardState, Stats, StatsSnapshot, Tenant};
+use crate::state::{
+    lock, Job, JobPayload, Registry, Shard, ShardState, Stats, StatsSnapshot, Tenant, TenantStats,
+};
 
 /// Which I/O plane serves connections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +153,11 @@ impl ServerInner {
                 let (depth, _) = shard.depth();
                 snapshot.staging_depth[index] += depth as u64;
             }
+            snapshot.tenants.push(TenantStats {
+                name: tenant.name.clone(),
+                frames_absorbed: tenant.frames_absorbed.load(Ordering::Relaxed),
+                weighted_total: tenant.weighted_total(),
+            });
         }
         snapshot
     }
@@ -311,7 +321,10 @@ pub(crate) fn tenant(inner: &Arc<ServerInner>, name: &str) -> Result<Arc<Tenant>
         for shard in &tenant.shards {
             let shard = shard.clone();
             let inner = inner.clone();
-            workers.push(std::thread::spawn(move || worker_loop(&inner, &shard)));
+            let tenant = tenant.clone();
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&inner, &tenant, &shard)
+            }));
         }
     }
     Ok(tenant)
@@ -319,32 +332,55 @@ pub(crate) fn tenant(inner: &Arc<ServerInner>, name: &str) -> Result<Arc<Tenant>
 
 /// One shard worker: absorb staged jobs until the shard closes and its
 /// backlog drains.
-fn worker_loop(inner: &ServerInner, shard: &Shard) {
+fn worker_loop(inner: &ServerInner, tenant: &Tenant, shard: &Shard) {
     while let Some(Job {
         metric,
         ts_secs,
         payload,
     }) = shard.pop()
     {
+        let weight = payload.total_weight();
         let mut state = lock(&shard.state);
-        // Both sinks run the same admission predicate as the connection
-        // thread's pre-check, so neither can fail here — but a failure
-        // must still leave agg and store consistent: skip both.
-        let spare = match state.store.absorb_payload(&metric, ts_secs, &payload) {
-            Ok(()) => match state.agg.feed_payload(payload) {
+        let spare = match payload {
+            // Integer frames feed both exact-plane sinks from the one
+            // decode. Both run the same admission predicate as the
+            // connection thread's pre-check, so neither can fail here —
+            // but a failure must still leave agg and store consistent:
+            // skip both.
+            JobPayload::Integer(payload) => {
+                match state.store.absorb_payload(&metric, ts_secs, &payload) {
+                    Ok(()) => match state.agg.feed_payload(payload) {
+                        Ok(()) => {
+                            Stats::add(&inner.stats.frames_ingested, 1);
+                            Stats::add(&tenant.frames_absorbed, 1);
+                            tenant.add_weight(weight);
+                            JobPayload::Integer(state.agg.take_spare())
+                        }
+                        Err(_) => {
+                            Stats::add(&inner.stats.frames_rejected, 1);
+                            JobPayload::Integer(state.agg.take_spare())
+                        }
+                    },
+                    Err(_) => {
+                        Stats::add(&inner.stats.frames_rejected, 1);
+                        JobPayload::Integer(payload)
+                    }
+                }
+            }
+            // `DDS3` frames land on the weighted plane only (the
+            // windowed store's rollups stay on exact integer counts).
+            JobPayload::Weighted(payload) => match state.wagg.feed_payload(payload) {
                 Ok(()) => {
                     Stats::add(&inner.stats.frames_ingested, 1);
-                    state.agg.take_spare()
+                    Stats::add(&tenant.frames_absorbed, 1);
+                    tenant.add_weight(weight);
+                    JobPayload::Weighted(state.wagg.take_spare())
                 }
                 Err(_) => {
                     Stats::add(&inner.stats.frames_rejected, 1);
-                    state.agg.take_spare()
+                    JobPayload::Weighted(state.wagg.take_spare())
                 }
             },
-            Err(_) => {
-                Stats::add(&inner.stats.frames_rejected, 1);
-                payload
-            }
         };
         drop(state);
         shard.complete(spare, metric);
@@ -436,6 +472,7 @@ fn handle_ingest(inner: &Arc<ServerInner>, conn: Conn, tenant_name: &str) {
     let mut reader = FrameReader::lazy_with_max_frame_len(conn, inner.config.max_frame_len);
     let mut frame = Vec::new();
     let mut spare_payload = SketchPayload::default();
+    let mut spare_weighted = WeightedSketchPayload::default();
     let mut spare_metric = String::new();
     let clean = loop {
         match reader.read_frame(&mut frame) {
@@ -459,10 +496,15 @@ fn handle_ingest(inner: &Arc<ServerInner>, conn: Conn, tenant_name: &str) {
             Ok((metric, ts_secs, payload_bytes)) => {
                 // Reject corrupt or incompatible payloads here, before
                 // staging — a bad frame never reaches tenant state, and
-                // the (intact) framing lets the stream continue.
-                if spare_payload.decode_into(payload_bytes).is_ok()
-                    && spare_payload.matches_config(&inner.config.sketch)
-                {
+                // the (intact) framing lets the stream continue. The
+                // magic routes the payload to its count plane.
+                let payload = decode_admitted(
+                    inner,
+                    payload_bytes,
+                    &mut spare_payload,
+                    &mut spare_weighted,
+                );
+                if let Some(payload) = payload {
                     spare_metric.clear();
                     spare_metric.push_str(metric);
                     Stats::add(&inner.stats.bytes_ingested, frame.len() as u64);
@@ -470,11 +512,14 @@ fn handle_ingest(inner: &Arc<ServerInner>, conn: Conn, tenant_name: &str) {
                     let job = Job {
                         metric: std::mem::take(&mut spare_metric),
                         ts_secs,
-                        payload: std::mem::take(&mut spare_payload),
+                        payload,
                     };
                     match shard.push(job, &inner.stats) {
                         Ok((payload, metric)) => {
-                            spare_payload = payload;
+                            match payload {
+                                JobPayload::Integer(p) => spare_payload = p,
+                                JobPayload::Weighted(p) => spare_weighted = p,
+                            }
                             spare_metric = metric;
                         }
                         // The shard closed under us: server shutdown.
@@ -489,6 +534,28 @@ fn handle_ingest(inner: &Arc<ServerInner>, conn: Conn, tenant_name: &str) {
     };
     if !clean {
         Stats::add(&inner.stats.ingest_disconnects, 1);
+    }
+}
+
+/// Decode one envelope payload into the spare buffer of its count plane
+/// (routed by the payload magic) and run the admission predicate.
+/// Returns the staged payload (the spare is `mem::take`n) or `None` if
+/// the frame must be rejected; shared by the threaded handler and the
+/// reactor's ingest machines.
+pub(crate) fn decode_admitted(
+    inner: &ServerInner,
+    payload_bytes: &[u8],
+    spare_payload: &mut SketchPayload,
+    spare_weighted: &mut WeightedSketchPayload,
+) -> Option<JobPayload> {
+    if payload_bytes.get(..4) == Some(b"DDS3") {
+        (spare_weighted.decode_into(payload_bytes).is_ok()
+            && spare_weighted.matches_config(&inner.config.sketch))
+        .then(|| JobPayload::Weighted(std::mem::take(spare_weighted)))
+    } else {
+        (spare_payload.decode_into(payload_bytes).is_ok()
+            && spare_payload.matches_config(&inner.config.sketch))
+        .then(|| JobPayload::Integer(std::mem::take(spare_payload)))
     }
 }
 
@@ -541,6 +608,21 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
         Command::Stats => {
             let s = inner.stats_snapshot();
             let depths: Vec<String> = s.staging_depth.iter().map(u64::to_string).collect();
+            // `name:frames:weight` per tenant — names may contain `:`
+            // but not `,`, so readers split tenants on `,` and fields
+            // from the right.
+            let tenants: Vec<String> = s
+                .tenants
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{}:{}:{}",
+                        t.name,
+                        t.frames_absorbed,
+                        fmt_f64(t.weighted_total)
+                    )
+                })
+                .collect();
             respond(
                 out,
                 &format!(
@@ -548,7 +630,7 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
                      connections_total={} connections_rejected={} open_connections={} \
                      ingest_disconnects={} queries_served={} backpressure_waits={} \
                      ingest_suspensions={} reactor_wakeups={} reactor_events={} \
-                     checkpoints_completed={} staging_depth={}",
+                     checkpoints_completed={} staging_depth={} tenants={}",
                     s.frames_ingested,
                     s.frames_rejected,
                     s.bytes_ingested,
@@ -562,7 +644,8 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
                     s.reactor_wakeups,
                     s.reactor_events,
                     s.checkpoints_completed,
-                    depths.join(",")
+                    depths.join(","),
+                    tenants.join(",")
                 ),
             );
         }
@@ -610,6 +693,23 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
             }
             None => respond(out, "-ERR unknown tenant"),
         },
+        Command::WCount(name) => match inner.registry.get(&name) {
+            Some(tenant) => {
+                // Total resident weight across both planes: integer
+                // counts enter at weight 1, `DDS3` frames at their
+                // `f64` weights.
+                let total: f64 = tenant
+                    .shards
+                    .iter()
+                    .map(|shard| {
+                        let state = lock(&shard.state);
+                        state.agg.count() as f64 + state.wagg.weighted_count()
+                    })
+                    .sum();
+                respond(out, &format!("+OK {}", fmt_f64(total)));
+            }
+            None => respond(out, "-ERR unknown tenant"),
+        },
         Command::Quantile(name, qs) => match inner.registry.get(&name) {
             Some(tenant) => {
                 // Fold each shard under its own lock, clone the resident,
@@ -634,6 +734,19 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
                     Err(e) => respond(out, &format!("-ERR {e}")),
                 }
             }
+            None => respond(out, "-ERR unknown tenant"),
+        },
+        Command::WQuantile(name, qs) => match inner.registry.get(&name) {
+            Some(tenant) => match weighted_union(&tenant, inner) {
+                Ok(union) => match union.quantiles(&qs) {
+                    Ok(values) => {
+                        let rendered: Vec<String> = values.iter().map(|&v| fmt_f64(v)).collect();
+                        respond(out, &format!("+OK {}", rendered.join(" ")));
+                    }
+                    Err(e) => respond(out, &format!("-ERR {e}")),
+                },
+                Err(e) => respond(out, &format!("-ERR {e}")),
+            },
             None => respond(out, "-ERR unknown tenant"),
         },
         Command::Series {
@@ -704,6 +817,29 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
     true
 }
 
+/// Tenant-wide weighted union: every shard's weighted resident plus its
+/// integer resident lifted onto the weighted plane (each integer count
+/// enters at weight 1), merged outside the shard locks. There is no
+/// mixed-plane k-way rank walk, so the union is materialized — exact by
+/// full mergeability, allocation is per-query.
+fn weighted_union(
+    tenant: &Tenant,
+    inner: &ServerInner,
+) -> Result<AnyWeightedDDSketch, SketchError> {
+    let mut union = AnyWeightedDDSketch::new(inner.config.sketch)?;
+    for shard in &tenant.shards {
+        let mut state = lock(&shard.state);
+        state.agg.fold();
+        state.wagg.fold();
+        let weighted = state.wagg.resident().clone();
+        let integer = state.agg.resident().encode();
+        drop(state);
+        union.merge_from(&weighted)?;
+        union.merge_view(&SketchView::parse(&integer)?)?;
+    }
+    Ok(union)
+}
+
 /// A bare `ServerInner` with no I/O threads attached — lets reactor
 /// unit tests drive connection machines and event loops directly
 /// against real registry/stats state.
@@ -736,8 +872,12 @@ fn checkpoint_loop(inner: &Arc<ServerInner>, interval: Duration) {
     }
 }
 
-/// Snapshot every shard's store to `{tenant}@{shard}.ddts` under the
-/// configured directory (tmp + rename). Returns the file count.
+/// Snapshot every shard's store to `{tenant}@{shard}.ddts` and its
+/// weighted-plane resident to `{tenant}@{shard}.ddsw` (a bare `DDS3`
+/// payload) under the configured directory (tmp + rename). The `.ddsw`
+/// file is written only once the shard has absorbed weighted frames,
+/// and then on every sweep — so a stale snapshot is always overwritten,
+/// never left to double-restore. Returns the file count.
 fn checkpoint_all(inner: &ServerInner) -> Result<usize, ServerError> {
     let Some(dir) = &inner.config.checkpoint_dir else {
         return Ok(0);
@@ -746,14 +886,23 @@ fn checkpoint_all(inner: &ServerInner) -> Result<usize, ServerError> {
     let mut files = 0;
     for tenant in inner.registry.all() {
         for (index, shard) in tenant.shards.iter().enumerate() {
-            let state = lock(&shard.state);
+            let mut state = lock(&shard.state);
             let bytes = state.store.checkpoint(Vec::new())?;
+            state.wagg.fold();
+            let weighted = (!state.wagg.is_empty()).then(|| state.wagg.resident().encode());
             drop(state);
             let tmp = dir.join(format!("{}@{index}.ddts.tmp", tenant.name));
             let path = dir.join(format!("{}@{index}.ddts", tenant.name));
             fs::write(&tmp, &bytes)?;
             fs::rename(&tmp, &path)?;
             files += 1;
+            if let Some(weighted) = weighted {
+                let tmp = dir.join(format!("{}@{index}.ddsw.tmp", tenant.name));
+                let path = dir.join(format!("{}@{index}.ddsw", tenant.name));
+                fs::write(&tmp, &weighted)?;
+                fs::rename(&tmp, &path)?;
+                files += 1;
+            }
         }
     }
     Stats::add(&inner.stats.checkpoints_completed, 1);
@@ -772,17 +921,21 @@ fn restore_checkpoints(inner: &Arc<ServerInner>) -> Result<(), ServerError> {
     }
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
-        let Some(stem) = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .and_then(|n| n.strip_suffix(".ddts"))
-        else {
+        let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let (stem, weighted) = if let Some(stem) = file_name.strip_suffix(".ddts") {
+            (stem, false)
+        } else if let Some(stem) = file_name.strip_suffix(".ddsw") {
+            (stem, true)
+        } else {
             continue;
         };
         let Some((tenant_name, index)) = stem.rsplit_once('@') else {
             return Err(ServerError::Protocol(format!(
-                "checkpoint file {} is not named tenant@shard.ddts",
-                path.display()
+                "checkpoint file {} is not named tenant@shard.{}",
+                path.display(),
+                if weighted { "ddsw" } else { "ddts" }
             )));
         };
         let index: usize = index
@@ -793,6 +946,17 @@ fn restore_checkpoints(inner: &Arc<ServerInner>) -> Result<(), ServerError> {
                 "checkpoint file {} does not fit this server's layout",
                 path.display()
             )));
+        }
+        if weighted {
+            // A `.ddsw` snapshot is one bare `DDS3` payload; `feed`
+            // re-runs the admission predicate, so a snapshot from a
+            // differently-configured server is rejected here.
+            let bytes = fs::read(&path)?;
+            let tenant = tenant(inner, tenant_name)?;
+            let mut state = lock(&tenant.shards[index].state);
+            state.wagg.feed(&bytes).map_err(ServerError::Sketch)?;
+            state.wagg.fold();
+            continue;
         }
         let file = fs::File::open(&path)?;
         let store = TimeSeriesStore::restore(io::BufReader::new(file))?;
@@ -805,7 +969,9 @@ fn restore_checkpoints(inner: &Arc<ServerInner>) -> Result<(), ServerError> {
         }
         let tenant = tenant(inner, tenant_name)?;
         let mut state = lock(&tenant.shards[index].state);
-        let ShardState { agg, store: slot } = &mut *state;
+        let ShardState {
+            agg, store: slot, ..
+        } = &mut *state;
         *slot = store;
         for (_, _, cell) in slot.cells() {
             agg.feed(&cell.encode())?;

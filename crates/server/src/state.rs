@@ -25,8 +25,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use ddsketch::{SketchConfig, SketchPayload};
-use pipeline::{Aggregator, TimeSeriesStore};
+use ddsketch::{SketchConfig, SketchPayload, WeightedSketchPayload};
+use pipeline::{Aggregator, TimeSeriesStore, WeightedAggregator};
 
 /// Lock a mutex, surviving poisoning: a connection thread that panicked
 /// mid-operation must not wedge every other agent of the tenant. All
@@ -90,13 +90,14 @@ impl Stats {
             reactor_events: self.reactor_events.load(Ordering::Relaxed),
             checkpoints_completed: self.checkpoints_completed.load(Ordering::Relaxed),
             staging_depth: Vec::new(),
+            tenants: Vec::new(),
         }
     }
 }
 
 /// A point-in-time copy of the server's counters — what `STATS` reports
 /// and what [`crate::ServerHandle::stats`] returns.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
     /// Frames decoded, routed, and absorbed into tenant state.
     pub frames_ingested: u64,
@@ -134,6 +135,60 @@ pub struct StatsSnapshot {
     /// Live staging depth (queued + in-flight jobs) per shard index,
     /// summed across tenants; length = `shards_per_tenant`.
     pub staging_depth: Vec<u64>,
+    /// Per-tenant absorbed payload counts and weighted value totals,
+    /// name-sorted.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Per-tenant ingest totals, reported in `STATS`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    pub name: String,
+    /// Payloads absorbed into this tenant's state.
+    pub frames_absorbed: u64,
+    /// Total observation weight absorbed — integer payloads contribute
+    /// their counts, `DDS3` payloads their `f64` weights.
+    pub weighted_total: f64,
+}
+
+/// A staged payload on one of the two count planes. Integer (`DDS1`/
+/// `DDS2`) frames keep the exact `u64` plane; `DDS3` frames carry `f64`
+/// weights. Each variant recycles through its own spare pool.
+#[derive(Debug)]
+pub(crate) enum JobPayload {
+    Integer(SketchPayload),
+    Weighted(WeightedSketchPayload),
+}
+
+impl JobPayload {
+    pub(crate) fn is_weighted(&self) -> bool {
+        matches!(self, JobPayload::Weighted(_))
+    }
+
+    /// Total observation weight the payload carries (zero bucket
+    /// included) — what the tenant's weighted ingest total advances by.
+    pub(crate) fn total_weight(&self) -> f64 {
+        match self {
+            JobPayload::Integer(p) => {
+                let bins: u64 = p
+                    .positive
+                    .iter()
+                    .chain(p.negative.iter())
+                    .map(|&(_, c)| c)
+                    .sum();
+                (p.zero_count + bins) as f64
+            }
+            JobPayload::Weighted(p) => {
+                let bins: f64 = p
+                    .positive
+                    .iter()
+                    .chain(p.negative.iter())
+                    .map(|&(_, c)| c)
+                    .sum();
+                p.zero_count + bins
+            }
+        }
+    }
 }
 
 /// One routed, decoded frame awaiting absorption by a shard worker.
@@ -141,17 +196,21 @@ pub struct StatsSnapshot {
 pub(crate) struct Job {
     pub metric: String,
     pub ts_secs: u64,
-    pub payload: SketchPayload,
+    pub payload: JobPayload,
 }
 
 /// The sketch state a shard worker owns: the tenant-shard's resident
-/// aggregator (tenant-wide quantiles) and its windowed time-series
-/// store (per-metric series, checkpoints). Both absorb every accepted
-/// frame, so they answer from the same data.
+/// aggregator (tenant-wide quantiles), its windowed time-series store
+/// (per-metric series, checkpoints), and the weighted-plane aggregator
+/// absorbing `DDS3` frames. Integer frames feed the first two from a
+/// single decode, so they answer from the same data; weighted frames
+/// feed only the weighted plane (the windowed store's rollups stay on
+/// exact integer counts).
 #[derive(Debug)]
 pub(crate) struct ShardState {
     pub agg: Aggregator,
     pub store: TimeSeriesStore,
+    pub wagg: WeightedAggregator,
 }
 
 /// Readiness callback for a connection suspended on a full staging
@@ -167,8 +226,9 @@ pub(crate) trait ShardWaker: Send + Sync + std::fmt::Debug {
 /// untouched, so no accepted frame is ever dropped on a full queue.
 #[derive(Debug)]
 pub(crate) enum TryPush {
-    /// Staged; here are recycled `(payload, metric string)` buffers.
-    Stored((SketchPayload, String)),
+    /// Staged; here are recycled `(payload, metric string)` buffers of
+    /// the same count plane as the staged job.
+    Stored((JobPayload, String)),
     /// Queue at its bound — suspend and retry after a waker fires.
     Full(Job),
     /// Shard closed (server shutting down); the job will never land.
@@ -178,8 +238,10 @@ pub(crate) enum TryPush {
 #[derive(Debug, Default)]
 struct StagingInner {
     queue: VecDeque<Job>,
-    /// Spent decode buffers flowing back to connection threads.
+    /// Spent decode buffers flowing back to connection threads, one
+    /// pool per count plane.
     spare_payloads: Vec<SketchPayload>,
+    spare_weighted: Vec<WeightedSketchPayload>,
     spare_strings: Vec<String>,
     /// Jobs popped but not yet [`Shard::complete`]d — `sync` must wait
     /// for these too, or a drained queue could still mean an absorb in
@@ -193,6 +255,17 @@ struct StagingInner {
     /// sweep covers any wake consumed by a connection that had already
     /// moved on.
     waiters: Vec<Arc<dyn ShardWaker>>,
+}
+
+impl StagingInner {
+    /// A recycled payload buffer of the requested count plane.
+    fn take_spare(&mut self, weighted: bool) -> JobPayload {
+        if weighted {
+            JobPayload::Weighted(self.spare_weighted.pop().unwrap_or_default())
+        } else {
+            JobPayload::Integer(self.spare_payloads.pop().unwrap_or_default())
+        }
+    }
 }
 
 /// One shard of a tenant: a bounded staging queue feeding a dedicated
@@ -223,7 +296,8 @@ impl Shard {
     /// backpressure path; `stats` counts the waits). Returns a recycled
     /// `(payload, metric string)` pair for the caller's next decode —
     /// or `Err(())` if the shard closed while waiting (server shutdown).
-    pub(crate) fn push(&self, job: Job, stats: &Stats) -> Result<(SketchPayload, String), ()> {
+    pub(crate) fn push(&self, job: Job, stats: &Stats) -> Result<(JobPayload, String), ()> {
+        let weighted = job.payload.is_weighted();
         let mut inner = lock(&self.staging);
         while inner.queue.len() >= self.bound && !inner.closed {
             Stats::add(&stats.backpressure_waits, 1);
@@ -238,7 +312,7 @@ impl Shard {
         inner.queue.push_back(job);
         inner.high_watermark = inner.high_watermark.max(inner.queue.len());
         let spare = (
-            inner.spare_payloads.pop().unwrap_or_default(),
+            inner.take_spare(weighted),
             inner.spare_strings.pop().unwrap_or_default(),
         );
         drop(inner);
@@ -250,6 +324,7 @@ impl Shard {
     /// hand it straight back otherwise. The reactor's ingest path — an
     /// event-loop thread must never park on a Condvar.
     pub(crate) fn try_push(&self, job: Job) -> TryPush {
+        let weighted = job.payload.is_weighted();
         let mut inner = lock(&self.staging);
         if inner.closed {
             drop(job);
@@ -261,7 +336,7 @@ impl Shard {
         inner.queue.push_back(job);
         inner.high_watermark = inner.high_watermark.max(inner.queue.len());
         let spare = (
-            inner.spare_payloads.pop().unwrap_or_default(),
+            inner.take_spare(weighted),
             inner.spare_strings.pop().unwrap_or_default(),
         );
         drop(inner);
@@ -326,10 +401,13 @@ impl Shard {
 
     /// Worker side: mark the previously popped job absorbed and return
     /// its buffers to the recycle pools.
-    pub(crate) fn complete(&self, payload: SketchPayload, mut metric: String) {
+    pub(crate) fn complete(&self, payload: JobPayload, mut metric: String) {
         metric.clear();
         let mut inner = lock(&self.staging);
-        inner.spare_payloads.push(payload);
+        match payload {
+            JobPayload::Integer(p) => inner.spare_payloads.push(p),
+            JobPayload::Weighted(p) => inner.spare_weighted.push(p),
+        }
         inner.spare_strings.push(metric);
         inner.in_flight -= 1;
         if inner.queue.is_empty() && inner.in_flight == 0 {
@@ -373,11 +451,17 @@ impl Shard {
     }
 }
 
-/// One tenant: its name and its shards.
+/// One tenant: its name, its shards, and its ingest totals.
 #[derive(Debug)]
 pub(crate) struct Tenant {
     pub name: String,
     pub shards: Vec<Arc<Shard>>,
+    /// Payloads absorbed into this tenant's state (both planes).
+    pub frames_absorbed: AtomicU64,
+    /// Total observation weight absorbed, as `f64` bits — advanced with
+    /// a CAS loop ([`Tenant::add_weight`]), same technique as the
+    /// atomic store plane's `f64` cells.
+    weighted_total_bits: AtomicU64,
 }
 
 impl Tenant {
@@ -395,6 +479,7 @@ impl Tenant {
                 ShardState {
                     agg: Aggregator::with_config(config, fold_threshold)?,
                     store: TimeSeriesStore::with_config(config, window_secs)?,
+                    wagg: WeightedAggregator::with_config(config, fold_threshold)?,
                 },
                 staging_bound,
             )));
@@ -402,7 +487,31 @@ impl Tenant {
         Ok(Self {
             name: name.to_string(),
             shards,
+            frames_absorbed: AtomicU64::new(0),
+            weighted_total_bits: AtomicU64::new(0.0f64.to_bits()),
         })
+    }
+
+    /// Advance the tenant's weighted ingest total by `w`.
+    pub(crate) fn add_weight(&self, w: f64) {
+        let mut current = self.weighted_total_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + w).to_bits();
+            match self.weighted_total_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The tenant's weighted ingest total.
+    pub(crate) fn weighted_total(&self) -> f64 {
+        f64::from_bits(self.weighted_total_bits.load(Ordering::Relaxed))
     }
 
     /// The shard owning `metric`.
@@ -475,7 +584,7 @@ mod tests {
         let job = |i: u64| Job {
             metric: format!("m{i}"),
             ts_secs: i,
-            payload: SketchPayload::default(),
+            payload: JobPayload::Integer(SketchPayload::default()),
         };
         shard.push(job(0), &stats).unwrap();
         shard.push(job(1), &stats).unwrap();
@@ -529,7 +638,7 @@ mod tests {
         let job = |i: u64| Job {
             metric: format!("m{i}"),
             ts_secs: i,
-            payload: SketchPayload::default(),
+            payload: JobPayload::Integer(SketchPayload::default()),
         };
 
         assert!(matches!(shard.try_push(job(0)), TryPush::Stored(_)));

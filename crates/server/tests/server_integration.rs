@@ -545,6 +545,135 @@ fn dump_and_checkpoint_roundtrip_over_the_wire() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The weighted count plane through the wire: one agent stream mixing
+/// integer `DDS2` and weighted `DDS3` frames, per-tenant totals in
+/// `STATS`, `WCOUNT`/`WQUANTILE` answering over both planes, and the
+/// `.ddsw` checkpoint surviving a restart.
+#[test]
+fn weighted_frames_flow_through_stats_queries_and_checkpoints() {
+    use ddsketch::AnyWeightedDDSketch;
+
+    const INTEGER_FRAMES: u64 = 24;
+    const WEIGHTED_FRAMES: u64 = 24;
+
+    let dir = temp_dir("weighted");
+    let config = ServerConfig {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_interval: Some(Duration::from_secs(3600)),
+        ..server_config()
+    };
+    let server = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), config.clone()).unwrap();
+    let mut agent = AgentSender::connect(server.endpoint().clone(), "acme").unwrap();
+
+    // Dyadic weights (multiples of 0.25) keep every f64 partial sum
+    // exact, so the assertions below can demand bit equality no matter
+    // what order the server folds frames in.
+    let mut reference = AnyWeightedDDSketch::new(cfg()).unwrap();
+    let mut integer_count = 0u64;
+    let mut weighted_total = 0.0f64;
+
+    for i in 0..INTEGER_FRAMES {
+        let values: Vec<f64> = (1..=10).map(|k| f64::from(k) * 1.5 + i as f64).collect();
+        for v in &values {
+            reference.add_with_count(*v, 1.0).unwrap();
+        }
+        integer_count += values.len() as u64;
+        weighted_total += values.len() as f64;
+        agent
+            .send_encoded(
+                &format!("m{}", i % 3),
+                (i % 6) * 10,
+                &payload(values.iter().copied()),
+            )
+            .unwrap();
+    }
+    for i in 0..WEIGHTED_FRAMES {
+        let mut frame = AnyWeightedDDSketch::new(cfg()).unwrap();
+        for k in 1..=8u32 {
+            let v = f64::from(k) * 2.5 + i as f64 * 0.5;
+            let w = f64::from(k % 4) * 0.25 + 0.5;
+            frame.add_with_count(v, w).unwrap();
+            reference.add_with_count(v, w).unwrap();
+            weighted_total += w;
+        }
+        agent
+            .send_encoded(&format!("m{}", i % 3), (i % 6) * 10, &frame.encode())
+            .unwrap();
+    }
+    agent.close().unwrap();
+
+    let mut client = QueryClient::connect(server.endpoint()).unwrap();
+    let stats = await_frames(&mut client, INTEGER_FRAMES + WEIGHTED_FRAMES);
+    client.sync().unwrap();
+
+    // Per-tenant totals ride STATS: absorbed payload count plus the f64
+    // weighted value total, round-tripping exactly through the text
+    // protocol's shortest-round-trip float rendering.
+    assert_eq!(stats.tenants.len(), 1);
+    let tenant = &stats.tenants[0];
+    assert_eq!(tenant.name, "acme");
+    assert_eq!(tenant.frames_absorbed, INTEGER_FRAMES + WEIGHTED_FRAMES);
+    assert_eq!(tenant.weighted_total.to_bits(), weighted_total.to_bits());
+
+    // `DDS3` frames never touch the exact integer plane: COUNT (and the
+    // windowed store behind SERIES) see only the integer frames.
+    assert_eq!(client.count("acme").unwrap(), integer_count);
+
+    // WCOUNT and WQUANTILE answer over both planes, bit-identical to a
+    // from-scratch weighted union of every valid frame.
+    assert_eq!(
+        client.weighted_count("acme").unwrap().to_bits(),
+        reference.weighted_count().to_bits()
+    );
+    let qs = [0.01, 0.25, 0.5, 0.9, 0.99];
+    let served = client.weighted_quantiles("acme", &qs).unwrap();
+    let expected = reference.quantiles(&qs).unwrap();
+    for (q, (got, want)) in qs.iter().zip(served.iter().zip(expected.iter())) {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "q={q}: served {got} != union {want}"
+        );
+    }
+    drop(client);
+
+    // Graceful shutdown takes a final checkpoint: `.ddsw` snapshots sit
+    // alongside the `.ddts` stores for shards holding weighted state.
+    server.shutdown().unwrap();
+    let ddsw_files = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.ends_with(".ddsw"))
+        })
+        .count();
+    assert!(ddsw_files >= 1, "no weighted checkpoint written");
+
+    // A fresh server boots from both planes' checkpoints and answers
+    // identically; the per-tenant totals are process-lifetime counters
+    // and start over.
+    let server2 = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), config).unwrap();
+    let mut client = QueryClient::connect(server2.endpoint()).unwrap();
+    assert_eq!(client.count("acme").unwrap(), integer_count);
+    assert_eq!(
+        client.weighted_count("acme").unwrap().to_bits(),
+        reference.weighted_count().to_bits()
+    );
+    let restored = client.weighted_quantiles("acme", &qs).unwrap();
+    for (got, want) in restored.iter().zip(expected.iter()) {
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+    let stats2 = client.stats().unwrap();
+    assert_eq!(stats2.tenants.len(), 1);
+    assert_eq!(stats2.tenants[0].frames_absorbed, 0);
+    assert_eq!(stats2.tenants[0].weighted_total, 0.0);
+    server2.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Protocol violations answer `-ERR` and leave the session usable;
 /// corrupt framing drops only the offending ingest connection.
 #[test]
@@ -561,6 +690,8 @@ fn protocol_errors_are_contained() {
         "SERIES acme",
         "DUMP acme notanumber",
         "PING extra args",
+        "WCOUNT",
+        "WQUANTILE acme",
     ] {
         let err = client.command(bad).unwrap_err();
         assert!(

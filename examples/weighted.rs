@@ -1,0 +1,109 @@
+//! Weighted ingestion end to end: f64 counts through the sketch, the
+//! DDS3 wire dialect, and ingest-time decay.
+//!
+//! Part 1 — pre-aggregated submissions. Three agents trace-sample their
+//! request streams at different rates (1-in-1, 1-in-10, 1-in-100) and
+//! record each sampled latency with weight = the inverse sampling rate,
+//! so the sketch estimates the *unsampled* population. Each agent ships
+//! one DDS3 frame; the aggregator decodes and merges them and answers
+//! population quantiles, checked here against an exact weighted oracle.
+//!
+//! Part 2 — ingest-time decay. A `DecayedIngestWindow` multiplies every
+//! resident weight by `decay` per one-second slot, so an incident's pull
+//! on the p99 fades smoothly as it ages instead of falling off a window
+//! edge — one resident sketch, no ring of slots.
+//!
+//! Run with: `cargo run --release --example weighted`
+
+use ddsketch::{AnyWeightedDDSketch, SketchConfig};
+use evalkit::ExactOracle;
+use pipeline::DecayedIngestWindow;
+
+/// Deterministic pseudo-random latency in seconds: ~4ms body with a
+/// heavy tail, scaled up while `incident` holds.
+fn latency(tick: u64, incident: bool) -> f64 {
+    let u = ((tick.wrapping_mul(2654435761) >> 7) % 10_000) as f64 / 10_000.0;
+    let base = 0.004 + 0.02 * u * u * u * u;
+    if incident {
+        base * 8.0
+    } else {
+        base
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SketchConfig::dense_collapsing(0.01, 2048);
+
+    // ---- Part 1: trace-sampled agents, one DDS3 frame each -------------
+    println!("trace-sampled agents (weight = inverse sampling rate):");
+    let mut oracle = ExactOracle::new(Vec::new());
+    let mut frames = Vec::new();
+    for (agent, rate) in [("edge-a", 1u64), ("edge-b", 10), ("edge-c", 100)] {
+        let mut sketch = AnyWeightedDDSketch::new(config)?;
+        let mut kept = 0u64;
+        for tick in 0..100_000u64 {
+            let value = latency(tick.wrapping_add(rate * 7919), false);
+            oracle.add(value); // the full population, for ground truth
+            if tick % rate == 0 {
+                sketch.add_with_count(value, rate as f64)?;
+                kept += 1;
+            }
+        }
+        let frame = sketch.encode();
+        println!(
+            "  {agent}: kept {kept:>6} of 100000 traces, \
+             estimated weight {:>9.0}, frame {:>5} bytes",
+            sketch.weighted_count(),
+            frame.len()
+        );
+        frames.push(frame);
+    }
+
+    // The aggregator never sees a raw value — only DDS3 frames.
+    let mut merged = AnyWeightedDDSketch::new(config)?;
+    for frame in &frames {
+        merged.merge_from(&AnyWeightedDDSketch::decode(frame)?)?;
+    }
+    println!(
+        "  merged: weight {:.0} estimating {} population values",
+        merged.weighted_count(),
+        oracle.len()
+    );
+    println!("  population quantiles (alpha = {}):", config.alpha);
+    for q in [0.5, 0.95, 0.99] {
+        let est = merged.quantile(q)?;
+        let exact = oracle.weighted_quantile(q);
+        println!(
+            "    p{:<4} est {:>9.5}s  exact {:>9.5}s  rel.err {:+.4}",
+            (q * 100.0) as u32,
+            est,
+            exact,
+            (est - exact) / exact
+        );
+    }
+
+    // ---- Part 2: ingest-time decay -------------------------------------
+    // One decay tick per one-second slot; after k seconds a value's
+    // weight is decay^k. With decay 0.95 an incident loses ~40% of its
+    // pull in 10s and ~95% in a minute.
+    println!("\ningest-time decay (decay 0.95/s, incident seconds 40-59):");
+    let mut window = DecayedIngestWindow::with_config(config, 1, 0.95)?;
+    for second in 0..120u64 {
+        let incident = (40..60).contains(&second);
+        for r in 0..200u64 {
+            window.record(second, latency(second * 200 + r, incident))?;
+        }
+        if (second + 1) % 10 == 0 {
+            let mut out = Vec::new();
+            window.quantiles_into(&[0.99], &mut out)?;
+            println!(
+                "  t={:>3}s  p99 {:>8.5}s  surviving weight {:>7.1}{}",
+                second + 1,
+                out[0],
+                window.weighted_count(),
+                if incident { "   << incident" } else { "" }
+            );
+        }
+    }
+    Ok(())
+}

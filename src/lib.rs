@@ -59,6 +59,8 @@
 //!
 //! `examples/aggregator.rs` scales this to 50 agents over a Unix domain
 //! socket with corruption injection and a kill/restore epilogue;
+//! `examples/weighted.rs` runs the f64 count plane end to end
+//! (trace-sampled `DDS3` submissions + ingest-time decay);
 //! `crates/bench/benches/server.rs` soaks it with ≥ 1M payloads
 //! (`results/BENCH_server.json`).
 

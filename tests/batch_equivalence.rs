@@ -19,8 +19,8 @@ fn check_equivalence<M, SP, SN>(
     label: &str,
 ) where
     M: IndexMapping,
-    SP: Store,
-    SN: Store,
+    SP: Store<Count = u64>,
+    SN: Store<Count = u64>,
 {
     for &v in values {
         scalar.add(v).unwrap();

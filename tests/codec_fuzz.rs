@@ -8,7 +8,10 @@
 //! must succeed too and agree with it (the two readers may not drift).
 
 use ddsketch::codec::FrameReader;
-use ddsketch::{AnyDDSketch, SketchConfig, SketchPayload, SketchView};
+use ddsketch::{
+    AnyDDSketch, AnyWeightedDDSketch, SketchConfig, SketchPayload, SketchView,
+    WeightedSketchPayload,
+};
 use pipeline::TimeSeriesStore;
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -34,8 +37,39 @@ fn exercise_payload_readers(bytes: &[u8]) {
         );
         assert_eq!(p.negative, v.negative_bins().collect::<Vec<_>>());
     }
+    // The weighted decoder is literally a view parse plus a bin
+    // transfer: it must accept a byte string iff the view does, for
+    // every dialect.
+    let weighted = WeightedSketchPayload::decode(bytes);
+    assert_eq!(
+        weighted.is_ok(),
+        view.is_ok(),
+        "weighted decode and view drifted on mutated bytes"
+    );
+    if let (Ok(w), Ok(v)) = (&weighted, &view) {
+        assert_eq!(w.zero_count.to_bits(), v.weighted_zero_count().to_bits());
+        assert_eq!(
+            w.positive,
+            v.weighted_positive_bins().collect::<Vec<_>>(),
+            "weighted positive bins drifted"
+        );
+        assert_eq!(w.negative, v.weighted_negative_bins().collect::<Vec<_>>());
+    }
+    // An integer decode means DDS1/DDS2 bytes: the weighted reader must
+    // take them too, with every count widened exactly.
+    if let (Ok(p), Ok(w)) = (&payload, &weighted) {
+        assert_eq!(p.zero_count as f64, w.zero_count);
+        assert!(p
+            .positive
+            .iter()
+            .zip(&w.positive)
+            .chain(p.negative.iter().zip(&w.negative))
+            .all(|(&(i, c), &(wi, wc))| i == wi && c as f64 == wc));
+    }
     if let Ok(decoded) = AnyDDSketch::decode(bytes) {
-        let v = view.expect("AnyDDSketch::decode accepted bytes the view rejected");
+        let v = view
+            .as_ref()
+            .expect("AnyDDSketch::decode accepted bytes the view rejected");
         assert_eq!(decoded.config(), v.config());
         assert_eq!(decoded.count(), v.count());
         if !decoded.is_empty() {
@@ -45,6 +79,17 @@ fn exercise_payload_readers(bytes: &[u8]) {
                 "decode and view disagree on quantiles of mutated bytes"
             );
         }
+    }
+    if let Ok(decoded) = AnyWeightedDDSketch::decode(bytes) {
+        let v = view
+            .as_ref()
+            .expect("AnyWeightedDDSketch::decode accepted bytes the view rejected");
+        assert_eq!(decoded.config(), v.config());
+        let total = v.weighted_count();
+        assert!(
+            (decoded.weighted_count() - total).abs() <= 1e-9 * total.abs().max(1.0),
+            "weighted sketch and view disagree on total weight"
+        );
     }
 }
 
@@ -66,7 +111,22 @@ fn pristine_payloads() -> Vec<Vec<u8>> {
             };
             empty.add(0.0).unwrap();
             empty.delete(0.0);
-            [empty.encode(), populated.encode()]
+            // A DDS3 payload mixing fractional weights (the 8-byte escape
+            // encoding) with integral ones (the varint fast path).
+            let weighted = {
+                let mut w = AnyWeightedDDSketch::new(config).unwrap();
+                for i in 1..200 {
+                    let v = 1.002_f64.powi(i * 31) * 1e-2;
+                    let frac = 0.25 + f64::from(i % 7) * 0.375;
+                    w.add_with_count(if i % 9 == 0 { -v } else { v }, frac)
+                        .unwrap();
+                    if i % 13 == 0 {
+                        w.add_with_count(0.0, 2.0).unwrap();
+                    }
+                }
+                w
+            };
+            [empty.encode(), populated.encode(), weighted.encode()]
         })
         .collect()
 }
@@ -83,6 +143,10 @@ fn truncations_never_panic() {
                 SketchView::parse(&bytes[..cut]).is_err(),
                 "strict prefix of length {cut} parsed as a view"
             );
+            assert!(
+                WeightedSketchPayload::decode(&bytes[..cut]).is_err(),
+                "strict prefix of length {cut} decoded as weighted"
+            );
         }
         // Trailing garbage in several flavours.
         for tail in [&[0u8][..], &[0xff; 3], &[0x80; 16]] {
@@ -90,6 +154,7 @@ fn truncations_never_panic() {
             extended.extend_from_slice(tail);
             assert!(SketchPayload::decode(&extended).is_err());
             assert!(SketchView::parse(&extended).is_err());
+            assert!(WeightedSketchPayload::decode(&extended).is_err());
         }
     }
 }
@@ -161,14 +226,117 @@ fn oversized_varints_and_random_mutations_never_panic() {
         for _ in 0..50 {
             let mut noise: Vec<u8> = (0..len).map(|_| xorshift(&mut rng) as u8).collect();
             exercise_payload_readers(&noise);
-            // And with a valid magic up front, to get past the first gate.
+            // And with a valid magic up front, to get past the first
+            // gate — all three dialects.
             if noise.len() >= 4 {
                 noise[..4].copy_from_slice(b"DDS2");
                 exercise_payload_readers(&noise);
                 noise[..4].copy_from_slice(b"DDS1");
                 exercise_payload_readers(&noise);
+                noise[..4].copy_from_slice(b"DDS3");
+                exercise_payload_readers(&noise);
             }
         }
+    }
+}
+
+/// `DDS3`'s weighted counts admit byte strings no integer dialect can
+/// express: `NaN`/`±∞`/negative/zero weights, reserved escape tags,
+/// truncated 8-byte escapes, subnormal totals. Every reader must reject
+/// the invalid ones identically and agree on the legal-but-extreme
+/// ones — never panic.
+#[test]
+fn hostile_weighted_counts_never_panic() {
+    let template = {
+        let mut w = AnyWeightedDDSketch::new(SketchConfig::dense_collapsing(0.01, 64)).unwrap();
+        w.add_with_count(1.5, 2.5).unwrap();
+        w.add_with_count(100.0, 1.0).unwrap();
+        w.add_with_count(-3.0, 1.25).unwrap();
+        w.add_with_count(0.0, 0.75).unwrap();
+        WeightedSketchPayload::decode(&w.encode()).unwrap()
+    };
+
+    // Struct-level hostility round-tripped through the encoder: the wire
+    // can express any f64, the readers must refuse the invalid ones.
+    let reject_zero = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, -1e-308];
+    for &bad in &reject_zero {
+        let mut p = template.clone();
+        p.zero_count = bad;
+        let bytes = p.encode();
+        assert!(
+            SketchView::parse(&bytes).is_err(),
+            "zero_count {bad} parsed"
+        );
+        assert!(WeightedSketchPayload::decode(&bytes).is_err());
+        assert!(AnyWeightedDDSketch::decode(&bytes).is_err());
+        exercise_payload_readers(&bytes);
+    }
+    // Bin weights additionally reject exact zero (empty bins must not be
+    // encoded).
+    for &bad in reject_zero.iter().chain([0.0].iter()) {
+        let mut p = template.clone();
+        p.positive[0].1 = bad;
+        let bytes = p.encode();
+        assert!(
+            SketchView::parse(&bytes).is_err(),
+            "bin weight {bad} parsed"
+        );
+        assert!(WeightedSketchPayload::decode(&bytes).is_err());
+        assert!(AnyWeightedDDSketch::decode(&bytes).is_err());
+        exercise_payload_readers(&bytes);
+    }
+    // Per-bin weights that are finite but overflow the f64 total.
+    {
+        let mut p = template.clone();
+        for bin in &mut p.positive {
+            bin.1 = f64::MAX;
+        }
+        let bytes = p.encode();
+        assert!(
+            SketchView::parse(&bytes).is_err(),
+            "overflowing total weight parsed"
+        );
+        exercise_payload_readers(&bytes);
+    }
+    // Subnormal weights are extreme but *legal*: every reader must
+    // accept them and agree bit-for-bit.
+    {
+        let mut p = template.clone();
+        for bin in p.positive.iter_mut().chain(p.negative.iter_mut()) {
+            bin.1 = f64::MIN_POSITIVE / 8.0;
+        }
+        p.zero_count = f64::MIN_POSITIVE / 8.0;
+        let bytes = p.encode();
+        let view = SketchView::parse(&bytes).expect("subnormal weights are valid");
+        assert!(view.is_weighted());
+        assert!(view.weighted_count() > 0.0);
+        let decoded = WeightedSketchPayload::decode(&bytes).unwrap();
+        assert_eq!(decoded, p);
+        exercise_payload_readers(&bytes);
+    }
+
+    // Byte-level hostility at the first weighted count: reserved odd
+    // escape tags and a truncated 8-byte escape. The empty payload puts
+    // `zero_count` at a fixed offset: magic(4) + kind(1) + store(1) +
+    // alpha(8) + bin_limit varint(1 for 64).
+    let empty = AnyWeightedDDSketch::new(SketchConfig::dense_collapsing(0.01, 64))
+        .unwrap()
+        .encode();
+    const ZERO_AT: usize = 15;
+    for splice in [&[0x03u8][..], &[0x05], &[0xff, 0x01], &[0x01, 0, 0, 0]] {
+        let mut bytes = empty[..ZERO_AT].to_vec();
+        bytes.extend_from_slice(splice);
+        if splice[0] != 0x01 {
+            // Reserved tags keep the rest of the payload intact.
+            bytes.extend_from_slice(&empty[ZERO_AT + 1..]);
+        }
+        assert!(
+            SketchView::parse(&bytes).is_err(),
+            "hostile count splice {splice:?} parsed"
+        );
+        assert!(WeightedSketchPayload::decode(&bytes).is_err());
+        assert!(AnyWeightedDDSketch::decode(&bytes).is_err());
+        exercise_payload_readers(&bytes);
     }
 }
 

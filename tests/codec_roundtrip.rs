@@ -1,7 +1,7 @@
 //! Integration: the wire codec across presets, with hostile inputs.
 
 use datasets::Dataset;
-use ddsketch::{presets, SketchPayload};
+use ddsketch::{presets, AnyWeightedDDSketch, SketchConfig, SketchPayload, SketchView};
 use proptest::prelude::*;
 
 #[test]
@@ -87,6 +87,56 @@ fn payload_survives_manual_edits_within_reason() {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // DDS3 round-trips *exactly*: encode → `SketchView` → decode
+    // preserves every f64 weight bit-for-bit (arbitrary finite weights,
+    // both varint-integral and raw-escape encodings), re-encoding is
+    // byte-identical, and the zero-copy view reads the same counts the
+    // materialized decode does — across all five configurations.
+    #[test]
+    fn prop_dds3_roundtrips_exactly(
+        pairs in proptest::collection::vec((-1e9f64..1e9, 0.001f64..1e9), 0..200),
+    ) {
+        for config in SketchConfig::all(0.02, 64) {
+            let mut sketch = AnyWeightedDDSketch::new(config).unwrap();
+            for (i, &(v, w)) in pairs.iter().enumerate() {
+                // Alternate raw-escape (fractional) and varint-integral
+                // weights so both DDS3 count encodings are on the wire.
+                let w = if i % 2 == 0 { w } else { w.ceil() };
+                sketch.add_with_count(v, w).unwrap();
+            }
+            let bytes = sketch.encode();
+            prop_assert_eq!(&bytes[..4], b"DDS3");
+
+            let decoded = AnyWeightedDDSketch::decode(&bytes).unwrap();
+            prop_assert_eq!(decoded.config(), config);
+            // The total weight is derived (zero bucket + Σ bins), so the
+            // decoder's summation order may legally reassociate it; every
+            // *stored* field below must round-trip bit-for-bit.
+            let (wc, dc) = (sketch.weighted_count(), decoded.weighted_count());
+            prop_assert!((dc - wc).abs() <= wc.abs() * 1e-12);
+            prop_assert_eq!(decoded.zero_weight().to_bits(), sketch.zero_weight().to_bits());
+            prop_assert_eq!(decoded.sum().to_bits(), sketch.sum().to_bits());
+            prop_assert_eq!(decoded.min(), sketch.min());
+            prop_assert_eq!(decoded.max(), sketch.max());
+            prop_assert_eq!(decoded.positive_bins(), sketch.positive_bins());
+            prop_assert_eq!(decoded.negative_bins(), sketch.negative_bins());
+            prop_assert_eq!(decoded.encode(), bytes.clone(), "re-encode must be byte-identical");
+
+            let view = SketchView::parse(&bytes).unwrap();
+            prop_assert!(view.is_weighted());
+            let vc = view.weighted_count();
+            prop_assert!((vc - wc).abs() <= wc.abs() * 1e-12);
+            prop_assert_eq!(
+                view.weighted_positive_bins().collect::<Vec<_>>(),
+                sketch.positive_bins()
+            );
+            prop_assert_eq!(
+                view.weighted_negative_bins().collect::<Vec<_>>(),
+                sketch.negative_bins()
+            );
+        }
+    }
 
     #[test]
     fn prop_codec_never_panics_on_mutations(

@@ -1,0 +1,213 @@
+//! Property tests for the weighted count plane: `add_with_count(v, k)`
+//! at an integral weight `k` must be **bit-identical** to k-fold
+//! `add(v)` — same bins, weighted count, zero weight, `sum`, `min`,
+//! `max`, quantiles — across all five preset configurations, and the
+//! weighted plane at integral weights must mirror the integer (`u64`)
+//! plane exactly. The lock-free `f64` atomic plane (per-bucket CAS on
+//! float bits) must agree bit-for-bit too, both single-threaded and
+//! under racing writers.
+//!
+//! Every stream is dyadic (values `m/64`, weights `k/4`), so each f64
+//! partial sum is exact and bit-equality is independent of association
+//! order — the assertions below hold mathematically, not just "usually".
+
+use ddsketch::{
+    AnyDDSketch, AnyWeightedDDSketch, LogarithmicMapping, SketchConfig, SketchError,
+    WeightedAtomicDDSketch,
+};
+use proptest::prelude::*;
+
+/// Bit-exact comparison of two weighted bin lists.
+fn assert_bins_eq(got: &[(i32, f64)], want: &[(i32, f64)], label: &str) {
+    let got: Vec<(i32, u64)> = got.iter().map(|&(i, c)| (i, c.to_bits())).collect();
+    let want: Vec<(i32, u64)> = want.iter().map(|&(i, c)| (i, c.to_bits())).collect();
+    assert_eq!(got, want, "{label}: bins");
+}
+
+/// Assert two weighted sketches are bit-identical, field for field.
+fn assert_weighted_eq(got: &AnyWeightedDDSketch, want: &AnyWeightedDDSketch, label: &str) {
+    assert_eq!(
+        got.weighted_count().to_bits(),
+        want.weighted_count().to_bits(),
+        "{label}: weighted count"
+    );
+    assert_eq!(
+        got.zero_weight().to_bits(),
+        want.zero_weight().to_bits(),
+        "{label}: zero weight"
+    );
+    assert_eq!(got.sum().to_bits(), want.sum().to_bits(), "{label}: sum");
+    assert_eq!(got.min(), want.min(), "{label}: min");
+    assert_eq!(got.max(), want.max(), "{label}: max");
+    assert_bins_eq(&got.positive_bins(), &want.positive_bins(), label);
+    assert_bins_eq(&got.negative_bins(), &want.negative_bins(), label);
+    if !got.is_empty() {
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                got.quantile(q).unwrap().to_bits(),
+                want.quantile(q).unwrap().to_bits(),
+                "{label}: quantile {q}"
+            );
+        }
+    }
+}
+
+/// For one config: fold `(value, k)` pairs three ways — weighted
+/// `add_with_count(v, k)`, k-fold `add(v)` on a second weighted sketch,
+/// and `add_with_count(v, k)` on the integer plane — and demand exact
+/// agreement.
+fn check_config(config: SketchConfig, pairs: &[(f64, u32)]) {
+    let label = config.name();
+    let mut folded = AnyWeightedDDSketch::new(config).unwrap();
+    let mut replicated = AnyWeightedDDSketch::new(config).unwrap();
+    let mut integer = AnyDDSketch::new(config).unwrap();
+    for &(v, k) in pairs {
+        folded.add_with_count(v, f64::from(k)).unwrap();
+        for _ in 0..k {
+            replicated.add(v).unwrap();
+        }
+        integer.add_with_count(v, u64::from(k)).unwrap();
+    }
+    assert_weighted_eq(&folded, &replicated, label);
+
+    // Integral weights mirror the u64 plane: same bins, counts exactly
+    // widened, bit-identical quantiles.
+    assert_eq!(
+        folded.weighted_count().to_bits(),
+        (integer.count() as f64).to_bits(),
+        "{label}: weighted vs integer count"
+    );
+    let widened: Vec<(i32, f64)> = integer
+        .positive_bins()
+        .into_iter()
+        .map(|(i, c)| (i, c as f64))
+        .collect();
+    assert_bins_eq(&folded.positive_bins(), &widened, label);
+    if !folded.is_empty() {
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(
+                folded.quantile(q).unwrap().to_bits(),
+                integer.quantile(q).unwrap().to_bits(),
+                "{label}: weighted vs integer quantile {q}"
+            );
+        }
+    }
+}
+
+/// Dyadic test stream: values `m/64`, integral weights `0..=20`
+/// (zero-weight inserts must be exact no-ops).
+fn dyadic_pairs(raw: &[(i64, u32)]) -> Vec<(f64, u32)> {
+    raw.iter().map(|&(m, k)| (m as f64 / 64.0, k)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn folded_weights_equal_replication_on_all_configs(
+        raw in proptest::collection::vec((-(1i64 << 20)..(1i64 << 20), 0u32..20), 1..100),
+    ) {
+        let pairs = dyadic_pairs(&raw);
+        for config in SketchConfig::all(0.02, 64) {
+            check_config(config, &pairs);
+        }
+    }
+
+    #[test]
+    fn atomic_f64_plane_matches_the_sequential_weighted_sketch(
+        raw in proptest::collection::vec((-(1i64 << 20)..(1i64 << 20), 0u32..20), 1..100),
+    ) {
+        // Fractional (quarter-unit) weights: the plane the u64 stores
+        // cannot express.
+        let config = SketchConfig::dense_collapsing(0.02, 64);
+        let atomic =
+            WeightedAtomicDDSketch::with_config(LogarithmicMapping::new(0.02).unwrap(), config)
+                .unwrap();
+        let mut sequential = AnyWeightedDDSketch::new(config).unwrap();
+        for &(m, k) in &raw {
+            let (v, w) = (m as f64 / 64.0, f64::from(k) / 4.0);
+            atomic.add_with_count(v, w).unwrap();
+            sequential.add_with_count(v, w).unwrap();
+        }
+        assert_weighted_eq(&atomic.snapshot_weighted().unwrap(), &sequential, "atomic");
+    }
+}
+
+/// Racing writers on the f64 atomic count plane: the quiesced snapshot
+/// must be bit-identical to a single-threaded weighted sketch over the
+/// union of every thread's stream, regardless of interleaving. This is
+/// the test CI soaks in release mode, where optimized atomics produce
+/// real interleavings.
+#[test]
+fn racing_weighted_writers_quiesce_to_the_sequential_union() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 4_000;
+    let config = SketchConfig::dense_collapsing(0.01, 512);
+    let atomic =
+        WeightedAtomicDDSketch::with_config(LogarithmicMapping::new(0.01).unwrap(), config)
+            .unwrap();
+
+    // Deterministic dyadic stream for thread `t`: mixed-sign values on
+    // a wide range, quarter-unit weights 0.25..=4.0.
+    let pair = |t: u64, i: u64| {
+        let h = (t * PER_THREAD + i).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
+        let m = (h % 200_001) as i64 - 100_000;
+        let w = f64::from((h >> 24 & 15) as u32 + 1) / 4.0;
+        (m as f64 / 64.0, w)
+    };
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let atomic = &atomic;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let (v, w) = pair(t, i);
+                    atomic.add_with_count(v, w).unwrap();
+                }
+            });
+        }
+    });
+
+    let mut sequential = AnyWeightedDDSketch::new(config).unwrap();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let (v, w) = pair(t, i);
+            sequential.add_with_count(v, w).unwrap();
+        }
+    }
+    assert_weighted_eq(
+        &atomic.snapshot_weighted().unwrap(),
+        &sequential,
+        "racing writers",
+    );
+}
+
+#[test]
+fn invalid_weights_are_rejected_without_corrupting_state() {
+    let config = SketchConfig::dense_collapsing(0.01, 512);
+    let mut sketch = AnyWeightedDDSketch::new(config).unwrap();
+    let atomic =
+        WeightedAtomicDDSketch::with_config(LogarithmicMapping::new(0.01).unwrap(), config)
+            .unwrap();
+    sketch.add_with_count(1.5, 2.25).unwrap();
+    atomic.add_with_count(1.5, 2.25).unwrap();
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, -0.25] {
+        assert!(
+            matches!(
+                sketch.add_with_count(3.0, bad),
+                Err(SketchError::InvalidConfig(_))
+            ),
+            "sequential accepted weight {bad}"
+        );
+        assert!(
+            atomic.add_with_count(3.0, bad).is_err(),
+            "atomic accepted weight {bad}"
+        );
+    }
+    assert_eq!(sketch.weighted_count(), 2.25, "state corrupted by rejects");
+    assert_eq!(
+        atomic.snapshot_weighted().unwrap().weighted_count(),
+        2.25,
+        "atomic state corrupted by rejects"
+    );
+}

@@ -12,11 +12,83 @@
 //! CLI argument is treated as a substring filter on benchmark IDs.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export so benches can `use criterion::black_box` if they prefer it
 /// over `std::hint::black_box`.
 pub use std::hint::black_box;
+
+/// One measured benchmark result, retained so a bench `main` can emit the
+/// repo's machine-readable `results/BENCH_*.json` after the groups run.
+#[derive(Debug, Clone)]
+pub struct MeasuredResult {
+    /// Full benchmark ID (`group/function/parameter`).
+    pub id: String,
+    /// Median-of-batches wall-clock time per iteration.
+    pub ns_per_iter: f64,
+    /// The group's throughput annotation at measurement time, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Results accumulate here as groups report; `--test` measures nothing so
+/// smoke runs leave it empty.
+static RESULTS: Mutex<Vec<MeasuredResult>> = Mutex::new(Vec::new());
+
+/// Drain every result measured so far.
+pub fn take_measured_results() -> Vec<MeasuredResult> {
+    std::mem::take(&mut RESULTS.lock().expect("results lock"))
+}
+
+/// Write the measured results in the workspace's standard `BENCH_*.json`
+/// schema (id → ns/iter plus derived throughput) — the same shape the
+/// hand-rolled codec/ingest/server benches emit, so every trajectory can
+/// be gated and diffed alike. Skipped under `--test` or an ID filter: a
+/// partial run must never overwrite a full trajectory.
+pub fn write_bench_json(bench: &str, path: &str) {
+    let mut test_mode = false;
+    let mut filtered = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => test_mode = true,
+            s if s.starts_with('-') => {}
+            _ => filtered = true,
+        }
+    }
+    let results = take_measured_results();
+    if test_mode || filtered || results.is_empty() {
+        return;
+    }
+    let mut out =
+        format!("{{\n  \"bench\": \"{bench}\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}",
+            r.id, r.ns_per_iter
+        ));
+        match r.throughput {
+            Some(Throughput::Elements(n)) => out.push_str(&format!(
+                ", \"melem_per_s\": {:.3}",
+                n as f64 / r.ns_per_iter * 1e3
+            )),
+            Some(Throughput::Bytes(n)) => out.push_str(&format!(
+                ", \"mb_per_ms\": {:.3}",
+                n as f64 / r.ns_per_iter * 1e3 / 1024.0
+            )),
+            None => {}
+        }
+        out.push_str(if k + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("\nmachine-readable results -> {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
 
 /// Throughput annotation: converts per-iteration time into a rate.
 #[derive(Debug, Clone, Copy)]
@@ -253,6 +325,11 @@ fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     match bencher.ns_per_iter {
         None => println!("{id:<50} ok (smoke)"),
         Some(ns) => {
+            RESULTS.lock().expect("results lock").push(MeasuredResult {
+                id: id.to_string(),
+                ns_per_iter: ns,
+                throughput,
+            });
             let time = human_time(ns);
             match throughput {
                 Some(Throughput::Elements(n)) => {
