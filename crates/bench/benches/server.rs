@@ -21,13 +21,25 @@
 //!   `results/BENCH_server_evloop.json`. With `--test`: a small CI
 //!   matrix (8 and 512 agents, short budget) that still writes the
 //!   JSON artifact.
+//! * `--query`      — query-under-sustained-ingest matrix:
+//!   `{LockedFold, EpochCached}` × `{Threaded, Reactor}`. Each cell
+//!   drives 4 ingest agents flat-out over TCP while an in-process
+//!   sampler measures fleet-p99 query *service time* at ~1 kHz (the
+//!   PR 7 soak cadence); after the drain, every query family's answer
+//!   is verified against the from-scratch union and against the
+//!   locked-fold cell's byte-for-byte — a cached read at the final
+//!   epoch must be bit-identical to a fresh under-lock fold of the same
+//!   data. Emits `results/BENCH_server_query.json`.
+//! * `--query-smoke` — the same matrix at a CI-sized budget; still
+//!   writes the JSON artifact, skips the ≥5× p99 assertion (timing on
+//!   shared CI runners is too noisy to gate on).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ddsketch::{AnyDDSketch, SketchConfig};
-use sketchd::{AgentSender, Bind, IoModel, QueryClient, ServerConfig, ServerHandle};
+use sketchd::{AgentSender, Bind, IoModel, QueryClient, ReadPlane, ServerConfig, ServerHandle};
 
 const AGENTS: usize = 8;
 const POOL: usize = 64;
@@ -303,15 +315,347 @@ fn run_evloop(test_mode: bool, frames_override: Option<u64>) {
     }
 }
 
+/// Values per frame in the query-matrix pool: denser payloads than the
+/// soak's 16 so each pending payload carries a realistic bucket count —
+/// the locked baseline pays that merge cost on the query path, the
+/// cached plane in the workers' snapshot refreshes.
+const QUERY_VALUES_PER_FRAME: usize = 128;
+
+/// Like `payload_pool`, but `QUERY_VALUES_PER_FRAME` values per entry.
+fn query_payload_pool() -> Vec<Vec<u8>> {
+    (0..POOL)
+        .map(|j| {
+            let mut sketch = plane_config().build().unwrap();
+            for k in 0..QUERY_VALUES_PER_FRAME {
+                let v = 0.5 + ((j * QUERY_VALUES_PER_FRAME + k) * 37 % 911) as f64 * 0.5;
+                sketch.add(v).unwrap();
+            }
+            sketch.encode()
+        })
+        .collect()
+}
+
+/// The raw query lines replayed against each cell after the drain —
+/// one per cacheable family, answers compared byte-for-byte across
+/// read planes.
+const VERIFY_LINES: [&str; 5] = [
+    "QUANTILE soak 0.25 0.5 0.9 0.99 0.999",
+    "WQUANTILE soak 0.5 0.99",
+    "COUNT soak",
+    "WCOUNT soak",
+    "SERIES soak m0 0.5",
+];
+
+/// One query-matrix cell: sustained ingest with a concurrent query
+/// sampler under one `(io_model, read_plane)` pair.
+struct QueryCell {
+    io_model: &'static str,
+    read_plane: &'static str,
+    frames: u64,
+    payloads_per_sec: f64,
+    queries: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    snapshot_rebuilds: u64,
+    /// Post-drain responses to `VERIFY_LINES`, each issued twice (the
+    /// repeat exercises the answer cache on the cached plane).
+    transcript: Vec<String>,
+}
+
+fn run_query_cell(
+    io_model: IoModel,
+    io_label: &'static str,
+    read_plane: ReadPlane,
+    rp_label: &'static str,
+    frame_budget: u64,
+    pool: &Arc<Vec<Vec<u8>>>,
+) -> QueryCell {
+    const QUERY_AGENTS: usize = 4;
+    let per_agent = (frame_budget / QUERY_AGENTS as u64).max(1);
+    let total_frames = per_agent * QUERY_AGENTS as u64;
+    let server = Arc::new(
+        ServerHandle::spawn(
+            &Bind::Tcp("127.0.0.1:0".into()),
+            ServerConfig {
+                sketch: plane_config(),
+                shards_per_tenant: 4,
+                staging_bound: 256,
+                // Throughput-oriented fold batching: workers amortize
+                // folds over large pending runs. This is the regime the
+                // read plane exists for — under the locked baseline
+                // every QUANTILE drains each shard's pending backlog
+                // under its lock, while the cached plane leaves folding
+                // to the workers' snapshot refreshes.
+                fold_threshold: 4096,
+                window_secs: 10,
+                io_model,
+                read_plane,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let endpoint = server.endpoint().clone();
+
+    // Query sampler: fleet-p99 service time at ~1 kHz throughout the
+    // ingest phase. Sampled in-process (`ServerHandle::execute`) so the
+    // clock covers exactly what the read plane controls — parse, lock
+    // waits, folds, rank walk — and not loopback round-trips, which on
+    // a loaded box are scheduler noise an order of magnitude above the
+    // locked fold itself.
+    let stop = Arc::new(AtomicBool::new(false));
+    let query_thread = {
+        let server = server.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut latencies_ns: Vec<u64> = Vec::new();
+            let mut out = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                out.clear();
+                let start = Instant::now();
+                assert!(server.execute("QUANTILE soak 0.99", &mut out));
+                latencies_ns.push(start.elapsed().as_nanos() as u64);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            latencies_ns
+        })
+    };
+
+    // Deterministic ingest (no corruption, no disconnects): both read
+    // planes see the exact same multiset of frames, so their post-drain
+    // answers must agree bit-for-bit.
+    let start = Instant::now();
+    let handles: Vec<_> = (0..QUERY_AGENTS)
+        .map(|a| {
+            let endpoint = endpoint.clone();
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let mut agent = AgentSender::connect(endpoint, TENANT).expect("agent connects");
+                let mut sent = vec![0u64; POOL];
+                for i in 0..per_agent {
+                    let entry = ((a as u64 + i) % POOL as u64) as usize;
+                    let metric = format!("m{}", i % 16);
+                    agent
+                        .send_encoded(&metric, (i % 360) * 10, &pool[entry])
+                        .expect("send");
+                    sent[entry] += 1;
+                }
+                agent.close().expect("clean close");
+                sent
+            })
+        })
+        .collect();
+    let mut multiplicity = vec![0u64; POOL];
+    for handle in handles {
+        for (slot, n) in multiplicity.iter_mut().zip(handle.join().unwrap()) {
+            *slot += n;
+        }
+    }
+
+    let mut client = QueryClient::connect(&endpoint).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        let stats = client.stats().unwrap();
+        if stats.frames_ingested >= total_frames {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "query cell {io_label}/{rp_label} stalled at {}/{total_frames} frames",
+            stats.frames_ingested,
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    client.sync().unwrap();
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies_ns = query_thread.join().unwrap();
+    latencies_ns.sort_unstable();
+
+    // In-cell verification: count exact, quantiles bit-identical to the
+    // from-scratch union over everything sent.
+    assert_eq!(
+        client.count(TENANT).unwrap(),
+        total_frames * QUERY_VALUES_PER_FRAME as u64,
+        "{io_label}/{rp_label}: lost or duplicated values"
+    );
+    let decoded: Vec<AnyDDSketch> = pool
+        .iter()
+        .map(|b| AnyDDSketch::decode(b).unwrap())
+        .collect();
+    let mut reference = plane_config().build().unwrap();
+    for (entry, &times) in multiplicity.iter().enumerate() {
+        for _ in 0..times {
+            reference.merge_from(&decoded[entry]).unwrap();
+        }
+    }
+    let qs = [0.01, 0.5, 0.99, 0.999];
+    let served = client.quantiles(TENANT, &qs).unwrap();
+    let expected = reference.quantiles(&qs).unwrap();
+    for (q, (got, want)) in qs.iter().zip(served.iter().zip(expected.iter())) {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{io_label}/{rp_label} q={q}: served {got} != union {want}"
+        );
+    }
+
+    // Cross-plane transcript: every query family, twice (the repeat
+    // must come from the answer cache on the cached plane and still be
+    // byte-identical).
+    let mut transcript = Vec::new();
+    for _ in 0..2 {
+        for line in VERIFY_LINES {
+            transcript.push(client.command(line).expect("verify query"));
+        }
+    }
+    let stats = client.stats().unwrap();
+    server.shutdown().unwrap();
+
+    let payloads_per_sec = total_frames as f64 / elapsed.as_secs_f64();
+    let p50_ns = percentile(&latencies_ns, 0.50);
+    let p99_ns = percentile(&latencies_ns, 0.99);
+    println!(
+        "  {io_label:>8} / {rp_label:<12} ingest {:>10}, {:>5} queries: p50 {:>8.1} µs, p99 {:>9.1} µs",
+        human_rate(payloads_per_sec),
+        latencies_ns.len(),
+        p50_ns as f64 / 1e3,
+        p99_ns as f64 / 1e3,
+    );
+    QueryCell {
+        io_model: io_label,
+        read_plane: rp_label,
+        frames: total_frames,
+        payloads_per_sec,
+        queries: latencies_ns.len() as u64,
+        p50_ns,
+        p99_ns,
+        cache_hits: stats.query_cache_hits,
+        cache_misses: stats.query_cache_misses,
+        snapshot_rebuilds: stats.snapshot_rebuilds,
+        transcript,
+    }
+}
+
+fn run_query_matrix(test_mode: bool, frames_override: Option<u64>) {
+    let frame_budget = frames_override.unwrap_or(if test_mode { 1 << 14 } else { 1 << 18 });
+    let pool = Arc::new(query_payload_pool());
+    println!(
+        "sketchd query-under-ingest: {{Threaded, Reactor}} x {{LockedFold, EpochCached}}, \
+         {frame_budget} payloads per cell, fleet-p99 sampler at ~1 kHz\n"
+    );
+    let mut cells = Vec::new();
+    let mut speedups = Vec::new();
+    for (io_model, io_label) in [
+        (IoModel::Threaded, "threaded"),
+        (IoModel::Reactor, "reactor"),
+    ] {
+        let locked = run_query_cell(
+            io_model,
+            io_label,
+            ReadPlane::LockedFold,
+            "locked-fold",
+            frame_budget,
+            &pool,
+        );
+        let cached = run_query_cell(
+            io_model,
+            io_label,
+            ReadPlane::EpochCached,
+            "epoch-cached",
+            frame_budget,
+            &pool,
+        );
+        // Both cells absorbed the same multiset of frames, so a cached
+        // read at the final epoch and a fresh under-lock fold of the
+        // same data must render byte-identical answers, family by
+        // family — including the answer-cache repeat.
+        assert_eq!(
+            locked.transcript, cached.transcript,
+            "{io_label}: epoch-cached answers diverged from the locked fold"
+        );
+        let speedup = locked.p99_ns as f64 / cached.p99_ns.max(1) as f64;
+        println!(
+            "  {io_label:>8} p99 speedup: {:.1} µs -> {:.1} µs = {speedup:.1}x (answers verified byte-identical)\n",
+            locked.p99_ns as f64 / 1e3,
+            cached.p99_ns as f64 / 1e3,
+        );
+        if !test_mode {
+            assert!(
+                speedup >= 5.0,
+                "{io_label}: epoch-cached p99 speedup {speedup:.1}x below the 5x bar"
+            );
+        }
+        speedups.push((io_label, speedup));
+        cells.push(locked);
+        cells.push(cached);
+    }
+
+    let mut rows = String::new();
+    for cell in &cells {
+        rows.push_str(&format!(
+            "{{\"id\": \"query/{}/{}\", \"ns_per_iter\": {}, \
+             \"io_model\": \"{}\", \"read_plane\": \"{}\", \"frames\": {}, \
+             \"payloads_per_sec\": {:.0}, \"queries\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"query_cache_hits\": {}, \"query_cache_misses\": {}, \
+             \"snapshot_rebuilds\": {}}},\n    ",
+            cell.io_model,
+            cell.read_plane,
+            cell.p99_ns,
+            cell.io_model,
+            cell.read_plane,
+            cell.frames,
+            cell.payloads_per_sec,
+            cell.queries,
+            cell.p50_ns,
+            cell.p99_ns,
+            cell.cache_hits,
+            cell.cache_misses,
+            cell.snapshot_rebuilds,
+        ));
+    }
+    for (i, (io_label, speedup)) in speedups.iter().enumerate() {
+        let sep = if i + 1 < speedups.len() {
+            ",\n    "
+        } else {
+            ""
+        };
+        rows.push_str(&format!(
+            "{{\"id\": \"query/{io_label}/p99-speedup\", \"ns_per_iter\": {speedup:.2}, \
+             \"io_model\": \"{io_label}\", \"verified\": \"bit-identical\"}}{sep}"
+        ));
+    }
+    let out = format!(
+        "{{\n  \"bench\": \"server_query\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n    {rows}\n  ]\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_server_query.json"
+    );
+    match std::fs::write(path, out) {
+        Ok(()) => println!("machine-readable results -> results/BENCH_server_query.json"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     let mut test_mode = false;
     let mut evloop = false;
+    let mut query = false;
     let mut frames_override: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--test" => test_mode = true,
             "--evloop" => evloop = true,
+            "--query" => query = true,
+            "--query-smoke" => {
+                query = true;
+                test_mode = true;
+            }
             "--frames" => {
                 frames_override = Some(
                     args.next()
@@ -321,6 +665,10 @@ fn main() {
             }
             _ => {}
         }
+    }
+    if query {
+        run_query_matrix(test_mode, frames_override);
+        return;
     }
     if evloop {
         run_evloop(test_mode, frames_override);

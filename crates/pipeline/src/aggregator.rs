@@ -28,6 +28,8 @@
 //! [`SketchView`] directly; the aggregator's rejection path is exactly
 //! that validation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use ddsketch::codec::FrameReader;
 use ddsketch::{
     AnyDDSketch, AnyWeightedDDSketch, MappingKind, SketchConfig, SketchError, SketchPayload,
@@ -50,6 +52,9 @@ pub struct Aggregator {
     scratch: SourceQuantileScratch,
     frames_received: u64,
     frames_folded: u64,
+    /// Monotonic data epoch: bumped on every accepted feed and every
+    /// non-empty fold, so `epoch() unchanged` ⟺ `answers unchanged`.
+    epoch: AtomicU64,
 }
 
 impl Aggregator {
@@ -75,6 +80,7 @@ impl Aggregator {
             scratch: SourceQuantileScratch::default(),
             frames_received: 0,
             frames_folded: 0,
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -110,6 +116,16 @@ impl Aggregator {
     /// Frames awaiting the next fold.
     pub fn pending_frames(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Monotonic data epoch: advanced by every accepted
+    /// [`Aggregator::feed`]/[`Aggregator::feed_payload`] and every
+    /// non-empty [`Aggregator::fold`] (a relaxed atomic, so a reader
+    /// holding only `&self` can probe it cheaply). An unchanged epoch
+    /// guarantees unchanged state — the contract read-side caches key
+    /// their invalidation on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// The resident sketch (excludes pending payloads; fold first for a
@@ -199,6 +215,7 @@ impl Aggregator {
         }
         self.pending.push(payload);
         self.frames_received += 1;
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         if self.pending.len() >= self.fold_threshold {
             self.fold();
         }
@@ -234,6 +251,7 @@ impl Aggregator {
         let folded = self.pending.len();
         self.frames_folded += folded as u64;
         self.spare.append(&mut self.pending);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         folded
     }
 
@@ -292,6 +310,8 @@ pub struct WeightedAggregator {
     fold_threshold: usize,
     frames_received: u64,
     frames_folded: u64,
+    /// Monotonic data epoch; see [`Aggregator::epoch`].
+    epoch: AtomicU64,
 }
 
 impl WeightedAggregator {
@@ -311,6 +331,7 @@ impl WeightedAggregator {
             fold_threshold,
             frames_received: 0,
             frames_folded: 0,
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -340,6 +361,12 @@ impl WeightedAggregator {
     /// Frames awaiting the next fold.
     pub fn pending_frames(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Monotonic data epoch: advanced by every accepted feed and every
+    /// non-empty fold; see [`Aggregator::epoch`] for the contract.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// The resident sketch (excludes pending payloads; fold first for a
@@ -412,6 +439,7 @@ impl WeightedAggregator {
         }
         self.pending.push(payload);
         self.frames_received += 1;
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         if self.pending.len() >= self.fold_threshold {
             self.fold();
         }
@@ -436,6 +464,9 @@ impl WeightedAggregator {
     /// Fold every pending payload into the resident sketch — one bulk
     /// `add_bins` pass per store per payload.
     pub fn fold(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
         let folded = self.pending.len();
         for payload in self.pending.drain(..) {
             self.resident
@@ -444,6 +475,7 @@ impl WeightedAggregator {
             self.spare.push(payload);
         }
         self.frames_folded += folded as u64;
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         folded
     }
 
@@ -667,6 +699,45 @@ mod tests {
         assert_eq!(agg.frames_received(), 2);
         assert_eq!(agg.weighted_count(), 3.0);
         assert!(WeightedAggregator::with_config(config, 0).is_err());
+    }
+
+    #[test]
+    fn epoch_advances_only_on_data_changes() {
+        let config = SketchConfig::dense_collapsing(0.01, 256);
+        let mut agg = Aggregator::with_config(config, 4).unwrap();
+        assert_eq!(agg.epoch(), 0);
+        // Rejected frames leave the epoch untouched.
+        assert!(agg.feed(b"DDS2").is_err());
+        assert_eq!(agg.epoch(), 0);
+        agg.feed(&frame(config, [1.0, 2.0])).unwrap();
+        let after_feed = agg.epoch();
+        assert!(after_feed > 0);
+        // Folding nothing is not a data change; folding something is.
+        agg.fold();
+        let after_fold = agg.epoch();
+        assert!(after_fold > after_feed);
+        assert_eq!(agg.fold(), 0);
+        assert_eq!(agg.epoch(), after_fold);
+        // Queries never advance the epoch.
+        agg.quantile(0.5).unwrap();
+        assert_eq!(agg.epoch(), after_fold);
+
+        let mut wagg = WeightedAggregator::with_config(config, 4).unwrap();
+        assert_eq!(wagg.epoch(), 0);
+        assert!(wagg.feed(b"DDS3").is_err());
+        assert_eq!(wagg.epoch(), 0);
+        wagg.feed(&weighted_frame(config, [(1.0, 2.5)])).unwrap();
+        let after_feed = wagg.epoch();
+        assert!(after_feed > 0);
+        wagg.fold();
+        let after_fold = wagg.epoch();
+        assert!(after_fold > after_feed);
+        assert_eq!(wagg.fold(), 0);
+        assert_eq!(wagg.epoch(), after_fold);
+        // A weighted quantile folds pending payloads first — with none
+        // pending it must not move the epoch.
+        wagg.quantile(0.5).unwrap();
+        assert_eq!(wagg.epoch(), after_fold);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! production defaults, sparse for wide-range metrics) without a rebuild.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ddsketch::codec::varint::{get_varint, put_varint};
 use ddsketch::codec::{FrameReader, FrameWriter};
@@ -66,6 +67,10 @@ pub struct TimeSeriesStore {
     /// Cells ordered by (metric, window): one metric's whole series is a
     /// contiguous key range.
     cells: BTreeMap<(MetricId, u64), AnyDDSketch>,
+    /// Monotonic data epoch: bumped on every successful record/absorb
+    /// and every non-empty eviction, so `epoch() unchanged` ⟺ `series
+    /// answers unchanged`.
+    epoch: AtomicU64,
 }
 
 impl TimeSeriesStore {
@@ -83,6 +88,7 @@ impl TimeSeriesStore {
             ids: HashMap::new(),
             names: Vec::new(),
             cells: BTreeMap::new(),
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -105,6 +111,15 @@ impl TimeSeriesStore {
     /// Number of live (metric, window) cells.
     pub fn num_cells(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Monotonic data epoch: advanced by every successful
+    /// record/absorb and every eviction that dropped at least one cell
+    /// (a relaxed atomic, cheap to probe through `&self`). An unchanged
+    /// epoch guarantees every series answer is unchanged — the
+    /// invalidation contract for read-side caches layered on the store.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// Align a timestamp down to its window start.
@@ -166,13 +181,16 @@ impl TimeSeriesStore {
     ) -> Result<(), SketchError> {
         if let Some(id) = self.metric_id(metric) {
             if let Some(cell) = self.cells.get_mut(&(id, window_start)) {
-                return op(cell);
+                op(cell)?;
+                self.epoch.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
             }
         }
         let mut fresh = self.config.build().expect("validated in constructor");
         op(&mut fresh)?;
         let id = self.intern(metric);
         self.cells.insert((id, window_start), fresh);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -367,7 +385,41 @@ impl TimeSeriesStore {
     pub fn evict_before(&mut self, window_start: u64) -> usize {
         let before = self.cells.len();
         self.cells.retain(|&(_, window), _| window >= window_start);
-        before - self.cells.len()
+        let evicted = before - self.cells.len();
+        if evicted > 0 {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+        evicted
+    }
+
+    /// The newest window start across every cell, if the store holds
+    /// any data.
+    pub fn newest_window(&self) -> Option<u64> {
+        self.cells.keys().map(|&(_, window)| window).max()
+    }
+
+    /// TTL retention, driven by the data itself: keep every cell that
+    /// overlaps the trailing `width_secs` seconds ending at the newest
+    /// cell's end, evict the rest ([`TimeSeriesStore::evict_before`]).
+    /// Returns how many cells were dropped.
+    ///
+    /// Anchoring the horizon on the newest *recorded* window — not the
+    /// wall clock — makes retention deployment-agnostic: stores fed
+    /// historical or synthetic timestamps age out relative to their own
+    /// stream. A zero width or an empty store is a no-op.
+    pub fn retain_recent(&mut self, width_secs: u64) -> usize {
+        if width_secs == 0 {
+            return 0;
+        }
+        let Some(newest) = self.newest_window() else {
+            return 0;
+        };
+        let end = newest.saturating_add(self.window_secs);
+        let lo = end.saturating_sub(width_secs);
+        // Cells are atomic: a cell [s, s + w) survives iff it overlaps
+        // [lo, end), i.e. s + w > lo — the same whole-cell convention as
+        // [`TimeSeriesStore::sliding_view`].
+        self.evict_before(lo.saturating_sub(self.window_secs - 1))
     }
 
     /// Iterate over all cells as `(metric name, window_start, sketch)`,
@@ -983,6 +1035,58 @@ mod tests {
             flipped[i] ^= 0x10;
             let _ = TimeSeriesStore::restore(flipped.as_slice());
         }
+    }
+
+    #[test]
+    fn retain_recent_keeps_the_trailing_width() {
+        let mut ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        assert_eq!(ts.newest_window(), None);
+        assert_eq!(ts.retain_recent(30), 0, "empty store is a no-op");
+        for w in 0..10u64 {
+            ts.record("a", w * 10, 1.0).unwrap();
+            ts.record("b", w * 10, 2.0).unwrap();
+        }
+        assert_eq!(ts.newest_window(), Some(90));
+        assert_eq!(ts.retain_recent(0), 0, "zero width is a no-op");
+        // Newest cell ends at 100; a 30s trail keeps windows ≥ 70.
+        assert_eq!(ts.retain_recent(30), 14);
+        assert_eq!(ts.num_cells(), 6);
+        for (_, window, _) in ts.cells() {
+            assert!(window >= 70);
+        }
+        // Already within the width: nothing further to evict.
+        assert_eq!(ts.retain_recent(30), 0);
+        // A width wider than the data keeps everything.
+        assert_eq!(ts.retain_recent(u64::MAX), 0);
+        // A sub-window width still keeps the newest cell (it overlaps
+        // any non-empty trailing span).
+        assert_eq!(ts.retain_recent(1), 4);
+        assert_eq!(ts.num_cells(), 2);
+        assert_eq!(ts.newest_window(), Some(90));
+    }
+
+    #[test]
+    fn epoch_advances_only_on_data_changes() {
+        let mut ts = TimeSeriesStore::new(0.01, 2048, 10).unwrap();
+        assert_eq!(ts.epoch(), 0);
+        // Rejected writes leave the epoch untouched.
+        assert!(ts.record("m", 0, f64::NAN).is_err());
+        assert_eq!(ts.epoch(), 0);
+        ts.record("m", 0, 1.0).unwrap();
+        let e1 = ts.epoch();
+        assert!(e1 > 0);
+        ts.record("m", 55, 2.0).unwrap();
+        let e2 = ts.epoch();
+        assert!(e2 > e1);
+        // Queries never advance the epoch.
+        ts.quantile("m", 0, 0.5).unwrap();
+        ts.quantile_series("m", 0.5);
+        assert_eq!(ts.epoch(), e2);
+        // Evicting nothing is not a data change; evicting cells is.
+        assert_eq!(ts.evict_before(0), 0);
+        assert_eq!(ts.epoch(), e2);
+        assert_eq!(ts.retain_recent(10), 1);
+        assert!(ts.epoch() > e2);
     }
 
     #[test]

@@ -140,6 +140,11 @@ impl QueryClient {
                 "reactor_wakeups" => snapshot.reactor_wakeups = value,
                 "reactor_events" => snapshot.reactor_events = value,
                 "checkpoints_completed" => snapshot.checkpoints_completed = value,
+                "query_cache_hits" => snapshot.query_cache_hits = value,
+                "query_cache_misses" => snapshot.query_cache_misses = value,
+                "snapshot_rebuilds" => snapshot.snapshot_rebuilds = value,
+                "snapshot_staleness_max" => snapshot.snapshot_staleness_max = value,
+                "evicted_cells" => snapshot.evicted_cells = value,
                 _ => {}
             }
         }

@@ -73,6 +73,43 @@
 //! `staging_depth`, `ingest_suspensions`, and reactor wakeup/event
 //! counters ([`StatsSnapshot`]).
 //!
+//! ## Read plane
+//!
+//! Queries never pay for ingest. Under the default
+//! [`ReadPlane::EpochCached`] every served answer comes from
+//! epoch-versioned state that is read entirely outside the shard locks:
+//!
+//! * **Epochs.** Each shard's aggregators and windowed store carry a
+//!   monotonic epoch — a relaxed atomic bumped on every accepted feed,
+//!   fold, and eviction. The shard publishes the combined epoch under
+//!   its state lock after each mutation, so "has anything changed?" is
+//!   one atomic load, never a lock.
+//! * **Snapshots.** Each shard double-buffers an immutable
+//!   `ShardSnapshot` (folded resident sketch, weighted plane, exact
+//!   counts) behind an `Arc`. A query serves the cached snapshot when
+//!   its epoch is current; only a genuinely stale *and* idle shard
+//!   rebuilds — taking the state lock just long enough for a fold and
+//!   bin copy (the short-hold pattern), then walking ranks outside all
+//!   locks. Shard workers refresh snapshots in the background every
+//!   [`ServerConfig::snapshot_refresh`] absorbs and on queue drain.
+//! * **Bounded staleness, exact answers.** While a shard has staged or
+//!   in-flight frames, queries serve the latest published snapshot
+//!   rather than racing the workers — bounded by the refresh cadence,
+//!   and *bit-identical* to a fresh under-lock fold of the same epoch's
+//!   data (full mergeability: fold order cannot change the state).
+//!   A quiesced server always serves the exact current state.
+//! * **Answer cache.** Rendered `+OK` responses are memoized keyed on
+//!   the raw query line and the epoch vector they were computed from;
+//!   a hot repeated query is a key probe plus one `memcpy` — zero
+//!   allocations at steady state. [`StatsSnapshot`] reports
+//!   `query_cache_hits` / `query_cache_misses`, `snapshot_rebuilds`,
+//!   and `snapshot_staleness_max` (worst epoch gap ever closed by a
+//!   query-path rebuild).
+//!
+//! [`ReadPlane::LockedFold`] keeps the original fold-under-the-shard-
+//! lock path as a benchmarking baseline (`cargo bench --bench server --
+//! --query` measures both planes under sustained ingest).
+//!
 //! ## Wire protocol (ingest)
 //!
 //! | step      | bytes                                                  |
@@ -145,6 +182,7 @@ mod net;
 mod protocol;
 #[cfg(unix)]
 mod reactor;
+mod readplane;
 mod server;
 mod state;
 
@@ -153,5 +191,5 @@ pub use client::QueryClient;
 pub use error::ServerError;
 pub use net::{Bind, Endpoint};
 pub use protocol::{valid_name, MAX_LINE, MAX_NAME};
-pub use server::{IoModel, ServerConfig, ServerHandle};
+pub use server::{IoModel, ReadPlane, ServerConfig, ServerHandle};
 pub use state::{StatsSnapshot, TenantStats};

@@ -28,8 +28,8 @@ use std::sync::Arc;
 use ddsketch::codec::FrameDecoder;
 use ddsketch::{SketchError, SketchPayload, WeightedSketchPayload};
 
-use crate::protocol::{decode_envelope, parse_command, valid_name, LineReader};
-use crate::server::{decode_admitted, execute_into, is_retryable, tenant, ServerInner};
+use crate::protocol::{decode_envelope, valid_name, LineReader};
+use crate::server::{decode_admitted, execute_line, is_retryable, tenant, ServerInner};
 use crate::state::{Job, JobPayload, Shard, ShardWaker, Stats, Tenant, TryPush};
 
 /// Frames an ingest machine may decode per `on_ready` before yielding.
@@ -329,17 +329,10 @@ impl<S: Read + Write> ConnMachine<S> {
         lines: &mut usize,
     ) -> Control {
         *lines += 1;
-        Stats::add(&inner.stats.queries_served, 1);
-        let keep_going = match parse_command(line) {
-            Ok(command) => execute_into(inner, command, &mut self.out),
-            Err(message) => {
-                self.out.extend_from_slice(b"-ERR ");
-                self.out.extend_from_slice(message.as_bytes());
-                self.out.push(b'\n');
-                true
-            }
-        };
-        if !keep_going {
+        // `execute_line` routes through the answer cache and the read
+        // snapshots exactly as the threaded handler does; `self.out` may
+        // hold earlier batched responses, which it appends after.
+        if !execute_line(inner, line, &mut self.out) {
             self.close_after_flush = true;
         }
         Control::Continue

@@ -41,6 +41,7 @@ use pipeline::TimeSeriesStore;
 use crate::error::ServerError;
 use crate::net::{Bind, Conn, Endpoint, Listener};
 use crate::protocol::{decode_envelope, fmt_f64, parse_command, valid_name, Command, LineReader};
+use crate::readplane::{cacheable, CacheFill, CacheScope, QueryCache, ShardSnapshot};
 use crate::state::{
     lock, Job, JobPayload, Registry, Shard, ShardState, Stats, StatsSnapshot, Tenant, TenantStats,
 };
@@ -66,6 +67,21 @@ impl Default for IoModel {
             IoModel::Threaded
         }
     }
+}
+
+/// How queries read tenant state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPlane {
+    /// Serve from per-shard epoch-labelled read snapshots and the
+    /// answer cache: steady-state queries never take a shard state
+    /// lock, and answers are bit-identical to a fresh fold at the
+    /// epoch they carry (see the crate-level "Read plane" section).
+    #[default]
+    EpochCached,
+    /// Fold per-shard state under the shard locks on every query — the
+    /// pre-snapshot behaviour, kept as the measured baseline for the
+    /// query-latency bench.
+    LockedFold,
 }
 
 /// Knobs for a [`ServerHandle::spawn`]ed server.
@@ -106,6 +122,18 @@ pub struct ServerConfig {
     /// One loop comfortably saturates the shard workers; raise it only
     /// when profiles show the I/O plane itself is the bottleneck.
     pub reactor_threads: usize,
+    /// How queries read tenant state (see [`ReadPlane`]).
+    pub read_plane: ReadPlane,
+    /// TTL retention: windowed-store cells whose window ended more than
+    /// this far before the newest ingested window are evicted by a
+    /// periodic sweep (`STATS` counts them as `evicted_cells`). `None`
+    /// retains everything — the pre-retention behaviour.
+    pub retention: Option<Duration>,
+    /// Under [`ReadPlane::EpochCached`], how many frames a shard worker
+    /// absorbs between snapshot republishes while its queue stays busy
+    /// (it always republishes when the queue drains). This bounds how
+    /// far a served answer can trail ingest during a sustained burst.
+    pub snapshot_refresh: usize,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +151,9 @@ impl Default for ServerConfig {
             io_model: IoModel::default(),
             max_connections: 1024,
             reactor_threads: 1,
+            read_plane: ReadPlane::default(),
+            retention: None,
+            snapshot_refresh: 64,
         }
     }
 }
@@ -135,7 +166,10 @@ pub(crate) struct ServerInner {
     pub(crate) endpoint: Endpoint,
     pub(crate) shard_workers: Mutex<Vec<JoinHandle<()>>>,
     pub(crate) conn_threads: Mutex<Vec<JoinHandle<()>>>,
-    pub(crate) checkpoint_wake: (Mutex<()>, Condvar),
+    /// Wakes the periodic sweepers (checkpointer, retention) out of
+    /// their interval waits — on demand (`CHECKPOINT`) and at shutdown.
+    pub(crate) sweep_wake: (Mutex<()>, Condvar),
+    pub(crate) query_cache: QueryCache,
 }
 
 impl ServerInner {
@@ -172,6 +206,7 @@ pub struct ServerHandle {
     #[cfg(unix)]
     reactor: Mutex<Option<crate::reactor::ReactorHandle>>,
     checkpoint_thread: Mutex<Option<JoinHandle<()>>>,
+    retention_thread: Mutex<Option<JoinHandle<()>>>,
     done: AtomicBool,
 }
 
@@ -194,7 +229,8 @@ impl ServerHandle {
             endpoint,
             shard_workers: Mutex::new(Vec::new()),
             conn_threads: Mutex::new(Vec::new()),
-            checkpoint_wake: (Mutex::new(()), Condvar::new()),
+            sweep_wake: (Mutex::new(()), Condvar::new()),
+            query_cache: QueryCache::default(),
         });
         restore_checkpoints(&inner)?;
         let mut accept = None;
@@ -222,12 +258,17 @@ impl ServerHandle {
             let inner = inner.clone();
             std::thread::spawn(move || checkpoint_loop(&inner, interval))
         });
+        let retainer = inner.config.retention.map(|width| {
+            let inner = inner.clone();
+            std::thread::spawn(move || retention_loop(&inner, width))
+        });
         Ok(Self {
             inner,
             accept_thread: Mutex::new(accept),
             #[cfg(unix)]
             reactor: Mutex::new(reactor),
             checkpoint_thread: Mutex::new(checkpointer),
+            retention_thread: Mutex::new(retainer),
             done: AtomicBool::new(false),
         })
     }
@@ -285,14 +326,27 @@ impl ServerHandle {
         for handle in lock(&self.inner.shard_workers).drain(..) {
             let _ = handle.join();
         }
-        // Wake and join the checkpointer, then take the final sweep
-        // ourselves (after the drain, so it includes every frame).
-        self.inner.checkpoint_wake.1.notify_all();
+        // Wake and join the periodic sweepers, then take the final
+        // checkpoint sweep ourselves (after the drain, so it includes
+        // every frame).
+        self.inner.sweep_wake.1.notify_all();
         if let Some(handle) = lock(&self.checkpoint_thread).take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = lock(&self.retention_thread).take() {
             let _ = handle.join();
         }
         checkpoint_all(&self.inner)?;
         Ok(self.inner.stats_snapshot())
+    }
+
+    /// Run one query command in process, exactly as a socket client
+    /// would: the response line(s) are appended to `out`, and the
+    /// answer cache / read snapshots serve it under the configured
+    /// [`ReadPlane`]. Returns `false` for commands that would close the
+    /// connection (`SHUTDOWN`, `QUIT`).
+    pub fn execute(&self, line: &str, out: &mut Vec<u8>) -> bool {
+        execute_line(&self.inner, line, out)
     }
 }
 
@@ -331,8 +385,16 @@ pub(crate) fn tenant(inner: &Arc<ServerInner>, name: &str) -> Result<Arc<Tenant>
 }
 
 /// One shard worker: absorb staged jobs until the shard closes and its
-/// backlog drains.
+/// backlog drains. Under [`ReadPlane::EpochCached`] the worker also
+/// owns snapshot publishing: it republishes the shard's read snapshot
+/// every [`ServerConfig::snapshot_refresh`] absorbed frames while the
+/// queue stays busy, and whenever the queue drains — so queries under
+/// sustained ingest serve boundedly-stale snapshots without ever
+/// contending on the state lock, and a drained shard always serves
+/// exact answers.
 fn worker_loop(inner: &ServerInner, tenant: &Tenant, shard: &Shard) {
+    let refresh_every = inner.config.snapshot_refresh.max(1);
+    let mut since_refresh = 0usize;
     while let Some(Job {
         metric,
         ts_secs,
@@ -382,8 +444,16 @@ fn worker_loop(inner: &ServerInner, tenant: &Tenant, shard: &Shard) {
                 }
             },
         };
+        shard.publish_epoch(&state);
         drop(state);
         shard.complete(spare, metric);
+        if inner.config.read_plane == ReadPlane::EpochCached {
+            since_refresh += 1;
+            if since_refresh >= refresh_every || shard.live_depth() == 0 {
+                since_refresh = 0;
+                shard.refresh_snapshot(&inner.stats);
+            }
+        }
     }
 }
 
@@ -578,15 +648,8 @@ fn handle_query(inner: &Arc<ServerInner>, mut conn: Conn, first: String) {
                 Err(_) => return,
             },
         };
-        Stats::add(&inner.stats.queries_served, 1);
         out.clear();
-        let keep_going = match parse_command(&line) {
-            Ok(command) => execute_into(inner, command, &mut out),
-            Err(message) => {
-                out.extend_from_slice(format!("-ERR {message}\n").as_bytes());
-                true
-            }
-        };
+        let keep_going = execute_line(inner, &line, &mut out);
         if conn.write_all(&out).is_err() || !keep_going {
             return;
         }
@@ -598,11 +661,51 @@ fn respond(out: &mut Vec<u8>, line: &str) {
     out.push(b'\n');
 }
 
-/// Run one query command, appending the response bytes to `out`
-/// (shared by the threaded handler and the reactor's query machines —
-/// the reactor drains `out` on writable readiness). Returns `false`
-/// when the connection should close after the response is flushed.
-pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut Vec<u8>) -> bool {
+/// Serve one query line, appending the response bytes to `out` (which
+/// may already hold earlier responses — the reactor batches). Shared by
+/// the threaded handler, the reactor's query machines, and
+/// [`ServerHandle::execute`]. Under [`ReadPlane::EpochCached`] the
+/// answer cache is probed *before* parsing — a hit is served straight
+/// from the entry's rendered bytes, with zero locks held and zero
+/// allocations — and successful answers to cacheable commands are
+/// stored back with the epoch vector they were computed from. Returns
+/// `false` when the connection should close after the flush.
+pub(crate) fn execute_line(inner: &Arc<ServerInner>, line: &str, out: &mut Vec<u8>) -> bool {
+    Stats::add(&inner.stats.queries_served, 1);
+    let cached = inner.config.read_plane == ReadPlane::EpochCached && cacheable(line);
+    if cached && inner.query_cache.serve(line, out, &inner.stats) {
+        return true;
+    }
+    match parse_command(line) {
+        Ok(command) => {
+            let start = out.len();
+            let mut fill = None;
+            let keep_going = execute_into(inner, command, out, &mut fill);
+            if let Some(fill) = fill {
+                if cached && out[start..].starts_with(b"+OK") {
+                    inner.query_cache.store(line, fill, &out[start..]);
+                }
+            }
+            keep_going
+        }
+        Err(message) => {
+            out.extend_from_slice(format!("-ERR {message}\n").as_bytes());
+            true
+        }
+    }
+}
+
+/// Run one parsed query command, appending the response bytes to `out`.
+/// Commands the answer cache may serve record a [`CacheFill`] (their
+/// freshness scope and epoch vector) in `fill`; everything else leaves
+/// it `None`. Returns `false` when the connection should close after
+/// the response is flushed.
+fn execute_into(
+    inner: &Arc<ServerInner>,
+    command: Command,
+    out: &mut Vec<u8>,
+    fill: &mut Option<CacheFill>,
+) -> bool {
     match command {
         Command::Ping => respond(out, "+PONG"),
         Command::Stats => {
@@ -630,7 +733,9 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
                      connections_total={} connections_rejected={} open_connections={} \
                      ingest_disconnects={} queries_served={} backpressure_waits={} \
                      ingest_suspensions={} reactor_wakeups={} reactor_events={} \
-                     checkpoints_completed={} staging_depth={} tenants={}",
+                     checkpoints_completed={} query_cache_hits={} query_cache_misses={} \
+                     snapshot_rebuilds={} snapshot_staleness_max={} evicted_cells={} \
+                     staging_depth={} tenants={}",
                     s.frames_ingested,
                     s.frames_rejected,
                     s.bytes_ingested,
@@ -644,6 +749,11 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
                     s.reactor_wakeups,
                     s.reactor_events,
                     s.checkpoints_completed,
+                    s.query_cache_hits,
+                    s.query_cache_misses,
+                    s.snapshot_rebuilds,
+                    s.snapshot_staleness_max,
+                    s.evicted_cells,
                     depths.join(","),
                     tenants.join(",")
                 ),
@@ -683,49 +793,84 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
             None => respond(out, "-ERR unknown tenant"),
         },
         Command::Count(name) => match inner.registry.get(&name) {
-            Some(tenant) => {
-                let total: u64 = tenant
-                    .shards
-                    .iter()
-                    .map(|shard| lock(&shard.state).agg.count())
-                    .sum();
-                respond(out, &format!("+OK {total}"));
-            }
+            Some(tenant) => match inner.config.read_plane {
+                ReadPlane::EpochCached => {
+                    let (snaps, cache_fill) = tenant_snapshots(inner, &tenant);
+                    let total: u64 = snaps.iter().map(|s| s.count).sum();
+                    *fill = Some(cache_fill);
+                    respond(out, &format!("+OK {total}"));
+                }
+                ReadPlane::LockedFold => {
+                    let total: u64 = tenant
+                        .shards
+                        .iter()
+                        .map(|shard| lock(&shard.state).agg.count())
+                        .sum();
+                    respond(out, &format!("+OK {total}"));
+                }
+            },
             None => respond(out, "-ERR unknown tenant"),
         },
         Command::WCount(name) => match inner.registry.get(&name) {
             Some(tenant) => {
                 // Total resident weight across both planes: integer
                 // counts enter at weight 1, `DDS3` frames at their
-                // `f64` weights.
-                let total: f64 = tenant
-                    .shards
-                    .iter()
-                    .map(|shard| {
-                        let state = lock(&shard.state);
-                        state.agg.count() as f64 + state.wagg.weighted_count()
-                    })
-                    .sum();
+                // `f64` weights. The summation order is identical under
+                // both read planes, so the `f64` totals are
+                // bit-identical.
+                let total: f64 = match inner.config.read_plane {
+                    ReadPlane::EpochCached => {
+                        let (snaps, cache_fill) = tenant_snapshots(inner, &tenant);
+                        *fill = Some(cache_fill);
+                        snaps
+                            .iter()
+                            .map(|s| s.count as f64 + s.weighted_count)
+                            .sum()
+                    }
+                    ReadPlane::LockedFold => tenant
+                        .shards
+                        .iter()
+                        .map(|shard| {
+                            let state = lock(&shard.state);
+                            state.agg.count() as f64 + state.wagg.weighted_count()
+                        })
+                        .sum(),
+                };
                 respond(out, &format!("+OK {}", fmt_f64(total)));
             }
             None => respond(out, "-ERR unknown tenant"),
         },
         Command::Quantile(name, qs) => match inner.registry.get(&name) {
             Some(tenant) => {
-                // Fold each shard under its own lock, clone the resident,
-                // and answer with one k-way merged walk outside all locks
-                // — exact by full mergeability, so the result is
-                // bit-identical to a single union sketch.
-                let residents: Vec<AnyDDSketch> = tenant
-                    .shards
-                    .iter()
-                    .map(|shard| {
-                        let mut state = lock(&shard.state);
-                        state.agg.fold();
-                        state.agg.resident().clone()
-                    })
-                    .collect();
-                let refs: Vec<&AnyDDSketch> = residents.iter().collect();
+                // One resident copy per shard, answered with a k-way
+                // merged walk outside all locks — exact by full
+                // mergeability, so the result is bit-identical to a
+                // single union sketch. The copies come from the read
+                // snapshots (zero lock holds at steady state) or, under
+                // the locked baseline, from a fold under each shard's
+                // lock.
+                let snaps;
+                let residents: Vec<AnyDDSketch>;
+                let refs: Vec<&AnyDDSketch> = match inner.config.read_plane {
+                    ReadPlane::EpochCached => {
+                        let (s, cache_fill) = tenant_snapshots(inner, &tenant);
+                        snaps = s;
+                        *fill = Some(cache_fill);
+                        snaps.iter().map(|s| &s.resident).collect()
+                    }
+                    ReadPlane::LockedFold => {
+                        residents = tenant
+                            .shards
+                            .iter()
+                            .map(|shard| {
+                                let mut state = lock(&shard.state);
+                                state.agg.fold();
+                                state.agg.resident().clone()
+                            })
+                            .collect();
+                        residents.iter().collect()
+                    }
+                };
                 match AnyDDSketch::merged_quantiles(&refs, &qs) {
                     Ok(values) => {
                         let rendered: Vec<String> = values.iter().map(|&v| fmt_f64(v)).collect();
@@ -737,16 +882,27 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
             None => respond(out, "-ERR unknown tenant"),
         },
         Command::WQuantile(name, qs) => match inner.registry.get(&name) {
-            Some(tenant) => match weighted_union(&tenant, inner) {
-                Ok(union) => match union.quantiles(&qs) {
-                    Ok(values) => {
-                        let rendered: Vec<String> = values.iter().map(|&v| fmt_f64(v)).collect();
-                        respond(out, &format!("+OK {}", rendered.join(" ")));
+            Some(tenant) => {
+                let union = match inner.config.read_plane {
+                    ReadPlane::EpochCached => {
+                        let (snaps, cache_fill) = tenant_snapshots(inner, &tenant);
+                        *fill = Some(cache_fill);
+                        weighted_union_snapshots(&snaps, inner)
                     }
+                    ReadPlane::LockedFold => weighted_union(&tenant, inner),
+                };
+                match union {
+                    Ok(union) => match union.quantiles(&qs) {
+                        Ok(values) => {
+                            let rendered: Vec<String> =
+                                values.iter().map(|&v| fmt_f64(v)).collect();
+                            respond(out, &format!("+OK {}", rendered.join(" ")));
+                        }
+                        Err(e) => respond(out, &format!("-ERR {e}")),
+                    },
                     Err(e) => respond(out, &format!("-ERR {e}")),
-                },
-                Err(e) => respond(out, &format!("-ERR {e}")),
-            },
+                }
+            }
             None => respond(out, "-ERR unknown tenant"),
         },
         Command::Series {
@@ -755,8 +911,23 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
             q,
         } => match inner.registry.get(&name) {
             Some(tenant) => {
-                let state = lock(&tenant.shard_for(&metric).state);
+                // The windowed store is not snapshotted (its cells are
+                // absorbed in place), so SERIES keeps the short
+                // state-lock hold — but the rendered answer is cached
+                // against the owning shard's data epoch, so repeated
+                // dashboard pulls of a quiet metric stay lock-free.
+                let index = tenant.shard_index_for(&metric);
+                let shard = &tenant.shards[index];
+                let state = lock(&shard.state);
                 let series = state.store.quantile_series(&metric, q);
+                if inner.config.read_plane == ReadPlane::EpochCached {
+                    shard.publish_epoch(&state);
+                    *fill = Some(CacheFill {
+                        tenant: Arc::clone(&tenant),
+                        scope: CacheScope::Shard(index),
+                        epochs: vec![shard.data_epoch()],
+                    });
+                }
                 drop(state);
                 let rendered: Vec<String> = series
                     .iter()
@@ -805,7 +976,7 @@ pub(crate) fn execute_into(inner: &Arc<ServerInner>, command: Command, out: &mut
         }
         Command::Shutdown => {
             inner.shutdown.store(true, Ordering::Release);
-            inner.checkpoint_wake.1.notify_all();
+            inner.sweep_wake.1.notify_all();
             respond(out, "+OK");
             return false;
         }
@@ -840,6 +1011,42 @@ fn weighted_union(
     Ok(union)
 }
 
+/// [`weighted_union`] over read snapshots instead of locked state: the
+/// same per-shard merge order (weighted resident, then the integer
+/// resident lifted to weight 1), so the union — and every quantile read
+/// from it — is bit-identical to the locked fold at the same epochs.
+fn weighted_union_snapshots(
+    snaps: &[Arc<ShardSnapshot>],
+    inner: &ServerInner,
+) -> Result<AnyWeightedDDSketch, SketchError> {
+    let mut union = AnyWeightedDDSketch::new(inner.config.sketch)?;
+    for snap in snaps {
+        union.merge_from(&snap.weighted)?;
+        union.merge_view(&SketchView::parse(&snap.resident.encode())?)?;
+    }
+    Ok(union)
+}
+
+/// Every shard's read snapshot plus the [`CacheFill`] recording the
+/// epoch vector they carry — the building block of every tenant-wide
+/// snapshot-served answer.
+fn tenant_snapshots(
+    inner: &ServerInner,
+    tenant: &Arc<Tenant>,
+) -> (Vec<Arc<ShardSnapshot>>, CacheFill) {
+    let snaps: Vec<Arc<ShardSnapshot>> = tenant
+        .shards
+        .iter()
+        .map(|shard| shard.read_snapshot(&inner.stats))
+        .collect();
+    let fill = CacheFill {
+        tenant: Arc::clone(tenant),
+        scope: CacheScope::Snapshots,
+        epochs: snaps.iter().map(|s| s.epoch).collect(),
+    };
+    (snaps, fill)
+}
+
 /// A bare `ServerInner` with no I/O threads attached — lets reactor
 /// unit tests drive connection machines and event loops directly
 /// against real registry/stats state.
@@ -853,12 +1060,49 @@ pub(crate) fn test_inner(config: ServerConfig) -> Arc<ServerInner> {
         endpoint: Endpoint::Tcp("127.0.0.1:9".parse().unwrap()),
         shard_workers: Mutex::new(Vec::new()),
         conn_threads: Mutex::new(Vec::new()),
-        checkpoint_wake: (Mutex::new(()), Condvar::new()),
+        sweep_wake: (Mutex::new(()), Condvar::new()),
+        query_cache: QueryCache::default(),
     })
 }
 
+/// TTL retention: periodically evict windowed-store cells that fell out
+/// of the trailing retention width. The sweep interval tracks the width
+/// (clamped to a sane range) — eviction granularity is whole windows,
+/// so sweeping much faster than the width buys nothing.
+fn retention_loop(inner: &Arc<ServerInner>, width: Duration) {
+    let interval = (width / 2).clamp(Duration::from_millis(10), Duration::from_millis(500));
+    let (mutex, condvar) = &inner.sweep_wake;
+    loop {
+        let guard = mutex.lock().unwrap_or_else(|p| p.into_inner());
+        let _unused = condvar
+            .wait_timeout(guard, interval)
+            .unwrap_or_else(|p| p.into_inner());
+        if inner.shutting_down() {
+            return;
+        }
+        retention_sweep(inner, width);
+    }
+}
+
+/// One retention pass over every shard. Runs under each shard's state
+/// lock (eviction mutates the store), publishing the shard's epoch when
+/// anything was evicted so cached answers over evicted data invalidate.
+fn retention_sweep(inner: &ServerInner, width: Duration) {
+    let width_secs = width.as_secs().max(1);
+    for tenant in inner.registry.all() {
+        for shard in &tenant.shards {
+            let mut state = lock(&shard.state);
+            let evicted = state.store.retain_recent(width_secs);
+            if evicted > 0 {
+                shard.publish_epoch(&state);
+                Stats::add(&inner.stats.evicted_cells, evicted as u64);
+            }
+        }
+    }
+}
+
 fn checkpoint_loop(inner: &Arc<ServerInner>, interval: Duration) {
-    let (mutex, condvar) = &inner.checkpoint_wake;
+    let (mutex, condvar) = &inner.sweep_wake;
     loop {
         let guard = mutex.lock().unwrap_or_else(|p| p.into_inner());
         let _unused = condvar
@@ -956,6 +1200,7 @@ fn restore_checkpoints(inner: &Arc<ServerInner>) -> Result<(), ServerError> {
             let mut state = lock(&tenant.shards[index].state);
             state.wagg.feed(&bytes).map_err(ServerError::Sketch)?;
             state.wagg.fold();
+            tenant.shards[index].publish_epoch(&state);
             continue;
         }
         let file = fs::File::open(&path)?;
@@ -977,6 +1222,7 @@ fn restore_checkpoints(inner: &Arc<ServerInner>) -> Result<(), ServerError> {
             agg.feed(&cell.encode())?;
         }
         agg.fold();
+        tenant.shards[index].publish_epoch(&state);
     }
     Ok(())
 }

@@ -28,6 +28,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use ddsketch::{SketchConfig, SketchPayload, WeightedSketchPayload};
 use pipeline::{Aggregator, TimeSeriesStore, WeightedAggregator};
 
+use crate::readplane::ShardSnapshot;
+
 /// Lock a mutex, surviving poisoning: a connection thread that panicked
 /// mid-operation must not wedge every other agent of the tenant. All
 /// state mutations behind these locks are transactional (reject-before-
@@ -65,11 +67,21 @@ pub(crate) struct Stats {
     pub reactor_wakeups: AtomicU64,
     pub reactor_events: AtomicU64,
     pub checkpoints_completed: AtomicU64,
+    pub query_cache_hits: AtomicU64,
+    pub query_cache_misses: AtomicU64,
+    pub snapshot_rebuilds: AtomicU64,
+    pub snapshot_staleness_max: AtomicU64,
+    pub evicted_cells: AtomicU64,
 }
 
 impl Stats {
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise a high-watermark counter to `n` if it is below it.
+    pub(crate) fn raise(counter: &AtomicU64, n: u64) {
+        counter.fetch_max(n, Ordering::Relaxed);
     }
 
     /// Counter-only snapshot; the server layer fills in `staging_depth`
@@ -89,6 +101,11 @@ impl Stats {
             reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
             reactor_events: self.reactor_events.load(Ordering::Relaxed),
             checkpoints_completed: self.checkpoints_completed.load(Ordering::Relaxed),
+            query_cache_hits: self.query_cache_hits.load(Ordering::Relaxed),
+            query_cache_misses: self.query_cache_misses.load(Ordering::Relaxed),
+            snapshot_rebuilds: self.snapshot_rebuilds.load(Ordering::Relaxed),
+            snapshot_staleness_max: self.snapshot_staleness_max.load(Ordering::Relaxed),
+            evicted_cells: self.evicted_cells.load(Ordering::Relaxed),
             staging_depth: Vec::new(),
             tenants: Vec::new(),
         }
@@ -132,6 +149,19 @@ pub struct StatsSnapshot {
     pub reactor_events: u64,
     /// Checkpoint sweeps completed (periodic, on demand, and final).
     pub checkpoints_completed: u64,
+    /// Queries answered straight from the answer cache — no parse, no
+    /// lock, no allocation.
+    pub query_cache_hits: u64,
+    /// Cacheable queries that missed the answer cache (uncached line,
+    /// or an entry invalidated by an epoch change).
+    pub query_cache_misses: u64,
+    /// Per-shard read snapshots rebuilt (a short state-lock hold each).
+    pub snapshot_rebuilds: u64,
+    /// Largest epoch gap any snapshot rebuild has closed — the measured
+    /// bound on how far a served answer ever trailed the ingested data.
+    pub snapshot_staleness_max: u64,
+    /// Windowed-store cells evicted by the TTL retention sweep.
+    pub evicted_cells: u64,
     /// Live staging depth (queued + in-flight jobs) per shard index,
     /// summed across tenants; length = `shards_per_tenant`.
     pub staging_depth: Vec<u64>,
@@ -268,8 +298,14 @@ impl StagingInner {
     }
 }
 
+/// `snap_epoch` value meaning "no snapshot installed yet". Epochs are
+/// sums of per-structure counters bumped once per frame; `u64::MAX` is
+/// unreachable in any real run.
+const NO_SNAPSHOT: u64 = u64::MAX;
+
 /// One shard of a tenant: a bounded staging queue feeding a dedicated
-/// worker that owns the shard's [`ShardState`].
+/// worker that owns the shard's [`ShardState`], plus the epoch-cached
+/// read plane that serves queries without touching the state lock.
 #[derive(Debug)]
 pub(crate) struct Shard {
     staging: Mutex<StagingInner>,
@@ -278,6 +314,22 @@ pub(crate) struct Shard {
     drained: Condvar,
     bound: usize,
     pub state: Mutex<ShardState>,
+    /// Staged-plus-in-flight job count, mirrored out of `staging` so
+    /// the read plane can probe quiescence without taking any lock.
+    live: AtomicU64,
+    /// The shard's published data epoch: the sum of the pipeline epochs
+    /// ([`Aggregator`], [`TimeSeriesStore`], [`WeightedAggregator`]),
+    /// stored by [`Shard::publish_epoch`] after every mutation. May
+    /// momentarily trail the in-lock sum — that direction only ever
+    /// causes a spurious rebuild, never a stale serve.
+    epoch: AtomicU64,
+    /// Epoch label of the installed [`ShardSnapshot`], [`NO_SNAPSHOT`]
+    /// until the first rebuild — lets freshness probes skip the
+    /// snapshot lock entirely.
+    snap_epoch: AtomicU64,
+    /// The installed read snapshot; the lock is held only for an
+    /// `Arc` clone (serve) or pointer swap (install).
+    snapshot: Mutex<Option<Arc<ShardSnapshot>>>,
 }
 
 impl Shard {
@@ -289,7 +341,101 @@ impl Shard {
             drained: Condvar::new(),
             bound: bound.max(1),
             state: Mutex::new(state),
+            live: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            snap_epoch: AtomicU64::new(NO_SNAPSHOT),
+            snapshot: Mutex::new(None),
         }
+    }
+
+    /// Jobs staged or mid-absorb right now — zero means quiesced: the
+    /// published epoch is final until the next push. Lock-free.
+    pub(crate) fn live_depth(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// The shard's published data epoch. Lock-free.
+    pub(crate) fn data_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Epoch label of the installed read snapshot ([`NO_SNAPSHOT`]
+    /// before the first rebuild). Lock-free.
+    pub(crate) fn snapshot_epoch(&self) -> u64 {
+        self.snap_epoch.load(Ordering::Relaxed)
+    }
+
+    /// The combined pipeline epoch of `state` — the label every
+    /// publish and snapshot carries.
+    fn combined_epoch(state: &ShardState) -> u64 {
+        state
+            .agg
+            .epoch()
+            .wrapping_add(state.store.epoch())
+            .wrapping_add(state.wagg.epoch())
+    }
+
+    /// Publish the shard's data epoch. Callers invoke this while still
+    /// holding the state lock after mutating (absorb, restore, sweep),
+    /// so the published value never runs ahead of reality.
+    pub(crate) fn publish_epoch(&self, state: &ShardState) {
+        self.epoch
+            .store(Self::combined_epoch(state), Ordering::Relaxed);
+    }
+
+    /// Serve the shard's read snapshot, rebuilding only when the shard
+    /// is quiesced *and* the installed snapshot is stale (or absent).
+    /// While ingest is in flight the installed snapshot serves as-is —
+    /// bounded staleness, zero state-lock holds — and the shard worker
+    /// republishes on its refresh cadence.
+    pub(crate) fn read_snapshot(&self, stats: &Stats) -> Arc<ShardSnapshot> {
+        let snap_epoch = self.snapshot_epoch();
+        if snap_epoch != NO_SNAPSHOT && (self.live_depth() > 0 || snap_epoch >= self.data_epoch()) {
+            if let Some(snap) = lock(&self.snapshot).clone() {
+                return snap;
+            }
+        }
+        self.rebuild_snapshot(stats)
+    }
+
+    /// Worker-side publish: rebuild the snapshot unless it already
+    /// matches the published epoch. Called on the refresh cadence and
+    /// when the staging queue drains.
+    pub(crate) fn refresh_snapshot(&self, stats: &Stats) {
+        if self.snapshot_epoch() != self.data_epoch() {
+            self.rebuild_snapshot(stats);
+        }
+    }
+
+    /// The PR 3 short-hold pattern: take the state lock just long
+    /// enough to fold and copy the residents, then install the labelled
+    /// copy outside it. Concurrent rebuilds are safe — install keeps
+    /// whichever snapshot carries the newest epoch.
+    fn rebuild_snapshot(&self, stats: &Stats) -> Arc<ShardSnapshot> {
+        let snap = {
+            let mut state = lock(&self.state);
+            state.agg.fold();
+            state.wagg.fold();
+            self.publish_epoch(&state);
+            Arc::new(ShardSnapshot {
+                epoch: Self::combined_epoch(&state),
+                resident: state.agg.resident().clone(),
+                weighted: state.wagg.resident().clone(),
+                count: state.agg.count(),
+                weighted_count: state.wagg.weighted_count(),
+            })
+        };
+        Stats::add(&stats.snapshot_rebuilds, 1);
+        let mut slot = lock(&self.snapshot);
+        let current = self.snap_epoch.load(Ordering::Relaxed);
+        if current == NO_SNAPSHOT || snap.epoch >= current {
+            if current != NO_SNAPSHOT {
+                Stats::raise(&stats.snapshot_staleness_max, snap.epoch - current);
+            }
+            *slot = Some(Arc::clone(&snap));
+            self.snap_epoch.store(snap.epoch, Ordering::Relaxed);
+        }
+        snap
     }
 
     /// Stage one job, blocking while the queue is at its bound (the
@@ -311,6 +457,7 @@ impl Shard {
         }
         inner.queue.push_back(job);
         inner.high_watermark = inner.high_watermark.max(inner.queue.len());
+        self.live.fetch_add(1, Ordering::Relaxed);
         let spare = (
             inner.take_spare(weighted),
             inner.spare_strings.pop().unwrap_or_default(),
@@ -335,6 +482,7 @@ impl Shard {
         }
         inner.queue.push_back(job);
         inner.high_watermark = inner.high_watermark.max(inner.queue.len());
+        self.live.fetch_add(1, Ordering::Relaxed);
         let spare = (
             inner.take_spare(weighted),
             inner.spare_strings.pop().unwrap_or_default(),
@@ -410,6 +558,11 @@ impl Shard {
         }
         inner.spare_strings.push(metric);
         inner.in_flight -= 1;
+        // The worker has already published the epoch for this job (it
+        // absorbs, publishes, then completes), so decrementing `live`
+        // here can never let a query treat a pre-absorb snapshot as
+        // caught-up.
+        self.live.fetch_sub(1, Ordering::Relaxed);
         if inner.queue.is_empty() && inner.in_flight == 0 {
             drop(inner);
             self.drained.notify_all();

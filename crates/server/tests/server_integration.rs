@@ -8,7 +8,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ddsketch::{AnyDDSketch, SketchConfig};
-use sketchd::{AgentSender, Bind, IoModel, QueryClient, RetryPolicy, ServerConfig, ServerHandle};
+use sketchd::{
+    AgentSender, Bind, IoModel, QueryClient, ReadPlane, RetryPolicy, ServerConfig, ServerHandle,
+};
 
 /// 2048 bins is comfortably above what the value ranges below populate,
 /// so no collapsing happens and bit-identity claims stay about the
@@ -672,6 +674,135 @@ fn weighted_frames_flow_through_stats_queries_and_checkpoints() {
     assert_eq!(stats2.tenants[0].weighted_total, 0.0);
     server2.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// TTL retention: a periodic sweep evicts windowed-store cells that
+/// fell out of the trailing retention width, counts them in STATS, and
+/// invalidates cached SERIES answers over the evicted data. The
+/// resident aggregator (COUNT/QUANTILE) is a lifetime union and is
+/// untouched.
+#[test]
+fn ttl_retention_evicts_stale_windows() {
+    let config = ServerConfig {
+        retention: Some(Duration::from_secs(30)),
+        ..server_config()
+    };
+    let server = ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), config).unwrap();
+    let mut agent = AgentSender::connect(server.endpoint().clone(), "acme").unwrap();
+    // One frame per 10 s window at 0, 10, …, 90: ten cells on one
+    // metric (= one shard).
+    let mut total = 0u64;
+    for w in 0..10u64 {
+        let values: Vec<f64> = (1..=12).map(|k| f64::from(k) * 0.5 + w as f64).collect();
+        total += values.len() as u64;
+        agent
+            .send_encoded("api.latency", w * 10, &payload(values))
+            .unwrap();
+    }
+    agent.close().unwrap();
+
+    let mut client = QueryClient::connect(server.endpoint()).unwrap();
+    await_frames(&mut client, 10);
+    client.sync().unwrap();
+
+    // The sweep interval is clamped to ≤ 500 ms; wait for it to land.
+    // With the newest window at [90, 100), the trailing 30 s keeps
+    // windows 70/80/90 and evicts the seven older cells — sweeps that
+    // ran mid-ingest only evicted cells the final state drops anyway,
+    // so the counter converges to exactly 7.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().unwrap();
+        if stats.evicted_cells >= 7 {
+            assert_eq!(stats.evicted_cells, 7, "over-evicted");
+            break;
+        }
+        assert!(Instant::now() < deadline, "retention sweep never evicted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let series = client.series("acme", "api.latency", 0.5).unwrap();
+    let windows: Vec<u64> = series.iter().map(|&(w, _)| w).collect();
+    assert_eq!(windows, vec![70, 80, 90], "series kept the trailing width");
+    assert_eq!(client.count("acme").unwrap(), total);
+    server.shutdown().unwrap();
+}
+
+/// Wire-level read-plane coherence, under both I/O models: a server on
+/// the epoch-cached read plane answers the whole cacheable query family
+/// byte-identically to a locked-fold server fed the same frames, repeat
+/// queries serve from the answer cache (byte-identical again, and
+/// counted), and the snapshot counters ride STATS.
+#[test]
+fn epoch_cached_answers_match_locked_fold_over_the_wire() {
+    use ddsketch::AnyWeightedDDSketch;
+
+    for io_model in [IoModel::Threaded, IoModel::Reactor] {
+        let spawn = |read_plane| {
+            let config = ServerConfig {
+                read_plane,
+                ..server_config_for(io_model)
+            };
+            ServerHandle::spawn(&Bind::Tcp("127.0.0.1:0".into()), config).unwrap()
+        };
+        let cached = spawn(ReadPlane::EpochCached);
+        let locked = spawn(ReadPlane::LockedFold);
+
+        // Identical mixed-plane streams into both servers (dyadic
+        // weights keep every f64 partial sum exact).
+        for server in [&cached, &locked] {
+            let mut agent = AgentSender::connect(server.endpoint().clone(), "acme").unwrap();
+            for i in 0..32u64 {
+                let bytes = payload((1..=12).map(|k| f64::from(k) * 0.75 + i as f64 * 0.3));
+                agent
+                    .send_encoded(&format!("m{}", i % 4), (i % 5) * 10, &bytes)
+                    .unwrap();
+                let mut frame = AnyWeightedDDSketch::new(cfg()).unwrap();
+                for k in 1..=6u32 {
+                    let v = f64::from(k) * 1.25 + i as f64 * 0.5;
+                    let w = f64::from(k % 3) * 0.25 + 0.25;
+                    frame.add_with_count(v, w).unwrap();
+                }
+                agent
+                    .send_encoded(&format!("m{}", i % 4), (i % 5) * 10, &frame.encode())
+                    .unwrap();
+            }
+            agent.close().unwrap();
+            let mut client = QueryClient::connect(server.endpoint()).unwrap();
+            await_frames(&mut client, 64);
+            client.sync().unwrap();
+        }
+
+        let mut on_cached = QueryClient::connect(cached.endpoint()).unwrap();
+        let mut on_locked = QueryClient::connect(locked.endpoint()).unwrap();
+        let lines = [
+            "COUNT acme",
+            "WCOUNT acme",
+            "QUANTILE acme 0.01 0.5 0.9 0.99",
+            "WQUANTILE acme 0.25 0.5 0.99",
+            "SERIES acme m1 0.9",
+        ];
+        for line in lines {
+            let first = on_cached.command(line).unwrap();
+            let reference = on_locked.command(line).unwrap();
+            assert_eq!(first, reference, "{io_model:?}: {line}");
+            // The repeat is an answer-cache hit: byte-identical.
+            let again = on_cached.command(line).unwrap();
+            assert_eq!(again, first, "{io_model:?}: cached repeat of {line}");
+        }
+        let stats = on_cached.stats().unwrap();
+        assert!(
+            stats.query_cache_hits >= lines.len() as u64,
+            "{io_model:?}: repeats should hit the cache ({} hits)",
+            stats.query_cache_hits
+        );
+        assert!(
+            stats.snapshot_rebuilds >= 1,
+            "{io_model:?}: snapshots were never built"
+        );
+        cached.shutdown().unwrap();
+        locked.shutdown().unwrap();
+    }
 }
 
 /// Protocol violations answer `-ERR` and leave the session usable;
